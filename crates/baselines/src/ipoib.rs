@@ -1,0 +1,239 @@
+//! The IPoIB baseline: TCP/IP sockets over InfiniBand (§5.1: "This
+//! reflects the performance from a network upgrade without any changes in
+//! software").
+//!
+//! The transport rides the same fabric, but the kernel network stack taxes
+//! it twice:
+//!
+//! * every byte costs CPU on the sending and the receiving side
+//!   (`tcp_cpu_per_byte`; the paper profiles the IPoIB run at ~2/3 of all
+//!   cycles inside `send`/`recv`), and
+//! * all inbound traffic at a node serializes through a soft-IRQ/interrupt
+//!   path whose effective bandwidth (`ipoib_bandwidth`) is well below line
+//!   rate.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rshuffle::endpoint::sr_rc::{SrRcConfig, SrRcReceiveEndpoint, SrRcSendEndpoint};
+use rshuffle::endpoint::{Delivery, EndpointId, ReceiveEndpoint, SendEndpoint};
+use rshuffle::{Buffer, Result, StreamState, TransmissionGroups};
+use rshuffle_simnet::{NodeId, Resource, SimContext, SimDuration};
+use rshuffle_verbs::{ConnectionManager, VerbsRuntime};
+
+/// Kernel-stack cost constants.
+#[derive(Clone)]
+struct TcpStack {
+    cpu_per_byte: SimDuration,
+    /// Per-node soft-IRQ path shared by every inbound stream.
+    softirq: Arc<Mutex<Resource>>,
+    softirq_bandwidth: f64,
+}
+
+/// The sending half of the IPoIB baseline (`send(2)`).
+pub struct IpoibSendEndpoint {
+    inner: Arc<SrRcSendEndpoint>,
+    stack: TcpStack,
+}
+
+impl SendEndpoint for IpoibSendEndpoint {
+    fn id(&self) -> EndpointId {
+        self.inner.id()
+    }
+
+    fn send(
+        &self,
+        sim: &SimContext,
+        buf: Buffer,
+        dest: &[NodeId],
+        state: StreamState,
+    ) -> Result<()> {
+        // Kernel send path: per-byte CPU for every destination copy.
+        let per_dest =
+            SimDuration::from_nanos(self.stack.cpu_per_byte.as_nanos() * buf.len().max(1) as u64);
+        sim.sleep(per_dest * dest.len() as u64);
+        self.inner.send(sim, buf, dest, state)
+    }
+
+    fn get_free(&self, sim: &SimContext) -> Result<Buffer> {
+        self.inner.get_free(sim)
+    }
+
+    fn registered_bytes(&self) -> usize {
+        // Sockets pin no RDMA memory; report the socket buffer footprint.
+        self.inner.registered_bytes()
+    }
+
+    fn charge_setup(&self, sim: &SimContext) {
+        // TCP connection setup is three orders of magnitude cheaper than
+        // RDMA (§4.2); charge a token cost.
+        sim.sleep(SimDuration::from_micros(200));
+    }
+}
+
+/// The receiving half of the IPoIB baseline (`select(2)` + `recv(2)`).
+pub struct IpoibReceiveEndpoint {
+    inner: Arc<SrRcReceiveEndpoint>,
+    stack: TcpStack,
+}
+
+impl ReceiveEndpoint for IpoibReceiveEndpoint {
+    fn id(&self) -> EndpointId {
+        self.inner.id()
+    }
+
+    fn get_data(&self, sim: &SimContext) -> Result<Option<Delivery>> {
+        let d = self.inner.get_data(sim)?;
+        if let Some(ref delivery) = d {
+            let bytes = delivery.local.len().max(1);
+            // Soft-IRQ serialization: all inbound bytes of this node share
+            // one kernel path capped below line rate.
+            let end = {
+                let mut softirq = self.stack.softirq.lock();
+                softirq
+                    .reserve(
+                        sim.now(),
+                        rshuffle_simnet::resource::transfer_time(
+                            bytes,
+                            self.stack.softirq_bandwidth,
+                        ),
+                    )
+                    .end
+            };
+            if end > sim.now() {
+                sim.sleep(end - sim.now());
+            }
+            // recv(2) copies out of kernel buffers.
+            sim.sleep(SimDuration::from_nanos(
+                self.stack.cpu_per_byte.as_nanos() * bytes as u64,
+            ));
+        }
+        Ok(d)
+    }
+
+    fn release(&self, sim: &SimContext, remote: u64, local: Buffer, src: EndpointId) -> Result<()> {
+        self.inner.release(sim, remote, local, src)
+    }
+
+    fn bytes_received(&self) -> u64 {
+        self.inner.bytes_received()
+    }
+
+    fn registered_bytes(&self) -> usize {
+        self.inner.registered_bytes()
+    }
+
+    fn charge_setup(&self, sim: &SimContext) {
+        sim.sleep(SimDuration::from_micros(200));
+    }
+}
+
+/// A cluster-wide IPoIB exchange: one socket pair per node pair, a shared
+/// kernel stack per node.
+pub struct IpoibExchange {
+    /// `send[node]`.
+    pub send: Vec<Option<Arc<dyn SendEndpoint>>>,
+    /// `recv[node]`.
+    pub recv: Vec<Option<Arc<dyn ReceiveEndpoint>>>,
+    /// Per-node transmission groups.
+    pub groups: Vec<TransmissionGroups>,
+}
+
+impl IpoibExchange {
+    /// Builds the exchange for the given per-node groups.
+    pub fn build(
+        runtime: &Arc<VerbsRuntime>,
+        groups: Vec<TransmissionGroups>,
+        message_size: usize,
+        threads: usize,
+    ) -> Result<IpoibExchange> {
+        let nodes = runtime.cluster().nodes();
+        assert_eq!(groups.len(), nodes, "one group set per node");
+        let profile = runtime.profile();
+        // Socket buffers serve every thread of the process.
+        let cfg = SrRcConfig {
+            message_size,
+            buffers_per_peer: 2 * threads.max(1),
+            recv_depth_per_peer: 8 * threads.max(1),
+            credit_writeback_frequency: 1,
+            ..SrRcConfig::default()
+        };
+
+        let dests: Vec<Vec<NodeId>> = groups.iter().map(|g| g.destinations()).collect();
+        let mut srcs: Vec<Vec<NodeId>> = vec![Vec::new(); nodes];
+        for (a, ds) in dests.iter().enumerate() {
+            for &b in ds {
+                srcs[b].push(a);
+            }
+        }
+
+        let stacks: Vec<TcpStack> = (0..nodes)
+            .map(|_| TcpStack {
+                cpu_per_byte: profile.tcp_cpu_per_byte,
+                softirq: Arc::new(Mutex::new(Resource::new())),
+                softirq_bandwidth: profile.ipoib_bandwidth,
+            })
+            .collect();
+
+        let mut send_eps: Vec<Option<Arc<SrRcSendEndpoint>>> = Vec::new();
+        let mut recv_eps: Vec<Option<Arc<SrRcReceiveEndpoint>>> = Vec::new();
+        for node in 0..nodes {
+            let ctx = runtime.context(node);
+            send_eps.push((!dests[node].is_empty()).then(|| {
+                Arc::new(SrRcSendEndpoint::new(
+                    &ctx,
+                    EndpointId(node as u32 * 2),
+                    dests[node].clone(),
+                    cfg.clone(),
+                ))
+            }));
+            recv_eps.push((!srcs[node].is_empty()).then(|| {
+                Arc::new(SrRcReceiveEndpoint::new(
+                    &ctx,
+                    EndpointId(node as u32 * 2 + 1),
+                    srcs[node].clone(),
+                    cfg.clone(),
+                ))
+            }));
+        }
+        for a in 0..nodes {
+            for &b in &dests[a] {
+                let s = send_eps[a].as_ref().expect("sender exists");
+                let r = recv_eps[b].as_ref().expect("receiver exists");
+                let qp_s = s.qp_for(b);
+                let qp_r = r.qp_for(a);
+                ConnectionManager::activate_untimed(qp_s, Some(qp_r.address_handle()))?;
+                ConnectionManager::activate_untimed(qp_r, Some(qp_s.address_handle()))?;
+                let credit = r.bootstrap_src(a, s.credit_slot_for(b));
+                s.bootstrap_credit(b, credit);
+            }
+        }
+        Ok(IpoibExchange {
+            send: send_eps
+                .into_iter()
+                .enumerate()
+                .map(|(node, e)| {
+                    e.map(|inner| {
+                        Arc::new(IpoibSendEndpoint {
+                            inner,
+                            stack: stacks[node].clone(),
+                        }) as Arc<dyn SendEndpoint>
+                    })
+                })
+                .collect(),
+            recv: recv_eps
+                .into_iter()
+                .enumerate()
+                .map(|(node, e)| {
+                    e.map(|inner| {
+                        Arc::new(IpoibReceiveEndpoint {
+                            inner,
+                            stack: stacks[node].clone(),
+                        }) as Arc<dyn ReceiveEndpoint>
+                    })
+                })
+                .collect(),
+            groups,
+        })
+    }
+}

@@ -1,0 +1,117 @@
+//! Diagnostic probe: per-run fabric/NIC utilization and thread stats for
+//! one transport. Not a paper figure.
+
+use rshuffle::ShuffleAlgorithm;
+use rshuffle_bench::{Pattern, Transport, WorkloadConfig};
+use rshuffle_simnet::DeviceProfile;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let alg = args
+        .get(1)
+        .and_then(|s| ShuffleAlgorithm::parse(s))
+        .unwrap_or(ShuffleAlgorithm::MEMQ_RD);
+    let nodes: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(8);
+
+    let mut cfg = WorkloadConfig::new(DeviceProfile::edr(), nodes, Transport::Rdma(alg));
+    cfg.pattern = Pattern::Repartition;
+
+    // Inline a copy of the workload with extra reporting.
+    let cluster = rshuffle_simnet::Cluster::new(cfg.nodes, cfg.profile.clone());
+    let runtime = rshuffle_verbs::VerbsRuntime::with_faults(cluster, cfg.faults.clone());
+    let groups: Vec<rshuffle::TransmissionGroups> = (0..cfg.nodes)
+        .map(|me| rshuffle::TransmissionGroups::repartition(me, cfg.nodes))
+        .collect();
+    let cost = rshuffle::CostModel::from_profile(runtime.profile());
+    let rows_per_thread = cfg.bytes_per_node / 16 / cfg.threads;
+    let mut xcfg = rshuffle::ExchangeConfig::with_groups(alg, cfg.threads, groups.clone());
+    xcfg.message_size = cfg.message_size;
+    let exchange = rshuffle::Exchange::build(&runtime, &xcfg).unwrap();
+    for node in 0..cfg.nodes {
+        let gen = std::sync::Arc::new(rshuffle_engine::Generator::new(
+            rows_per_thread,
+            cfg.threads,
+            node as u64,
+        ));
+        let shuffle = std::sync::Arc::new(rshuffle::ShuffleOperator::new(
+            alg.mode,
+            gen,
+            exchange.send[node].clone(),
+            groups[node].clone(),
+            cfg.threads,
+            cost.clone(),
+        ));
+        rshuffle_engine::drive_to_sink(
+            runtime.cluster(),
+            node,
+            &format!("s{node}"),
+            shuffle,
+            cfg.threads,
+            |_, _| {},
+        );
+        let recv = std::sync::Arc::new(rshuffle::ReceiveOperator::new(
+            alg.mode,
+            exchange.recv[node].clone(),
+            16,
+            2048,
+            cfg.threads,
+            cost.clone(),
+        ));
+        rshuffle_engine::drive_to_sink(
+            runtime.cluster(),
+            node,
+            &format!("r{node}"),
+            recv,
+            cfg.threads,
+            |_, _| {},
+        );
+    }
+    runtime.cluster().run();
+    let t_end = runtime.kernel().now();
+    let bytes = exchange.bytes_received(0);
+    let total: u64 = (0..cfg.nodes).map(|n| exchange.bytes_received(n)).sum();
+    println!(
+        "total received {:.2} MiB (expected {:.2} MiB); stats {:?}",
+        total as f64 / 1048576.0,
+        (rows_per_thread * cfg.threads * 16 * cfg.nodes) as f64 / 1048576.0,
+        runtime.stats()
+    );
+    println!(
+        "{alg}: {:.2} GiB/s per node, response {}",
+        bytes as f64 / t_end.as_secs_f64() / (1u64 << 30) as f64,
+        rshuffle_simnet::SimDuration::from_nanos(t_end.as_nanos())
+    );
+    for node in [0usize] {
+        println!(
+            "node {node}: egress {:.1}%  ingress {:.1}%",
+            runtime.cluster().fabric().egress_utilization(node, t_end) * 100.0,
+            runtime.cluster().fabric().ingress_utilization(node, t_end) * 100.0
+        );
+        let n = runtime.nic(node).stats();
+        println!(
+            "  nic: wrs {}  qp hits {}  misses {}",
+            n.work_requests, n.qp_cache_hits, n.qp_cache_misses
+        );
+    }
+    // Thread busy/idle summary for node 0.
+    let mut send_busy = (0.0, 0.0);
+    let mut recv_busy = (0.0, 0.0);
+    for st in runtime.kernel().stats() {
+        if st.node != 0 {
+            continue;
+        }
+        let total = st.busy.as_secs_f64() + st.idle.as_secs_f64();
+        if st.name.starts_with('s') {
+            send_busy.0 += st.busy.as_secs_f64();
+            send_busy.1 += total;
+        } else {
+            recv_busy.0 += st.busy.as_secs_f64();
+            recv_busy.1 += total;
+        }
+    }
+    println!(
+        "  send threads busy {:.0}%  recv threads busy {:.0}%",
+        100.0 * send_busy.0 / send_busy.1.max(1e-12),
+        100.0 * recv_busy.0 / recv_busy.1.max(1e-12)
+    );
+}

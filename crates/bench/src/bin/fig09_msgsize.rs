@@ -1,0 +1,47 @@
+//! Figure 9: effect of the message size for EDR InfiniBand (8 nodes,
+//! double buffering): (a) receive throughput, (b) memory registered for
+//! RDMA communication.
+
+use rshuffle::ShuffleAlgorithm;
+use rshuffle_bench::report::Figure;
+use rshuffle_bench::{run_shuffle_workload, Transport, WorkloadConfig};
+use rshuffle_simnet::DeviceProfile;
+
+fn main() {
+    let sizes = [4usize << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20];
+    let mut thr = Figure::new(
+        "fig09a",
+        "Message size vs receive throughput, 8 nodes, EDR",
+        "message size (KiB)",
+        "receive throughput per node (GiB/s)",
+    );
+    let mut mem = Figure::new(
+        "fig09b",
+        "Message size vs RDMA-registered memory, 8 nodes, EDR",
+        "message size (KiB)",
+        "memory consumption (MiB per node)",
+    );
+    for a in ShuffleAlgorithm::ALL {
+        let mut thr_pts = Vec::new();
+        let mut mem_pts = Vec::new();
+        for &msg in &sizes {
+            let mut cfg = WorkloadConfig::new(DeviceProfile::edr(), 8, Transport::Rdma(a));
+            // §5.1.2: double buffering, message size swept. The UD designs
+            // are pinned to the MTU regardless.
+            cfg.message_size = msg;
+            cfg.buffers_per_peer = 2;
+            cfg.recv_depth_per_peer = 4;
+            let r = run_shuffle_workload(&cfg);
+            assert!(r.errors.is_empty(), "{a} msg {msg}: {:?}", r.errors);
+            thr_pts.push((msg as f64 / 1024.0, r.gib_per_sec()));
+            mem_pts.push((
+                msg as f64 / 1024.0,
+                r.registered_bytes_per_node as f64 / (1 << 20) as f64,
+            ));
+        }
+        thr.push(&a.to_string(), thr_pts);
+        mem.push(&a.to_string(), mem_pts);
+    }
+    thr.emit();
+    mem.emit();
+}

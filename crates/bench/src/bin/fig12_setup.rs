@@ -1,0 +1,52 @@
+//! Figure 12: time to build the RDMA connections as the cluster grows
+//! (EDR; QP creation, out-of-band exchange, state transitions and memory
+//! registration, per Table 1's QP counts).
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rshuffle::{Exchange, ExchangeConfig, ShuffleAlgorithm};
+use rshuffle_bench::report::Figure;
+use rshuffle_simnet::{Cluster, DeviceProfile, SimTime};
+use rshuffle_verbs::VerbsRuntime;
+
+fn main() {
+    let profile = DeviceProfile::edr();
+    let cluster_sizes = [2usize, 4, 6, 8, 10, 12, 14, 16];
+    let mut fig = Figure::new(
+        "fig12",
+        "Time to build RDMA connections vs cluster size, EDR",
+        "cluster size",
+        "time (ms)",
+    );
+    for a in ShuffleAlgorithm::ALL {
+        let mut points = Vec::new();
+        for &n in &cluster_sizes {
+            let cluster = Cluster::new(n, profile.clone());
+            let runtime = VerbsRuntime::new(cluster);
+            let config = ExchangeConfig::repartition(a, n, profile.threads_per_node);
+            let exchange = Arc::new(Exchange::build(&runtime, &config).expect("builds"));
+            let setup_ms = Arc::new(Mutex::new(0.0f64));
+            // Every node runs its connection setup concurrently; the figure
+            // reports the per-node wall time (max across nodes).
+            for node in 0..n {
+                let ex = exchange.clone();
+                let out = setup_ms.clone();
+                runtime
+                    .cluster()
+                    .spawn(node, &format!("setup-{node}"), move |sim| {
+                        ex.charge_setup(&sim, node);
+                        let ms = (sim.now() - SimTime::ZERO).as_millis_f64();
+                        let mut o = out.lock();
+                        if ms > *o {
+                            *o = ms;
+                        }
+                    });
+            }
+            runtime.cluster().run();
+            points.push((n as f64, *setup_ms.lock()));
+        }
+        fig.push(&a.to_string(), points);
+    }
+    fig.emit();
+}

@@ -1,0 +1,57 @@
+//! Figure 13: performance for compute-intensive queries — repartition on 8
+//! EDR nodes, varying the compute demand of the receiving fragment. The
+//! vertical axis is the shuffling throughput relative to the processing
+//! throughput of the receiving fragment; 100% means communication and
+//! computation completely overlap.
+
+use rshuffle::ShuffleAlgorithm;
+use rshuffle_bench::report::Figure;
+use rshuffle_bench::{run_shuffle_workload, Transport, WorkloadConfig};
+use rshuffle_simnet::{DeviceProfile, SimDuration};
+
+fn main() {
+    let profile = DeviceProfile::edr();
+    let nodes = 8usize;
+    // Average time to retrieve the next 32 KiB batch, in µs (the x axis).
+    let compute_us = [0.5f64, 1.0, 2.0, 4.0, 6.0, 9.0, 12.0, 15.0];
+    let batch_bytes = 32.0 * 1024.0;
+
+    let transports: Vec<Transport> = ShuffleAlgorithm::ALL
+        .iter()
+        .map(|&a| Transport::Rdma(a))
+        .chain([Transport::Mpi, Transport::Ipoib])
+        .collect();
+
+    let mut fig = Figure::new(
+        "fig13",
+        "Compute-intensive receiving fragment, 8 nodes, EDR",
+        "time to retrieve next 32 KiB batch (us)",
+        "relative shuffling throughput (%)",
+    );
+    for &t in &transports {
+        let mut points = Vec::new();
+        for &us in &compute_us {
+            let mut cfg = WorkloadConfig::new(profile.clone(), nodes, t);
+            // The x axis is the average time the whole fragment takes to
+            // retrieve the next 32 KiB batch; with t threads snatching
+            // batches concurrently, each thread's per-batch compute is
+            // x · t (§5.1.6).
+            cfg.compute_per_batch =
+                SimDuration::from_nanos((us * 1000.0) as u64 * profile.threads_per_node as u64);
+            let r = run_shuffle_workload(&cfg);
+            assert!(r.errors.is_empty(), "{t} compute {us}us: {:?}", r.errors);
+            // Processing capacity of the receiving fragment: one 32 KiB
+            // batch per x.
+            let capacity = batch_bytes / (us * 1e-6);
+            let relative = (r.receive_throughput / capacity * 100.0).min(100.0);
+            points.push((us, relative));
+            eprintln!(
+                "[fig13] {t} x={us}us: {:.1}% ({:.2} GiB/s)",
+                relative,
+                r.gib_per_sec()
+            );
+        }
+        fig.push(&t.to_string(), points);
+    }
+    fig.emit();
+}

@@ -1,0 +1,102 @@
+//! Figure 14: TPC-H query response time.
+//!
+//! (a) Q4 on 8 nodes: FDR vs EDR, MPI vs MESQ/SR vs "local data".
+//! (b)–(d) Q4/Q3/Q10 on the EDR cluster scaling 2→16 nodes with the
+//! database growing proportionally.
+//!
+//! The scale factor is reduced from the paper's 100 GiB/node so the run
+//! fits one simulation host; response-time *ratios* are the reproduced
+//! quantity (see EXPERIMENTS.md). `RSHUFFLE_TPCH_SF_PER_NODE` overrides
+//! the per-node scale factor.
+
+use rshuffle::ShuffleAlgorithm;
+use rshuffle_bench::report::Figure;
+use rshuffle_simnet::DeviceProfile;
+use rshuffle_tpch::{run_query, Dataset, GenConfig, Placement, QueryId, QueryTransport};
+
+fn sf_per_node() -> f64 {
+    std::env::var("RSHUFFLE_TPCH_SF_PER_NODE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.08)
+}
+
+fn dataset(nodes: usize, placement: Placement) -> Dataset {
+    Dataset::generate(&GenConfig {
+        scale: sf_per_node() * nodes as f64,
+        nodes,
+        placement,
+        seed: 0x7C9,
+    })
+}
+
+fn main() {
+    let mesq = QueryTransport::Rdma(ShuffleAlgorithm::MESQ_SR);
+
+    // ---- (a) Q4, 8 nodes, FDR vs EDR ----
+    let mut fig_a = Figure::new(
+        "fig14a",
+        "TPC-H Q4 response time, 8 nodes, FDR vs EDR (x: 0 = FDR, 1 = EDR)",
+        "cluster (0=FDR, 1=EDR)",
+        "response time (ms)",
+    );
+    for (label, transport, placement) in [
+        ("MPI", QueryTransport::Mpi, Placement::Random),
+        ("MESQ/SR", mesq, Placement::Random),
+        (
+            "local data",
+            QueryTransport::LocalData,
+            Placement::CoPartitioned,
+        ),
+    ] {
+        let mut points = Vec::new();
+        for (x, profile) in [(0.0, DeviceProfile::fdr()), (1.0, DeviceProfile::edr())] {
+            let d = dataset(8, placement);
+            let threads = profile.threads_per_node;
+            let r = run_query(profile, &d, QueryId::Q4, transport, threads);
+            points.push((x, r.response_time.as_millis_f64()));
+            eprintln!("[fig14a] {label} x={x}: {:?}", r.response_time);
+        }
+        fig_a.push(label, points);
+    }
+    fig_a.emit();
+
+    // ---- (b)–(d): scale-out on EDR ----
+    let cluster_sizes = [2usize, 4, 8, 16];
+    for (id, query, with_local) in [
+        ("fig14b", QueryId::Q4, true),
+        ("fig14c", QueryId::Q3, false),
+        ("fig14d", QueryId::Q10, false),
+    ] {
+        let mut fig = Figure::new(
+            id,
+            &format!("TPC-H {query:?} response time vs cluster size, EDR (DB grows with cluster)"),
+            "cluster size",
+            "response time (ms)",
+        );
+        let mut variants: Vec<(&str, QueryTransport, Placement)> = vec![
+            ("MPI", QueryTransport::Mpi, Placement::Random),
+            ("MESQ/SR", mesq, Placement::Random),
+        ];
+        if with_local {
+            variants.push((
+                "local data",
+                QueryTransport::LocalData,
+                Placement::CoPartitioned,
+            ));
+        }
+        for (label, transport, placement) in variants {
+            let mut points = Vec::new();
+            for &n in &cluster_sizes {
+                let d = dataset(n, placement);
+                let profile = DeviceProfile::edr();
+                let threads = profile.threads_per_node;
+                let r = run_query(profile, &d, query, transport, threads);
+                points.push((n as f64, r.response_time.as_millis_f64()));
+                eprintln!("[{id}] {label} n={n}: {:?}", r.response_time);
+            }
+            fig.push(label, points);
+        }
+        fig.emit();
+    }
+}

@@ -1,0 +1,49 @@
+//! Table 1: alternative data shuffling operator designs for a cluster with
+//! `n` nodes and `t` threads per query fragment.
+
+use rshuffle::{Contention, ShuffleAlgorithm};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(16);
+    let t: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(14);
+
+    println!("== Table 1 — design alternatives (n = {n} nodes, t = {t} threads) ==");
+    println!(
+        "{:<10} {:>14} {:>12} {:>12} {:>14} {:>26}",
+        "design", "QPs per node", "QP class", "contention", "messaging", "transport"
+    );
+    for a in ShuffleAlgorithm::ALL {
+        let qps = a.qps_per_node(n, t);
+        let class = match qps {
+            q if q >= (n - 1) * t => "excessive",
+            q if q > 1 => "moderate",
+            _ => "minimal",
+        };
+        let contention = match a.contention() {
+            Contention::None => "none",
+            Contention::Moderate => "moderate",
+            Contention::Excessive => "excessive",
+        };
+        let (messaging, transport) = if a.reliable_transport() {
+            (
+                "round-trip",
+                "Reliable Connection (RC), error control in hardware",
+            )
+        } else {
+            (
+                "half-trip",
+                "Unreliable Datagram (UD), error control in software",
+            )
+        };
+        println!(
+            "{:<10} {qps:>14} {class:>12} {contention:>12} {messaging:>14} {transport:>26}",
+            a.to_string()
+        );
+    }
+    println!(
+        "\nmax message: RC up to 1 GiB; UD up to the 4 KiB MTU.\n\
+         one-sided designs (MQ/RD) coordinate periodically through FreeArr/ValidArr;\n\
+         two-sided designs (SR) coordinate continuously through credit."
+    );
+}

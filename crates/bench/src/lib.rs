@@ -1,0 +1,11 @@
+//! Benchmark harness for the paper's evaluation (§5).
+//!
+//! [`workload`] drives the synthetic receive-throughput experiment that
+//! §5.1 uses everywhere: every node scans a synthetic table R(a, b) and
+//! repartitions (or broadcasts) it by R.a; the metric is receive throughput
+//! per node. One binary per paper figure/table lives in `src/bin/`.
+
+pub mod report;
+pub mod workload;
+
+pub use workload::{run_shuffle_workload, Pattern, Transport, WorkloadConfig, WorkloadResult};

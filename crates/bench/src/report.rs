@@ -1,0 +1,117 @@
+//! Table/series formatting shared by the figure binaries, plus JSON
+//! emission so EXPERIMENTS.md can record machine-readable results.
+
+use std::fmt::Write as _;
+
+use serde::Serialize;
+
+/// One measured series (a line or bar group in a figure).
+#[derive(Clone, Debug, Serialize)]
+pub struct Series {
+    /// Series label, e.g. "MESQ/SR".
+    pub label: String,
+    /// (x, y) points; x meaning is figure-specific.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// A figure's worth of measurements.
+#[derive(Clone, Debug, Serialize)]
+pub struct Figure {
+    /// Identifier, e.g. "fig10a".
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// The measured series.
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// Creates an empty figure.
+    pub fn new(id: &str, title: &str, x_label: &str, y_label: &str) -> Self {
+        Figure {
+            id: id.to_string(),
+            title: title.to_string(),
+            x_label: x_label.to_string(),
+            y_label: y_label.to_string(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a series.
+    pub fn push(&mut self, label: &str, points: Vec<(f64, f64)>) {
+        self.series.push(Series {
+            label: label.to_string(),
+            points,
+        });
+    }
+
+    /// Renders an aligned text table: one row per x, one column per
+    /// series.
+    pub fn render_table(&self) -> String {
+        let mut xs: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| p.0))
+            .collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite x"));
+        xs.dedup();
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
+        let _ = write!(out, "{:<18}", self.x_label);
+        for s in &self.series {
+            let _ = write!(out, "{:>12}", s.label);
+        }
+        let _ = writeln!(out);
+        for &x in &xs {
+            let _ = write!(out, "{x:<18}");
+            for s in &self.series {
+                match s.points.iter().find(|p| p.0 == x) {
+                    Some(&(_, y)) => {
+                        let _ = write!(out, "{y:>12.3}");
+                    }
+                    None => {
+                        let _ = write!(out, "{:>12}", "-");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        let _ = writeln!(out, "(y: {})", self.y_label);
+        out
+    }
+
+    /// Prints the table to stdout and appends the JSON record to
+    /// `target/bench-results/<id>.json` (best effort).
+    pub fn emit(&self) {
+        println!("{}", self.render_table());
+        let dir = std::path::Path::new("target/bench-results");
+        if std::fs::create_dir_all(dir).is_ok() {
+            let path = dir.join(format!("{}.json", self.id));
+            if let Ok(json) = serde_json::to_string_pretty(self) {
+                let _ = std::fs::write(path, json);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_all_series_and_points() {
+        let mut fig = Figure::new("t", "test", "nodes", "GiB/s");
+        fig.push("A", vec![(2.0, 1.5), (4.0, 2.5)]);
+        fig.push("B", vec![(2.0, 1.0)]);
+        let table = fig.render_table();
+        assert!(table.contains("A"));
+        assert!(table.contains("B"));
+        assert!(table.contains("1.500"));
+        assert!(table.contains("2.500"));
+        assert!(table.contains('-'), "missing point renders as dash");
+    }
+}

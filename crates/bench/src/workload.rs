@@ -1,0 +1,364 @@
+//! The synthetic shuffle workload of §5.1.
+//!
+//! "We generate a synthetic table R with two long integer attributes R.a
+//! and R.b [...] all the nodes scan the local fragment of table R and
+//! repartition R using R.a as the key. [...] We calculate the total
+//! throughput as the reciprocal of the query response time and divide by
+//! the total number of nodes in the cluster."
+//!
+//! The table volume is scaled down from the paper's 160 GiB per node: the
+//! simulator reaches steady state within tens of MiB and throughput is
+//! volume-independent from there (`RSHUFFLE_BENCH_MIB` overrides the
+//! default).
+
+use std::sync::Arc;
+
+use rshuffle::{
+    CostModel, Exchange, ExchangeConfig, ReceiveOperator, ShuffleAlgorithm, ShuffleError,
+    ShuffleOperator, TransmissionGroups,
+};
+use rshuffle_baselines::{IpoibExchange, MpiExchange};
+use rshuffle_engine::{drive_to_sink, ComputeStage, Generator};
+use rshuffle_simnet::{Cluster, DeviceProfile, SimDuration};
+use rshuffle_verbs::{FaultConfig, VerbsRuntime};
+
+/// Bytes per row of the synthetic table R(a, b): two long integers.
+pub const ROW_BYTES: usize = 16;
+
+/// Communication pattern under test.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Pattern {
+    /// Each node repartitions its fragment across the other nodes
+    /// (Figure 3a).
+    Repartition,
+    /// Each node broadcasts its fragment to every other node (Figure 3c).
+    Broadcast,
+}
+
+/// Which transport drives the shuffle.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Transport {
+    /// One of the six RDMA designs (plus the MQ/WR extension).
+    Rdma(ShuffleAlgorithm),
+    /// The MVAPICH-style MPI baseline.
+    Mpi,
+    /// TCP/IP over InfiniBand.
+    Ipoib,
+}
+
+impl std::fmt::Display for Transport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Transport::Rdma(a) => write!(f, "{a}"),
+            Transport::Mpi => write!(f, "MPI"),
+            Transport::Ipoib => write!(f, "IPoIB"),
+        }
+    }
+}
+
+/// Configuration of one workload run.
+#[derive(Clone)]
+pub struct WorkloadConfig {
+    /// Hardware generation.
+    pub profile: DeviceProfile,
+    /// Cluster size.
+    pub nodes: usize,
+    /// Worker threads per fragment (defaults to the profile's).
+    pub threads: usize,
+    /// Transport under test.
+    pub transport: Transport,
+    /// Communication pattern.
+    pub pattern: Pattern,
+    /// Bytes each node transmits per destination-set pass (the local table
+    /// fragment size).
+    pub bytes_per_node: usize,
+    /// RC message size (header + payload).
+    pub message_size: usize,
+    /// Send buffers per peer (RC designs).
+    pub buffers_per_peer: usize,
+    /// Receive depth per peer.
+    pub recv_depth_per_peer: usize,
+    /// UD send buffers / receive window.
+    pub ud_send_buffers: usize,
+    /// UD receive window per source.
+    pub ud_recv_window: usize,
+    /// Credit write-back frequency (Figure 8).
+    pub credit_writeback_frequency: u32,
+    /// Extra compute charged per 32 KiB batch at the receiving fragment
+    /// (Figure 13).
+    pub compute_per_batch: SimDuration,
+    /// Rows per receive-operator output batch.
+    pub batch_rows: usize,
+    /// Endpoint lanes per operator (Figure 11); `None` = derived from the
+    /// algorithm's mode.
+    pub lanes: Option<usize>,
+    /// Skip the sender-side copy into RDMA-registered buffers (the
+    /// zero-copy ablation of §4.3.1).
+    pub zero_copy: bool,
+    /// Use native switch multicast for UD group sends (§7 extension).
+    pub ud_native_multicast: bool,
+    /// Maximum per-batch OS-scheduling jitter at the receiving fragment
+    /// (seeded, uniform). Real shared clusters are never perfectly
+    /// balanced; this is what starves the one-sided designs of free
+    /// buffers in the broadcast pattern (§5.1.3).
+    pub receiver_jitter: SimDuration,
+    /// Fault injection.
+    pub faults: FaultConfig,
+}
+
+impl WorkloadConfig {
+    /// The defaults of §5.1.2–5.1.3: 64 KiB RC messages, double buffering,
+    /// credit write-back every 2 receives.
+    pub fn new(profile: DeviceProfile, nodes: usize, transport: Transport) -> Self {
+        let threads = profile.threads_per_node;
+        WorkloadConfig {
+            profile,
+            nodes,
+            threads,
+            transport,
+            pattern: Pattern::Repartition,
+            bytes_per_node: default_volume(),
+            message_size: 64 * 1024,
+            buffers_per_peer: 2,
+            recv_depth_per_peer: 16,
+            ud_send_buffers: 16,
+            ud_recv_window: 16,
+            credit_writeback_frequency: 2,
+            compute_per_batch: SimDuration::ZERO,
+            batch_rows: 2048, // 32 KiB of 16-byte rows (the L1-sized batch).
+            lanes: None,
+            zero_copy: false,
+            ud_native_multicast: false,
+            receiver_jitter: SimDuration::from_micros(3),
+            faults: FaultConfig {
+                ud_reorder_probability: 0.05,
+                ..FaultConfig::default()
+            },
+        }
+    }
+}
+
+/// Default per-node table volume (bytes); override with
+/// `RSHUFFLE_BENCH_MIB`.
+pub fn default_volume() -> usize {
+    let mib = std::env::var("RSHUFFLE_BENCH_MIB")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(48);
+    mib << 20
+}
+
+/// Result of one workload run.
+#[derive(Clone, Debug)]
+pub struct WorkloadResult {
+    /// Receive throughput per node, bytes/second (the paper's metric).
+    pub receive_throughput: f64,
+    /// End-to-end response time.
+    pub response_time: SimDuration,
+    /// Payload bytes received per node (average).
+    pub bytes_received_per_node: f64,
+    /// RDMA-registered bytes per node for the shuffle (Figure 9b).
+    pub registered_bytes_per_node: usize,
+    /// Errors raised by any worker (empty on success).
+    pub errors: Vec<ShuffleError>,
+}
+
+impl WorkloadResult {
+    /// Receive throughput in GiB/s.
+    pub fn gib_per_sec(&self) -> f64 {
+        self.receive_throughput / (1u64 << 30) as f64
+    }
+}
+
+/// Runs the synthetic shuffle workload and reports receive throughput.
+pub fn run_shuffle_workload(cfg: &WorkloadConfig) -> WorkloadResult {
+    let cluster = Cluster::new(cfg.nodes, cfg.profile.clone());
+    let runtime = VerbsRuntime::with_faults(cluster, cfg.faults.clone());
+    let groups: Vec<TransmissionGroups> = (0..cfg.nodes)
+        .map(|me| match cfg.pattern {
+            Pattern::Repartition => TransmissionGroups::repartition(me, cfg.nodes),
+            Pattern::Broadcast => TransmissionGroups::broadcast(me, cfg.nodes),
+        })
+        .collect();
+    let cost = CostModel::from_profile(runtime.profile());
+    let rows_per_thread = cfg.bytes_per_node / ROW_BYTES / cfg.threads;
+
+    // Build endpoints for the chosen transport.
+    let (send_eps, recv_eps, mode, registered) = match cfg.transport {
+        Transport::Rdma(algorithm) => {
+            let mut xcfg = ExchangeConfig::with_groups(algorithm, cfg.threads, groups.clone());
+            xcfg.message_size = cfg.message_size;
+            xcfg.buffers_per_peer = cfg.buffers_per_peer;
+            xcfg.recv_depth_per_peer = cfg.recv_depth_per_peer;
+            xcfg.ud_send_buffers = cfg.ud_send_buffers;
+            xcfg.ud_recv_window = cfg.ud_recv_window;
+            xcfg.credit_writeback_frequency = cfg.credit_writeback_frequency;
+            xcfg.lanes_override = cfg.lanes;
+            xcfg.ud_native_multicast = cfg.ud_native_multicast;
+            let exchange = Exchange::build(&runtime, &xcfg).expect("exchange builds");
+            let registered = exchange.registered_bytes(0);
+            (
+                exchange.send.clone(),
+                exchange.recv.clone(),
+                algorithm.mode,
+                registered,
+            )
+        }
+        Transport::Mpi => {
+            let ex = MpiExchange::build(&runtime, groups.clone(), cfg.message_size, cfg.threads)
+                .expect("mpi exchange builds");
+            let registered = ex.send[0].as_ref().map_or(0, |e| e.registered_bytes())
+                + ex.recv[0].as_ref().map_or(0, |e| e.registered_bytes());
+            (
+                ex.send
+                    .into_iter()
+                    .map(|e| e.into_iter().collect())
+                    .collect(),
+                ex.recv
+                    .into_iter()
+                    .map(|e| e.into_iter().collect())
+                    .collect(),
+                rshuffle::EndpointMode::Single,
+                registered,
+            )
+        }
+        Transport::Ipoib => {
+            let ex = IpoibExchange::build(&runtime, groups.clone(), cfg.message_size, cfg.threads)
+                .expect("ipoib exchange builds");
+            let registered = ex.send[0].as_ref().map_or(0, |e| e.registered_bytes())
+                + ex.recv[0].as_ref().map_or(0, |e| e.registered_bytes());
+            (
+                ex.send
+                    .into_iter()
+                    .map(|e| e.into_iter().collect())
+                    .collect(),
+                ex.recv
+                    .into_iter()
+                    .map(|e| e.into_iter().collect())
+                    .collect(),
+                rshuffle::EndpointMode::Single,
+                registered,
+            )
+        }
+    };
+
+    let mut recv_stats = Vec::new();
+    let mut send_stats = Vec::new();
+    for node in 0..cfg.nodes {
+        let generator = Arc::new(Generator::new(
+            rows_per_thread,
+            cfg.threads,
+            0xACE0_BA5E ^ (node as u64) << 16,
+        ));
+        let _ = mode;
+        let send_cost = if cfg.zero_copy {
+            // Zero copy: tuples are transmitted in place; only hashing
+            // remains on the sender's critical path.
+            CostModel {
+                memcpy_bandwidth: 1e18,
+                ..cost.clone()
+            }
+        } else {
+            cost.clone()
+        };
+        let shuffle = Arc::new(ShuffleOperator::with_lanes(
+            generator,
+            send_eps[node].clone(),
+            groups[node].clone(),
+            cfg.threads,
+            send_cost,
+        ));
+        send_stats.push(drive_to_sink(
+            runtime.cluster(),
+            node,
+            &format!("shuffle-{node}"),
+            shuffle,
+            cfg.threads,
+            |_, _| {},
+        ));
+
+        let receive = Arc::new(ReceiveOperator::with_lanes(
+            recv_eps[node].clone(),
+            ROW_BYTES,
+            cfg.batch_rows,
+            cfg.threads,
+            cost.clone(),
+        ));
+        let mut staged: Arc<dyn rshuffle::Operator> = receive;
+        if cfg.receiver_jitter > SimDuration::ZERO {
+            staged = Arc::new(JitterStage::new(
+                staged,
+                cfg.receiver_jitter,
+                0xBEEF ^ node as u64,
+            ));
+        }
+        if cfg.compute_per_batch > SimDuration::ZERO {
+            staged = Arc::new(ComputeStage::new(staged, cfg.compute_per_batch));
+        }
+        recv_stats.push(drive_to_sink(
+            runtime.cluster(),
+            node,
+            &format!("receive-{node}"),
+            staged,
+            cfg.threads,
+            |_, _| {},
+        ));
+    }
+
+    runtime.cluster().run();
+
+    let response_time = runtime.kernel().now() - rshuffle_simnet::SimTime::ZERO;
+    let mut errors = Vec::new();
+    let mut bytes_total = 0u64;
+    for s in recv_stats.iter().chain(send_stats.iter()) {
+        let s = s.lock();
+        errors.extend(s.errors.iter().cloned());
+        // Only count receive-fragment bytes below.
+    }
+    for s in &recv_stats {
+        bytes_total += s.lock().bytes;
+    }
+    let per_node = bytes_total as f64 / cfg.nodes as f64;
+    WorkloadResult {
+        receive_throughput: per_node / response_time.as_secs_f64(),
+        response_time,
+        bytes_received_per_node: per_node,
+        registered_bytes_per_node: registered,
+        errors,
+    }
+}
+
+/// Adds seeded, uniformly distributed per-batch delays to a pipeline,
+/// modelling OS-scheduling noise on a shared cluster.
+struct JitterStage {
+    child: Arc<dyn rshuffle::Operator>,
+    max: SimDuration,
+    rng: parking_lot::Mutex<rand::rngs::StdRng>,
+}
+
+impl JitterStage {
+    fn new(child: Arc<dyn rshuffle::Operator>, max: SimDuration, seed: u64) -> Self {
+        use rand::SeedableRng;
+        JitterStage {
+            child,
+            max,
+            rng: parking_lot::Mutex::new(rand::rngs::StdRng::seed_from_u64(seed)),
+        }
+    }
+}
+
+impl rshuffle::Operator for JitterStage {
+    fn next(
+        &self,
+        sim: &rshuffle_simnet::SimContext,
+        tid: usize,
+    ) -> rshuffle::Result<(rshuffle::StreamState, rshuffle::RowBatch)> {
+        let (state, batch) = self.child.next(sim, tid)?;
+        if !batch.is_empty() {
+            use rand::Rng;
+            let ns = self.rng.lock().gen_range(0..=self.max.as_nanos());
+            sim.sleep(SimDuration::from_nanos(ns));
+        }
+        Ok((state, batch))
+    }
+}

@@ -1,0 +1,346 @@
+//! RDMA transmission buffers and the on-wire message header.
+//!
+//! Every message an endpoint transmits is a fixed-capacity window of a
+//! registered [`MemoryRegion`] with a small metadata header in front of the
+//! tuple payload, exactly as Algorithm 3 of the paper "encode\[s\]
+//! (destarr, state, source, addr) as metadata in buffer". All endpoint
+//! implementations share this layout so the operators above are oblivious
+//! to the transport.
+//!
+//! Header layout (little-endian, [`HEADER_LEN`] = 32 bytes):
+//!
+//! | bytes   | field                                                    |
+//! |---------|----------------------------------------------------------|
+//! | 0..4    | source endpoint id                                       |
+//! | 4       | message kind (data / credit)                             |
+//! | 5       | stream state (`MoreData` / `Depleted`)                   |
+//! | 6..8    | reserved                                                 |
+//! | 8..12   | payload length in bytes                                  |
+//! | 12..16  | reserved                                                 |
+//! | 16..24  | total data messages sent to this destination (valid when |
+//! |         | state is `Depleted`; drives UD termination counting) or  |
+//! |         | absolute credit value for credit messages                |
+//! | 24..32  | sender-side buffer address (offset; lets the RDMA Read   |
+//! |         | receiver RELEASE the right remote buffer)                |
+
+use rshuffle_verbs::MemoryRegion;
+
+use crate::error::{Result, ShuffleError};
+
+/// Size of the message header at the start of every transmission buffer.
+pub const HEADER_LEN: usize = 32;
+
+/// Whether more data follows on this stream (§4.2).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum StreamState {
+    /// More buffers will follow.
+    MoreData,
+    /// This is the final buffer from this endpoint.
+    Depleted,
+}
+
+/// What a message carries.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum MsgKind {
+    /// Tuple payload.
+    Data,
+    /// A flow-control credit update (UD endpoints write credit back as
+    /// datagrams on the shared queue pair).
+    Credit,
+}
+
+/// Decoded message header.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct MsgHeader {
+    /// Source endpoint id.
+    pub src: u32,
+    /// Message kind.
+    pub kind: MsgKind,
+    /// Stream state.
+    pub state: StreamState,
+    /// Payload length in bytes.
+    pub payload_len: u32,
+    /// Total data messages sent (Depleted) or absolute credit (Credit).
+    pub counter: u64,
+    /// Sender-side buffer offset (RDMA Read endpoints).
+    pub remote_addr: u64,
+}
+
+impl MsgHeader {
+    /// Encodes the header into `dst` (which must be at least
+    /// [`HEADER_LEN`] bytes).
+    pub fn encode(&self, dst: &mut [u8]) {
+        assert!(dst.len() >= HEADER_LEN);
+        dst[0..4].copy_from_slice(&self.src.to_le_bytes());
+        dst[4] = match self.kind {
+            MsgKind::Data => 0,
+            MsgKind::Credit => 1,
+        };
+        dst[5] = match self.state {
+            StreamState::MoreData => 0,
+            StreamState::Depleted => 1,
+        };
+        dst[6..8].copy_from_slice(&[0, 0]);
+        dst[8..12].copy_from_slice(&self.payload_len.to_le_bytes());
+        dst[12..16].copy_from_slice(&[0; 4]);
+        dst[16..24].copy_from_slice(&self.counter.to_le_bytes());
+        dst[24..32].copy_from_slice(&self.remote_addr.to_le_bytes());
+    }
+
+    /// Decodes a header from `src`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is shorter than [`HEADER_LEN`] or contains invalid
+    /// enum tags (which would indicate memory corruption in the simulator).
+    pub fn decode(src: &[u8]) -> Self {
+        assert!(src.len() >= HEADER_LEN);
+        MsgHeader {
+            src: u32::from_le_bytes(src[0..4].try_into().expect("4 bytes")),
+            kind: match src[4] {
+                0 => MsgKind::Data,
+                1 => MsgKind::Credit,
+                k => panic!("corrupt message header: kind {k}"),
+            },
+            state: match src[5] {
+                0 => StreamState::MoreData,
+                1 => StreamState::Depleted,
+                s => panic!("corrupt message header: state {s}"),
+            },
+            payload_len: u32::from_le_bytes(src[8..12].try_into().expect("4 bytes")),
+            counter: u64::from_le_bytes(src[16..24].try_into().expect("8 bytes")),
+            remote_addr: u64::from_le_bytes(src[24..32].try_into().expect("8 bytes")),
+        }
+    }
+}
+
+/// A fixed-capacity transmission buffer: a window of a registered memory
+/// region holding a header plus tuple payload.
+///
+/// Obtained from [`SendEndpoint::get_free`](crate::endpoint::SendEndpoint::get_free)
+/// and consumed by [`SendEndpoint::send`](crate::endpoint::SendEndpoint::send);
+/// on the receive side, delivered by
+/// [`ReceiveEndpoint::get_data`](crate::endpoint::ReceiveEndpoint::get_data)
+/// and returned with
+/// [`ReceiveEndpoint::release`](crate::endpoint::ReceiveEndpoint::release).
+#[derive(Clone)]
+pub struct Buffer {
+    mr: MemoryRegion,
+    /// Offset of the header within the region.
+    offset: usize,
+    /// Total window size including the header.
+    window: usize,
+    /// Payload bytes currently written.
+    len: usize,
+}
+
+impl Buffer {
+    /// Creates a buffer over `[offset, offset + window)` of `mr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is smaller than the header or out of bounds.
+    pub fn new(mr: MemoryRegion, offset: usize, window: usize) -> Self {
+        assert!(window > HEADER_LEN, "buffer window must exceed the header");
+        assert!(offset + window <= mr.len(), "buffer window out of bounds");
+        Buffer {
+            mr,
+            offset,
+            window,
+            len: 0,
+        }
+    }
+
+    /// Payload capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.window - HEADER_LEN
+    }
+
+    /// Payload bytes currently written.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no payload has been written.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Remaining payload capacity.
+    pub fn remaining(&self) -> usize {
+        self.capacity() - self.len
+    }
+
+    /// Offset of the buffer window within its memory region.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+
+    /// Total window size (header + payload capacity).
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// The backing memory region.
+    pub fn region(&self) -> &MemoryRegion {
+        &self.mr
+    }
+
+    /// Appends `bytes` to the payload.
+    ///
+    /// Returns [`ShuffleError::Config`] if the payload would overflow; the
+    /// operators check [`Buffer::remaining`] before writing.
+    pub fn push(&mut self, bytes: &[u8]) -> Result<()> {
+        if bytes.len() > self.remaining() {
+            return Err(ShuffleError::Config(format!(
+                "payload overflow: {} bytes into {} remaining",
+                bytes.len(),
+                self.remaining()
+            )));
+        }
+        self.mr
+            .write(self.offset + HEADER_LEN + self.len, bytes)
+            .expect("buffer window bounds checked at construction");
+        self.len += bytes.len();
+        Ok(())
+    }
+
+    /// Copies the payload out.
+    pub fn payload(&self) -> Vec<u8> {
+        self.mr
+            .read(self.offset + HEADER_LEN, self.len)
+            .expect("buffer window bounds checked at construction")
+    }
+
+    /// Runs `f` over the payload without copying.
+    pub fn with_payload<R>(&self, f: impl FnOnce(&[u8]) -> R) -> R {
+        self.mr
+            .with(self.offset + HEADER_LEN, self.len, f)
+            .expect("buffer window bounds checked at construction")
+    }
+
+    /// Resets the payload length to zero (contents are left in place).
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// Writes `header` into the buffer's header area.
+    pub fn write_header(&self, header: &MsgHeader) {
+        self.mr
+            .with_mut(self.offset, HEADER_LEN, |b| header.encode(b))
+            .expect("buffer window bounds checked at construction");
+    }
+
+    /// Reads the buffer's header area.
+    pub fn read_header(&self) -> MsgHeader {
+        self.mr
+            .with(self.offset, HEADER_LEN, MsgHeader::decode)
+            .expect("buffer window bounds checked at construction")
+    }
+
+    /// Sets the payload length after bytes arrived in place (receive path).
+    pub(crate) fn set_len(&mut self, len: usize) {
+        assert!(len <= self.capacity(), "received payload exceeds capacity");
+        self.len = len;
+    }
+
+    /// Wire size of the message currently in the buffer (header + payload).
+    pub fn message_len(&self) -> usize {
+        HEADER_LEN + self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rshuffle_simnet::Kernel;
+
+    fn mr(len: usize) -> MemoryRegion {
+        // Construct through the verbs test hook: a standalone region.
+        rshuffle_verbs::MemoryRegion::new_for_tests(&Kernel::new(), 0, 1, len)
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        let h = MsgHeader {
+            src: 42,
+            kind: MsgKind::Data,
+            state: StreamState::Depleted,
+            payload_len: 1234,
+            counter: 0xABCD_EF01_2345_6789,
+            remote_addr: 65536,
+        };
+        let mut bytes = [0u8; HEADER_LEN];
+        h.encode(&mut bytes);
+        assert_eq!(MsgHeader::decode(&bytes), h);
+    }
+
+    #[test]
+    fn credit_header_roundtrip() {
+        let h = MsgHeader {
+            src: 7,
+            kind: MsgKind::Credit,
+            state: StreamState::MoreData,
+            payload_len: 0,
+            counter: 99,
+            remote_addr: 0,
+        };
+        let mut bytes = [0u8; HEADER_LEN];
+        h.encode(&mut bytes);
+        assert_eq!(MsgHeader::decode(&bytes), h);
+    }
+
+    #[test]
+    fn push_and_payload_roundtrip() {
+        let mr = mr(4096);
+        let mut buf = Buffer::new(mr, 0, 1024);
+        assert_eq!(buf.capacity(), 1024 - HEADER_LEN);
+        buf.push(b"abc").unwrap();
+        buf.push(b"defg").unwrap();
+        assert_eq!(buf.len(), 7);
+        assert_eq!(buf.payload(), b"abcdefg".to_vec());
+    }
+
+    #[test]
+    fn push_overflow_is_rejected() {
+        let mr = mr(4096);
+        let mut buf = Buffer::new(mr, 0, HEADER_LEN + 8);
+        assert!(buf.push(&[0; 8]).is_ok());
+        assert!(matches!(buf.push(&[0; 1]), Err(ShuffleError::Config(_))));
+    }
+
+    #[test]
+    fn header_and_payload_do_not_overlap() {
+        let mr = mr(4096);
+        let mut buf = Buffer::new(mr, 128, 256);
+        buf.push(&[0xAA; 16]).unwrap();
+        let h = MsgHeader {
+            src: 1,
+            kind: MsgKind::Data,
+            state: StreamState::MoreData,
+            payload_len: 16,
+            counter: 0,
+            remote_addr: 128,
+        };
+        buf.write_header(&h);
+        assert_eq!(buf.read_header(), h);
+        assert_eq!(buf.payload(), vec![0xAA; 16]);
+    }
+
+    #[test]
+    fn clear_resets_length_only() {
+        let mr = mr(4096);
+        let mut buf = Buffer::new(mr, 0, 256);
+        buf.push(&[1, 2, 3]).unwrap();
+        buf.clear();
+        assert_eq!(buf.len(), 0);
+        assert_eq!(buf.remaining(), buf.capacity());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn window_smaller_than_header_panics() {
+        let mr = mr(4096);
+        let _ = Buffer::new(mr, 0, HEADER_LEN);
+    }
+}

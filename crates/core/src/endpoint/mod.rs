@@ -1,0 +1,148 @@
+//! The communication endpoint abstraction (§4.2).
+//!
+//! An endpoint bundles RDMA resources (Queue Pairs, completion queues,
+//! registered buffers) with the transmission logic for one transport
+//! design, hiding transport-level intricacies from the operators. Every
+//! endpoint participating in a query plan has a unique integer id, used like
+//! a TCP port/address pair.
+//!
+//! Three implementations mirror the paper's §4.4:
+//!
+//! * [`sr_rc`] — RDMA Send/Receive over Reliable Connection with stateless
+//!   credit-based flow control (§4.4.1),
+//! * [`sr_ud`] — RDMA Send/Receive over Unreliable Datagram with message
+//!   counting for termination and software error handling (§4.4.2),
+//! * [`rd_rc`] — one-sided RDMA Read over Reliable Connection with the
+//!   FreeArr/ValidArr circular message queues (§4.4.3),
+//!
+//! plus [`wr_rc`], the RDMA Write endpoint the paper lists as future work
+//! (§7), implemented here as an extension.
+//!
+//! All endpoint functions are thread-safe; the single-endpoint (SE)
+//! operator configuration shares one endpoint among all worker threads and
+//! pays for that sharing in lock contention that the simulator charges in
+//! virtual time.
+
+pub mod rd_rc;
+pub mod sr_rc;
+pub mod sr_ud;
+pub mod wr_rc;
+
+use rshuffle_simnet::{NodeId, SimContext, SimDuration};
+
+use crate::buffer::{Buffer, StreamState};
+use crate::error::Result;
+
+/// Exponential backoff for endpoint polling loops: keeps the simulator's
+/// event count bounded when a wait drags on, without hurting the hot path
+/// (the first polls stay at the configured interval).
+#[derive(Debug)]
+pub(crate) struct Backoff {
+    base: SimDuration,
+    cur: SimDuration,
+    max: SimDuration,
+}
+
+impl Backoff {
+    pub(crate) fn new(base: SimDuration) -> Self {
+        Backoff {
+            base,
+            cur: base,
+            max: SimDuration::from_micros(64),
+        }
+    }
+
+    /// The next wait slice; doubles (up to the cap) on every call.
+    pub(crate) fn next(&mut self) -> SimDuration {
+        let d = self.cur;
+        self.cur = (self.cur * 2).min(self.max);
+        d
+    }
+
+    /// Resets after progress.
+    pub(crate) fn reset(&mut self) {
+        self.cur = self.base;
+    }
+}
+
+/// Unique identifier of an endpoint within a query plan (§4.2: "used
+/// similarly to a port and address pair in a TCP/IP connection").
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct EndpointId(pub u32);
+
+/// A buffer handed out by [`ReceiveEndpoint::get_data`].
+pub struct Delivery {
+    /// Whether the source has more data after this buffer.
+    pub state: StreamState,
+    /// The endpoint that sent this buffer.
+    pub src: EndpointId,
+    /// Opaque token identifying the buffer at the remote endpoint; must be
+    /// passed back to [`ReceiveEndpoint::release`]. Only meaningful for
+    /// one-sided endpoints (§4.4.3); zero otherwise.
+    pub remote: u64,
+    /// The local RDMA-registered buffer holding the payload.
+    pub local: Buffer,
+}
+
+/// The data-transmitting half of an endpoint (§4.2).
+pub trait SendEndpoint: Send + Sync {
+    /// This endpoint's unique id.
+    fn id(&self) -> EndpointId;
+
+    /// Schedules `buf` for transmission to every node in `dest`. The buffer
+    /// must not be touched after `send` returns. `state` signals whether
+    /// this is the final buffer ([`StreamState::Depleted`]) for those
+    /// destinations. Does not block on the network (only on flow control).
+    fn send(
+        &self,
+        sim: &SimContext,
+        buf: Buffer,
+        dest: &[NodeId],
+        state: StreamState,
+    ) -> Result<()>;
+
+    /// Returns an RDMA-registered buffer usable in a subsequent
+    /// [`SendEndpoint::send`]. Blocks while all transmission buffers are in
+    /// use.
+    fn get_free(&self, sim: &SimContext) -> Result<Buffer>;
+
+    /// Bytes of memory this endpoint registered for RDMA (Figure 9b).
+    fn registered_bytes(&self) -> usize;
+
+    /// Charges the modelled connection-setup cost (QP creation, out-of-band
+    /// exchange, memory registration) to the calling thread (Figure 12).
+    fn charge_setup(&self, sim: &SimContext);
+}
+
+/// The data-receiving half of an endpoint (§4.2).
+pub trait ReceiveEndpoint: Send + Sync {
+    /// This endpoint's unique id.
+    fn id(&self) -> EndpointId;
+
+    /// Returns the next delivered buffer, blocking until one is available.
+    /// Returns `Ok(None)` once every source has signalled
+    /// [`StreamState::Depleted`] and all data has been handed out — at that
+    /// point every concurrent caller observes `None`.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::ShuffleError::NetworkErrorRestartQuery`] if an unreliable
+    /// transport lost messages and the wait for outstanding packets timed
+    /// out (§4.4.2).
+    fn get_data(&self, sim: &SimContext) -> Result<Option<Delivery>>;
+
+    /// Returns `local` to the endpoint for reuse and, for one-sided
+    /// endpoints, notifies the remote endpoint `src` that `remote` can be
+    /// reclaimed. The buffer must not be touched after `release` returns.
+    fn release(&self, sim: &SimContext, remote: u64, local: Buffer, src: EndpointId) -> Result<()>;
+
+    /// Total payload bytes received so far (drives the throughput metric).
+    fn bytes_received(&self) -> u64;
+
+    /// Bytes of memory this endpoint registered for RDMA (Figure 9b).
+    fn registered_bytes(&self) -> usize;
+
+    /// Charges the modelled connection-setup cost to the calling thread
+    /// (Figure 12).
+    fn charge_setup(&self, sim: &SimContext);
+}

@@ -1,0 +1,651 @@
+//! One-sided RDMA Read over the Reliable Connection service (§4.4.3,
+//! Algorithm 3).
+//!
+//! The data sender stays completely **passive**: it fills registered
+//! buffers and announces them by RDMA-Writing the buffer address into the
+//! receiver's `ValidArr` circular queue. The receiver pulls the data with
+//! RDMA Read into a local buffer from its `LocalArr` stack, and returns the
+//! remote buffer by RDMA-Writing its address into the sender's `FreeArr`
+//! circular queue. Both queues live in registered memory and are polled —
+//! no two-sided operation is ever used for data.
+//!
+//! Buffer-reuse rule (the broadcast pitfall of §5.1.3): a buffer sent to a
+//! transmission group of `k` nodes is reusable only after **all** `k`
+//! receivers have pushed it through their `FreeArr`; a single slow receiver
+//! therefore starves the sender of free buffers, which is exactly why the
+//! MQ/RD designs degrade in the broadcast pattern.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+use rshuffle_simnet::{NodeId, SimContext, SimDuration};
+use rshuffle_verbs::{
+    CompletionQueue, Context, MemoryRegion, QueuePair, RemoteAddr, WcOpcode, WcStatus,
+};
+
+use crate::buffer::{Buffer, MsgHeader, MsgKind, StreamState};
+use crate::endpoint::{Delivery, EndpointId, ReceiveEndpoint, SendEndpoint};
+use crate::error::{Result, ShuffleError};
+
+/// Tuning knobs for the RDMA Read endpoint.
+#[derive(Clone, Debug)]
+pub struct RdRcConfig {
+    /// Transmission buffer window (header + payload).
+    pub message_size: usize,
+    /// Send-side buffers per peer (2 = double buffering).
+    pub buffers_per_peer: usize,
+    /// Polling granularity for the circular queues.
+    pub poll_interval: SimDuration,
+    /// Give up with [`ShuffleError::Stalled`] after this long without
+    /// progress.
+    pub stall_timeout: SimDuration,
+}
+
+impl Default for RdRcConfig {
+    fn default() -> Self {
+        RdRcConfig {
+            message_size: 64 * 1024,
+            buffers_per_peer: 2,
+            poll_interval: SimDuration::from_nanos(400),
+            stall_timeout: SimDuration::from_millis(500),
+        }
+    }
+}
+
+/// SEND endpoint: passive one-sided source (Algorithm 3, SEND/GETFREE).
+pub struct RdRcSendEndpoint {
+    id: EndpointId,
+    peers: Vec<NodeId>,
+    peer_index: HashMap<NodeId, usize>,
+    qps: Vec<QueuePair>,
+    send_cq: CompletionQueue,
+    /// Registered data buffers remote receivers read from.
+    pool_mr: MemoryRegion,
+    message_size: usize,
+    ring_cap: usize,
+    /// `FreeArr`: one ring per peer, written remotely with freed buffer
+    /// addresses (offset + 1; zero means empty).
+    free_arr: MemoryRegion,
+    state: Mutex<SendState>,
+    /// Scratch slots sourcing the 8-byte `ValidArr` writes (payload is
+    /// snapshotted at post time, so rotation is safe).
+    scratch: MemoryRegion,
+    wr_seq: AtomicU64,
+    post_lock: rshuffle_simnet::SimMutex<()>,
+    cfg: RdRcConfig,
+    setup_cost: SimDuration,
+    /// Diagnostics: virtual nanoseconds spent waiting in `get_free`.
+    pub get_free_wait_ns: AtomicU64,
+}
+
+struct SendState {
+    /// Consumer index into each peer's `FreeArr` ring.
+    free_cons: Vec<u64>,
+    /// Producer index into each peer's remote `ValidArr` ring.
+    valid_prod: Vec<u64>,
+    /// Remote `ValidArr` ring base for each peer.
+    valid_remote: Vec<Option<RemoteAddr>>,
+    /// Remaining release notifications per in-flight buffer offset.
+    outstanding: HashMap<u64, u32>,
+    /// Locally free buffers.
+    free: Vec<Buffer>,
+}
+
+impl RdRcSendEndpoint {
+    /// Creates the endpoint: data pool, `FreeArr` rings and one QP per
+    /// peer.
+    pub fn new(ctx: &Context, id: EndpointId, peers: Vec<NodeId>, cfg: RdRcConfig) -> Self {
+        assert!(!peers.is_empty(), "send endpoint needs at least one peer");
+        let send_cq = ctx.create_cq();
+        let qps: Vec<QueuePair> = peers
+            .iter()
+            .map(|_| ctx.create_qp(rshuffle_verbs::QpType::Rc, send_cq.clone(), send_cq.clone()))
+            .collect();
+        let buffers = cfg.buffers_per_peer * peers.len();
+        let ring_cap = buffers + 2;
+        let pool_bytes = cfg.message_size * buffers;
+        let pool_mr = ctx.register_untimed(pool_bytes);
+        let free_arr = ctx.register_untimed(8 * ring_cap * peers.len());
+        let free: Vec<Buffer> = (0..buffers)
+            .map(|i| Buffer::new(pool_mr.clone(), i * cfg.message_size, cfg.message_size))
+            .collect();
+        let profile = ctx.profile();
+        let setup_cost = profile.endpoint_setup
+            + profile.rc_qp_setup * peers.len() as u64
+            + profile.mr_register_time(pool_bytes + 8 * ring_cap * peers.len());
+        let n = peers.len();
+        let peer_index = peers.iter().enumerate().map(|(i, &p)| (p, i)).collect();
+        RdRcSendEndpoint {
+            id,
+            peers,
+            peer_index,
+            qps,
+            send_cq,
+            pool_mr,
+            message_size: cfg.message_size,
+            ring_cap,
+            free_arr,
+            state: Mutex::new(SendState {
+                free_cons: vec![0; n],
+                valid_prod: vec![0; n],
+                valid_remote: vec![None; n],
+                outstanding: HashMap::new(),
+                free,
+            }),
+            scratch: ctx.register_untimed(64 * 8),
+            wr_seq: AtomicU64::new(0),
+            post_lock: rshuffle_simnet::SimMutex::new(
+                ctx.runtime().kernel(),
+                (),
+                SimDuration::from_nanos(60),
+            ),
+            cfg,
+            setup_cost,
+            get_free_wait_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// The QP that talks to `peer` (for wiring).
+    pub fn qp_for(&self, peer: NodeId) -> &QueuePair {
+        &self.qps[self.peer_index[&peer]]
+    }
+
+    /// Remote description of this endpoint for receivers on `peer`: the
+    /// data-pool region and the peer's `FreeArr` ring base.
+    pub fn remote_descriptor(&self, peer: NodeId) -> RdSenderDescriptor {
+        let pi = self.peer_index[&peer];
+        RdSenderDescriptor {
+            endpoint: self.id,
+            node: self.pool_mr.node(),
+            pool_rkey: self.pool_mr.rkey(),
+            free_arr: RemoteAddr {
+                node: self.free_arr.node(),
+                rkey: self.free_arr.rkey(),
+                offset: 8 * self.ring_cap * pi,
+            },
+            ring_cap: self.ring_cap,
+        }
+    }
+
+    /// Wires the remote `ValidArr` ring this endpoint announces buffers
+    /// into, for `peer`.
+    pub fn set_valid_ring(&self, peer: NodeId, ring: RemoteAddr) {
+        let pi = self.peer_index[&peer];
+        self.state.lock().valid_remote[pi] = Some(ring);
+    }
+
+    /// Scans the `FreeArr` rings for release notifications; recycles
+    /// buffers whose every reader has released them. Returns whether any
+    /// notification was consumed.
+    fn scan_free_arr(&self) -> bool {
+        let mut st = self.state.lock();
+        let mut progress = false;
+        for pi in 0..self.peers.len() {
+            loop {
+                let slot = 8 * (self.ring_cap * pi + (st.free_cons[pi] as usize % self.ring_cap));
+                let v = self.free_arr.read_u64(slot).expect("ring slot in bounds");
+                if v == 0 {
+                    break;
+                }
+                self.free_arr
+                    .write_u64(slot, 0)
+                    .expect("ring slot in bounds");
+                st.free_cons[pi] += 1;
+                progress = true;
+                let offset = v - 1;
+                let remaining = st
+                    .outstanding
+                    .get_mut(&offset)
+                    .expect("release for unknown buffer");
+                *remaining -= 1;
+                if *remaining == 0 {
+                    st.outstanding.remove(&offset);
+                    st.free.push(Buffer::new(
+                        self.pool_mr.clone(),
+                        offset as usize,
+                        self.message_size,
+                    ));
+                }
+            }
+        }
+        progress
+    }
+}
+
+/// Everything a receiver needs to pull data from an [`RdRcSendEndpoint`].
+#[derive(Copy, Clone, Debug)]
+pub struct RdSenderDescriptor {
+    /// The sending endpoint's id.
+    pub endpoint: EndpointId,
+    /// Node the sender lives on.
+    pub node: NodeId,
+    /// rkey of the sender's data pool.
+    pub pool_rkey: u32,
+    /// The receiver's ring inside the sender's `FreeArr`.
+    pub free_arr: RemoteAddr,
+    /// Capacity (slots) of the rings on both sides.
+    pub ring_cap: usize,
+}
+
+impl SendEndpoint for RdRcSendEndpoint {
+    fn id(&self) -> EndpointId {
+        self.id
+    }
+
+    fn send(
+        &self,
+        sim: &SimContext,
+        buf: Buffer,
+        dest: &[NodeId],
+        state: StreamState,
+    ) -> Result<()> {
+        assert!(!dest.is_empty(), "send needs at least one destination");
+        let header = MsgHeader {
+            src: self.id.0,
+            kind: MsgKind::Data,
+            state,
+            payload_len: buf.len() as u32,
+            counter: 0, // RC writes are ordered per link.
+            remote_addr: buf.offset() as u64,
+        };
+        buf.write_header(&header);
+        self.state
+            .lock()
+            .outstanding
+            .insert(buf.offset() as u64, dest.len() as u32);
+        for &d in dest {
+            let pi = *self
+                .peer_index
+                .get(&d)
+                .ok_or_else(|| ShuffleError::Config(format!("unknown destination node {d}")))?;
+            let (ring, slot_index) = {
+                let mut st = self.state.lock();
+                let ring = st.valid_remote[pi]
+                    .ok_or_else(|| ShuffleError::Config("ValidArr ring not wired".into()))?;
+                let idx = st.valid_prod[pi] as usize % self.ring_cap;
+                st.valid_prod[pi] += 1;
+                (ring, idx)
+            };
+            let target = RemoteAddr {
+                node: ring.node,
+                rkey: ring.rkey,
+                offset: ring.offset + 8 * slot_index,
+            };
+            // The scratch slot must be written inside the post lock: a
+            // thread blocked on the lock would otherwise let its slot be
+            // recycled before the payload is snapshotted.
+            let guard = self.post_lock.lock(sim);
+            let seq = self.wr_seq.fetch_add(1, Ordering::Relaxed);
+            let scratch_off = (seq % 64) as usize * 8;
+            self.scratch
+                .write_u64(scratch_off, buf.offset() as u64 + 1)
+                .expect("scratch in bounds");
+            self.qps[pi].post_write(sim, seq, (self.scratch.clone(), scratch_off), target, 8)?;
+            drop(guard);
+        }
+        // Keep the write-completion queue bounded.
+        while self.send_cq.depth() > 16 {
+            let _ = self.send_cq.poll(sim, 16);
+        }
+        Ok(())
+    }
+
+    fn get_free(&self, sim: &SimContext) -> Result<Buffer> {
+        let deadline = sim.now() + self.cfg.stall_timeout;
+        let entered = sim.now();
+        loop {
+            if let Some(mut buf) = self.state.lock().free.pop() {
+                buf.clear();
+                self.get_free_wait_ns
+                    .fetch_add((sim.now() - entered).as_nanos(), Ordering::Relaxed);
+                return Ok(buf);
+            }
+            if self.scan_free_arr() {
+                continue;
+            }
+            if sim.now() >= deadline {
+                return Err(ShuffleError::Stalled("waiting for FreeArr notifications"));
+            }
+            // Sleep until the next release lands in the FreeArr (early
+            // wake), re-scanning on a bounded slice as a safety net.
+            self.free_arr.drain_updates();
+            if self.scan_free_arr() {
+                continue;
+            }
+            self.free_arr
+                .wait_update_timeout(sim, self.cfg.poll_interval * 32);
+        }
+    }
+
+    fn registered_bytes(&self) -> usize {
+        self.pool_mr.len() + self.free_arr.len()
+    }
+
+    fn charge_setup(&self, sim: &SimContext) {
+        sim.sleep(self.setup_cost);
+    }
+}
+
+/// RECEIVE endpoint: active one-sided reader (Algorithm 3,
+/// GETDATA/RELEASE).
+pub struct RdRcReceiveEndpoint {
+    id: EndpointId,
+    srcs: Vec<NodeId>,
+    src_index: HashMap<NodeId, usize>,
+    /// Source endpoint id → slot index (filled from descriptors).
+    src_by_endpoint: HashMap<u32, usize>,
+    qps: Vec<QueuePair>,
+    cq: CompletionQueue,
+    /// `ValidArr`: one ring per source, written remotely with full-buffer
+    /// addresses.
+    valid_arr: MemoryRegion,
+    /// Local destination buffers for RDMA Reads.
+    pool_mr: MemoryRegion,
+    message_size: usize,
+    ring_cap: usize,
+    state: Mutex<RecvState>,
+    scratch: MemoryRegion,
+    wr_seq: AtomicU64,
+    post_lock: rshuffle_simnet::SimMutex<()>,
+    bytes_received: AtomicU64,
+    cfg: RdRcConfig,
+    setup_cost: SimDuration,
+}
+
+struct RecvState {
+    /// Consumer index into each source's `ValidArr` ring.
+    valid_cons: Vec<u64>,
+    /// Producer index into each source's remote `FreeArr` ring.
+    free_prod: Vec<u64>,
+    /// Per-source descriptors (pool rkey, FreeArr ring).
+    descriptors: Vec<Option<RdSenderDescriptor>>,
+    /// `LocalArr`: unused local buffers per source.
+    local: Vec<Vec<Buffer>>,
+    /// In-flight RDMA Reads per source.
+    in_flight: Vec<u32>,
+    /// Depleted flag per source.
+    depleted: Vec<bool>,
+}
+
+impl RdRcReceiveEndpoint {
+    /// Creates the endpoint: `ValidArr`, local read buffers and one QP per
+    /// source.
+    pub fn new(ctx: &Context, id: EndpointId, srcs: Vec<NodeId>, cfg: RdRcConfig) -> Self {
+        assert!(
+            !srcs.is_empty(),
+            "receive endpoint needs at least one source"
+        );
+        let cq = ctx.create_cq();
+        let qps: Vec<QueuePair> = srcs
+            .iter()
+            .map(|_| ctx.create_qp(rshuffle_verbs::QpType::Rc, cq.clone(), cq.clone()))
+            .collect();
+        let buffers_per_src = cfg.buffers_per_peer;
+        let ring_cap = cfg.buffers_per_peer * srcs.len() + 2;
+        let pool_bytes = cfg.message_size * buffers_per_src * srcs.len();
+        let pool_mr = ctx.register_untimed(pool_bytes);
+        let valid_arr = ctx.register_untimed(8 * ring_cap * srcs.len());
+        let local: Vec<Vec<Buffer>> = (0..srcs.len())
+            .map(|si| {
+                (0..buffers_per_src)
+                    .map(|k| {
+                        Buffer::new(
+                            pool_mr.clone(),
+                            (si * buffers_per_src + k) * cfg.message_size,
+                            cfg.message_size,
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        let profile = ctx.profile();
+        let setup_cost = profile.endpoint_setup
+            + profile.rc_qp_setup * srcs.len() as u64
+            + profile.mr_register_time(pool_bytes + 8 * ring_cap * srcs.len());
+        let n = srcs.len();
+        let src_index = srcs.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+        RdRcReceiveEndpoint {
+            id,
+            srcs,
+            src_index,
+            src_by_endpoint: HashMap::new(),
+            qps,
+            cq,
+            valid_arr,
+            pool_mr,
+            message_size: cfg.message_size,
+            ring_cap,
+            state: Mutex::new(RecvState {
+                valid_cons: vec![0; n],
+                free_prod: vec![0; n],
+                descriptors: vec![None; n],
+                local,
+                in_flight: vec![0; n],
+                depleted: vec![false; n],
+            }),
+            scratch: ctx.register_untimed(64 * 8),
+            wr_seq: AtomicU64::new(0),
+            post_lock: rshuffle_simnet::SimMutex::new(
+                ctx.runtime().kernel(),
+                (),
+                SimDuration::from_nanos(60),
+            ),
+            bytes_received: AtomicU64::new(0),
+            cfg,
+            setup_cost,
+        }
+    }
+
+    /// The QP facing `src` (for wiring).
+    pub fn qp_for(&self, src: NodeId) -> &QueuePair {
+        &self.qps[self.src_index[&src]]
+    }
+
+    /// The `ValidArr` ring the sender on `src` should announce buffers
+    /// into.
+    pub fn valid_ring_for(&self, src: NodeId) -> RemoteAddr {
+        let si = self.src_index[&src];
+        RemoteAddr {
+            node: self.valid_arr.node(),
+            rkey: self.valid_arr.rkey(),
+            offset: 8 * self.ring_cap * si,
+        }
+    }
+
+    /// Wires the descriptor of the sender on `src`.
+    pub fn set_descriptor(&mut self, src: NodeId, desc: RdSenderDescriptor) {
+        let si = self.src_index[&src];
+        assert_eq!(
+            desc.ring_cap, self.ring_cap,
+            "FreeArr/ValidArr ring capacities must agree"
+        );
+        self.state.lock().descriptors[si] = Some(desc);
+        self.src_by_endpoint.insert(desc.endpoint.0, si);
+    }
+
+    /// Issues RDMA Reads for every announced buffer that has a local buffer
+    /// available (Algorithm 3, GETDATA lines 19–24).
+    fn issue_reads(&self, sim: &SimContext) -> Result<bool> {
+        let mut issued = false;
+        for si in 0..self.srcs.len() {
+            loop {
+                let (remote_off, local_buf, desc) = {
+                    let mut st = self.state.lock();
+                    let Some(desc) = st.descriptors[si] else {
+                        break;
+                    };
+                    if st.local[si].is_empty() {
+                        break;
+                    }
+                    let slot =
+                        8 * (self.ring_cap * si + (st.valid_cons[si] as usize % self.ring_cap));
+                    let v = self.valid_arr.read_u64(slot).expect("ring slot in bounds");
+                    if v == 0 {
+                        break;
+                    }
+                    self.valid_arr
+                        .write_u64(slot, 0)
+                        .expect("ring slot in bounds");
+                    st.valid_cons[si] += 1;
+                    st.in_flight[si] += 1;
+                    let local_buf = st.local[si].pop().expect("checked non-empty");
+                    (v - 1, local_buf, desc)
+                };
+                let wr_id = ((si as u64) << 32) | local_buf.offset() as u64;
+                let remote = RemoteAddr {
+                    node: desc.node,
+                    rkey: desc.pool_rkey,
+                    offset: remote_off as usize,
+                };
+                let guard = self.post_lock.lock(sim);
+                self.qps[si].post_read(
+                    sim,
+                    wr_id,
+                    (self.pool_mr.clone(), local_buf.offset()),
+                    remote,
+                    self.message_size,
+                )?;
+                drop(guard);
+                issued = true;
+            }
+        }
+        Ok(issued)
+    }
+
+    /// Whether any source has an unconsumed ValidArr announcement.
+    fn has_pending_valid_entry(&self) -> bool {
+        let st = self.state.lock();
+        (0..self.srcs.len()).any(|si| {
+            let slot = 8 * (self.ring_cap * si + (st.valid_cons[si] as usize % self.ring_cap));
+            self.valid_arr.read_u64(slot).expect("ring slot in bounds") != 0
+        })
+    }
+
+    fn fully_done(&self) -> bool {
+        let st = self.state.lock();
+        for si in 0..self.srcs.len() {
+            if !st.depleted[si] || st.in_flight[si] > 0 {
+                return false;
+            }
+            let slot = 8 * (self.ring_cap * si + (st.valid_cons[si] as usize % self.ring_cap));
+            if self.valid_arr.read_u64(slot).expect("ring slot in bounds") != 0 {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl ReceiveEndpoint for RdRcReceiveEndpoint {
+    fn id(&self) -> EndpointId {
+        self.id
+    }
+
+    fn get_data(&self, sim: &SimContext) -> Result<Option<Delivery>> {
+        let deadline = sim.now() + self.cfg.stall_timeout;
+        loop {
+            self.issue_reads(sim)?;
+            // With reads in flight, the completion queue wakes us early; if
+            // the pipeline is empty, wait for the next ValidArr
+            // announcement instead so issue latency stays flat.
+            let in_flight: u32 = self.state.lock().in_flight.iter().sum();
+            if in_flight == 0 && self.cq.depth() == 0 {
+                if self.fully_done() {
+                    return Ok(None);
+                }
+                if sim.now() >= deadline {
+                    return Err(ShuffleError::Stalled("RD receive made no progress"));
+                }
+                self.valid_arr.drain_updates();
+                if !self.has_pending_valid_entry() {
+                    self.valid_arr
+                        .wait_update_timeout(sim, self.cfg.poll_interval * 32);
+                }
+                continue;
+            }
+            match self.cq.next_timeout(sim, self.cfg.poll_interval * 64) {
+                Some(c) => {
+                    if c.status != WcStatus::Success {
+                        return Err(ShuffleError::CompletionError("RDMA read failed"));
+                    }
+                    match c.opcode {
+                        WcOpcode::Write => continue, // FreeArr release ack.
+                        WcOpcode::Read => {}
+                        _ => unreachable!("unexpected completion on RD endpoint"),
+                    }
+                    let si = (c.wr_id >> 32) as usize;
+                    let local_off = (c.wr_id & 0xFFFF_FFFF) as usize;
+                    let mut buf = Buffer::new(self.pool_mr.clone(), local_off, self.message_size);
+                    let header = buf.read_header();
+                    buf.set_len(header.payload_len as usize);
+                    self.bytes_received
+                        .fetch_add(header.payload_len as u64, Ordering::Relaxed);
+                    {
+                        let mut st = self.state.lock();
+                        st.in_flight[si] -= 1;
+                        if header.state == StreamState::Depleted {
+                            st.depleted[si] = true;
+                        }
+                    }
+                    return Ok(Some(Delivery {
+                        state: header.state,
+                        src: EndpointId(header.src),
+                        remote: header.remote_addr,
+                        local: buf,
+                    }));
+                }
+                None => {
+                    if self.fully_done() {
+                        return Ok(None);
+                    }
+                    if sim.now() >= deadline {
+                        return Err(ShuffleError::Stalled("RD receive made no progress"));
+                    }
+                }
+            }
+        }
+    }
+
+    fn release(&self, sim: &SimContext, remote: u64, local: Buffer, src: EndpointId) -> Result<()> {
+        let si = *self
+            .src_by_endpoint
+            .get(&src.0)
+            .ok_or_else(|| ShuffleError::Config(format!("release for unknown source {src:?}")))?;
+        let (desc, slot_index) = {
+            let mut st = self.state.lock();
+            let desc = st.descriptors[si].expect("descriptor wired");
+            let idx = st.free_prod[si] as usize % self.ring_cap;
+            st.free_prod[si] += 1;
+            (desc, idx)
+        };
+        let target = RemoteAddr {
+            node: desc.free_arr.node,
+            rkey: desc.free_arr.rkey,
+            offset: desc.free_arr.offset + 8 * slot_index,
+        };
+        // Scratch written under the post lock (see `send`).
+        let guard = self.post_lock.lock(sim);
+        let seq = self.wr_seq.fetch_add(1, Ordering::Relaxed);
+        let scratch_off = (seq % 64) as usize * 8;
+        self.scratch
+            .write_u64(scratch_off, remote + 1)
+            .expect("scratch in bounds");
+        self.qps[si].post_write(sim, seq, (self.scratch.clone(), scratch_off), target, 8)?;
+        drop(guard);
+        self.state.lock().local[si].push(local);
+        Ok(())
+    }
+
+    fn bytes_received(&self) -> u64 {
+        self.bytes_received.load(Ordering::Relaxed)
+    }
+
+    fn registered_bytes(&self) -> usize {
+        self.pool_mr.len() + self.valid_arr.len()
+    }
+
+    fn charge_setup(&self, sim: &SimContext) {
+        sim.sleep(self.setup_cost);
+    }
+}

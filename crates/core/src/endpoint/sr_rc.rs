@@ -1,0 +1,505 @@
+//! RDMA Send/Receive over the Reliable Connection service (§4.4.1).
+//!
+//! The data-delivery guarantee of RC requires every arriving Send to match a
+//! posted Receive, so the sender and the receiver synchronize through a
+//! **stateless credit mechanism**: the receiver issues credit only after a
+//! Receive has been posted, and transmits the *absolute* credit (total
+//! Receives posted on the connection so far) rather than a relative delta.
+//! Credit travels from receiver to sender as an RDMA Write into a dedicated
+//! credit region at the sender (inlined to save a DMA fetch). The write-back
+//! is amortized over [`SrRcConfig::credit_writeback_frequency`] Receives —
+//! the trade-off studied in Figure 8.
+//!
+//! Each endpoint holds one Queue Pair per peer (Θ(n) per endpoint, the "MQ"
+//! design) and associates all of them with a single completion queue to
+//! amortize polling.
+
+use parking_lot::Mutex;
+use rshuffle_simnet::{NodeId, SimContext, SimDuration};
+use rshuffle_verbs::{
+    CompletionQueue, Context, MemoryRegion, QueuePair, RecvWr, RemoteAddr, SendWr, WcStatus,
+};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use crate::buffer::{Buffer, MsgHeader, MsgKind, StreamState};
+use crate::endpoint::{Backoff, Delivery, EndpointId, ReceiveEndpoint, SendEndpoint};
+use crate::error::{Result, ShuffleError};
+
+/// Tuning knobs shared by the RC-based endpoints.
+#[derive(Clone, Debug)]
+pub struct SrRcConfig {
+    /// Transmission buffer window (header + payload), e.g. 64 KiB.
+    pub message_size: usize,
+    /// Send-side buffers per peer (2 = the paper's double buffering).
+    pub buffers_per_peer: usize,
+    /// Receive requests kept posted per peer.
+    pub recv_depth_per_peer: usize,
+    /// Post a credit write-back every this many Receives (Figure 8).
+    pub credit_writeback_frequency: u32,
+    /// Polling granularity for flow-control waits.
+    pub poll_interval: SimDuration,
+    /// Give up and report [`ShuffleError::Stalled`] after this long without
+    /// progress.
+    pub stall_timeout: SimDuration,
+}
+
+impl Default for SrRcConfig {
+    fn default() -> Self {
+        SrRcConfig {
+            message_size: 64 * 1024,
+            buffers_per_peer: 2,
+            recv_depth_per_peer: 16,
+            credit_writeback_frequency: 2,
+            poll_interval: SimDuration::from_nanos(400),
+            stall_timeout: SimDuration::from_millis(500),
+        }
+    }
+}
+
+/// SEND endpoint: RDMA Send/Receive over Reliable Connection.
+pub struct SrRcSendEndpoint {
+    id: EndpointId,
+    peer_index: HashMap<NodeId, usize>,
+    /// One QP per peer, indexed like `peers`.
+    qps: Vec<QueuePair>,
+    send_cq: CompletionQueue,
+    pool_mr: MemoryRegion,
+    message_size: usize,
+    /// Buffers ready for use.
+    free: Mutex<Vec<Buffer>>,
+    /// Outstanding sends per in-flight buffer (keyed by buffer offset); a
+    /// multicast buffer completes once per destination.
+    outstanding: Mutex<HashMap<u64, u32>>,
+    /// Absolute credit per peer, RDMA-written by the remote receiver.
+    credit_mr: MemoryRegion,
+    /// Data messages sent per peer.
+    sent: Mutex<Vec<u64>>,
+    /// Serializes `ibv_post_send`; the contention cost of sharing one
+    /// endpoint among threads (SE configurations) shows up here.
+    post_lock: rshuffle_simnet::SimMutex<()>,
+    cfg: SrRcConfig,
+    setup_cost: SimDuration,
+}
+
+impl SrRcSendEndpoint {
+    /// Creates the endpoint with its per-peer QPs (unconnected; the
+    /// exchange builder wires them to the matching receive endpoints).
+    pub fn new(ctx: &Context, id: EndpointId, peers: Vec<NodeId>, cfg: SrRcConfig) -> Self {
+        assert!(!peers.is_empty(), "send endpoint needs at least one peer");
+        let send_cq = ctx.create_cq();
+        let qps: Vec<QueuePair> = peers
+            .iter()
+            .map(|_| ctx.create_qp(rshuffle_verbs::QpType::Rc, send_cq.clone(), send_cq.clone()))
+            .collect();
+        let pool_bytes = cfg.message_size * cfg.buffers_per_peer * peers.len();
+        let pool_mr = ctx.register_untimed(pool_bytes);
+        let free: Vec<Buffer> = (0..cfg.buffers_per_peer * peers.len())
+            .map(|i| Buffer::new(pool_mr.clone(), i * cfg.message_size, cfg.message_size))
+            .collect();
+        let credit_mr = ctx.register_untimed(8 * peers.len());
+        let peer_index = peers.iter().enumerate().map(|(i, &p)| (p, i)).collect();
+        let profile = ctx.profile();
+        let setup_cost = profile.endpoint_setup
+            + profile.rc_qp_setup * peers.len() as u64
+            + profile.mr_register_time(pool_bytes + 8 * peers.len());
+        let n = peers.len();
+        SrRcSendEndpoint {
+            id,
+            peer_index,
+            qps,
+            send_cq,
+            pool_mr,
+            message_size: cfg.message_size,
+            free: Mutex::new(free),
+            outstanding: Mutex::new(HashMap::new()),
+            credit_mr,
+            sent: Mutex::new(vec![0; n]),
+            post_lock: rshuffle_simnet::SimMutex::new(
+                ctx.runtime().kernel(),
+                (),
+                SimDuration::from_nanos(60),
+            ),
+            cfg,
+            setup_cost,
+        }
+    }
+
+    /// The QP that talks to `peer` (for the exchange builder's wiring).
+    pub fn qp_for(&self, peer: NodeId) -> &QueuePair {
+        &self.qps[self.peer_index[&peer]]
+    }
+
+    /// Where the receiver on `peer` should RDMA-Write its credit.
+    pub fn credit_slot_for(&self, peer: NodeId) -> RemoteAddr {
+        RemoteAddr {
+            node: self.pool_mr.node(),
+            rkey: self.credit_mr.rkey(),
+            offset: 8 * self.peer_index[&peer],
+        }
+    }
+
+    /// Seeds the initial credit for `peer` (the receiver's initial posted
+    /// receives, exchanged out of band during connection setup).
+    pub fn bootstrap_credit(&self, peer: NodeId, credit: u64) {
+        self.credit_mr
+            .write_u64(8 * self.peer_index[&peer], credit)
+            .expect("credit slot in range");
+    }
+
+    /// Blocks until peer `pi` has granted credit beyond `sent`. The wait is
+    /// woken by the receiver's credit RDMA Write landing in the credit
+    /// region.
+    fn wait_for_credit(&self, sim: &SimContext, pi: usize) -> Result<()> {
+        let deadline = sim.now() + self.cfg.stall_timeout;
+        let has_credit = |pi: usize| {
+            let credit = self
+                .credit_mr
+                .read_u64(8 * pi)
+                .expect("credit slot in range");
+            credit > self.sent.lock()[pi]
+        };
+        loop {
+            if has_credit(pi) {
+                return Ok(());
+            }
+            // Clear stale wake tokens, re-check, then sleep until the next
+            // credit write (or a bounded slice, for SE configurations where
+            // another thread may consume our wakeup).
+            self.credit_mr.drain_updates();
+            if has_credit(pi) {
+                return Ok(());
+            }
+            if sim.now() >= deadline {
+                return Err(ShuffleError::Stalled("waiting for send credit"));
+            }
+            self.credit_mr
+                .wait_update_timeout(sim, self.cfg.poll_interval * 32);
+        }
+    }
+
+    /// Drains send completions, recycling buffers whose every destination
+    /// has acknowledged.
+    fn reap_completions(&self, sim: &SimContext, block_slice: SimDuration) -> Result<bool> {
+        let Some(c) = self.send_cq.next_timeout(sim, block_slice) else {
+            return Ok(false);
+        };
+        if c.status != WcStatus::Success {
+            return Err(ShuffleError::CompletionError(
+                "reliable send failed (receiver never posted a receive?)",
+            ));
+        }
+        let mut outstanding = self.outstanding.lock();
+        let remaining = outstanding
+            .get_mut(&c.wr_id)
+            .expect("completion for unknown buffer");
+        *remaining -= 1;
+        if *remaining == 0 {
+            outstanding.remove(&c.wr_id);
+            let buf = Buffer::new(self.pool_mr.clone(), c.wr_id as usize, self.message_size);
+            self.free.lock().push(buf);
+        }
+        Ok(true)
+    }
+}
+
+impl SendEndpoint for SrRcSendEndpoint {
+    fn id(&self) -> EndpointId {
+        self.id
+    }
+
+    fn send(
+        &self,
+        sim: &SimContext,
+        buf: Buffer,
+        dest: &[NodeId],
+        state: StreamState,
+    ) -> Result<()> {
+        assert!(!dest.is_empty(), "send needs at least one destination");
+        let header = MsgHeader {
+            src: self.id.0,
+            kind: MsgKind::Data,
+            state,
+            payload_len: buf.len() as u32,
+            counter: 0, // RC is ordered: Depleted arrival is authoritative.
+            remote_addr: buf.offset() as u64,
+        };
+        buf.write_header(&header);
+        self.outstanding
+            .lock()
+            .insert(buf.offset() as u64, dest.len() as u32);
+        for &d in dest {
+            let pi = *self
+                .peer_index
+                .get(&d)
+                .ok_or_else(|| ShuffleError::Config(format!("unknown destination node {d}")))?;
+            self.wait_for_credit(sim, pi)?;
+            self.sent.lock()[pi] += 1;
+            let guard = self.post_lock.lock(sim);
+            self.qps[pi].post_send(
+                sim,
+                SendWr {
+                    wr_id: buf.offset() as u64,
+                    mr: buf.region().clone(),
+                    offset: buf.offset(),
+                    len: buf.message_len(),
+                    imm: None,
+                    ah: None,
+                },
+            )?;
+            drop(guard);
+        }
+        Ok(())
+    }
+
+    fn get_free(&self, sim: &SimContext) -> Result<Buffer> {
+        let deadline = sim.now() + self.cfg.stall_timeout;
+        let mut backoff = Backoff::new(self.cfg.poll_interval * 8);
+        loop {
+            if let Some(mut buf) = self.free.lock().pop() {
+                buf.clear();
+                return Ok(buf);
+            }
+            if sim.now() >= deadline {
+                return Err(ShuffleError::Stalled("waiting for a free send buffer"));
+            }
+            if self.reap_completions(sim, backoff.next())? {
+                backoff.reset();
+            }
+        }
+    }
+
+    fn registered_bytes(&self) -> usize {
+        self.pool_mr.len() + self.credit_mr.len()
+    }
+
+    fn charge_setup(&self, sim: &SimContext) {
+        sim.sleep(self.setup_cost);
+    }
+}
+
+/// RECEIVE endpoint: RDMA Send/Receive over Reliable Connection.
+pub struct SrRcReceiveEndpoint {
+    id: EndpointId,
+    /// Maps a source endpoint id to its slot index.
+    src_by_endpoint: Mutex<HashMap<u32, usize>>,
+    src_index: HashMap<NodeId, usize>,
+    qps: Vec<QueuePair>,
+    recv_cq: CompletionQueue,
+    /// Send-side CQ of the receive QPs (credit write-backs), drained lazily.
+    ctrl_cq: CompletionQueue,
+    pool_mr: MemoryRegion,
+    message_size: usize,
+    /// Absolute receives posted per source (the credit value).
+    posted: Mutex<Vec<u64>>,
+    /// Releases since the last credit write-back, per source.
+    releases: Mutex<Vec<u32>>,
+    /// Where each source's send endpoint keeps my credit slot.
+    credit_remote: Mutex<Vec<Option<RemoteAddr>>>,
+    depleted: Mutex<Vec<bool>>,
+    all_depleted: AtomicBool,
+    bytes_received: AtomicU64,
+    wr_seq: AtomicU64,
+    /// Rotating scratch slots sourcing the 8-byte credit writes.
+    scratch_mr: MemoryRegion,
+    cfg: SrRcConfig,
+    setup_cost: SimDuration,
+}
+
+impl SrRcReceiveEndpoint {
+    /// Creates the endpoint with one QP per source.
+    pub fn new(ctx: &Context, id: EndpointId, srcs: Vec<NodeId>, cfg: SrRcConfig) -> Self {
+        assert!(
+            !srcs.is_empty(),
+            "receive endpoint needs at least one source"
+        );
+        let recv_cq = ctx.create_cq();
+        let ctrl_cq = ctx.create_cq();
+        let qps: Vec<QueuePair> = srcs
+            .iter()
+            .map(|_| ctx.create_qp(rshuffle_verbs::QpType::Rc, ctrl_cq.clone(), recv_cq.clone()))
+            .collect();
+        let pool_bytes = cfg.message_size * cfg.recv_depth_per_peer * srcs.len();
+        let pool_mr = ctx.register_untimed(pool_bytes);
+        let src_index = srcs.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+        let profile = ctx.profile();
+        let setup_cost = profile.endpoint_setup
+            + profile.rc_qp_setup * srcs.len() as u64
+            + profile.mr_register_time(pool_bytes);
+        let n = srcs.len();
+        SrRcReceiveEndpoint {
+            id,
+            src_by_endpoint: Mutex::new(HashMap::new()),
+            src_index,
+            qps,
+            recv_cq,
+            ctrl_cq,
+            pool_mr,
+            message_size: cfg.message_size,
+            posted: Mutex::new(vec![0; n]),
+            releases: Mutex::new(vec![0; n]),
+            credit_remote: Mutex::new(vec![None; n]),
+            depleted: Mutex::new(vec![false; n]),
+            all_depleted: AtomicBool::new(false),
+            bytes_received: AtomicU64::new(0),
+            wr_seq: AtomicU64::new(0),
+            scratch_mr: ctx.register_untimed(64 * 8),
+            cfg,
+            setup_cost,
+        }
+    }
+
+    /// The QP that hears from `src` (for wiring).
+    pub fn qp_for(&self, src: NodeId) -> &QueuePair {
+        &self.qps[self.src_index[&src]]
+    }
+
+    /// Wires the remote credit slot for `src` and posts the initial receive
+    /// pool on that connection. Returns the initial credit granted.
+    pub fn bootstrap_src(&self, src: NodeId, credit_slot: RemoteAddr) -> u64 {
+        let si = self.src_index[&src];
+        self.credit_remote.lock()[si] = Some(credit_slot);
+        let base = self.message_size * self.cfg.recv_depth_per_peer * si;
+        for k in 0..self.cfg.recv_depth_per_peer {
+            let offset = base + k * self.message_size;
+            self.qps[si]
+                .post_recv_untimed(RecvWr {
+                    wr_id: offset as u64,
+                    mr: self.pool_mr.clone(),
+                    offset,
+                    len: self.message_size,
+                })
+                .expect("bootstrap receive in bounds");
+        }
+        let mut posted = self.posted.lock();
+        posted[si] = self.cfg.recv_depth_per_peer as u64;
+        posted[si]
+    }
+}
+
+impl ReceiveEndpoint for SrRcReceiveEndpoint {
+    fn id(&self) -> EndpointId {
+        self.id
+    }
+
+    fn get_data(&self, sim: &SimContext) -> Result<Option<Delivery>> {
+        let deadline = sim.now() + self.cfg.stall_timeout;
+        let mut backoff = Backoff::new(self.cfg.poll_interval * 16);
+        loop {
+            if self.all_depleted.load(Ordering::SeqCst) && self.recv_cq.depth() == 0 {
+                return Ok(None);
+            }
+            let Some(c) = self.recv_cq.next_timeout(sim, backoff.next()) else {
+                if sim.now() >= deadline && !self.all_depleted.load(Ordering::SeqCst) {
+                    return Err(ShuffleError::Stalled("receive endpoint made no progress"));
+                }
+                continue;
+            };
+            if c.status != WcStatus::Success {
+                return Err(ShuffleError::CompletionError("receive completed in error"));
+            }
+            let mut buf = Buffer::new(self.pool_mr.clone(), c.wr_id as usize, self.message_size);
+            let header = buf.read_header();
+            debug_assert_eq!(header.kind, MsgKind::Data, "RC carries only data messages");
+            buf.set_len(header.payload_len as usize);
+            self.bytes_received
+                .fetch_add(header.payload_len as u64, Ordering::Relaxed);
+            let si = self.src_index[&c.src_node];
+            self.src_by_endpoint.lock().entry(header.src).or_insert(si);
+            if header.state == StreamState::Depleted {
+                let mut depleted = self.depleted.lock();
+                depleted[si] = true;
+                if depleted.iter().all(|&d| d) {
+                    self.all_depleted.store(true, Ordering::SeqCst);
+                }
+            }
+            return Ok(Some(Delivery {
+                state: header.state,
+                src: EndpointId(header.src),
+                remote: 0,
+                local: buf,
+            }));
+        }
+    }
+
+    fn release(
+        &self,
+        sim: &SimContext,
+        _remote: u64,
+        local: Buffer,
+        src: EndpointId,
+    ) -> Result<()> {
+        let si = {
+            let map = self.src_by_endpoint.lock();
+            *map.get(&src.0).ok_or_else(|| {
+                ShuffleError::Config(format!("release for unknown source {src:?}"))
+            })?
+        };
+        // Repost the buffer on the connection it came from.
+        self.qps[si].post_recv(
+            sim,
+            RecvWr {
+                wr_id: local.offset() as u64,
+                mr: local.region().clone(),
+                offset: local.offset(),
+                len: local.window(),
+            },
+        )?;
+        let credit_now = {
+            let mut posted = self.posted.lock();
+            posted[si] += 1;
+            posted[si]
+        };
+        let write_back = {
+            let mut releases = self.releases.lock();
+            releases[si] += 1;
+            releases[si] % self.cfg.credit_writeback_frequency == 0
+        };
+        if write_back {
+            let slot = self.credit_remote.lock()[si]
+                .ok_or_else(|| ShuffleError::Config("credit slot not bootstrapped".into()))?;
+            self.post_credit_write(sim, si, slot, credit_now)?;
+        }
+        // Lazily drain credit-write completions so the control CQ does not
+        // grow without bound.
+        while self.ctrl_cq.depth() > 8 {
+            let _ = self.ctrl_cq.poll(sim, 8);
+        }
+        Ok(())
+    }
+
+    fn bytes_received(&self) -> u64 {
+        self.bytes_received.load(Ordering::Relaxed)
+    }
+
+    fn registered_bytes(&self) -> usize {
+        self.pool_mr.len()
+    }
+
+    fn charge_setup(&self, sim: &SimContext) {
+        sim.sleep(self.setup_cost);
+    }
+}
+
+impl SrRcReceiveEndpoint {
+    /// RDMA-Writes the absolute credit value into the sender's credit slot.
+    ///
+    /// The paper inlines the credit in the work request to save a DMA fetch
+    /// (§4.4.1); the simulator models that by sourcing the 8 bytes from a
+    /// scratch slot without tracking its reuse.
+    fn post_credit_write(
+        &self,
+        sim: &SimContext,
+        si: usize,
+        slot: RemoteAddr,
+        credit: u64,
+    ) -> Result<()> {
+        let seq = self.wr_seq.fetch_add(1, Ordering::Relaxed);
+        let off = (seq % 64) as usize * 8;
+        self.scratch_mr
+            .write_u64(off, credit)
+            .expect("scratch in bounds");
+        self.qps[si].post_write(sim, u64::MAX - seq, (self.scratch_mr.clone(), off), slot, 8)?;
+        Ok(())
+    }
+}

@@ -1,0 +1,749 @@
+//! RDMA Send/Receive over the Unreliable Datagram service (§4.4.2).
+//!
+//! One UD Queue Pair can talk to *every* other Queue Pair, so an endpoint
+//! needs Θ(1) connections instead of Θ(n) — the decisive scalability
+//! property of the paper's winning MESQ/SR design. The price is software
+//! error handling:
+//!
+//! * **Flow control** uses the same stateless absolute-credit protocol as
+//!   the RC endpoint (§4.4.1), but credit updates travel as small datagrams
+//!   on the shared Queue Pair (there is no reliable connection to
+//!   RDMA-Write through). A lost credit update self-heals because credit is
+//!   absolute: the next update supersedes it.
+//! * **Termination** cannot rely on ordering: a `Depleted` message may
+//!   arrive *before* stragglers it logically follows. The sender therefore
+//!   counts the data messages it sent to each destination and transmits the
+//!   total in the `Depleted` message; the receiver compares it against its
+//!   own count and keeps waiting for outstanding packets. If the counts
+//!   still disagree after a timeout, the transmission is declared failed
+//!   and the query must restart ([`ShuffleError::NetworkErrorRestartQuery`]).
+//!   This exploits the set-orientation of relational operators: buffers can
+//!   be consumed in any arrival order, so counting replaces a re-order
+//!   buffer.
+//!
+//! The send and receive halves of a node's endpoint share one Queue Pair
+//! (a [`SrUdChannel`]), keeping the QP count at one per endpoint.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rshuffle_simnet::{Gate, NodeId, SimContext, SimDuration, SimTime};
+use rshuffle_verbs::{
+    AddressHandle, CompletionQueue, Context, MemoryRegion, QueuePair, RecvWr, SendWr, WcStatus,
+};
+
+use crate::buffer::{Buffer, MsgHeader, MsgKind, StreamState, HEADER_LEN};
+use crate::endpoint::{Backoff, Delivery, EndpointId, ReceiveEndpoint, SendEndpoint};
+use crate::error::{Result, ShuffleError};
+
+/// Tuning knobs for the UD endpoint.
+#[derive(Clone, Debug)]
+pub struct SrUdConfig {
+    /// Send buffers registered by the endpoint (each is one MTU).
+    pub send_buffers: usize,
+    /// Receive window granted to each expected source.
+    pub recv_window_per_src: usize,
+    /// Send a credit datagram every this many data releases (Figure 8).
+    pub credit_writeback_frequency: u32,
+    /// Polling granularity for flow-control waits.
+    pub poll_interval: SimDuration,
+    /// Give up with [`ShuffleError::Stalled`] after this long without any
+    /// progress.
+    pub stall_timeout: SimDuration,
+    /// After a count mismatch is detected at end of stream, wait this long
+    /// for outstanding packets before declaring a network error (§4.4.2).
+    pub depleted_timeout: SimDuration,
+    /// Use the switch's native multicast for group sends: one work request
+    /// and one egress serialization reach every group member (the paper's
+    /// §7 extension). Termination (`Depleted`) messages always go out
+    /// per-destination because their counters differ.
+    pub native_multicast: bool,
+    /// Extra CPU charged per post while holding the shared-QP lock: models
+    /// the QP state cache line bouncing between the cores that share the
+    /// endpoint. Zero for dedicated (ME) endpoints; the exchange builder
+    /// scales it with the thread count for SE (the "excessive contention"
+    /// of Table 1 that bottlenecks SESQ/SR on `ibv_post_send`, §5.1.3).
+    pub post_overhead: SimDuration,
+}
+
+impl Default for SrUdConfig {
+    fn default() -> Self {
+        SrUdConfig {
+            send_buffers: 16,
+            recv_window_per_src: 16,
+            credit_writeback_frequency: 2,
+            poll_interval: SimDuration::from_nanos(400),
+            stall_timeout: SimDuration::from_millis(500),
+            depleted_timeout: SimDuration::from_millis(2),
+            post_overhead: SimDuration::ZERO,
+            native_multicast: false,
+        }
+    }
+}
+
+struct SrcCount {
+    node: NodeId,
+    received: u64,
+    expected: Option<u64>,
+}
+
+struct UdShared {
+    send_id: EndpointId,
+    recv_id: EndpointId,
+    qp: QueuePair,
+    send_cq: CompletionQueue,
+    recv_cq: CompletionQueue,
+    mtu: usize,
+
+    /// Lane-matched peer channels: destination node → its channel's QP.
+    peer_ahs: Mutex<HashMap<NodeId, AddressHandle>>,
+
+    // ---- send half ----
+    /// Absolute credit granted to this channel by each destination.
+    credit: Mutex<HashMap<NodeId, u64>>,
+    /// Messages (data + credit) sent to each destination; each consumes one
+    /// credit.
+    consumed: Mutex<HashMap<NodeId, u64>>,
+    /// Data messages sent per destination (drives termination counting).
+    sent_data: Mutex<HashMap<NodeId, u64>>,
+    send_pool: MemoryRegion,
+    free: Mutex<Vec<Buffer>>,
+    outstanding: Mutex<HashMap<u64, u32>>,
+    /// Serializes `ibv_post_send` on the shared QP; this is the contention
+    /// the paper profiles for SESQ/SR (§5.1.3).
+    post_lock: rshuffle_simnet::SimMutex<()>,
+
+    // ---- receive half ----
+    /// Receive pool; allocated and posted by
+    /// [`SrUdChannel::bootstrap_receives`] once the expected sources are
+    /// known.
+    recv_pool_dynamic: Mutex<Option<MemoryRegion>>,
+    /// Deliveries demultiplexed by some other thread (e.g. the send half's
+    /// credit wait) for the receive half to pick up.
+    data_gate: Gate<Delivery>,
+    /// Per-source-endpoint message accounting.
+    srcs: Mutex<HashMap<u32, SrcCount>>,
+    /// Source endpoints that will send to this receive half.
+    expected_srcs: Mutex<HashMap<u32, NodeId>>,
+    /// Credit granted (absolute) per source node, plus releases since the
+    /// last write-back.
+    grants: Mutex<HashMap<NodeId, (u64, u32)>>,
+    bytes_received: AtomicU64,
+    done: AtomicBool,
+    last_progress: Mutex<SimTime>,
+
+    cfg: SrUdConfig,
+    setup_cost_send: SimDuration,
+    setup_cost_recv: SimDuration,
+}
+
+/// A UD endpoint pair: the send and receive halves share one Queue Pair.
+pub struct SrUdChannel {
+    shared: Arc<UdShared>,
+}
+
+/// The send half of a [`SrUdChannel`].
+#[derive(Clone)]
+pub struct SrUdSendEndpoint {
+    shared: Arc<UdShared>,
+}
+
+/// The receive half of a [`SrUdChannel`].
+#[derive(Clone)]
+pub struct SrUdReceiveEndpoint {
+    shared: Arc<UdShared>,
+}
+
+impl SrUdChannel {
+    /// Creates a channel on `ctx`'s node with the given endpoint ids for
+    /// its two halves.
+    pub fn new(ctx: &Context, send_id: EndpointId, recv_id: EndpointId, cfg: SrUdConfig) -> Self {
+        let send_cq = ctx.create_cq();
+        let recv_cq = ctx.create_cq();
+        let qp = ctx.create_qp(rshuffle_verbs::QpType::Ud, send_cq.clone(), recv_cq.clone());
+        let profile = ctx.profile();
+        let mtu = profile.mtu;
+        let send_pool = ctx.register_untimed(mtu * cfg.send_buffers);
+        let free = (0..cfg.send_buffers)
+            .map(|i| Buffer::new(send_pool.clone(), i * mtu, mtu))
+            .collect();
+        let setup_cost_send = profile.endpoint_setup
+            + profile.ud_qp_setup
+            + profile.mr_register_time(mtu * cfg.send_buffers);
+        let setup_cost_recv = profile.endpoint_setup;
+        SrUdChannel {
+            shared: Arc::new(UdShared {
+                send_id,
+                recv_id,
+                qp,
+                send_cq,
+                recv_cq,
+                mtu,
+                peer_ahs: Mutex::new(HashMap::new()),
+                credit: Mutex::new(HashMap::new()),
+                consumed: Mutex::new(HashMap::new()),
+                sent_data: Mutex::new(HashMap::new()),
+                send_pool,
+                free: Mutex::new(free),
+                outstanding: Mutex::new(HashMap::new()),
+                post_lock: rshuffle_simnet::SimMutex::new(
+                    ctx.runtime().kernel(),
+                    (),
+                    SimDuration::from_nanos(60),
+                ),
+                recv_pool_dynamic: Mutex::new(None),
+                data_gate: Gate::new(ctx.runtime().kernel(), SimDuration::from_nanos(100)),
+                srcs: Mutex::new(HashMap::new()),
+                expected_srcs: Mutex::new(HashMap::new()),
+                grants: Mutex::new(HashMap::new()),
+                bytes_received: AtomicU64::new(0),
+                done: AtomicBool::new(false),
+                last_progress: Mutex::new(SimTime::ZERO),
+                cfg,
+                setup_cost_send,
+                setup_cost_recv,
+            }),
+        }
+    }
+
+    /// The channel's QP address, for peers' lane wiring.
+    pub fn address_handle(&self) -> AddressHandle {
+        self.shared.qp.address_handle()
+    }
+
+    /// The underlying QP (activated by the exchange builder).
+    pub fn qp(&self) -> &QueuePair {
+        &self.shared.qp
+    }
+
+    /// Registers the lane-matched peer channel for `node`.
+    pub fn add_peer(&self, node: NodeId, ah: AddressHandle) {
+        self.shared.peer_ahs.lock().insert(node, ah);
+    }
+
+    /// Declares the sources that will send to this channel's receive half,
+    /// allocates and posts the receive windows, and returns the initial
+    /// credit each source must be bootstrapped with.
+    ///
+    /// `ctx` must belong to the same node the channel was created on.
+    pub fn bootstrap_receives(&self, ctx: &Context, expected: &[(EndpointId, NodeId)]) -> u64 {
+        let s = &self.shared;
+        let window = s.cfg.recv_window_per_src;
+        {
+            let mut map = s.expected_srcs.lock();
+            for &(ep, node) in expected {
+                map.insert(ep.0, node);
+            }
+            let mut grants = s.grants.lock();
+            for &(_, node) in expected {
+                grants.insert(node, (window as u64, 0));
+            }
+        }
+        // Data windows plus generous head-room for in-flight credit
+        // datagrams (see module docs): credit arrivals are paced at one per
+        // `freq` releases, so 2× the window per peer bounds any burst.
+        let n_srcs = expected.len().max(1);
+        let headroom = 2 * window * n_srcs;
+        let slots = window * n_srcs + headroom;
+        let pool = ctx.register_untimed(slots * s.mtu);
+        // SAFETY of replace: bootstrap runs once before any receive is
+        // posted; swap the placeholder empty pool for the real one.
+        // (MemoryRegion clones share backing storage, so we must store the
+        // new region where the receive path can see it.)
+        for i in 0..slots {
+            s.qp.post_recv_untimed(RecvWr {
+                wr_id: (i * s.mtu) as u64,
+                mr: pool.clone(),
+                offset: i * s.mtu,
+                len: s.mtu,
+            })
+            .expect("bootstrap receive in bounds");
+        }
+        s.recv_pool_dynamic.lock().replace(pool);
+        window as u64
+    }
+
+    /// Seeds the send half's credit for `dest` (out-of-band bootstrap).
+    pub fn bootstrap_credit(&self, dest: NodeId, credit: u64) {
+        self.shared.credit.lock().insert(dest, credit);
+    }
+
+    /// The send half.
+    pub fn send_half(&self) -> SrUdSendEndpoint {
+        SrUdSendEndpoint {
+            shared: self.shared.clone(),
+        }
+    }
+
+    /// The receive half.
+    pub fn recv_half(&self) -> SrUdReceiveEndpoint {
+        SrUdReceiveEndpoint {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl UdShared {
+    /// Consumes one credit toward `dest`, blocking while exhausted. While
+    /// waiting, drains inbound completions so credit datagrams are seen even
+    /// if no receive-half thread is active.
+    fn consume_credit(&self, sim: &SimContext, dest: NodeId) -> Result<()> {
+        let deadline = sim.now() + self.cfg.stall_timeout;
+        let mut backoff = Backoff::new(self.cfg.poll_interval * 4);
+        loop {
+            {
+                let credit = self.credit.lock();
+                let mut consumed = self.consumed.lock();
+                let c = credit.get(&dest).copied().unwrap_or(0);
+                let used = consumed.entry(dest).or_insert(0);
+                if c > *used {
+                    *used += 1;
+                    return Ok(());
+                }
+            }
+            if sim.now() >= deadline {
+                return Err(ShuffleError::Stalled("waiting for UD send credit"));
+            }
+            // Drain inbound traffic: the credit we need may be sitting in
+            // the receive CQ.
+            if self.drain_one(sim, backoff.next())? {
+                backoff.reset();
+            }
+        }
+    }
+
+    /// Processes at most one inbound completion (credit updates handled
+    /// internally, data pushed to the data gate). Returns whether progress
+    /// was made.
+    fn drain_one(&self, sim: &SimContext, slice: SimDuration) -> Result<bool> {
+        let Some(c) = self.recv_cq.next_timeout(sim, slice) else {
+            return Ok(false);
+        };
+        if c.status != WcStatus::Success {
+            return Err(ShuffleError::CompletionError(
+                "UD receive completed in error",
+            ));
+        }
+        let pool = self
+            .recv_pool_dynamic
+            .lock()
+            .clone()
+            .expect("receive pool bootstrapped before traffic");
+        let mut buf = Buffer::new(pool, c.wr_id as usize, self.mtu);
+        let header = buf.read_header();
+        match header.kind {
+            MsgKind::Credit => {
+                // Absolute credit: later updates supersede earlier ones, so
+                // out-of-order arrival needs only a max().
+                let mut credit = self.credit.lock();
+                let e = credit.entry(c.src_node).or_insert(0);
+                *e = (*e).max(header.counter);
+                drop(credit);
+                // Recycle the receive slot immediately; control traffic does
+                // not count toward data credit.
+                self.qp.post_recv(
+                    sim,
+                    RecvWr {
+                        wr_id: buf.offset() as u64,
+                        mr: buf.region().clone(),
+                        offset: buf.offset(),
+                        len: self.mtu,
+                    },
+                )?;
+                *self.last_progress.lock() = sim.now();
+                Ok(true)
+            }
+            MsgKind::Data => {
+                buf.set_len(header.payload_len as usize);
+                self.bytes_received
+                    .fetch_add(header.payload_len as u64, Ordering::Relaxed);
+                {
+                    let mut srcs = self.srcs.lock();
+                    let entry = srcs.entry(header.src).or_insert(SrcCount {
+                        node: c.src_node,
+                        received: 0,
+                        expected: None,
+                    });
+                    entry.received += 1;
+                    if header.state == StreamState::Depleted {
+                        entry.expected = Some(header.counter);
+                    }
+                }
+                *self.last_progress.lock() = sim.now();
+                self.data_gate.push(Delivery {
+                    state: header.state,
+                    src: EndpointId(header.src),
+                    remote: 0,
+                    local: buf,
+                });
+                Ok(true)
+            }
+        }
+    }
+
+    /// Whether every expected source has delivered all counted messages.
+    fn check_done(&self) -> DoneState {
+        let expected = self.expected_srcs.lock();
+        if expected.is_empty() {
+            return DoneState::Done;
+        }
+        let srcs = self.srcs.lock();
+        let mut waiting_for_stragglers = false;
+        for (&ep, _) in expected.iter() {
+            match srcs.get(&ep) {
+                Some(s) => match s.expected {
+                    Some(total) if s.received == total => {}
+                    Some(total) => {
+                        debug_assert!(s.received < total, "received more than sent");
+                        waiting_for_stragglers = true;
+                    }
+                    None => return DoneState::InProgress,
+                },
+                None => return DoneState::InProgress,
+            }
+        }
+        if waiting_for_stragglers {
+            DoneState::WaitingForStragglers
+        } else {
+            DoneState::Done
+        }
+    }
+
+    /// Builds the restart error naming the worst straggler source.
+    fn straggler_error(&self) -> ShuffleError {
+        let srcs = self.srcs.lock();
+        for (&ep, s) in srcs.iter() {
+            if let Some(total) = s.expected {
+                if s.received < total {
+                    return ShuffleError::NetworkErrorRestartQuery {
+                        src: ep,
+                        expected: total,
+                        received: s.received,
+                    };
+                }
+            }
+        }
+        ShuffleError::NetworkErrorRestartQuery {
+            src: u32::MAX,
+            expected: 0,
+            received: 0,
+        }
+    }
+}
+
+enum DoneState {
+    InProgress,
+    WaitingForStragglers,
+    Done,
+}
+
+impl SendEndpoint for SrUdSendEndpoint {
+    fn id(&self) -> EndpointId {
+        self.shared.send_id
+    }
+
+    fn send(
+        &self,
+        sim: &SimContext,
+        buf: Buffer,
+        dest: &[NodeId],
+        state: StreamState,
+    ) -> Result<()> {
+        assert!(!dest.is_empty(), "send needs at least one destination");
+        let s = &self.shared;
+        if s.cfg.native_multicast && dest.len() > 1 && state == StreamState::MoreData {
+            return self.send_native_multicast(sim, buf, dest);
+        }
+        s.outstanding
+            .lock()
+            .insert(buf.offset() as u64, dest.len() as u32);
+        for &d in dest {
+            let ah = *s
+                .peer_ahs
+                .lock()
+                .get(&d)
+                .ok_or_else(|| ShuffleError::Config(format!("unknown destination node {d}")))?;
+            s.consume_credit(sim, d)?;
+            let total = {
+                let mut sent = s.sent_data.lock();
+                let e = sent.entry(d).or_insert(0);
+                *e += 1;
+                *e
+            };
+            // Per-destination header: the Depleted counter is specific to
+            // each destination, so it is written immediately before posting.
+            let header = MsgHeader {
+                src: s.send_id.0,
+                kind: MsgKind::Data,
+                state,
+                payload_len: buf.len() as u32,
+                counter: total,
+                remote_addr: buf.offset() as u64,
+            };
+            buf.write_header(&header);
+            let guard = s.post_lock.lock(sim);
+            if s.cfg.post_overhead > SimDuration::ZERO {
+                sim.sleep(s.cfg.post_overhead);
+            }
+            s.qp.post_send(
+                sim,
+                SendWr {
+                    wr_id: buf.offset() as u64,
+                    mr: buf.region().clone(),
+                    offset: buf.offset(),
+                    len: buf.message_len(),
+                    imm: None,
+                    ah: Some(ah),
+                },
+            )?;
+            drop(guard);
+        }
+        Ok(())
+    }
+
+    fn get_free(&self, sim: &SimContext) -> Result<Buffer> {
+        let s = &self.shared;
+        let deadline = sim.now() + s.cfg.stall_timeout;
+        loop {
+            if let Some(mut buf) = s.free.lock().pop() {
+                buf.clear();
+                return Ok(buf);
+            }
+            if sim.now() >= deadline {
+                return Err(ShuffleError::Stalled("waiting for a free UD send buffer"));
+            }
+            let Some(c) = s.send_cq.next_timeout(sim, s.cfg.poll_interval * 8) else {
+                continue;
+            };
+            if c.status != WcStatus::Success {
+                return Err(ShuffleError::CompletionError("UD send failed"));
+            }
+            let mut outstanding = s.outstanding.lock();
+            let remaining = outstanding
+                .get_mut(&c.wr_id)
+                .expect("completion for unknown buffer");
+            *remaining -= 1;
+            if *remaining == 0 {
+                outstanding.remove(&c.wr_id);
+                let buf = Buffer::new(s.send_pool.clone(), c.wr_id as usize, s.mtu);
+                s.free.lock().push(buf);
+            }
+        }
+    }
+
+    fn registered_bytes(&self) -> usize {
+        self.shared.send_pool.len()
+    }
+
+    fn charge_setup(&self, sim: &SimContext) {
+        sim.sleep(self.shared.setup_cost_send);
+    }
+}
+
+impl SrUdSendEndpoint {
+    /// Group send through the switch's multicast replication: consumes one
+    /// credit per member (each still consumes a posted receive), then posts
+    /// a single work request.
+    fn send_native_multicast(
+        &self,
+        sim: &SimContext,
+        buf: Buffer,
+        dest: &[NodeId],
+    ) -> Result<()> {
+        let s = &self.shared;
+        let mut ahs = Vec::with_capacity(dest.len());
+        for &d in dest {
+            let ah = *s
+                .peer_ahs
+                .lock()
+                .get(&d)
+                .ok_or_else(|| ShuffleError::Config(format!("unknown destination node {d}")))?;
+            s.consume_credit(sim, d)?;
+            let mut sent = s.sent_data.lock();
+            *sent.entry(d).or_insert(0) += 1;
+            ahs.push(ah);
+        }
+        let header = MsgHeader {
+            src: s.send_id.0,
+            kind: MsgKind::Data,
+            state: StreamState::MoreData,
+            payload_len: buf.len() as u32,
+            counter: 0, // Only read on Depleted, which never multicasts.
+            remote_addr: buf.offset() as u64,
+        };
+        buf.write_header(&header);
+        s.outstanding.lock().insert(buf.offset() as u64, 1);
+        let guard = s.post_lock.lock(sim);
+        if s.cfg.post_overhead > SimDuration::ZERO {
+            sim.sleep(s.cfg.post_overhead);
+        }
+        s.qp.post_send_multicast(
+            sim,
+            SendWr {
+                wr_id: buf.offset() as u64,
+                mr: buf.region().clone(),
+                offset: buf.offset(),
+                len: buf.message_len(),
+                imm: None,
+                ah: None,
+            },
+            &ahs,
+        )?;
+        drop(guard);
+        Ok(())
+    }
+}
+
+impl ReceiveEndpoint for SrUdReceiveEndpoint {
+    fn id(&self) -> EndpointId {
+        self.shared.recv_id
+    }
+
+    fn get_data(&self, sim: &SimContext) -> Result<Option<Delivery>> {
+        let s = &self.shared;
+        let stall_deadline = sim.now() + s.cfg.stall_timeout;
+        let mut backoff = Backoff::new(s.cfg.poll_interval * 16);
+        loop {
+            if let Some(d) = s.data_gate.try_recv() {
+                return Ok(Some(d));
+            }
+            if s.done.load(Ordering::SeqCst) {
+                return Ok(None);
+            }
+            if s.drain_one(sim, backoff.next())? {
+                backoff.reset();
+                continue;
+            }
+            // No progress this slice: evaluate termination.
+            match s.check_done() {
+                DoneState::Done => {
+                    if s.data_gate.is_empty() {
+                        s.done.store(true, Ordering::SeqCst);
+                        return Ok(None);
+                    }
+                }
+                DoneState::WaitingForStragglers => {
+                    // All totals are known but packets are missing — either
+                    // still in flight (common: out-of-order delivery) or
+                    // lost (rare). Wait bounded time since the last arrival.
+                    let last = *s.last_progress.lock();
+                    if sim.now() >= last + s.cfg.depleted_timeout {
+                        return Err(s.straggler_error());
+                    }
+                }
+                DoneState::InProgress => {
+                    if sim.now() >= stall_deadline {
+                        return Err(ShuffleError::Stalled(
+                            "UD receive endpoint made no progress",
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    fn release(
+        &self,
+        sim: &SimContext,
+        _remote: u64,
+        local: Buffer,
+        src: EndpointId,
+    ) -> Result<()> {
+        let s = &self.shared;
+        // Repost the receive slot.
+        s.qp.post_recv(
+            sim,
+            RecvWr {
+                wr_id: local.offset() as u64,
+                mr: local.region().clone(),
+                offset: local.offset(),
+                len: s.mtu,
+            },
+        )?;
+        let src_node = {
+            let map = s.expected_srcs.lock();
+            match map.get(&src.0) {
+                Some(&n) => n,
+                // Unknown source (e.g. tests releasing synthetic buffers):
+                // fall back to the recorded delivery source.
+                None => match s.srcs.lock().get(&src.0) {
+                    Some(sc) => sc.node,
+                    None => return Ok(()),
+                },
+            }
+        };
+        let (credit_now, write_back) = {
+            let mut grants = s.grants.lock();
+            let e = grants.entry(src_node).or_insert((0, 0));
+            e.0 += 1;
+            e.1 += 1;
+            let wb = e.1 % s.cfg.credit_writeback_frequency == 0;
+            (e.0, wb)
+        };
+        if write_back {
+            self.send_credit(sim, src_node, credit_now)?;
+        }
+        Ok(())
+    }
+
+    fn bytes_received(&self) -> u64 {
+        self.shared.bytes_received.load(Ordering::Relaxed)
+    }
+
+    fn registered_bytes(&self) -> usize {
+        self.shared
+            .recv_pool_dynamic
+            .lock()
+            .as_ref()
+            .map_or(0, |p| p.len())
+    }
+
+    fn charge_setup(&self, sim: &SimContext) {
+        sim.sleep(self.shared.setup_cost_recv);
+    }
+}
+
+impl SrUdReceiveEndpoint {
+    /// Sends an absolute-credit datagram to `dest` on the shared QP.
+    fn send_credit(&self, sim: &SimContext, dest: NodeId, credit: u64) -> Result<()> {
+        let s = &self.shared;
+        let ah = *s
+            .peer_ahs
+            .lock()
+            .get(&dest)
+            .ok_or_else(|| ShuffleError::Config(format!("no lane to credit target {dest}")))?;
+        // Credit datagrams are header-only; source them from a free send
+        // buffer (waiting briefly if the pool is momentarily empty).
+        let send_half = SrUdSendEndpoint { shared: s.clone() };
+        let buf = send_half.get_free(sim)?;
+        let header = MsgHeader {
+            src: s.recv_id.0,
+            kind: MsgKind::Credit,
+            state: StreamState::MoreData,
+            payload_len: 0,
+            counter: credit,
+            remote_addr: 0,
+        };
+        buf.write_header(&header);
+        s.outstanding.lock().insert(buf.offset() as u64, 1);
+        let guard = s.post_lock.lock(sim);
+        if s.cfg.post_overhead > SimDuration::ZERO {
+            sim.sleep(s.cfg.post_overhead);
+        }
+        s.qp.post_send(
+            sim,
+            SendWr {
+                wr_id: buf.offset() as u64,
+                mr: buf.region().clone(),
+                offset: buf.offset(),
+                len: HEADER_LEN,
+                imm: None,
+                ah: Some(ah),
+            },
+        )?;
+        drop(guard);
+        Ok(())
+    }
+}

@@ -1,0 +1,609 @@
+//! One-sided RDMA Write over the Reliable Connection service.
+//!
+//! This endpoint is the extension the paper's §7 lists as future work
+//! ("we plan to implement an endpoint based on the RDMA Write primitive to
+//! evaluate its performance"). It inverts the RDMA Read design of §4.4.3:
+//! the **receiver** owns the data buffers and stays passive; the sender
+//! pushes payloads directly into granted remote buffers with RDMA Write and
+//! then announces them through the receiver's `ValidArr` ring. Buffer
+//! grants flow back through a `FreeArr`-style ring at the sender.
+//!
+//! Compared to RDMA Read, the sender's *staging* buffer is reusable as soon
+//! as its own write completes — no remote consumption round trip — but
+//! every multicast destination costs a full extra data transmission, and
+//! flow control stalls when a receiver is slow to re-grant buffers.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+use rshuffle_simnet::{NodeId, SimContext, SimDuration};
+use rshuffle_verbs::{CompletionQueue, Context, MemoryRegion, QueuePair, RemoteAddr, WcStatus};
+
+use crate::buffer::{Buffer, MsgHeader, MsgKind, StreamState};
+use crate::endpoint::{Backoff, Delivery, EndpointId, ReceiveEndpoint, SendEndpoint};
+use crate::error::{Result, ShuffleError};
+
+/// Tuning knobs for the RDMA Write endpoint.
+#[derive(Clone, Debug)]
+pub struct WrRcConfig {
+    /// Transmission buffer window (header + payload).
+    pub message_size: usize,
+    /// Staging/remote buffers per peer.
+    pub buffers_per_peer: usize,
+    /// Polling granularity.
+    pub poll_interval: SimDuration,
+    /// Give up with [`ShuffleError::Stalled`] after this long without
+    /// progress.
+    pub stall_timeout: SimDuration,
+}
+
+impl Default for WrRcConfig {
+    fn default() -> Self {
+        WrRcConfig {
+            message_size: 64 * 1024,
+            buffers_per_peer: 2,
+            poll_interval: SimDuration::from_nanos(400),
+            stall_timeout: SimDuration::from_millis(500),
+        }
+    }
+}
+
+/// What a sender needs to push data into a [`WrRcReceiveEndpoint`].
+#[derive(Copy, Clone, Debug)]
+pub struct WrReceiverDescriptor {
+    /// The receiving endpoint's id.
+    pub endpoint: EndpointId,
+    /// Node the receiver lives on.
+    pub node: NodeId,
+    /// rkey of the receiver's data pool.
+    pub pool_rkey: u32,
+    /// The sender's ring inside the receiver's `ValidArr`.
+    pub valid_ring: RemoteAddr,
+    /// Ring capacity on both sides.
+    pub ring_cap: usize,
+}
+
+/// SEND endpoint: pushes payloads into remote buffers with RDMA Write.
+pub struct WrRcSendEndpoint {
+    id: EndpointId,
+    peer_index: HashMap<NodeId, usize>,
+    qps: Vec<QueuePair>,
+    send_cq: CompletionQueue,
+    /// Local staging buffers the operators fill.
+    pool_mr: MemoryRegion,
+    message_size: usize,
+    ring_cap: usize,
+    /// Grant rings: the receiver on peer `i` RDMA-Writes offsets of its
+    /// free remote buffers into ring `i` (offset + 1; zero = empty).
+    grant_arr: MemoryRegion,
+    state: Mutex<WrSendState>,
+    scratch: MemoryRegion,
+    wr_seq: AtomicU64,
+    post_lock: rshuffle_simnet::SimMutex<()>,
+    cfg: WrRcConfig,
+    setup_cost: SimDuration,
+}
+
+struct WrSendState {
+    grant_cons: Vec<u64>,
+    valid_prod: Vec<u64>,
+    descriptors: Vec<Option<WrReceiverDescriptor>>,
+    /// Remaining write completions per in-flight staging buffer.
+    outstanding: HashMap<u64, u32>,
+    free: Vec<Buffer>,
+}
+
+impl WrRcSendEndpoint {
+    /// Creates the endpoint with its staging pool, grant rings and per-peer
+    /// QPs.
+    pub fn new(ctx: &Context, id: EndpointId, peers: Vec<NodeId>, cfg: WrRcConfig) -> Self {
+        assert!(!peers.is_empty(), "send endpoint needs at least one peer");
+        let send_cq = ctx.create_cq();
+        let qps: Vec<QueuePair> = peers
+            .iter()
+            .map(|_| ctx.create_qp(rshuffle_verbs::QpType::Rc, send_cq.clone(), send_cq.clone()))
+            .collect();
+        let buffers = cfg.buffers_per_peer * peers.len();
+        let ring_cap = cfg.buffers_per_peer + 2;
+        let pool_bytes = cfg.message_size * buffers;
+        let pool_mr = ctx.register_untimed(pool_bytes);
+        let grant_arr = ctx.register_untimed(8 * ring_cap * peers.len());
+        let free = (0..buffers)
+            .map(|i| Buffer::new(pool_mr.clone(), i * cfg.message_size, cfg.message_size))
+            .collect();
+        let profile = ctx.profile();
+        let setup_cost = profile.endpoint_setup
+            + profile.rc_qp_setup * peers.len() as u64
+            + profile.mr_register_time(pool_bytes + 8 * ring_cap * peers.len());
+        let n = peers.len();
+        let peer_index = peers.iter().enumerate().map(|(i, &p)| (p, i)).collect();
+        WrRcSendEndpoint {
+            id,
+            peer_index,
+            qps,
+            send_cq,
+            pool_mr,
+            message_size: cfg.message_size,
+            ring_cap,
+            grant_arr,
+            state: Mutex::new(WrSendState {
+                grant_cons: vec![0; n],
+                valid_prod: vec![0; n],
+                descriptors: vec![None; n],
+                outstanding: HashMap::new(),
+                free,
+            }),
+            scratch: ctx.register_untimed(64 * 8),
+            wr_seq: AtomicU64::new(0),
+            post_lock: rshuffle_simnet::SimMutex::new(
+                ctx.runtime().kernel(),
+                (),
+                SimDuration::from_nanos(60),
+            ),
+            cfg,
+            setup_cost,
+        }
+    }
+
+    /// The QP facing `peer` (for wiring).
+    pub fn qp_for(&self, peer: NodeId) -> &QueuePair {
+        &self.qps[self.peer_index[&peer]]
+    }
+
+    /// Where the receiver on `peer` should RDMA-Write its buffer grants.
+    pub fn free_ring_for(&self, peer: NodeId) -> RemoteAddr {
+        let pi = self.peer_index[&peer];
+        RemoteAddr {
+            node: self.grant_arr.node(),
+            rkey: self.grant_arr.rkey(),
+            offset: 8 * self.ring_cap * pi,
+        }
+    }
+
+    /// Wires the receiver descriptor for `peer`.
+    pub fn set_descriptor(&self, peer: NodeId, desc: WrReceiverDescriptor) {
+        let pi = self.peer_index[&peer];
+        assert_eq!(desc.ring_cap, self.ring_cap, "ring capacities must agree");
+        self.state.lock().descriptors[pi] = Some(desc);
+    }
+
+    /// Seeds the grant ring for `peer` with the receiver's initial buffer
+    /// offsets (out-of-band bootstrap, before any traffic).
+    pub fn bootstrap_grants(&self, peer: NodeId, offsets: &[u64]) {
+        let pi = self.peer_index[&peer];
+        assert!(offsets.len() <= self.ring_cap, "too many initial grants");
+        for (k, &off) in offsets.iter().enumerate() {
+            self.grant_arr
+                .write_u64(8 * (self.ring_cap * pi + k), off + 1)
+                .expect("ring slot in bounds");
+        }
+    }
+
+    /// Pops one granted remote buffer offset for peer `pi`, blocking while
+    /// none is granted.
+    fn take_grant(&self, sim: &SimContext, pi: usize) -> Result<u64> {
+        let deadline = sim.now() + self.cfg.stall_timeout;
+        let mut drained = false;
+        loop {
+            {
+                let mut st = self.state.lock();
+                let slot = 8 * (self.ring_cap * pi + (st.grant_cons[pi] as usize % self.ring_cap));
+                let v = self.grant_arr.read_u64(slot).expect("ring slot in bounds");
+                if v != 0 {
+                    self.grant_arr
+                        .write_u64(slot, 0)
+                        .expect("ring slot in bounds");
+                    st.grant_cons[pi] += 1;
+                    return Ok(v - 1);
+                }
+            }
+            if sim.now() >= deadline {
+                return Err(ShuffleError::Stalled("waiting for remote buffer grant"));
+            }
+            if !drained {
+                self.grant_arr.drain_updates();
+                drained = true;
+                continue; // Re-check after the drain.
+            }
+            self.grant_arr
+                .wait_update_timeout(sim, self.cfg.poll_interval * 32);
+            drained = false;
+        }
+    }
+
+    /// Reaps write completions, recycling staging buffers.
+    fn reap(&self, sim: &SimContext, slice: SimDuration) -> Result<bool> {
+        let Some(c) = self.send_cq.next_timeout(sim, slice) else {
+            return Ok(false);
+        };
+        if c.status != WcStatus::Success {
+            return Err(ShuffleError::CompletionError("RDMA write failed"));
+        }
+        // Ring announcements use sequence ids above the staging range and
+        // need no bookkeeping.
+        if c.wr_id >= RING_WR_BASE {
+            return Ok(true);
+        }
+        let mut st = self.state.lock();
+        let remaining = st
+            .outstanding
+            .get_mut(&c.wr_id)
+            .expect("completion for unknown staging buffer");
+        *remaining -= 1;
+        if *remaining == 0 {
+            st.outstanding.remove(&c.wr_id);
+            st.free.push(Buffer::new(
+                self.pool_mr.clone(),
+                c.wr_id as usize,
+                self.message_size,
+            ));
+        }
+        Ok(true)
+    }
+}
+
+/// Work-request ids at or above this value are ring announcements.
+const RING_WR_BASE: u64 = 1 << 48;
+
+impl SendEndpoint for WrRcSendEndpoint {
+    fn id(&self) -> EndpointId {
+        self.id
+    }
+
+    fn send(
+        &self,
+        sim: &SimContext,
+        buf: Buffer,
+        dest: &[NodeId],
+        state: StreamState,
+    ) -> Result<()> {
+        assert!(!dest.is_empty(), "send needs at least one destination");
+        let header = MsgHeader {
+            src: self.id.0,
+            kind: MsgKind::Data,
+            state,
+            payload_len: buf.len() as u32,
+            counter: 0,
+            remote_addr: 0, // Filled per destination below.
+        };
+        self.state
+            .lock()
+            .outstanding
+            .insert(buf.offset() as u64, dest.len() as u32);
+        for &d in dest {
+            let pi = *self
+                .peer_index
+                .get(&d)
+                .ok_or_else(|| ShuffleError::Config(format!("unknown destination node {d}")))?;
+            let desc = self.state.lock().descriptors[pi]
+                .ok_or_else(|| ShuffleError::Config("receiver descriptor not wired".into()))?;
+            let remote_off = self.take_grant(sim, pi)?;
+            // The receiver re-grants its own buffer; record its offset so
+            // RELEASE can hand it back.
+            let mut h = header;
+            h.remote_addr = remote_off;
+            buf.write_header(&h);
+            // Push the payload into the granted remote buffer...
+            let target = RemoteAddr {
+                node: desc.node,
+                rkey: desc.pool_rkey,
+                offset: remote_off as usize,
+            };
+            let guard = self.post_lock.lock(sim);
+            self.qps[pi].post_write(
+                sim,
+                buf.offset() as u64,
+                (buf.region().clone(), buf.offset()),
+                target,
+                buf.message_len(),
+            )?;
+            // ...then announce it through the ValidArr ring (ordered after
+            // the data on the same reliable connection).
+            let slot_index = {
+                let mut st = self.state.lock();
+                let idx = st.valid_prod[pi] as usize % self.ring_cap;
+                st.valid_prod[pi] += 1;
+                idx
+            };
+            let seq = self.wr_seq.fetch_add(1, Ordering::Relaxed);
+            let scratch_off = (seq % 64) as usize * 8;
+            self.scratch
+                .write_u64(scratch_off, remote_off + 1)
+                .expect("scratch in bounds");
+            let ring_target = RemoteAddr {
+                node: desc.valid_ring.node,
+                rkey: desc.valid_ring.rkey,
+                offset: desc.valid_ring.offset + 8 * slot_index,
+            };
+            self.qps[pi].post_write(
+                sim,
+                RING_WR_BASE + seq,
+                (self.scratch.clone(), scratch_off),
+                ring_target,
+                8,
+            )?;
+            drop(guard);
+        }
+        Ok(())
+    }
+
+    fn get_free(&self, sim: &SimContext) -> Result<Buffer> {
+        let deadline = sim.now() + self.cfg.stall_timeout;
+        let mut backoff = Backoff::new(self.cfg.poll_interval * 8);
+        loop {
+            if let Some(mut buf) = self.state.lock().free.pop() {
+                buf.clear();
+                return Ok(buf);
+            }
+            if sim.now() >= deadline {
+                return Err(ShuffleError::Stalled("waiting for a free staging buffer"));
+            }
+            if self.reap(sim, backoff.next())? {
+                backoff.reset();
+            }
+        }
+    }
+
+    fn registered_bytes(&self) -> usize {
+        self.pool_mr.len() + self.grant_arr.len()
+    }
+
+    fn charge_setup(&self, sim: &SimContext) {
+        sim.sleep(self.setup_cost);
+    }
+}
+
+/// RECEIVE endpoint: passive target of RDMA Writes.
+pub struct WrRcReceiveEndpoint {
+    id: EndpointId,
+    srcs: Vec<NodeId>,
+    src_index: HashMap<NodeId, usize>,
+    qps: Vec<QueuePair>,
+    ctrl_cq: CompletionQueue,
+    /// Data buffers remote senders write into; per-source partitions.
+    pool_mr: MemoryRegion,
+    /// `ValidArr`: per-source rings announcing filled buffers.
+    valid_arr: MemoryRegion,
+    message_size: usize,
+    ring_cap: usize,
+    state: Mutex<WrRecvState>,
+    scratch: MemoryRegion,
+    wr_seq: AtomicU64,
+    bytes_received: AtomicU64,
+    cfg: WrRcConfig,
+    setup_cost: SimDuration,
+}
+
+struct WrRecvState {
+    valid_cons: Vec<u64>,
+    grant_prod: Vec<u64>,
+    grant_rings: Vec<Option<RemoteAddr>>,
+    depleted: Vec<bool>,
+    /// Buffers pending initial grant per source.
+    ungranted: Vec<Vec<u64>>,
+    /// Source endpoint id → slot index, learned from message headers.
+    src_ep_map: HashMap<u32, usize>,
+}
+
+impl WrRcReceiveEndpoint {
+    /// Creates the endpoint: data pool, `ValidArr` and per-source QPs.
+    pub fn new(ctx: &Context, id: EndpointId, srcs: Vec<NodeId>, cfg: WrRcConfig) -> Self {
+        assert!(
+            !srcs.is_empty(),
+            "receive endpoint needs at least one source"
+        );
+        let ctrl_cq = ctx.create_cq();
+        let qps: Vec<QueuePair> = srcs
+            .iter()
+            .map(|_| ctx.create_qp(rshuffle_verbs::QpType::Rc, ctrl_cq.clone(), ctrl_cq.clone()))
+            .collect();
+        let buffers_per_src = cfg.buffers_per_peer;
+        let ring_cap = cfg.buffers_per_peer + 2;
+        let pool_bytes = cfg.message_size * buffers_per_src * srcs.len();
+        let pool_mr = ctx.register_untimed(pool_bytes);
+        let valid_arr = ctx.register_untimed(8 * ring_cap * srcs.len());
+        let ungranted: Vec<Vec<u64>> = (0..srcs.len())
+            .map(|si| {
+                (0..buffers_per_src)
+                    .map(|k| ((si * buffers_per_src + k) * cfg.message_size) as u64)
+                    .collect()
+            })
+            .collect();
+        let profile = ctx.profile();
+        let setup_cost = profile.endpoint_setup
+            + profile.rc_qp_setup * srcs.len() as u64
+            + profile.mr_register_time(pool_bytes + 8 * ring_cap * srcs.len());
+        let n = srcs.len();
+        let src_index = srcs.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+        WrRcReceiveEndpoint {
+            id,
+            srcs,
+            src_index,
+            qps,
+            ctrl_cq,
+            pool_mr,
+            valid_arr,
+            message_size: cfg.message_size,
+            ring_cap,
+            state: Mutex::new(WrRecvState {
+                valid_cons: vec![0; n],
+                grant_prod: vec![0; n],
+                grant_rings: vec![None; n],
+                depleted: vec![false; n],
+                ungranted,
+                src_ep_map: HashMap::new(),
+            }),
+            scratch: ctx.register_untimed(64 * 8),
+            wr_seq: AtomicU64::new(0),
+            bytes_received: AtomicU64::new(0),
+            cfg,
+            setup_cost,
+        }
+    }
+
+    /// The QP facing `src` (for wiring).
+    pub fn qp_for(&self, src: NodeId) -> &QueuePair {
+        &self.qps[self.src_index[&src]]
+    }
+
+    /// Descriptor the sender on `src` needs to push data here.
+    pub fn remote_descriptor(&self, src: NodeId) -> WrReceiverDescriptor {
+        let si = self.src_index[&src];
+        WrReceiverDescriptor {
+            endpoint: self.id,
+            node: self.pool_mr.node(),
+            pool_rkey: self.pool_mr.rkey(),
+            valid_ring: RemoteAddr {
+                node: self.valid_arr.node(),
+                rkey: self.valid_arr.rkey(),
+                offset: 8 * self.ring_cap * si,
+            },
+            ring_cap: self.ring_cap,
+        }
+    }
+
+    /// Wires where to push buffer grants for `src`.
+    pub fn set_free_ring(&mut self, src: NodeId, ring: RemoteAddr) {
+        let si = self.src_index[&src];
+        self.state.lock().grant_rings[si] = Some(ring);
+    }
+
+    /// Takes the initial buffer offsets to grant to `src` and advances the
+    /// grant ring producer accordingly. The exchange builder passes the
+    /// offsets to [`WrRcSendEndpoint::bootstrap_grants`].
+    pub fn initial_grants(&self, src: NodeId) -> Vec<u64> {
+        let si = self.src_index[&src];
+        let mut st = self.state.lock();
+        let offsets = std::mem::take(&mut st.ungranted[si]);
+        st.grant_prod[si] += offsets.len() as u64;
+        offsets
+    }
+
+    fn grant_back(&self, sim: &SimContext, si: usize, offset: u64) -> Result<()> {
+        let (ring, idx) = {
+            let mut st = self.state.lock();
+            let ring = st.grant_rings[si]
+                .ok_or_else(|| ShuffleError::Config("grant ring not wired".into()))?;
+            let idx = st.grant_prod[si] as usize % self.ring_cap;
+            st.grant_prod[si] += 1;
+            (ring, idx)
+        };
+        let seq = self.wr_seq.fetch_add(1, Ordering::Relaxed);
+        let scratch_off = (seq % 64) as usize * 8;
+        self.scratch
+            .write_u64(scratch_off, offset + 1)
+            .expect("scratch in bounds");
+        let target = RemoteAddr {
+            node: ring.node,
+            rkey: ring.rkey,
+            offset: ring.offset + 8 * idx,
+        };
+        self.qps[si].post_write(sim, seq, (self.scratch.clone(), scratch_off), target, 8)?;
+        while self.ctrl_cq.depth() > 16 {
+            let _ = self.ctrl_cq.poll(sim, 16);
+        }
+        Ok(())
+    }
+
+    fn fully_done(&self) -> bool {
+        let st = self.state.lock();
+        for si in 0..self.srcs.len() {
+            if !st.depleted[si] {
+                return false;
+            }
+            let slot = 8 * (self.ring_cap * si + (st.valid_cons[si] as usize % self.ring_cap));
+            if self.valid_arr.read_u64(slot).expect("ring slot in bounds") != 0 {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl ReceiveEndpoint for WrRcReceiveEndpoint {
+    fn id(&self) -> EndpointId {
+        self.id
+    }
+
+    fn get_data(&self, sim: &SimContext) -> Result<Option<Delivery>> {
+        let deadline = sim.now() + self.cfg.stall_timeout;
+        loop {
+            // Scan the ValidArr rings for announced buffers.
+            for si in 0..self.srcs.len() {
+                let entry = {
+                    let mut st = self.state.lock();
+                    let slot =
+                        8 * (self.ring_cap * si + (st.valid_cons[si] as usize % self.ring_cap));
+                    let v = self.valid_arr.read_u64(slot).expect("ring slot in bounds");
+                    if v == 0 {
+                        None
+                    } else {
+                        self.valid_arr
+                            .write_u64(slot, 0)
+                            .expect("ring slot in bounds");
+                        st.valid_cons[si] += 1;
+                        Some(v - 1)
+                    }
+                };
+                let Some(offset) = entry else { continue };
+                let mut buf = Buffer::new(self.pool_mr.clone(), offset as usize, self.message_size);
+                let header = buf.read_header();
+                buf.set_len(header.payload_len as usize);
+                self.bytes_received
+                    .fetch_add(header.payload_len as u64, Ordering::Relaxed);
+                {
+                    let mut st = self.state.lock();
+                    st.src_ep_map.insert(header.src, si);
+                    if header.state == StreamState::Depleted {
+                        st.depleted[si] = true;
+                    }
+                }
+                return Ok(Some(Delivery {
+                    state: header.state,
+                    src: EndpointId(header.src),
+                    remote: offset,
+                    local: buf,
+                }));
+            }
+            if self.fully_done() {
+                return Ok(None);
+            }
+            if sim.now() >= deadline {
+                return Err(ShuffleError::Stalled("WR receive made no progress"));
+            }
+            self.valid_arr.drain_updates();
+            self.valid_arr
+                .wait_update_timeout(sim, self.cfg.poll_interval * 32);
+        }
+    }
+
+    fn release(
+        &self,
+        sim: &SimContext,
+        remote: u64,
+        _local: Buffer,
+        src: EndpointId,
+    ) -> Result<()> {
+        let si = {
+            let st = self.state.lock();
+            *st.src_ep_map.get(&src.0).ok_or_else(|| {
+                ShuffleError::Config(format!("release for unknown source {src:?}"))
+            })?
+        };
+        // Re-grant the (receiver-owned) buffer to the sender it serves.
+        self.grant_back(sim, si, remote)
+    }
+
+    fn bytes_received(&self) -> u64 {
+        self.bytes_received.load(Ordering::Relaxed)
+    }
+
+    fn registered_bytes(&self) -> usize {
+        self.pool_mr.len() + self.valid_arr.len()
+    }
+
+    fn charge_setup(&self, sim: &SimContext) {
+        sim.sleep(self.setup_cost);
+    }
+}

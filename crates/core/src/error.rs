@@ -1,0 +1,60 @@
+//! Error type for the shuffling operators.
+
+use std::fmt;
+
+use rshuffle_verbs::VerbsError;
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, ShuffleError>;
+
+/// Errors surfaced by the shuffle/receive operators and endpoints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShuffleError {
+    /// An underlying verbs operation failed.
+    Verbs(VerbsError),
+    /// Unreliable transport lost messages and the wait for outstanding
+    /// packets timed out; per §4.4.2 the query must be restarted.
+    NetworkErrorRestartQuery {
+        /// The endpoint id of the source whose messages went missing.
+        src: u32,
+        /// Messages the source claims to have sent.
+        expected: u64,
+        /// Messages actually received before the timeout.
+        received: u64,
+    },
+    /// An endpoint made no progress for longer than the stall timeout,
+    /// indicating a flow-control protocol failure.
+    Stalled(&'static str),
+    /// A hardware completion carried an error status.
+    CompletionError(&'static str),
+    /// The operator or endpoint was misconfigured.
+    Config(String),
+}
+
+impl fmt::Display for ShuffleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShuffleError::Verbs(e) => write!(f, "verbs error: {e}"),
+            ShuffleError::NetworkErrorRestartQuery {
+                src,
+                expected,
+                received,
+            } => write!(
+                f,
+                "network error: source endpoint {src} sent {expected} messages but only \
+                 {received} arrived; restart the query"
+            ),
+            ShuffleError::Stalled(what) => write!(f, "endpoint stalled: {what}"),
+            ShuffleError::CompletionError(what) => write!(f, "completion error: {what}"),
+            ShuffleError::Config(msg) => write!(f, "configuration error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ShuffleError {}
+
+impl From<VerbsError> for ShuffleError {
+    fn from(e: VerbsError) -> Self {
+        ShuffleError::Verbs(e)
+    }
+}

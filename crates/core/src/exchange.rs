@@ -1,0 +1,559 @@
+//! The exchange builder: instantiates and wires every endpoint of a
+//! cluster-wide shuffle.
+//!
+//! Builds, for every node and lane (SE: one lane, ME: one per thread), the
+//! send and receive endpoints of the chosen design, connects the Queue
+//! Pairs, exchanges ring/credit descriptors out of band and seeds the
+//! initial credit — everything the paper's connection-setup phase does
+//! (§4.2, measured in Figure 12). Lanes are matched: the sender on
+//! `(node a, lane l)` talks to the receiver on `(node b, lane l)`.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use rshuffle_simnet::{NodeId, SimContext};
+use rshuffle_verbs::{ConnectionManager, VerbsRuntime};
+
+use crate::config::{EndpointImpl, EndpointMode, ShuffleAlgorithm};
+use crate::endpoint::rd_rc::{RdRcConfig, RdRcReceiveEndpoint, RdRcSendEndpoint};
+use crate::endpoint::sr_rc::{SrRcConfig, SrRcReceiveEndpoint, SrRcSendEndpoint};
+use crate::endpoint::sr_ud::{SrUdChannel, SrUdConfig};
+use crate::endpoint::wr_rc::{WrRcConfig, WrRcReceiveEndpoint, WrRcSendEndpoint};
+use crate::endpoint::{EndpointId, ReceiveEndpoint, SendEndpoint};
+use crate::error::{Result, ShuffleError};
+use crate::group::TransmissionGroups;
+
+/// Configuration for building a cluster-wide exchange.
+#[derive(Clone)]
+pub struct ExchangeConfig {
+    /// Which of the six designs to instantiate.
+    pub algorithm: ShuffleAlgorithm,
+    /// Worker threads per query fragment.
+    pub threads: usize,
+    /// Message size (header + payload) for the RC designs; the UD designs
+    /// always use the MTU.
+    pub message_size: usize,
+    /// Send buffers per peer (RC designs; 2 = double buffering).
+    pub buffers_per_peer: usize,
+    /// Receive depth per peer (RC Send/Receive design).
+    pub recv_depth_per_peer: usize,
+    /// UD: send buffers per endpoint.
+    pub ud_send_buffers: usize,
+    /// UD: receive window granted per source.
+    pub ud_recv_window: usize,
+    /// Credit write-back frequency (Figure 8).
+    pub credit_writeback_frequency: u32,
+    /// Explicit lane-count override (Figure 11 sweeps this); `None` derives
+    /// lanes from the endpoint mode (SE = 1, ME = threads).
+    pub lanes_override: Option<usize>,
+    /// Use native switch multicast for UD group sends (§7 extension).
+    pub ud_native_multicast: bool,
+    /// Per-thread shared-QP posting cost (see
+    /// [`rshuffle_simnet::DeviceProfile::sq_contention_per_thread`]); the
+    /// builder reads it from the runtime's profile.
+    pub sq_contention: rshuffle_simnet::SimDuration,
+    /// Transmission groups of each node.
+    pub groups: Vec<TransmissionGroups>,
+}
+
+impl ExchangeConfig {
+    /// A repartition exchange among `nodes` nodes with the paper's default
+    /// parameters (64 KiB RC messages, double buffering, credit write-back
+    /// every 2 receives).
+    pub fn repartition(algorithm: ShuffleAlgorithm, nodes: usize, threads: usize) -> Self {
+        Self::with_groups(
+            algorithm,
+            threads,
+            (0..nodes)
+                .map(|me| TransmissionGroups::repartition(me, nodes))
+                .collect(),
+        )
+    }
+
+    /// A broadcast exchange among `nodes` nodes.
+    pub fn broadcast(algorithm: ShuffleAlgorithm, nodes: usize, threads: usize) -> Self {
+        Self::with_groups(
+            algorithm,
+            threads,
+            (0..nodes)
+                .map(|me| TransmissionGroups::broadcast(me, nodes))
+                .collect(),
+        )
+    }
+
+    /// An exchange with explicit per-node transmission groups.
+    pub fn with_groups(
+        algorithm: ShuffleAlgorithm,
+        threads: usize,
+        groups: Vec<TransmissionGroups>,
+    ) -> Self {
+        ExchangeConfig {
+            algorithm,
+            threads,
+            message_size: 64 * 1024,
+            buffers_per_peer: 2,
+            recv_depth_per_peer: 16,
+            ud_send_buffers: 16,
+            ud_recv_window: 16,
+            credit_writeback_frequency: 2,
+            lanes_override: None,
+            ud_native_multicast: false,
+            sq_contention: rshuffle_simnet::SimDuration::from_nanos(28),
+            groups,
+        }
+    }
+
+    /// A single-endpoint (SE) configuration serves all `threads` workers
+    /// from one endpoint, so its pools scale by the thread count — which is
+    /// why Figure 9(b) shows SE and ME designs registering the same amount
+    /// of memory.
+    fn pool_scale(&self) -> usize {
+        let lanes = self
+            .lanes_override
+            .unwrap_or_else(|| self.algorithm.endpoints(self.threads));
+        self.threads.div_ceil(lanes.max(1))
+    }
+
+    fn sr_rc(&self) -> SrRcConfig {
+        let scale = self.pool_scale();
+        SrRcConfig {
+            message_size: self.message_size,
+            buffers_per_peer: self.buffers_per_peer * scale,
+            recv_depth_per_peer: self.recv_depth_per_peer * scale,
+            credit_writeback_frequency: self.credit_writeback_frequency,
+            ..SrRcConfig::default()
+        }
+    }
+
+    fn rd_rc(&self) -> RdRcConfig {
+        RdRcConfig {
+            message_size: self.message_size,
+            buffers_per_peer: self.buffers_per_peer * self.pool_scale(),
+            ..RdRcConfig::default()
+        }
+    }
+
+    fn wr_rc(&self) -> WrRcConfig {
+        WrRcConfig {
+            message_size: self.message_size,
+            buffers_per_peer: self.buffers_per_peer * self.pool_scale(),
+            ..WrRcConfig::default()
+        }
+    }
+
+    fn sr_ud(&self) -> SrUdConfig {
+        let scale = self.pool_scale();
+        // Sharing one QP among t threads bounces its state between cores on
+        // every post; dedicated (ME) endpoints pay nothing. The per-thread
+        // constant comes from the hardware profile (older CPUs pay more).
+        let sharers = self.pool_scale();
+        let post_overhead = if sharers > 1 {
+            self.sq_contention * sharers as u64
+        } else {
+            rshuffle_simnet::SimDuration::ZERO
+        };
+        SrUdConfig {
+            send_buffers: self.ud_send_buffers * scale,
+            recv_window_per_src: self.ud_recv_window * scale,
+            credit_writeback_frequency: self.credit_writeback_frequency,
+            post_overhead,
+            native_multicast: self.ud_native_multicast,
+            ..SrUdConfig::default()
+        }
+    }
+}
+
+/// A fully wired cluster-wide exchange: per node, the lane-indexed send and
+/// receive endpoints.
+pub struct Exchange {
+    /// `send[node][lane]`.
+    pub send: Vec<Vec<Arc<dyn SendEndpoint>>>,
+    /// `recv[node][lane]`.
+    pub recv: Vec<Vec<Arc<dyn ReceiveEndpoint>>>,
+    /// Per-node transmission groups.
+    pub groups: Vec<TransmissionGroups>,
+    /// The design that was built.
+    pub algorithm: ShuffleAlgorithm,
+    /// Lanes per node (1 for SE, `threads` for ME).
+    pub lanes: usize,
+}
+
+impl Exchange {
+    /// Builds and wires all endpoints for `config` over `runtime`.
+    ///
+    /// Resource creation is untimed (setup cost is charged explicitly via
+    /// [`Exchange::charge_setup`], which Figure 12 measures).
+    pub fn build(runtime: &Arc<VerbsRuntime>, config: &ExchangeConfig) -> Result<Exchange> {
+        let mut config = config.clone();
+        config.sq_contention = runtime.profile().sq_contention_per_thread;
+        let config = &config;
+        let nodes = runtime.cluster().nodes();
+        if config.groups.len() != nodes {
+            return Err(ShuffleError::Config(format!(
+                "{} group sets for {} nodes",
+                config.groups.len(),
+                nodes
+            )));
+        }
+        let lanes = config
+            .lanes_override
+            .unwrap_or_else(|| config.algorithm.endpoints(config.threads));
+        if lanes == 0 || lanes > config.threads {
+            return Err(ShuffleError::Config(format!(
+                "lane count {lanes} out of range 1..={}",
+                config.threads
+            )));
+        }
+        // dests[a] = nodes a sends to; srcs[b] = nodes that send to b.
+        let dests: Vec<Vec<NodeId>> = config.groups.iter().map(|g| g.destinations()).collect();
+        let mut srcs: Vec<BTreeSet<NodeId>> = vec![BTreeSet::new(); nodes];
+        for (a, ds) in dests.iter().enumerate() {
+            for &b in ds {
+                if b >= nodes {
+                    return Err(ShuffleError::Config(format!(
+                        "group of node {a} references missing node {b}"
+                    )));
+                }
+                srcs[b].insert(a);
+            }
+        }
+        let srcs: Vec<Vec<NodeId>> = srcs.into_iter().map(|s| s.into_iter().collect()).collect();
+
+        // Endpoint ids: (node, lane, role) → unique integer.
+        let send_id = |node: usize, lane: usize| EndpointId((node * lanes + lane) as u32 * 2);
+        let recv_id = |node: usize, lane: usize| EndpointId((node * lanes + lane) as u32 * 2 + 1);
+
+        match config.algorithm.imp {
+            EndpointImpl::MqSr => {
+                let cfg = config.sr_rc();
+                let mut send_eps: Vec<Vec<Arc<SrRcSendEndpoint>>> = Vec::new();
+                let mut recv_eps: Vec<Vec<Arc<SrRcReceiveEndpoint>>> = Vec::new();
+                for node in 0..nodes {
+                    let ctx = runtime.context(node);
+                    let mut s_lane = Vec::new();
+                    let mut r_lane = Vec::new();
+                    for lane in 0..lanes {
+                        if !dests[node].is_empty() {
+                            s_lane.push(Arc::new(SrRcSendEndpoint::new(
+                                &ctx,
+                                send_id(node, lane),
+                                dests[node].clone(),
+                                cfg.clone(),
+                            )));
+                        }
+                        if !srcs[node].is_empty() {
+                            r_lane.push(Arc::new(SrRcReceiveEndpoint::new(
+                                &ctx,
+                                recv_id(node, lane),
+                                srcs[node].clone(),
+                                cfg.clone(),
+                            )));
+                        }
+                    }
+                    send_eps.push(s_lane);
+                    recv_eps.push(r_lane);
+                }
+                // Wire QP pairs and bootstrap credit.
+                for a in 0..nodes {
+                    for lane in 0..lanes {
+                        for &b in &dests[a] {
+                            let s = &send_eps[a][lane];
+                            let r = &recv_eps[b][lane];
+                            let qp_s = s.qp_for(b);
+                            let qp_r = r.qp_for(a);
+                            ConnectionManager::activate_untimed(qp_s, Some(qp_r.address_handle()))?;
+                            ConnectionManager::activate_untimed(qp_r, Some(qp_s.address_handle()))?;
+                            let credit = r.bootstrap_src(a, s.credit_slot_for(b));
+                            s.bootstrap_credit(b, credit);
+                        }
+                    }
+                }
+                Ok(Exchange {
+                    send: send_eps
+                        .into_iter()
+                        .map(|l| l.into_iter().map(|e| e as Arc<dyn SendEndpoint>).collect())
+                        .collect(),
+                    recv: recv_eps
+                        .into_iter()
+                        .map(|l| {
+                            l.into_iter()
+                                .map(|e| e as Arc<dyn ReceiveEndpoint>)
+                                .collect()
+                        })
+                        .collect(),
+                    groups: config.groups.clone(),
+                    algorithm: config.algorithm,
+                    lanes,
+                })
+            }
+            EndpointImpl::MqRd => {
+                let cfg = config.rd_rc();
+                let mut send_eps: Vec<Vec<Arc<RdRcSendEndpoint>>> = Vec::new();
+                let mut recv_eps: Vec<Vec<RdRcReceiveEndpoint>> = Vec::new();
+                for node in 0..nodes {
+                    let ctx = runtime.context(node);
+                    let mut s_lane = Vec::new();
+                    let mut r_lane = Vec::new();
+                    for lane in 0..lanes {
+                        if !dests[node].is_empty() {
+                            s_lane.push(Arc::new(RdRcSendEndpoint::new(
+                                &ctx,
+                                send_id(node, lane),
+                                dests[node].clone(),
+                                cfg.clone(),
+                            )));
+                        }
+                        if !srcs[node].is_empty() {
+                            r_lane.push(RdRcReceiveEndpoint::new(
+                                &ctx,
+                                recv_id(node, lane),
+                                srcs[node].clone(),
+                                cfg.clone(),
+                            ));
+                        }
+                    }
+                    send_eps.push(s_lane);
+                    recv_eps.push(r_lane);
+                }
+                for a in 0..nodes {
+                    for lane in 0..lanes {
+                        for &b in &dests[a] {
+                            let s = &send_eps[a][lane];
+                            // Receive endpoints need &mut for descriptor
+                            // wiring; index twice to satisfy the borrow
+                            // checker.
+                            let (qs_ah, qr_ah) = {
+                                let r = &recv_eps[b][lane];
+                                (s.qp_for(b).address_handle(), r.qp_for(a).address_handle())
+                            };
+                            ConnectionManager::activate_untimed(s.qp_for(b), Some(qr_ah))?;
+                            {
+                                let r = &recv_eps[b][lane];
+                                ConnectionManager::activate_untimed(r.qp_for(a), Some(qs_ah))?;
+                            }
+                            let desc = s.remote_descriptor(b);
+                            let ring = recv_eps[b][lane].valid_ring_for(a);
+                            recv_eps[b][lane].set_descriptor(a, desc);
+                            s.set_valid_ring(b, ring);
+                        }
+                    }
+                }
+                Ok(Exchange {
+                    send: send_eps
+                        .into_iter()
+                        .map(|l| l.into_iter().map(|e| e as Arc<dyn SendEndpoint>).collect())
+                        .collect(),
+                    recv: recv_eps
+                        .into_iter()
+                        .map(|l| {
+                            l.into_iter()
+                                .map(|e| Arc::new(e) as Arc<dyn ReceiveEndpoint>)
+                                .collect()
+                        })
+                        .collect(),
+                    groups: config.groups.clone(),
+                    algorithm: config.algorithm,
+                    lanes,
+                })
+            }
+            EndpointImpl::MqWr => {
+                let cfg = config.wr_rc();
+                let mut send_eps: Vec<Vec<Arc<WrRcSendEndpoint>>> = Vec::new();
+                let mut recv_eps: Vec<Vec<WrRcReceiveEndpoint>> = Vec::new();
+                for node in 0..nodes {
+                    let ctx = runtime.context(node);
+                    let mut s_lane = Vec::new();
+                    let mut r_lane = Vec::new();
+                    for lane in 0..lanes {
+                        if !dests[node].is_empty() {
+                            s_lane.push(Arc::new(WrRcSendEndpoint::new(
+                                &ctx,
+                                send_id(node, lane),
+                                dests[node].clone(),
+                                cfg.clone(),
+                            )));
+                        }
+                        if !srcs[node].is_empty() {
+                            r_lane.push(WrRcReceiveEndpoint::new(
+                                &ctx,
+                                recv_id(node, lane),
+                                srcs[node].clone(),
+                                cfg.clone(),
+                            ));
+                        }
+                    }
+                    send_eps.push(s_lane);
+                    recv_eps.push(r_lane);
+                }
+                for a in 0..nodes {
+                    for lane in 0..lanes {
+                        for &b in &dests[a] {
+                            let s = &send_eps[a][lane];
+                            let (qs_ah, qr_ah) = {
+                                let r = &recv_eps[b][lane];
+                                (s.qp_for(b).address_handle(), r.qp_for(a).address_handle())
+                            };
+                            ConnectionManager::activate_untimed(s.qp_for(b), Some(qr_ah))?;
+                            {
+                                let r = &recv_eps[b][lane];
+                                ConnectionManager::activate_untimed(r.qp_for(a), Some(qs_ah))?;
+                            }
+                            let desc = recv_eps[b][lane].remote_descriptor(a);
+                            let free_ring = s.free_ring_for(b);
+                            recv_eps[b][lane].set_free_ring(a, free_ring);
+                            s.set_descriptor(b, desc);
+                            let grants = recv_eps[b][lane].initial_grants(a);
+                            s.bootstrap_grants(b, &grants);
+                        }
+                    }
+                }
+                Ok(Exchange {
+                    send: send_eps
+                        .into_iter()
+                        .map(|l| l.into_iter().map(|e| e as Arc<dyn SendEndpoint>).collect())
+                        .collect(),
+                    recv: recv_eps
+                        .into_iter()
+                        .map(|l| {
+                            l.into_iter()
+                                .map(|e| Arc::new(e) as Arc<dyn ReceiveEndpoint>)
+                                .collect()
+                        })
+                        .collect(),
+                    groups: config.groups.clone(),
+                    algorithm: config.algorithm,
+                    lanes,
+                })
+            }
+            EndpointImpl::SqSr => {
+                let cfg = config.sr_ud();
+                let mut channels: Vec<Vec<SrUdChannel>> = Vec::new();
+                for node in 0..nodes {
+                    let ctx = runtime.context(node);
+                    let lane_channels = (0..lanes)
+                        .map(|lane| {
+                            SrUdChannel::new(
+                                &ctx,
+                                send_id(node, lane),
+                                recv_id(node, lane),
+                                cfg.clone(),
+                            )
+                        })
+                        .collect();
+                    channels.push(lane_channels);
+                }
+                // Activate QPs and exchange lane-matched address handles.
+                for node in 0..nodes {
+                    for lane in 0..lanes {
+                        ConnectionManager::activate_untimed(channels[node][lane].qp(), None)?;
+                    }
+                }
+                for a in 0..nodes {
+                    for lane in 0..lanes {
+                        let union: BTreeSet<NodeId> =
+                            dests[a].iter().chain(srcs[a].iter()).copied().collect();
+                        for b in union {
+                            let ah = channels[b][lane].address_handle();
+                            channels[a][lane].add_peer(b, ah);
+                        }
+                    }
+                }
+                // Bootstrap receive windows and credit.
+                for b in 0..nodes {
+                    for lane in 0..lanes {
+                        if srcs[b].is_empty() {
+                            continue;
+                        }
+                        let expected: Vec<(EndpointId, NodeId)> =
+                            srcs[b].iter().map(|&a| (send_id(a, lane), a)).collect();
+                        let ctx = runtime.context(b);
+                        let credit = channels[b][lane].bootstrap_receives(&ctx, &expected);
+                        for &a in &srcs[b] {
+                            channels[a][lane].bootstrap_credit(b, credit);
+                        }
+                    }
+                }
+                let send = channels
+                    .iter()
+                    .enumerate()
+                    .map(|(node, lane_ch)| {
+                        if dests[node].is_empty() {
+                            Vec::new()
+                        } else {
+                            lane_ch
+                                .iter()
+                                .map(|c| Arc::new(c.send_half()) as Arc<dyn SendEndpoint>)
+                                .collect()
+                        }
+                    })
+                    .collect();
+                let recv = channels
+                    .iter()
+                    .enumerate()
+                    .map(|(node, lane_ch)| {
+                        if srcs[node].is_empty() {
+                            Vec::new()
+                        } else {
+                            lane_ch
+                                .iter()
+                                .map(|c| Arc::new(c.recv_half()) as Arc<dyn ReceiveEndpoint>)
+                                .collect()
+                        }
+                    })
+                    .collect();
+                Ok(Exchange {
+                    send,
+                    recv,
+                    groups: config.groups.clone(),
+                    algorithm: config.algorithm,
+                    lanes,
+                })
+            }
+        }
+    }
+
+    /// Charges the modelled connection-setup cost for `node`'s endpoints to
+    /// the calling thread (the quantity of Figure 12).
+    pub fn charge_setup(&self, sim: &SimContext, node: NodeId) {
+        for ep in &self.send[node] {
+            ep.charge_setup(sim);
+        }
+        for ep in &self.recv[node] {
+            ep.charge_setup(sim);
+        }
+    }
+
+    /// Total RDMA-registered bytes on `node` across this exchange's
+    /// endpoints (the quantity of Figure 9b).
+    pub fn registered_bytes(&self, node: NodeId) -> usize {
+        self.send[node]
+            .iter()
+            .map(|e| e.registered_bytes())
+            .sum::<usize>()
+            + self.recv[node]
+                .iter()
+                .map(|e| e.registered_bytes())
+                .sum::<usize>()
+    }
+
+    /// Payload bytes received by `node` so far.
+    pub fn bytes_received(&self, node: NodeId) -> u64 {
+        self.recv[node].iter().map(|e| e.bytes_received()).sum()
+    }
+
+    /// The send endpoint for `(node, tid)` under this exchange's mode.
+    pub fn send_endpoint(&self, node: NodeId, tid: usize) -> &Arc<dyn SendEndpoint> {
+        match self.algorithm.mode {
+            EndpointMode::Single => &self.send[node][0],
+            EndpointMode::Multi => &self.send[node][tid],
+        }
+    }
+
+    /// The receive endpoint for `(node, tid)` under this exchange's mode.
+    pub fn recv_endpoint(&self, node: NodeId, tid: usize) -> &Arc<dyn ReceiveEndpoint> {
+        match self.algorithm.mode {
+            EndpointMode::Single => &self.recv[node][0],
+            EndpointMode::Multi => &self.recv[node][tid],
+        }
+    }
+}

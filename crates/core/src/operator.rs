@@ -1,0 +1,394 @@
+//! The parallel, vectorized pull-based operator model and the paper's
+//! SHUFFLE and RECEIVE operators (§4.3, Algorithms 1 and 2).
+//!
+//! Every operator implements a `NEXT(tid)` function returning a batch of
+//! tuples plus a stream state; worker threads pass their id so operator
+//! state and output buffers stay thread-partitioned (Figure 1).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rshuffle_simnet::{DeviceProfile, SimContext, SimDuration};
+
+use crate::buffer::{Buffer, StreamState};
+use crate::config::EndpointMode;
+use crate::endpoint::{ReceiveEndpoint, SendEndpoint};
+use crate::error::{Result, ShuffleError};
+use crate::group::TransmissionGroups;
+
+/// A vectorized batch of fixed-width rows.
+#[derive(Clone, Debug)]
+pub struct RowBatch {
+    row_size: usize,
+    data: Vec<u8>,
+}
+
+impl RowBatch {
+    /// Creates an empty batch for `row_size`-byte rows, pre-allocating room
+    /// for `capacity_rows`.
+    pub fn new(row_size: usize, capacity_rows: usize) -> Self {
+        assert!(row_size > 0, "rows must have positive width");
+        RowBatch {
+            row_size,
+            data: Vec::with_capacity(row_size * capacity_rows),
+        }
+    }
+
+    /// Row width in bytes.
+    pub fn row_size(&self) -> usize {
+        self.row_size
+    }
+
+    /// Number of rows in the batch.
+    pub fn rows(&self) -> usize {
+        self.data.len() / self.row_size
+    }
+
+    /// Whether the batch holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Total payload bytes.
+    pub fn bytes(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is not exactly `row_size` bytes.
+    pub fn push_row(&mut self, row: &[u8]) {
+        assert_eq!(row.len(), self.row_size, "row width mismatch");
+        self.data.extend_from_slice(row);
+    }
+
+    /// Appends `bytes` of whole rows (e.g. a received buffer payload).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is not a multiple of the row size.
+    pub fn extend_rows(&mut self, bytes: &[u8]) {
+        assert_eq!(
+            bytes.len() % self.row_size,
+            0,
+            "payload is not whole rows ({} bytes, {}-byte rows)",
+            bytes.len(),
+            self.row_size
+        );
+        self.data.extend_from_slice(bytes);
+    }
+
+    /// Returns row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn row(&self, i: usize) -> &[u8] {
+        &self.data[i * self.row_size..(i + 1) * self.row_size]
+    }
+
+    /// Iterates over the rows.
+    pub fn iter(&self) -> impl Iterator<Item = &[u8]> {
+        self.data.chunks_exact(self.row_size)
+    }
+
+    /// The raw row bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Removes all rows, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+}
+
+/// A parallel, vectorized pull-based operator (Figure 1).
+pub trait Operator: Send + Sync {
+    /// Returns the next batch for worker `tid`, along with whether more
+    /// data may follow. After returning [`StreamState::Depleted`] the
+    /// operator must keep returning `Depleted` with empty batches.
+    fn next(&self, sim: &SimContext, tid: usize) -> Result<(StreamState, RowBatch)>;
+}
+
+/// CPU cost constants the operators charge while processing tuples.
+#[derive(Clone, Debug)]
+pub struct CostModel {
+    /// Cost of hashing one tuple.
+    pub hash_per_tuple: SimDuration,
+    /// Single-core copy bandwidth, bytes/second.
+    pub memcpy_bandwidth: f64,
+}
+
+impl CostModel {
+    /// Extracts the cost constants from a device profile.
+    pub fn from_profile(p: &DeviceProfile) -> Self {
+        CostModel {
+            hash_per_tuple: p.hash_per_tuple,
+            memcpy_bandwidth: p.memcpy_bandwidth,
+        }
+    }
+
+    /// CPU time to copy `bytes`.
+    pub fn copy_time(&self, bytes: usize) -> SimDuration {
+        rshuffle_simnet::resource::transfer_time(bytes, self.memcpy_bandwidth)
+    }
+}
+
+/// Hash function assigning a tuple to a transmission group: the paper
+/// partitions on an 8-byte key at the start of the row (R.a / the join
+/// key). Fibonacci hashing spreads sequential keys.
+pub fn default_partition_hash(row: &[u8]) -> u64 {
+    let key = if row.len() >= 8 {
+        u64::from_le_bytes(row[0..8].try_into().expect("8 bytes"))
+    } else {
+        row.iter().fold(0u64, |h, &b| (h << 8) | b as u64)
+    };
+    key.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// The SHUFFLE operator (Algorithm 1): hashes every tuple of its child to a
+/// transmission group and transmits full buffers through a communication
+/// endpoint.
+pub struct ShuffleOperator {
+    mode: EndpointMode,
+    child: Arc<dyn Operator>,
+    /// `endpoint[0]` for SE; `endpoint[tid]` for ME.
+    endpoints: Vec<Arc<dyn SendEndpoint>>,
+    groups: TransmissionGroups,
+    hash: Arc<dyn Fn(&[u8]) -> u64 + Send + Sync>,
+    /// Thread-partitioned output buffers: `outbuf[tid][group]`.
+    outbuf: Vec<Mutex<Vec<Option<Buffer>>>>,
+    /// Threads still running per lane; the last thread of a lane propagates
+    /// Depleted on it (Algorithm 1 lines 14–17; with one lane this is the
+    /// paper's "last thread" rule).
+    lane_remaining: Vec<AtomicUsize>,
+    threads: usize,
+    cost: CostModel,
+}
+
+impl ShuffleOperator {
+    /// Creates the operator for `threads` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the endpoint count does not match the mode.
+    pub fn new(
+        mode: EndpointMode,
+        child: Arc<dyn Operator>,
+        endpoints: Vec<Arc<dyn SendEndpoint>>,
+        groups: TransmissionGroups,
+        threads: usize,
+        cost: CostModel,
+    ) -> Self {
+        match mode {
+            EndpointMode::Single => assert_eq!(endpoints.len(), 1, "SE needs exactly 1 endpoint"),
+            EndpointMode::Multi => {
+                assert_eq!(endpoints.len(), threads, "ME needs one endpoint per thread")
+            }
+        }
+        Self::with_lanes(child, endpoints, groups, threads, cost)
+    }
+
+    /// Creates the operator with an arbitrary number of endpoint lanes
+    /// (1 ≤ lanes ≤ threads); worker `tid` uses lane `tid % lanes`. This is
+    /// the knob swept in Figure 11 (the number of endpoints controls the
+    /// number of Queue Pairs).
+    pub fn with_lanes(
+        child: Arc<dyn Operator>,
+        endpoints: Vec<Arc<dyn SendEndpoint>>,
+        groups: TransmissionGroups,
+        threads: usize,
+        cost: CostModel,
+    ) -> Self {
+        let lanes = endpoints.len();
+        assert!(
+            (1..=threads).contains(&lanes),
+            "need between 1 and {threads} endpoint lanes, got {lanes}"
+        );
+        let n_groups = groups.len();
+        let lane_remaining = (0..lanes)
+            .map(|l| AtomicUsize::new((0..threads).filter(|t| t % lanes == l).count()))
+            .collect();
+        ShuffleOperator {
+            mode: if lanes == 1 {
+                EndpointMode::Single
+            } else {
+                EndpointMode::Multi
+            },
+            child,
+            endpoints,
+            groups,
+            hash: Arc::new(default_partition_hash),
+            outbuf: (0..threads)
+                .map(|_| Mutex::new(vec![None; n_groups]))
+                .collect(),
+            lane_remaining,
+            threads,
+            cost,
+        }
+    }
+
+    /// Replaces the partition hash function.
+    pub fn with_hash(mut self, hash: impl Fn(&[u8]) -> u64 + Send + Sync + 'static) -> Self {
+        self.hash = Arc::new(hash);
+        self
+    }
+
+    fn endpoint(&self, tid: usize) -> &Arc<dyn SendEndpoint> {
+        &self.endpoints[tid % self.endpoints.len()]
+    }
+}
+
+impl Operator for ShuffleOperator {
+    fn next(&self, sim: &SimContext, tid: usize) -> Result<(StreamState, RowBatch)> {
+        assert!(tid < self.threads, "tid {tid} out of range");
+        let target = self.endpoint(tid).clone();
+        loop {
+            let (state, batch) = self.child.next(sim, tid)?;
+            if !batch.is_empty() {
+                // Charge hashing and the copy into RDMA-registered memory.
+                sim.sleep(self.cost.hash_per_tuple * batch.rows() as u64);
+                sim.sleep(self.cost.copy_time(batch.bytes()));
+            }
+            for row in batch.iter() {
+                let dest = ((self.hash)(row) % self.groups.len() as u64) as usize;
+                // Take the current buffer out of the slot (so `send`/
+                // `get_free` are not called under the outbuf lock).
+                let cur = self.outbuf[tid].lock()[dest].take();
+                let mut cur = match cur {
+                    Some(b) => b,
+                    None => target.get_free(sim)?,
+                };
+                if cur.remaining() < row.len() {
+                    target.send(sim, cur, self.groups.group(dest), StreamState::MoreData)?;
+                    cur = target.get_free(sim)?;
+                }
+                cur.push(row)?;
+                self.outbuf[tid].lock()[dest] = Some(cur);
+            }
+            if state == StreamState::Depleted {
+                break;
+            }
+        }
+        // Flush every partial buffer.
+        for dest in 0..self.groups.len() {
+            if let Some(buf) = self.outbuf[tid].lock()[dest].take() {
+                if !buf.is_empty() {
+                    target.send(sim, buf, self.groups.group(dest), StreamState::MoreData)?;
+                }
+            }
+        }
+        // Propagate Depleted: the last thread of each lane closes that
+        // lane's endpoint (Algorithm 1, lines 14–17).
+        let lane = tid % self.endpoints.len();
+        let last = self.lane_remaining[lane].fetch_sub(1, Ordering::SeqCst) == 1;
+        let _ = self.mode;
+        if last {
+            for d in self.groups.destinations() {
+                let buf = target.get_free(sim)?;
+                target.send(sim, buf, &[d], StreamState::Depleted)?;
+            }
+        }
+        Ok((StreamState::Depleted, RowBatch::new(1, 0)))
+    }
+}
+
+/// The RECEIVE operator (Algorithm 2): copies delivered buffers into
+/// thread-partitioned output batches.
+pub struct ReceiveOperator {
+    mode: EndpointMode,
+    endpoints: Vec<Arc<dyn ReceiveEndpoint>>,
+    row_size: usize,
+    /// Return a batch once it holds at least this many rows.
+    batch_rows: usize,
+    threads: usize,
+    cost: CostModel,
+}
+
+impl ReceiveOperator {
+    /// Creates the operator for `threads` workers producing `row_size`-byte
+    /// rows in batches of `batch_rows`.
+    pub fn new(
+        mode: EndpointMode,
+        endpoints: Vec<Arc<dyn ReceiveEndpoint>>,
+        row_size: usize,
+        batch_rows: usize,
+        threads: usize,
+        cost: CostModel,
+    ) -> Self {
+        match mode {
+            EndpointMode::Single => assert_eq!(endpoints.len(), 1, "SE needs exactly 1 endpoint"),
+            EndpointMode::Multi => {
+                assert_eq!(endpoints.len(), threads, "ME needs one endpoint per thread")
+            }
+        }
+        Self::with_lanes(endpoints, row_size, batch_rows, threads, cost)
+    }
+
+    /// Creates the operator with an arbitrary number of endpoint lanes
+    /// (1 ≤ lanes ≤ threads); worker `tid` uses lane `tid % lanes`.
+    pub fn with_lanes(
+        endpoints: Vec<Arc<dyn ReceiveEndpoint>>,
+        row_size: usize,
+        batch_rows: usize,
+        threads: usize,
+        cost: CostModel,
+    ) -> Self {
+        let lanes = endpoints.len();
+        assert!(
+            (1..=threads).contains(&lanes),
+            "need between 1 and {threads} endpoint lanes, got {lanes}"
+        );
+        ReceiveOperator {
+            mode: if lanes == 1 {
+                EndpointMode::Single
+            } else {
+                EndpointMode::Multi
+            },
+            endpoints,
+            row_size,
+            batch_rows,
+            threads,
+            cost,
+        }
+    }
+
+    fn endpoint(&self, tid: usize) -> &Arc<dyn ReceiveEndpoint> {
+        let _ = self.mode;
+        &self.endpoints[tid % self.endpoints.len()]
+    }
+}
+
+impl Operator for ReceiveOperator {
+    fn next(&self, sim: &SimContext, tid: usize) -> Result<(StreamState, RowBatch)> {
+        assert!(tid < self.threads, "tid {tid} out of range");
+        let target = self.endpoint(tid).clone();
+        let mut out = RowBatch::new(self.row_size, self.batch_rows);
+        loop {
+            match target.get_data(sim)? {
+                Some(delivery) => {
+                    if delivery.local.len() % self.row_size != 0 {
+                        return Err(ShuffleError::Config(format!(
+                            "received {} bytes, not a multiple of {}-byte rows",
+                            delivery.local.len(),
+                            self.row_size
+                        )));
+                    }
+                    // Copy out of RDMA-registered memory (Algorithm 2,
+                    // line 8) and charge the copy.
+                    sim.sleep(self.cost.copy_time(delivery.local.len()));
+                    delivery.local.with_payload(|p| out.extend_rows(p));
+                    target.release(sim, delivery.remote, delivery.local, delivery.src)?;
+                    if out.rows() >= self.batch_rows {
+                        return Ok((StreamState::MoreData, out));
+                    }
+                }
+                None => return Ok((StreamState::Depleted, out)),
+            }
+        }
+    }
+}

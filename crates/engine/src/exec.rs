@@ -1,0 +1,448 @@
+//! Fragment drivers: pump a pipeline to completion on simulated worker
+//! threads and report per-fragment statistics.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rshuffle::{Operator, RowBatch, ShuffleError, StreamState};
+use rshuffle_simnet::{Cluster, NodeId, SimTime};
+
+/// Statistics from driving one fragment.
+#[derive(Clone, Debug, Default)]
+pub struct FragmentStats {
+    /// Rows that reached the sink.
+    pub rows: u64,
+    /// Payload bytes that reached the sink.
+    pub bytes: u64,
+    /// Virtual time the last worker finished at.
+    pub finished_at: SimTime,
+    /// Errors raised by workers.
+    pub errors: Vec<ShuffleError>,
+}
+
+/// Spawns `threads` workers on `node` that pull `op` to depletion,
+/// streaming every batch into `sink` (which may be a no-op). Statistics are
+/// accumulated into the returned handle, readable after
+/// [`Cluster::run`].
+pub fn drive_to_sink(
+    cluster: &Cluster,
+    node: NodeId,
+    name: &str,
+    op: Arc<dyn Operator>,
+    threads: usize,
+    sink: impl Fn(usize, &RowBatch) + Send + Sync + 'static,
+) -> Arc<Mutex<FragmentStats>> {
+    let stats = Arc::new(Mutex::new(FragmentStats::default()));
+    let sink = Arc::new(sink);
+    for tid in 0..threads {
+        let op = op.clone();
+        let stats = stats.clone();
+        let sink = sink.clone();
+        cluster.spawn(node, &format!("{name}-{tid}"), move |sim| loop {
+            match op.next(&sim, tid) {
+                Ok((state, batch)) => {
+                    if !batch.is_empty() {
+                        let mut s = stats.lock();
+                        s.rows += batch.rows() as u64;
+                        s.bytes += batch.bytes() as u64;
+                        sink(tid, &batch);
+                    }
+                    if state == StreamState::Depleted {
+                        let mut s = stats.lock();
+                        s.finished_at = s.finished_at.max(sim.now());
+                        break;
+                    }
+                }
+                Err(e) => {
+                    let mut s = stats.lock();
+                    s.errors.push(e);
+                    s.finished_at = s.finished_at.max(sim.now());
+                    break;
+                }
+            }
+        });
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{ComputeStage, Filter, Generator, HashAggregate, HashJoin, MemScan, Project};
+    use crate::table::Table;
+    use rshuffle_simnet::{DeviceProfile, SimDuration};
+
+    fn cluster() -> Cluster {
+        Cluster::new(1, DeviceProfile::edr())
+    }
+
+    fn key(row: &[u8]) -> u64 {
+        u64::from_le_bytes(row[0..8].try_into().expect("8 bytes"))
+    }
+
+    #[test]
+    fn generator_emits_exact_row_count() {
+        let c = cluster();
+        let gen = Arc::new(Generator::new(5000, 3, 42));
+        let stats = drive_to_sink(&c, 0, "gen", gen, 3, |_, _| {});
+        c.run();
+        let s = stats.lock();
+        assert_eq!(s.rows, 15_000);
+        assert_eq!(s.bytes, 15_000 * 16);
+        assert!(s.errors.is_empty());
+    }
+
+    #[test]
+    fn generator_keys_are_distinct_and_spread() {
+        // splitmix64 over distinct inputs yields distinct outputs.
+        let mut keys: Vec<u64> = (0..10_000)
+            .map(|seq| key(&Generator::row(7, 0, seq)))
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), 10_000);
+        // Roughly uniform: each quartile of the key space gets 15–35%.
+        let q = u64::MAX / 4;
+        for quartile in 0..4u64 {
+            let count = keys
+                .iter()
+                .filter(|&&k| k / q.max(1) == quartile || (quartile == 3 && k / q.max(1) > 3))
+                .count();
+            assert!(
+                (1_500..=3_500).contains(&count),
+                "quartile {quartile} holds {count} of 10000"
+            );
+        }
+    }
+
+    #[test]
+    fn memscan_visits_every_row_once() {
+        let mut b = Table::builder(8);
+        for i in 0..10_000u64 {
+            b.push(&i.to_le_bytes());
+        }
+        let table = b.build();
+        let c = cluster();
+        let scan = Arc::new(MemScan::new(table, 4, 8e9));
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let seen2 = seen.clone();
+        let stats = drive_to_sink(&c, 0, "scan", scan, 4, move |_, batch| {
+            for row in batch.iter() {
+                seen2
+                    .lock()
+                    .push(u64::from_le_bytes(row.try_into().unwrap()));
+            }
+        });
+        c.run();
+        assert!(stats.lock().errors.is_empty());
+        let mut seen = seen.lock().clone();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..10_000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scan_time_tracks_bandwidth() {
+        let mut b = Table::builder(16);
+        for i in 0..100_000u64 {
+            b.push(&[i.to_le_bytes(), i.to_le_bytes()].concat());
+        }
+        let table = b.build();
+        let c = cluster();
+        // 1.6 MB at 8 GB/s on one thread ≈ 200 µs.
+        let scan = Arc::new(MemScan::new(table, 1, 8e9));
+        drive_to_sink(&c, 0, "scan", scan, 1, |_, _| {});
+        c.run();
+        let us = c.kernel().now().as_nanos() as f64 / 1e3;
+        assert!((150.0..300.0).contains(&us), "scan took {us} µs");
+    }
+
+    #[test]
+    fn filter_keeps_matching_rows() {
+        let c = cluster();
+        let gen = Arc::new(Generator::new(4000, 2, 1));
+        let filter = Arc::new(Filter::new(
+            gen,
+            |row| key(row) % 2 == 0,
+            SimDuration::from_nanos(2),
+        ));
+        let stats = drive_to_sink(&c, 0, "filter", filter, 2, |_, _| {});
+        c.run();
+        let rows = stats.lock().rows;
+        // ~50% selectivity on a uniform key.
+        assert!((3_200..4_800).contains(&rows), "kept {rows} of 8000");
+    }
+
+    #[test]
+    fn project_narrows_rows() {
+        let c = cluster();
+        let gen = Arc::new(Generator::new(1000, 1, 1));
+        let proj = Arc::new(Project::new(
+            gen,
+            8,
+            |row, out| out.extend_from_slice(&row[0..8]),
+            SimDuration::from_nanos(1),
+        ));
+        let stats = drive_to_sink(&c, 0, "proj", proj, 1, |_, batch| {
+            assert_eq!(batch.row_size(), 8);
+        });
+        c.run();
+        let s = stats.lock();
+        assert_eq!(s.rows, 1000);
+        assert_eq!(s.bytes, 8000);
+    }
+
+    #[test]
+    fn hash_join_matches_equal_keys() {
+        let c = cluster();
+        // Build: keys 0..1000 (one row each); probe: keys 0..2000.
+        let mut b = Table::builder(8);
+        for i in 0..1000u64 {
+            b.push(&i.to_le_bytes());
+        }
+        let build = Arc::new(MemScan::new(b.build(), 2, 8e9));
+        let mut p = Table::builder(8);
+        for i in 0..2000u64 {
+            p.push(&i.to_le_bytes());
+        }
+        let probe = Arc::new(MemScan::new(p.build(), 2, 8e9));
+        let join = Arc::new(HashJoin::new(
+            c.kernel(),
+            build,
+            probe,
+            key,
+            key,
+            |b, p, out| {
+                out.extend_from_slice(&b[0..8]);
+                out.extend_from_slice(&p[0..8]);
+            },
+            16,
+            2,
+            SimDuration::from_nanos(4),
+        ));
+        let stats = drive_to_sink(&c, 0, "join", join, 2, |_, batch| {
+            for row in batch.iter() {
+                assert_eq!(row[0..8], row[8..16], "join key mismatch");
+            }
+        });
+        c.run();
+        let s = stats.lock();
+        assert!(s.errors.is_empty(), "{:?}", s.errors);
+        assert_eq!(s.rows, 1000, "exactly the matching keys join");
+    }
+
+    #[test]
+    fn hash_join_handles_duplicate_build_keys() {
+        let c = cluster();
+        let mut b = Table::builder(8);
+        for _ in 0..3 {
+            for i in 0..10u64 {
+                b.push(&i.to_le_bytes());
+            }
+        }
+        let build = Arc::new(MemScan::new(b.build(), 1, 8e9));
+        let mut p = Table::builder(8);
+        for i in 0..10u64 {
+            p.push(&i.to_le_bytes());
+        }
+        let probe = Arc::new(MemScan::new(p.build(), 1, 8e9));
+        let join = Arc::new(HashJoin::new(
+            c.kernel(),
+            build,
+            probe,
+            key,
+            key,
+            |b, _p, out| out.extend_from_slice(&b[0..8]),
+            8,
+            1,
+            SimDuration::from_nanos(4),
+        ));
+        let stats = drive_to_sink(&c, 0, "join", join, 1, |_, _| {});
+        c.run();
+        assert_eq!(stats.lock().rows, 30, "3 build duplicates × 10 probe keys");
+    }
+
+    #[test]
+    fn hash_aggregate_sums_groups() {
+        let c = cluster();
+        // 16-byte rows: key % 8 in [0..8), value = 1.
+        let mut b = Table::builder(16);
+        for i in 0..4000u64 {
+            let mut row = Vec::new();
+            row.extend_from_slice(&(i % 8).to_le_bytes());
+            row.extend_from_slice(&1u64.to_le_bytes());
+            b.push(&row);
+        }
+        let scan = Arc::new(MemScan::new(b.build(), 2, 8e9));
+        let agg = Arc::new(HashAggregate::new(
+            c.kernel(),
+            scan,
+            key,
+            |row| {
+                let mut acc = row[0..8].to_vec();
+                acc.extend_from_slice(
+                    &u64::from_le_bytes(row[8..16].try_into().unwrap()).to_le_bytes(),
+                );
+                acc
+            },
+            |acc, row| {
+                let cur = u64::from_le_bytes(acc[8..16].try_into().unwrap());
+                let add = u64::from_le_bytes(row[8..16].try_into().unwrap());
+                acc[8..16].copy_from_slice(&(cur + add).to_le_bytes());
+            },
+            16,
+            2,
+            SimDuration::from_nanos(4),
+        ));
+        let groups = Arc::new(Mutex::new(Vec::new()));
+        let g2 = groups.clone();
+        let stats = drive_to_sink(&c, 0, "agg", agg, 2, move |_, batch| {
+            for row in batch.iter() {
+                g2.lock().push((
+                    u64::from_le_bytes(row[0..8].try_into().unwrap()),
+                    u64::from_le_bytes(row[8..16].try_into().unwrap()),
+                ));
+            }
+        });
+        c.run();
+        assert!(stats.lock().errors.is_empty());
+        let mut groups = groups.lock().clone();
+        groups.sort_unstable();
+        assert_eq!(groups.len(), 8);
+        for (k, sum) in groups {
+            assert!(k < 8);
+            assert_eq!(sum, 500, "group {k}");
+        }
+    }
+
+    #[test]
+    fn union_all_concatenates_children() {
+        use crate::ops::UnionAll;
+        let c = cluster();
+        let a = Arc::new(Generator::new(1_000, 2, 1));
+        let b = Arc::new(Generator::new(500, 2, 2));
+        let union = Arc::new(UnionAll::new(vec![a, b], 2));
+        let stats = drive_to_sink(&c, 0, "union", union, 2, |_, _| {});
+        c.run();
+        assert_eq!(stats.lock().rows, 2 * 1_000 + 2 * 500);
+    }
+
+    #[test]
+    fn union_all_with_empty_children() {
+        use crate::ops::UnionAll;
+        let c = cluster();
+        let empty = Arc::new(MemScan::new(Table::empty(16), 1, 8e9));
+        let data = Arc::new(Generator::new(100, 1, 3));
+        let empty2 = Arc::new(MemScan::new(Table::empty(16), 1, 8e9));
+        let union = Arc::new(UnionAll::new(vec![empty, data, empty2], 1));
+        let stats = drive_to_sink(&c, 0, "union", union, 1, |_, _| {});
+        c.run();
+        assert_eq!(stats.lock().rows, 100);
+    }
+
+    #[test]
+    fn semi_join_passes_only_matching_probes() {
+        use crate::ops::HashSemiJoin;
+        let c = cluster();
+        let mut b = Table::builder(8);
+        for i in (0..1000u64).step_by(2) {
+            b.push(&i.to_le_bytes()); // Even keys only.
+        }
+        let build = Arc::new(MemScan::new(b.build(), 2, 8e9));
+        let mut p = Table::builder(8);
+        for i in 0..1000u64 {
+            p.push(&i.to_le_bytes());
+        }
+        let probe = Arc::new(MemScan::new(p.build(), 2, 8e9));
+        let semi = Arc::new(HashSemiJoin::new(
+            c.kernel(),
+            build,
+            probe,
+            key,
+            key,
+            2,
+            SimDuration::from_nanos(4),
+        ));
+        let stats = drive_to_sink(&c, 0, "semi", semi, 2, |_, batch| {
+            for row in batch.iter() {
+                assert_eq!(key(row) % 2, 0, "odd key leaked through the semi join");
+            }
+        });
+        c.run();
+        assert_eq!(stats.lock().rows, 500);
+    }
+
+    #[test]
+    fn semi_join_with_empty_build_side_emits_nothing() {
+        use crate::ops::HashSemiJoin;
+        let c = cluster();
+        let build = Arc::new(MemScan::new(Table::empty(8), 1, 8e9));
+        let mut p = Table::builder(8);
+        for i in 0..100u64 {
+            p.push(&i.to_le_bytes());
+        }
+        let probe = Arc::new(MemScan::new(p.build(), 1, 8e9));
+        let semi = Arc::new(HashSemiJoin::new(
+            c.kernel(),
+            build,
+            probe,
+            key,
+            key,
+            1,
+            SimDuration::from_nanos(4),
+        ));
+        let stats = drive_to_sink(&c, 0, "semi", semi, 1, |_, _| {});
+        c.run();
+        assert_eq!(stats.lock().rows, 0);
+    }
+
+    #[test]
+    fn top_n_keeps_the_largest_keys_in_order() {
+        use crate::ops::TopN;
+        let c = cluster();
+        let mut b = Table::builder(8);
+        // Shuffled values 0..1000.
+        for i in 0..1000u64 {
+            let v = (i * 617) % 1000;
+            b.push(&(v as i64).to_le_bytes());
+        }
+        let scan = Arc::new(MemScan::new(b.build(), 3, 8e9));
+        let top = Arc::new(TopN::new(
+            c.kernel(),
+            scan,
+            |row| i64::from_le_bytes(row[0..8].try_into().unwrap()),
+            10,
+            3,
+            SimDuration::from_nanos(2),
+        ));
+        let rows = Arc::new(Mutex::new(Vec::new()));
+        let rows2 = rows.clone();
+        let stats = drive_to_sink(&c, 0, "top", top, 3, move |_, batch| {
+            for row in batch.iter() {
+                rows2
+                    .lock()
+                    .push(i64::from_le_bytes(row[0..8].try_into().unwrap()));
+            }
+        });
+        c.run();
+        assert!(stats.lock().errors.is_empty());
+        let rows = rows.lock().clone();
+        assert_eq!(rows, (990..1000).rev().map(|v| v as i64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn compute_stage_slows_the_pipeline() {
+        let run = |per_batch| {
+            let c = cluster();
+            let gen = Arc::new(Generator::new(10_240, 1, 1));
+            let staged = Arc::new(ComputeStage::new(gen, per_batch));
+            drive_to_sink(&c, 0, "stage", staged, 1, |_, _| {});
+            c.run();
+            c.kernel().now()
+        };
+        let fast = run(SimDuration::ZERO);
+        let slow = run(SimDuration::from_micros(10));
+        // 10 batches of 1024 rows at +10 µs each.
+        let delta = (slow - fast).as_nanos();
+        assert_eq!(delta, 100_000, "compute stage must add exactly 10×10µs");
+    }
+}

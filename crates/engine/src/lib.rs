@@ -1,0 +1,26 @@
+//! A pull-based, vectorized, thread-parallel query engine — the substrate
+//! the paper's Pythia prototype provides (§5: "a prototype open-source
+//! in-memory query engine").
+//!
+//! Operators implement [`rshuffle::Operator`]: a `NEXT(tid)` call returning
+//! a batch of fixed-width rows plus a stream state (Figure 1 of the paper).
+//! The engine contributes:
+//!
+//! * [`Table`] — an in-memory row store with thread-partitioned scans,
+//! * relational operators: [`MemScan`], [`Generator`], [`Filter`],
+//!   [`Project`], [`HashJoin`], [`HashAggregate`], [`ComputeStage`],
+//! * [`exec`] — fragment drivers that pump pipelines to completion on
+//!   simulated worker threads and report timing.
+
+#![warn(missing_docs)]
+
+pub mod exec;
+pub mod ops;
+pub mod table;
+
+pub use exec::{drive_to_sink, FragmentStats};
+pub use ops::{
+    ComputeStage, Filter, Generator, HashAggregate, HashJoin, HashSemiJoin, MemScan, Project, TopN,
+    UnionAll,
+};
+pub use table::Table;

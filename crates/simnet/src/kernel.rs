@@ -1,0 +1,975 @@
+//! The cooperative virtual-time kernel.
+//!
+//! Simulated threads are real OS threads, but at most one executes at any
+//! moment: the kernel always hands control to the runnable entity (thread or
+//! scheduled event) with the minimum virtual timestamp, breaking ties
+//! deterministically (events before threads, then by sequence/thread id).
+//! Timing therefore never depends on the host scheduler and simulations are
+//! reproducible bit-for-bit.
+//!
+//! Threads advance time explicitly:
+//! * [`SimContext::sleep`] models CPU work (accounted as busy time),
+//! * [`Gate`] is a virtual-time channel: receivers block without consuming
+//!   virtual time (accounted as idle time) until a value is pushed.
+//!
+//! The kernel detects global deadlock (every thread blocked, no pending
+//! events) and panics with a diagnostic listing the blocked threads, which
+//! turns protocol termination bugs into immediate test failures.
+
+use std::collections::{BTreeSet, BinaryHeap, HashMap, VecDeque};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::time::{SimDuration, SimTime};
+use crate::NodeId;
+
+/// Identifier of a simulated thread, unique within a [`Kernel`].
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct SimThreadId(u64);
+
+/// Result of a [`Gate::recv_timeout`] call.
+#[derive(Debug, PartialEq, Eq)]
+pub enum RecvTimeout<T> {
+    /// A value arrived before the deadline.
+    Value(T),
+    /// The deadline passed with no value available.
+    TimedOut,
+}
+
+impl<T> RecvTimeout<T> {
+    /// Returns the contained value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the receive timed out.
+    pub fn unwrap(self) -> T {
+        match self {
+            RecvTimeout::Value(v) => v,
+            RecvTimeout::TimedOut => panic!("called unwrap() on RecvTimeout::TimedOut"),
+        }
+    }
+}
+
+/// Post-mortem statistics for one simulated thread.
+#[derive(Clone, Debug)]
+pub struct ThreadStats {
+    /// Thread name given at spawn time.
+    pub name: String,
+    /// Node the thread was pinned to.
+    pub node: NodeId,
+    /// Virtual time spent in [`SimContext::sleep`] (modelled CPU work).
+    pub busy: SimDuration,
+    /// Virtual time spent blocked on gates.
+    pub idle: SimDuration,
+    /// Virtual time at which the thread function returned.
+    pub finished_at: SimTime,
+}
+
+struct Slot {
+    /// `Some(t)`: runnable at virtual time `t`. `None`: running or blocked.
+    resume_at: Option<SimTime>,
+    cv: Arc<Condvar>,
+    name: String,
+    node: NodeId,
+    busy: SimDuration,
+    idle: SimDuration,
+}
+
+struct EventEntry {
+    at: SimTime,
+    seq: u64,
+    action: Box<dyn FnOnce() + Send>,
+}
+
+impl PartialEq for EventEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for EventEntry {}
+impl PartialOrd for EventEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for EventEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+struct State {
+    now: SimTime,
+    next_tid: u64,
+    next_seq: u64,
+    running: Option<SimThreadId>,
+    threads: HashMap<SimThreadId, Slot>,
+    runnable: BTreeSet<(SimTime, SimThreadId)>,
+    events: BinaryHeap<EventEntry>,
+    finished: bool,
+    poisoned: Option<String>,
+    stats: Vec<ThreadStats>,
+    join_handles: Vec<JoinHandle<()>>,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    completion: Condvar,
+}
+
+/// Handle to a virtual-time simulation kernel. Cheap to clone.
+#[derive(Clone)]
+pub struct Kernel {
+    shared: Arc<Shared>,
+}
+
+impl Default for Kernel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Kernel {
+    /// Creates a new kernel with the clock at zero.
+    pub fn new() -> Self {
+        Kernel {
+            shared: Arc::new(Shared {
+                state: Mutex::new(State {
+                    now: SimTime::ZERO,
+                    next_tid: 0,
+                    next_seq: 0,
+                    running: None,
+                    threads: HashMap::new(),
+                    runnable: BTreeSet::new(),
+                    events: BinaryHeap::new(),
+                    finished: false,
+                    poisoned: None,
+                    stats: Vec::new(),
+                    join_handles: Vec::new(),
+                }),
+                completion: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Current virtual time. Callable from anywhere.
+    pub fn now(&self) -> SimTime {
+        self.shared.state.lock().now
+    }
+
+    /// Spawns a simulated thread pinned to `node`, runnable at the current
+    /// virtual time. Returns its id.
+    ///
+    /// May be called before [`Kernel::run`] or from inside another simulated
+    /// thread.
+    pub fn spawn<F>(&self, node: NodeId, name: &str, f: F) -> SimThreadId
+    where
+        F: FnOnce(SimContext) + Send + 'static,
+    {
+        let (tid, cv) = {
+            let mut st = self.shared.state.lock();
+            let tid = SimThreadId(st.next_tid);
+            st.next_tid += 1;
+            let cv = Arc::new(Condvar::new());
+            let start_at = st.now;
+            st.threads.insert(
+                tid,
+                Slot {
+                    resume_at: Some(start_at),
+                    cv: cv.clone(),
+                    name: name.to_string(),
+                    node,
+                    busy: SimDuration::ZERO,
+                    idle: SimDuration::ZERO,
+                },
+            );
+            let key = (st.now, tid);
+            st.runnable.insert(key);
+            (tid, cv)
+        };
+
+        let kernel = self.clone();
+        let handle = std::thread::Builder::new()
+            .name(name.to_string())
+            .spawn(move || {
+                kernel.thread_main(tid, cv, node, f);
+            })
+            .expect("failed to spawn OS thread for simulated thread");
+        self.shared.state.lock().join_handles.push(handle);
+        tid
+    }
+
+    fn thread_main<F>(&self, tid: SimThreadId, cv: Arc<Condvar>, node: NodeId, f: F)
+    where
+        F: FnOnce(SimContext) + Send,
+    {
+        // Wait until the dispatcher hands control to this thread.
+        {
+            let mut st = self.shared.state.lock();
+            while st.running != Some(tid) && st.poisoned.is_none() {
+                cv.wait(&mut st);
+            }
+            if st.poisoned.is_some() {
+                self.retire(tid, true);
+                return;
+            }
+        }
+
+        let ctx = SimContext {
+            kernel: self.clone(),
+            id: tid,
+            node,
+        };
+        let result = panic::catch_unwind(AssertUnwindSafe(move || f(ctx)));
+        let panicked = result.is_err();
+        if let Err(payload) = result {
+            // `&*payload` unsizes to the payload itself; `&payload` would
+            // wrap the Box and break the downcasts.
+            let msg = payload_to_string(&*payload);
+            let mut st = self.shared.state.lock();
+            if st.poisoned.is_none() {
+                st.poisoned = Some(format!("simulated thread panicked: {msg}"));
+            }
+            // Wake everything so blocked threads observe the poison and exit.
+            for slot in st.threads.values() {
+                slot.cv.notify_all();
+            }
+            self.shared.completion.notify_all();
+        }
+        self.retire(tid, panicked);
+    }
+
+    /// Removes a finished thread, records its stats and hands control to the
+    /// next runnable entity.
+    fn retire(&self, tid: SimThreadId, panicked: bool) {
+        let mut st = self.shared.state.lock();
+        if let Some(slot) = st.threads.remove(&tid) {
+            if let Some(t) = slot.resume_at {
+                st.runnable.remove(&(t, tid));
+            }
+            let finished_at = st.now;
+            st.stats.push(ThreadStats {
+                name: slot.name,
+                node: slot.node,
+                busy: slot.busy,
+                idle: slot.idle,
+                finished_at,
+            });
+        }
+        if st.running == Some(tid) {
+            st.running = None;
+        }
+        if st.poisoned.is_some() || panicked {
+            self.shared.completion.notify_all();
+            return;
+        }
+        self.dispatch(st, None);
+    }
+
+    /// Schedules `action` to run at virtual time `at` (clamped to `now`).
+    ///
+    /// Actions run while no simulated thread executes; they may schedule
+    /// further events and push to gates, but must not block.
+    pub fn schedule<F>(&self, at: SimTime, action: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let mut st = self.shared.state.lock();
+        let at = at.max(st.now);
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        st.events.push(EventEntry {
+            at,
+            seq,
+            action: Box::new(action),
+        });
+    }
+
+    /// Schedules `action` to run `delay` after the current virtual time.
+    pub fn schedule_in<F>(&self, delay: SimDuration, action: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let now = self.now();
+        self.schedule(now + delay, action);
+    }
+
+    /// Runs the simulation to completion: blocks the calling (host) thread
+    /// until every simulated thread has finished and the event queue is
+    /// empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any simulated thread panicked or a global deadlock was
+    /// detected (every thread blocked with no pending event).
+    pub fn run(&self) {
+        {
+            let st = self.shared.state.lock();
+            self.dispatch(st, None);
+        }
+        let mut st = self.shared.state.lock();
+        while !st.finished && st.poisoned.is_none() {
+            self.shared.completion.wait(&mut st);
+        }
+        let poisoned = st.poisoned.clone();
+        let handles = std::mem::take(&mut st.join_handles);
+        drop(st);
+        for h in handles {
+            // Threads have either exited or are unwinding; joining is safe.
+            let _ = h.join();
+        }
+        if let Some(msg) = poisoned {
+            panic!("{msg}");
+        }
+    }
+
+    /// Returns statistics for all threads that have finished so far.
+    pub fn stats(&self) -> Vec<ThreadStats> {
+        self.shared.state.lock().stats.clone()
+    }
+
+    /// Core scheduling loop. Processes due events inline; when the next
+    /// runnable entity is a thread, transfers control to it.
+    ///
+    /// If `me` is `Some`, the caller is a simulated thread that has already
+    /// recorded its own wakeup (or blocked state) and this call returns only
+    /// once the caller is scheduled to run again.
+    fn dispatch<'a>(&'a self, mut st: parking_lot::MutexGuard<'a, State>, me: Option<SimThreadId>) {
+        loop {
+            if st.poisoned.is_some() {
+                drop(st);
+                self.propagate_poison(me);
+                return;
+            }
+            let next_event_at = st.events.peek().map(|e| e.at);
+            let next_thread = st.runnable.iter().next().copied();
+
+            match (next_event_at, next_thread) {
+                (None, None) => {
+                    if st.threads.is_empty() {
+                        st.finished = true;
+                        self.shared.completion.notify_all();
+                        if me.is_some() {
+                            // A thread with `me` set is blocked on a gate and
+                            // nothing can ever wake it: that is a deadlock of
+                            // one.
+                            let msg = "deadlock: last runnable thread blocked forever".to_string();
+                            st.poisoned = Some(msg.clone());
+                            drop(st);
+                            panic!("{msg}");
+                        }
+                        return;
+                    }
+                    // Threads exist but none is runnable and no event is
+                    // pending: global deadlock.
+                    let blocked: Vec<String> = st
+                        .threads
+                        .values()
+                        .map(|s| format!("{} (node {})", s.name, s.node))
+                        .collect();
+                    let msg = format!(
+                        "virtual-time deadlock at {:?}: {} thread(s) blocked with no pending \
+                         events: [{}]",
+                        st.now,
+                        blocked.len(),
+                        blocked.join(", ")
+                    );
+                    st.poisoned = Some(msg.clone());
+                    for slot in st.threads.values() {
+                        slot.cv.notify_all();
+                    }
+                    self.shared.completion.notify_all();
+                    drop(st);
+                    panic!("{msg}");
+                }
+                (Some(ev_at), thread) if thread.map_or(true, |(t, _)| ev_at <= t) => {
+                    let entry = st.events.pop().expect("peeked event must exist");
+                    debug_assert!(entry.at >= st.now, "event scheduled in the past");
+                    st.now = entry.at;
+                    drop(st);
+                    (entry.action)();
+                    st = self.shared.state.lock();
+                }
+                (_, Some((t, tid))) => {
+                    st.runnable.remove(&(t, tid));
+                    debug_assert!(t >= st.now, "thread scheduled in the past");
+                    st.now = t;
+                    st.running = Some(tid);
+                    let cv = {
+                        let slot = st
+                            .threads
+                            .get_mut(&tid)
+                            .expect("runnable thread must exist");
+                        slot.resume_at = None;
+                        slot.cv.clone()
+                    };
+                    if me == Some(tid) {
+                        return;
+                    }
+                    cv.notify_one();
+                    if let Some(my_id) = me {
+                        let my_cv = st
+                            .threads
+                            .get(&my_id)
+                            .expect("calling thread must exist")
+                            .cv
+                            .clone();
+                        while st.running != Some(my_id) && st.poisoned.is_none() {
+                            my_cv.wait(&mut st);
+                        }
+                        if st.poisoned.is_some() {
+                            drop(st);
+                            self.propagate_poison(me);
+                        }
+                    }
+                    return;
+                }
+                // `(Some(_), None)` with a failed guard cannot occur: the
+                // guard is always true when no thread is runnable.
+                _ => unreachable!("dispatch: inconsistent scheduler state"),
+            }
+        }
+    }
+
+    fn propagate_poison(&self, me: Option<SimThreadId>) {
+        if me.is_some() {
+            // Unwind through the simulated thread; its wrapper will retire it
+            // without re-poisoning.
+            panic!("simulation poisoned (another thread panicked or deadlock detected)");
+        }
+    }
+
+    /// Marks the calling thread runnable again at `at` and yields to the
+    /// scheduler. Returns when the thread is dispatched (virtual time == at,
+    /// unless poisoned).
+    fn yield_until(&self, me: SimThreadId, at: SimTime) {
+        let mut st = self.shared.state.lock();
+        debug_assert_eq!(st.running, Some(me), "yield_until from non-running thread");
+        debug_assert!(at >= st.now);
+        let slot = st.threads.get_mut(&me).expect("running thread must exist");
+        slot.resume_at = Some(at);
+        st.runnable.insert((at, me));
+        st.running = None;
+        self.dispatch(st, Some(me));
+    }
+
+    /// Blocks the calling thread with no wakeup time (a gate push must wake
+    /// it). `deadline`, if given, acts as a timed wakeup.
+    fn block_me(&self, me: SimThreadId, deadline: Option<SimTime>) {
+        let mut st = self.shared.state.lock();
+        debug_assert_eq!(st.running, Some(me), "block from non-running thread");
+        let wait_start = st.now;
+        let slot = st.threads.get_mut(&me).expect("running thread must exist");
+        slot.resume_at = deadline;
+        if let Some(d) = deadline {
+            st.runnable.insert((d, me));
+        }
+        st.running = None;
+        self.dispatch(st, Some(me));
+        let mut st = self.shared.state.lock();
+        let now = st.now;
+        let slot = st.threads.get_mut(&me).expect("running thread must exist");
+        slot.idle += now.duration_since(wait_start);
+    }
+
+    /// Makes a blocked thread runnable at `at` (or earlier if it already has
+    /// an earlier wakeup). No-op for the currently running thread.
+    fn wake(&self, st: &mut State, tid: SimThreadId, at: SimTime) {
+        if st.running == Some(tid) {
+            return;
+        }
+        if let Some(slot) = st.threads.get_mut(&tid) {
+            match slot.resume_at {
+                Some(existing) if existing <= at => {}
+                Some(existing) => {
+                    st.runnable.remove(&(existing, tid));
+                    slot.resume_at = Some(at);
+                    st.runnable.insert((at, tid));
+                }
+                None => {
+                    slot.resume_at = Some(at);
+                    st.runnable.insert((at, tid));
+                }
+            }
+        }
+    }
+}
+
+fn payload_to_string(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Per-thread handle passed to the closure given to [`Kernel::spawn`].
+#[derive(Clone)]
+pub struct SimContext {
+    kernel: Kernel,
+    id: SimThreadId,
+    node: NodeId,
+}
+
+impl SimContext {
+    /// The kernel this thread belongs to.
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// This thread's id.
+    pub fn id(&self) -> SimThreadId {
+        self.id
+    }
+
+    /// The node this thread is pinned to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.kernel.now()
+    }
+
+    /// Advances this thread's clock by `d`, modelling CPU work. Other
+    /// runnable entities with earlier timestamps execute in the meantime.
+    pub fn sleep(&self, d: SimDuration) {
+        if d == SimDuration::ZERO {
+            return self.yield_now();
+        }
+        {
+            let mut st = self.kernel.shared.state.lock();
+            let slot = st
+                .threads
+                .get_mut(&self.id)
+                .expect("running thread must exist");
+            slot.busy += d;
+        }
+        let at = self.kernel.now() + d;
+        self.kernel.yield_until(self.id, at);
+    }
+
+    /// Yields to any runnable entity scheduled at the current instant.
+    pub fn yield_now(&self) {
+        let at = self.kernel.now();
+        self.kernel.yield_until(self.id, at);
+    }
+}
+
+struct GateInner<T> {
+    queue: Mutex<VecDeque<T>>,
+    waiters: Mutex<VecDeque<SimThreadId>>,
+    wake_latency: SimDuration,
+}
+
+/// A virtual-time MPMC channel: producers [`push`](Gate::push) from threads
+/// or event actions; consumers block in virtual time until a value arrives.
+///
+/// Waiting consumes no virtual CPU (it is accounted as idle time), modelling
+/// a blocked thread that is woken by an interrupt/doorbell after
+/// `wake_latency`.
+pub struct Gate<T> {
+    kernel: Kernel,
+    inner: Arc<GateInner<T>>,
+}
+
+impl<T> Clone for Gate<T> {
+    fn clone(&self) -> Self {
+        Gate {
+            kernel: self.kernel.clone(),
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T: Send + 'static> Gate<T> {
+    /// Creates a gate whose wakeups are delivered `wake_latency` after the
+    /// push.
+    pub fn new(kernel: &Kernel, wake_latency: SimDuration) -> Self {
+        Gate {
+            kernel: kernel.clone(),
+            inner: Arc::new(GateInner {
+                queue: Mutex::new(VecDeque::new()),
+                waiters: Mutex::new(VecDeque::new()),
+                wake_latency,
+            }),
+        }
+    }
+
+    /// Enqueues a value and wakes the longest-waiting receiver, if any.
+    /// Callable from simulated threads and from event actions.
+    pub fn push(&self, value: T) {
+        let mut st = self.kernel.shared.state.lock();
+        self.inner.queue.lock().push_back(value);
+        let waiter = self.inner.waiters.lock().pop_front();
+        if let Some(w) = waiter {
+            let at = st.now + self.inner.wake_latency;
+            self.kernel.wake(&mut st, w, at);
+        }
+    }
+
+    /// Number of values currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.queue.lock().len()
+    }
+
+    /// Whether the gate currently holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.inner.queue.lock().is_empty()
+    }
+
+    /// Pops a value if one is immediately available. Consumes no virtual
+    /// time.
+    pub fn try_recv(&self) -> Option<T> {
+        self.inner.queue.lock().pop_front()
+    }
+
+    /// Blocks in virtual time until a value is available.
+    pub fn recv(&self, ctx: &SimContext) -> T {
+        loop {
+            {
+                let _st = self.kernel.shared.state.lock();
+                if let Some(v) = self.inner.queue.lock().pop_front() {
+                    return v;
+                }
+                let mut waiters = self.inner.waiters.lock();
+                if !waiters.contains(&ctx.id) {
+                    waiters.push_back(ctx.id);
+                }
+            }
+            self.kernel.block_me(ctx.id, None);
+        }
+    }
+
+    /// Blocks in virtual time until a value is available or `timeout`
+    /// elapses.
+    pub fn recv_timeout(&self, ctx: &SimContext, timeout: SimDuration) -> RecvTimeout<T> {
+        let deadline = self.kernel.now() + timeout;
+        loop {
+            {
+                let st = self.kernel.shared.state.lock();
+                if let Some(v) = self.inner.queue.lock().pop_front() {
+                    self.inner.waiters.lock().retain(|w| *w != ctx.id);
+                    return RecvTimeout::Value(v);
+                }
+                if st.now >= deadline {
+                    self.inner.waiters.lock().retain(|w| *w != ctx.id);
+                    return RecvTimeout::TimedOut;
+                }
+                let mut waiters = self.inner.waiters.lock();
+                if !waiters.contains(&ctx.id) {
+                    waiters.push_back(ctx.id);
+                }
+            }
+            self.kernel.block_me(ctx.id, Some(deadline));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn empty_kernel_finishes() {
+        let kernel = Kernel::new();
+        kernel.run();
+        assert_eq!(kernel.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn single_thread_advances_clock() {
+        let kernel = Kernel::new();
+        kernel.spawn(0, "t", |sim| {
+            sim.sleep(SimDuration::from_micros(3));
+            sim.sleep(SimDuration::from_micros(4));
+            assert_eq!(sim.now().as_nanos(), 7_000);
+        });
+        kernel.run();
+        assert_eq!(kernel.now().as_nanos(), 7_000);
+    }
+
+    #[test]
+    fn threads_interleave_in_time_order() {
+        let kernel = Kernel::new();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        for (name, step) in [("a", 30u64), ("b", 20), ("c", 50)] {
+            let order = order.clone();
+            kernel.spawn(0, name, move |sim| {
+                sim.sleep(SimDuration::from_nanos(step));
+                order.lock().push((sim.now().as_nanos(), name));
+            });
+        }
+        kernel.run();
+        assert_eq!(
+            *order.lock(),
+            vec![(20, "b"), (30, "a"), (50, "c")],
+            "threads must run in virtual-time order"
+        );
+    }
+
+    #[test]
+    fn equal_times_break_ties_by_spawn_order() {
+        let kernel = Kernel::new();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        for name in ["first", "second", "third"] {
+            let order = order.clone();
+            kernel.spawn(0, name, move |sim| {
+                sim.sleep(SimDuration::from_nanos(10));
+                order.lock().push(name);
+            });
+        }
+        kernel.run();
+        assert_eq!(*order.lock(), vec!["first", "second", "third"]);
+    }
+
+    #[test]
+    fn events_run_before_threads_at_same_time() {
+        let kernel = Kernel::new();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let o1 = order.clone();
+        kernel.schedule(SimTime::from_nanos(10), move || o1.lock().push("event"));
+        let o2 = order.clone();
+        kernel.spawn(0, "t", move |sim| {
+            sim.sleep(SimDuration::from_nanos(10));
+            o2.lock().push("thread");
+        });
+        kernel.run();
+        assert_eq!(*order.lock(), vec!["event", "thread"]);
+    }
+
+    #[test]
+    fn events_chain() {
+        let kernel = Kernel::new();
+        let count = Arc::new(AtomicU64::new(0));
+        let c = count.clone();
+        let k = kernel.clone();
+        kernel.schedule(SimTime::from_nanos(5), move || {
+            c.fetch_add(1, Ordering::SeqCst);
+            let c2 = c.clone();
+            k.schedule(SimTime::from_nanos(9), move || {
+                c2.fetch_add(10, Ordering::SeqCst);
+            });
+        });
+        kernel.run();
+        assert_eq!(count.load(Ordering::SeqCst), 11);
+        assert_eq!(kernel.now().as_nanos(), 9);
+    }
+
+    #[test]
+    fn gate_delivers_value_with_latency() {
+        let kernel = Kernel::new();
+        let gate: Gate<u64> = Gate::new(&kernel, SimDuration::from_nanos(100));
+        let g = gate.clone();
+        kernel.spawn(0, "consumer", move |sim| {
+            let v = g.recv(&sim);
+            assert_eq!(v, 42);
+            // Pushed at t=500 by the event below; wake latency 100.
+            assert_eq!(sim.now().as_nanos(), 600);
+        });
+        let g2 = gate.clone();
+        kernel.schedule(SimTime::from_nanos(500), move || g2.push(42));
+        kernel.run();
+    }
+
+    #[test]
+    fn gate_value_available_before_recv_is_instant() {
+        let kernel = Kernel::new();
+        let gate: Gate<u64> = Gate::new(&kernel, SimDuration::from_nanos(100));
+        gate.push(7);
+        let g = gate.clone();
+        kernel.spawn(0, "consumer", move |sim| {
+            sim.sleep(SimDuration::from_nanos(10));
+            let v = g.recv(&sim);
+            assert_eq!(v, 7);
+            assert_eq!(sim.now().as_nanos(), 10, "no wait when a value is queued");
+        });
+        kernel.run();
+    }
+
+    #[test]
+    fn gate_recv_timeout_times_out() {
+        let kernel = Kernel::new();
+        let gate: Gate<u64> = Gate::new(&kernel, SimDuration::ZERO);
+        let g = gate.clone();
+        kernel.spawn(0, "consumer", move |sim| {
+            let r = g.recv_timeout(&sim, SimDuration::from_micros(5));
+            assert_eq!(r, RecvTimeout::TimedOut);
+            assert_eq!(sim.now().as_nanos(), 5_000);
+        });
+        kernel.run();
+    }
+
+    #[test]
+    fn gate_recv_timeout_receives_early_push() {
+        let kernel = Kernel::new();
+        let gate: Gate<u64> = Gate::new(&kernel, SimDuration::ZERO);
+        let g = gate.clone();
+        kernel.spawn(0, "consumer", move |sim| {
+            let r = g.recv_timeout(&sim, SimDuration::from_micros(5));
+            assert_eq!(r, RecvTimeout::Value(9));
+            assert_eq!(sim.now().as_nanos(), 1_000);
+        });
+        let g2 = gate.clone();
+        kernel.schedule(SimTime::from_nanos(1_000), move || g2.push(9));
+        kernel.run();
+    }
+
+    #[test]
+    fn producer_consumer_pipeline() {
+        let kernel = Kernel::new();
+        let gate: Gate<u64> = Gate::new(&kernel, SimDuration::from_nanos(10));
+        let total = Arc::new(AtomicU64::new(0));
+        let g = gate.clone();
+        kernel.spawn(0, "producer", move |sim| {
+            for i in 0..100 {
+                sim.sleep(SimDuration::from_nanos(50));
+                g.push(i);
+            }
+        });
+        let g2 = gate.clone();
+        let t = total.clone();
+        kernel.spawn(1, "consumer", move |sim| {
+            for _ in 0..100 {
+                let v = g2.recv(&sim);
+                t.fetch_add(v, Ordering::SeqCst);
+            }
+        });
+        kernel.run();
+        assert_eq!(total.load(Ordering::SeqCst), 99 * 100 / 2);
+    }
+
+    #[test]
+    fn multiple_consumers_share_work() {
+        let kernel = Kernel::new();
+        let gate: Gate<u64> = Gate::new(&kernel, SimDuration::ZERO);
+        let seen = Arc::new(AtomicU64::new(0));
+        for i in 0..4 {
+            let g = gate.clone();
+            let s = seen.clone();
+            kernel.spawn(0, &format!("c{i}"), move |sim| {
+                for _ in 0..25 {
+                    g.recv(&sim);
+                    s.fetch_add(1, Ordering::SeqCst);
+                    sim.sleep(SimDuration::from_nanos(5));
+                }
+            });
+        }
+        let g = gate.clone();
+        kernel.spawn(1, "producer", move |sim| {
+            for _ in 0..100 {
+                g.push(1);
+                sim.sleep(SimDuration::from_nanos(1));
+            }
+        });
+        kernel.run();
+        assert_eq!(seen.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn deadlock_is_detected() {
+        let kernel = Kernel::new();
+        let gate: Gate<u64> = Gate::new(&kernel, SimDuration::ZERO);
+        kernel.spawn(0, "stuck", move |sim| {
+            let _ = gate.recv(&sim); // Never pushed.
+        });
+        kernel.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn thread_panic_propagates_to_run() {
+        let kernel = Kernel::new();
+        kernel.spawn(0, "bad", |_sim| panic!("boom"));
+        kernel.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn panic_releases_blocked_threads() {
+        let kernel = Kernel::new();
+        let gate: Gate<u64> = Gate::new(&kernel, SimDuration::ZERO);
+        kernel.spawn(0, "stuck", move |sim| {
+            let _ = gate.recv(&sim);
+        });
+        kernel.spawn(0, "bad", |sim| {
+            sim.sleep(SimDuration::from_nanos(100));
+            panic!("boom");
+        });
+        kernel.run();
+    }
+
+    #[test]
+    fn spawn_from_sim_thread() {
+        let kernel = Kernel::new();
+        let done = Arc::new(AtomicU64::new(0));
+        let d = done.clone();
+        kernel.spawn(0, "parent", move |sim| {
+            sim.sleep(SimDuration::from_nanos(7));
+            let d2 = d.clone();
+            sim.kernel().spawn(0, "child", move |csim| {
+                assert_eq!(csim.now().as_nanos(), 7, "child starts at spawn time");
+                csim.sleep(SimDuration::from_nanos(3));
+                d2.fetch_add(1, Ordering::SeqCst);
+            });
+            sim.sleep(SimDuration::from_nanos(100));
+        });
+        kernel.run();
+        assert_eq!(done.load(Ordering::SeqCst), 1);
+        assert_eq!(kernel.now().as_nanos(), 107);
+    }
+
+    #[test]
+    fn busy_and_idle_accounting() {
+        let kernel = Kernel::new();
+        let gate: Gate<u64> = Gate::new(&kernel, SimDuration::ZERO);
+        let g = gate.clone();
+        kernel.spawn(0, "worker", move |sim| {
+            sim.sleep(SimDuration::from_nanos(300)); // busy
+            let _ = g.recv(&sim); // idle until t=1000
+        });
+        let g2 = gate.clone();
+        kernel.schedule(SimTime::from_nanos(1_000), move || g2.push(1));
+        kernel.run();
+        let stats = kernel.stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].busy.as_nanos(), 300);
+        assert_eq!(stats[0].idle.as_nanos(), 700);
+        assert_eq!(stats[0].finished_at.as_nanos(), 1_000);
+    }
+
+    #[test]
+    fn determinism_two_identical_runs() {
+        fn run_once() -> Vec<(u64, String)> {
+            let kernel = Kernel::new();
+            let log = Arc::new(Mutex::new(Vec::new()));
+            let gate: Gate<u64> = Gate::new(&kernel, SimDuration::from_nanos(3));
+            for i in 0..8u64 {
+                let g = gate.clone();
+                let log = log.clone();
+                kernel.spawn((i % 4) as usize, &format!("w{i}"), move |sim| {
+                    for k in 0..20u64 {
+                        sim.sleep(SimDuration::from_nanos(7 + (i * 13 + k) % 11));
+                        g.push(i * 100 + k);
+                        if let Some(v) = g.try_recv() {
+                            log.lock().push((sim.now().as_nanos(), format!("w{i}:{v}")));
+                        }
+                    }
+                });
+            }
+            kernel.run();
+            let v = log.lock().clone();
+            v
+        }
+        assert_eq!(run_once(), run_once());
+    }
+}

@@ -1,0 +1,50 @@
+//! Deterministic virtual-time cluster simulator.
+//!
+//! This crate provides the hardware substrate for the RDMA shuffling
+//! reproduction: a cooperative virtual-time kernel that runs *real* algorithm
+//! code on OS threads while a single global virtual clock governs timing, a
+//! full-bisection switch model with per-port bandwidth arbitration, a NIC
+//! model with a Queue Pair context cache, and CPU cost helpers.
+//!
+//! The design goal is determinism: at most one simulated thread executes at a
+//! time, the runnable entity with the minimum virtual timestamp always runs
+//! next, and ties are broken by (event sequence, thread id). Two runs with
+//! the same seed produce bit-identical timings on any machine.
+//!
+//! # Example
+//!
+//! ```
+//! use rshuffle_simnet::{Kernel, SimDuration};
+//!
+//! let kernel = Kernel::new();
+//! let k = kernel.clone();
+//! kernel.spawn(0, "worker", move |sim| {
+//!     sim.sleep(SimDuration::from_micros(5));
+//!     assert_eq!(sim.now().as_nanos(), 5_000);
+//! });
+//! kernel.run();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod kernel;
+pub mod lru;
+pub mod net;
+pub mod nic;
+pub mod profile;
+pub mod resource;
+pub mod sync;
+pub mod time;
+
+pub use cluster::Cluster;
+pub use kernel::{Gate, Kernel, RecvTimeout, SimContext, SimThreadId, ThreadStats};
+pub use net::Fabric;
+pub use nic::NicModel;
+pub use profile::DeviceProfile;
+pub use resource::Resource;
+pub use sync::{SimBarrier, SimMutex};
+pub use time::{SimDuration, SimTime};
+
+/// Identifier of a simulated node (machine) in the cluster.
+pub type NodeId = usize;

@@ -1,0 +1,274 @@
+//! The switch fabric: a full-bisection crossbar with per-port serialization.
+//!
+//! InfiniBand clusters of the paper's scale (≤16 nodes) sit under a single
+//! non-blocking switch, so the only shared network resources are each node's
+//! egress and ingress port. Modelling those two ports as FIFO
+//! [`Resource`]s reproduces the first-order effects the paper relies on:
+//!
+//! * a single sender cannot exceed line rate (egress serialization),
+//! * a receiver under incast (repartition/broadcast) caps at line rate no
+//!   matter how many peers send to it (ingress serialization),
+//! * per-message latency grows with message size.
+//!
+//! Delivery order between two nodes is FIFO; cross-sender arrival order at a
+//! shared ingress port follows reservation order, which matches send order —
+//! an approximation that is exact for same-size messages and bounded by one
+//! serialization quantum otherwise.
+
+use parking_lot::Mutex;
+
+use crate::profile::DeviceProfile;
+use crate::resource::{transfer_time, Resource};
+use crate::time::SimTime;
+use crate::NodeId;
+
+/// Messages up to this size bypass the port FIFOs (control virtual lane).
+pub const CONTROL_BYPASS_BYTES: usize = 256;
+
+struct NodePorts {
+    egress: Mutex<Resource>,
+    ingress: Mutex<Resource>,
+}
+
+/// The cluster interconnect.
+pub struct Fabric {
+    ports: Vec<NodePorts>,
+    bandwidth: f64,
+    switch_latency: crate::time::SimDuration,
+    loopback_latency: crate::time::SimDuration,
+}
+
+impl Fabric {
+    /// Creates a fabric connecting `nodes` nodes with the bandwidth and
+    /// latency of `profile`.
+    pub fn new(nodes: usize, profile: &DeviceProfile) -> Self {
+        Fabric {
+            ports: (0..nodes)
+                .map(|_| NodePorts {
+                    egress: Mutex::new(Resource::new()),
+                    ingress: Mutex::new(Resource::new()),
+                })
+                .collect(),
+            bandwidth: profile.payload_bandwidth,
+            switch_latency: profile.switch_latency,
+            loopback_latency: profile.loopback_latency,
+        }
+    }
+
+    /// Number of nodes attached to the fabric.
+    pub fn nodes(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Schedules a `bytes`-sized message from `from` to `to`, departing the
+    /// sender NIC at `depart`. Returns the delivery time at the receiver NIC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node id is out of range.
+    pub fn transfer(&self, from: NodeId, to: NodeId, bytes: usize, depart: SimTime) -> SimTime {
+        assert!(from < self.ports.len(), "sender {from} out of range");
+        assert!(to < self.ports.len(), "receiver {to} out of range");
+        if from == to {
+            // Loopback: the message never touches the wire.
+            return depart + self.loopback_latency;
+        }
+        let ser = transfer_time(bytes, self.bandwidth);
+        if bytes <= CONTROL_BYPASS_BYTES {
+            // Small control packets (RDMA Read requests, 8-byte ring/credit
+            // writes, ACKs) ride a dedicated virtual lane: InfiniBand's VL
+            // arbitration interleaves them with bulk data at packet
+            // granularity, so they never wait behind megabytes of queued
+            // payload. Their bandwidth share is negligible and is not
+            // charged against the ports.
+            return depart + ser + self.switch_latency;
+        }
+        // Cut-through switching (InfiniBand): the head of the message
+        // reaches the ingress port one switch latency after it starts
+        // leaving the egress, so both ports stream the same bytes in
+        // parallel and serialization is paid once, not twice.
+        let e = self.ports[from].egress.lock().reserve(depart, ser);
+        let i = self.ports[to]
+            .ingress
+            .lock()
+            .reserve(e.start + self.switch_latency, ser);
+        i.end
+    }
+
+    /// Schedules one `bytes`-sized message from `from` to every node in
+    /// `tos`, serializing on the sender's egress port **once** — the
+    /// defining property of switch-level (native) multicast. Returns the
+    /// per-destination delivery times, in `tos` order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any node id is out of range.
+    pub fn transfer_multicast(
+        &self,
+        from: NodeId,
+        tos: &[NodeId],
+        bytes: usize,
+        depart: SimTime,
+    ) -> Vec<SimTime> {
+        assert!(from < self.ports.len(), "sender {from} out of range");
+        let ser = transfer_time(bytes, self.bandwidth);
+        let e = self.ports[from].egress.lock().reserve(depart, ser);
+        tos.iter()
+            .map(|&to| {
+                assert!(to < self.ports.len(), "receiver {to} out of range");
+                if to == from {
+                    return depart + self.loopback_latency;
+                }
+                self.ports[to]
+                    .ingress
+                    .lock()
+                    .reserve(e.start + self.switch_latency, ser)
+                    .end
+            })
+            .collect()
+    }
+
+    /// Utilization of a node's ingress port over `[0, horizon]`.
+    pub fn ingress_utilization(&self, node: NodeId, horizon: SimTime) -> f64 {
+        self.ports[node].ingress.lock().utilization(horizon)
+    }
+
+    /// Utilization of a node's egress port over `[0, horizon]`.
+    pub fn egress_utilization(&self, node: NodeId, horizon: SimTime) -> f64 {
+        self.ports[node].egress.lock().utilization(horizon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::GIB;
+
+    fn fabric(n: usize) -> Fabric {
+        Fabric::new(n, &DeviceProfile::edr())
+    }
+
+    #[test]
+    fn single_transfer_latency() {
+        let f = fabric(2);
+        let p = DeviceProfile::edr();
+        let delivered = f.transfer(0, 1, 64 * 1024, SimTime::ZERO);
+        // Cut-through: one serialization plus the switch latency.
+        let expected = (p.wire_time(64 * 1024) + p.switch_latency).as_nanos();
+        assert_eq!(delivered.as_nanos(), expected);
+    }
+
+    #[test]
+    fn sender_egress_serializes() {
+        let f = fabric(3);
+        // Node 0 sends two messages to different receivers at t=0: the
+        // second waits for the first to leave the egress port.
+        let d1 = f.transfer(0, 1, 1 << 20, SimTime::ZERO);
+        let d2 = f.transfer(0, 2, 1 << 20, SimTime::ZERO);
+        assert!(
+            d2 > d1,
+            "second transfer must queue behind the first on egress"
+        );
+    }
+
+    #[test]
+    fn incast_caps_receiver_at_line_rate() {
+        let n = 9;
+        let f = fabric(n);
+        let p = DeviceProfile::edr();
+        let msg = 64 * 1024;
+        let per_sender = 256;
+        let mut last = SimTime::ZERO;
+        // 8 senders blast node 0 concurrently.
+        for round in 0..per_sender {
+            for s in 1..n {
+                // Each sender paced at its own line rate.
+                let depart = SimTime::ZERO + p.wire_time(msg) * round as u64;
+                last = last.max(f.transfer(s, 0, msg, depart));
+            }
+        }
+        let total_bytes = (msg * per_sender * (n - 1)) as f64;
+        let rate = total_bytes / last.as_secs_f64();
+        // Receive throughput must be close to (and never above) line rate.
+        assert!(
+            rate <= p.payload_bandwidth * 1.001,
+            "rate {} above line",
+            rate / GIB
+        );
+        assert!(
+            rate > p.payload_bandwidth * 0.95,
+            "rate {} GiB/s too far below line {}",
+            rate / GIB,
+            p.payload_bandwidth / GIB
+        );
+    }
+
+    #[test]
+    fn loopback_bypasses_ports() {
+        let f = fabric(2);
+        let d = f.transfer(0, 0, 1 << 20, SimTime::ZERO);
+        assert_eq!(
+            d.as_nanos(),
+            DeviceProfile::edr().loopback_latency.as_nanos()
+        );
+        assert_eq!(f.egress_utilization(0, SimTime::from_nanos(1)), 0.0);
+    }
+
+    #[test]
+    fn disjoint_pairs_do_not_interfere() {
+        let f = fabric(4);
+        let d01 = f.transfer(0, 1, 1 << 20, SimTime::ZERO);
+        let d23 = f.transfer(2, 3, 1 << 20, SimTime::ZERO);
+        assert_eq!(d01, d23, "full bisection: disjoint pairs see no contention");
+    }
+
+    #[test]
+    fn multicast_serializes_egress_once() {
+        let f = fabric(4);
+        let p = DeviceProfile::edr();
+        // Unicast fan-out: 3 messages serialize on the egress.
+        let mut last_unicast = SimTime::ZERO;
+        for to in 1..4 {
+            last_unicast = last_unicast.max(f.transfer(0, to, 1 << 20, SimTime::ZERO));
+        }
+        // Native multicast: one egress serialization for all 3.
+        let f2 = fabric(4);
+        let deliveries = f2.transfer_multicast(0, &[1, 2, 3], 1 << 20, SimTime::ZERO);
+        let last_multicast = deliveries.iter().copied().max().expect("non-empty");
+        assert!(
+            last_multicast.as_nanos() * 2 < last_unicast.as_nanos(),
+            "multicast {last_multicast:?} must beat unicast fan-out {last_unicast:?}"
+        );
+        let ser = p.wire_time(1 << 20);
+        assert_eq!(
+            last_multicast.as_nanos(),
+            (ser + p.switch_latency).as_nanos()
+        );
+    }
+
+    #[test]
+    fn control_messages_bypass_the_port_queues() {
+        let f = fabric(2);
+        let p = DeviceProfile::edr();
+        // Saturate the egress with a 16 MiB transfer...
+        let bulk_done = f.transfer(0, 1, 16 << 20, SimTime::ZERO);
+        // ...a tiny control packet sent right after must NOT wait for it.
+        let ctrl = f.transfer(0, 1, 64, SimTime::from_nanos(10));
+        assert!(
+            ctrl < bulk_done,
+            "control packet {ctrl:?} queued behind bulk {bulk_done:?}"
+        );
+        assert!(ctrl.as_nanos() < 1_000, "control latency must stay sub-microsecond");
+        // A payload-sized message does queue.
+        let payload = f.transfer(0, 1, 64 * 1024, SimTime::from_nanos(10));
+        assert!(payload > bulk_done, "bulk messages must respect FIFO order");
+        let _ = p;
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_node_panics() {
+        let f = fabric(2);
+        let _ = f.transfer(0, 7, 64, SimTime::ZERO);
+    }
+}

@@ -1,0 +1,175 @@
+//! The NIC model: per-work-request processing costs and the Queue Pair
+//! context cache.
+//!
+//! Each node owns one [`NicModel`]. Every work request the node issues or
+//! receives occupies the NIC's processing pipeline (a FIFO [`Resource`]
+//! bounding the message rate) and touches the context of the Queue Pair it
+//! belongs to. Contexts live in a fixed-size LRU cache; a miss pays a PCIe
+//! round trip. This is the mechanism behind the paper's Figure 11 (effect of
+//! many Queue Pairs) and the FDR-vs-EDR scaling difference in Figure 10:
+//! the FDR-generation NIC caches far fewer QP contexts, so the Θ(n)-QP
+//! algorithms degrade as the cluster grows while the Θ(1)/Θ(t)-QP
+//! Unreliable Datagram designs do not.
+
+use parking_lot::Mutex;
+
+use crate::lru::LruSet;
+use crate::profile::DeviceProfile;
+use crate::resource::Resource;
+use crate::time::{SimDuration, SimTime};
+
+/// The kind of work request being processed, determining its base cost.
+#[derive(Debug, Copy, Clone, PartialEq, Eq)]
+pub enum WrKind {
+    /// A Send on a Reliable Connection QP.
+    SendRc,
+    /// A Send on an Unreliable Datagram QP.
+    SendUd,
+    /// An RDMA Read request (issuing side).
+    Read,
+    /// An RDMA Write request (issuing side).
+    Write,
+    /// Matching an inbound message to a posted Receive.
+    RecvMatch,
+    /// Serving an inbound RDMA Read/Write at the passive side (no CPU, but
+    /// NIC pipeline occupancy and a QP-context touch).
+    RemoteDma,
+}
+
+/// Statistics counters for one NIC.
+#[derive(Debug, Clone, Default)]
+pub struct NicStats {
+    /// Work requests processed, by rough category.
+    pub work_requests: u64,
+    /// QP context cache hits.
+    pub qp_cache_hits: u64,
+    /// QP context cache misses.
+    pub qp_cache_misses: u64,
+}
+
+/// Timing model of one node's RDMA NIC.
+pub struct NicModel {
+    pipe: Mutex<Resource>,
+    cache: Mutex<LruSet<u64>>,
+    stats: Mutex<NicStats>,
+    wr_nic: SimDuration,
+    wr_recv_match: SimDuration,
+    qp_cache_miss: SimDuration,
+}
+
+impl NicModel {
+    /// Creates a NIC with the cost constants of `profile`.
+    pub fn new(profile: &DeviceProfile) -> Self {
+        NicModel {
+            pipe: Mutex::new(Resource::new()),
+            cache: Mutex::new(LruSet::new(profile.qp_cache_entries)),
+            stats: Mutex::new(NicStats::default()),
+            wr_nic: profile.wr_nic,
+            wr_recv_match: profile.wr_recv_match,
+            qp_cache_miss: profile.qp_cache_miss,
+        }
+    }
+
+    /// Processes a work request on QP context `qp_ctx` no earlier than `at`.
+    /// Returns the time the NIC finishes its local processing (pipeline
+    /// occupancy plus any context-cache miss penalty).
+    pub fn process(&self, at: SimTime, qp_ctx: u64, kind: WrKind) -> SimTime {
+        let base = match kind {
+            WrKind::SendRc | WrKind::SendUd | WrKind::Read | WrKind::Write | WrKind::RemoteDma => {
+                self.wr_nic
+            }
+            WrKind::RecvMatch => self.wr_recv_match,
+        };
+        let hit = self.cache.lock().touch(qp_ctx);
+        let cost = if hit { base } else { base + self.qp_cache_miss };
+        {
+            let mut s = self.stats.lock();
+            s.work_requests += 1;
+            if hit {
+                s.qp_cache_hits += 1;
+            } else {
+                s.qp_cache_misses += 1;
+            }
+        }
+        self.pipe.lock().reserve(at, cost).end
+    }
+
+    /// Snapshot of the NIC counters.
+    pub fn stats(&self) -> NicStats {
+        self.stats.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nic() -> NicModel {
+        NicModel::new(&DeviceProfile::fdr())
+    }
+
+    #[test]
+    fn cached_qp_costs_base_time() {
+        let n = nic();
+        let p = DeviceProfile::fdr();
+        let t1 = n.process(SimTime::ZERO, 7, WrKind::SendRc); // Miss (cold).
+        let t2 = n.process(t1, 7, WrKind::SendRc); // Hit.
+        assert_eq!((t2 - t1).as_nanos(), p.wr_nic.as_nanos());
+        assert_eq!(t1.as_nanos(), (p.wr_nic + p.qp_cache_miss).as_nanos());
+    }
+
+    #[test]
+    fn working_set_larger_than_cache_thrashes() {
+        let p = DeviceProfile::fdr();
+        let n = nic();
+        let qps = (p.qp_cache_entries * 2) as u64;
+        // Round-robin over 2× the cache capacity: every touch misses.
+        let mut t = SimTime::ZERO;
+        for i in 0..qps * 3 {
+            t = n.process(t, i % qps, WrKind::SendRc);
+        }
+        let s = n.stats();
+        assert_eq!(s.qp_cache_hits, 0, "LRU thrash must never hit");
+        assert_eq!(s.qp_cache_misses, qps * 3);
+    }
+
+    #[test]
+    fn small_working_set_hits_after_warmup() {
+        let n = nic();
+        let mut t = SimTime::ZERO;
+        for round in 0..10u64 {
+            for qp in 0..8u64 {
+                t = n.process(t, qp, WrKind::SendRc);
+                let _ = round;
+            }
+        }
+        let s = n.stats();
+        assert_eq!(s.qp_cache_misses, 8, "only cold misses");
+        assert_eq!(s.qp_cache_hits, 72);
+    }
+
+    #[test]
+    fn pipeline_serializes_requests() {
+        let n = nic();
+        let p = DeviceProfile::fdr();
+        // Warm the QP context first so only pipeline occupancy remains.
+        let warm = n.process(SimTime::ZERO, 1, WrKind::RecvMatch);
+        // Two requests at the same instant: the second queues.
+        let t1 = n.process(warm, 1, WrKind::RecvMatch);
+        let t2 = n.process(warm, 1, WrKind::RecvMatch);
+        assert_eq!((t1 - warm).as_nanos(), p.wr_recv_match.as_nanos());
+        assert_eq!((t2 - warm).as_nanos(), p.wr_recv_match.as_nanos() * 2);
+    }
+
+    #[test]
+    fn edr_nic_absorbs_many_qps() {
+        // The EDR profile must cache the full working set of the largest MQ
+        // configuration in the paper: 16 nodes × 14 threads × 2 directions.
+        let p = DeviceProfile::edr();
+        assert!(p.qp_cache_entries >= 16 * 14 * 2);
+        // While the FDR profile must NOT absorb even the single-endpoint MQ
+        // working set at 16 nodes (2 × 16 QPs), so SEMQ/* degrade at scale.
+        let f = DeviceProfile::fdr();
+        assert!(f.qp_cache_entries < 2 * 16);
+    }
+}

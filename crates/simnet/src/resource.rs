@@ -1,0 +1,154 @@
+//! Serialized resources: the building block for bandwidth and message-rate
+//! modelling.
+//!
+//! A [`Resource`] is something that processes one unit of work at a time in
+//! FIFO order — a link port serializing bytes onto the wire, or a NIC
+//! processing pipeline with a bounded message rate. Reserving the resource
+//! returns the interval during which the work occupies it; contention shows
+//! up as queueing delay.
+
+use crate::time::{SimDuration, SimTime};
+
+/// A FIFO-serialized resource in virtual time.
+#[derive(Debug, Clone)]
+pub struct Resource {
+    free_at: SimTime,
+    busy_total: SimDuration,
+}
+
+/// The interval a reservation occupies on a [`Resource`].
+#[derive(Debug, Copy, Clone, PartialEq, Eq)]
+pub struct Reservation {
+    /// When the work begins occupying the resource (≥ request time).
+    pub start: SimTime,
+    /// When the resource becomes free again.
+    pub end: SimTime,
+}
+
+impl Default for Resource {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Resource {
+    /// Creates an idle resource.
+    pub fn new() -> Self {
+        Resource {
+            free_at: SimTime::ZERO,
+            busy_total: SimDuration::ZERO,
+        }
+    }
+
+    /// Reserves the resource for `duration`, starting no earlier than `at`.
+    /// Work queued behind earlier reservations starts when they drain.
+    pub fn reserve(&mut self, at: SimTime, duration: SimDuration) -> Reservation {
+        let start = at.max(self.free_at);
+        let end = start + duration;
+        self.free_at = end;
+        self.busy_total += duration;
+        Reservation { start, end }
+    }
+
+    /// The earliest time a new reservation could start.
+    pub fn free_at(&self) -> SimTime {
+        self.free_at
+    }
+
+    /// Total time the resource has been reserved for, ever.
+    pub fn busy_total(&self) -> SimDuration {
+        self.busy_total
+    }
+
+    /// Utilization of the resource over `[0, horizon]`.
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        if horizon == SimTime::ZERO {
+            return 0.0;
+        }
+        self.busy_total.as_secs_f64() / horizon.as_secs_f64()
+    }
+}
+
+/// Converts a transfer size and a bandwidth into a serialization delay.
+///
+/// # Panics
+///
+/// Panics if `bytes_per_sec` is not a positive finite number.
+pub fn transfer_time(bytes: usize, bytes_per_sec: f64) -> SimDuration {
+    assert!(
+        bytes_per_sec.is_finite() && bytes_per_sec > 0.0,
+        "bandwidth must be positive, got {bytes_per_sec}"
+    );
+    SimDuration::from_secs_f64(bytes as f64 / bytes_per_sec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_resource_starts_immediately() {
+        let mut r = Resource::new();
+        let res = r.reserve(SimTime::from_nanos(100), SimDuration::from_nanos(50));
+        assert_eq!(res.start.as_nanos(), 100);
+        assert_eq!(res.end.as_nanos(), 150);
+    }
+
+    #[test]
+    fn contended_resource_queues_fifo() {
+        let mut r = Resource::new();
+        let a = r.reserve(SimTime::from_nanos(0), SimDuration::from_nanos(100));
+        let b = r.reserve(SimTime::from_nanos(10), SimDuration::from_nanos(100));
+        assert_eq!(a.end.as_nanos(), 100);
+        assert_eq!(
+            b.start.as_nanos(),
+            100,
+            "second transfer queues behind first"
+        );
+        assert_eq!(b.end.as_nanos(), 200);
+    }
+
+    #[test]
+    fn gap_leaves_resource_idle() {
+        let mut r = Resource::new();
+        r.reserve(SimTime::from_nanos(0), SimDuration::from_nanos(10));
+        let b = r.reserve(SimTime::from_nanos(1_000), SimDuration::from_nanos(10));
+        assert_eq!(b.start.as_nanos(), 1_000);
+        assert_eq!(r.busy_total().as_nanos(), 20);
+    }
+
+    #[test]
+    fn utilization_is_busy_over_horizon() {
+        let mut r = Resource::new();
+        r.reserve(SimTime::ZERO, SimDuration::from_nanos(250));
+        let u = r.utilization(SimTime::from_nanos(1_000));
+        assert!((u - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transfer_time_matches_bandwidth() {
+        // 1 GiB/s: 1 MiB takes ~976.5 us.
+        let d = transfer_time(1 << 20, (1u64 << 30) as f64);
+        assert_eq!(d.as_nanos(), 976_563 /* rounded */);
+    }
+
+    #[test]
+    fn saturated_throughput_equals_bandwidth() {
+        // Back-to-back 64 KiB messages at 10 GiB/s for 1 ms should move
+        // ~10 MiB.
+        let bw = 10.0 * (1u64 << 30) as f64;
+        let mut r = Resource::new();
+        let mut moved = 0usize;
+        let msg = 64 * 1024;
+        loop {
+            let res = r.reserve(SimTime::ZERO, transfer_time(msg, bw));
+            if res.end > SimTime::from_nanos(1_000_000) {
+                break;
+            }
+            moved += msg;
+        }
+        let expected = (bw * 1e-3) as usize;
+        let err = (moved as f64 - expected as f64).abs() / expected as f64;
+        assert!(err < 0.01, "moved {moved}, expected ~{expected}");
+    }
+}

@@ -1,0 +1,280 @@
+//! Virtual time types.
+//!
+//! The simulator measures time in integer nanoseconds. [`SimTime`] is an
+//! absolute instant on the virtual clock (zero at kernel creation) and
+//! [`SimDuration`] is a span between instants. Both are plain `u64` wrappers
+//! so they are `Copy`, totally ordered and overflow-checked in debug builds.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An absolute instant on the virtual clock, in nanoseconds since simulation
+/// start.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of virtual time, in nanoseconds.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates an instant `nanos` nanoseconds after the epoch.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimTime(nanos)
+    }
+
+    /// Returns the number of nanoseconds since the epoch.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the time as fractional seconds since the epoch.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Returns the duration elapsed since `earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` is later than `self`.
+    pub fn duration_since(self, earlier: SimTime) -> SimDuration {
+        debug_assert!(earlier <= self, "duration_since: {earlier:?} > {self:?}");
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Returns the later of the two instants.
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+
+    /// Returns the earlier of the two instants.
+    pub fn min(self, other: SimTime) -> SimTime {
+        SimTime(self.0.min(other.0))
+    }
+}
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a duration of `nanos` nanoseconds.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimDuration(nanos)
+    }
+
+    /// Creates a duration of `micros` microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimDuration(micros * 1_000)
+    }
+
+    /// Creates a duration of `millis` milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimDuration(millis * 1_000_000)
+    }
+
+    /// Creates a duration of `secs` seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs * 1_000_000_000)
+    }
+
+    /// Creates a duration from fractional seconds, rounding to whole
+    /// nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(secs.is_finite() && secs >= 0.0, "invalid duration: {secs}");
+        SimDuration((secs * 1e9).round() as u64)
+    }
+
+    /// Returns the number of whole nanoseconds in this duration.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the duration as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Returns the duration as fractional microseconds.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Returns the duration as fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// Returns the larger of the two durations.
+    pub fn max(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.max(other.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.checked_add(rhs.0).expect("SimTime overflow"))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.checked_sub(rhs.0).expect("SimTime underflow"))
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.checked_sub(rhs.0).expect("SimTime underflow"))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.checked_add(rhs.0).expect("SimDuration overflow"))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.checked_sub(rhs.0).expect("SimDuration underflow"))
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.checked_mul(rhs).expect("SimDuration overflow"))
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}", format_ns(self.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", format_ns(self.0))
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+fn format_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let t = SimTime::from_nanos(1_000);
+        let d = SimDuration::from_micros(2);
+        assert_eq!((t + d).as_nanos(), 3_000);
+        assert_eq!((t + d) - t, d);
+        assert_eq!((t + d) - d, t);
+    }
+
+    #[test]
+    fn constructors_scale_correctly() {
+        assert_eq!(SimDuration::from_micros(1).as_nanos(), 1_000);
+        assert_eq!(SimDuration::from_millis(1).as_nanos(), 1_000_000);
+        assert_eq!(SimDuration::from_secs(1).as_nanos(), 1_000_000_000);
+        assert_eq!(SimDuration::from_secs_f64(0.5).as_nanos(), 500_000_000);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let a = SimTime::from_nanos(5);
+        let b = SimTime::from_nanos(9);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn saturating_sub_clamps() {
+        let a = SimDuration::from_nanos(5);
+        let b = SimDuration::from_nanos(9);
+        assert_eq!(a.saturating_sub(b), SimDuration::ZERO);
+        assert_eq!(b.saturating_sub(a).as_nanos(), 4);
+    }
+
+    #[test]
+    fn display_formats_units() {
+        assert_eq!(format!("{}", SimDuration::from_nanos(12)), "12ns");
+        assert_eq!(format!("{}", SimDuration::from_micros(12)), "12.000us");
+        assert_eq!(format!("{}", SimDuration::from_millis(12)), "12.000ms");
+        assert_eq!(format!("{}", SimDuration::from_secs(12)), "12.000s");
+    }
+
+    #[test]
+    #[should_panic(expected = "SimTime underflow")]
+    fn underflow_panics() {
+        let _ = SimTime::from_nanos(1) - SimDuration::from_nanos(2);
+    }
+}

@@ -1,0 +1,366 @@
+//! dbgen-style generator for the pre-projected TPC-H subset.
+//!
+//! Cardinalities per scale factor follow the TPC-H specification:
+//! 150 000 customers, 1 500 000 orders, and 1–7 lineitems per order
+//! (≈6 000 000). Value distributions are simplified but preserve what the
+//! queries select on: date ranges, market segments, order priorities,
+//! return flags, discounts and prices.
+//!
+//! Row formats (little-endian, fixed width, pre-projected):
+//!
+//! * LINEITEM (37 B): `l_orderkey` u64, `l_extendedprice` i64 (cents),
+//!   `l_discount` i64 (basis points), `l_shipdate` u32, `l_commitdate`
+//!   u32, `l_receiptdate` u32, `l_returnflag` u8
+//! * ORDERS (22 B): `o_orderkey` u64, `o_custkey` u64, `o_orderdate` u32,
+//!   `o_orderpriority` u8, `o_shippriority` u8
+//! * CUSTOMER (21 B): `c_custkey` u64, `c_acctbal` i64 (cents),
+//!   `c_nationkey` u32, `c_mktsegment` u8
+//! * NATION (8 B): `n_nationkey` u32, `n_regionkey` u32 — replicated
+//! * REGION (4 B): `r_regionkey` u32 — replicated
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rshuffle_engine::table::TableBuilder;
+use rshuffle_engine::Table;
+
+/// LINEITEM row width.
+pub const LINEITEM_ROW: usize = 37;
+/// ORDERS row width.
+pub const ORDERS_ROW: usize = 22;
+/// CUSTOMER row width.
+pub const CUSTOMER_ROW: usize = 21;
+/// NATION row width.
+pub const NATION_ROW: usize = 8;
+/// REGION row width.
+pub const REGION_ROW: usize = 4;
+
+/// Days since 1992-01-01 for the given date (validity unchecked beyond
+/// month lengths; TPC-H dates fall in 1992–1998).
+pub fn date(y: u32, m: u32, d: u32) -> u32 {
+    // Cumulative days per month (non-leap).
+    const CUM: [u32; 12] = [0, 31, 59, 90, 120, 151, 181, 212, 243, 273, 304, 334];
+    assert!((1992..=1998).contains(&y) && (1..=12).contains(&m) && (1..=31).contains(&d));
+    let mut days = 0;
+    for year in 1992..y {
+        days += if year % 4 == 0 { 366 } else { 365 };
+    }
+    days += CUM[(m - 1) as usize];
+    if y % 4 == 0 && m > 2 {
+        days += 1;
+    }
+    days + d - 1
+}
+
+/// How tuples are placed on the cluster.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Placement {
+    /// Every tuple to a (seeded) random node — the paper's setup.
+    Random,
+    /// ORDERS and LINEITEM co-partitioned on the order key, CUSTOMER on the
+    /// customer key: the "local data" plan of Figure 14 needs no shuffle
+    /// for the order–lineitem join.
+    CoPartitioned,
+}
+
+/// Generator configuration.
+#[derive(Clone, Debug)]
+pub struct GenConfig {
+    /// Scale factor (1.0 = 6M lineitems). Fractional SFs scale all row
+    /// counts linearly.
+    pub scale: f64,
+    /// Cluster size.
+    pub nodes: usize,
+    /// Tuple placement policy.
+    pub placement: Placement,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// One node's fragments of the database.
+#[derive(Clone)]
+pub struct Dataset {
+    /// LINEITEM fragments, one per node.
+    pub lineitem: Vec<Table>,
+    /// ORDERS fragments, one per node.
+    pub orders: Vec<Table>,
+    /// CUSTOMER fragments, one per node.
+    pub customer: Vec<Table>,
+    /// NATION, replicated (same on every node).
+    pub nation: Table,
+    /// REGION, replicated.
+    pub region: Table,
+}
+
+// ---- field accessors ----
+
+/// `l_orderkey` of a LINEITEM row.
+pub fn l_orderkey(row: &[u8]) -> u64 {
+    u64::from_le_bytes(row[0..8].try_into().expect("8 bytes"))
+}
+/// `l_extendedprice` in cents.
+pub fn l_extendedprice(row: &[u8]) -> i64 {
+    i64::from_le_bytes(row[8..16].try_into().expect("8 bytes"))
+}
+/// `l_discount` in basis points (0–1000).
+pub fn l_discount(row: &[u8]) -> i64 {
+    i64::from_le_bytes(row[16..24].try_into().expect("8 bytes"))
+}
+/// `l_shipdate` (days since 1992-01-01).
+pub fn l_shipdate(row: &[u8]) -> u32 {
+    u32::from_le_bytes(row[24..28].try_into().expect("4 bytes"))
+}
+/// `l_commitdate`.
+pub fn l_commitdate(row: &[u8]) -> u32 {
+    u32::from_le_bytes(row[28..32].try_into().expect("4 bytes"))
+}
+/// `l_receiptdate`.
+pub fn l_receiptdate(row: &[u8]) -> u32 {
+    u32::from_le_bytes(row[32..36].try_into().expect("4 bytes"))
+}
+/// `l_returnflag` (b'R', b'A' or b'N').
+pub fn l_returnflag(row: &[u8]) -> u8 {
+    row[36]
+}
+
+/// `o_orderkey` of an ORDERS row.
+pub fn o_orderkey(row: &[u8]) -> u64 {
+    u64::from_le_bytes(row[0..8].try_into().expect("8 bytes"))
+}
+/// `o_custkey`.
+pub fn o_custkey(row: &[u8]) -> u64 {
+    u64::from_le_bytes(row[8..16].try_into().expect("8 bytes"))
+}
+/// `o_orderdate`.
+pub fn o_orderdate(row: &[u8]) -> u32 {
+    u32::from_le_bytes(row[16..20].try_into().expect("4 bytes"))
+}
+/// `o_orderpriority` (0–4, mapping to 1-URGENT … 5-LOW).
+pub fn o_orderpriority(row: &[u8]) -> u8 {
+    row[20]
+}
+/// `o_shippriority` (always 0 in TPC-H).
+pub fn o_shippriority(row: &[u8]) -> u8 {
+    row[21]
+}
+
+/// `c_custkey` of a CUSTOMER row.
+pub fn c_custkey(row: &[u8]) -> u64 {
+    u64::from_le_bytes(row[0..8].try_into().expect("8 bytes"))
+}
+/// `c_acctbal` in cents.
+pub fn c_acctbal(row: &[u8]) -> i64 {
+    i64::from_le_bytes(row[8..16].try_into().expect("8 bytes"))
+}
+/// `c_nationkey`.
+pub fn c_nationkey(row: &[u8]) -> u32 {
+    u32::from_le_bytes(row[16..20].try_into().expect("4 bytes"))
+}
+/// `c_mktsegment` (0–4; 0 = BUILDING).
+pub fn c_mktsegment(row: &[u8]) -> u8 {
+    row[20]
+}
+
+impl Dataset {
+    /// Generates the database per `cfg`.
+    pub fn generate(cfg: &GenConfig) -> Dataset {
+        assert!(cfg.scale > 0.0, "scale must be positive");
+        assert!(cfg.nodes > 0, "need at least one node");
+        let customers = (150_000.0 * cfg.scale) as u64;
+        let orders = (1_500_000.0 * cfg.scale) as u64;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+        let mut li_builders: Vec<TableBuilder> = (0..cfg.nodes)
+            .map(|_| TableBuilder::new(LINEITEM_ROW))
+            .collect();
+        let mut o_builders: Vec<TableBuilder> = (0..cfg.nodes)
+            .map(|_| TableBuilder::new(ORDERS_ROW))
+            .collect();
+        let mut c_builders: Vec<TableBuilder> = (0..cfg.nodes)
+            .map(|_| TableBuilder::new(CUSTOMER_ROW))
+            .collect();
+
+        let place = |rng: &mut StdRng, key: u64, cfg: &GenConfig| -> usize {
+            match cfg.placement {
+                Placement::Random => rng.gen_range(0..cfg.nodes),
+                Placement::CoPartitioned => {
+                    (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) % cfg.nodes as u64) as usize
+                }
+            }
+        };
+
+        // CUSTOMER.
+        for ck in 1..=customers {
+            let mut row = [0u8; CUSTOMER_ROW];
+            row[0..8].copy_from_slice(&ck.to_le_bytes());
+            let acctbal: i64 = rng.gen_range(-99_999..=999_999);
+            row[8..16].copy_from_slice(&acctbal.to_le_bytes());
+            let nation: u32 = rng.gen_range(0..25);
+            row[16..20].copy_from_slice(&nation.to_le_bytes());
+            row[20] = rng.gen_range(0..5u8);
+            let node = place(&mut rng, ck, cfg);
+            c_builders[node].push(&row);
+        }
+
+        // ORDERS + LINEITEM. Order dates span 1992-01-01 .. 1998-08-02.
+        let last_orderdate = date(1998, 8, 2) - 121;
+        for ok in 1..=orders {
+            let custkey = rng.gen_range(1..=customers);
+            let orderdate = rng.gen_range(0..=last_orderdate);
+            let mut row = [0u8; ORDERS_ROW];
+            row[0..8].copy_from_slice(&ok.to_le_bytes());
+            row[8..16].copy_from_slice(&custkey.to_le_bytes());
+            row[16..20].copy_from_slice(&orderdate.to_le_bytes());
+            row[20] = rng.gen_range(0..5u8);
+            row[21] = 0;
+            let node = place(&mut rng, ok, cfg);
+            o_builders[node].push(&row);
+
+            let lines: u32 = rng.gen_range(1..=7);
+            for _ in 0..lines {
+                let mut li = [0u8; LINEITEM_ROW];
+                li[0..8].copy_from_slice(&ok.to_le_bytes());
+                let price: i64 = rng.gen_range(90_000..=10_500_000);
+                li[8..16].copy_from_slice(&price.to_le_bytes());
+                let discount: i64 = rng.gen_range(0..=1_000); // 0–10% in bp.
+                li[16..24].copy_from_slice(&discount.to_le_bytes());
+                let shipdate = orderdate + rng.gen_range(1..=121);
+                li[24..28].copy_from_slice(&shipdate.to_le_bytes());
+                let commitdate = orderdate + rng.gen_range(30..=90);
+                li[28..32].copy_from_slice(&commitdate.to_le_bytes());
+                let receiptdate = shipdate + rng.gen_range(1..=30);
+                li[32..36].copy_from_slice(&receiptdate.to_le_bytes());
+                li[36] = match rng.gen_range(0..4u8) {
+                    // ~25% returned, per the spec's R/A/N mix on old orders.
+                    0 => b'R',
+                    1 => b'A',
+                    _ => b'N',
+                };
+                let node = place(&mut rng, ok, cfg);
+                li_builders[node].push(&li);
+            }
+        }
+
+        // NATION and REGION, replicated (25 and 5 rows).
+        let mut nation = TableBuilder::new(NATION_ROW);
+        for nk in 0..25u32 {
+            let mut row = [0u8; NATION_ROW];
+            row[0..4].copy_from_slice(&nk.to_le_bytes());
+            row[4..8].copy_from_slice(&(nk % 5).to_le_bytes());
+            nation.push(&row);
+        }
+        let mut region = TableBuilder::new(REGION_ROW);
+        for rk in 0..5u32 {
+            region.push(&rk.to_le_bytes());
+        }
+
+        Dataset {
+            lineitem: li_builders.into_iter().map(TableBuilder::build).collect(),
+            orders: o_builders.into_iter().map(TableBuilder::build).collect(),
+            customer: c_builders.into_iter().map(TableBuilder::build).collect(),
+            nation: nation.build(),
+            region: region.build(),
+        }
+    }
+
+    /// Total LINEITEM rows across all nodes.
+    pub fn lineitem_rows(&self) -> usize {
+        self.lineitem.iter().map(Table::rows).sum()
+    }
+
+    /// Total ORDERS rows across all nodes.
+    pub fn orders_rows(&self) -> usize {
+        self.orders.iter().map(Table::rows).sum()
+    }
+
+    /// Total CUSTOMER rows across all nodes.
+    pub fn customer_rows(&self) -> usize {
+        self.customer.iter().map(Table::rows).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        Dataset::generate(&GenConfig {
+            scale: 0.01,
+            nodes: 4,
+            placement: Placement::Random,
+            seed: 7,
+        })
+    }
+
+    #[test]
+    fn cardinalities_match_spec_ratios() {
+        let d = tiny();
+        assert_eq!(d.customer_rows(), 1_500);
+        assert_eq!(d.orders_rows(), 15_000);
+        let li = d.lineitem_rows();
+        // 1–7 lines per order, expectation 4.
+        assert!((45_000..75_000).contains(&li), "lineitems: {li}");
+        assert_eq!(d.nation.rows(), 25);
+        assert_eq!(d.region.rows(), 5);
+    }
+
+    #[test]
+    fn random_placement_spreads_tuples() {
+        let d = tiny();
+        for node in 0..4 {
+            let frac = d.orders[node].rows() as f64 / d.orders_rows() as f64;
+            assert!((0.2..0.3).contains(&frac), "node {node} holds {frac}");
+        }
+    }
+
+    #[test]
+    fn co_partitioning_places_order_and_lines_together() {
+        let d = Dataset::generate(&GenConfig {
+            scale: 0.01,
+            nodes: 4,
+            placement: Placement::CoPartitioned,
+            seed: 7,
+        });
+        // Every lineitem's order key must hash to its own node.
+        for node in 0..4 {
+            for row in d.lineitem[node].iter() {
+                let key = l_orderkey(row);
+                let expect = (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) % 4) as usize;
+                assert_eq!(expect, node);
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = tiny();
+        let b = tiny();
+        for node in 0..4 {
+            assert_eq!(a.lineitem[node].rows(), b.lineitem[node].rows());
+            if a.lineitem[node].rows() > 0 {
+                assert_eq!(a.lineitem[node].row(0), b.lineitem[node].row(0));
+            }
+        }
+    }
+
+    #[test]
+    fn date_arithmetic() {
+        assert_eq!(date(1992, 1, 1), 0);
+        assert_eq!(date(1992, 2, 1), 31);
+        assert_eq!(date(1993, 1, 1), 366); // 1992 is a leap year.
+        assert!(date(1995, 3, 15) > date(1995, 3, 14));
+        assert!(date(1998, 8, 2) > date(1993, 7, 1));
+    }
+
+    #[test]
+    fn lineitem_dates_are_consistent() {
+        let d = tiny();
+        for node in 0..4 {
+            for row in d.lineitem[node].iter() {
+                assert!(l_receiptdate(row) > l_shipdate(row));
+                assert!(l_commitdate(row) > 0);
+                assert!([b'R', b'A', b'N'].contains(&l_returnflag(row)));
+                assert!((0..=1_000).contains(&l_discount(row)));
+            }
+        }
+    }
+}

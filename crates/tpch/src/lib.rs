@@ -1,0 +1,17 @@
+//! TPC-H substrate for the paper's §5.2 evaluation: a dbgen-style data
+//! generator for the tables and columns Q3, Q4 and Q10 touch, random-node
+//! tuple placement (with NATION/REGION replicated), and the physical query
+//! plans the paper evaluates.
+//!
+//! "We distribute each tuple of every table in TPC-H to a random node in
+//! the cluster, except for the NATION and REGION tables which we replicate
+//! to all nodes [...] We pre-project all unused columns as a column-store
+//! database would." (§5.2)
+
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod queries;
+
+pub use gen::{date, Dataset, GenConfig, Placement};
+pub use queries::{run_query, QueryId, QueryResult, QueryTransport};

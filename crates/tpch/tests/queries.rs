@@ -1,0 +1,136 @@
+//! Distributed TPC-H queries return exactly the single-node reference
+//! answer, for every transport and for the co-partitioned local plan.
+
+use rshuffle::ShuffleAlgorithm;
+use rshuffle_simnet::DeviceProfile;
+use rshuffle_tpch::queries::reference;
+use rshuffle_tpch::{run_query, Dataset, GenConfig, Placement, QueryId, QueryTransport};
+
+fn dataset(nodes: usize, placement: Placement) -> Dataset {
+    Dataset::generate(&GenConfig {
+        scale: 0.01,
+        nodes,
+        placement,
+        seed: 11,
+    })
+}
+
+fn check(query: QueryId, transport: QueryTransport, placement: Placement) {
+    let nodes = 3;
+    let d = dataset(nodes, placement);
+    let expect = reference(&d, query);
+    let result = run_query(DeviceProfile::edr(), &d, query, transport, 2);
+    assert!(!expect.is_empty(), "reference result must be non-trivial");
+    assert_eq!(
+        result.groups, expect,
+        "{query:?} over {transport} disagrees with the reference"
+    );
+    assert!(result.response_time.as_nanos() > 0);
+}
+
+#[test]
+fn q4_mesq_sr_matches_reference() {
+    check(
+        QueryId::Q4,
+        QueryTransport::Rdma(ShuffleAlgorithm::MESQ_SR),
+        Placement::Random,
+    );
+}
+
+#[test]
+fn q4_memq_sr_matches_reference() {
+    check(
+        QueryId::Q4,
+        QueryTransport::Rdma(ShuffleAlgorithm::MEMQ_SR),
+        Placement::Random,
+    );
+}
+
+#[test]
+fn q4_memq_rd_matches_reference() {
+    check(
+        QueryId::Q4,
+        QueryTransport::Rdma(ShuffleAlgorithm::MEMQ_RD),
+        Placement::Random,
+    );
+}
+
+#[test]
+fn q4_mpi_matches_reference() {
+    check(QueryId::Q4, QueryTransport::Mpi, Placement::Random);
+}
+
+#[test]
+fn q4_local_data_matches_reference_when_co_partitioned() {
+    check(
+        QueryId::Q4,
+        QueryTransport::LocalData,
+        Placement::CoPartitioned,
+    );
+}
+
+#[test]
+fn q3_mesq_sr_matches_reference() {
+    check(
+        QueryId::Q3,
+        QueryTransport::Rdma(ShuffleAlgorithm::MESQ_SR),
+        Placement::Random,
+    );
+}
+
+#[test]
+fn q3_mpi_matches_reference() {
+    check(QueryId::Q3, QueryTransport::Mpi, Placement::Random);
+}
+
+#[test]
+fn q10_mesq_sr_matches_reference() {
+    check(
+        QueryId::Q10,
+        QueryTransport::Rdma(ShuffleAlgorithm::MESQ_SR),
+        Placement::Random,
+    );
+}
+
+#[test]
+fn q10_mpi_matches_reference() {
+    check(QueryId::Q10, QueryTransport::Mpi, Placement::Random);
+}
+
+#[test]
+#[should_panic(expected = "co-partitioning is impossible")]
+fn q3_local_data_is_rejected() {
+    let d = dataset(2, Placement::CoPartitioned);
+    let _ = run_query(
+        DeviceProfile::edr(),
+        &d,
+        QueryId::Q3,
+        QueryTransport::LocalData,
+        2,
+    );
+}
+
+#[test]
+fn mesq_sr_is_not_slower_than_mpi_on_q4() {
+    let d = dataset(3, Placement::Random);
+    let rdma = run_query(
+        DeviceProfile::edr(),
+        &d,
+        QueryId::Q4,
+        QueryTransport::Rdma(ShuffleAlgorithm::MESQ_SR),
+        2,
+    );
+    let mpi = run_query(
+        DeviceProfile::edr(),
+        &d,
+        QueryId::Q4,
+        QueryTransport::Mpi,
+        2,
+    );
+    assert!(
+        rdma.response_time <= mpi.response_time,
+        "MESQ/SR {:?} slower than MPI {:?}",
+        rdma.response_time,
+        mpi.response_time
+    );
+}

@@ -1,0 +1,217 @@
+//! Completion queues.
+//!
+//! The NIC reports finished work requests by depositing [`Completion`]
+//! entries; the application retrieves them with [`CompletionQueue::poll`]
+//! (the analogue of `ibv_poll_cq`, non-blocking) or blocks with
+//! [`CompletionQueue::next`]. Both charge the polling CPU cost from the
+//! device profile. Multiple Queue Pairs may share one completion queue —
+//! the paper associates all QPs of an endpoint with a single CQ "to
+//! amortize the cost of polling" (§4.4.1).
+
+use std::sync::Arc;
+
+use rshuffle_simnet::{Gate, Kernel, SimContext, SimDuration};
+
+use crate::types::QpNum;
+use crate::NodeId;
+
+/// Status of a completed work request.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum WcStatus {
+    /// The request completed successfully.
+    Success,
+    /// The inbound message was larger than the posted receive buffer.
+    LocalLengthError,
+    /// A reliable send exhausted its receiver-not-ready retries (the peer
+    /// never posted a matching Receive).
+    RetryExceeded,
+    /// The QP transitioned to the error state; the request was flushed.
+    Flushed,
+}
+
+/// Which operation a completion refers to.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum WcOpcode {
+    /// A Send work request completed (buffer reusable).
+    Send,
+    /// A Receive work request completed (buffer holds a message).
+    Recv,
+    /// An RDMA Read completed (local buffer holds remote data).
+    Read,
+    /// An RDMA Write completed (remote memory updated).
+    Write,
+}
+
+/// One completion-queue entry (the analogue of `ibv_wc`).
+#[derive(Clone, Debug)]
+pub struct Completion {
+    /// The application-chosen identifier of the work request.
+    pub wr_id: u64,
+    /// Outcome of the request.
+    pub status: WcStatus,
+    /// Operation kind.
+    pub opcode: WcOpcode,
+    /// Bytes transferred (receives and reads).
+    pub byte_len: usize,
+    /// For receives: the sender's node.
+    pub src_node: NodeId,
+    /// For receives: the sender's QP number (meaningful on UD, where one
+    /// local QP hears from many peers).
+    pub src_qp: QpNum,
+    /// The local QP this completion belongs to.
+    pub qp: QpNum,
+    /// Immediate data carried by the message, if any (the shuffle endpoints
+    /// inline the credit value here to save a DMA, §4.4.1).
+    pub imm: Option<u32>,
+}
+
+struct CqInner {
+    gate: Gate<Completion>,
+    poll_cost: SimDuration,
+}
+
+/// A completion queue, shareable across QPs and threads.
+#[derive(Clone)]
+pub struct CompletionQueue {
+    inner: Arc<CqInner>,
+}
+
+impl CompletionQueue {
+    /// Creates a completion queue. `completion_latency` models the delay
+    /// from hardware completion to a polling thread observing it;
+    /// `poll_cost` is the CPU cost per poll call.
+    pub fn new(kernel: &Kernel, completion_latency: SimDuration, poll_cost: SimDuration) -> Self {
+        CompletionQueue {
+            inner: Arc::new(CqInner {
+                gate: Gate::new(kernel, completion_latency),
+                poll_cost,
+            }),
+        }
+    }
+
+    /// Non-blocking poll: drains up to `max` completions, charging one poll
+    /// cost. Mirrors `ibv_poll_cq`.
+    pub fn poll(&self, ctx: &SimContext, max: usize) -> Vec<Completion> {
+        ctx.sleep(self.inner.poll_cost);
+        let mut out = Vec::new();
+        while out.len() < max {
+            match self.inner.gate.try_recv() {
+                Some(c) => out.push(c),
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Blocks until one completion is available and returns it.
+    pub fn next(&self, ctx: &SimContext) -> Completion {
+        ctx.sleep(self.inner.poll_cost);
+        self.inner.gate.recv(ctx)
+    }
+
+    /// Blocks until a completion arrives or `timeout` elapses.
+    pub fn next_timeout(&self, ctx: &SimContext, timeout: SimDuration) -> Option<Completion> {
+        ctx.sleep(self.inner.poll_cost);
+        match self.inner.gate.recv_timeout(ctx, timeout) {
+            rshuffle_simnet::RecvTimeout::Value(c) => Some(c),
+            rshuffle_simnet::RecvTimeout::TimedOut => None,
+        }
+    }
+
+    /// Number of completions currently queued.
+    pub fn depth(&self) -> usize {
+        self.inner.gate.len()
+    }
+
+    /// Deposits a completion (called by the simulated NIC).
+    pub(crate) fn deposit(&self, c: Completion) {
+        self.inner.gate.push(c);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rshuffle_simnet::Kernel;
+
+    fn cq(kernel: &Kernel) -> CompletionQueue {
+        CompletionQueue::new(
+            kernel,
+            SimDuration::from_nanos(200),
+            SimDuration::from_nanos(50),
+        )
+    }
+
+    fn dummy(wr_id: u64) -> Completion {
+        Completion {
+            wr_id,
+            status: WcStatus::Success,
+            opcode: WcOpcode::Send,
+            byte_len: 0,
+            src_node: 0,
+            src_qp: QpNum(0),
+            qp: QpNum(0),
+            imm: None,
+        }
+    }
+
+    #[test]
+    fn poll_drains_up_to_max() {
+        let kernel = Kernel::new();
+        let cq = cq(&kernel);
+        for i in 0..5 {
+            cq.deposit(dummy(i));
+        }
+        let cq2 = cq.clone();
+        kernel.spawn(0, "poller", move |sim| {
+            let batch = cq2.poll(&sim, 3);
+            assert_eq!(batch.len(), 3);
+            assert_eq!(batch[0].wr_id, 0);
+            let rest = cq2.poll(&sim, 10);
+            assert_eq!(rest.len(), 2);
+            // Two polls at 50ns each.
+            assert_eq!(sim.now().as_nanos(), 100);
+        });
+        kernel.run();
+    }
+
+    #[test]
+    fn next_blocks_until_deposit() {
+        let kernel = Kernel::new();
+        let cq = cq(&kernel);
+        let cq2 = cq.clone();
+        kernel.spawn(0, "waiter", move |sim| {
+            let c = cq2.next(&sim);
+            assert_eq!(c.wr_id, 7);
+            // Deposit at 1000 + 200 completion latency; poll cost charged
+            // before blocking.
+            assert_eq!(sim.now().as_nanos(), 1_200);
+        });
+        let cq3 = cq.clone();
+        kernel.schedule(rshuffle_simnet::SimTime::from_nanos(1_000), move || {
+            cq3.deposit(dummy(7));
+        });
+        kernel.run();
+    }
+
+    #[test]
+    fn next_timeout_expires() {
+        let kernel = Kernel::new();
+        let cq = cq(&kernel);
+        kernel.spawn(0, "waiter", move |sim| {
+            assert!(cq.next_timeout(&sim, SimDuration::from_micros(2)).is_none());
+        });
+        kernel.run();
+    }
+
+    #[test]
+    fn empty_poll_still_costs_cpu() {
+        let kernel = Kernel::new();
+        let cq = cq(&kernel);
+        kernel.spawn(0, "poller", move |sim| {
+            assert!(cq.poll(&sim, 8).is_empty());
+            assert_eq!(sim.now().as_nanos(), 50);
+        });
+        kernel.run();
+    }
+}

@@ -1,0 +1,245 @@
+//! Registered ("pinned") memory regions.
+//!
+//! RDMA operations can only target memory that has been registered with the
+//! NIC (§2.2). A [`MemoryRegion`] owns its backing bytes; remote peers
+//! address it through an `rkey` (see [`RemoteAddr`]). Registration charges
+//! the modelled pinning cost to the calling thread, and the runtime tracks
+//! total registered bytes per node — the quantity plotted in Figure 9(b).
+//!
+//! One-sided writes into a region can be awaited through
+//! [`MemoryRegion::wait_update`], which models a thread polling local memory
+//! for a change made by a remote RDMA Write (the paper's ValidArr/FreeArr
+//! message queues, §4.4.3).
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rshuffle_simnet::{Gate, Kernel, SimContext, SimDuration};
+
+use crate::error::{Result, VerbsError};
+use crate::NodeId;
+
+pub(crate) struct MrInner {
+    pub(crate) node: NodeId,
+    pub(crate) rkey: u32,
+    pub(crate) data: Mutex<Box<[u8]>>,
+    pub(crate) len: usize,
+    /// Signalled whenever a remote RDMA Write lands in this region.
+    pub(crate) update_gate: Gate<()>,
+}
+
+/// A registered memory region on one node.
+///
+/// Cloning is cheap and shares the same backing memory (like holding several
+/// references to the same pinned pages).
+#[derive(Clone)]
+pub struct MemoryRegion {
+    pub(crate) inner: Arc<MrInner>,
+}
+
+/// Address of a window inside a remote node's registered memory.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct RemoteAddr {
+    /// Node owning the memory.
+    pub node: NodeId,
+    /// Remote key identifying the region.
+    pub rkey: u32,
+    /// Byte offset within the region.
+    pub offset: usize,
+}
+
+impl MemoryRegion {
+    pub(crate) fn new(kernel: &Kernel, node: NodeId, rkey: u32, len: usize) -> Self {
+        MemoryRegion {
+            inner: Arc::new(MrInner {
+                node,
+                rkey,
+                data: Mutex::new(vec![0u8; len].into_boxed_slice()),
+                len,
+                update_gate: Gate::new(kernel, SimDuration::from_nanos(100)),
+            }),
+        }
+    }
+
+    /// Creates a standalone region that is not tracked by any runtime
+    /// registry (no rkey resolution, no registered-bytes accounting).
+    ///
+    /// Intended for unit tests of code that manipulates buffers without a
+    /// full cluster.
+    #[doc(hidden)]
+    pub fn new_for_tests(kernel: &Kernel, node: NodeId, rkey: u32, len: usize) -> Self {
+        Self::new(kernel, node, rkey, len)
+    }
+
+    /// The node this region lives on.
+    pub fn node(&self) -> NodeId {
+        self.inner.node
+    }
+
+    /// The remote key peers use to address this region.
+    pub fn rkey(&self) -> u32 {
+        self.inner.rkey
+    }
+
+    /// Size of the region in bytes.
+    pub fn len(&self) -> usize {
+        self.inner.len
+    }
+
+    /// Whether the region has zero length.
+    pub fn is_empty(&self) -> bool {
+        self.inner.len == 0
+    }
+
+    fn check(&self, offset: usize, len: usize) -> Result<()> {
+        if offset
+            .checked_add(len)
+            .is_none_or(|end| end > self.inner.len)
+        {
+            return Err(VerbsError::OutOfBounds {
+                offset,
+                len,
+                region: self.inner.len,
+            });
+        }
+        Ok(())
+    }
+
+    /// Copies `bytes` into the region at `offset`.
+    pub fn write(&self, offset: usize, bytes: &[u8]) -> Result<()> {
+        self.check(offset, bytes.len())?;
+        self.inner.data.lock()[offset..offset + bytes.len()].copy_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Reads `len` bytes starting at `offset`.
+    pub fn read(&self, offset: usize, len: usize) -> Result<Vec<u8>> {
+        self.check(offset, len)?;
+        Ok(self.inner.data.lock()[offset..offset + len].to_vec())
+    }
+
+    /// Runs `f` over an immutable view of `[offset, offset+len)`.
+    pub fn with<R>(&self, offset: usize, len: usize, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
+        self.check(offset, len)?;
+        Ok(f(&self.inner.data.lock()[offset..offset + len]))
+    }
+
+    /// Runs `f` over a mutable view of `[offset, offset+len)`.
+    pub fn with_mut<R>(
+        &self,
+        offset: usize,
+        len: usize,
+        f: impl FnOnce(&mut [u8]) -> R,
+    ) -> Result<R> {
+        self.check(offset, len)?;
+        Ok(f(&mut self.inner.data.lock()[offset..offset + len]))
+    }
+
+    /// Reads a little-endian `u64` at `offset`.
+    pub fn read_u64(&self, offset: usize) -> Result<u64> {
+        self.with(offset, 8, |b| {
+            u64::from_le_bytes(b.try_into().expect("8 bytes"))
+        })
+    }
+
+    /// Writes a little-endian `u64` at `offset`.
+    pub fn write_u64(&self, offset: usize, v: u64) -> Result<()> {
+        self.write(offset, &v.to_le_bytes())
+    }
+
+    /// Blocks until a remote RDMA Write lands anywhere in this region.
+    ///
+    /// Models a consumer polling local memory for updates made by a passive
+    /// remote writer; the wakeup carries the polling latency.
+    pub fn wait_update(&self, ctx: &SimContext) {
+        self.inner.update_gate.recv(ctx)
+    }
+
+    /// Non-blocking variant of [`MemoryRegion::wait_update`]: consumes one
+    /// pending update notification if present.
+    pub fn try_update(&self) -> bool {
+        self.inner.update_gate.try_recv().is_some()
+    }
+
+    /// Discards all pending update notifications. A poller calls this
+    /// before re-checking its condition so stale notifications cannot make
+    /// the subsequent wait spin.
+    pub fn drain_updates(&self) {
+        while self.inner.update_gate.try_recv().is_some() {}
+    }
+
+    /// Blocks until a remote RDMA Write lands in this region or `timeout`
+    /// elapses; returns whether an update arrived. Wakes *early* on the
+    /// write (this is what makes polled ring buffers latency-neutral in the
+    /// simulator).
+    pub fn wait_update_timeout(&self, ctx: &SimContext, timeout: SimDuration) -> bool {
+        matches!(
+            self.inner.update_gate.recv_timeout(ctx, timeout),
+            rshuffle_simnet::RecvTimeout::Value(())
+        )
+    }
+
+    pub(crate) fn signal_update(&self) {
+        self.inner.update_gate.push(());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region(len: usize) -> MemoryRegion {
+        MemoryRegion::new(&Kernel::new(), 0, 1, len)
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mr = region(64);
+        mr.write(8, &[1, 2, 3, 4]).unwrap();
+        assert_eq!(mr.read(8, 4).unwrap(), vec![1, 2, 3, 4]);
+        assert_eq!(mr.read(0, 8).unwrap(), vec![0; 8]);
+    }
+
+    #[test]
+    fn u64_roundtrip() {
+        let mr = region(16);
+        mr.write_u64(8, 0xDEAD_BEEF_CAFE_F00D).unwrap();
+        assert_eq!(mr.read_u64(8).unwrap(), 0xDEAD_BEEF_CAFE_F00D);
+    }
+
+    #[test]
+    fn out_of_bounds_is_rejected() {
+        let mr = region(16);
+        assert!(matches!(
+            mr.write(12, &[0; 8]),
+            Err(VerbsError::OutOfBounds { .. })
+        ));
+        assert!(mr.read(16, 1).is_err());
+        // Overflowing offsets must not panic.
+        assert!(mr.read(usize::MAX, 2).is_err());
+    }
+
+    #[test]
+    fn boundary_access_is_allowed() {
+        let mr = region(16);
+        assert!(mr.write(8, &[0; 8]).is_ok());
+        assert!(mr.read(0, 16).is_ok());
+        assert!(mr.read(16, 0).is_ok());
+    }
+
+    #[test]
+    fn with_mut_mutates_in_place() {
+        let mr = region(4);
+        mr.with_mut(0, 4, |b| b.copy_from_slice(&[9, 9, 9, 9]))
+            .unwrap();
+        assert_eq!(mr.read(0, 4).unwrap(), vec![9; 4]);
+    }
+
+    #[test]
+    fn clones_share_backing_memory() {
+        let a = region(8);
+        let b = a.clone();
+        a.write(0, &[7]).unwrap();
+        assert_eq!(b.read(0, 1).unwrap(), vec![7]);
+    }
+}

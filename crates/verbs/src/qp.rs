@@ -1,0 +1,830 @@
+//! Queue Pairs: posting work requests and the delivery pipeline.
+//!
+//! A [`QueuePair`] follows the IB state machine (RESET → INIT → RTR → RTS).
+//! Posting a work request charges the CPU post cost, occupies the local
+//! NIC's pipeline (touching the QP context cache), serializes on the fabric
+//! ports and finally runs a delivery event at the receiver:
+//!
+//! * **Send** consumes a posted Receive at the destination. On UD an
+//!   unmatched Send is silently dropped (§2.2.1: "else Send requests will
+//!   be dropped"); on RC the hardware retries (receiver-not-ready) and the
+//!   sender eventually completes with [`WcStatus::RetryExceeded`].
+//! * **RDMA Read** pulls remote registered memory into a local buffer with
+//!   no remote CPU involvement.
+//! * **RDMA Write** pushes a local buffer into remote registered memory,
+//!   also fully passive at the target.
+//!
+//! All timing flows through the shared [`rshuffle_simnet::NicModel`]s and
+//! [`rshuffle_simnet::Fabric`]s so that
+//! contention between QPs, threads and nodes is captured.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rshuffle_simnet::nic::WrKind;
+use rshuffle_simnet::{SimContext, SimDuration, SimTime};
+
+use crate::cq::{Completion, CompletionQueue, WcOpcode, WcStatus};
+use crate::error::{Result, VerbsError};
+use crate::mr::{MemoryRegion, RemoteAddr};
+use crate::runtime::VerbsRuntime;
+use crate::types::{QpNum, QpState, QpType};
+use crate::NodeId;
+
+/// Per-packet wire header overhead for reliable transport (LRH+BTH+CRC).
+const RC_HEADER_BYTES: usize = 30;
+/// Wire overhead of a UD datagram (adds the 40-byte GRH).
+const UD_HEADER_BYTES: usize = 70;
+/// How many times the hardware retries a send that finds no posted receive.
+const RNR_RETRY_LIMIT: u32 = 7;
+/// Delay between receiver-not-ready retries.
+const RNR_RETRY_DELAY: SimDuration = SimDuration::from_micros(20);
+
+/// Destination of a UD send / identity of a remote QP (`ibv_ah` analogue).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct AddressHandle {
+    /// Destination node.
+    pub node: NodeId,
+    /// Destination Queue Pair number.
+    pub qpn: QpNum,
+}
+
+/// A Receive work request: where an incoming message may land.
+#[derive(Clone)]
+pub struct RecvWr {
+    /// Application identifier returned in the completion.
+    pub wr_id: u64,
+    /// Registered region holding the buffer.
+    pub mr: MemoryRegion,
+    /// Buffer offset within the region.
+    pub offset: usize,
+    /// Buffer capacity.
+    pub len: usize,
+}
+
+/// A Send work request.
+#[derive(Clone)]
+pub struct SendWr {
+    /// Application identifier returned in the completion.
+    pub wr_id: u64,
+    /// Registered region holding the payload.
+    pub mr: MemoryRegion,
+    /// Payload offset within the region.
+    pub offset: usize,
+    /// Payload length.
+    pub len: usize,
+    /// Immediate data delivered with the message (used by the shuffle
+    /// endpoints to inline the credit value, §4.4.1).
+    pub imm: Option<u32>,
+    /// Destination (required on UD, ignored on RC which uses the connected
+    /// peer).
+    pub ah: Option<AddressHandle>,
+}
+
+pub(crate) struct QpInner {
+    pub(crate) node: NodeId,
+    pub(crate) qpn: QpNum,
+    pub(crate) ty: QpType,
+    pub(crate) state: Mutex<QpState>,
+    pub(crate) peer: Mutex<Option<AddressHandle>>,
+    pub(crate) send_cq: CompletionQueue,
+    pub(crate) recv_cq: CompletionQueue,
+    pub(crate) recv_queue: Mutex<VecDeque<RecvWr>>,
+    /// Latest delivery time issued on this (RC) QP. Reliable Connections
+    /// deliver strictly in posted order even when a small message could
+    /// physically arrive earlier (control virtual lane), so delivery times
+    /// are clamped to be monotone per QP.
+    pub(crate) last_delivery: Mutex<SimTime>,
+}
+
+impl QpInner {
+    pub(crate) fn new(
+        node: NodeId,
+        qpn: QpNum,
+        ty: QpType,
+        send_cq: CompletionQueue,
+        recv_cq: CompletionQueue,
+    ) -> Self {
+        QpInner {
+            node,
+            qpn,
+            ty,
+            state: Mutex::new(QpState::Reset),
+            peer: Mutex::new(None),
+            send_cq,
+            recv_cq,
+            recv_queue: Mutex::new(VecDeque::new()),
+            last_delivery: Mutex::new(SimTime::ZERO),
+        }
+    }
+
+    fn ctx_key(&self) -> u64 {
+        ((self.node as u64) << 32) | self.qpn.0 as u64
+    }
+}
+
+/// A Queue Pair handle. Thread-safe; clones share the same QP.
+#[derive(Clone)]
+pub struct QueuePair {
+    inner: Arc<QpInner>,
+    runtime: Arc<VerbsRuntime>,
+}
+
+impl QueuePair {
+    pub(crate) fn new(inner: Arc<QpInner>, runtime: Arc<VerbsRuntime>) -> Self {
+        QueuePair { inner, runtime }
+    }
+
+    /// This QP's number.
+    pub fn qpn(&self) -> QpNum {
+        self.inner.qpn
+    }
+
+    /// The node the QP lives on.
+    pub fn node(&self) -> NodeId {
+        self.inner.node
+    }
+
+    /// The transport service type.
+    pub fn qp_type(&self) -> QpType {
+        self.inner.ty
+    }
+
+    /// Current state.
+    pub fn state(&self) -> QpState {
+        *self.inner.state.lock()
+    }
+
+    /// The modelled setup cost of connecting one RC QP (used by
+    /// [`crate::ConnectionManager`]).
+    pub fn profile_rc_setup(&self) -> SimDuration {
+        self.runtime.profile().rc_qp_setup
+    }
+
+    /// The modelled setup cost of creating one UD QP and exchanging its
+    /// address handle.
+    pub fn profile_ud_setup(&self) -> SimDuration {
+        self.runtime.profile().ud_qp_setup
+    }
+
+    /// An address handle peers can use to reach this QP.
+    pub fn address_handle(&self) -> AddressHandle {
+        AddressHandle {
+            node: self.inner.node,
+            qpn: self.inner.qpn,
+        }
+    }
+
+    /// RESET → INIT. Receives may be posted afterwards.
+    pub fn modify_to_init(&self) -> Result<()> {
+        self.transition(QpState::Reset, QpState::Init, "modify_to_init")
+    }
+
+    /// INIT → RTR (ready to receive). RC QPs must be connected first.
+    pub fn modify_to_rtr(&self) -> Result<()> {
+        if self.inner.ty == QpType::Rc && self.inner.peer.lock().is_none() {
+            return Err(VerbsError::NotConnected(self.inner.qpn));
+        }
+        self.transition(QpState::Init, QpState::ReadyToReceive, "modify_to_rtr")
+    }
+
+    /// RTR → RTS (fully operational).
+    pub fn modify_to_rts(&self) -> Result<()> {
+        self.transition(
+            QpState::ReadyToReceive,
+            QpState::ReadyToSend,
+            "modify_to_rts",
+        )
+    }
+
+    fn transition(&self, from: QpState, to: QpState, op: &'static str) -> Result<()> {
+        let mut st = self.inner.state.lock();
+        if *st != from {
+            return Err(VerbsError::InvalidState {
+                qp: self.inner.qpn,
+                state: *st,
+                op,
+            });
+        }
+        *st = to;
+        Ok(())
+    }
+
+    /// Binds this RC QP to its (single) remote peer. Must happen in INIT,
+    /// before RTR.
+    pub fn connect(&self, peer: AddressHandle) -> Result<()> {
+        if self.inner.ty != QpType::Rc {
+            return Err(VerbsError::UnsupportedOp {
+                op: "connect",
+                reason: "UD queue pairs are connectionless",
+            });
+        }
+        let st = *self.inner.state.lock();
+        if st != QpState::Init {
+            return Err(VerbsError::InvalidState {
+                qp: self.inner.qpn,
+                state: st,
+                op: "connect",
+            });
+        }
+        *self.inner.peer.lock() = Some(peer);
+        Ok(())
+    }
+
+    /// Number of Receive requests currently posted.
+    pub fn posted_receives(&self) -> usize {
+        self.inner.recv_queue.lock().len()
+    }
+
+    /// Posts a Receive work request (`ibv_post_recv`). Allowed from INIT
+    /// onward.
+    pub fn post_recv(&self, sim: &SimContext, wr: RecvWr) -> Result<()> {
+        let st = *self.inner.state.lock();
+        if st < QpState::Init || st == QpState::Error {
+            return Err(VerbsError::InvalidState {
+                qp: self.inner.qpn,
+                state: st,
+                op: "post_recv",
+            });
+        }
+        if wr
+            .offset
+            .checked_add(wr.len)
+            .is_none_or(|e| e > wr.mr.len())
+        {
+            return Err(VerbsError::OutOfBounds {
+                offset: wr.offset,
+                len: wr.len,
+                region: wr.mr.len(),
+            });
+        }
+        sim.sleep(self.runtime.profile().post_wr_cpu);
+        self.inner.recv_queue.lock().push_back(wr);
+        Ok(())
+    }
+
+    /// Posts a Receive without charging CPU time. For connection bootstrap
+    /// outside the measured window (initial receive pools are posted while
+    /// connections are established, before the query starts).
+    pub fn post_recv_untimed(&self, wr: RecvWr) -> Result<()> {
+        let st = *self.inner.state.lock();
+        if st < QpState::Init || st == QpState::Error {
+            return Err(VerbsError::InvalidState {
+                qp: self.inner.qpn,
+                state: st,
+                op: "post_recv_untimed",
+            });
+        }
+        if wr
+            .offset
+            .checked_add(wr.len)
+            .is_none_or(|e| e > wr.mr.len())
+        {
+            return Err(VerbsError::OutOfBounds {
+                offset: wr.offset,
+                len: wr.len,
+                region: wr.mr.len(),
+            });
+        }
+        self.inner.recv_queue.lock().push_back(wr);
+        Ok(())
+    }
+
+    /// Posts a Send work request (`ibv_post_send` with `IBV_WR_SEND`).
+    ///
+    /// The payload is captured when the request is posted; per the verbs
+    /// contract the buffer must not be modified until the completion
+    /// arrives.
+    pub fn post_send(&self, sim: &SimContext, wr: SendWr) -> Result<()> {
+        self.check_sendable("post_send")?;
+        let profile = self.runtime.profile();
+        let (dest, max) = match self.inner.ty {
+            QpType::Ud => (wr.ah.ok_or(VerbsError::MissingAddressHandle)?, profile.mtu),
+            QpType::Rc => {
+                let peer = *self.inner.peer.lock();
+                (
+                    peer.ok_or(VerbsError::NotConnected(self.inner.qpn))?,
+                    profile.max_rc_message,
+                )
+            }
+        };
+        if wr.len > max {
+            return Err(VerbsError::MessageTooLarge { len: wr.len, max });
+        }
+        let payload = wr.mr.read(wr.offset, wr.len)?;
+        sim.sleep(profile.post_wr_cpu);
+
+        let now = self.runtime.kernel().now();
+        let kind = match self.inner.ty {
+            QpType::Rc => WrKind::SendRc,
+            QpType::Ud => WrKind::SendUd,
+        };
+        let nic_done = self
+            .runtime
+            .nic(self.inner.node)
+            .process(now, self.inner.ctx_key(), kind);
+
+        let reliable = self.inner.ty == QpType::Rc;
+        let wire_bytes = wire_bytes(self.inner.ty, wr.len, profile.mtu);
+
+        // UD fault injection: loss and reordering.
+        let jitter = if reliable {
+            SimDuration::ZERO
+        } else {
+            match self.runtime.sample_ud_fate() {
+                Some(j) => j,
+                None => {
+                    // Lost in the network: the sender still sees a local
+                    // send completion (it only means the NIC consumed the
+                    // buffer).
+                    let send_cq = self.inner.send_cq.clone();
+                    let completion = self.local_send_completion(&wr);
+                    self.runtime
+                        .kernel()
+                        .schedule(nic_done, move || send_cq.deposit(completion));
+                    return Ok(());
+                }
+            }
+        };
+
+        let deliver = self.runtime.cluster().fabric().transfer(
+            self.inner.node,
+            dest.node,
+            wire_bytes,
+            nic_done,
+        ) + jitter;
+        let deliver = if reliable {
+            self.ordered_delivery(deliver)
+        } else {
+            deliver
+        };
+
+        // Sender-side completion: UD completes locally once the NIC is done;
+        // RC completes after the remote match acknowledges (scheduled by the
+        // delivery path).
+        if !reliable {
+            let send_cq = self.inner.send_cq.clone();
+            let completion = self.local_send_completion(&wr);
+            self.runtime
+                .kernel()
+                .schedule(nic_done, move || send_cq.deposit(completion));
+        }
+
+        let runtime = self.runtime.clone();
+        let src = self.address_handle();
+        let sender_ctx = if reliable {
+            Some((self.inner.send_cq.clone(), wr.wr_id))
+        } else {
+            None
+        };
+        let imm = wr.imm;
+        self.runtime.kernel().schedule(deliver, move || {
+            deliver_send(runtime, dest, payload, imm, src, sender_ctx, 0);
+        });
+        Ok(())
+    }
+
+    /// Posts one UD Send that the switch replicates to every destination
+    /// (native InfiniBand multicast; the paper's §7 hypothesizes this will
+    /// reduce broadcast CPU cost). One work request, one egress
+    /// serialization, one local completion; each destination's delivery is
+    /// subject to its own fault sampling. UD only.
+    pub fn post_send_multicast(
+        &self,
+        sim: &SimContext,
+        wr: SendWr,
+        dests: &[AddressHandle],
+    ) -> Result<()> {
+        if self.inner.ty != QpType::Ud {
+            return Err(VerbsError::UnsupportedOp {
+                op: "post_send_multicast",
+                reason: "native multicast runs over the Unreliable Datagram service",
+            });
+        }
+        self.check_sendable("post_send_multicast")?;
+        let profile = self.runtime.profile();
+        if wr.len > profile.mtu {
+            return Err(VerbsError::MessageTooLarge {
+                len: wr.len,
+                max: profile.mtu,
+            });
+        }
+        assert!(!dests.is_empty(), "multicast needs at least one destination");
+        let payload = wr.mr.read(wr.offset, wr.len)?;
+        sim.sleep(profile.post_wr_cpu);
+
+        let now = self.runtime.kernel().now();
+        let nic_done = self
+            .runtime
+            .nic(self.inner.node)
+            .process(now, self.inner.ctx_key(), WrKind::SendUd);
+        let wire = wire_bytes(QpType::Ud, wr.len, profile.mtu);
+        let dest_nodes: Vec<crate::NodeId> = dests.iter().map(|d| d.node).collect();
+        let deliveries = self.runtime.cluster().fabric().transfer_multicast(
+            self.inner.node,
+            &dest_nodes,
+            wire,
+            nic_done,
+        );
+        // One local completion for the single work request.
+        let send_cq = self.inner.send_cq.clone();
+        let completion = self.local_send_completion(&wr);
+        self.runtime
+            .kernel()
+            .schedule(nic_done, move || send_cq.deposit(completion));
+        let src = self.address_handle();
+        for (&dest, deliver) in dests.iter().zip(deliveries) {
+            let Some(jitter) = self.runtime.sample_ud_fate() else {
+                continue; // This member's copy is lost.
+            };
+            let runtime = self.runtime.clone();
+            let payload = payload.clone();
+            let imm = wr.imm;
+            self.runtime.kernel().schedule(deliver + jitter, move || {
+                deliver_send(runtime, dest, payload, imm, src, None, 0);
+            });
+        }
+        Ok(())
+    }
+
+    /// Posts an RDMA Read (`ibv_post_send` with `IBV_WR_RDMA_READ`):
+    /// fetches `len` bytes from `remote` into the local buffer. RC only.
+    pub fn post_read(
+        &self,
+        sim: &SimContext,
+        wr_id: u64,
+        local: (MemoryRegion, usize),
+        remote: RemoteAddr,
+        len: usize,
+    ) -> Result<()> {
+        self.check_one_sided("post_read")?;
+        let profile = self.runtime.profile();
+        if len > profile.max_rc_message {
+            return Err(VerbsError::MessageTooLarge {
+                len,
+                max: profile.max_rc_message,
+            });
+        }
+        let (local_mr, local_off) = local;
+        if local_off
+            .checked_add(len)
+            .is_none_or(|e| e > local_mr.len())
+        {
+            return Err(VerbsError::OutOfBounds {
+                offset: local_off,
+                len,
+                region: local_mr.len(),
+            });
+        }
+        sim.sleep(profile.post_wr_cpu);
+
+        let now = self.runtime.kernel().now();
+        let nic_done =
+            self.runtime
+                .nic(self.inner.node)
+                .process(now, self.inner.ctx_key(), WrKind::Read);
+        // The read request itself is a small packet to the remote node.
+        let req_arrive = self.runtime.cluster().fabric().transfer(
+            self.inner.node,
+            remote.node,
+            RC_HEADER_BYTES,
+            nic_done,
+        );
+
+        let runtime = self.runtime.clone();
+        let local_node = self.inner.node;
+        let send_cq = self.inner.send_cq.clone();
+        let qpn = self.inner.qpn;
+        let peer_ctx = self
+            .inner
+            .peer
+            .lock()
+            .map(|p| ((p.node as u64) << 32) | p.qpn.0 as u64)
+            .unwrap_or_default();
+        let mtu = profile.mtu;
+        self.runtime.kernel().schedule(req_arrive, move || {
+            let now = runtime.kernel().now();
+            // The target NIC serves the read passively: pipeline occupancy
+            // plus a QP-context touch, no remote CPU.
+            let serve = runtime
+                .nic(remote.node)
+                .process(now, peer_ctx, WrKind::RemoteDma);
+            let data = match runtime.lookup_mr(remote.rkey) {
+                Some(mr) if remote.offset + len <= mr.len() => {
+                    mr.read(remote.offset, len).expect("bounds checked")
+                }
+                _ => {
+                    // Bad rkey or bounds: remote access error completion.
+                    let completion = Completion {
+                        wr_id,
+                        status: WcStatus::Flushed,
+                        opcode: WcOpcode::Read,
+                        byte_len: 0,
+                        src_node: remote.node,
+                        src_qp: QpNum(0),
+                        qp: qpn,
+                        imm: None,
+                    };
+                    runtime
+                        .kernel()
+                        .schedule(serve, move || send_cq.deposit(completion));
+                    return;
+                }
+            };
+            let wire = len + RC_HEADER_BYTES * len.div_ceil(mtu).max(1);
+            let back = runtime
+                .cluster()
+                .fabric()
+                .transfer(remote.node, local_node, wire, serve);
+            let runtime2 = runtime.clone();
+            runtime.kernel().schedule(back, move || {
+                let now = runtime2.kernel().now();
+                let done = runtime2.nic(local_node).process(
+                    now,
+                    ((local_node as u64) << 32) | qpn.0 as u64,
+                    WrKind::RecvMatch,
+                );
+                local_mr
+                    .write(local_off, &data)
+                    .expect("bounds checked at post time");
+                let completion = Completion {
+                    wr_id,
+                    status: WcStatus::Success,
+                    opcode: WcOpcode::Read,
+                    byte_len: len,
+                    src_node: remote.node,
+                    src_qp: QpNum(0),
+                    qp: qpn,
+                    imm: None,
+                };
+                runtime2
+                    .kernel()
+                    .schedule(done, move || send_cq.deposit(completion));
+            });
+        });
+        Ok(())
+    }
+
+    /// Posts an RDMA Write (`ibv_post_send` with `IBV_WR_RDMA_WRITE`):
+    /// pushes the local buffer into `remote`. RC only. The target CPU is
+    /// never involved; consumers poll memory (see
+    /// [`MemoryRegion::wait_update`]).
+    pub fn post_write(
+        &self,
+        sim: &SimContext,
+        wr_id: u64,
+        local: (MemoryRegion, usize),
+        remote: RemoteAddr,
+        len: usize,
+    ) -> Result<()> {
+        self.check_one_sided("post_write")?;
+        let profile = self.runtime.profile();
+        if len > profile.max_rc_message {
+            return Err(VerbsError::MessageTooLarge {
+                len,
+                max: profile.max_rc_message,
+            });
+        }
+        let (local_mr, local_off) = local;
+        let payload = local_mr.read(local_off, len)?;
+        sim.sleep(profile.post_wr_cpu);
+
+        let now = self.runtime.kernel().now();
+        let nic_done =
+            self.runtime
+                .nic(self.inner.node)
+                .process(now, self.inner.ctx_key(), WrKind::Write);
+        let wire = len + RC_HEADER_BYTES * len.div_ceil(profile.mtu).max(1);
+        let deliver = self.ordered_delivery(self.runtime.cluster().fabric().transfer(
+            self.inner.node,
+            remote.node,
+            wire,
+            nic_done,
+        ));
+
+        let runtime = self.runtime.clone();
+        let send_cq = self.inner.send_cq.clone();
+        let qpn = self.inner.qpn;
+        let ack_latency = profile.rc_ack_latency;
+        let peer_ctx = self
+            .inner
+            .peer
+            .lock()
+            .map(|p| ((p.node as u64) << 32) | p.qpn.0 as u64)
+            .unwrap_or_default();
+        self.runtime.kernel().schedule(deliver, move || {
+            let now = runtime.kernel().now();
+            let served = runtime
+                .nic(remote.node)
+                .process(now, peer_ctx, WrKind::RemoteDma);
+            match runtime.lookup_mr(remote.rkey) {
+                Some(mr) if remote.offset + len <= mr.len() => {
+                    mr.write(remote.offset, &payload).expect("bounds checked");
+                    let mr2 = mr.clone();
+                    let runtime2 = runtime.clone();
+                    runtime.kernel().schedule(served, move || {
+                        mr2.signal_update();
+                        let completion = Completion {
+                            wr_id,
+                            status: WcStatus::Success,
+                            opcode: WcOpcode::Write,
+                            byte_len: len,
+                            src_node: remote.node,
+                            src_qp: QpNum(0),
+                            qp: qpn,
+                            imm: None,
+                        };
+                        runtime2
+                            .kernel()
+                            .schedule_in(ack_latency, move || send_cq.deposit(completion));
+                    });
+                }
+                _ => {
+                    let completion = Completion {
+                        wr_id,
+                        status: WcStatus::Flushed,
+                        opcode: WcOpcode::Write,
+                        byte_len: 0,
+                        src_node: remote.node,
+                        src_qp: QpNum(0),
+                        qp: qpn,
+                        imm: None,
+                    };
+                    runtime
+                        .kernel()
+                        .schedule(served, move || send_cq.deposit(completion));
+                }
+            }
+        });
+        Ok(())
+    }
+
+    fn check_sendable(&self, op: &'static str) -> Result<()> {
+        let st = *self.inner.state.lock();
+        if st != QpState::ReadyToSend {
+            return Err(VerbsError::InvalidState {
+                qp: self.inner.qpn,
+                state: st,
+                op,
+            });
+        }
+        Ok(())
+    }
+
+    fn check_one_sided(&self, op: &'static str) -> Result<()> {
+        if self.inner.ty != QpType::Rc {
+            return Err(VerbsError::UnsupportedOp {
+                op,
+                reason: "one-sided operations require the Reliable Connection service",
+            });
+        }
+        self.check_sendable(op)
+    }
+
+    /// Clamps `deliver` so deliveries on this RC QP stay in posted order.
+    fn ordered_delivery(&self, deliver: SimTime) -> SimTime {
+        let mut last = self.inner.last_delivery.lock();
+        let t = deliver.max(*last);
+        *last = t;
+        t
+    }
+
+    fn local_send_completion(&self, wr: &SendWr) -> Completion {
+        Completion {
+            wr_id: wr.wr_id,
+            status: WcStatus::Success,
+            opcode: WcOpcode::Send,
+            byte_len: wr.len,
+            src_node: self.inner.node,
+            src_qp: self.inner.qpn,
+            qp: self.inner.qpn,
+            imm: None,
+        }
+    }
+}
+
+/// Wire bytes for a message of `len` payload bytes on transport `ty`.
+fn wire_bytes(ty: QpType, len: usize, mtu: usize) -> usize {
+    match ty {
+        QpType::Ud => len + UD_HEADER_BYTES,
+        QpType::Rc => len + RC_HEADER_BYTES * len.div_ceil(mtu).max(1),
+    }
+}
+
+/// Delivery event: an inbound Send arrives at `dest`.
+fn deliver_send(
+    runtime: Arc<VerbsRuntime>,
+    dest: AddressHandle,
+    payload: Vec<u8>,
+    imm: Option<u32>,
+    src: AddressHandle,
+    sender_ctx: Option<(CompletionQueue, u64)>,
+    attempt: u32,
+) {
+    let now = runtime.kernel().now();
+    let reliable = sender_ctx.is_some();
+    let Some(qp) = runtime.lookup_qp(dest.node, dest.qpn) else {
+        // Unknown QP: UD drops; RC would eventually retry out. Treat both as
+        // a drop with a counter.
+        runtime.stats.lock().ud_unmatched += 1;
+        return;
+    };
+    if *qp.state.lock() < QpState::ReadyToReceive {
+        runtime.stats.lock().ud_unmatched += 1;
+        return;
+    }
+    let nic_done = runtime.nic(dest.node).process(
+        now,
+        ((dest.node as u64) << 32) | dest.qpn.0 as u64,
+        WrKind::RecvMatch,
+    );
+    let rwr = qp.recv_queue.lock().pop_front();
+    match rwr {
+        Some(rwr) => {
+            if payload.len() > rwr.len {
+                // Message larger than the posted buffer.
+                let completion = Completion {
+                    wr_id: rwr.wr_id,
+                    status: WcStatus::LocalLengthError,
+                    opcode: WcOpcode::Recv,
+                    byte_len: payload.len(),
+                    src_node: src.node,
+                    src_qp: src.qpn,
+                    qp: dest.qpn,
+                    imm,
+                };
+                let recv_cq = qp.recv_cq.clone();
+                runtime
+                    .kernel()
+                    .schedule(nic_done, move || recv_cq.deposit(completion));
+                return;
+            }
+            rwr.mr
+                .write(rwr.offset, &payload)
+                .expect("receive buffer bounds checked at post time");
+            let completion = Completion {
+                wr_id: rwr.wr_id,
+                status: WcStatus::Success,
+                opcode: WcOpcode::Recv,
+                byte_len: payload.len(),
+                src_node: src.node,
+                src_qp: src.qpn,
+                qp: dest.qpn,
+                imm,
+            };
+            let recv_cq = qp.recv_cq.clone();
+            runtime
+                .kernel()
+                .schedule(nic_done, move || recv_cq.deposit(completion));
+            if let Some((send_cq, wr_id)) = sender_ctx {
+                // The hardware ACK completes the reliable send.
+                let ack = nic_done + runtime.profile().rc_ack_latency;
+                let completion = Completion {
+                    wr_id,
+                    status: WcStatus::Success,
+                    opcode: WcOpcode::Send,
+                    byte_len: payload.len(),
+                    src_node: dest.node,
+                    src_qp: dest.qpn,
+                    qp: src.qpn,
+                    imm: None,
+                };
+                runtime
+                    .kernel()
+                    .schedule(ack, move || send_cq.deposit(completion));
+            }
+        }
+        None => {
+            if !reliable {
+                // §2.2.1: an unmatched Send on UD is dropped.
+                runtime.stats.lock().ud_unmatched += 1;
+                return;
+            }
+            if attempt >= RNR_RETRY_LIMIT {
+                let (send_cq, wr_id) = sender_ctx.expect("reliable implies sender ctx");
+                let completion = Completion {
+                    wr_id,
+                    status: WcStatus::RetryExceeded,
+                    opcode: WcOpcode::Send,
+                    byte_len: payload.len(),
+                    src_node: dest.node,
+                    src_qp: dest.qpn,
+                    qp: src.qpn,
+                    imm: None,
+                };
+                runtime
+                    .kernel()
+                    .schedule(now, move || send_cq.deposit(completion));
+                return;
+            }
+            // Receiver not ready: the hardware retries after a delay.
+            runtime.stats.lock().rnr_retries += 1;
+            let retry_at = now + RNR_RETRY_DELAY;
+            let rt = runtime.clone();
+            runtime.kernel().schedule(retry_at, move || {
+                deliver_send(rt, dest, payload, imm, src, sender_ctx, attempt + 1);
+            });
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Basic identifier and enum types shared across the verbs API.
+
+use std::fmt;
+
+/// Queue Pair number, unique within a node (like the hardware's QPN).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QpNum(pub u32);
+
+impl fmt::Debug for QpNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "qp#{}", self.0)
+    }
+}
+
+/// The transport service type of a Queue Pair (§2.2.2).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum QpType {
+    /// Reliable Connection: acknowledged, ordered, connection-oriented.
+    Rc,
+    /// Unreliable Datagram: connectionless, unordered, ≤ MTU messages.
+    Ud,
+}
+
+/// Queue Pair state machine states (a faithful subset of the IB spec).
+#[derive(Copy, Clone, PartialEq, Eq, Debug, PartialOrd, Ord)]
+pub enum QpState {
+    /// Freshly created; nothing may be posted.
+    Reset,
+    /// Initialized; Receive requests may be posted.
+    Init,
+    /// Ready to receive.
+    ReadyToReceive,
+    /// Ready to send (fully operational).
+    ReadyToSend,
+    /// Broken; all posted requests flush with errors.
+    Error,
+}

@@ -1,0 +1,267 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+use rshuffle_repro::rshuffle::{
+    default_partition_hash, MsgHeader, MsgKind, RowBatch, StreamState, TransmissionGroups,
+    HEADER_LEN,
+};
+use rshuffle_repro::simnet::lru::LruSet;
+use rshuffle_repro::simnet::{Resource, SimDuration, SimTime};
+
+proptest! {
+    /// The message header codec round-trips every field combination.
+    #[test]
+    fn msg_header_roundtrip(
+        src in any::<u32>(),
+        kind in 0u8..2,
+        state in 0u8..2,
+        payload_len in any::<u32>(),
+        counter in any::<u64>(),
+        remote_addr in any::<u64>(),
+    ) {
+        let header = MsgHeader {
+            src,
+            kind: if kind == 0 { MsgKind::Data } else { MsgKind::Credit },
+            state: if state == 0 { StreamState::MoreData } else { StreamState::Depleted },
+            payload_len,
+            counter,
+            remote_addr,
+        };
+        let mut bytes = [0u8; HEADER_LEN];
+        header.encode(&mut bytes);
+        prop_assert_eq!(MsgHeader::decode(&bytes), header);
+    }
+
+    /// RowBatch preserves rows exactly, in order.
+    #[test]
+    fn row_batch_roundtrip(rows in prop::collection::vec(any::<[u8; 8]>(), 0..200)) {
+        let mut batch = RowBatch::new(8, rows.len());
+        for r in &rows {
+            batch.push_row(r);
+        }
+        prop_assert_eq!(batch.rows(), rows.len());
+        for (i, r) in rows.iter().enumerate() {
+            prop_assert_eq!(batch.row(i), r.as_slice());
+        }
+        let collected: Vec<&[u8]> = batch.iter().collect();
+        prop_assert_eq!(collected.len(), rows.len());
+    }
+
+    /// The LRU set agrees with a naive reference model.
+    #[test]
+    fn lru_matches_reference_model(
+        capacity in 1usize..16,
+        keys in prop::collection::vec(0u64..32, 1..300),
+    ) {
+        let mut lru = LruSet::new(capacity);
+        let mut model: Vec<u64> = Vec::new(); // Front = most recent.
+        for &k in &keys {
+            let hit = lru.touch(k);
+            let model_hit = model.contains(&k);
+            prop_assert_eq!(hit, model_hit, "key {} divergence", k);
+            model.retain(|&x| x != k);
+            model.insert(0, k);
+            model.truncate(capacity);
+            prop_assert_eq!(lru.len(), model.len());
+        }
+    }
+
+    /// Repartition groups cover every node but the sender, exactly once.
+    #[test]
+    fn repartition_groups_partition_the_cluster(n in 2usize..32, me_raw in 0usize..32) {
+        let me = me_raw % n;
+        let g = TransmissionGroups::repartition(me, n);
+        prop_assert_eq!(g.len(), n - 1);
+        let mut seen: Vec<usize> = g.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        let expected: Vec<usize> = (0..n).filter(|&p| p != me).collect();
+        prop_assert_eq!(seen, expected);
+        prop_assert!(!g.targets(me));
+    }
+
+    /// The partition hash spreads arbitrary keys across groups without
+    /// leaving any group starved (within loose statistical bounds).
+    #[test]
+    fn partition_hash_spreads_keys(seed in any::<u64>()) {
+        let groups = 8u64;
+        let mut counts = [0u64; 8];
+        for i in 0..4096u64 {
+            let key = seed.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let mut row = [0u8; 16];
+            row[0..8].copy_from_slice(&key.to_le_bytes());
+            counts[(default_partition_hash(&row) % groups) as usize] += 1;
+        }
+        for (g, &c) in counts.iter().enumerate() {
+            prop_assert!((256..=1024).contains(&c), "group {} got {}", g, c);
+        }
+    }
+
+    /// A FIFO resource never overlaps reservations and never loses time.
+    #[test]
+    fn resource_reservations_are_fifo_and_exact(
+        durations in prop::collection::vec(1u64..10_000, 1..100),
+    ) {
+        let mut r = Resource::new();
+        let mut prev_end = SimTime::ZERO;
+        let mut total = 0u64;
+        for &d in &durations {
+            let res = r.reserve(SimTime::ZERO, SimDuration::from_nanos(d));
+            prop_assert!(res.start >= prev_end || prev_end == SimTime::ZERO);
+            prop_assert_eq!((res.end - res.start).as_nanos(), d);
+            prop_assert!(res.start >= prev_end);
+            prev_end = res.end;
+            total += d;
+        }
+        prop_assert_eq!(r.busy_total().as_nanos(), total);
+        prop_assert_eq!(prev_end.as_nanos(), total, "back-to-back work leaves no gaps");
+    }
+
+    /// Virtual-time arithmetic is associative over mixed operations.
+    #[test]
+    fn sim_time_arithmetic(a in 0u64..1 << 40, b in 0u64..1 << 20, c in 0u64..1 << 20) {
+        let t = SimTime::from_nanos(a);
+        let d1 = SimDuration::from_nanos(b);
+        let d2 = SimDuration::from_nanos(c);
+        prop_assert_eq!((t + d1) + d2, t + (d1 + d2));
+        prop_assert_eq!(((t + d1) - t), d1);
+        prop_assert_eq!((t + d1 + d2) - (t + d1), d2);
+    }
+}
+
+/// Shuffling a random workload through random multicast groups delivers
+/// every row to exactly the nodes of its hashed group (a smaller, randomized
+/// version of the end-to-end suite; kept to a few cases for runtime).
+#[test]
+fn random_multicast_groups_deliver_exactly() {
+    use parking_lot::Mutex;
+    use rshuffle_repro::engine::drive_to_sink;
+    use rshuffle_repro::rshuffle::{
+        CostModel, Exchange, ExchangeConfig, Operator, ReceiveOperator, ShuffleAlgorithm,
+        ShuffleOperator,
+    };
+    use rshuffle_repro::simnet::{Cluster, DeviceProfile, SimContext};
+    use rshuffle_repro::verbs::VerbsRuntime;
+    use std::sync::Arc;
+
+    struct Source {
+        rows: Vec<Mutex<Vec<[u8; 16]>>>,
+    }
+
+    impl Operator for Source {
+        fn next(
+            &self,
+            _sim: &SimContext,
+            tid: usize,
+        ) -> rshuffle_repro::rshuffle::Result<(StreamState, RowBatch)> {
+            let mut batch = RowBatch::new(16, 128);
+            let mut q = self.rows[tid].lock();
+            for _ in 0..128 {
+                match q.pop() {
+                    Some(r) => batch.push_row(r.as_slice()),
+                    None => return Ok((StreamState::Depleted, batch)),
+                }
+            }
+            Ok((StreamState::MoreData, batch))
+        }
+    }
+
+    for seed in [3u64, 17, 99] {
+        let nodes = 4;
+        let threads = 2;
+        // Random (but valid) multicast groups per sender, derived from the
+        // seed: group k of node s targets a nonempty subset.
+        let mk_groups = |s: usize| {
+            let mut gs = Vec::new();
+            let mut x = seed.wrapping_mul(s as u64 + 1).wrapping_add(7);
+            for _ in 0..3 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let mut members: Vec<usize> = (0..nodes)
+                    .filter(|&p| p != s && (x >> p) & 1 == 1)
+                    .collect();
+                if members.is_empty() {
+                    members.push((s + 1) % nodes);
+                }
+                gs.push(members);
+            }
+            TransmissionGroups::new(gs)
+        };
+        let groups: Vec<TransmissionGroups> = (0..nodes).map(mk_groups).collect();
+
+        let cluster = Cluster::new(nodes, DeviceProfile::edr());
+        let runtime = VerbsRuntime::new(cluster);
+        let mut config =
+            ExchangeConfig::with_groups(ShuffleAlgorithm::MEMQ_SR, threads, groups.clone());
+        config.message_size = 4096;
+        let exchange = Exchange::build(&runtime, &config).expect("builds");
+        let cost = CostModel::from_profile(runtime.profile());
+
+        let mut expected: Vec<Vec<[u8; 16]>> = vec![Vec::new(); nodes];
+        let mut sources = Vec::new();
+        for node in 0..nodes {
+            let mut per_thread: Vec<Vec<[u8; 16]>> = vec![Vec::new(); threads];
+            for i in 0..3000u64 {
+                let mut row = [0u8; 16];
+                let key = seed ^ (node as u64) << 32 ^ i.wrapping_mul(0x2545F4914F6CDD1D);
+                row[0..8].copy_from_slice(&key.to_le_bytes());
+                row[8..16].copy_from_slice(&i.to_le_bytes());
+                per_thread[(i % threads as u64) as usize].push(row);
+                let g = (default_partition_hash(&row) % groups[node].len() as u64) as usize;
+                for &dest in groups[node].group(g) {
+                    expected[dest].push(row);
+                }
+            }
+            sources.push(Arc::new(Source {
+                rows: per_thread.into_iter().map(Mutex::new).collect(),
+            }));
+        }
+
+        let received: Arc<Vec<Mutex<Vec<[u8; 16]>>>> =
+            Arc::new((0..nodes).map(|_| Mutex::new(Vec::new())).collect());
+        for node in 0..nodes {
+            let shuffle = Arc::new(ShuffleOperator::with_lanes(
+                sources[node].clone(),
+                exchange.send[node].clone(),
+                groups[node].clone(),
+                threads,
+                cost.clone(),
+            ));
+            drive_to_sink(
+                runtime.cluster(),
+                node,
+                &format!("s{node}"),
+                shuffle,
+                threads,
+                |_, _| {},
+            );
+            let receive = Arc::new(ReceiveOperator::with_lanes(
+                exchange.recv[node].clone(),
+                16,
+                256,
+                threads,
+                cost.clone(),
+            ));
+            let sink = received.clone();
+            drive_to_sink(
+                runtime.cluster(),
+                node,
+                &format!("r{node}"),
+                receive,
+                threads,
+                move |_, batch| {
+                    let mut out = sink[node].lock();
+                    for row in batch.iter() {
+                        out.push(row.try_into().unwrap());
+                    }
+                },
+            );
+        }
+        runtime.cluster().run();
+        for node in 0..nodes {
+            let mut got = received[node].lock().clone();
+            let mut want = expected[node].clone();
+            got.sort_unstable();
+            want.sort_unstable();
+            assert_eq!(got, want, "seed {seed}, node {node}");
+        }
+    }
+}
