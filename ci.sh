@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Tier-1 gate: release build, full test suite, and lint-clean clippy.
+# Run from the repo root. Pass --offline via CARGO_FLAGS if needed.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+CARGO_FLAGS=${CARGO_FLAGS:-}
+
+cargo build --release $CARGO_FLAGS
+cargo test -q $CARGO_FLAGS
+cargo clippy --workspace $CARGO_FLAGS -- -D warnings

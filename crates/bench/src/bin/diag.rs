@@ -1,5 +1,16 @@
-//! Diagnostic probe: per-run fabric/NIC utilization and thread stats for
-//! one transport. Not a paper figure.
+//! Diagnostic probe: per-run fabric/NIC utilization, thread stats, the
+//! full unified metrics snapshot and a Chrome-trace dump for one
+//! transport. Not a paper figure.
+//!
+//! Usage: `diag [ALGORITHM] [NODES] [TRACE_PATH]`
+//! (defaults: `MESQ_SR 8 trace.json`).
+//!
+//! The trace file is in the Chrome Trace Event Format: open it at
+//! `chrome://tracing` or <https://ui.perfetto.dev> (drag-and-drop the
+//! file). Processes map to simulated nodes; thread 0 is the node's
+//! hardware track (NIC pipeline, QP transitions, fault injection) and
+//! the remaining threads are the simulated worker threads, with credit
+//! stalls, completions and fragment spans on their own tracks.
 
 use rshuffle::ShuffleAlgorithm;
 use rshuffle_bench::{Pattern, Transport, WorkloadConfig};
@@ -10,8 +21,12 @@ fn main() {
     let alg = args
         .get(1)
         .and_then(|s| ShuffleAlgorithm::parse(s))
-        .unwrap_or(ShuffleAlgorithm::MEMQ_RD);
+        .unwrap_or(ShuffleAlgorithm::MESQ_SR);
     let nodes: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let trace_path = args
+        .get(3)
+        .cloned()
+        .unwrap_or_else(|| "trace.json".to_string());
 
     let mut cfg = WorkloadConfig::new(DeviceProfile::edr(), nodes, Transport::Rdma(alg));
     cfg.pattern = Pattern::Repartition;
@@ -27,7 +42,7 @@ fn main() {
     let mut xcfg = rshuffle::ExchangeConfig::with_groups(alg, cfg.threads, groups.clone());
     xcfg.message_size = cfg.message_size;
     let exchange = rshuffle::Exchange::build(&runtime, &xcfg).unwrap();
-    for node in 0..cfg.nodes {
+    for (node, group) in groups.iter().enumerate() {
         let gen = std::sync::Arc::new(rshuffle_engine::Generator::new(
             rows_per_thread,
             cfg.threads,
@@ -37,7 +52,7 @@ fn main() {
             alg.mode,
             gen,
             exchange.send[node].clone(),
-            groups[node].clone(),
+            group.clone(),
             cfg.threads,
             cost.clone(),
         ));
@@ -81,18 +96,17 @@ fn main() {
         bytes as f64 / t_end.as_secs_f64() / (1u64 << 30) as f64,
         rshuffle_simnet::SimDuration::from_nanos(t_end.as_nanos())
     );
-    for node in [0usize] {
-        println!(
-            "node {node}: egress {:.1}%  ingress {:.1}%",
-            runtime.cluster().fabric().egress_utilization(node, t_end) * 100.0,
-            runtime.cluster().fabric().ingress_utilization(node, t_end) * 100.0
-        );
-        let n = runtime.nic(node).stats();
-        println!(
-            "  nic: wrs {}  qp hits {}  misses {}",
-            n.work_requests, n.qp_cache_hits, n.qp_cache_misses
-        );
-    }
+    let node = 0usize;
+    println!(
+        "node {node}: egress {:.1}%  ingress {:.1}%",
+        runtime.cluster().fabric().egress_utilization(node, t_end) * 100.0,
+        runtime.cluster().fabric().ingress_utilization(node, t_end) * 100.0
+    );
+    let n = runtime.nic(node).stats();
+    println!(
+        "  nic: wrs {}  qp hits {}  misses {}",
+        n.work_requests, n.qp_cache_hits, n.qp_cache_misses
+    );
     // Thread busy/idle summary for node 0.
     let mut send_busy = (0.0, 0.0);
     let mut recv_busy = (0.0, 0.0);
@@ -114,4 +128,21 @@ fn main() {
         100.0 * send_busy.0 / send_busy.1.max(1e-12),
         100.0 * recv_busy.0 / recv_busy.1.max(1e-12)
     );
+
+    // Unified metrics snapshot: every counter and histogram the stack
+    // recorded, across all tiers (NIC, kernel, verbs, endpoints, engine).
+    let obs = runtime.obs();
+    println!("--- metrics snapshot ---");
+    println!("{}", obs.snapshot_json());
+
+    // Flight-recorder export for chrome://tracing / Perfetto.
+    let trace = obs.chrome_trace_json();
+    match std::fs::write(&trace_path, &trace) {
+        Ok(()) => println!(
+            "wrote {} ({} bytes) — open at chrome://tracing or https://ui.perfetto.dev",
+            trace_path,
+            trace.len()
+        ),
+        Err(e) => eprintln!("failed to write {trace_path}: {e}"),
+    }
 }

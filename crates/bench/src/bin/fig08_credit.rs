@@ -41,6 +41,12 @@ fn main() {
                 let r = run_shuffle_workload(&cfg);
                 assert!(r.errors.is_empty(), "{a} freq {f}: {:?}", r.errors);
                 points.push((f as f64, r.gib_per_sec()));
+                // The last MESQ/SR run at the highest frequency keeps its
+                // full snapshot in the figure record: the credit-stall
+                // series is the evidence behind this figure.
+                if a == ShuffleAlgorithm::MESQ_SR && f == *freqs.last().unwrap() {
+                    fig.attach_metrics(r.metrics.clone());
+                }
             }
             fig.push(&a.to_string(), points);
         }

@@ -27,6 +27,9 @@ pub struct Figure {
     pub y_label: String,
     /// The measured series.
     pub series: Vec<Series>,
+    /// Optional unified metrics snapshot taken after the run that
+    /// produced this figure (None when the binary does not attach one).
+    pub metrics: Option<rshuffle_obs::Snapshot>,
 }
 
 impl Figure {
@@ -38,6 +41,7 @@ impl Figure {
             x_label: x_label.to_string(),
             y_label: y_label.to_string(),
             series: Vec::new(),
+            metrics: None,
         }
     }
 
@@ -47,6 +51,11 @@ impl Figure {
             label: label.to_string(),
             points,
         });
+    }
+
+    /// Attaches a metrics snapshot to the figure's JSON record.
+    pub fn attach_metrics(&mut self, snapshot: rshuffle_obs::Snapshot) {
+        self.metrics = Some(snapshot);
     }
 
     /// Renders an aligned text table: one row per x, one column per

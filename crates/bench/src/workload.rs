@@ -161,6 +161,8 @@ pub struct WorkloadResult {
     pub registered_bytes_per_node: usize,
     /// Errors raised by any worker (empty on success).
     pub errors: Vec<ShuffleError>,
+    /// Unified metrics snapshot taken after the run (all tiers).
+    pub metrics: rshuffle_obs::Snapshot,
 }
 
 impl WorkloadResult {
@@ -325,6 +327,7 @@ pub fn run_shuffle_workload(cfg: &WorkloadConfig) -> WorkloadResult {
         bytes_received_per_node: per_node,
         registered_bytes_per_node: registered,
         errors,
+        metrics: runtime.obs().metrics.snapshot(),
     }
 }
 

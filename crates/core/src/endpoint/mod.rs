@@ -28,7 +28,13 @@ pub mod sr_rc;
 pub mod sr_ud;
 pub mod wr_rc;
 
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rshuffle_obs::{names, Counter, EventKind, Histogram, Labels, Obs};
 use rshuffle_simnet::{NodeId, SimContext, SimDuration};
+use rshuffle_verbs::Context;
 
 use crate::buffer::{Buffer, StreamState};
 use crate::error::Result;
@@ -69,6 +75,141 @@ impl Backoff {
 /// similarly to a port and address pair in a TCP/IP connection").
 #[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub struct EndpointId(pub u32);
+
+/// Per-destination `(bytes, messages)` counter handles.
+type LaneCounters = HashMap<NodeId, (Arc<Counter>, Arc<Counter>)>;
+
+/// Send-side observability handles shared by all four transports:
+/// per-lane traffic counters (`{node,lane}`), credit-stall accounting
+/// (Figure 8) and FreeArr/grant-ring poll counts for the one-sided
+/// designs. Handles are cached so the hot path is a relaxed atomic RMW.
+pub(crate) struct SendObs {
+    obs: Arc<Obs>,
+    node: u32,
+    /// Lazily-created `(bytes, messages)` counters per destination lane.
+    lanes: Mutex<LaneCounters>,
+    credit_stalls: Arc<Counter>,
+    credit_stall_ns: Arc<Counter>,
+    credit_stall_hist: Arc<Histogram>,
+    freearr_polls: Arc<Counter>,
+}
+
+impl SendObs {
+    pub(crate) fn new(ctx: &Context, id: EndpointId) -> SendObs {
+        let obs = ctx.runtime().obs().clone();
+        let node = ctx.node() as u32;
+        let ep = Labels::endpoint(node, id.0);
+        SendObs {
+            node,
+            lanes: Mutex::new(HashMap::new()),
+            credit_stalls: obs.metrics.counter(names::EP_CREDIT_STALLS, ep),
+            credit_stall_ns: obs.metrics.counter(names::EP_CREDIT_STALL_NS, ep),
+            credit_stall_hist: obs.metrics.histogram(names::EP_CREDIT_STALL_HIST_NS, ep),
+            freearr_polls: obs.metrics.counter(names::EP_FREEARR_POLLS, ep),
+            obs,
+        }
+    }
+
+    /// Counts one data message of `bytes` payload pushed toward `dest`.
+    pub(crate) fn sent(&self, dest: NodeId, bytes: u64) {
+        let mut lanes = self.lanes.lock();
+        let (b, m) = lanes.entry(dest).or_insert_with(|| {
+            let l = Labels::lane(self.node, dest as u32);
+            (
+                self.obs.metrics.counter(names::EP_BYTES_SENT, l),
+                self.obs.metrics.counter(names::EP_MESSAGES_SENT, l),
+            )
+        });
+        b.add(bytes);
+        m.inc();
+    }
+
+    /// Marks the beginning of a credit stall on the calling thread's
+    /// track; returns the start timestamp for [`SendObs::stall_end`].
+    pub(crate) fn stall_begin(&self, sim: &SimContext) -> u64 {
+        let at = sim.now().as_nanos();
+        self.obs.recorder.event(
+            sim.node() as u32,
+            sim.id().track(),
+            at,
+            EventKind::CreditStallBegin,
+            0,
+        );
+        at
+    }
+
+    /// Closes a credit stall opened by [`SendObs::stall_begin`],
+    /// feeding the total, the per-stall histogram and the recorder.
+    pub(crate) fn stall_end(&self, sim: &SimContext, started_ns: u64) {
+        let now = sim.now().as_nanos();
+        let dur = now.saturating_sub(started_ns);
+        self.credit_stalls.inc();
+        self.credit_stall_ns.add(dur);
+        self.credit_stall_hist.record(dur);
+        self.obs.recorder.event(
+            sim.node() as u32,
+            sim.id().track(),
+            now,
+            EventKind::CreditStallEnd,
+            dur,
+        );
+    }
+
+    /// Counts one FreeArr / grant-ring poll; `progress` reports whether
+    /// a release notification was consumed.
+    pub(crate) fn freearr_poll(&self, sim: &SimContext, progress: bool) {
+        self.freearr_polls.inc();
+        self.obs.recorder.event(
+            sim.node() as u32,
+            sim.id().track(),
+            sim.now().as_nanos(),
+            EventKind::FreeArrPoll,
+            progress as u64,
+        );
+    }
+}
+
+/// Receive-side observability handles: accepted traffic counters
+/// (`{node,endpoint}`) and ValidArr poll counts for the one-sided
+/// designs.
+pub(crate) struct RecvObs {
+    obs: Arc<Obs>,
+    bytes: Arc<Counter>,
+    messages: Arc<Counter>,
+    validarr_polls: Arc<Counter>,
+}
+
+impl RecvObs {
+    pub(crate) fn new(ctx: &Context, id: EndpointId) -> RecvObs {
+        let obs = ctx.runtime().obs().clone();
+        let ep = Labels::endpoint(ctx.node() as u32, id.0);
+        RecvObs {
+            bytes: obs.metrics.counter(names::EP_BYTES_RECEIVED, ep),
+            messages: obs.metrics.counter(names::EP_MESSAGES_RECEIVED, ep),
+            validarr_polls: obs.metrics.counter(names::EP_VALIDARR_POLLS, ep),
+            obs,
+        }
+    }
+
+    /// Counts one accepted data message of `bytes` payload.
+    pub(crate) fn received(&self, bytes: u64) {
+        self.bytes.add(bytes);
+        self.messages.inc();
+    }
+
+    /// Counts one ValidArr scan; `progress` is how many announcements
+    /// the scan consumed (the event's argument).
+    pub(crate) fn validarr_poll(&self, sim: &SimContext, progress: u64) {
+        self.validarr_polls.inc();
+        self.obs.recorder.event(
+            sim.node() as u32,
+            sim.id().track(),
+            sim.now().as_nanos(),
+            EventKind::ValidArrPoll,
+            progress,
+        );
+    }
+}
 
 /// A buffer handed out by [`ReceiveEndpoint::get_data`].
 pub struct Delivery {

@@ -25,7 +25,7 @@ use rshuffle_verbs::{
 };
 
 use crate::buffer::{Buffer, MsgHeader, MsgKind, StreamState};
-use crate::endpoint::{Delivery, EndpointId, ReceiveEndpoint, SendEndpoint};
+use crate::endpoint::{Delivery, EndpointId, ReceiveEndpoint, RecvObs, SendEndpoint, SendObs};
 use crate::error::{Result, ShuffleError};
 
 /// Tuning knobs for the RDMA Read endpoint.
@@ -73,6 +73,7 @@ pub struct RdRcSendEndpoint {
     scratch: MemoryRegion,
     wr_seq: AtomicU64,
     post_lock: rshuffle_simnet::SimMutex<()>,
+    obs: SendObs,
     cfg: RdRcConfig,
     setup_cost: SimDuration,
     /// Diagnostics: virtual nanoseconds spent waiting in `get_free`.
@@ -140,6 +141,7 @@ impl RdRcSendEndpoint {
                 (),
                 SimDuration::from_nanos(60),
             ),
+            obs: SendObs::new(ctx, id),
             cfg,
             setup_cost,
             get_free_wait_ns: AtomicU64::new(0),
@@ -283,6 +285,7 @@ impl SendEndpoint for RdRcSendEndpoint {
                 .expect("scratch in bounds");
             self.qps[pi].post_write(sim, seq, (self.scratch.clone(), scratch_off), target, 8)?;
             drop(guard);
+            self.obs.sent(d, buf.len() as u64);
         }
         // Keep the write-completion queue bounded.
         while self.send_cq.depth() > 16 {
@@ -301,7 +304,9 @@ impl SendEndpoint for RdRcSendEndpoint {
                     .fetch_add((sim.now() - entered).as_nanos(), Ordering::Relaxed);
                 return Ok(buf);
             }
-            if self.scan_free_arr() {
+            let progress = self.scan_free_arr();
+            self.obs.freearr_poll(sim, progress);
+            if progress {
                 continue;
             }
             if sim.now() >= deadline {
@@ -310,7 +315,9 @@ impl SendEndpoint for RdRcSendEndpoint {
             // Sleep until the next release lands in the FreeArr (early
             // wake), re-scanning on a bounded slice as a safety net.
             self.free_arr.drain_updates();
-            if self.scan_free_arr() {
+            let progress = self.scan_free_arr();
+            self.obs.freearr_poll(sim, progress);
+            if progress {
                 continue;
             }
             self.free_arr
@@ -349,6 +356,7 @@ pub struct RdRcReceiveEndpoint {
     wr_seq: AtomicU64,
     post_lock: rshuffle_simnet::SimMutex<()>,
     bytes_received: AtomicU64,
+    obs: RecvObs,
     cfg: RdRcConfig,
     setup_cost: SimDuration,
 }
@@ -432,6 +440,7 @@ impl RdRcReceiveEndpoint {
                 SimDuration::from_nanos(60),
             ),
             bytes_received: AtomicU64::new(0),
+            obs: RecvObs::new(ctx, id),
             cfg,
             setup_cost,
         }
@@ -468,6 +477,7 @@ impl RdRcReceiveEndpoint {
     /// available (Algorithm 3, GETDATA lines 19–24).
     fn issue_reads(&self, sim: &SimContext) -> Result<bool> {
         let mut issued = false;
+        let mut n_issued = 0u64;
         for si in 0..self.srcs.len() {
             loop {
                 let (remote_off, local_buf, desc) = {
@@ -508,8 +518,10 @@ impl RdRcReceiveEndpoint {
                 )?;
                 drop(guard);
                 issued = true;
+                n_issued += 1;
             }
         }
+        self.obs.validarr_poll(sim, n_issued);
         Ok(issued)
     }
 
@@ -581,6 +593,7 @@ impl ReceiveEndpoint for RdRcReceiveEndpoint {
                     buf.set_len(header.payload_len as usize);
                     self.bytes_received
                         .fetch_add(header.payload_len as u64, Ordering::Relaxed);
+                    self.obs.received(header.payload_len as u64);
                     {
                         let mut st = self.state.lock();
                         st.in_flight[si] -= 1;

@@ -23,7 +23,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use crate::buffer::{Buffer, MsgHeader, MsgKind, StreamState};
-use crate::endpoint::{Backoff, Delivery, EndpointId, ReceiveEndpoint, SendEndpoint};
+use crate::endpoint::{Backoff, Delivery, EndpointId, ReceiveEndpoint, RecvObs, SendEndpoint, SendObs};
 use crate::error::{Result, ShuffleError};
 
 /// Tuning knobs shared by the RC-based endpoints.
@@ -78,6 +78,7 @@ pub struct SrRcSendEndpoint {
     /// Serializes `ibv_post_send`; the contention cost of sharing one
     /// endpoint among threads (SE configurations) shows up here.
     post_lock: rshuffle_simnet::SimMutex<()>,
+    obs: SendObs,
     cfg: SrRcConfig,
     setup_cost: SimDuration,
 }
@@ -120,6 +121,7 @@ impl SrRcSendEndpoint {
                 (),
                 SimDuration::from_nanos(60),
             ),
+            obs: SendObs::new(ctx, id),
             cfg,
             setup_cost,
         }
@@ -159,23 +161,31 @@ impl SrRcSendEndpoint {
                 .expect("credit slot in range");
             credit > self.sent.lock()[pi]
         };
-        loop {
+        if has_credit(pi) {
+            return Ok(());
+        }
+        // Credit exhausted: this is the Figure 8 stall the flight
+        // recorder tracks, bracketed so the error path closes it too.
+        let stall_start = self.obs.stall_begin(sim);
+        let result = loop {
             if has_credit(pi) {
-                return Ok(());
+                break Ok(());
             }
             // Clear stale wake tokens, re-check, then sleep until the next
             // credit write (or a bounded slice, for SE configurations where
             // another thread may consume our wakeup).
             self.credit_mr.drain_updates();
             if has_credit(pi) {
-                return Ok(());
+                break Ok(());
             }
             if sim.now() >= deadline {
-                return Err(ShuffleError::Stalled("waiting for send credit"));
+                break Err(ShuffleError::Stalled("waiting for send credit"));
             }
             self.credit_mr
                 .wait_update_timeout(sim, self.cfg.poll_interval * 32);
-        }
+        };
+        self.obs.stall_end(sim, stall_start);
+        result
     }
 
     /// Drains send completions, recycling buffers whose every destination
@@ -248,6 +258,7 @@ impl SendEndpoint for SrRcSendEndpoint {
                 },
             )?;
             drop(guard);
+            self.obs.sent(d, buf.len() as u64);
         }
         Ok(())
     }
@@ -302,6 +313,7 @@ pub struct SrRcReceiveEndpoint {
     wr_seq: AtomicU64,
     /// Rotating scratch slots sourcing the 8-byte credit writes.
     scratch_mr: MemoryRegion,
+    obs: RecvObs,
     cfg: SrRcConfig,
     setup_cost: SimDuration,
 }
@@ -344,6 +356,7 @@ impl SrRcReceiveEndpoint {
             bytes_received: AtomicU64::new(0),
             wr_seq: AtomicU64::new(0),
             scratch_mr: ctx.register_untimed(64 * 8),
+            obs: RecvObs::new(ctx, id),
             cfg,
             setup_cost,
         }
@@ -404,6 +417,7 @@ impl ReceiveEndpoint for SrRcReceiveEndpoint {
             buf.set_len(header.payload_len as usize);
             self.bytes_received
                 .fetch_add(header.payload_len as u64, Ordering::Relaxed);
+            self.obs.received(header.payload_len as u64);
             let si = self.src_index[&c.src_node];
             self.src_by_endpoint.lock().entry(header.src).or_insert(si);
             if header.state == StreamState::Depleted {
@@ -453,7 +467,7 @@ impl ReceiveEndpoint for SrRcReceiveEndpoint {
         let write_back = {
             let mut releases = self.releases.lock();
             releases[si] += 1;
-            releases[si] % self.cfg.credit_writeback_frequency == 0
+            releases[si].is_multiple_of(self.cfg.credit_writeback_frequency)
         };
         if write_back {
             let slot = self.credit_remote.lock()[si]

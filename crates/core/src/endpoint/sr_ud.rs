@@ -35,7 +35,7 @@ use rshuffle_verbs::{
 };
 
 use crate::buffer::{Buffer, MsgHeader, MsgKind, StreamState, HEADER_LEN};
-use crate::endpoint::{Backoff, Delivery, EndpointId, ReceiveEndpoint, SendEndpoint};
+use crate::endpoint::{Backoff, Delivery, EndpointId, ReceiveEndpoint, RecvObs, SendEndpoint, SendObs};
 use crate::error::{Result, ShuffleError};
 
 /// Tuning knobs for the UD endpoint.
@@ -134,6 +134,8 @@ struct UdShared {
     done: AtomicBool,
     last_progress: Mutex<SimTime>,
 
+    send_obs: SendObs,
+    recv_obs: RecvObs,
     cfg: SrUdConfig,
     setup_cost_send: SimDuration,
     setup_cost_recv: SimDuration,
@@ -201,6 +203,8 @@ impl SrUdChannel {
                 bytes_received: AtomicU64::new(0),
                 done: AtomicBool::new(false),
                 last_progress: Mutex::new(SimTime::ZERO),
+                send_obs: SendObs::new(ctx, send_id),
+                recv_obs: RecvObs::new(ctx, recv_id),
                 cfg,
                 setup_cost_send,
                 setup_cost_recv,
@@ -292,7 +296,10 @@ impl UdShared {
     fn consume_credit(&self, sim: &SimContext, dest: NodeId) -> Result<()> {
         let deadline = sim.now() + self.cfg.stall_timeout;
         let mut backoff = Backoff::new(self.cfg.poll_interval * 4);
-        loop {
+        // Opened lazily on the first failed check so the common
+        // credit-available path records nothing (Figure 8 stalls only).
+        let mut stall_start = None;
+        let result = loop {
             {
                 let credit = self.credit.lock();
                 let mut consumed = self.consumed.lock();
@@ -300,18 +307,27 @@ impl UdShared {
                 let used = consumed.entry(dest).or_insert(0);
                 if c > *used {
                     *used += 1;
-                    return Ok(());
+                    break Ok(());
                 }
             }
+            if stall_start.is_none() {
+                stall_start = Some(self.send_obs.stall_begin(sim));
+            }
             if sim.now() >= deadline {
-                return Err(ShuffleError::Stalled("waiting for UD send credit"));
+                break Err(ShuffleError::Stalled("waiting for UD send credit"));
             }
             // Drain inbound traffic: the credit we need may be sitting in
             // the receive CQ.
-            if self.drain_one(sim, backoff.next())? {
-                backoff.reset();
+            match self.drain_one(sim, backoff.next()) {
+                Ok(true) => backoff.reset(),
+                Ok(false) => {}
+                Err(e) => break Err(e),
             }
+        };
+        if let Some(started) = stall_start {
+            self.send_obs.stall_end(sim, started);
         }
+        result
     }
 
     /// Processes at most one inbound completion (credit updates handled
@@ -359,6 +375,7 @@ impl UdShared {
                 buf.set_len(header.payload_len as usize);
                 self.bytes_received
                     .fetch_add(header.payload_len as u64, Ordering::Relaxed);
+                self.recv_obs.received(header.payload_len as u64);
                 {
                     let mut srcs = self.srcs.lock();
                     let entry = srcs.entry(header.src).or_insert(SrcCount {
@@ -499,6 +516,7 @@ impl SendEndpoint for SrUdSendEndpoint {
                 },
             )?;
             drop(guard);
+            s.send_obs.sent(d, buf.len() as u64);
         }
         Ok(())
     }
@@ -592,6 +610,9 @@ impl SrUdSendEndpoint {
             &ahs,
         )?;
         drop(guard);
+        for &d in dest {
+            s.send_obs.sent(d, buf.len() as u64);
+        }
         Ok(())
     }
 }
@@ -679,7 +700,7 @@ impl ReceiveEndpoint for SrUdReceiveEndpoint {
             let e = grants.entry(src_node).or_insert((0, 0));
             e.0 += 1;
             e.1 += 1;
-            let wb = e.1 % s.cfg.credit_writeback_frequency == 0;
+            let wb = e.1.is_multiple_of(s.cfg.credit_writeback_frequency);
             (e.0, wb)
         };
         if write_back {

@@ -21,7 +21,7 @@ use rshuffle_simnet::{NodeId, SimContext, SimDuration};
 use rshuffle_verbs::{CompletionQueue, Context, MemoryRegion, QueuePair, RemoteAddr, WcStatus};
 
 use crate::buffer::{Buffer, MsgHeader, MsgKind, StreamState};
-use crate::endpoint::{Backoff, Delivery, EndpointId, ReceiveEndpoint, SendEndpoint};
+use crate::endpoint::{Backoff, Delivery, EndpointId, ReceiveEndpoint, RecvObs, SendEndpoint, SendObs};
 use crate::error::{Result, ShuffleError};
 
 /// Tuning knobs for the RDMA Write endpoint.
@@ -81,6 +81,7 @@ pub struct WrRcSendEndpoint {
     scratch: MemoryRegion,
     wr_seq: AtomicU64,
     post_lock: rshuffle_simnet::SimMutex<()>,
+    obs: SendObs,
     cfg: WrRcConfig,
     setup_cost: SimDuration,
 }
@@ -141,6 +142,7 @@ impl WrRcSendEndpoint {
                 (),
                 SimDuration::from_nanos(60),
             ),
+            obs: SendObs::new(ctx, id),
             cfg,
             setup_cost,
         }
@@ -185,8 +187,12 @@ impl WrRcSendEndpoint {
     fn take_grant(&self, sim: &SimContext, pi: usize) -> Result<u64> {
         let deadline = sim.now() + self.cfg.stall_timeout;
         let mut drained = false;
-        loop {
-            {
+        // Grant exhaustion is this transport's flow-control stall; it is
+        // bracketed like the SR credit stalls (opened on the first failed
+        // ring check only).
+        let mut stall_start = None;
+        let result = loop {
+            let got = {
                 let mut st = self.state.lock();
                 let slot = 8 * (self.ring_cap * pi + (st.grant_cons[pi] as usize % self.ring_cap));
                 let v = self.grant_arr.read_u64(slot).expect("ring slot in bounds");
@@ -195,11 +201,20 @@ impl WrRcSendEndpoint {
                         .write_u64(slot, 0)
                         .expect("ring slot in bounds");
                     st.grant_cons[pi] += 1;
-                    return Ok(v - 1);
+                    Some(v - 1)
+                } else {
+                    None
                 }
+            };
+            self.obs.freearr_poll(sim, got.is_some());
+            if let Some(off) = got {
+                break Ok(off);
+            }
+            if stall_start.is_none() {
+                stall_start = Some(self.obs.stall_begin(sim));
             }
             if sim.now() >= deadline {
-                return Err(ShuffleError::Stalled("waiting for remote buffer grant"));
+                break Err(ShuffleError::Stalled("waiting for remote buffer grant"));
             }
             if !drained {
                 self.grant_arr.drain_updates();
@@ -209,7 +224,11 @@ impl WrRcSendEndpoint {
             self.grant_arr
                 .wait_update_timeout(sim, self.cfg.poll_interval * 32);
             drained = false;
+        };
+        if let Some(started) = stall_start {
+            self.obs.stall_end(sim, started);
         }
+        result
     }
 
     /// Reaps write completions, recycling staging buffers.
@@ -324,6 +343,7 @@ impl SendEndpoint for WrRcSendEndpoint {
                 8,
             )?;
             drop(guard);
+            self.obs.sent(d, buf.len() as u64);
         }
         Ok(())
     }
@@ -371,6 +391,7 @@ pub struct WrRcReceiveEndpoint {
     scratch: MemoryRegion,
     wr_seq: AtomicU64,
     bytes_received: AtomicU64,
+    obs: RecvObs,
     cfg: WrRcConfig,
     setup_cost: SimDuration,
 }
@@ -437,6 +458,7 @@ impl WrRcReceiveEndpoint {
             scratch: ctx.register_untimed(64 * 8),
             wr_seq: AtomicU64::new(0),
             bytes_received: AtomicU64::new(0),
+            obs: RecvObs::new(ctx, id),
             cfg,
             setup_cost,
         }
@@ -547,11 +569,13 @@ impl ReceiveEndpoint for WrRcReceiveEndpoint {
                     }
                 };
                 let Some(offset) = entry else { continue };
+                self.obs.validarr_poll(sim, 1);
                 let mut buf = Buffer::new(self.pool_mr.clone(), offset as usize, self.message_size);
                 let header = buf.read_header();
                 buf.set_len(header.payload_len as usize);
                 self.bytes_received
                     .fetch_add(header.payload_len as u64, Ordering::Relaxed);
+                self.obs.received(header.payload_len as u64);
                 {
                     let mut st = self.state.lock();
                     st.src_ep_map.insert(header.src, si);
@@ -566,6 +590,7 @@ impl ReceiveEndpoint for WrRcReceiveEndpoint {
                     local: buf,
                 }));
             }
+            self.obs.validarr_poll(sim, 0);
             if self.fully_done() {
                 return Ok(None);
             }

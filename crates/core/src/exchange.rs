@@ -443,12 +443,13 @@ impl Exchange {
                     channels.push(lane_channels);
                 }
                 // Activate QPs and exchange lane-matched address handles.
-                for node in 0..nodes {
-                    for lane in 0..lanes {
-                        ConnectionManager::activate_untimed(channels[node][lane].qp(), None)?;
+                for lane_channels in &channels {
+                    for channel in lane_channels {
+                        ConnectionManager::activate_untimed(channel.qp(), None)?;
                     }
                 }
                 for a in 0..nodes {
+                    #[allow(clippy::needless_range_loop)]
                     for lane in 0..lanes {
                         let union: BTreeSet<NodeId> =
                             dests[a].iter().chain(srcs[a].iter()).copied().collect();
@@ -460,6 +461,7 @@ impl Exchange {
                 }
                 // Bootstrap receive windows and credit.
                 for b in 0..nodes {
+                    #[allow(clippy::needless_range_loop)]
                     for lane in 0..lanes {
                         if srcs[b].is_empty() {
                             continue;

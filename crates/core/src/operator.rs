@@ -150,6 +150,9 @@ pub fn default_partition_hash(row: &[u8]) -> u64 {
     key.wrapping_mul(0x9E37_79B9_7F4A_7C15)
 }
 
+/// Shared row-hash function: row bytes to a 64-bit partition hash.
+pub type PartitionHashFn = Arc<dyn Fn(&[u8]) -> u64 + Send + Sync>;
+
 /// The SHUFFLE operator (Algorithm 1): hashes every tuple of its child to a
 /// transmission group and transmits full buffers through a communication
 /// endpoint.
@@ -159,7 +162,7 @@ pub struct ShuffleOperator {
     /// `endpoint[0]` for SE; `endpoint[tid]` for ME.
     endpoints: Vec<Arc<dyn SendEndpoint>>,
     groups: TransmissionGroups,
-    hash: Arc<dyn Fn(&[u8]) -> u64 + Send + Sync>,
+    hash: PartitionHashFn,
     /// Thread-partitioned output buffers: `outbuf[tid][group]`.
     outbuf: Vec<Mutex<Vec<Option<Buffer>>>>,
     /// Threads still running per lane; the last thread of a lane propagates

@@ -5,9 +5,15 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use rshuffle::{Operator, RowBatch, ShuffleError, StreamState};
+use rshuffle_obs::{names, EventKind, Labels};
 use rshuffle_simnet::{Cluster, NodeId, SimTime};
 
 /// Statistics from driving one fragment.
+///
+/// This struct is a legacy per-fragment view; the same rollups also land
+/// in the cluster's [`rshuffle_obs::MetricsRegistry`] under the
+/// `engine.rows` / `engine.bytes` / `engine.errors` series labelled with
+/// the fragment's node.
 #[derive(Clone, Debug, Default)]
 pub struct FragmentStats {
     /// Rows that reached the sink.
@@ -34,32 +40,66 @@ pub fn drive_to_sink(
 ) -> Arc<Mutex<FragmentStats>> {
     let stats = Arc::new(Mutex::new(FragmentStats::default()));
     let sink = Arc::new(sink);
+    let obs = cluster.obs().clone();
+    let labels = Labels::node(node as u32);
+    let rows_ctr = obs.metrics.counter(names::ENGINE_ROWS, labels);
+    let bytes_ctr = obs.metrics.counter(names::ENGINE_BYTES, labels);
+    let errors_ctr = obs.metrics.counter(names::ENGINE_ERRORS, labels);
     for tid in 0..threads {
         let op = op.clone();
         let stats = stats.clone();
         let sink = sink.clone();
-        cluster.spawn(node, &format!("{name}-{tid}"), move |sim| loop {
-            match op.next(&sim, tid) {
-                Ok((state, batch)) => {
-                    if !batch.is_empty() {
-                        let mut s = stats.lock();
-                        s.rows += batch.rows() as u64;
-                        s.bytes += batch.bytes() as u64;
-                        sink(tid, &batch);
+        let obs = obs.clone();
+        let rows_ctr = rows_ctr.clone();
+        let bytes_ctr = bytes_ctr.clone();
+        let errors_ctr = errors_ctr.clone();
+        let span_name = format!("fragment:{name}");
+        cluster.spawn(node, &format!("{name}-{tid}"), move |sim| {
+            let started = sim.now();
+            let mut worker_rows = 0u64;
+            loop {
+                match op.next(&sim, tid) {
+                    Ok((state, batch)) => {
+                        if !batch.is_empty() {
+                            rows_ctr.add(batch.rows() as u64);
+                            bytes_ctr.add(batch.bytes() as u64);
+                            worker_rows += batch.rows() as u64;
+                            let mut s = stats.lock();
+                            s.rows += batch.rows() as u64;
+                            s.bytes += batch.bytes() as u64;
+                            sink(tid, &batch);
+                        }
+                        if state == StreamState::Depleted {
+                            let mut s = stats.lock();
+                            s.finished_at = s.finished_at.max(sim.now());
+                            break;
+                        }
                     }
-                    if state == StreamState::Depleted {
+                    Err(e) => {
+                        errors_ctr.inc();
                         let mut s = stats.lock();
+                        s.errors.push(e);
                         s.finished_at = s.finished_at.max(sim.now());
                         break;
                     }
                 }
-                Err(e) => {
-                    let mut s = stats.lock();
-                    s.errors.push(e);
-                    s.finished_at = s.finished_at.max(sim.now());
-                    break;
-                }
             }
+            let track = sim.id().track();
+            let now = sim.now().as_nanos();
+            obs.recorder.span(
+                sim.node() as u32,
+                track,
+                &span_name,
+                started.as_nanos(),
+                now,
+            );
+            obs.recorder.event(
+                sim.node() as u32,
+                track,
+                now,
+                EventKind::FragmentDone,
+                worker_rows,
+            );
         });
     }
     stats

@@ -18,6 +18,19 @@ use crate::table::Table;
 /// Default rows per vectorized batch.
 pub const BATCH_ROWS: usize = 1024;
 
+/// Extracts an unsigned 64-bit key from a row (hash keys, group keys).
+pub type RowKeyFn = Arc<dyn Fn(&[u8]) -> u64 + Send + Sync>;
+/// Extracts a signed ordering key from a row (Top-N sort keys).
+pub type RowOrdKeyFn = Arc<dyn Fn(&[u8]) -> i64 + Send + Sync>;
+/// Emits a joined output row from a build row and a probe row.
+pub type JoinEmitFn = Arc<dyn Fn(&[u8], &[u8], &mut Vec<u8>) + Send + Sync>;
+/// Folds a row into its group accumulator.
+pub type FoldFn = Arc<dyn Fn(&mut Vec<u8>, &[u8]) + Send + Sync>;
+/// Builds the initial accumulator for a new group.
+pub type InitFn = Arc<dyn Fn(&[u8]) -> Vec<u8> + Send + Sync>;
+/// Min-heap of `(key, row)` keeping the N largest entries.
+type TopHeap = std::collections::BinaryHeap<std::cmp::Reverse<(i64, Vec<u8>)>>;
+
 /// Scans a [`Table`] fragment, block-partitioned across threads.
 pub struct MemScan {
     table: Table,
@@ -210,10 +223,10 @@ impl<F: Fn(&[u8], &mut Vec<u8>) + Send + Sync> Operator for Project<F> {
 pub struct HashJoin {
     build: Arc<dyn Operator>,
     probe: Arc<dyn Operator>,
-    build_key: Arc<dyn Fn(&[u8]) -> u64 + Send + Sync>,
-    probe_key: Arc<dyn Fn(&[u8]) -> u64 + Send + Sync>,
+    build_key: RowKeyFn,
+    probe_key: RowKeyFn,
     /// Emits the joined output row.
-    emit: Arc<dyn Fn(&[u8], &[u8], &mut Vec<u8>) + Send + Sync>,
+    emit: JoinEmitFn,
     out_size: usize,
     table: Mutex<HashMap<u64, Vec<Vec<u8>>>>,
     barrier: SimBarrier,
@@ -329,8 +342,8 @@ impl Operator for HashJoin {
 pub struct HashSemiJoin {
     build: Arc<dyn Operator>,
     probe: Arc<dyn Operator>,
-    build_key: Arc<dyn Fn(&[u8]) -> u64 + Send + Sync>,
-    probe_key: Arc<dyn Fn(&[u8]) -> u64 + Send + Sync>,
+    build_key: RowKeyFn,
+    probe_key: RowKeyFn,
     keys: Mutex<std::collections::HashSet<u64>>,
     barrier: SimBarrier,
     built: Vec<AtomicBool>,
@@ -400,11 +413,11 @@ impl Operator for HashSemiJoin {
 /// aggregated groups (partitioned across threads).
 pub struct HashAggregate {
     child: Arc<dyn Operator>,
-    key: Arc<dyn Fn(&[u8]) -> u64 + Send + Sync>,
+    key: RowKeyFn,
     /// Folds a row into the accumulator for its group.
-    fold: Arc<dyn Fn(&mut Vec<u8>, &[u8]) + Send + Sync>,
+    fold: FoldFn,
     /// Initial accumulator for a new group.
-    init: Arc<dyn Fn(&[u8]) -> Vec<u8> + Send + Sync>,
+    init: InitFn,
     out_size: usize,
     groups: Mutex<HashMap<u64, Vec<u8>>>,
     barrier: SimBarrier,
@@ -419,6 +432,7 @@ pub struct HashAggregate {
 impl HashAggregate {
     /// Creates a hash aggregation for `threads` workers producing
     /// `out_size`-byte accumulator rows.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         kernel: &rshuffle_simnet::Kernel,
         child: Arc<dyn Operator>,
@@ -541,10 +555,10 @@ impl Operator for UnionAll {
 /// descending key order from thread 0.
 pub struct TopN {
     child: Arc<dyn Operator>,
-    key: Arc<dyn Fn(&[u8]) -> i64 + Send + Sync>,
+    key: RowOrdKeyFn,
     n: usize,
     /// Min-heap of (key, row) keeping the N largest.
-    heap: Mutex<std::collections::BinaryHeap<std::cmp::Reverse<(i64, Vec<u8>)>>>,
+    heap: Mutex<TopHeap>,
     barrier: SimBarrier,
     drained: Vec<AtomicBool>,
     emitted: AtomicBool,

@@ -1,0 +1,121 @@
+//! Deterministic virtual-time observability for the RDMA shuffle stack.
+//!
+//! Three pieces, all driven by the simulation's virtual clock and free
+//! of wall-clock reads so that a fixed seed yields byte-identical
+//! output:
+//!
+//! * [`MetricsRegistry`] — atomic counters and power-of-two-bucket
+//!   histograms keyed by `node/lane/endpoint` [`Labels`], snapshotted
+//!   deterministically ([`Snapshot`]).
+//! * [`FlightRecorder`] — bounded drop-oldest rings of typed
+//!   [`EventKind`] events and named spans, one ring per `(node, tid)`
+//!   track.
+//! * [`trace::chrome_trace`] — export of the recorder as a
+//!   `chrome://tracing` / Perfetto compatible JSON array.
+//!
+//! This crate sits *below* the simulator so every tier (simnet, verbs,
+//! core endpoints, engine) can record into one shared [`Obs`] instance;
+//! timestamps are plain virtual nanoseconds (`SimTime::as_nanos()`).
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod recorder;
+pub mod trace;
+
+pub use metrics::{
+    Counter, Histogram, HistogramSnapshot, Labels, MetricsRegistry, Snapshot, NO_LABEL,
+};
+pub use recorder::{EventKind, FlightRecorder, Record, HW_TRACK};
+
+use std::sync::Arc;
+
+/// Canonical metric names, shared by all instrumented crates so series
+/// line up across tiers and figures.
+pub mod names {
+    /// Work requests processed by a NIC pipeline `{node}`.
+    pub const NIC_WORK_REQUESTS: &str = "nic.work_requests";
+    /// QP context cache hits `{node}` (Figure 11).
+    pub const NIC_QP_CACHE_HITS: &str = "nic.qp_cache_hits";
+    /// QP context cache misses `{node}` (Figure 11).
+    pub const NIC_QP_CACHE_MISSES: &str = "nic.qp_cache_misses";
+    /// Virtual nanoseconds simulated threads spent busy `{node}`.
+    pub const KERNEL_BUSY_NS: &str = "kernel.busy_ns";
+    /// Virtual nanoseconds simulated threads spent blocked `{node}`.
+    pub const KERNEL_IDLE_NS: &str = "kernel.idle_ns";
+    /// Simulated threads that ran to completion `{node}`.
+    pub const KERNEL_THREADS_FINISHED: &str = "kernel.threads_finished";
+    /// UD datagrams dropped in the network by fault injection.
+    pub const VERBS_UD_DROPPED: &str = "verbs.ud_dropped_in_network";
+    /// UD datagrams that found no posted receive (receiver overrun).
+    pub const VERBS_UD_UNMATCHED: &str = "verbs.ud_unmatched";
+    /// UD datagrams delayed out of order by fault injection.
+    pub const VERBS_UD_REORDERED: &str = "verbs.ud_reordered";
+    /// Receiver-not-ready retries on RC QPs.
+    pub const VERBS_RNR_RETRIES: &str = "verbs.rnr_retries";
+    /// Two-sided message latency, post → delivery, ns `{node}` of the
+    /// receiver.
+    pub const VERBS_MSG_LATENCY_NS: &str = "verbs.msg_latency_ns";
+    /// Payload size of posted sends, bytes `{node}`.
+    pub const VERBS_MSG_SIZE_BYTES: &str = "verbs.msg_size_bytes";
+    /// Payload bytes pushed by a send endpoint `{node,lane}`.
+    pub const EP_BYTES_SENT: &str = "endpoint.bytes_sent";
+    /// Messages pushed by a send endpoint `{node,lane}`.
+    pub const EP_MESSAGES_SENT: &str = "endpoint.messages_sent";
+    /// Payload bytes accepted by a receive endpoint `{node,endpoint}`.
+    pub const EP_BYTES_RECEIVED: &str = "endpoint.bytes_received";
+    /// Messages accepted by a receive endpoint `{node,endpoint}`.
+    pub const EP_MESSAGES_RECEIVED: &str = "endpoint.messages_received";
+    /// Number of credit stalls at a sender `{node,endpoint}` (Figure 8).
+    pub const EP_CREDIT_STALLS: &str = "endpoint.credit_stalls";
+    /// Total virtual ns spent stalled on credits `{node,endpoint}`.
+    pub const EP_CREDIT_STALL_NS: &str = "endpoint.credit_stall_ns";
+    /// Distribution of individual credit stalls, ns `{node,endpoint}`.
+    pub const EP_CREDIT_STALL_HIST_NS: &str = "endpoint.credit_stall_hist_ns";
+    /// FreeArr slot polls in the RDMA Read circular queue `{node,endpoint}`.
+    pub const EP_FREEARR_POLLS: &str = "endpoint.freearr_polls";
+    /// ValidArr slot polls in the circular queues `{node,endpoint}`.
+    pub const EP_VALIDARR_POLLS: &str = "endpoint.validarr_polls";
+    /// Rows drained by an operator fragment `{node}`.
+    pub const ENGINE_ROWS: &str = "engine.rows";
+    /// Bytes drained by an operator fragment `{node}`.
+    pub const ENGINE_BYTES: &str = "engine.bytes";
+    /// Fragment errors observed `{node}`.
+    pub const ENGINE_ERRORS: &str = "engine.errors";
+}
+
+/// One shared observability context: the metrics registry plus the
+/// flight recorder. Created by the cluster and threaded through every
+/// tier.
+#[derive(Default)]
+pub struct Obs {
+    /// The unified metrics registry.
+    pub metrics: MetricsRegistry,
+    /// The flight recorder.
+    pub recorder: FlightRecorder,
+}
+
+impl Obs {
+    /// Creates a fresh context with default recorder capacity.
+    pub fn new() -> Arc<Obs> {
+        Arc::new(Obs::default())
+    }
+
+    /// Creates a context with a specific per-track ring capacity.
+    pub fn with_ring_capacity(capacity: usize) -> Arc<Obs> {
+        Arc::new(Obs {
+            metrics: MetricsRegistry::new(),
+            recorder: FlightRecorder::new(capacity),
+        })
+    }
+
+    /// Deterministic JSON rendering of the current metrics snapshot.
+    pub fn snapshot_json(&self) -> String {
+        self.metrics.snapshot().to_json()
+    }
+
+    /// Deterministic Chrome-trace JSON of everything recorded so far.
+    pub fn chrome_trace_json(&self) -> String {
+        trace::chrome_trace_string(&self.recorder)
+    }
+}

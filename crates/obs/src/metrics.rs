@@ -1,0 +1,568 @@
+//! Lock-cheap metrics registry: atomic counters and fixed-bucket
+//! histograms keyed by `node/lane/endpoint` labels.
+//!
+//! Hot paths hold an `Arc<Counter>` / `Arc<Histogram>` handle obtained
+//! once from the [`MetricsRegistry`]; recording is then a single atomic
+//! RMW with no lock. The registry itself is only locked when a handle is
+//! first created or when a [`Snapshot`] is taken.
+//!
+//! Snapshots are deterministic: metrics are emitted in lexicographic
+//! `(name, labels)` order, so two runs that perform the same recordings
+//! produce byte-identical JSON.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Serialize, Value};
+
+/// Sentinel meaning "this label dimension is not set".
+pub const NO_LABEL: u32 = u32::MAX;
+
+/// Label set identifying one metric series: which node, which lane
+/// (destination / channel index) and which endpoint the sample belongs
+/// to. Unset dimensions use [`NO_LABEL`] and are omitted from rendered
+/// keys.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Labels {
+    /// Node (simulated machine) the sample was taken on.
+    pub node: u32,
+    /// Lane: destination index / channel within the shuffle.
+    pub lane: u32,
+    /// Endpoint identifier (matches `EndpointId` in the core crate).
+    pub endpoint: u32,
+}
+
+impl Labels {
+    /// No labels at all: a process-global series.
+    pub const GLOBAL: Labels = Labels {
+        node: NO_LABEL,
+        lane: NO_LABEL,
+        endpoint: NO_LABEL,
+    };
+
+    /// A per-node series.
+    pub fn node(node: u32) -> Labels {
+        Labels {
+            node,
+            lane: NO_LABEL,
+            endpoint: NO_LABEL,
+        }
+    }
+
+    /// A per-node, per-lane series.
+    pub fn lane(node: u32, lane: u32) -> Labels {
+        Labels {
+            node,
+            lane,
+            endpoint: NO_LABEL,
+        }
+    }
+
+    /// A per-node, per-endpoint series.
+    pub fn endpoint(node: u32, endpoint: u32) -> Labels {
+        Labels {
+            node,
+            lane: NO_LABEL,
+            endpoint,
+        }
+    }
+
+    /// Renders the label suffix, e.g. `{node=2,lane=0}`. Empty string
+    /// when no dimension is set.
+    pub fn render(&self) -> String {
+        let mut parts = Vec::new();
+        if self.node != NO_LABEL {
+            parts.push(format!("node={}", self.node));
+        }
+        if self.lane != NO_LABEL {
+            parts.push(format!("lane={}", self.lane));
+        }
+        if self.endpoint != NO_LABEL {
+            parts.push(format!("endpoint={}", self.endpoint));
+        }
+        if parts.is_empty() {
+            String::new()
+        } else {
+            format!("{{{}}}", parts.join(","))
+        }
+    }
+}
+
+/// A monotonically increasing atomic counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Counter {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: bucket 0 holds exact zeros, bucket `i`
+/// (1..=64) holds values in `[2^(i-1), 2^i)`; bucket 64's upper edge is
+/// open so `u64::MAX` lands there.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Index of the bucket a value falls into. Total function over `u64`:
+/// `0 -> 0`, `v -> floor(log2(v)) + 1` otherwise (so `1 -> 1`,
+/// `2..=3 -> 2`, ..., `u64::MAX -> 64`).
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+/// Inclusive lower bound of bucket `i`.
+pub fn bucket_lower_bound(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        _ => 1u64 << (i - 1),
+    }
+}
+
+/// A fixed-bucket (power-of-two) histogram. Recording is a handful of
+/// relaxed atomic operations; no lock, no allocation.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // Wrapping on purpose: the sum is diagnostic, not load-bearing.
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the current distribution.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        let buckets = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then_some((bucket_lower_bound(i), n))
+            })
+            .collect();
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// Point-in-time copy of a [`Histogram`]. Only non-empty buckets are
+/// kept, as `(inclusive lower bound, count)` pairs in ascending order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values (wrapping).
+    pub sum: u64,
+    /// Smallest observed value (0 when empty).
+    pub min: u64,
+    /// Largest observed value (0 when empty).
+    pub max: u64,
+    /// Non-empty buckets: `(inclusive lower bound, count)`.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean of the recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The distribution recorded since `earlier` (bucket-wise and
+    /// scalar-wise difference; min/max are taken from `self` since the
+    /// true interval extrema are not recoverable).
+    pub fn delta(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut buckets: BTreeMap<u64, u64> = self.buckets.iter().copied().collect();
+        for (lb, n) in &earlier.buckets {
+            let e = buckets.entry(*lb).or_insert(0);
+            *e = e.saturating_sub(*n);
+        }
+        HistogramSnapshot {
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.wrapping_sub(earlier.sum),
+            min: self.min,
+            max: self.max,
+            buckets: buckets.into_iter().filter(|&(_, n)| n > 0).collect(),
+        }
+    }
+}
+
+impl Serialize for HistogramSnapshot {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("count".to_string(), Value::UInt(self.count)),
+            ("sum".to_string(), Value::UInt(self.sum)),
+            ("min".to_string(), Value::UInt(self.min)),
+            ("max".to_string(), Value::UInt(self.max)),
+            (
+                "buckets".to_string(),
+                Value::Array(
+                    self.buckets
+                        .iter()
+                        .map(|&(lb, n)| Value::Array(vec![Value::UInt(lb), Value::UInt(n)]))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Histogram(Arc<Histogram>),
+}
+
+/// Registry of named metric series. Handle creation and snapshots take
+/// a lock; recording through the returned handles does not.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    metrics: Mutex<BTreeMap<(&'static str, Labels), Metric>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Returns (creating if needed) the counter for `(name, labels)`.
+    ///
+    /// Panics if the series already exists as a histogram.
+    pub fn counter(&self, name: &'static str, labels: Labels) -> Arc<Counter> {
+        let mut m = self.metrics.lock();
+        match m
+            .entry((name, labels))
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::new())))
+        {
+            Metric::Counter(c) => c.clone(),
+            Metric::Histogram(_) => panic!("metric {name} already registered as a histogram"),
+        }
+    }
+
+    /// Returns (creating if needed) the histogram for `(name, labels)`.
+    ///
+    /// Panics if the series already exists as a counter.
+    pub fn histogram(&self, name: &'static str, labels: Labels) -> Arc<Histogram> {
+        let mut m = self.metrics.lock();
+        match m
+            .entry((name, labels))
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())))
+        {
+            Metric::Histogram(h) => h.clone(),
+            Metric::Counter(_) => panic!("metric {name} already registered as a counter"),
+        }
+    }
+
+    /// Current value of a counter series (0 if it does not exist).
+    pub fn counter_value(&self, name: &'static str, labels: Labels) -> u64 {
+        match self.metrics.lock().get(&(name, labels)) {
+            Some(Metric::Counter(c)) => c.get(),
+            _ => 0,
+        }
+    }
+
+    /// Sum of a counter's value across every label combination it was
+    /// recorded under (e.g. total bytes over all lanes).
+    pub fn counter_total(&self, name: &'static str) -> u64 {
+        self.metrics
+            .lock()
+            .iter()
+            .filter(|((n, _), _)| *n == name)
+            .map(|(_, m)| match m {
+                Metric::Counter(c) => c.get(),
+                Metric::Histogram(_) => 0,
+            })
+            .sum()
+    }
+
+    /// Takes a deterministic point-in-time snapshot of every series.
+    pub fn snapshot(&self) -> Snapshot {
+        let m = self.metrics.lock();
+        let mut counters = Vec::new();
+        let mut histograms = Vec::new();
+        for ((name, labels), metric) in m.iter() {
+            let key = format!("{name}{}", labels.render());
+            match metric {
+                Metric::Counter(c) => counters.push((key, c.get())),
+                Metric::Histogram(h) => histograms.push((key, h.snapshot())),
+            }
+        }
+        Snapshot {
+            counters,
+            histograms,
+        }
+    }
+}
+
+/// Deterministic point-in-time view of a [`MetricsRegistry`]: every
+/// series in lexicographic `(name, labels)` order.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Snapshot {
+    /// `name{labels}` → value, sorted by key.
+    pub counters: Vec<(String, u64)>,
+    /// `name{labels}` → distribution, sorted by key.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl Snapshot {
+    /// Looks up a counter by its rendered key.
+    pub fn counter(&self, key: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|&(_, v)| v)
+    }
+
+    /// Looks up a histogram by its rendered key.
+    pub fn histogram(&self, key: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, h)| h)
+    }
+
+    /// The activity between `earlier` and `self`. Series absent from
+    /// `earlier` are taken whole; series that vanished are dropped.
+    pub fn delta(&self, earlier: &Snapshot) -> Snapshot {
+        let ec: BTreeMap<&str, u64> = earlier
+            .counters
+            .iter()
+            .map(|(k, v)| (k.as_str(), *v))
+            .collect();
+        let eh: BTreeMap<&str, &HistogramSnapshot> = earlier
+            .histograms
+            .iter()
+            .map(|(k, h)| (k.as_str(), h))
+            .collect();
+        Snapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(k, v)| {
+                    (
+                        k.clone(),
+                        v.saturating_sub(ec.get(k.as_str()).copied().unwrap_or(0)),
+                    )
+                })
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, h)| {
+                    let d = match eh.get(k.as_str()) {
+                        Some(e) => h.delta(e),
+                        None => h.clone(),
+                    };
+                    (k.clone(), d)
+                })
+                .collect(),
+        }
+    }
+
+    /// Renders the snapshot as deterministic pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("snapshot serialization is infallible")
+    }
+}
+
+impl Serialize for Snapshot {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            (
+                "counters".to_string(),
+                Value::Object(
+                    self.counters
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Value::UInt(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms".to_string(),
+                Value::Object(
+                    self.histograms
+                        .iter()
+                        .map(|(k, h)| (k.clone(), h.to_value()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_edges() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index((1 << 32) - 1), 32);
+        assert_eq!(bucket_index(1 << 32), 33);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_index(1 << 63), 64);
+        assert_eq!(bucket_index((1 << 63) - 1), 63);
+    }
+
+    #[test]
+    fn bucket_bounds_round_trip() {
+        for i in 0..HISTOGRAM_BUCKETS {
+            let lb = bucket_lower_bound(i);
+            assert_eq!(bucket_index(lb), i, "lower bound of bucket {i}");
+        }
+    }
+
+    #[test]
+    fn histogram_extremes() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, u64::MAX);
+        assert_eq!(s.buckets, vec![(0, 1), (1 << 63, 1)]);
+        // Wrapping sum: 0 + MAX.
+        assert_eq!(s.sum, u64::MAX);
+    }
+
+    #[test]
+    fn empty_histogram_snapshot() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 0);
+        assert!(s.buckets.is_empty());
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn registry_snapshot_is_sorted_and_stable() {
+        let r = MetricsRegistry::new();
+        r.counter("z.last", Labels::GLOBAL).add(3);
+        r.counter("a.first", Labels::node(1)).add(1);
+        r.counter("a.first", Labels::node(0)).add(2);
+        let s = r.snapshot();
+        let keys: Vec<&str> = s.counters.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, vec!["a.first{node=0}", "a.first{node=1}", "z.last"]);
+        assert_eq!(s.counter("a.first{node=0}"), Some(2));
+        assert_eq!(s.to_json(), r.snapshot().to_json());
+    }
+
+    #[test]
+    fn handles_share_state() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("hits", Labels::GLOBAL);
+        let b = r.counter("hits", Labels::GLOBAL);
+        a.inc();
+        b.add(2);
+        assert_eq!(r.counter_value("hits", Labels::GLOBAL), 3);
+    }
+
+    #[test]
+    fn counter_total_sums_labels() {
+        let r = MetricsRegistry::new();
+        r.counter("bytes", Labels::lane(0, 0)).add(10);
+        r.counter("bytes", Labels::lane(0, 1)).add(5);
+        r.counter("other", Labels::GLOBAL).add(100);
+        assert_eq!(r.counter_total("bytes"), 15);
+    }
+
+    #[test]
+    fn snapshot_delta() {
+        let r = MetricsRegistry::new();
+        let c = r.counter("n", Labels::GLOBAL);
+        let h = r.histogram("lat", Labels::GLOBAL);
+        c.add(5);
+        h.record(7);
+        let before = r.snapshot();
+        c.add(2);
+        h.record(7);
+        h.record(100);
+        let d = r.snapshot().delta(&before);
+        assert_eq!(d.counter("n"), Some(2));
+        let dh = d.histogram("lat").unwrap();
+        assert_eq!(dh.count, 2);
+        assert_eq!(dh.buckets, vec![(4, 1), (64, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn type_confusion_panics() {
+        let r = MetricsRegistry::new();
+        r.counter("x", Labels::GLOBAL);
+        r.histogram("x", Labels::GLOBAL);
+    }
+}

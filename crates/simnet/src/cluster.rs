@@ -4,6 +4,8 @@
 
 use std::sync::Arc;
 
+use rshuffle_obs::Obs;
+
 use crate::kernel::{Kernel, SimContext, SimThreadId};
 use crate::net::Fabric;
 use crate::nic::NicModel;
@@ -17,6 +19,7 @@ pub struct Cluster {
     fabric: Arc<Fabric>,
     nics: Arc<Vec<NicModel>>,
     profile: Arc<DeviceProfile>,
+    obs: Arc<Obs>,
 }
 
 impl Cluster {
@@ -27,20 +30,32 @@ impl Cluster {
     /// Panics if `nodes` is zero.
     pub fn new(nodes: usize, profile: DeviceProfile) -> Self {
         assert!(nodes > 0, "cluster needs at least one node");
+        let obs = Obs::new();
         let kernel = Kernel::new();
+        kernel.set_obs(obs.clone());
         let fabric = Arc::new(Fabric::new(nodes, &profile));
-        let nics = Arc::new((0..nodes).map(|_| NicModel::new(&profile)).collect());
+        let nics = Arc::new(
+            (0..nodes)
+                .map(|node| NicModel::with_obs(&profile, obs.clone(), node as u32))
+                .collect(),
+        );
         Cluster {
             kernel,
             fabric,
             nics,
             profile: Arc::new(profile),
+            obs,
         }
     }
 
     /// The virtual-time kernel.
     pub fn kernel(&self) -> &Kernel {
         &self.kernel
+    }
+
+    /// The shared observability context every tier records into.
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.obs
     }
 
     /// The switch fabric.

@@ -22,6 +22,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use parking_lot::{Condvar, Mutex};
+use rshuffle_obs::{names, EventKind, Labels, Obs};
 
 use crate::time::{SimDuration, SimTime};
 use crate::NodeId;
@@ -29,6 +30,19 @@ use crate::NodeId;
 /// Identifier of a simulated thread, unique within a [`Kernel`].
 #[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct SimThreadId(u64);
+
+impl SimThreadId {
+    /// The thread's spawn index (0-based). Flight-recorder tracks use
+    /// `index + 1` as their `tid` (tid 0 is the per-node hardware track).
+    pub fn index(&self) -> u64 {
+        self.0
+    }
+
+    /// The flight-recorder track id for this thread.
+    pub fn track(&self) -> u32 {
+        (self.0 + 1) as u32
+    }
+}
 
 /// Result of a [`Gate::recv_timeout`] call.
 #[derive(Debug, PartialEq, Eq)]
@@ -74,6 +88,7 @@ struct Slot {
     cv: Arc<Condvar>,
     name: String,
     node: NodeId,
+    spawned_at: SimTime,
     busy: SimDuration,
     idle: SimDuration,
 }
@@ -114,6 +129,7 @@ struct State {
     poisoned: Option<String>,
     stats: Vec<ThreadStats>,
     join_handles: Vec<JoinHandle<()>>,
+    obs: Option<Arc<Obs>>,
 }
 
 struct Shared {
@@ -150,6 +166,7 @@ impl Kernel {
                     poisoned: None,
                     stats: Vec::new(),
                     join_handles: Vec::new(),
+                    obs: None,
                 }),
                 completion: Condvar::new(),
             }),
@@ -159,6 +176,18 @@ impl Kernel {
     /// Current virtual time. Callable from anywhere.
     pub fn now(&self) -> SimTime {
         self.shared.state.lock().now
+    }
+
+    /// Attaches the shared observability context. Thread spawns and
+    /// retirements are recorded into it from then on (call before the
+    /// workload starts for complete coverage).
+    pub fn set_obs(&self, obs: Arc<Obs>) {
+        self.shared.state.lock().obs = Some(obs);
+    }
+
+    /// The attached observability context, if any.
+    pub fn obs(&self) -> Option<Arc<Obs>> {
+        self.shared.state.lock().obs.clone()
     }
 
     /// Spawns a simulated thread pinned to `node`, runnable at the current
@@ -183,12 +212,16 @@ impl Kernel {
                     cv: cv.clone(),
                     name: name.to_string(),
                     node,
+                    spawned_at: start_at,
                     busy: SimDuration::ZERO,
                     idle: SimDuration::ZERO,
                 },
             );
             let key = (st.now, tid);
             st.runnable.insert(key);
+            if let Some(obs) = &st.obs {
+                obs.recorder.name_track(node as u32, tid.track(), name);
+            }
             (tid, cv)
         };
 
@@ -252,6 +285,33 @@ impl Kernel {
                 st.runnable.remove(&(t, tid));
             }
             let finished_at = st.now;
+            if let Some(obs) = &st.obs {
+                let node = slot.node as u32;
+                let labels = Labels::node(node);
+                obs.metrics
+                    .counter(names::KERNEL_BUSY_NS, labels)
+                    .add(slot.busy.as_nanos());
+                obs.metrics
+                    .counter(names::KERNEL_IDLE_NS, labels)
+                    .add(slot.idle.as_nanos());
+                obs.metrics
+                    .counter(names::KERNEL_THREADS_FINISHED, labels)
+                    .inc();
+                obs.recorder.span(
+                    node,
+                    tid.track(),
+                    &slot.name,
+                    slot.spawned_at.as_nanos(),
+                    finished_at.as_nanos(),
+                );
+                obs.recorder.event(
+                    node,
+                    tid.track(),
+                    finished_at.as_nanos(),
+                    EventKind::ThreadFinished,
+                    slot.busy.as_nanos(),
+                );
+            }
             st.stats.push(ThreadStats {
                 name: slot.name,
                 node: slot.node,
@@ -386,7 +446,7 @@ impl Kernel {
                     drop(st);
                     panic!("{msg}");
                 }
-                (Some(ev_at), thread) if thread.map_or(true, |(t, _)| ev_at <= t) => {
+                (Some(ev_at), thread) if thread.is_none_or(|(t, _)| ev_at <= t) => {
                     let entry = st.events.pop().expect("peeked event must exist");
                     debug_assert!(entry.at >= st.now, "event scheduled in the past");
                     st.now = entry.at;

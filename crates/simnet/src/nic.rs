@@ -11,7 +11,10 @@
 //! algorithms degrade as the cluster grows while the Θ(1)/Θ(t)-QP
 //! Unreliable Datagram designs do not.
 
+use std::sync::Arc;
+
 use parking_lot::Mutex;
+use rshuffle_obs::{names, Counter, EventKind, Labels, Obs, HW_TRACK};
 
 use crate::lru::LruSet;
 use crate::profile::DeviceProfile;
@@ -36,7 +39,13 @@ pub enum WrKind {
     RemoteDma,
 }
 
-/// Statistics counters for one NIC.
+/// Legacy snapshot of one NIC's counters.
+///
+/// Since the unified observability layer landed this is a *view* built
+/// from the shared [`rshuffle_obs::MetricsRegistry`]; the NIC no longer
+/// keeps private counters. Prefer reading the registry directly (series
+/// `nic.work_requests` / `nic.qp_cache_hits` / `nic.qp_cache_misses`
+/// labelled by node).
 #[derive(Debug, Clone, Default)]
 pub struct NicStats {
     /// Work requests processed, by rough category.
@@ -47,23 +56,53 @@ pub struct NicStats {
     pub qp_cache_misses: u64,
 }
 
+/// Cached registry handles so the per-work-request hot path is three
+/// relaxed atomic increments, no registry lookup.
+struct NicObs {
+    obs: Arc<Obs>,
+    node: u32,
+    work_requests: Arc<Counter>,
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+}
+
+impl NicObs {
+    fn new(obs: Arc<Obs>, node: u32) -> Self {
+        let labels = Labels::node(node);
+        NicObs {
+            work_requests: obs.metrics.counter(names::NIC_WORK_REQUESTS, labels),
+            cache_hits: obs.metrics.counter(names::NIC_QP_CACHE_HITS, labels),
+            cache_misses: obs.metrics.counter(names::NIC_QP_CACHE_MISSES, labels),
+            obs,
+            node,
+        }
+    }
+}
+
 /// Timing model of one node's RDMA NIC.
 pub struct NicModel {
     pipe: Mutex<Resource>,
     cache: Mutex<LruSet<u64>>,
-    stats: Mutex<NicStats>,
+    obs: Mutex<NicObs>,
     wr_nic: SimDuration,
     wr_recv_match: SimDuration,
     qp_cache_miss: SimDuration,
 }
 
 impl NicModel {
-    /// Creates a NIC with the cost constants of `profile`.
+    /// Creates a NIC with the cost constants of `profile`, reporting
+    /// into a private observability context (see
+    /// [`NicModel::with_obs`] for the shared-cluster form).
     pub fn new(profile: &DeviceProfile) -> Self {
+        Self::with_obs(profile, Obs::new(), 0)
+    }
+
+    /// Creates a NIC that records into `obs` as node `node`.
+    pub fn with_obs(profile: &DeviceProfile, obs: Arc<Obs>, node: u32) -> Self {
         NicModel {
             pipe: Mutex::new(Resource::new()),
             cache: Mutex::new(LruSet::new(profile.qp_cache_entries)),
-            stats: Mutex::new(NicStats::default()),
+            obs: Mutex::new(NicObs::new(obs, node)),
             wr_nic: profile.wr_nic,
             wr_recv_match: profile.wr_recv_match,
             qp_cache_miss: profile.qp_cache_miss,
@@ -83,20 +122,34 @@ impl NicModel {
         let hit = self.cache.lock().touch(qp_ctx);
         let cost = if hit { base } else { base + self.qp_cache_miss };
         {
-            let mut s = self.stats.lock();
-            s.work_requests += 1;
+            let o = self.obs.lock();
+            o.work_requests.inc();
             if hit {
-                s.qp_cache_hits += 1;
+                o.cache_hits.inc();
             } else {
-                s.qp_cache_misses += 1;
+                o.cache_misses.inc();
+                // The thrash signal behind Figure 11: each miss is a PCIe
+                // round trip fetching the QP context from host memory.
+                o.obs.recorder.event(
+                    o.node,
+                    HW_TRACK,
+                    at.as_nanos(),
+                    EventKind::QpCacheMiss,
+                    qp_ctx,
+                );
             }
         }
         self.pipe.lock().reserve(at, cost).end
     }
 
-    /// Snapshot of the NIC counters.
+    /// Snapshot of the NIC counters (view over the unified registry).
     pub fn stats(&self) -> NicStats {
-        self.stats.lock().clone()
+        let o = self.obs.lock();
+        NicStats {
+            work_requests: o.work_requests.get(),
+            qp_cache_hits: o.cache_hits.get(),
+            qp_cache_misses: o.cache_misses.get(),
+        }
     }
 }
 

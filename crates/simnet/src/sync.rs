@@ -79,7 +79,7 @@ impl<T: Send + 'static> SimMutex<T> {
             }
             // Wait for a release token, then retry (another thread may race
             // us to the lock; the loop keeps the protocol correct).
-            let _ = self.inner.gate.recv(ctx);
+            self.inner.gate.recv(ctx);
             self.inner.state.lock().waiters -= 1;
         }
     }
@@ -200,7 +200,7 @@ impl SimBarrier {
             }
             true
         } else {
-            let _ = gate.recv(ctx);
+            gate.recv(ctx);
             false
         }
     }

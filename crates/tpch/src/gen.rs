@@ -45,7 +45,7 @@ pub fn date(y: u32, m: u32, d: u32) -> u32 {
         days += if year % 4 == 0 { 366 } else { 365 };
     }
     days += CUM[(m - 1) as usize];
-    if y % 4 == 0 && m > 2 {
+    if y.is_multiple_of(4) && m > 2 {
         days += 1;
     }
     days + d - 1

@@ -176,6 +176,7 @@ fn receive_op(
 /// global map (the coordinator's trivial final merge).
 type GroupSink = Arc<Mutex<HashMap<u64, i64>>>;
 
+#[allow(clippy::too_many_arguments)]
 fn collect_groups(
     runtime: &Arc<VerbsRuntime>,
     node: usize,

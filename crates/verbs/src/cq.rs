@@ -10,6 +10,7 @@
 
 use std::sync::Arc;
 
+use rshuffle_obs::{EventKind, Obs};
 use rshuffle_simnet::{Gate, Kernel, SimContext, SimDuration};
 
 use crate::types::QpNum;
@@ -68,6 +69,23 @@ pub struct Completion {
 struct CqInner {
     gate: Gate<Completion>,
     poll_cost: SimDuration,
+    obs: Option<Arc<Obs>>,
+}
+
+impl CqInner {
+    /// One flight-recorder event per retrieved completion, on the
+    /// polling thread's track.
+    fn observe_polled(&self, ctx: &SimContext, c: &Completion) {
+        if let Some(obs) = &self.obs {
+            obs.recorder.event(
+                ctx.node() as u32,
+                ctx.id().track(),
+                ctx.now().as_nanos(),
+                EventKind::CompletionPolled,
+                c.byte_len as u64,
+            );
+        }
+    }
 }
 
 /// A completion queue, shareable across QPs and threads.
@@ -85,6 +103,7 @@ impl CompletionQueue {
             inner: Arc::new(CqInner {
                 gate: Gate::new(kernel, completion_latency),
                 poll_cost,
+                obs: kernel.obs(),
             }),
         }
     }
@@ -100,20 +119,28 @@ impl CompletionQueue {
                 None => break,
             }
         }
+        for c in &out {
+            self.inner.observe_polled(ctx, c);
+        }
         out
     }
 
     /// Blocks until one completion is available and returns it.
     pub fn next(&self, ctx: &SimContext) -> Completion {
         ctx.sleep(self.inner.poll_cost);
-        self.inner.gate.recv(ctx)
+        let c = self.inner.gate.recv(ctx);
+        self.inner.observe_polled(ctx, &c);
+        c
     }
 
     /// Blocks until a completion arrives or `timeout` elapses.
     pub fn next_timeout(&self, ctx: &SimContext, timeout: SimDuration) -> Option<Completion> {
         ctx.sleep(self.inner.poll_cost);
         match self.inner.gate.recv_timeout(ctx, timeout) {
-            rshuffle_simnet::RecvTimeout::Value(c) => Some(c),
+            rshuffle_simnet::RecvTimeout::Value(c) => {
+                self.inner.observe_polled(ctx, &c);
+                Some(c)
+            }
             rshuffle_simnet::RecvTimeout::TimedOut => None,
         }
     }

@@ -22,6 +22,7 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
+use rshuffle_obs::{names, EventKind, Labels, HW_TRACK};
 use rshuffle_simnet::nic::WrKind;
 use rshuffle_simnet::{SimContext, SimDuration, SimTime};
 
@@ -199,15 +200,25 @@ impl QueuePair {
     }
 
     fn transition(&self, from: QpState, to: QpState, op: &'static str) -> Result<()> {
-        let mut st = self.inner.state.lock();
-        if *st != from {
-            return Err(VerbsError::InvalidState {
-                qp: self.inner.qpn,
-                state: *st,
-                op,
-            });
+        {
+            let mut st = self.inner.state.lock();
+            if *st != from {
+                return Err(VerbsError::InvalidState {
+                    qp: self.inner.qpn,
+                    state: *st,
+                    op,
+                });
+            }
+            *st = to;
         }
-        *st = to;
+        self.runtime.rt_obs.obs.recorder.event(
+            self.inner.node as u32,
+            HW_TRACK,
+            self.runtime.kernel().now().as_nanos(),
+            EventKind::QpTransition,
+            // Low byte: new state; next byte: old state; rest: QPN.
+            ((self.inner.qpn.0 as u64) << 16) | ((from as u64) << 8) | to as u64,
+        );
         Ok(())
     }
 
@@ -260,6 +271,13 @@ impl QueuePair {
             });
         }
         sim.sleep(self.runtime.profile().post_wr_cpu);
+        self.runtime.rt_obs.obs.recorder.event(
+            sim.node() as u32,
+            sim.id().track(),
+            sim.now().as_nanos(),
+            EventKind::RecvPosted,
+            wr.len as u64,
+        );
         self.inner.recv_queue.lock().push_back(wr);
         Ok(())
     }
@@ -316,6 +334,7 @@ impl QueuePair {
         sim.sleep(profile.post_wr_cpu);
 
         let now = self.runtime.kernel().now();
+        self.observe_send_posted(sim, wr.len, now);
         let kind = match self.inner.ty {
             QpType::Rc => WrKind::SendRc,
             QpType::Ud => WrKind::SendUd,
@@ -332,7 +351,7 @@ impl QueuePair {
         let jitter = if reliable {
             SimDuration::ZERO
         } else {
-            match self.runtime.sample_ud_fate() {
+            match self.runtime.sample_ud_fate(self.inner.node) {
                 Some(j) => j,
                 None => {
                     // Lost in the network: the sender still sees a local
@@ -379,10 +398,29 @@ impl QueuePair {
             None
         };
         let imm = wr.imm;
+        let posted_ns = now.as_nanos();
         self.runtime.kernel().schedule(deliver, move || {
-            deliver_send(runtime, dest, payload, imm, src, sender_ctx, 0);
+            deliver_send(runtime, dest, payload, imm, src, sender_ctx, 0, posted_ns);
         });
         Ok(())
+    }
+
+    /// Records the send into the flight recorder and size histogram.
+    fn observe_send_posted(&self, sim: &SimContext, len: usize, now: SimTime) {
+        let obs = &self.runtime.rt_obs.obs;
+        obs.recorder.event(
+            sim.node() as u32,
+            sim.id().track(),
+            now.as_nanos(),
+            EventKind::SendPosted,
+            len as u64,
+        );
+        obs.metrics
+            .histogram(
+                names::VERBS_MSG_SIZE_BYTES,
+                Labels::node(self.inner.node as u32),
+            )
+            .record(len as u64);
     }
 
     /// Posts one UD Send that the switch replicates to every destination
@@ -415,6 +453,7 @@ impl QueuePair {
         sim.sleep(profile.post_wr_cpu);
 
         let now = self.runtime.kernel().now();
+        self.observe_send_posted(sim, wr.len, now);
         let nic_done = self
             .runtime
             .nic(self.inner.node)
@@ -434,15 +473,16 @@ impl QueuePair {
             .kernel()
             .schedule(nic_done, move || send_cq.deposit(completion));
         let src = self.address_handle();
+        let posted_ns = now.as_nanos();
         for (&dest, deliver) in dests.iter().zip(deliveries) {
-            let Some(jitter) = self.runtime.sample_ud_fate() else {
+            let Some(jitter) = self.runtime.sample_ud_fate(self.inner.node) else {
                 continue; // This member's copy is lost.
             };
             let runtime = self.runtime.clone();
             let payload = payload.clone();
             let imm = wr.imm;
             self.runtime.kernel().schedule(deliver + jitter, move || {
-                deliver_send(runtime, dest, payload, imm, src, None, 0);
+                deliver_send(runtime, dest, payload, imm, src, None, 0, posted_ns);
             });
         }
         Ok(())
@@ -712,7 +752,21 @@ fn wire_bytes(ty: QpType, len: usize, mtu: usize) -> usize {
     }
 }
 
-/// Delivery event: an inbound Send arrives at `dest`.
+/// Records an unmatched inbound datagram at `node` (the §2.2.1 silent
+/// UD drop).
+fn observe_unmatched(runtime: &VerbsRuntime, node: crate::NodeId, at: SimTime) {
+    runtime.rt_obs.ud_unmatched.inc();
+    runtime
+        .rt_obs
+        .obs
+        .recorder
+        .event(node as u32, HW_TRACK, at.as_nanos(), EventKind::UdDrop, 1);
+}
+
+/// Delivery event: an inbound Send arrives at `dest`. `posted_ns` is the
+/// virtual time the sender posted the work request, for the end-to-end
+/// message-latency histogram.
+#[allow(clippy::too_many_arguments)]
 fn deliver_send(
     runtime: Arc<VerbsRuntime>,
     dest: AddressHandle,
@@ -721,17 +775,18 @@ fn deliver_send(
     src: AddressHandle,
     sender_ctx: Option<(CompletionQueue, u64)>,
     attempt: u32,
+    posted_ns: u64,
 ) {
     let now = runtime.kernel().now();
     let reliable = sender_ctx.is_some();
     let Some(qp) = runtime.lookup_qp(dest.node, dest.qpn) else {
         // Unknown QP: UD drops; RC would eventually retry out. Treat both as
         // a drop with a counter.
-        runtime.stats.lock().ud_unmatched += 1;
+        observe_unmatched(&runtime, dest.node, now);
         return;
     };
     if *qp.state.lock() < QpState::ReadyToReceive {
-        runtime.stats.lock().ud_unmatched += 1;
+        observe_unmatched(&runtime, dest.node, now);
         return;
     }
     let nic_done = runtime.nic(dest.node).process(
@@ -763,6 +818,15 @@ fn deliver_send(
             rwr.mr
                 .write(rwr.offset, &payload)
                 .expect("receive buffer bounds checked at post time");
+            runtime
+                .rt_obs
+                .obs
+                .metrics
+                .histogram(
+                    names::VERBS_MSG_LATENCY_NS,
+                    Labels::node(dest.node as u32),
+                )
+                .record(now.as_nanos().saturating_sub(posted_ns));
             let completion = Completion {
                 wr_id: rwr.wr_id,
                 status: WcStatus::Success,
@@ -798,7 +862,7 @@ fn deliver_send(
         None => {
             if !reliable {
                 // §2.2.1: an unmatched Send on UD is dropped.
-                runtime.stats.lock().ud_unmatched += 1;
+                observe_unmatched(&runtime, dest.node, now);
                 return;
             }
             if attempt >= RNR_RETRY_LIMIT {
@@ -819,11 +883,18 @@ fn deliver_send(
                 return;
             }
             // Receiver not ready: the hardware retries after a delay.
-            runtime.stats.lock().rnr_retries += 1;
+            runtime.rt_obs.rnr_retries.inc();
+            runtime.rt_obs.obs.recorder.event(
+                dest.node as u32,
+                HW_TRACK,
+                now.as_nanos(),
+                EventKind::RnrRetry,
+                attempt as u64 + 1,
+            );
             let retry_at = now + RNR_RETRY_DELAY;
             let rt = runtime.clone();
             runtime.kernel().schedule(retry_at, move || {
-                deliver_send(rt, dest, payload, imm, src, sender_ctx, attempt + 1);
+                deliver_send(rt, dest, payload, imm, src, sender_ctx, attempt + 1, posted_ns);
             });
         }
     }

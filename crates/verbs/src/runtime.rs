@@ -13,6 +13,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rshuffle_obs::{names, Counter, EventKind, Labels, Obs, HW_TRACK};
 use rshuffle_simnet::{Cluster, DeviceProfile, Kernel, NicModel, SimContext, SimDuration};
 
 use crate::cq::CompletionQueue;
@@ -51,7 +52,13 @@ impl Default for FaultConfig {
     }
 }
 
-/// Counters for events that the application cannot observe directly.
+/// Legacy snapshot of events the application cannot observe directly.
+///
+/// Since the unified observability layer landed this is a *view* built
+/// from the shared [`rshuffle_obs::MetricsRegistry`] (series
+/// `verbs.ud_dropped_in_network`, `verbs.ud_unmatched`,
+/// `verbs.rnr_retries`, `verbs.ud_reordered`); the runtime keeps no
+/// private counters.
 #[derive(Clone, Debug, Default)]
 pub struct RuntimeStats {
     /// UD datagrams lost by fault injection.
@@ -64,6 +71,27 @@ pub struct RuntimeStats {
     pub ud_reordered: u64,
 }
 
+/// Cached registry handles for the delivery hot paths.
+pub(crate) struct RtObs {
+    pub(crate) obs: Arc<Obs>,
+    pub(crate) ud_dropped: Arc<Counter>,
+    pub(crate) ud_unmatched: Arc<Counter>,
+    pub(crate) rnr_retries: Arc<Counter>,
+    pub(crate) ud_reordered: Arc<Counter>,
+}
+
+impl RtObs {
+    fn new(obs: Arc<Obs>) -> Self {
+        RtObs {
+            ud_dropped: obs.metrics.counter(names::VERBS_UD_DROPPED, Labels::GLOBAL),
+            ud_unmatched: obs.metrics.counter(names::VERBS_UD_UNMATCHED, Labels::GLOBAL),
+            rnr_retries: obs.metrics.counter(names::VERBS_RNR_RETRIES, Labels::GLOBAL),
+            ud_reordered: obs.metrics.counter(names::VERBS_UD_REORDERED, Labels::GLOBAL),
+            obs,
+        }
+    }
+}
+
 /// Cluster-wide verbs state. One per simulated cluster.
 pub struct VerbsRuntime {
     cluster: Cluster,
@@ -73,7 +101,7 @@ pub struct VerbsRuntime {
     next_rkey: AtomicU32,
     pub(crate) rng: Mutex<StdRng>,
     pub(crate) faults: FaultConfig,
-    pub(crate) stats: Mutex<RuntimeStats>,
+    pub(crate) rt_obs: RtObs,
     /// Currently registered bytes per node.
     registered: Mutex<Vec<usize>>,
     /// High-water mark of registered bytes per node (Figure 9b).
@@ -90,6 +118,7 @@ impl VerbsRuntime {
     /// Creates a runtime with explicit fault-injection configuration.
     pub fn with_faults(cluster: Cluster, faults: FaultConfig) -> Arc<Self> {
         let nodes = cluster.nodes();
+        let rt_obs = RtObs::new(cluster.obs().clone());
         Arc::new(VerbsRuntime {
             cluster,
             qps: Mutex::new(HashMap::new()),
@@ -98,7 +127,7 @@ impl VerbsRuntime {
             next_rkey: AtomicU32::new(1),
             rng: Mutex::new(StdRng::seed_from_u64(faults.seed)),
             faults,
-            stats: Mutex::new(RuntimeStats::default()),
+            rt_obs,
             registered: Mutex::new(vec![0; nodes]),
             registered_peak: Mutex::new(vec![0; nodes]),
         })
@@ -133,9 +162,20 @@ impl VerbsRuntime {
         }
     }
 
-    /// Snapshot of the runtime's fault/delivery counters.
+    /// The shared observability context.
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.rt_obs.obs
+    }
+
+    /// Snapshot of the runtime's fault/delivery counters (view over the
+    /// unified registry).
     pub fn stats(&self) -> RuntimeStats {
-        self.stats.lock().clone()
+        RuntimeStats {
+            ud_dropped_in_network: self.rt_obs.ud_dropped.get(),
+            ud_unmatched: self.rt_obs.ud_unmatched.get(),
+            rnr_retries: self.rt_obs.rnr_retries.get(),
+            ud_reordered: self.rt_obs.ud_reordered.get(),
+        }
     }
 
     /// Currently registered bytes on `node`.
@@ -156,12 +196,20 @@ impl VerbsRuntime {
         self.mrs.lock().get(&rkey).cloned()
     }
 
-    /// Samples the UD delivery fate: `None` if the datagram is dropped,
-    /// otherwise the reordering jitter to apply.
-    pub(crate) fn sample_ud_fate(&self) -> Option<SimDuration> {
+    /// Samples the UD delivery fate for a datagram sent from `node`:
+    /// `None` if the datagram is dropped, otherwise the reordering
+    /// jitter to apply.
+    pub(crate) fn sample_ud_fate(&self, node: NodeId) -> Option<SimDuration> {
         let mut rng = self.rng.lock();
         if self.faults.ud_drop_probability > 0.0 && rng.gen_bool(self.faults.ud_drop_probability) {
-            self.stats.lock().ud_dropped_in_network += 1;
+            self.rt_obs.ud_dropped.inc();
+            self.rt_obs.obs.recorder.event(
+                node as u32,
+                HW_TRACK,
+                self.kernel().now().as_nanos(),
+                EventKind::UdDrop,
+                0,
+            );
             return None;
         }
         if self.faults.ud_reorder_probability > 0.0
@@ -170,7 +218,14 @@ impl VerbsRuntime {
             let window = self.faults.ud_reorder_window.as_nanos();
             if window > 0 {
                 let jitter = rng.gen_range(0..=window);
-                self.stats.lock().ud_reordered += 1;
+                self.rt_obs.ud_reordered.inc();
+                self.rt_obs.obs.recorder.event(
+                    node as u32,
+                    HW_TRACK,
+                    self.kernel().now().as_nanos(),
+                    EventKind::UdReordered,
+                    jitter,
+                );
                 return Some(SimDuration::from_nanos(jitter));
             }
         }
@@ -299,7 +354,7 @@ mod tests {
             f.seed = seed;
             f.ud_drop_probability = 0.3;
             let rt = VerbsRuntime::with_faults(Cluster::new(2, DeviceProfile::edr()), f);
-            (0..64).map(|_| rt.sample_ud_fate()).collect::<Vec<_>>()
+            (0..64).map(|_| rt.sample_ud_fate(0)).collect::<Vec<_>>()
         };
         assert_eq!(sample(7), sample(7));
         assert_ne!(sample(7), sample(8));
@@ -313,7 +368,7 @@ mod tests {
         };
         let rt = VerbsRuntime::with_faults(Cluster::new(2, DeviceProfile::edr()), f);
         for _ in 0..16 {
-            assert!(rt.sample_ud_fate().is_none());
+            assert!(rt.sample_ud_fate(0).is_none());
         }
         assert_eq!(rt.stats().ud_dropped_in_network, 16);
     }

@@ -1,0 +1,120 @@
+//! Tier-1 determinism tests for the observability layer: the same
+//! configuration must produce byte-identical metrics snapshots and
+//! Chrome traces, for every shuffle algorithm. This is the contract
+//! that makes flight-recorder diffs meaningful: any divergence between
+//! two runs is a real behavioural difference, never scheduler noise.
+
+use std::sync::Arc;
+
+use rshuffle_repro::engine::{drive_to_sink, Generator};
+use rshuffle_repro::rshuffle::{
+    CostModel, Exchange, ExchangeConfig, ReceiveOperator, ShuffleAlgorithm, ShuffleOperator,
+};
+use rshuffle_repro::simnet::{Cluster, DeviceProfile};
+use rshuffle_repro::verbs::{FaultConfig, VerbsRuntime};
+
+/// Runs a small repartition and returns the serialized observability
+/// artifacts: (metrics snapshot JSON, Chrome-trace JSON).
+fn run_observed(algorithm: ShuffleAlgorithm) -> (String, String) {
+    let nodes = 2;
+    let threads = 2;
+    let rows_per_thread = 2_000;
+    let cluster = Cluster::new(nodes, DeviceProfile::edr());
+    // Fault injection exercises the RNG-dependent paths (UD reorder),
+    // which is exactly where nondeterminism would sneak in.
+    let runtime = VerbsRuntime::with_faults(
+        cluster,
+        FaultConfig {
+            ud_reorder_probability: 0.1,
+            ..FaultConfig::default()
+        },
+    );
+    let config = ExchangeConfig::repartition(algorithm, nodes, threads);
+    let exchange = Exchange::build(&runtime, &config).expect("exchange builds");
+    let cost = CostModel::from_profile(runtime.profile());
+    let mut stats = Vec::new();
+    for node in 0..nodes {
+        let source = Arc::new(Generator::new(rows_per_thread, threads, node as u64));
+        let shuffle = Arc::new(ShuffleOperator::with_lanes(
+            source,
+            exchange.send[node].clone(),
+            exchange.groups[node].clone(),
+            threads,
+            cost.clone(),
+        ));
+        stats.push(drive_to_sink(
+            runtime.cluster(),
+            node,
+            &format!("s{node}"),
+            shuffle,
+            threads,
+            |_, _| {},
+        ));
+        let receive = Arc::new(ReceiveOperator::with_lanes(
+            exchange.recv[node].clone(),
+            16,
+            2048,
+            threads,
+            cost.clone(),
+        ));
+        stats.push(drive_to_sink(
+            runtime.cluster(),
+            node,
+            &format!("r{node}"),
+            receive,
+            threads,
+            |_, _| {},
+        ));
+    }
+    runtime.cluster().run();
+    for s in &stats {
+        assert!(
+            s.lock().errors.is_empty(),
+            "{algorithm}: worker errors: {:?}",
+            s.lock().errors
+        );
+    }
+    let obs = runtime.obs();
+    (obs.snapshot_json(), obs.chrome_trace_json())
+}
+
+#[test]
+fn snapshots_and_traces_are_deterministic_for_every_algorithm() {
+    for algorithm in ShuffleAlgorithm::ALL {
+        let (snap_a, trace_a) = run_observed(algorithm);
+        let (snap_b, trace_b) = run_observed(algorithm);
+        assert_eq!(
+            snap_a, snap_b,
+            "{algorithm}: same-seed runs must produce byte-identical metrics snapshots"
+        );
+        assert_eq!(
+            trace_a, trace_b,
+            "{algorithm}: same-seed runs must produce byte-identical Chrome traces"
+        );
+    }
+}
+
+#[test]
+fn snapshot_covers_required_series() {
+    // One representative SR run must surface the headline metrics the
+    // paper's figures are built from.
+    let (snap, trace) = run_observed(ShuffleAlgorithm::MESQ_SR);
+    for name in [
+        "endpoint.bytes_sent",
+        "endpoint.messages_sent",
+        "endpoint.bytes_received",
+        "endpoint.credit_stalls",
+        "nic.work_requests",
+        "nic.qp_cache_hits",
+        "verbs.msg_latency_ns",
+        "engine.rows",
+    ] {
+        assert!(snap.contains(name), "snapshot missing series {name:?}");
+    }
+    // The trace must be a Chrome-trace array with the mandatory keys.
+    assert!(trace.trim_start().starts_with('['));
+    assert!(trace.trim_end().ends_with(']'));
+    for key in ["\"name\"", "\"ph\"", "\"ts\"", "\"pid\"", "\"tid\""] {
+        assert!(trace.contains(key), "trace missing key {key}");
+    }
+}

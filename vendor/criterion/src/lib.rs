@@ -1,0 +1,180 @@
+//! Offline drop-in subset of the `criterion` crate.
+//!
+//! Implements enough of criterion's API for the workspace's benches to
+//! compile and produce useful (if statistically naive) numbers: each
+//! `bench_function` runs the closure for a fixed number of timed samples
+//! and prints mean ns/iter. There is no warm-up modelling, outlier
+//! rejection, or plotting.
+
+use std::time::Instant;
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group (printed, not analyzed).
+#[derive(Copy, Clone, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(name, None, self.sample_size, &mut f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        run_one(&full, self.throughput, self.criterion.sample_size, &mut f);
+        self
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to the benchmark closure; `iter` times the hot path.
+pub struct Bencher {
+    samples: usize,
+    total_nanos: u128,
+    total_iters: u64,
+}
+
+impl Bencher {
+    /// Times `f` over a fixed number of samples and accumulates elapsed
+    /// wall-clock time.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // One untimed call to page in code and data.
+        black_box(f());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            self.total_nanos += start.elapsed().as_nanos();
+            self.total_iters += 1;
+        }
+    }
+}
+
+fn run_one(
+    name: &str,
+    throughput: Option<Throughput>,
+    samples: usize,
+    f: &mut impl FnMut(&mut Bencher),
+) {
+    let mut b = Bencher {
+        samples,
+        total_nanos: 0,
+        total_iters: 0,
+    };
+    f(&mut b);
+    let per_iter = b.total_nanos as f64 / b.total_iters.max(1) as f64;
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!("  {:.1} Melem/s", n as f64 / per_iter * 1e3),
+        Throughput::Bytes(n) => format!("  {:.1} MiB/s", n as f64 / per_iter * 1e9 / 1048576.0),
+    });
+    println!(
+        "bench {name:<40} {per_iter:>12.0} ns/iter{}",
+        rate.unwrap_or_default()
+    );
+}
+
+/// Declares a benchmark group function, in either criterion form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),* $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)*
+        }
+    };
+    ($name:ident, $($target:path),* $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),*
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),* $(,)?) => {
+        fn main() {
+            $($group();)*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_times_the_closure() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0u32;
+        c.bench_function("noop", |b| b.iter(|| runs += 1));
+        // 1 warm-up + 3 samples.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn groups_run_and_finish() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Bytes(1024));
+        let mut hits = 0u32;
+        g.bench_function("f", |b| b.iter(|| hits += 1));
+        g.finish();
+        assert_eq!(hits, 3);
+    }
+}

@@ -1,0 +1,278 @@
+//! Offline drop-in subset of the `proptest` crate.
+//!
+//! Supports the surface this workspace uses: the `proptest!` macro over
+//! `#[test]` functions with `arg in strategy` bindings, `any::<T>()` for
+//! the integer types / bool / byte arrays, integer range strategies, and
+//! `prop::collection::vec`. Sampling is purely random (no shrinking) and
+//! fully deterministic: the RNG seed is derived from the test's name, so
+//! every run explores the same cases. `prop_assert*` map to the standard
+//! `assert*` macros.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Cases sampled per property.
+pub const CASES: usize = 64;
+
+/// Deterministic test RNG (splitmix64), seeded from the test name.
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Creates an RNG whose stream is a pure function of `name`.
+    pub fn deterministic(name: &str) -> Self {
+        // FNV-1a over the test name: stable across runs and platforms.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(h)
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// A source of sampled values.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+    /// Samples one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Types with a canonical "anything goes" strategy.
+pub trait Arbitrary {
+    /// Samples an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        std::array::from_fn(|_| T::arbitrary(rng))
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+/// The canonical strategy for `T`: any representable value.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (self.start as i128, self.end as i128);
+                assert!(lo < hi, "empty range strategy");
+                (lo + (rng.next_u64() as u128 % (hi - lo) as u128) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u128 + 1;
+                let off = if span > u64::MAX as u128 {
+                    rng.next_u64() as u128
+                } else {
+                    rng.next_u64() as u128 % span
+                };
+                (lo + off as i128) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Combinator namespace mirroring `proptest::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use std::ops::{Range, RangeInclusive};
+
+        /// A vector-length range, as real proptest's `SizeRange`:
+        /// anything integer-range-like converts into it.
+        #[derive(Copy, Clone, Debug)]
+        pub struct SizeRange {
+            lo: usize,
+            hi_inclusive: usize,
+        }
+
+        macro_rules! impl_size_from {
+            ($($t:ty),*) => {$(
+                impl From<Range<$t>> for SizeRange {
+                    fn from(r: Range<$t>) -> SizeRange {
+                        assert!(r.start < r.end, "empty size range");
+                        SizeRange {
+                            lo: r.start as usize,
+                            hi_inclusive: r.end as usize - 1,
+                        }
+                    }
+                }
+                impl From<RangeInclusive<$t>> for SizeRange {
+                    fn from(r: RangeInclusive<$t>) -> SizeRange {
+                        assert!(r.start() <= r.end(), "empty size range");
+                        SizeRange {
+                            lo: *r.start() as usize,
+                            hi_inclusive: *r.end() as usize,
+                        }
+                    }
+                }
+                impl From<$t> for SizeRange {
+                    fn from(n: $t) -> SizeRange {
+                        SizeRange { lo: n as usize, hi_inclusive: n as usize }
+                    }
+                }
+            )*};
+        }
+        impl_size_from!(usize, u32, i32);
+
+        /// Strategy producing `Vec`s of sampled elements.
+        pub struct VecStrategy<E> {
+            element: E,
+            size: SizeRange,
+        }
+
+        /// Produces vectors whose length is sampled uniformly from
+        /// `size` and whose elements are sampled from `element`.
+        pub fn vec<E, S>(element: E, size: S) -> VecStrategy<E>
+        where
+            E: Strategy,
+            S: Into<SizeRange>,
+        {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        impl<E> Strategy for VecStrategy<E>
+        where
+            E: Strategy,
+        {
+            type Value = Vec<E::Value>;
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let span = (self.size.hi_inclusive - self.size.lo) as u64 + 1;
+                let len = self.size.lo + (rng.next_u64() % span) as usize;
+                (0..len).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Everything a `use proptest::prelude::*;` site expects.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{Arbitrary, Strategy, TestRng};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...)` becomes a
+/// `#[test]` that samples [`CASES`] deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let mut rng = $crate::TestRng::deterministic(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for _case in 0..$crate::CASES {
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)*
+                $body
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        /// The macro samples every binding and runs the body.
+        #[test]
+        fn bindings_are_in_range(x in 3u32..10, y in 0i64..=5, v in prop::collection::vec(any::<u8>(), 0..4)) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((0..=5).contains(&y));
+            prop_assert!(v.len() < 4);
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = TestRng::deterministic("x");
+        let mut b = TestRng::deterministic("x");
+        let mut c = TestRng::deterministic("y");
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn arrays_sample_all_lanes() {
+        let mut rng = TestRng::deterministic("arr");
+        let a: [u8; 8] = Arbitrary::arbitrary(&mut rng);
+        let b: [u8; 8] = Arbitrary::arbitrary(&mut rng);
+        assert_ne!(a, b, "consecutive samples should differ");
+    }
+}

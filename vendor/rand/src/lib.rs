@@ -1,0 +1,218 @@
+//! Offline drop-in subset of the `rand` crate (0.8 API surface).
+//!
+//! Provides exactly what this workspace uses: [`rngs::StdRng`] seeded via
+//! [`SeedableRng::seed_from_u64`], and the [`Rng`] extension methods
+//! `gen_range` (over `Range`/`RangeInclusive` of the integer types) and
+//! `gen_bool`. The generator is xoshiro256**, which is deterministic,
+//! fast and statistically solid; streams differ from upstream `rand`, but
+//! nothing in the workspace depends on upstream's exact byte streams —
+//! only on per-seed determinism.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A low-level source of randomness.
+pub trait RngCore {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// An RNG that can be reproducibly seeded.
+pub trait SeedableRng: Sized {
+    /// Creates an RNG from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing convenience methods, auto-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a uniform value in `range` (half-open or inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} out of range");
+        // 53 uniform mantissa bits in [0, 1); strictly below 1.0, so p = 1.0
+        // always fires and p = 0.0 never does.
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Integer types that [`Rng::gen_range`] can sample uniformly.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// `self` as a signed 128-bit value (wide enough for every int type).
+    fn to_i128(self) -> i128;
+    /// Converts back from the widened representation.
+    fn from_i128(v: i128) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn to_i128(self) -> i128 {
+                self as i128
+            }
+            fn from_i128(v: i128) -> Self {
+                v as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Samples one value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+fn sample_span<R: RngCore + ?Sized, T: SampleUniform>(rng: &mut R, lo: i128, span: u128) -> T {
+    // Modulo bias is ≤ span/2^64, far below anything the simulator can
+    // observe; determinism is what matters here.
+    let off = if span == 0 {
+        // Degenerate: the full 2^64-wide inclusive range of a 64-bit type.
+        rng.next_u64() as u128
+    } else {
+        rng.next_u64() as u128 % span
+    };
+    T::from_i128(lo + off as i128)
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = (self.start.to_i128(), self.end.to_i128());
+        assert!(lo < hi, "gen_range: empty range");
+        sample_span(rng, lo, (hi - lo) as u128)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = (self.start().to_i128(), self.end().to_i128());
+        assert!(lo <= hi, "gen_range: empty range");
+        let span = (hi - lo) as u128 + 1;
+        sample_span(rng, lo, if span > u64::MAX as u128 { 0 } else { span })
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic RNG (xoshiro256**).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // Expand the seed through splitmix64, as the xoshiro authors
+            // recommend, so nearby seeds yield unrelated states.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1]
+                .wrapping_mul(5)
+                .rotate_left(7)
+                .wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        let d: Vec<u64> = (0..16).map(|_| c.gen_range(0..u64::MAX)).collect();
+        let mut a2 = StdRng::seed_from_u64(42);
+        let e: Vec<u64> = (0..16).map(|_| a2.gen_range(0..u64::MAX)).collect();
+        assert_ne!(d, e, "different seeds diverge");
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10u32..20);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&w));
+            let u = rng.gen_range(0..5u8);
+            assert!(u < 5);
+        }
+    }
+
+    #[test]
+    fn degenerate_and_extreme_probabilities() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..64 {
+            assert!(rng.gen_bool(1.0));
+            assert!(!rng.gen_bool(0.0));
+            assert_eq!(rng.gen_range(3u8..4), 3, "single-value range");
+        }
+        // gen_bool(p) hits roughly p of the time.
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn full_u64_inclusive_range_works() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut distinct = std::collections::HashSet::new();
+        for _ in 0..32 {
+            distinct.insert(rng.gen_range(0u64..=u64::MAX));
+        }
+        assert!(distinct.len() > 16, "full-range sampling must vary");
+    }
+}

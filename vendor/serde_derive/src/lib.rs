@@ -1,0 +1,185 @@
+//! `#[derive(Serialize)]` for the vendored serde stub.
+//!
+//! Written against `proc_macro` alone (no `syn`/`quote`, which are not
+//! available offline): the input token stream is walked by hand. Supported
+//! shapes — structs with named fields, and enums whose variants are all
+//! unit variants (serialized as their name string). Anything fancier
+//! (generics, tuple structs, data-carrying variants) produces a
+//! `compile_error!` pointing here.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match generate(input) {
+        Ok(ts) => ts,
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+fn generate(input: TokenStream) -> Result<TokenStream, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "derive(Serialize) stub does not support generics on `{name}`"
+        ));
+    }
+
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        _ => {
+            return Err(format!(
+                "derive(Serialize) stub supports only brace-bodied `{kind} {name}`"
+            ))
+        }
+    };
+
+    match kind.as_str() {
+        "struct" => {
+            let fields = named_fields(body)?;
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(String::from({f:?}), ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            Ok(format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+            .parse()
+            .unwrap())
+        }
+        "enum" => {
+            let variants = unit_variants(body)?;
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => ::serde::Value::Str(String::from({v:?})),"))
+                .collect();
+            Ok(format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+            .parse()
+            .unwrap())
+        }
+        other => Err(format!("cannot derive Serialize for `{other}`")),
+    }
+}
+
+/// Extracts field names from a struct body: skips attributes and `pub`,
+/// takes the identifier before each top-level `:`, then skips the type
+/// (angle-bracket depth tracked) up to the next top-level `,`.
+fn named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            TokenTree::Ident(id) => {
+                let field = id.to_string();
+                i += 1;
+                match tokens.get(i) {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+                    _ => return Err(format!("expected `:` after field `{field}`")),
+                }
+                fields.push(field);
+                // Skip the type up to the next comma outside angle brackets.
+                let mut depth = 0i32;
+                while i < tokens.len() {
+                    match &tokens[i] {
+                        TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                            i += 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+            }
+            other => return Err(format!("unexpected token in struct body: {other:?}")),
+        }
+    }
+    Ok(fields)
+}
+
+/// Extracts variant names from an enum body, requiring every variant to be
+/// a unit variant (no payload, no discriminant expression beyond `= <int>`).
+fn unit_variants(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) => {
+                variants.push(id.to_string());
+                i += 1;
+                match tokens.get(i) {
+                    None => break,
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+                    Some(TokenTree::Group(_)) => {
+                        return Err(format!(
+                            "derive(Serialize) stub supports only unit variants; \
+                             `{}` carries data",
+                            variants.last().unwrap()
+                        ))
+                    }
+                    Some(other) => {
+                        return Err(format!("unexpected token after variant: {other:?}"))
+                    }
+                }
+            }
+            other => return Err(format!("unexpected token in enum body: {other:?}")),
+        }
+    }
+    Ok(variants)
+}

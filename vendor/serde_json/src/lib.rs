@@ -1,0 +1,178 @@
+//! Offline drop-in subset of `serde_json`: serializes the vendored
+//! [`serde::Value`] tree to JSON text. Output is deterministic — object
+//! keys keep insertion order, floats render via Rust's shortest-roundtrip
+//! formatting, and non-finite floats become `null` (matching real
+//! serde_json's lossy behaviour for JSON).
+
+use std::fmt;
+
+pub use serde::Value;
+
+/// Serialization error. The stub's serializer is infallible in practice;
+/// the type exists so call sites match real serde_json's signatures.
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("JSON serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Serializes `value` to a compact JSON string.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` to a pretty-printed (two-space indented) JSON string.
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, level: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => {
+            if f.is_finite() {
+                let s = format!("{f}");
+                out.push_str(&s);
+                // `{}` prints integral floats without a fraction ("1"),
+                // which is still a valid JSON number; keep it as-is.
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            write_seq(out, indent, level, '[', ']', items.iter(), |out, item, lvl| {
+                write_value(out, item, indent, lvl)
+            });
+        }
+        Value::Object(entries) => {
+            write_seq(
+                out,
+                indent,
+                level,
+                '{',
+                '}',
+                entries.iter(),
+                |out, (k, val), lvl| {
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    write_value(out, val, indent, lvl);
+                },
+            );
+        }
+    }
+}
+
+fn write_seq<I, T>(
+    out: &mut String,
+    indent: Option<usize>,
+    level: usize,
+    open: char,
+    close: char,
+    items: I,
+    mut write_item: impl FnMut(&mut String, T, usize),
+) where
+    I: ExactSizeIterator<Item = T>,
+{
+    out.push(open);
+    if items.len() == 0 {
+        out.push(close);
+        return;
+    }
+    let inner = level + 1;
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * inner));
+        }
+        write_item(out, item, inner);
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(width * level));
+    }
+    out.push(close);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_round_trip_shapes() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::UInt(1)),
+            ("b".into(), Value::Array(vec![Value::Int(-2), Value::Null])),
+            ("c".into(), Value::Str("x\"y".into())),
+        ]);
+        assert_eq!(to_string(&v).unwrap(), r#"{"a":1,"b":[-2,null],"c":"x\"y"}"#);
+    }
+
+    #[test]
+    fn pretty_indents_nested_structures() {
+        let v = Value::Object(vec![("k".into(), Value::Array(vec![Value::Bool(true)]))]);
+        assert_eq!(
+            to_string_pretty(&v).unwrap(),
+            "{\n  \"k\": [\n    true\n  ]\n}"
+        );
+    }
+
+    #[test]
+    fn empty_containers_stay_compact() {
+        assert_eq!(to_string_pretty(&Value::Array(vec![])).unwrap(), "[]");
+        assert_eq!(to_string_pretty(&Value::Object(vec![])).unwrap(), "{}");
+    }
+
+    #[test]
+    fn floats_and_control_chars() {
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(to_string(&"\u{1}").unwrap(), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn u64_max_survives() {
+        assert_eq!(to_string(&u64::MAX).unwrap(), u64::MAX.to_string());
+    }
+}
