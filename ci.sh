@@ -9,3 +9,8 @@ CARGO_FLAGS=${CARGO_FLAGS:-}
 cargo build --release $CARGO_FLAGS
 cargo test -q $CARGO_FLAGS
 cargo clippy --workspace $CARGO_FLAGS -- -D warnings
+
+# Chaos smoke: one composite fault plan (link flap + straggler + QP failure
+# + UD loss burst) across all six algorithms; fails unless every query
+# recovers with exactly-once row delivery.
+cargo run -q --release -p rshuffle-bench --bin chaos $CARGO_FLAGS -- --smoke

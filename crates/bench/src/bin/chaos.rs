@@ -1,0 +1,137 @@
+//! Chaos benchmark: runs every shuffle algorithm under a matrix of seeded
+//! fault plans through the query-restart orchestrator and reports restart
+//! counts, recovery latency, and delivered-row verification.
+//!
+//! Usage: `chaos [--smoke]`. `--smoke` runs a single composite fault plan
+//! across all six algorithms (the CI gate); the default runs the full
+//! plan matrix.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rshuffle::{ExchangeConfig, Operator, ShuffleAlgorithm};
+use rshuffle_engine::ops::Generator;
+use rshuffle_engine::restart::{run_shuffle_with_restart, RestartPolicy};
+use rshuffle_simnet::{DeviceProfile, SimDuration};
+use rshuffle_verbs::{FaultConfig, FaultPlan};
+
+const NODES: usize = 3;
+const THREADS: usize = 2;
+const ROWS_PER_THREAD: usize = 2000;
+const ROW: usize = 16;
+
+fn us(v: u64) -> SimDuration {
+    SimDuration::from_micros(v)
+}
+
+fn fault_matrix() -> Vec<(&'static str, FaultPlan)> {
+    vec![
+        ("none", FaultPlan::new()),
+        ("link-flap", FaultPlan::new().link_flap(1, us(10), us(150))),
+        (
+            "link-degrade",
+            FaultPlan::new().link_degrade(1, us(5), us(400), 0.25, us(2)),
+        ),
+        (
+            "straggler",
+            FaultPlan::new().straggler(2, us(5), us(500), 4.0),
+        ),
+        (
+            "receiver-pause",
+            FaultPlan::new().receiver_pause(1, us(10), us(300)),
+        ),
+        ("qp-failure", FaultPlan::new().qp_failure(1, us(20))),
+        (
+            "ud-loss-burst",
+            FaultPlan::new().ud_loss_burst(0, us(10), us(120), 1.0),
+        ),
+    ]
+}
+
+fn composite_plan() -> (&'static str, FaultPlan) {
+    (
+        "composite",
+        FaultPlan::new()
+            .link_flap(1, us(10), us(150))
+            .straggler(2, us(5), us(500), 4.0)
+            .qp_failure(1, us(20))
+            .ud_loss_burst(0, us(10), us(120), 1.0),
+    )
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let plans = if smoke {
+        vec![composite_plan()]
+    } else {
+        fault_matrix()
+    };
+    let expected_rows = (NODES * THREADS * ROWS_PER_THREAD) as u64;
+    println!(
+        "{:<15} {:<10} {:>9} {:>9} {:>13} {:>12}  outcome",
+        "plan", "algorithm", "restarts", "rows", "recovery(µs)", "virtual(µs)"
+    );
+    let mut failures = 0u32;
+    for (plan_name, plan) in &plans {
+        for algorithm in ShuffleAlgorithm::ALL {
+            let mut config = ExchangeConfig::repartition(algorithm, NODES, THREADS);
+            config.message_size = 4096;
+            config.stall_timeout = SimDuration::from_millis(2);
+            config.depleted_timeout = us(500);
+            config.faults = FaultConfig {
+                seed: 42,
+                plan: plan.clone(),
+                ..FaultConfig::default()
+            };
+            let runtime = config.build_runtime(DeviceProfile::edr());
+            let delivered: Arc<Mutex<HashMap<u32, u64>>> = Arc::new(Mutex::new(HashMap::new()));
+            let d = delivered.clone();
+            let report = run_shuffle_with_restart(
+                &runtime,
+                &config,
+                RestartPolicy {
+                    max_restarts: 6,
+                    initial_backoff: us(50),
+                    max_backoff: SimDuration::from_millis(1),
+                },
+                ROW,
+                |_, node| {
+                    Arc::new(Generator::new(ROWS_PER_THREAD, THREADS, node as u64))
+                        as Arc<dyn Operator>
+                },
+                move |attempt, _, _, batch| {
+                    *d.lock().entry(attempt).or_default() += batch.rows() as u64;
+                },
+            );
+            runtime.cluster().run();
+            let rep = report.lock().clone();
+            let winning = delivered.lock().get(&rep.restarts).copied().unwrap_or(0);
+            let ok = rep.succeeded() && winning == expected_rows;
+            if !ok {
+                failures += 1;
+            }
+            let outcome = match &rep.failure {
+                None if winning == expected_rows => "ok".to_string(),
+                None => format!("ROW MISMATCH ({winning}/{expected_rows})"),
+                Some(e) => format!("FAILED: {e}"),
+            };
+            println!(
+                "{:<15} {:<10} {:>9} {:>9} {:>13} {:>12.1}  {}",
+                plan_name,
+                algorithm.to_string(),
+                rep.restarts,
+                rep.rows,
+                rep.recovery
+                    .map(|r| format!("{:.1}", r.as_nanos() as f64 / 1e3))
+                    .unwrap_or_else(|| "-".to_string()),
+                runtime.cluster().kernel().now().as_nanos() as f64 / 1e3,
+                outcome
+            );
+        }
+    }
+    if failures > 0 {
+        eprintln!("chaos: {failures} run(s) failed");
+        std::process::exit(1);
+    }
+}

@@ -180,7 +180,7 @@ impl RdRcSendEndpoint {
     /// Scans the `FreeArr` rings for release notifications; recycles
     /// buffers whose every reader has released them. Returns whether any
     /// notification was consumed.
-    fn scan_free_arr(&self) -> bool {
+    fn scan_free_arr(&self) -> Result<bool> {
         let mut st = self.state.lock();
         let mut progress = false;
         for pi in 0..self.peers.len() {
@@ -196,10 +196,11 @@ impl RdRcSendEndpoint {
                 st.free_cons[pi] += 1;
                 progress = true;
                 let offset = v - 1;
-                let remaining = st
-                    .outstanding
-                    .get_mut(&offset)
-                    .expect("release for unknown buffer");
+                let Some(remaining) = st.outstanding.get_mut(&offset) else {
+                    return Err(ShuffleError::CompletionError(
+                        "FreeArr release for unknown buffer",
+                    ));
+                };
                 *remaining -= 1;
                 if *remaining == 0 {
                     st.outstanding.remove(&offset);
@@ -211,7 +212,7 @@ impl RdRcSendEndpoint {
                 }
             }
         }
-        progress
+        Ok(progress)
     }
 }
 
@@ -304,7 +305,7 @@ impl SendEndpoint for RdRcSendEndpoint {
                     .fetch_add((sim.now() - entered).as_nanos(), Ordering::Relaxed);
                 return Ok(buf);
             }
-            let progress = self.scan_free_arr();
+            let progress = self.scan_free_arr()?;
             self.obs.freearr_poll(sim, progress);
             if progress {
                 continue;
@@ -315,7 +316,7 @@ impl SendEndpoint for RdRcSendEndpoint {
             // Sleep until the next release lands in the FreeArr (early
             // wake), re-scanning on a bounded slice as a safety net.
             self.free_arr.drain_updates();
-            let progress = self.scan_free_arr();
+            let progress = self.scan_free_arr()?;
             self.obs.freearr_poll(sim, progress);
             if progress {
                 continue;
@@ -584,7 +585,11 @@ impl ReceiveEndpoint for RdRcReceiveEndpoint {
                     match c.opcode {
                         WcOpcode::Write => continue, // FreeArr release ack.
                         WcOpcode::Read => {}
-                        _ => unreachable!("unexpected completion on RD endpoint"),
+                        _ => {
+                            return Err(ShuffleError::CompletionError(
+                                "unexpected completion opcode on RD endpoint",
+                            ))
+                        }
                     }
                     let si = (c.wr_id >> 32) as usize;
                     let local_off = (c.wr_id & 0xFFFF_FFFF) as usize;
@@ -627,7 +632,9 @@ impl ReceiveEndpoint for RdRcReceiveEndpoint {
             .ok_or_else(|| ShuffleError::Config(format!("release for unknown source {src:?}")))?;
         let (desc, slot_index) = {
             let mut st = self.state.lock();
-            let desc = st.descriptors[si].expect("descriptor wired");
+            let desc = st.descriptors[si].ok_or_else(|| {
+                ShuffleError::Config(format!("release before descriptor wired for source {si}"))
+            })?;
             let idx = st.free_prod[si] as usize % self.ring_cap;
             st.free_prod[si] += 1;
             (desc, idx)

@@ -200,9 +200,11 @@ impl SrRcSendEndpoint {
             ));
         }
         let mut outstanding = self.outstanding.lock();
-        let remaining = outstanding
-            .get_mut(&c.wr_id)
-            .expect("completion for unknown buffer");
+        let Some(remaining) = outstanding.get_mut(&c.wr_id) else {
+            return Err(ShuffleError::CompletionError(
+                "send completion for unknown buffer",
+            ));
+        };
         *remaining -= 1;
         if *remaining == 0 {
             outstanding.remove(&c.wr_id);

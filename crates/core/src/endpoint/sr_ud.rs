@@ -342,11 +342,9 @@ impl UdShared {
                 "UD receive completed in error",
             ));
         }
-        let pool = self
-            .recv_pool_dynamic
-            .lock()
-            .clone()
-            .expect("receive pool bootstrapped before traffic");
+        let pool = self.recv_pool_dynamic.lock().clone().ok_or(
+            ShuffleError::CompletionError("UD receive before the pool was bootstrapped"),
+        )?;
         let mut buf = Buffer::new(pool, c.wr_id as usize, self.mtu);
         let header = buf.read_header();
         match header.kind {
@@ -539,9 +537,11 @@ impl SendEndpoint for SrUdSendEndpoint {
                 return Err(ShuffleError::CompletionError("UD send failed"));
             }
             let mut outstanding = s.outstanding.lock();
-            let remaining = outstanding
-                .get_mut(&c.wr_id)
-                .expect("completion for unknown buffer");
+            let Some(remaining) = outstanding.get_mut(&c.wr_id) else {
+                return Err(ShuffleError::CompletionError(
+                    "UD send completion for unknown buffer",
+                ));
+            };
             *remaining -= 1;
             if *remaining == 0 {
                 outstanding.remove(&c.wr_id);

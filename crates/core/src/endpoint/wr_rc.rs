@@ -245,10 +245,11 @@ impl WrRcSendEndpoint {
             return Ok(true);
         }
         let mut st = self.state.lock();
-        let remaining = st
-            .outstanding
-            .get_mut(&c.wr_id)
-            .expect("completion for unknown staging buffer");
+        let Some(remaining) = st.outstanding.get_mut(&c.wr_id) else {
+            return Err(ShuffleError::CompletionError(
+                "write completion for unknown staging buffer",
+            ));
+        };
         *remaining -= 1;
         if *remaining == 0 {
             st.outstanding.remove(&c.wr_id);

@@ -11,8 +11,8 @@
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
-use rshuffle_simnet::{NodeId, SimContext};
-use rshuffle_verbs::{ConnectionManager, VerbsRuntime};
+use rshuffle_simnet::{Cluster, DeviceProfile, NodeId, SimContext, SimDuration};
+use rshuffle_verbs::{ConnectionManager, FaultConfig, VerbsRuntime};
 
 use crate::config::{EndpointImpl, EndpointMode, ShuffleAlgorithm};
 use crate::endpoint::rd_rc::{RdRcConfig, RdRcReceiveEndpoint, RdRcSendEndpoint};
@@ -52,6 +52,19 @@ pub struct ExchangeConfig {
     /// [`rshuffle_simnet::DeviceProfile::sq_contention_per_thread`]); the
     /// builder reads it from the runtime's profile.
     pub sq_contention: rshuffle_simnet::SimDuration,
+    /// Stall watchdog applied to every endpoint wait loop: a wait that
+    /// exceeds this virtual-time budget returns a typed
+    /// [`ShuffleError::Stalled`] instead of hanging. Chaos tests shorten
+    /// it so injected faults surface quickly.
+    pub stall_timeout: SimDuration,
+    /// UD designs: how long the send pool may stay fully depleted before
+    /// the endpoint declares datagram loss and fails the query (triggering
+    /// the paper's restart-on-message-loss path, §4.4.2).
+    pub depleted_timeout: SimDuration,
+    /// Fault-injection configuration (flat loss/reorder probabilities plus
+    /// a scheduled [`rshuffle_verbs::FaultPlan`]) consumed by
+    /// [`ExchangeConfig::build_runtime`].
+    pub faults: FaultConfig,
     /// Transmission groups of each node.
     pub groups: Vec<TransmissionGroups>,
 }
@@ -99,8 +112,20 @@ impl ExchangeConfig {
             lanes_override: None,
             ud_native_multicast: false,
             sq_contention: rshuffle_simnet::SimDuration::from_nanos(28),
+            stall_timeout: SimDuration::from_millis(500),
+            depleted_timeout: SimDuration::from_millis(2),
+            faults: FaultConfig::default(),
             groups,
         }
+    }
+
+    /// Builds the simulated cluster and verbs runtime this exchange runs
+    /// over, with the configured fault plan installed on the kernel's
+    /// event queue — the one-stop entry point for chaos tests and the
+    /// chaos benchmark.
+    pub fn build_runtime(&self, profile: DeviceProfile) -> Arc<VerbsRuntime> {
+        let cluster = Cluster::new(self.groups.len(), profile);
+        VerbsRuntime::with_faults(cluster, self.faults.clone())
     }
 
     /// A single-endpoint (SE) configuration serves all `threads` workers
@@ -121,6 +146,7 @@ impl ExchangeConfig {
             buffers_per_peer: self.buffers_per_peer * scale,
             recv_depth_per_peer: self.recv_depth_per_peer * scale,
             credit_writeback_frequency: self.credit_writeback_frequency,
+            stall_timeout: self.stall_timeout,
             ..SrRcConfig::default()
         }
     }
@@ -129,6 +155,7 @@ impl ExchangeConfig {
         RdRcConfig {
             message_size: self.message_size,
             buffers_per_peer: self.buffers_per_peer * self.pool_scale(),
+            stall_timeout: self.stall_timeout,
             ..RdRcConfig::default()
         }
     }
@@ -137,6 +164,7 @@ impl ExchangeConfig {
         WrRcConfig {
             message_size: self.message_size,
             buffers_per_peer: self.buffers_per_peer * self.pool_scale(),
+            stall_timeout: self.stall_timeout,
             ..WrRcConfig::default()
         }
     }
@@ -158,6 +186,8 @@ impl ExchangeConfig {
             credit_writeback_frequency: self.credit_writeback_frequency,
             post_overhead,
             native_multicast: self.ud_native_multicast,
+            stall_timeout: self.stall_timeout,
+            depleted_timeout: self.depleted_timeout,
             ..SrUdConfig::default()
         }
     }

@@ -369,6 +369,7 @@ fn mesq_sr_handles_out_of_order_delivery() {
         ud_reorder_probability: 0.6,
         ud_reorder_window: rshuffle_simnet::SimDuration::from_micros(40),
         seed: 2024,
+        ..FaultConfig::default()
     };
     let (nodes, threads, rows) = (3, 2, 1500);
     let result = run_shuffle(
@@ -397,6 +398,7 @@ fn sesq_sr_handles_out_of_order_delivery() {
         ud_reorder_probability: 0.5,
         ud_reorder_window: rshuffle_simnet::SimDuration::from_micros(25),
         seed: 7,
+        ..FaultConfig::default()
     };
     let (nodes, threads, rows) = (3, 2, 800);
     let result = run_shuffle(

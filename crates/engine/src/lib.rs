@@ -10,15 +10,20 @@
 //! * relational operators: [`MemScan`], [`Generator`], [`Filter`],
 //!   [`Project`], [`HashJoin`], [`HashAggregate`], [`ComputeStage`],
 //! * [`exec`] — fragment drivers that pump pipelines to completion on
-//!   simulated worker threads and report timing.
+//!   simulated worker threads and report timing,
+//! * [`restart`] — a query-restart orchestrator that recovers from
+//!   transient shuffle failures by rebuilding the exchange and re-running
+//!   the query (§4.4.2), with capped virtual-time backoff.
 
 #![warn(missing_docs)]
 
 pub mod exec;
 pub mod ops;
+pub mod restart;
 pub mod table;
 
 pub use exec::{drive_to_sink, FragmentStats};
+pub use restart::{run_shuffle_with_restart, QueryReport, RestartPolicy};
 pub use ops::{
     ComputeStage, Filter, Generator, HashAggregate, HashJoin, HashSemiJoin, MemScan, Project, TopN,
     UnionAll,

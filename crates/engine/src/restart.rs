@@ -1,0 +1,357 @@
+//! Query-restart recovery: the paper's answer to message loss (§4.4.2).
+//!
+//! The shuffling operators never retransmit: when the transport loses data
+//! (UD message loss), a Queue Pair fails, or flow control stops making
+//! progress, every endpoint surfaces a typed [`ShuffleError`] instead of
+//! hanging. This module supplies the layer above that contract — a
+//! coordinator that runs a cluster-wide shuffle as a *query attempt*,
+//! collects every worker's result, and on a restartable error tears the
+//! exchange down and re-runs the query from scratch with capped
+//! exponential backoff (all in virtual time, so recovery latency is
+//! measurable and deterministic).
+//!
+//! Exactly-once delivery holds per *query*, not per attempt: a failed
+//! attempt's partial output is discarded by the caller (the `sink` closure
+//! is told which attempt each batch belongs to), and the winning attempt
+//! replays the source from the beginning.
+//!
+//! Restart bookkeeping lands in the flight recorder (`query_restart` /
+//! `query_recovered` events on the coordinator's track) and the metrics
+//! registry (`engine.restarts`, `engine.recovery_ns`), so chaos traces
+//! show exactly when the query gave up on an attempt and how long the
+//! outage cost.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rshuffle::{
+    CostModel, Exchange, ExchangeConfig, Operator, ReceiveOperator, RowBatch, ShuffleError,
+    ShuffleOperator, StreamState,
+};
+use rshuffle_obs::{names, EventKind, Labels};
+use rshuffle_simnet::{Gate, NodeId, SimContext, SimDuration};
+use rshuffle_verbs::VerbsRuntime;
+
+/// Retry policy for [`run_shuffle_with_restart`].
+#[derive(Clone, Copy, Debug)]
+pub struct RestartPolicy {
+    /// Maximum number of restarts (attempts = restarts + 1).
+    pub max_restarts: u32,
+    /// Backoff before the first restart; doubles per restart.
+    pub initial_backoff: SimDuration,
+    /// Backoff cap.
+    pub max_backoff: SimDuration,
+}
+
+impl Default for RestartPolicy {
+    fn default() -> Self {
+        RestartPolicy {
+            max_restarts: 4,
+            initial_backoff: SimDuration::from_micros(100),
+            max_backoff: SimDuration::from_millis(10),
+        }
+    }
+}
+
+/// Outcome of a restartable query run, readable after `Cluster::run`.
+#[derive(Clone, Debug, Default)]
+pub struct QueryReport {
+    /// Rows delivered to sinks by the successful attempt (0 on failure).
+    pub rows: u64,
+    /// Payload bytes delivered by the successful attempt.
+    pub bytes: u64,
+    /// Restarts performed (0 = first attempt succeeded).
+    pub restarts: u32,
+    /// Virtual time from the first observed failure to successful
+    /// completion; `None` when no attempt failed.
+    pub recovery: Option<SimDuration>,
+    /// The representative error of each failed attempt, in order.
+    pub attempt_errors: Vec<ShuffleError>,
+    /// `Some(e)` when the query gave up (error not restartable, or the
+    /// restart budget was exhausted); `None` on success.
+    pub failure: Option<ShuffleError>,
+}
+
+impl QueryReport {
+    /// True when some attempt delivered the query to completion.
+    pub fn succeeded(&self) -> bool {
+        self.failure.is_none()
+    }
+}
+
+/// Whether an error is worth a fresh attempt. Configuration errors are
+/// deterministic and would fail identically; everything else (message
+/// loss, stalls, completion errors, verbs failures) is transient fabric
+/// state that a rebuilt exchange escapes.
+fn restartable(e: &ShuffleError) -> bool {
+    !matches!(e, ShuffleError::Config(_))
+}
+
+/// Per-worker result of one attempt: rows and bytes delivered to the
+/// sink, or the error that ended the worker.
+type WorkerResult = Result<(u64, u64), ShuffleError>;
+
+/// Shared factory producing the source operator for an (attempt, node).
+type SourceFactory = Arc<dyn Fn(u32, NodeId) -> Arc<dyn Operator> + Send + Sync>;
+
+/// Shared sink receiving every delivered `(attempt, node, tid, batch)`.
+type AttemptSink = Arc<dyn Fn(u32, NodeId, usize, &RowBatch) + Send + Sync>;
+
+/// Per-worker delivery callback, pre-bound to its attempt and node.
+type Deliver = Box<dyn Fn(usize, &RowBatch) + Send + Sync>;
+
+/// Runs a cluster-wide shuffle query under `policy`, restarting on
+/// transient errors.
+///
+/// For every attempt the coordinator (a simulated thread on node 0)
+/// builds a fresh [`Exchange`] from `config`, spawns `config.threads`
+/// send workers pumping `make_source(attempt, node)` through the shuffle
+/// operator and `config.threads` receive workers streaming `row_size`-byte
+/// rows into `sink(attempt, node, tid, batch)` on every node, then blocks
+/// until all workers report. Restartable failures trigger a teardown —
+/// endpoints are dropped, fresh Queue Pairs are built — and a capped
+/// exponential backoff before the next attempt.
+///
+/// The returned report is populated when the simulation completes.
+pub fn run_shuffle_with_restart(
+    runtime: &Arc<VerbsRuntime>,
+    config: &ExchangeConfig,
+    policy: RestartPolicy,
+    row_size: usize,
+    make_source: impl Fn(u32, NodeId) -> Arc<dyn Operator> + Send + Sync + 'static,
+    sink: impl Fn(u32, NodeId, usize, &RowBatch) + Send + Sync + 'static,
+) -> Arc<Mutex<QueryReport>> {
+    let report = Arc::new(Mutex::new(QueryReport::default()));
+    let out = report.clone();
+    let runtime = runtime.clone();
+    let config = config.clone();
+    let make_source: SourceFactory = Arc::new(make_source);
+    let sink: AttemptSink = Arc::new(sink);
+    let cluster = runtime.cluster().clone();
+    let obs = cluster.obs().clone();
+    cluster.clone().spawn(0, "query-coordinator", move |sim| {
+        let cost = CostModel::from_profile(runtime.profile());
+        let restarts_ctr = obs.metrics.counter(names::ENGINE_RESTARTS, Labels::node(0));
+        let recovery_ctr = obs
+            .metrics
+            .counter(names::ENGINE_RECOVERY_NS, Labels::node(0));
+        let mut rep = QueryReport::default();
+        let mut first_failure = None;
+        let mut backoff = policy.initial_backoff;
+        loop {
+            let attempt = rep.restarts;
+            let attempt_started = sim.now();
+            let exchange = match Exchange::build(&runtime, &config) {
+                Ok(ex) => ex,
+                Err(e) => {
+                    rep.failure = Some(e);
+                    break;
+                }
+            };
+            let done: Gate<WorkerResult> = Gate::new(cluster.kernel(), SimDuration::ZERO);
+            let expected = spawn_attempt(
+                &cluster,
+                &exchange,
+                &config,
+                &cost,
+                attempt,
+                row_size,
+                &make_source,
+                &sink,
+                &done,
+            );
+            let mut rows = 0u64;
+            let mut bytes = 0u64;
+            let mut first_err: Option<ShuffleError> = None;
+            for _ in 0..expected {
+                match done.recv(&sim) {
+                    Ok((r, b)) => {
+                        rows += r;
+                        bytes += b;
+                    }
+                    Err(e) => {
+                        if first_err.is_none() {
+                            first_err = Some(e);
+                        }
+                    }
+                }
+            }
+            obs.recorder.span(
+                0,
+                sim.id().track(),
+                &format!("query-attempt:{attempt}"),
+                attempt_started.as_nanos(),
+                sim.now().as_nanos(),
+            );
+            match first_err {
+                None => {
+                    rep.rows = rows;
+                    rep.bytes = bytes;
+                    if let Some(at) = first_failure {
+                        let recovery = sim.now() - at;
+                        rep.recovery = Some(recovery);
+                        recovery_ctr.add(recovery.as_nanos());
+                        obs.recorder.event(
+                            0,
+                            sim.id().track(),
+                            sim.now().as_nanos(),
+                            EventKind::QueryRecovered,
+                            recovery.as_nanos(),
+                        );
+                    }
+                    break;
+                }
+                Some(e) => {
+                    first_failure.get_or_insert(sim.now());
+                    let can_retry = restartable(&e) && rep.restarts < policy.max_restarts;
+                    rep.attempt_errors.push(e.clone());
+                    if !can_retry {
+                        rep.failure = Some(e);
+                        break;
+                    }
+                    rep.restarts += 1;
+                    restarts_ctr.inc();
+                    obs.recorder.event(
+                        0,
+                        sim.id().track(),
+                        sim.now().as_nanos(),
+                        EventKind::QueryRestart,
+                        rep.restarts as u64,
+                    );
+                    sim.sleep(backoff);
+                    backoff = (backoff * 2).min(policy.max_backoff);
+                }
+            }
+        }
+        *out.lock() = rep;
+    });
+    report
+}
+
+/// Spawns all send and receive workers for one attempt; returns how many
+/// results the coordinator must collect from `done`.
+#[allow(clippy::too_many_arguments)]
+fn spawn_attempt(
+    cluster: &rshuffle_simnet::Cluster,
+    exchange: &Exchange,
+    config: &ExchangeConfig,
+    cost: &CostModel,
+    attempt: u32,
+    row_size: usize,
+    make_source: &SourceFactory,
+    sink: &AttemptSink,
+    done: &Gate<WorkerResult>,
+) -> usize {
+    let threads = config.threads;
+    let mut expected = 0;
+    for node in 0..cluster.nodes() {
+        if !exchange.send[node].is_empty() {
+            let op: Arc<dyn Operator> = Arc::new(ShuffleOperator::with_lanes(
+                make_source(attempt, node),
+                exchange.send[node].clone(),
+                exchange.groups[node].clone(),
+                threads,
+                cost.clone(),
+            ));
+            for tid in 0..threads {
+                let name = format!("a{attempt}-shuffle-{node}-{tid}");
+                spawn_worker(cluster, node, &name, op.clone(), tid, None, done.clone());
+                expected += 1;
+            }
+        }
+        if !exchange.recv[node].is_empty() {
+            let op: Arc<dyn Operator> = Arc::new(ReceiveOperator::with_lanes(
+                exchange.recv[node].clone(),
+                row_size,
+                1024,
+                threads,
+                cost.clone(),
+            ));
+            for tid in 0..threads {
+                let name = format!("a{attempt}-recv-{node}-{tid}");
+                let sink = sink.clone();
+                let deliver: Deliver = Box::new(move |tid, batch| sink(attempt, node, tid, batch));
+                spawn_worker(
+                    cluster,
+                    node,
+                    &name,
+                    op.clone(),
+                    tid,
+                    Some(deliver),
+                    done.clone(),
+                );
+                expected += 1;
+            }
+        }
+    }
+    expected
+}
+
+/// One worker: pumps `op` with `tid` until depletion or error, streaming
+/// non-empty batches to `deliver`, then reports through `done`.
+fn spawn_worker(
+    cluster: &rshuffle_simnet::Cluster,
+    node: NodeId,
+    name: &str,
+    op: Arc<dyn Operator>,
+    tid: usize,
+    deliver: Option<Deliver>,
+    done: Gate<WorkerResult>,
+) {
+    cluster.spawn(node, name, move |sim: SimContext| {
+        let mut rows = 0u64;
+        let mut bytes = 0u64;
+        let result = loop {
+            match op.next(&sim, tid) {
+                Ok((state, batch)) => {
+                    if !batch.is_empty() {
+                        rows += batch.rows() as u64;
+                        bytes += batch.bytes() as u64;
+                        if let Some(deliver) = &deliver {
+                            deliver(tid, &batch);
+                        }
+                    }
+                    if state == StreamState::Depleted {
+                        break Ok((rows, bytes));
+                    }
+                }
+                Err(e) => break Err(e),
+            }
+        };
+        done.push(result);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::Generator;
+    use rshuffle::ShuffleAlgorithm;
+    use rshuffle_simnet::DeviceProfile;
+
+    #[test]
+    fn fault_free_query_succeeds_without_restart() {
+        let nodes = 2;
+        let threads = 2;
+        let mut config = ExchangeConfig::repartition(ShuffleAlgorithm::MEMQ_SR, nodes, threads);
+        config.message_size = 4096;
+        let runtime = config.build_runtime(DeviceProfile::edr());
+        let delivered = Arc::new(Mutex::new(0u64));
+        let d = delivered.clone();
+        let report = run_shuffle_with_restart(
+            &runtime,
+            &config,
+            RestartPolicy::default(),
+            16,
+            |_, _| Arc::new(Generator::new(500, 2, 7)) as Arc<dyn Operator>,
+            move |_, _, _, batch| *d.lock() += batch.rows() as u64,
+        );
+        runtime.cluster().run();
+        let rep = report.lock();
+        assert!(rep.succeeded(), "failure: {:?}", rep.failure);
+        assert_eq!(rep.restarts, 0);
+        assert_eq!(rep.recovery, None);
+        assert_eq!(rep.rows, (nodes * threads * 500) as u64);
+        assert_eq!(rep.rows, *delivered.lock());
+    }
+}

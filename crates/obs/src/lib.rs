@@ -82,6 +82,13 @@ pub mod names {
     pub const ENGINE_BYTES: &str = "engine.bytes";
     /// Fragment errors observed `{node}`.
     pub const ENGINE_ERRORS: &str = "engine.errors";
+    /// Fault-plan events that fired `{node}`.
+    pub const FAULT_INJECTED: &str = "fault.injected";
+    /// Fragment restarts performed by the recovery orchestrator `{node}`.
+    pub const ENGINE_RESTARTS: &str = "engine.restarts";
+    /// Virtual ns from first fragment failure to successful completion
+    /// `{node}`.
+    pub const ENGINE_RECOVERY_NS: &str = "engine.recovery_ns";
 }
 
 /// One shared observability context: the metrics registry plus the

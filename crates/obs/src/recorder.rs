@@ -57,6 +57,19 @@ pub enum EventKind {
     ThreadFinished,
     /// An operator fragment drained to its sink (`arg` = rows).
     FragmentDone,
+    /// An injected fault became active (`arg` = `fault_code << 32 | node`).
+    FaultBegin,
+    /// An injected fault window ended (`arg` = `fault_code << 32 | node`).
+    FaultEnd,
+    /// A queue pair was forced into the error state by fault injection
+    /// (`arg` = QP number).
+    QpKilled,
+    /// The restart orchestrator tore a fragment down for a retry
+    /// (`arg` = attempt number, starting at 1).
+    QueryRestart,
+    /// A restarted fragment completed successfully (`arg` = recovery
+    /// latency in nanoseconds, measured from the first failure).
+    QueryRecovered,
 }
 
 impl EventKind {
@@ -77,6 +90,11 @@ impl EventKind {
             EventKind::ValidArrPoll => "validarr_poll",
             EventKind::ThreadFinished => "thread_finished",
             EventKind::FragmentDone => "fragment_done",
+            EventKind::FaultBegin => "fault_begin",
+            EventKind::FaultEnd => "fault_end",
+            EventKind::QpKilled => "qp_killed",
+            EventKind::QueryRestart => "query_restart",
+            EventKind::QueryRecovered => "query_recovered",
         }
     }
 }

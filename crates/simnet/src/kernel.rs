@@ -130,6 +130,8 @@ struct State {
     stats: Vec<ThreadStats>,
     join_handles: Vec<JoinHandle<()>>,
     obs: Option<Arc<Obs>>,
+    /// Straggler injection: CPU-work multiplier per node (absent = 1.0).
+    cpu_slowdown: HashMap<NodeId, f64>,
 }
 
 struct Shared {
@@ -167,6 +169,7 @@ impl Kernel {
                     stats: Vec::new(),
                     join_handles: Vec::new(),
                     obs: None,
+                    cpu_slowdown: HashMap::new(),
                 }),
                 completion: Condvar::new(),
             }),
@@ -188,6 +191,30 @@ impl Kernel {
     /// The attached observability context, if any.
     pub fn obs(&self) -> Option<Arc<Obs>> {
         self.shared.state.lock().obs.clone()
+    }
+
+    /// Sets the straggler factor for `node`: every subsequent
+    /// [`SimContext::sleep`] on that node takes `factor`× as long. A
+    /// factor of 1.0 removes the slowdown. Deterministic: the scaling is
+    /// pure integer-rounded arithmetic on the virtual clock.
+    pub fn set_cpu_slowdown(&self, node: NodeId, factor: f64) {
+        let mut st = self.shared.state.lock();
+        if factor == 1.0 {
+            st.cpu_slowdown.remove(&node);
+        } else {
+            st.cpu_slowdown.insert(node, factor.max(0.0));
+        }
+    }
+
+    /// The current straggler factor for `node` (1.0 when healthy).
+    pub fn cpu_slowdown(&self, node: NodeId) -> f64 {
+        self.shared
+            .state
+            .lock()
+            .cpu_slowdown
+            .get(&node)
+            .copied()
+            .unwrap_or(1.0)
     }
 
     /// Spawns a simulated thread pinned to `node`, runnable at the current
@@ -604,14 +631,23 @@ impl SimContext {
         if d == SimDuration::ZERO {
             return self.yield_now();
         }
-        {
+        let d = {
             let mut st = self.kernel.shared.state.lock();
+            // Straggler injection: CPU work on a slowed node stretches by
+            // the node's factor (rounded to whole virtual nanoseconds).
+            let d = match st.cpu_slowdown.get(&self.node) {
+                Some(&factor) => {
+                    SimDuration::from_nanos((d.as_nanos() as f64 * factor).round() as u64)
+                }
+                None => d,
+            };
             let slot = st
                 .threads
                 .get_mut(&self.id)
                 .expect("running thread must exist");
             slot.busy += d;
-        }
+            d
+        };
         let at = self.kernel.now() + d;
         self.kernel.yield_until(self.id, at);
     }

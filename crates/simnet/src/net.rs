@@ -30,12 +30,39 @@ struct NodePorts {
     ingress: Mutex<Resource>,
 }
 
+/// Per-node link-fault state driven by the fault-injection subsystem.
+///
+/// InfiniBand links are lossless, so a downed port *stalls* traffic (the
+/// NIC retransmits at the link layer) rather than dropping it: a flap is
+/// modelled by deferring departures past `down_until`. Degradation scales
+/// the shared-fabric bandwidth and adds propagation latency.
+#[derive(Clone, Copy, Debug)]
+struct LinkFault {
+    /// Messages touching this port cannot depart before this instant.
+    down_until: SimTime,
+    /// Multiplier on the port's effective bandwidth (1.0 = healthy).
+    bw_factor: f64,
+    /// Extra one-way latency added per message through this port.
+    extra_latency: crate::time::SimDuration,
+}
+
+impl Default for LinkFault {
+    fn default() -> Self {
+        LinkFault {
+            down_until: SimTime::ZERO,
+            bw_factor: 1.0,
+            extra_latency: crate::time::SimDuration::ZERO,
+        }
+    }
+}
+
 /// The cluster interconnect.
 pub struct Fabric {
     ports: Vec<NodePorts>,
     bandwidth: f64,
     switch_latency: crate::time::SimDuration,
     loopback_latency: crate::time::SimDuration,
+    link_faults: Mutex<Vec<LinkFault>>,
 }
 
 impl Fabric {
@@ -52,12 +79,52 @@ impl Fabric {
             bandwidth: profile.payload_bandwidth,
             switch_latency: profile.switch_latency,
             loopback_latency: profile.loopback_latency,
+            link_faults: Mutex::new(vec![LinkFault::default(); nodes]),
         }
     }
 
     /// Number of nodes attached to the fabric.
     pub fn nodes(&self) -> usize {
         self.ports.len()
+    }
+
+    /// Takes `node`'s port down until `until` (link flap). The link layer
+    /// is lossless, so in-window traffic stalls instead of dropping.
+    pub fn set_port_down_until(&self, node: NodeId, until: SimTime) {
+        let mut faults = self.link_faults.lock();
+        faults[node].down_until = faults[node].down_until.max(until);
+    }
+
+    /// Degrades `node`'s port: bandwidth scaled by `bw_factor` (clamped to
+    /// a positive value) and `extra_latency` added to every message.
+    pub fn set_degradation(
+        &self,
+        node: NodeId,
+        bw_factor: f64,
+        extra_latency: crate::time::SimDuration,
+    ) {
+        let mut faults = self.link_faults.lock();
+        faults[node].bw_factor = bw_factor.max(1e-6);
+        faults[node].extra_latency = extra_latency;
+    }
+
+    /// Restores `node`'s port to full bandwidth and nominal latency.
+    pub fn clear_degradation(&self, node: NodeId) {
+        let mut faults = self.link_faults.lock();
+        faults[node].bw_factor = 1.0;
+        faults[node].extra_latency = crate::time::SimDuration::ZERO;
+    }
+
+    /// Fault view for a path `from → to`: earliest departure, effective
+    /// bandwidth factor, and summed extra latency.
+    fn path_fault(&self, from: NodeId, to: NodeId) -> (SimTime, f64, crate::time::SimDuration) {
+        let faults = self.link_faults.lock();
+        let (a, b) = (faults[from], faults[to]);
+        (
+            a.down_until.max(b.down_until),
+            a.bw_factor.min(b.bw_factor),
+            a.extra_latency + b.extra_latency,
+        )
     }
 
     /// Schedules a `bytes`-sized message from `from` to `to`, departing the
@@ -70,10 +137,13 @@ impl Fabric {
         assert!(from < self.ports.len(), "sender {from} out of range");
         assert!(to < self.ports.len(), "receiver {to} out of range");
         if from == to {
-            // Loopback: the message never touches the wire.
+            // Loopback: the message never touches the wire, so link faults
+            // (which model the cable and switch port) do not apply.
             return depart + self.loopback_latency;
         }
-        let ser = transfer_time(bytes, self.bandwidth);
+        let (down_until, bw_factor, extra_latency) = self.path_fault(from, to);
+        let depart = depart.max(down_until);
+        let ser = transfer_time(bytes, self.bandwidth * bw_factor);
         if bytes <= CONTROL_BYPASS_BYTES {
             // Small control packets (RDMA Read requests, 8-byte ring/credit
             // writes, ACKs) ride a dedicated virtual lane: InfiniBand's VL
@@ -81,7 +151,7 @@ impl Fabric {
             // granularity, so they never wait behind megabytes of queued
             // payload. Their bandwidth share is negligible and is not
             // charged against the ports.
-            return depart + ser + self.switch_latency;
+            return depart + ser + self.switch_latency + extra_latency;
         }
         // Cut-through switching (InfiniBand): the head of the message
         // reaches the ingress port one switch latency after it starts
@@ -92,7 +162,7 @@ impl Fabric {
             .ingress
             .lock()
             .reserve(e.start + self.switch_latency, ser);
-        i.end
+        i.end + extra_latency
     }
 
     /// Schedules one `bytes`-sized message from `from` to every node in
@@ -111,7 +181,13 @@ impl Fabric {
         depart: SimTime,
     ) -> Vec<SimTime> {
         assert!(from < self.ports.len(), "sender {from} out of range");
-        let ser = transfer_time(bytes, self.bandwidth);
+        let (sender_down, sender_bw, sender_lat) = {
+            let faults = self.link_faults.lock();
+            let f = faults[from];
+            (f.down_until, f.bw_factor, f.extra_latency)
+        };
+        let depart = depart.max(sender_down);
+        let ser = transfer_time(bytes, self.bandwidth * sender_bw);
         let e = self.ports[from].egress.lock().reserve(depart, ser);
         tos.iter()
             .map(|&to| {
@@ -119,11 +195,18 @@ impl Fabric {
                 if to == from {
                     return depart + self.loopback_latency;
                 }
+                let (recv_down, _, recv_lat) = {
+                    let faults = self.link_faults.lock();
+                    let f = faults[to];
+                    (f.down_until, f.bw_factor, f.extra_latency)
+                };
                 self.ports[to]
                     .ingress
                     .lock()
-                    .reserve(e.start + self.switch_latency, ser)
+                    .reserve(e.start.max(recv_down) + self.switch_latency, ser)
                     .end
+                    + sender_lat
+                    + recv_lat
             })
             .collect()
     }
@@ -270,5 +353,48 @@ mod tests {
     fn bad_node_panics() {
         let f = fabric(2);
         let _ = f.transfer(0, 7, 64, SimTime::ZERO);
+    }
+
+    #[test]
+    fn downed_port_stalls_traffic_until_recovery() {
+        let f = fabric(3);
+        let healthy = f.transfer(0, 1, 64 * 1024, SimTime::ZERO);
+        let down_until = SimTime::ZERO + crate::time::SimDuration::from_micros(500);
+        f.set_port_down_until(1, down_until);
+        // Lossless link: traffic into the downed port is deferred, not
+        // dropped, and resumes exactly at recovery.
+        let stalled = f.transfer(2, 1, 64 * 1024, SimTime::ZERO);
+        assert!(stalled >= down_until, "transfer must wait out the flap");
+        assert_eq!(
+            (stalled - down_until).as_nanos(),
+            healthy.as_nanos(),
+            "post-recovery latency matches the healthy path"
+        );
+        // A disjoint pair (avoiding the ports the stalled transfer holds)
+        // is unaffected.
+        let depart = SimTime::ZERO + crate::time::SimDuration::from_micros(10);
+        let bystander = f.transfer(0, 2, 64 * 1024, depart);
+        assert_eq!((bystander - depart).as_nanos(), healthy.as_nanos());
+    }
+
+    #[test]
+    fn degraded_port_stretches_serialization() {
+        let f = fabric(2);
+        let healthy = f.transfer(0, 1, 1 << 20, SimTime::ZERO);
+        let f2 = fabric(2);
+        f2.set_degradation(1, 0.5, crate::time::SimDuration::from_micros(3));
+        let degraded = f2.transfer(0, 1, 1 << 20, SimTime::ZERO);
+        let p = DeviceProfile::edr();
+        let expected = (p.wire_time(1 << 20) * 2
+            + p.switch_latency
+            + crate::time::SimDuration::from_micros(3))
+        .as_nanos();
+        assert_eq!(degraded.as_nanos(), expected);
+        assert!(degraded > healthy);
+        // clear_degradation restores the healthy latency.
+        f2.clear_degradation(1);
+        let later = SimTime::ZERO + crate::time::SimDuration::from_millis(100);
+        let restored = f2.transfer(0, 1, 1 << 20, later);
+        assert_eq!((restored - later).as_nanos(), healthy.as_nanos());
     }
 }

@@ -121,6 +121,11 @@ impl SimDuration {
     pub fn max(self, other: SimDuration) -> SimDuration {
         SimDuration(self.0.max(other.0))
     }
+
+    /// Returns the smaller of the two durations.
+    pub fn min(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.min(other.0))
+    }
 }
 
 impl Add<SimDuration> for SimTime {

@@ -1,0 +1,279 @@
+//! Deterministic fault injection: virtual-time-scheduled failure events.
+//!
+//! A [`FaultPlan`] is an ordered list of [`FaultEvent`]s, each anchored at
+//! a virtual-time offset from the start of the simulation. The plan is
+//! installed when the [`crate::VerbsRuntime`] is created: window-style
+//! faults (UD loss bursts, receiver pauses) become static schedules the
+//! delivery hot paths consult, while state-mutating faults (link flaps,
+//! degradation, stragglers, QP failures) are executed by the simulation
+//! kernel's event queue at exactly their trigger time. Every activation
+//! and deactivation is recorded as a `fault_begin`/`fault_end` event on
+//! the affected node's hardware track and counted in the `fault.injected`
+//! series, so traces show precisely which fault a latency cliff or a
+//! query restart corresponds to.
+//!
+//! Determinism: the plan itself is data, the kernel's event queue is
+//! ordered by `(time, seq)`, and window checks are pure functions of the
+//! virtual clock — two runs with the same plan and seed are
+//! byte-identical.
+
+use rshuffle_simnet::{NodeId, SimDuration};
+
+/// One scheduled failure, anchored `at` virtual time after simulation
+/// start. Window faults end `duration` later.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultEvent {
+    /// The node's switch port goes down for `duration`. InfiniBand links
+    /// are lossless, so in-window traffic stalls (and resumes at
+    /// recovery) rather than dropping — long flaps therefore surface as
+    /// endpoint stall timeouts, short ones as latency spikes.
+    LinkFlap {
+        /// Node whose port flaps.
+        node: NodeId,
+        /// Virtual-time offset of the flap.
+        at: SimDuration,
+        /// How long the port stays down.
+        duration: SimDuration,
+    },
+    /// The node's port runs at `bandwidth_factor` of nominal bandwidth
+    /// with `extra_latency` added per message, for `duration`.
+    LinkDegrade {
+        /// Node whose port degrades.
+        node: NodeId,
+        /// Virtual-time offset of the degradation.
+        at: SimDuration,
+        /// How long the degradation lasts.
+        duration: SimDuration,
+        /// Multiplier on the port's bandwidth (0 < factor ≤ 1).
+        bandwidth_factor: f64,
+        /// Additional one-way latency per message.
+        extra_latency: SimDuration,
+    },
+    /// UD datagrams sent from `node` are dropped with
+    /// `drop_probability` during the window (burst loss, §4.4.2).
+    UdLossBurst {
+        /// Sending node whose datagrams are lossy.
+        node: NodeId,
+        /// Virtual-time offset of the burst.
+        at: SimDuration,
+        /// How long the burst lasts.
+        duration: SimDuration,
+        /// In-window drop probability (sampled per datagram).
+        drop_probability: f64,
+    },
+    /// Every `SimContext::sleep` on `node` stretches by `slowdown`
+    /// during the window (straggling CPU).
+    Straggler {
+        /// Node that straggles.
+        node: NodeId,
+        /// Virtual-time offset of the slowdown.
+        at: SimDuration,
+        /// How long the slowdown lasts.
+        duration: SimDuration,
+        /// CPU-work multiplier (> 1 slows the node down).
+        slowdown: f64,
+    },
+    /// Receives on `node` stop matching incoming messages for the
+    /// window, as if the application stopped posting receives: RC
+    /// senders take the RNR-retry path, UD datagrams drop unmatched.
+    ReceiverPause {
+        /// Node whose receive queues freeze.
+        node: NodeId,
+        /// Virtual-time offset of the pause.
+        at: SimDuration,
+        /// How long receives stay frozen.
+        duration: SimDuration,
+    },
+    /// Every RC QP on `node` transitions to the error state at `at`;
+    /// queued receives are flushed with error status and subsequent
+    /// sends targeting the node complete with a flush error.
+    QpFailure {
+        /// Node whose RC QPs fail.
+        node: NodeId,
+        /// Virtual-time offset of the failure.
+        at: SimDuration,
+    },
+}
+
+impl FaultEvent {
+    /// The node this fault targets.
+    pub fn node(&self) -> NodeId {
+        match *self {
+            FaultEvent::LinkFlap { node, .. }
+            | FaultEvent::LinkDegrade { node, .. }
+            | FaultEvent::UdLossBurst { node, .. }
+            | FaultEvent::Straggler { node, .. }
+            | FaultEvent::ReceiverPause { node, .. }
+            | FaultEvent::QpFailure { node, .. } => node,
+        }
+    }
+
+    /// When the fault activates (offset from simulation start).
+    pub fn at(&self) -> SimDuration {
+        match *self {
+            FaultEvent::LinkFlap { at, .. }
+            | FaultEvent::LinkDegrade { at, .. }
+            | FaultEvent::UdLossBurst { at, .. }
+            | FaultEvent::Straggler { at, .. }
+            | FaultEvent::ReceiverPause { at, .. }
+            | FaultEvent::QpFailure { at, .. } => at,
+        }
+    }
+
+    /// Stable numeric code used in the `fault_begin`/`fault_end` trace
+    /// events (`arg = code << 32 | node`).
+    pub fn code(&self) -> u64 {
+        match self {
+            FaultEvent::LinkFlap { .. } => 1,
+            FaultEvent::LinkDegrade { .. } => 2,
+            FaultEvent::UdLossBurst { .. } => 3,
+            FaultEvent::Straggler { .. } => 4,
+            FaultEvent::ReceiverPause { .. } => 5,
+            FaultEvent::QpFailure { .. } => 6,
+        }
+    }
+
+    /// The trace-event argument: fault code in the high word, node in
+    /// the low word.
+    pub fn obs_arg(&self) -> u64 {
+        (self.code() << 32) | self.node() as u64
+    }
+}
+
+/// A deterministic schedule of failures for one simulation run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    /// The scheduled events, in the order they were added.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no injected faults).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// True when the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Adds an arbitrary event.
+    pub fn with(mut self, event: FaultEvent) -> Self {
+        self.events.push(event);
+        self
+    }
+
+    /// Adds a link flap (port down for `duration` starting at `at`).
+    pub fn link_flap(self, node: NodeId, at: SimDuration, duration: SimDuration) -> Self {
+        self.with(FaultEvent::LinkFlap { node, at, duration })
+    }
+
+    /// Adds a link degradation window.
+    pub fn link_degrade(
+        self,
+        node: NodeId,
+        at: SimDuration,
+        duration: SimDuration,
+        bandwidth_factor: f64,
+        extra_latency: SimDuration,
+    ) -> Self {
+        self.with(FaultEvent::LinkDegrade {
+            node,
+            at,
+            duration,
+            bandwidth_factor,
+            extra_latency,
+        })
+    }
+
+    /// Adds a burst UD loss window on `node`'s outgoing datagrams.
+    pub fn ud_loss_burst(
+        self,
+        node: NodeId,
+        at: SimDuration,
+        duration: SimDuration,
+        drop_probability: f64,
+    ) -> Self {
+        self.with(FaultEvent::UdLossBurst {
+            node,
+            at,
+            duration,
+            drop_probability,
+        })
+    }
+
+    /// Adds a straggler window (CPU work on `node` stretched by
+    /// `slowdown`).
+    pub fn straggler(
+        self,
+        node: NodeId,
+        at: SimDuration,
+        duration: SimDuration,
+        slowdown: f64,
+    ) -> Self {
+        self.with(FaultEvent::Straggler {
+            node,
+            at,
+            duration,
+            slowdown,
+        })
+    }
+
+    /// Adds a receiver-pause window on `node`.
+    pub fn receiver_pause(self, node: NodeId, at: SimDuration, duration: SimDuration) -> Self {
+        self.with(FaultEvent::ReceiverPause { node, at, duration })
+    }
+
+    /// Adds an RC QP failure on `node` at `at`.
+    pub fn qp_failure(self, node: NodeId, at: SimDuration) -> Self {
+        self.with(FaultEvent::QpFailure { node, at })
+    }
+}
+
+/// A `[start, end)` window with a payload, consulted by delivery paths.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Window {
+    pub(crate) node: NodeId,
+    pub(crate) start: SimDuration,
+    pub(crate) end: SimDuration,
+}
+
+impl Window {
+    pub(crate) fn contains(&self, node: NodeId, now_ns: u64) -> bool {
+        node == self.node && now_ns >= self.start.as_nanos() && now_ns < self.end.as_nanos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_events_in_order() {
+        let plan = FaultPlan::new()
+            .link_flap(0, SimDuration::from_micros(10), SimDuration::from_micros(5))
+            .qp_failure(1, SimDuration::from_micros(20));
+        assert_eq!(plan.events.len(), 2);
+        assert_eq!(plan.events[0].node(), 0);
+        assert_eq!(plan.events[0].code(), 1);
+        assert_eq!(plan.events[1].node(), 1);
+        assert_eq!(plan.events[1].code(), 6);
+        assert_eq!(plan.events[1].obs_arg(), (6 << 32) | 1);
+        assert!(FaultPlan::new().is_empty());
+    }
+
+    #[test]
+    fn window_is_half_open() {
+        let w = Window {
+            node: 2,
+            start: SimDuration::from_nanos(100),
+            end: SimDuration::from_nanos(200),
+        };
+        assert!(!w.contains(2, 99));
+        assert!(w.contains(2, 100));
+        assert!(w.contains(2, 199));
+        assert!(!w.contains(2, 200));
+        assert!(!w.contains(1, 150));
+    }
+}

@@ -28,6 +28,7 @@
 pub mod cm;
 pub mod cq;
 pub mod error;
+pub mod fault;
 pub mod mr;
 pub mod qp;
 pub mod runtime;
@@ -36,6 +37,7 @@ pub mod types;
 pub use cm::ConnectionManager;
 pub use cq::{Completion, CompletionQueue, WcOpcode, WcStatus};
 pub use error::{Result, VerbsError};
+pub use fault::{FaultEvent, FaultPlan};
 pub use mr::{MemoryRegion, RemoteAddr};
 pub use qp::{AddressHandle, QueuePair, RecvWr, SendWr};
 pub use runtime::{Context, FaultConfig, VerbsRuntime};

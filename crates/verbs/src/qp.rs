@@ -123,6 +123,34 @@ impl QpInner {
     fn ctx_key(&self) -> u64 {
         ((self.node as u64) << 32) | self.qpn.0 as u64
     }
+
+    /// Fault injection: forces the QP into the error state, flushing every
+    /// queued receive to the receive CQ with [`WcStatus::Flushed`] (the
+    /// `IBV_WC_WR_FLUSH_ERR` behaviour of real hardware). Returns `false`
+    /// if the QP was already in the error state.
+    pub(crate) fn force_error(&self) -> bool {
+        {
+            let mut st = self.state.lock();
+            if *st == QpState::Error {
+                return false;
+            }
+            *st = QpState::Error;
+        }
+        let flushed: Vec<RecvWr> = self.recv_queue.lock().drain(..).collect();
+        for rwr in flushed {
+            self.recv_cq.deposit(Completion {
+                wr_id: rwr.wr_id,
+                status: WcStatus::Flushed,
+                opcode: WcOpcode::Recv,
+                byte_len: 0,
+                src_node: self.node,
+                src_qp: self.qpn,
+                qp: self.qpn,
+                imm: None,
+            });
+        }
+        true
+    }
 }
 
 /// A Queue Pair handle. Thread-safe; clones share the same QP.
@@ -785,7 +813,30 @@ fn deliver_send(
         observe_unmatched(&runtime, dest.node, now);
         return;
     };
-    if *qp.state.lock() < QpState::ReadyToReceive {
+    let st = *qp.state.lock();
+    if st == QpState::Error {
+        // Target QP was killed (fault injection): an RC sender gets its
+        // work request flushed in error; a UD datagram drops silently.
+        if let Some((send_cq, wr_id)) = sender_ctx {
+            let completion = Completion {
+                wr_id,
+                status: WcStatus::Flushed,
+                opcode: WcOpcode::Send,
+                byte_len: payload.len(),
+                src_node: dest.node,
+                src_qp: dest.qpn,
+                qp: src.qpn,
+                imm: None,
+            };
+            runtime
+                .kernel()
+                .schedule(now, move || send_cq.deposit(completion));
+        } else {
+            observe_unmatched(&runtime, dest.node, now);
+        }
+        return;
+    }
+    if st < QpState::ReadyToReceive {
         observe_unmatched(&runtime, dest.node, now);
         return;
     }
@@ -794,7 +845,13 @@ fn deliver_send(
         ((dest.node as u64) << 32) | dest.qpn.0 as u64,
         WrKind::RecvMatch,
     );
-    let rwr = qp.recv_queue.lock().pop_front();
+    // A receiver-pause fault freezes receive matching: the queue looks
+    // empty, so RC takes the RNR-retry path and UD drops unmatched.
+    let rwr = if runtime.recv_paused(dest.node, now.as_nanos()) {
+        None
+    } else {
+        qp.recv_queue.lock().pop_front()
+    };
     match rwr {
         Some(rwr) => {
             if payload.len() > rwr.len {

@@ -17,6 +17,7 @@ use rshuffle_obs::{names, Counter, EventKind, Labels, Obs, HW_TRACK};
 use rshuffle_simnet::{Cluster, DeviceProfile, Kernel, NicModel, SimContext, SimDuration};
 
 use crate::cq::CompletionQueue;
+use crate::fault::{FaultEvent, FaultPlan, Window};
 use crate::mr::MemoryRegion;
 use crate::qp::{QpInner, QueuePair};
 use crate::types::{QpNum, QpType};
@@ -39,6 +40,9 @@ pub struct FaultConfig {
     pub ud_reorder_window: SimDuration,
     /// Seed for the (deterministic) fault RNG.
     pub seed: u64,
+    /// Scheduled fault events executed at their virtual trigger times
+    /// (empty by default).
+    pub plan: FaultPlan,
 }
 
 impl Default for FaultConfig {
@@ -48,6 +52,7 @@ impl Default for FaultConfig {
             ud_reorder_probability: 0.2,
             ud_reorder_window: SimDuration::from_micros(4),
             seed: 0x5D11_F00D,
+            plan: FaultPlan::new(),
         }
     }
 }
@@ -106,6 +111,10 @@ pub struct VerbsRuntime {
     registered: Mutex<Vec<usize>>,
     /// High-water mark of registered bytes per node (Figure 9b).
     registered_peak: Mutex<Vec<usize>>,
+    /// Burst UD-loss windows from the fault plan: `(window, drop_prob)`.
+    ud_loss_windows: Vec<(Window, f64)>,
+    /// Receiver-pause windows from the fault plan.
+    recv_pause_windows: Vec<Window>,
 }
 
 impl VerbsRuntime {
@@ -116,10 +125,39 @@ impl VerbsRuntime {
     }
 
     /// Creates a runtime with explicit fault-injection configuration.
+    /// Any events in `faults.plan` are installed on the kernel's event
+    /// queue and fire deterministically at their virtual trigger times.
     pub fn with_faults(cluster: Cluster, faults: FaultConfig) -> Arc<Self> {
         let nodes = cluster.nodes();
         let rt_obs = RtObs::new(cluster.obs().clone());
-        Arc::new(VerbsRuntime {
+        let mut ud_loss_windows = Vec::new();
+        let mut recv_pause_windows = Vec::new();
+        for ev in &faults.plan.events {
+            match *ev {
+                FaultEvent::UdLossBurst {
+                    node,
+                    at,
+                    duration,
+                    drop_probability,
+                } => ud_loss_windows.push((
+                    Window {
+                        node,
+                        start: at,
+                        end: at + duration,
+                    },
+                    drop_probability,
+                )),
+                FaultEvent::ReceiverPause { node, at, duration } => {
+                    recv_pause_windows.push(Window {
+                        node,
+                        start: at,
+                        end: at + duration,
+                    });
+                }
+                _ => {}
+            }
+        }
+        let rt = Arc::new(VerbsRuntime {
             cluster,
             qps: Mutex::new(HashMap::new()),
             mrs: Mutex::new(HashMap::new()),
@@ -130,7 +168,165 @@ impl VerbsRuntime {
             rt_obs,
             registered: Mutex::new(vec![0; nodes]),
             registered_peak: Mutex::new(vec![0; nodes]),
-        })
+            ud_loss_windows,
+            recv_pause_windows,
+        });
+        rt.install_fault_plan();
+        rt
+    }
+
+    /// Schedules the fault plan's events on the kernel. Window faults
+    /// only schedule their trace markers (the hot paths consult the
+    /// precomputed windows); state-mutating faults schedule the actual
+    /// mutation.
+    fn install_fault_plan(self: &Arc<Self>) {
+        if self.faults.plan.is_empty() {
+            return;
+        }
+        let kernel = self.kernel().clone();
+        let origin = kernel.now();
+        let obs = self.rt_obs.obs.clone();
+        for ev in self.faults.plan.events.clone() {
+            let node = ev.node();
+            let arg = ev.obs_arg();
+            let injected = obs
+                .metrics
+                .counter(names::FAULT_INJECTED, Labels::node(node as u32));
+            // Activation marker (and counter) at the trigger time.
+            {
+                let obs = obs.clone();
+                let kernel_at = kernel.clone();
+                kernel.schedule(origin + ev.at(), move || {
+                    injected.inc();
+                    obs.recorder.event(
+                        node as u32,
+                        HW_TRACK,
+                        kernel_at.now().as_nanos(),
+                        EventKind::FaultBegin,
+                        arg,
+                    );
+                });
+            }
+            // Deactivation marker for window faults.
+            let end_at = match ev {
+                FaultEvent::QpFailure { .. } => None,
+                FaultEvent::LinkFlap { at, duration, .. }
+                | FaultEvent::LinkDegrade { at, duration, .. }
+                | FaultEvent::UdLossBurst { at, duration, .. }
+                | FaultEvent::Straggler { at, duration, .. }
+                | FaultEvent::ReceiverPause { at, duration, .. } => Some(at + duration),
+            };
+            if let Some(end) = end_at {
+                let obs = obs.clone();
+                let kernel_at = kernel.clone();
+                kernel.schedule(origin + end, move || {
+                    obs.recorder.event(
+                        node as u32,
+                        HW_TRACK,
+                        kernel_at.now().as_nanos(),
+                        EventKind::FaultEnd,
+                        arg,
+                    );
+                });
+            }
+            // The state mutation itself.
+            match ev {
+                FaultEvent::LinkFlap { node, at, duration } => {
+                    let cluster = self.cluster.clone();
+                    let down_until = origin + at + duration;
+                    kernel.schedule(origin + at, move || {
+                        cluster.fabric().set_port_down_until(node, down_until);
+                    });
+                }
+                FaultEvent::LinkDegrade {
+                    node,
+                    at,
+                    duration,
+                    bandwidth_factor,
+                    extra_latency,
+                } => {
+                    let cluster = self.cluster.clone();
+                    kernel.schedule(origin + at, move || {
+                        cluster
+                            .fabric()
+                            .set_degradation(node, bandwidth_factor, extra_latency);
+                    });
+                    let cluster = self.cluster.clone();
+                    kernel.schedule(origin + at + duration, move || {
+                        cluster.fabric().clear_degradation(node);
+                    });
+                }
+                FaultEvent::Straggler {
+                    node,
+                    at,
+                    duration,
+                    slowdown,
+                } => {
+                    let k = kernel.clone();
+                    kernel.schedule(origin + at, move || {
+                        k.set_cpu_slowdown(node, slowdown);
+                    });
+                    let k = kernel.clone();
+                    kernel.schedule(origin + at + duration, move || {
+                        k.set_cpu_slowdown(node, 1.0);
+                    });
+                }
+                FaultEvent::QpFailure { node, at } => {
+                    // Weak: the event queue must not keep the runtime
+                    // (and thus the kernel) alive in a reference cycle.
+                    let rt = Arc::downgrade(self);
+                    kernel.schedule(origin + at, move || {
+                        if let Some(rt) = rt.upgrade() {
+                            rt.fail_rc_qps(node);
+                        }
+                    });
+                }
+                // Window faults: the hot paths consult the precomputed
+                // windows; nothing to mutate.
+                FaultEvent::UdLossBurst { .. } | FaultEvent::ReceiverPause { .. } => {}
+            }
+        }
+    }
+
+    /// Forces every RC QP on `node` into the error state: queued
+    /// receives are flushed to their completion queues with
+    /// [`crate::WcStatus::Flushed`], and future deliveries targeting
+    /// these QPs complete in error at the sender. Iteration is sorted by
+    /// QP number so same-seed runs stay byte-identical.
+    pub fn fail_rc_qps(&self, node: NodeId) {
+        let now_ns = self.kernel().now().as_nanos();
+        let targets: Vec<Arc<QpInner>> = {
+            let qps = self.qps.lock();
+            let mut keys: Vec<u32> = qps
+                .keys()
+                .filter(|&&(n, _)| n == node)
+                .map(|&(_, qpn)| qpn)
+                .collect();
+            keys.sort_unstable();
+            keys.iter()
+                .filter_map(|&qpn| qps.get(&(node, qpn)).cloned())
+                .collect()
+        };
+        for qp in targets {
+            if qp.ty == QpType::Rc && qp.force_error() {
+                self.rt_obs.obs.recorder.event(
+                    node as u32,
+                    HW_TRACK,
+                    now_ns,
+                    EventKind::QpKilled,
+                    qp.qpn.0 as u64,
+                );
+            }
+        }
+    }
+
+    /// Whether `node` is inside a receiver-pause window at virtual time
+    /// `now_ns`: matching of incoming messages against posted receives
+    /// is suspended (RC takes the RNR path, UD drops unmatched).
+    pub(crate) fn recv_paused(&self, node: NodeId, now_ns: u64) -> bool {
+        self.recv_pause_windows
+            .iter()
+            .any(|w| w.contains(node, now_ns))
     }
 
     /// The underlying cluster.
@@ -201,7 +397,18 @@ impl VerbsRuntime {
     /// jitter to apply.
     pub(crate) fn sample_ud_fate(&self, node: NodeId) -> Option<SimDuration> {
         let mut rng = self.rng.lock();
-        if self.faults.ud_drop_probability > 0.0 && rng.gen_bool(self.faults.ud_drop_probability) {
+        // A burst-loss window raises the flat drop probability for its
+        // duration (the probabilities do not stack; the worst applies).
+        let mut drop_probability = self.faults.ud_drop_probability;
+        if !self.ud_loss_windows.is_empty() {
+            let now_ns = self.kernel().now().as_nanos();
+            for (w, p) in &self.ud_loss_windows {
+                if w.contains(node, now_ns) {
+                    drop_probability = drop_probability.max(*p);
+                }
+            }
+        }
+        if drop_probability > 0.0 && rng.gen_bool(drop_probability) {
             self.rt_obs.ud_dropped.inc();
             self.rt_obs.obs.recorder.event(
                 node as u32,

@@ -573,6 +573,7 @@ fn ud_reordering_shuffles_delivery_order() {
         ud_reorder_probability: 0.5,
         ud_reorder_window: SimDuration::from_micros(50),
         seed: 99,
+        ..FaultConfig::default()
     };
     let rt = VerbsRuntime::with_faults(Cluster::new(2, DeviceProfile::edr()), faults);
     let (qp_r, cq_r) = ud_qp(&rt, 1);
@@ -629,4 +630,135 @@ fn ud_reordering_shuffles_delivery_order() {
     sorted.sort_unstable();
     assert_eq!(sorted, (0..64).collect::<Vec<_>>());
     assert_ne!(seen, sorted, "with 50% jitter some datagrams must reorder");
+}
+
+#[test]
+fn fault_plan_qp_failure_flushes_receives_and_senders() {
+    use rshuffle_verbs::FaultPlan;
+    let faults = FaultConfig {
+        ud_reorder_probability: 0.0,
+        plan: FaultPlan::new().qp_failure(1, SimDuration::from_micros(50)),
+        ..FaultConfig::default()
+    };
+    let rt = VerbsRuntime::with_faults(Cluster::new(2, DeviceProfile::edr()), faults);
+    let (qp_s, cq_s, qp_r, cq_r) = rc_pair(&rt, 0, 1);
+    let recv_mr = rt.context(1).register_untimed(4096);
+    let send_mr = rt.context(0).register_untimed(4096);
+
+    // The receiver posts a receive before the failure, then polls: it must
+    // observe a flushed completion, not hang.
+    rt.cluster().spawn(1, "receiver", move |sim| {
+        qp_r.post_recv(
+            &sim,
+            RecvWr {
+                wr_id: 1,
+                mr: recv_mr.clone(),
+                offset: 0,
+                len: 4096,
+            },
+        )
+        .unwrap();
+        let c = cq_r.next(&sim);
+        assert_eq!(c.status, WcStatus::Flushed, "queued receive is flushed");
+        assert_eq!(c.opcode, WcOpcode::Recv);
+    });
+
+    // The sender posts after the failure: its send completes in error.
+    rt.cluster().spawn(0, "sender", move |sim| {
+        sim.sleep(SimDuration::from_micros(100));
+        qp_s.post_send(
+            &sim,
+            SendWr {
+                wr_id: 7,
+                mr: send_mr,
+                offset: 0,
+                len: 64,
+                imm: None,
+                ah: None,
+            },
+        )
+        .unwrap();
+        let c = cq_s.next(&sim);
+        assert_eq!(c.status, WcStatus::Flushed, "send to a dead QP flushes");
+    });
+
+    rt.cluster().run();
+}
+
+#[test]
+fn fault_plan_ud_loss_burst_drops_only_in_window() {
+    use rshuffle_verbs::FaultPlan;
+    // Certain loss inside [1ms, 2ms), zero outside: the window boundary is
+    // what is under test, so drop probability is 1.0.
+    let faults = FaultConfig {
+        ud_drop_probability: 0.0,
+        ud_reorder_probability: 0.0,
+        plan: FaultPlan::new().ud_loss_burst(
+            0,
+            SimDuration::from_millis(1),
+            SimDuration::from_millis(1),
+            1.0,
+        ),
+        ..FaultConfig::default()
+    };
+    let rt = VerbsRuntime::with_faults(Cluster::new(2, DeviceProfile::edr()), faults);
+    let (qp_r, cq_r) = ud_qp(&rt, 1);
+    let (qp_s, cq_s) = ud_qp(&rt, 0);
+    let dest = qp_r.address_handle();
+    let recv_mr = rt.context(1).register_untimed(64 * 512);
+    let send_mr = rt.context(0).register_untimed(64);
+    let delivered = Arc::new(AtomicU64::new(0));
+
+    let delivered2 = delivered.clone();
+    rt.cluster().spawn(1, "receiver", move |sim| {
+        for i in 0..64u64 {
+            qp_r.post_recv(
+                &sim,
+                RecvWr {
+                    wr_id: i,
+                    mr: recv_mr.clone(),
+                    offset: (i as usize) * 64,
+                    len: 64,
+                },
+            )
+            .unwrap();
+        }
+        // Drain until well past the burst window.
+        while sim.now() < rshuffle_simnet::SimTime::ZERO + SimDuration::from_millis(4) {
+            if cq_r.next_timeout(&sim, SimDuration::from_micros(100)).is_some() {
+                delivered2.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    });
+
+    rt.cluster().spawn(0, "sender", move |sim| {
+        sim.sleep(SimDuration::from_micros(10));
+        // 10 datagrams before the window, 10 inside, 10 after.
+        for phase in 0..3u64 {
+            for k in 0..10u64 {
+                qp_s.post_send(
+                    &sim,
+                    SendWr {
+                        wr_id: phase * 10 + k,
+                        mr: send_mr.clone(),
+                        offset: 0,
+                        len: 48,
+                        imm: Some((phase * 10 + k) as u32),
+                        ah: Some(dest),
+                    },
+                )
+                .unwrap();
+                let _ = cq_s.next(&sim);
+            }
+            sim.sleep(SimDuration::from_millis(1));
+        }
+    });
+
+    rt.cluster().run();
+    assert_eq!(
+        delivered.load(Ordering::Relaxed),
+        20,
+        "exactly the in-window datagrams are lost"
+    );
+    assert_eq!(rt.stats().ud_dropped_in_network, 10);
 }

@@ -1,0 +1,280 @@
+//! Chaos suite: every shuffle algorithm × a matrix of seeded fault plans.
+//!
+//! The contract under test is the paper's §4.4.2 failure model plus this
+//! repo's recovery layer: under any injected fault, a query either
+//! delivers every generated row exactly once (possibly after bounded
+//! query restarts) or returns a typed [`ShuffleError`] — never a hang,
+//! never a panic, never a duplicated or dropped row in the winning
+//! attempt. Because faults are virtual-time-scheduled and every random
+//! draw is seeded, same-seed chaos runs must be byte-identical down to
+//! the metrics snapshot and Chrome trace.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rshuffle_repro::engine::{run_shuffle_with_restart, Generator, QueryReport, RestartPolicy};
+use rshuffle_repro::rshuffle::{ExchangeConfig, Operator, ShuffleAlgorithm, ShuffleError};
+use rshuffle_repro::simnet::{DeviceProfile, SimDuration};
+use rshuffle_repro::verbs::{FaultConfig, FaultPlan};
+
+const NODES: usize = 3;
+const THREADS: usize = 2;
+const ROWS_PER_THREAD: usize = 1000;
+const ROW: usize = 16;
+
+fn us(v: u64) -> SimDuration {
+    SimDuration::from_micros(v)
+}
+
+/// The chaos matrix: one representative plan per fault type. Offsets are
+/// early (≤ 20 µs) so every fault lands while the query is in flight;
+/// windows are short relative to the 2 ms stall timeout where the fault
+/// should be ridden out (flap, degrade, straggler) and long enough to
+/// force typed errors where recovery requires a restart (pause, QP
+/// failure, UD burst).
+fn fault_matrix() -> Vec<(&'static str, FaultPlan)> {
+    vec![
+        ("link-flap", FaultPlan::new().link_flap(1, us(10), us(150))),
+        (
+            "link-degrade",
+            FaultPlan::new().link_degrade(1, us(5), us(400), 0.25, us(2)),
+        ),
+        (
+            "straggler",
+            FaultPlan::new().straggler(2, us(5), us(500), 4.0),
+        ),
+        (
+            "receiver-pause",
+            FaultPlan::new().receiver_pause(1, us(10), us(300)),
+        ),
+        ("qp-failure", FaultPlan::new().qp_failure(1, us(20))),
+        (
+            "ud-loss-burst",
+            FaultPlan::new().ud_loss_burst(0, us(10), us(120), 1.0),
+        ),
+    ]
+}
+
+fn chaos_config(algorithm: ShuffleAlgorithm, plan: FaultPlan) -> ExchangeConfig {
+    let mut config = ExchangeConfig::repartition(algorithm, NODES, THREADS);
+    config.message_size = 4096;
+    // Short watchdogs so injected faults surface quickly in virtual time.
+    config.stall_timeout = SimDuration::from_millis(2);
+    config.depleted_timeout = us(500);
+    config.faults = FaultConfig {
+        seed: 42,
+        plan,
+        ..FaultConfig::default()
+    };
+    config
+}
+
+fn chaos_policy() -> RestartPolicy {
+    RestartPolicy {
+        max_restarts: 6,
+        initial_backoff: us(50),
+        max_backoff: SimDuration::from_millis(1),
+    }
+}
+
+struct ChaosRun {
+    report: QueryReport,
+    /// Rows delivered to any sink, keyed by attempt number.
+    delivered: HashMap<u32, Vec<[u8; ROW]>>,
+    snapshot: String,
+    trace: String,
+}
+
+fn run_chaos(algorithm: ShuffleAlgorithm, plan: FaultPlan, policy: RestartPolicy) -> ChaosRun {
+    let config = chaos_config(algorithm, plan);
+    let runtime = config.build_runtime(DeviceProfile::edr());
+    let delivered: Arc<Mutex<HashMap<u32, Vec<[u8; ROW]>>>> = Arc::new(Mutex::new(HashMap::new()));
+    let d = delivered.clone();
+    let report = run_shuffle_with_restart(
+        &runtime,
+        &config,
+        policy,
+        ROW,
+        |_, node| {
+            Arc::new(Generator::new(ROWS_PER_THREAD, THREADS, node as u64)) as Arc<dyn Operator>
+        },
+        move |attempt, _, _, batch| {
+            let mut map = d.lock();
+            let rows = map.entry(attempt).or_default();
+            for row in batch.iter() {
+                rows.push(row.try_into().expect("16-byte row"));
+            }
+        },
+    );
+    runtime.cluster().run();
+    let obs = runtime.obs();
+    let report = report.lock().clone();
+    ChaosRun {
+        report,
+        delivered: Arc::try_unwrap(delivered)
+            .map(|m| m.into_inner())
+            .unwrap_or_default(),
+        snapshot: obs.snapshot_json(),
+        trace: obs.chrome_trace_json(),
+    }
+}
+
+/// Every row each node's generator will emit, cluster-wide.
+fn expected_rows() -> Vec<[u8; ROW]> {
+    let mut rows = Vec::with_capacity(NODES * THREADS * ROWS_PER_THREAD);
+    for node in 0..NODES {
+        for tid in 0..THREADS {
+            for seq in 0..ROWS_PER_THREAD {
+                rows.push(Generator::row(node as u64, tid, seq));
+            }
+        }
+    }
+    rows.sort_unstable();
+    rows
+}
+
+#[test]
+fn every_algorithm_survives_every_fault_plan_exactly_once() {
+    let expected = expected_rows();
+    for (plan_name, plan) in fault_matrix() {
+        for algorithm in ShuffleAlgorithm::ALL {
+            let run = run_chaos(algorithm, plan.clone(), chaos_policy());
+            let rep = &run.report;
+            assert!(
+                rep.succeeded(),
+                "{algorithm} under {plan_name}: query failed after {} restarts: {:?}",
+                rep.restarts,
+                rep.failure
+            );
+            assert!(
+                rep.restarts <= 6,
+                "{algorithm} under {plan_name}: restart budget exceeded"
+            );
+            // Exactly-once: the winning attempt delivered precisely the
+            // generated multiset — no loss, no duplication.
+            let mut got = run
+                .delivered
+                .get(&rep.restarts)
+                .cloned()
+                .unwrap_or_default();
+            got.sort_unstable();
+            assert_eq!(
+                got.len(),
+                expected.len(),
+                "{algorithm} under {plan_name}: delivered {} of {} rows (restarts: {})",
+                got.len(),
+                expected.len(),
+                rep.restarts
+            );
+            assert_eq!(
+                got, expected,
+                "{algorithm} under {plan_name}: delivered rows diverge from the source"
+            );
+            assert_eq!(rep.rows, expected.len() as u64, "{algorithm} {plan_name}");
+        }
+    }
+}
+
+#[test]
+fn same_seed_chaos_runs_are_byte_identical() {
+    // A composite plan touching every node: flap + straggler + QP failure
+    // + UD burst. Restart timing, backoff and metrics must reproduce
+    // bit-for-bit.
+    let plan = FaultPlan::new()
+        .link_flap(1, us(10), us(150))
+        .straggler(2, us(5), us(500), 4.0)
+        .qp_failure(1, us(20))
+        .ud_loss_burst(0, us(10), us(120), 1.0);
+    for algorithm in ShuffleAlgorithm::ALL {
+        let a = run_chaos(algorithm, plan.clone(), chaos_policy());
+        let b = run_chaos(algorithm, plan.clone(), chaos_policy());
+        assert_eq!(
+            a.report.restarts, b.report.restarts,
+            "{algorithm}: same-seed runs took different restart counts"
+        );
+        assert_eq!(
+            a.snapshot, b.snapshot,
+            "{algorithm}: same-seed chaos runs must produce byte-identical snapshots"
+        );
+        assert_eq!(
+            a.trace, b.trace,
+            "{algorithm}: same-seed chaos runs must produce byte-identical traces"
+        );
+    }
+}
+
+#[test]
+fn unrecoverable_loss_returns_typed_error_not_a_hang() {
+    // Permanent 35% datagram loss: every attempt of a UD algorithm loses
+    // messages, so the restart budget runs out and the query must give up
+    // with a typed, restart-worthy error — not hang, not panic.
+    for algorithm in [ShuffleAlgorithm::MESQ_SR, ShuffleAlgorithm::SESQ_SR] {
+        let mut config = chaos_config(algorithm, FaultPlan::new());
+        config.faults.ud_drop_probability = 0.35;
+        let runtime = config.build_runtime(DeviceProfile::edr());
+        let policy = RestartPolicy {
+            max_restarts: 2,
+            initial_backoff: us(50),
+            max_backoff: us(200),
+        };
+        let report = run_shuffle_with_restart(
+            &runtime,
+            &config,
+            policy,
+            ROW,
+            |_, node| {
+                Arc::new(Generator::new(ROWS_PER_THREAD, THREADS, node as u64)) as Arc<dyn Operator>
+            },
+            |_, _, _, _| {},
+        );
+        runtime.cluster().run();
+        let rep = report.lock();
+        let failure = rep
+            .failure
+            .clone()
+            .unwrap_or_else(|| panic!("{algorithm}: permanent loss cannot succeed"));
+        assert_eq!(rep.restarts, 2, "{algorithm}: must exhaust the budget");
+        assert!(
+            !matches!(failure, ShuffleError::Config(_)),
+            "{algorithm}: loss must surface as a transport error, got {failure:?}"
+        );
+    }
+}
+
+#[test]
+fn marathon_receiver_pause_exhausts_restart_budget() {
+    // A pause longer than every attempt the budget allows: the RC
+    // send/receive design sees RNR retries exhaust on each attempt and
+    // must hand back the final typed error.
+    let plan = FaultPlan::new().receiver_pause(1, us(10), SimDuration::from_millis(40));
+    let config = chaos_config(ShuffleAlgorithm::MEMQ_SR, plan);
+    let runtime = config.build_runtime(DeviceProfile::edr());
+    let policy = RestartPolicy {
+        max_restarts: 1,
+        initial_backoff: us(50),
+        max_backoff: us(200),
+    };
+    let report = run_shuffle_with_restart(
+        &runtime,
+        &config,
+        policy,
+        ROW,
+        |_, node| {
+            Arc::new(Generator::new(ROWS_PER_THREAD, THREADS, node as u64)) as Arc<dyn Operator>
+        },
+        |_, _, _, _| {},
+    );
+    runtime.cluster().run();
+    let rep = report.lock();
+    assert!(
+        rep.failure.is_some(),
+        "a 40 ms pause defeats a 1-restart budget"
+    );
+    assert_eq!(rep.restarts, 1);
+    assert_eq!(
+        rep.attempt_errors.len(),
+        2,
+        "both attempts must report an error"
+    );
+}

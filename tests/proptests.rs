@@ -265,3 +265,222 @@ fn random_multicast_groups_deliver_exactly() {
         }
     }
 }
+
+/// UD flow control under arbitrary loss schedules: whatever burst-loss
+/// windows and reorder probability the fabric throws at the SQ/SR design,
+/// (a) the credit protocol never overruns the granted receive window — a
+/// healthy receiver never sees a datagram arrive without a posted receive,
+/// which is the observable form of "credits never go negative" — and (b)
+/// message counting detects every dropped data datagram: a query either
+/// delivers every row exactly once (after bounded restarts) or surfaces a
+/// typed transport error. Silent row loss is the one outcome that must be
+/// impossible.
+///
+/// The vendored proptest shim has a fixed case count, so this drives the
+/// full stack over a hand-rolled deterministic sample of 12 schedules.
+#[test]
+fn ud_loss_schedules_never_overrun_credit_or_lose_rows_silently() {
+    use parking_lot::Mutex;
+    use rshuffle_repro::engine::{run_shuffle_with_restart, Generator, RestartPolicy};
+    use rshuffle_repro::rshuffle::{ExchangeConfig, Operator, ShuffleAlgorithm, ShuffleError};
+    use rshuffle_repro::simnet::DeviceProfile;
+    use rshuffle_repro::verbs::{FaultConfig, FaultPlan};
+    use std::collections::HashMap;
+    use std::sync::Arc;
+
+    let nodes = 2;
+    let threads = 2;
+    let rows_per_thread = 400;
+    let us = SimDuration::from_micros;
+    let mut rng = TestRng::deterministic("proptests::ud_loss_schedules");
+    for case in 0..12 {
+        let seed = rng.next_u64();
+        let n_windows = (rng.next_u64() % 3) as usize;
+        let windows: Vec<(u64, u64, f64, usize)> = (0..n_windows)
+            .map(|_| {
+                (
+                    rng.next_u64() % 200,                          // start µs
+                    1 + rng.next_u64() % 99,                       // duration µs
+                    0.05 + (rng.next_u64() % 950) as f64 / 1000.0, // drop p in 0.05..1.0
+                    (rng.next_u64() % 2) as usize,                 // victim node
+                )
+            })
+            .collect();
+        let reorder = (rng.next_u64() % 300) as f64 / 1000.0;
+        let mut plan = FaultPlan::new();
+        for &(at, dur, p, node) in &windows {
+            plan = plan.ud_loss_burst(node, us(at), us(dur), p);
+        }
+        let mut config = ExchangeConfig::repartition(ShuffleAlgorithm::SESQ_SR, nodes, threads);
+        config.stall_timeout = SimDuration::from_millis(2);
+        config.depleted_timeout = us(500);
+        config.faults = FaultConfig {
+            seed,
+            ud_reorder_probability: reorder,
+            plan,
+            ..FaultConfig::default()
+        };
+        let runtime = config.build_runtime(DeviceProfile::edr());
+        let delivered: Arc<Mutex<HashMap<u32, Vec<[u8; 16]>>>> =
+            Arc::new(Mutex::new(HashMap::new()));
+        let d = delivered.clone();
+        let report = run_shuffle_with_restart(
+            &runtime,
+            &config,
+            RestartPolicy {
+                max_restarts: 3,
+                initial_backoff: us(50),
+                max_backoff: us(500),
+            },
+            16,
+            move |_, node| {
+                Arc::new(Generator::new(rows_per_thread, threads, node as u64)) as Arc<dyn Operator>
+            },
+            move |attempt, _, _, batch| {
+                let mut map = d.lock();
+                let rows = map.entry(attempt).or_default();
+                for row in batch.iter() {
+                    rows.push(row.try_into().unwrap());
+                }
+            },
+        );
+        runtime.cluster().run();
+        let rep = report.lock().clone();
+        let stats = runtime.stats();
+        match &rep.failure {
+            None => {
+                // Success means exactly-once: the winning attempt holds the
+                // full generated multiset, drops notwithstanding.
+                let mut expected = Vec::new();
+                for node in 0..nodes {
+                    for tid in 0..threads {
+                        for seq in 0..rows_per_thread {
+                            expected.push(Generator::row(node as u64, tid, seq));
+                        }
+                    }
+                }
+                expected.sort_unstable();
+                let mut got = delivered
+                    .lock()
+                    .get(&rep.restarts)
+                    .cloned()
+                    .unwrap_or_default();
+                got.sort_unstable();
+                prop_assert_eq!(
+                    got,
+                    expected,
+                    "case {}: loss schedule produced silent row corruption (restarts: {}, drops: {})",
+                    case,
+                    rep.restarts,
+                    stats.ud_dropped_in_network
+                );
+            }
+            Some(e) => {
+                prop_assert!(
+                    !matches!(e, ShuffleError::Config(_)),
+                    "case {}: loss must surface as a transport error, got {:?}",
+                    case,
+                    e
+                );
+            }
+        }
+        if rep.succeeded() && rep.restarts == 0 {
+            // No attempt was torn down mid-stream, so every datagram that
+            // reached a receiver must have found a posted receive: the
+            // absolute-credit window was never overrun even when credit
+            // datagrams were dropped or reordered.
+            prop_assert_eq!(
+                stats.ud_unmatched,
+                0,
+                "case {}: credit window overrun: {} unmatched datagrams (drops: {}, reorders: {})",
+                case,
+                stats.ud_unmatched,
+                stats.ud_dropped_in_network,
+                stats.ud_reordered
+            );
+        }
+    }
+}
+
+/// Deterministic pseudo-shuffle key (splitmix64 finalizer) so credit
+/// delivery order can be permuted reproducibly from a proptest seed.
+fn shuffle_key(seed: u64, v: u64) -> u64 {
+    let mut z = seed ^ v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+proptest! {
+    /// Model of the SQ/SR UD flow-control protocol (paper §4.4.1): the
+    /// receiver announces an *absolute* cumulative credit counter each time
+    /// it posts a batch of receives, and the sender max-merges whatever
+    /// credit messages actually arrive. Under arbitrary credit-message
+    /// drops and reordering the sender must never transmit a datagram
+    /// without a posted receive (credit never goes negative), and the
+    /// end-of-stream message count must flag every dropped data datagram.
+    #[test]
+    fn absolute_credit_max_merge_never_overruns(
+        grants in prop::collection::vec(1u64..64, 1..40),
+        drop_credit in prop::collection::vec(any::<bool>(), 1..40),
+        reorder_seed in any::<u64>(),
+        drop_data in prop::collection::vec(any::<bool>(), 1..40),
+    ) {
+        // Receiver side: post receives in batches, announcing the running
+        // total as the credit counter.
+        let mut posted = 0u64;
+        let mut announcements = Vec::with_capacity(grants.len());
+        for &g in &grants {
+            posted += g;
+            announcements.push(posted);
+        }
+        // The fabric drops some credit messages (never the last one, which
+        // in the real protocol is retransmitted with the Depleted
+        // writeback) and delivers the rest in arbitrary order.
+        let last = *announcements.last().unwrap();
+        let mut delivered: Vec<u64> = announcements
+            .iter()
+            .copied()
+            .zip(drop_credit.iter().cycle())
+            .filter(|&(c, &d)| c == last || !d)
+            .map(|(c, _)| c)
+            .collect();
+        delivered.sort_by_key(|&c| shuffle_key(reorder_seed, c));
+
+        // Sender side: max-merge the absolute counter, transmit while
+        // credit remains.
+        let mut granted = 0u64;
+        let mut sent = 0u64;
+        for c in delivered {
+            granted = granted.max(c);
+            while sent < granted {
+                sent += 1;
+                prop_assert!(
+                    sent <= posted,
+                    "datagram {} transmitted with only {} receives posted",
+                    sent,
+                    posted
+                );
+            }
+        }
+        // Dropped or reordered credit can stall the sender but never push
+        // consumption past what the receiver granted.
+        prop_assert!(sent <= posted);
+        // Because every announcement eventually arrives (the writeback
+        // path), the sender drains the whole stream.
+        prop_assert_eq!(sent, posted);
+
+        // Data-loss detection: the sender stamps `sent` into its Depleted
+        // header; the receiver counts arrivals. Any dropped data datagram
+        // must produce a mismatch — silent loss is impossible.
+        let lost = (0..sent)
+            .filter(|i| drop_data[(*i as usize) % drop_data.len()])
+            .count() as u64;
+        let received = sent - lost;
+        prop_assert_eq!(
+            received == sent,
+            lost == 0,
+            "message counting must detect exactly the dropped datagrams"
+        );
+    }
+}
