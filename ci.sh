@@ -10,6 +10,24 @@ cargo build --release $CARGO_FLAGS
 cargo test -q $CARGO_FLAGS
 cargo clippy --workspace $CARGO_FLAGS -- -D warnings
 
+# Feature matrix: the audit feature auto-installs the protocol invariant
+# auditor on every Exchange::build; the whole suite (chaos, conformance,
+# determinism) must stay green — and byte-identical — with it on.
+cargo test -q --features audit $CARGO_FLAGS
+cargo clippy --workspace --all-targets --features audit $CARGO_FLAGS -- -D warnings
+
+# Mutation smoke: each compile-time saboteur breaks one protocol step and
+# must be caught by the auditor as a *named* violation, never a hang.
+cargo test -q --features saboteur --test mutation $CARGO_FLAGS
+cargo clippy --workspace --all-targets --features saboteur $CARGO_FLAGS -- -D warnings
+
+# Panic-free data path: endpoint hot paths propagate typed ShuffleErrors;
+# unwrap/expect would turn a poisoned ring slot into a process abort.
+if grep -rnE '\.(unwrap|expect)\(' crates/core/src/endpoint/; then
+  echo "ERROR: unwrap()/expect() on an endpoint data path (see above)" >&2
+  exit 1
+fi
+
 # Chaos smoke: one composite fault plan (link flap + straggler + QP failure
 # + UD loss burst) across all six algorithms; fails unless every query
 # recovers with exactly-once row delivery.

@@ -1,0 +1,1085 @@
+//! Runtime protocol-invariant auditor for the shuffle endpoints.
+//!
+//! The paper's correctness argument rests on three delicate protocols:
+//! absolute-credit flow control (§4.4.1), message-counting termination
+//! via `Depleted` counters (§4.4.2), and the FreeArr/ValidArr circular
+//! queue state machine (Algorithm 3, §4.4.3). A bug in any of them used
+//! to surface only as a wrong byte count or a chaos-test hang. This
+//! crate turns each protocol rule into a checkable invariant:
+//!
+//! * **Credit conservation** — per flow-control lane, the absolute
+//!   credit value a receiver announces never regresses, never exceeds
+//!   the receives it actually posted, is never overdrawn by the sender,
+//!   and (for reliably-written RC credit slots) never lags the posted
+//!   count by more than one write-back period — a lost write-back is
+//!   caught online even though absolute credit eventually self-heals.
+//! * **Buffer lifecycle** — a sender may only send a buffer it took via
+//!   GETFREE and may only recycle a buffer it sent; a receiver releases
+//!   every delivered buffer exactly once.
+//! * **`Depleted` counter consistency** — the counter a sender
+//!   announces must equal the number of data messages it actually sent
+//!   to that destination, and a receiver must never count more
+//!   messages from a source than the source declared.
+//! * **Ring state machine** — FreeArr/ValidArr/grant rings never hold
+//!   more in-flight entries than their capacity (a producer overwriting
+//!   an unconsumed slot would corrupt the queue), and ValidArr entries
+//!   are fully drained at clean termination.
+//! * **Virtual-time monotonicity** — events observed by the auditor
+//!   carry non-decreasing virtual timestamps within an epoch.
+//!
+//! Every violation is a typed [`AuditViolation`] naming the offending
+//! lane/slot/source plus the virtual timestamp, and is simultaneously
+//! fed to the PR-1 observability layer as an
+//! `EventKind::AuditViolation` recorder event and an
+//! [`AUDIT_VIOLATIONS`] metric. Both are created lazily on the first
+//! violation, so a healthy run produces byte-identical snapshots and
+//! traces with or without an auditor installed.
+//!
+//! The auditor is cross-side by construction: identities are derived
+//! from shared RDMA facts (an MR's `rkey` plus a byte offset), which
+//! both the producer and the consumer of a protocol object know
+//! independently. Endpoints call hooks through an [`AuditHandle`],
+//! which is a no-op (one branch on an `Option`) when no auditor is
+//! installed.
+
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rshuffle_obs::{EventKind, Labels, Obs, HW_TRACK};
+
+/// Metric name for the total number of audit violations `{node}`.
+pub const AUDIT_VIOLATIONS: &str = "audit.violations";
+
+/// Upper bound on stored violations per auditor; beyond this they are
+/// counted but dropped, so a pathological run cannot exhaust memory.
+pub const MAX_VIOLATIONS: usize = 4096;
+
+/// Identifies one credit flow-control lane.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum CreditLane {
+    /// An RC credit slot: the credit MR's `rkey` plus the byte offset
+    /// of the 8-byte slot the receiver RDMA-writes into. Both sides
+    /// compute the same key (the sender owns the MR, the receiver holds
+    /// its remote descriptor).
+    Slot {
+        /// Remote key of the credit memory region.
+        rkey: u32,
+        /// Byte offset of this peer's slot within the region.
+        offset: u64,
+    },
+    /// A UD credit lane: the data-sending endpoint and the node of the
+    /// data receiver that grants it credit datagrams.
+    Ud {
+        /// Endpoint id of the data sender.
+        sender: u64,
+        /// Node id of the data receiver granting credits.
+        dest: u64,
+    },
+}
+
+impl fmt::Display for CreditLane {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CreditLane::Slot { rkey, offset } => write!(f, "rc-slot[rkey={rkey},off={offset}]"),
+            CreditLane::Ud { sender, dest } => write!(f, "ud[ep={sender}->node={dest}]"),
+        }
+    }
+}
+
+/// Which circular queue a [`RingKey`] refers to.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum RingKind {
+    /// ValidArr: producer announces filled buffers (Alg. 3 / §7).
+    ValidArr,
+    /// FreeArr: consumer returns drained buffer offsets (§4.4.3).
+    FreeArr,
+    /// Grant ring: receiver grants writable remote offsets (§7).
+    Grant,
+}
+
+impl fmt::Display for RingKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RingKind::ValidArr => f.write_str("ValidArr"),
+            RingKind::FreeArr => f.write_str("FreeArr"),
+            RingKind::Grant => f.write_str("Grant"),
+        }
+    }
+}
+
+/// Identity of one circular queue, shared by producer and consumer:
+/// the ring MR's `rkey` plus the base byte offset of the ring.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct RingKey {
+    /// Remote key of the memory region holding the ring slots.
+    pub rkey: u32,
+    /// Byte offset of slot 0 within the region.
+    pub base: u64,
+}
+
+impl fmt::Display for RingKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rkey={},base={}", self.rkey, self.base)
+    }
+}
+
+/// Identity of one message buffer: the pool MR's `rkey` plus the byte
+/// offset of the buffer window inside it. Unique cluster-wide because
+/// `rkey`s are allocated from a global counter.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct BufId {
+    /// Remote key of the buffer pool memory region.
+    pub rkey: u32,
+    /// Byte offset of the buffer within the pool.
+    pub offset: u64,
+}
+
+impl fmt::Display for BufId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rkey={},off={}", self.rkey, self.offset)
+    }
+}
+
+/// A named protocol-invariant violation with the offending lane/slot
+/// and the virtual timestamp at which it was observed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AuditViolation {
+    /// A sender consumed more credits than its receiver ever granted.
+    CreditOverdraft {
+        /// The flow-control lane.
+        lane: CreditLane,
+        /// Cumulative messages sent on the lane.
+        consumed: u64,
+        /// Cumulative credit granted by the receiver.
+        granted: u64,
+        /// Virtual nanoseconds.
+        at_ns: u64,
+    },
+    /// An absolute credit announcement went backwards (§4.4.1 credits
+    /// are cumulative and must be non-decreasing).
+    CreditRegression {
+        /// The flow-control lane.
+        lane: CreditLane,
+        /// Previously announced credit.
+        previous: u64,
+        /// The regressed announcement.
+        granted: u64,
+        /// Virtual nanoseconds.
+        at_ns: u64,
+    },
+    /// A receiver granted more credit than receives it had posted.
+    CreditOverGrant {
+        /// The flow-control lane.
+        lane: CreditLane,
+        /// The announced credit.
+        granted: u64,
+        /// Receives actually posted.
+        posted: u64,
+        /// Virtual nanoseconds.
+        at_ns: u64,
+    },
+    /// A reliably-written RC credit slot lags the receives actually
+    /// posted by more than one write-back period — a credit write-back
+    /// was skipped or lost.
+    CreditWritebackLost {
+        /// The flow-control lane.
+        lane: CreditLane,
+        /// Receives posted so far.
+        posted: u64,
+        /// Last credit announced.
+        granted: u64,
+        /// Configured write-back frequency.
+        frequency: u64,
+        /// Virtual nanoseconds.
+        at_ns: u64,
+    },
+    /// A sender posted a buffer it did not hold (send after release /
+    /// send without GETFREE).
+    UseAfterFree {
+        /// The buffer.
+        buf: BufId,
+        /// Virtual nanoseconds.
+        at_ns: u64,
+    },
+    /// A send buffer was recycled (completion reaped) while not in the
+    /// sent state — a duplicate or spurious completion.
+    DoubleFree {
+        /// The buffer.
+        buf: BufId,
+        /// Virtual nanoseconds.
+        at_ns: u64,
+    },
+    /// A receiver released a buffer it was not holding.
+    DoubleRelease {
+        /// The buffer.
+        buf: BufId,
+        /// Virtual nanoseconds.
+        at_ns: u64,
+    },
+    /// A receiver delivered a buffer that was already delivered and not
+    /// yet released.
+    DoubleDelivery {
+        /// The buffer.
+        buf: BufId,
+        /// Virtual nanoseconds.
+        at_ns: u64,
+    },
+    /// At clean termination a buffer never completed its lifecycle: a
+    /// GETFREE buffer that was never sent, or a delivered buffer that
+    /// was never released.
+    BufferLeak {
+        /// The buffer.
+        buf: BufId,
+        /// True for a receive-side leak (delivered, never released).
+        held: bool,
+    },
+    /// A ring producer ran ahead of the consumer by more than the ring
+    /// capacity — it would overwrite an unconsumed slot.
+    RingOverwrite {
+        /// The ring.
+        ring: RingKey,
+        /// The ring kind.
+        kind: RingKind,
+        /// Entries produced so far.
+        produced: u64,
+        /// Entries consumed so far.
+        consumed: u64,
+        /// Ring capacity in slots.
+        capacity: u64,
+        /// Virtual nanoseconds.
+        at_ns: u64,
+    },
+    /// At clean termination a ValidArr ring still held announced but
+    /// unconsumed entries (or consumed more than was produced).
+    RingImbalance {
+        /// The ring.
+        ring: RingKey,
+        /// The ring kind.
+        kind: RingKind,
+        /// Entries produced.
+        produced: u64,
+        /// Entries consumed.
+        consumed: u64,
+    },
+    /// A receiver counted more data messages from a source than the
+    /// source declared in its `Depleted` counter (§4.4.2).
+    DepletedOverrun {
+        /// Node id of the source.
+        src: u64,
+        /// Messages counted.
+        received: u64,
+        /// Messages the source declared.
+        expected: u64,
+        /// Virtual nanoseconds.
+        at_ns: u64,
+    },
+    /// The `Depleted` counter a sender announced does not match the
+    /// data messages it actually sent to that destination, or at clean
+    /// termination a receiver's count differs from the declaration.
+    DepletedMismatch {
+        /// Endpoint or node id of the sender (context-dependent).
+        src: u64,
+        /// The announced counter.
+        declared: u64,
+        /// Messages actually sent/received.
+        actual: u64,
+        /// Virtual nanoseconds (0 when detected at finalize).
+        at_ns: u64,
+    },
+    /// An audited event carried a virtual timestamp earlier than one
+    /// already observed in this epoch.
+    TimeRegression {
+        /// The regressed timestamp.
+        at_ns: u64,
+        /// The latest timestamp seen before it.
+        last_ns: u64,
+    },
+}
+
+impl AuditViolation {
+    /// Stable short code used in error messages and trace `arg`s.
+    pub fn code(&self) -> &'static str {
+        match self {
+            AuditViolation::CreditOverdraft { .. } => "credit_overdraft",
+            AuditViolation::CreditRegression { .. } => "credit_regression",
+            AuditViolation::CreditOverGrant { .. } => "credit_over_grant",
+            AuditViolation::CreditWritebackLost { .. } => "credit_writeback_lost",
+            AuditViolation::UseAfterFree { .. } => "use_after_free",
+            AuditViolation::DoubleFree { .. } => "double_free",
+            AuditViolation::DoubleRelease { .. } => "double_release",
+            AuditViolation::DoubleDelivery { .. } => "double_delivery",
+            AuditViolation::BufferLeak { .. } => "buffer_leak",
+            AuditViolation::RingOverwrite { .. } => "ring_overwrite",
+            AuditViolation::RingImbalance { .. } => "ring_imbalance",
+            AuditViolation::DepletedOverrun { .. } => "depleted_overrun",
+            AuditViolation::DepletedMismatch { .. } => "depleted_mismatch",
+            AuditViolation::TimeRegression { .. } => "time_regression",
+        }
+    }
+
+    /// Numeric code recorded as the `arg` of the
+    /// `EventKind::AuditViolation` recorder event.
+    pub fn code_id(&self) -> u64 {
+        match self {
+            AuditViolation::CreditOverdraft { .. } => 1,
+            AuditViolation::CreditRegression { .. } => 2,
+            AuditViolation::CreditOverGrant { .. } => 3,
+            AuditViolation::CreditWritebackLost { .. } => 4,
+            AuditViolation::UseAfterFree { .. } => 5,
+            AuditViolation::DoubleFree { .. } => 6,
+            AuditViolation::DoubleRelease { .. } => 7,
+            AuditViolation::DoubleDelivery { .. } => 8,
+            AuditViolation::BufferLeak { .. } => 9,
+            AuditViolation::RingOverwrite { .. } => 10,
+            AuditViolation::RingImbalance { .. } => 11,
+            AuditViolation::DepletedOverrun { .. } => 12,
+            AuditViolation::DepletedMismatch { .. } => 13,
+            AuditViolation::TimeRegression { .. } => 14,
+        }
+    }
+}
+
+impl fmt::Display for AuditViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuditViolation::CreditOverdraft { lane, consumed, granted, at_ns } => write!(
+                f,
+                "credit overdraft on {lane}: consumed {consumed} > granted {granted} at {at_ns}ns"
+            ),
+            AuditViolation::CreditRegression { lane, previous, granted, at_ns } => write!(
+                f,
+                "credit regression on {lane}: {granted} after {previous} at {at_ns}ns"
+            ),
+            AuditViolation::CreditOverGrant { lane, granted, posted, at_ns } => write!(
+                f,
+                "over-grant on {lane}: granted {granted} > posted {posted} at {at_ns}ns"
+            ),
+            AuditViolation::CreditWritebackLost { lane, posted, granted, frequency, at_ns } => {
+                write!(
+                    f,
+                    "lost credit write-back on {lane}: posted {posted}, granted {granted}, \
+                     frequency {frequency} at {at_ns}ns"
+                )
+            }
+            AuditViolation::UseAfterFree { buf, at_ns } => {
+                write!(f, "send of unowned buffer {buf} at {at_ns}ns")
+            }
+            AuditViolation::DoubleFree { buf, at_ns } => {
+                write!(f, "recycle of unsent buffer {buf} at {at_ns}ns")
+            }
+            AuditViolation::DoubleRelease { buf, at_ns } => {
+                write!(f, "double release of buffer {buf} at {at_ns}ns")
+            }
+            AuditViolation::DoubleDelivery { buf, at_ns } => {
+                write!(f, "double delivery of buffer {buf} at {at_ns}ns")
+            }
+            AuditViolation::BufferLeak { buf, held } => write!(
+                f,
+                "buffer leak at termination: {buf} ({})",
+                if *held { "delivered, never released" } else { "taken, never sent" }
+            ),
+            AuditViolation::RingOverwrite { ring, kind, produced, consumed, capacity, at_ns } => {
+                write!(
+                    f,
+                    "{kind} ring overwrite [{ring}]: produced {produced} − consumed {consumed} \
+                     > capacity {capacity} at {at_ns}ns"
+                )
+            }
+            AuditViolation::RingImbalance { ring, kind, produced, consumed } => write!(
+                f,
+                "{kind} ring imbalance at termination [{ring}]: produced {produced}, \
+                 consumed {consumed}"
+            ),
+            AuditViolation::DepletedOverrun { src, received, expected, at_ns } => write!(
+                f,
+                "Depleted overrun from node {src}: received {received} > declared {expected} \
+                 at {at_ns}ns"
+            ),
+            AuditViolation::DepletedMismatch { src, declared, actual, at_ns } => write!(
+                f,
+                "Depleted counter mismatch for source {src}: declared {declared}, \
+                 actual {actual} at {at_ns}ns"
+            ),
+            AuditViolation::TimeRegression { at_ns, last_ns } => {
+                write!(f, "virtual time regression: {at_ns}ns after {last_ns}ns")
+            }
+        }
+    }
+}
+
+#[derive(Default)]
+struct CreditState {
+    granted: Option<u64>,
+    consumed: u64,
+    posted: u64,
+    /// Write-back frequency for reliably-written RC slots; `None` for
+    /// lanes whose announcements may be legally lost (UD datagrams).
+    frequency: Option<u64>,
+}
+
+#[derive(Copy, Clone, PartialEq, Eq)]
+enum SendBufState {
+    Taken,
+    Sent,
+}
+
+#[derive(Default)]
+struct RingState {
+    kind: Option<RingKind>,
+    capacity: u64,
+    produced: u64,
+    consumed: u64,
+}
+
+#[derive(Default)]
+struct DepletedState {
+    received: u64,
+    expected: Option<u64>,
+}
+
+#[derive(Default)]
+struct AuditState {
+    last_ns: u64,
+    time_flagged: bool,
+    credits: HashMap<CreditLane, CreditState>,
+    send_bufs: HashMap<BufId, SendBufState>,
+    recv_held: HashMap<BufId, bool>,
+    rings: HashMap<RingKey, RingState>,
+    /// Per-destination data-message counts at the sender, keyed by
+    /// `(sender endpoint, destination node)`.
+    sent_data: HashMap<(u64, u64), u64>,
+    /// Per-source receive counts at a receiver, keyed by
+    /// `(receiving node, source node)`.
+    depleted: HashMap<(u64, u64), DepletedState>,
+    violations: Vec<AuditViolation>,
+    dropped: u64,
+}
+
+/// The shared invariant checker: one per [`VerbsRuntime`], installed via
+/// `runtime.enable_audit()` and consulted by every endpoint through an
+/// [`AuditHandle`].
+///
+/// [`VerbsRuntime`]: https://docs.rs/rshuffle-verbs
+pub struct ShuffleAuditor {
+    state: Mutex<AuditState>,
+    obs: Option<Arc<Obs>>,
+}
+
+impl ShuffleAuditor {
+    /// Creates an auditor that reports violations into `obs` (recorder
+    /// event + metric) in addition to storing them.
+    pub fn new(obs: Option<Arc<Obs>>) -> Arc<ShuffleAuditor> {
+        Arc::new(ShuffleAuditor { state: Mutex::new(AuditState::default()), obs })
+    }
+
+    /// Starts a fresh protocol epoch (one shuffle attempt): clears all
+    /// per-run lane/buffer/ring state and resets the monotonicity
+    /// watermark, keeping accumulated violations. Called by
+    /// `Exchange::build` so restarted attempts do not inherit stale
+    /// slot state.
+    pub fn begin_epoch(&self) {
+        let mut st = self.state.lock();
+        st.last_ns = 0;
+        st.time_flagged = false;
+        st.credits.clear();
+        st.send_bufs.clear();
+        st.recv_held.clear();
+        st.rings.clear();
+        st.sent_data.clear();
+        st.depleted.clear();
+    }
+
+    /// All violations recorded so far (across epochs).
+    pub fn violations(&self) -> Vec<AuditViolation> {
+        self.state.lock().violations.clone()
+    }
+
+    /// Number of violations recorded so far, including any dropped
+    /// beyond [`MAX_VIOLATIONS`].
+    pub fn violation_count(&self) -> u64 {
+        let st = self.state.lock();
+        st.violations.len() as u64 + st.dropped
+    }
+
+    /// True when no invariant has been violated.
+    pub fn is_clean(&self) -> bool {
+        self.violation_count() == 0
+    }
+
+    /// Runs end-of-run checks and returns every violation recorded.
+    ///
+    /// With `clean = true` the run is claimed to have terminated
+    /// normally, so lifecycle completeness is also enforced: no buffer
+    /// taken-but-never-sent or delivered-but-never-released, ValidArr
+    /// rings fully drained, and every known `Depleted` declaration
+    /// matched exactly. With `clean = false` (the run ended in a typed
+    /// error) only violations already observed online are returned —
+    /// an aborted attempt legally leaves state in flight.
+    pub fn finalize(&self, clean: bool) -> Vec<AuditViolation> {
+        let mut st = self.state.lock();
+        if clean {
+            let mut found: Vec<AuditViolation> = Vec::new();
+            for (&buf, &state) in &st.send_bufs {
+                if state == SendBufState::Taken {
+                    found.push(AuditViolation::BufferLeak { buf, held: false });
+                }
+            }
+            for (&buf, &held) in &st.recv_held {
+                if held {
+                    found.push(AuditViolation::BufferLeak { buf, held: true });
+                }
+            }
+            for (&ring, rs) in &st.rings {
+                if rs.kind == Some(RingKind::ValidArr) && rs.produced != rs.consumed {
+                    found.push(AuditViolation::RingImbalance {
+                        ring,
+                        kind: RingKind::ValidArr,
+                        produced: rs.produced,
+                        consumed: rs.consumed,
+                    });
+                }
+            }
+            for (&(_, src), ds) in &st.depleted {
+                if let Some(expected) = ds.expected {
+                    if ds.received != expected {
+                        found.push(AuditViolation::DepletedMismatch {
+                            src,
+                            declared: expected,
+                            actual: ds.received,
+                            at_ns: 0,
+                        });
+                    }
+                }
+            }
+            // Deterministic report order regardless of hash iteration.
+            found.sort_by_key(|v| (v.code_id(), format!("{v}")));
+            let at_ns = st.last_ns;
+            for v in found {
+                self.record(&mut st, 0, at_ns, v);
+            }
+        }
+        st.violations.clone()
+    }
+
+    fn record(&self, st: &mut AuditState, node: u32, at_ns: u64, v: AuditViolation) {
+        if let Some(obs) = &self.obs {
+            obs.recorder.event(node, HW_TRACK, at_ns, EventKind::AuditViolation, v.code_id());
+            obs.metrics.counter(AUDIT_VIOLATIONS, Labels::node(node)).inc();
+        }
+        if st.violations.len() < MAX_VIOLATIONS {
+            st.violations.push(v);
+        } else {
+            st.dropped += 1;
+        }
+    }
+
+    fn observe_time(&self, st: &mut AuditState, node: u32, at_ns: u64) {
+        if at_ns < st.last_ns {
+            if !st.time_flagged {
+                st.time_flagged = true;
+                let last_ns = st.last_ns;
+                self.record(st, node, at_ns, AuditViolation::TimeRegression { at_ns, last_ns });
+            }
+        } else {
+            st.last_ns = at_ns;
+        }
+    }
+
+    fn credit_lane(&self, lane: CreditLane, frequency: Option<u64>) {
+        let mut st = self.state.lock();
+        let entry = st.credits.entry(lane).or_default();
+        if frequency.is_some() {
+            entry.frequency = frequency;
+        }
+    }
+
+    fn credit_granted(&self, node: u32, lane: CreditLane, granted: u64, at_ns: u64) {
+        let mut st = self.state.lock();
+        self.observe_time(&mut st, node, at_ns);
+        let entry = st.credits.entry(lane).or_default();
+        let previous = entry.granted;
+        let posted = entry.posted;
+        let tracked = entry.frequency.is_some();
+        entry.granted = Some(entry.granted.unwrap_or(0).max(granted));
+        if let Some(previous) = previous {
+            if granted < previous {
+                self.record(
+                    &mut st,
+                    node,
+                    at_ns,
+                    AuditViolation::CreditRegression { lane, previous, granted, at_ns },
+                );
+                return;
+            }
+        }
+        if tracked && granted > posted {
+            self.record(
+                &mut st,
+                node,
+                at_ns,
+                AuditViolation::CreditOverGrant { lane, granted, posted, at_ns },
+            );
+        }
+    }
+
+    fn receives_posted(&self, node: u32, lane: CreditLane, n: u64, at_ns: u64) {
+        let mut st = self.state.lock();
+        self.observe_time(&mut st, node, at_ns);
+        let entry = st.credits.entry(lane).or_default();
+        entry.posted += n;
+        let posted = entry.posted;
+        let granted = entry.granted;
+        let frequency = entry.frequency;
+        if let (Some(frequency), Some(granted)) = (frequency, granted) {
+            if posted - granted > frequency {
+                self.record(
+                    &mut st,
+                    node,
+                    at_ns,
+                    AuditViolation::CreditWritebackLost { lane, posted, granted, frequency, at_ns },
+                );
+            }
+        }
+    }
+
+    fn credit_consumed(&self, node: u32, lane: CreditLane, consumed: u64, at_ns: u64) {
+        let mut st = self.state.lock();
+        self.observe_time(&mut st, node, at_ns);
+        let entry = st.credits.entry(lane).or_default();
+        entry.consumed = entry.consumed.max(consumed);
+        if let Some(granted) = entry.granted {
+            if consumed > granted {
+                self.record(
+                    &mut st,
+                    node,
+                    at_ns,
+                    AuditViolation::CreditOverdraft { lane, consumed, granted, at_ns },
+                );
+            }
+        }
+    }
+
+    fn buffer_taken(&self, node: u32, buf: BufId, at_ns: u64) {
+        let mut st = self.state.lock();
+        self.observe_time(&mut st, node, at_ns);
+        st.send_bufs.insert(buf, SendBufState::Taken);
+    }
+
+    fn buffer_sent(&self, node: u32, buf: BufId, at_ns: u64) {
+        let mut st = self.state.lock();
+        self.observe_time(&mut st, node, at_ns);
+        match st.send_bufs.insert(buf, SendBufState::Sent) {
+            Some(SendBufState::Taken) => {}
+            _ => self.record(&mut st, node, at_ns, AuditViolation::UseAfterFree { buf, at_ns }),
+        }
+    }
+
+    fn buffer_recycled(&self, node: u32, buf: BufId, at_ns: u64) {
+        let mut st = self.state.lock();
+        self.observe_time(&mut st, node, at_ns);
+        match st.send_bufs.remove(&buf) {
+            Some(SendBufState::Sent) => {}
+            _ => self.record(&mut st, node, at_ns, AuditViolation::DoubleFree { buf, at_ns }),
+        }
+    }
+
+    fn delivered(&self, node: u32, buf: BufId, at_ns: u64) {
+        let mut st = self.state.lock();
+        self.observe_time(&mut st, node, at_ns);
+        if st.recv_held.insert(buf, true) == Some(true) {
+            self.record(&mut st, node, at_ns, AuditViolation::DoubleDelivery { buf, at_ns });
+        }
+    }
+
+    fn released(&self, node: u32, buf: BufId, at_ns: u64) {
+        let mut st = self.state.lock();
+        self.observe_time(&mut st, node, at_ns);
+        if st.recv_held.insert(buf, false) != Some(true) {
+            self.record(&mut st, node, at_ns, AuditViolation::DoubleRelease { buf, at_ns });
+        }
+    }
+
+    fn ring(&self, ring: RingKey, kind: RingKind, capacity: u64) {
+        let mut st = self.state.lock();
+        let entry = st.rings.entry(ring).or_default();
+        entry.kind = Some(kind);
+        entry.capacity = entry.capacity.max(capacity);
+    }
+
+    fn ring_produced(&self, node: u32, ring: RingKey, at_ns: u64) {
+        let mut st = self.state.lock();
+        self.observe_time(&mut st, node, at_ns);
+        let entry = st.rings.entry(ring).or_default();
+        entry.produced += 1;
+        let (produced, consumed, capacity) = (entry.produced, entry.consumed, entry.capacity);
+        let kind = entry.kind.unwrap_or(RingKind::ValidArr);
+        if capacity > 0 && produced - consumed.min(produced) > capacity {
+            self.record(
+                &mut st,
+                node,
+                at_ns,
+                AuditViolation::RingOverwrite { ring, kind, produced, consumed, capacity, at_ns },
+            );
+        }
+    }
+
+    fn ring_consumed(&self, node: u32, ring: RingKey, at_ns: u64) {
+        let mut st = self.state.lock();
+        self.observe_time(&mut st, node, at_ns);
+        st.rings.entry(ring).or_default().consumed += 1;
+    }
+
+    fn data_sent(&self, node: u32, sender: u64, dest: u64, at_ns: u64) {
+        let mut st = self.state.lock();
+        self.observe_time(&mut st, node, at_ns);
+        *st.sent_data.entry((sender, dest)).or_default() += 1;
+    }
+
+    fn depleted_announced(&self, node: u32, sender: u64, dest: u64, declared: u64, at_ns: u64) {
+        let mut st = self.state.lock();
+        self.observe_time(&mut st, node, at_ns);
+        let actual = st.sent_data.get(&(sender, dest)).copied().unwrap_or(0);
+        if declared != actual {
+            self.record(
+                &mut st,
+                node,
+                at_ns,
+                AuditViolation::DepletedMismatch { src: sender, declared, actual, at_ns },
+            );
+        }
+    }
+
+    fn counted_receive(
+        &self,
+        node: u32,
+        src: u64,
+        received: u64,
+        expected: Option<u64>,
+        at_ns: u64,
+    ) {
+        let mut st = self.state.lock();
+        self.observe_time(&mut st, node, at_ns);
+        let entry = st.depleted.entry((node as u64, src)).or_default();
+        entry.received = entry.received.max(received);
+        if let Some(expected) = expected {
+            entry.expected = Some(expected);
+        }
+        let received = entry.received;
+        if let Some(expected) = entry.expected {
+            if received > expected {
+                self.record(
+                    &mut st,
+                    node,
+                    at_ns,
+                    AuditViolation::DepletedOverrun { src, received, expected, at_ns },
+                );
+            }
+        }
+    }
+}
+
+/// Per-endpoint handle through which protocol hooks reach the shared
+/// [`ShuffleAuditor`]. When no auditor is installed every hook is a
+/// single branch on an `Option` — cheap enough to leave compiled in.
+#[derive(Clone, Default)]
+pub struct AuditHandle {
+    auditor: Option<Arc<ShuffleAuditor>>,
+    node: u32,
+}
+
+impl AuditHandle {
+    /// A handle for the endpoint of `node`, auditing into `auditor`
+    /// when one is installed.
+    pub fn new(auditor: Option<Arc<ShuffleAuditor>>, node: u32) -> AuditHandle {
+        AuditHandle { auditor, node }
+    }
+
+    /// A permanently disabled handle.
+    pub fn disabled() -> AuditHandle {
+        AuditHandle::default()
+    }
+
+    /// Whether an auditor is attached.
+    pub fn enabled(&self) -> bool {
+        self.auditor.is_some()
+    }
+
+    /// Registers a credit lane; `frequency` is the write-back period
+    /// for reliably-written RC slots and `None` for lossy (UD) lanes.
+    #[inline]
+    pub fn credit_lane(&self, lane: CreditLane, frequency: Option<u64>) {
+        if let Some(a) = &self.auditor {
+            a.credit_lane(lane, frequency);
+        }
+    }
+
+    /// The receiver announced an absolute credit value on `lane`.
+    #[inline]
+    pub fn credit_granted(&self, lane: CreditLane, granted: u64, at_ns: u64) {
+        if let Some(a) = &self.auditor {
+            a.credit_granted(self.node, lane, granted, at_ns);
+        }
+    }
+
+    /// The receiver posted `n` more receives backing `lane`.
+    #[inline]
+    pub fn receives_posted(&self, lane: CreditLane, n: u64, at_ns: u64) {
+        if let Some(a) = &self.auditor {
+            a.receives_posted(self.node, lane, n, at_ns);
+        }
+    }
+
+    /// The sender's cumulative message count on `lane` reached
+    /// `consumed`.
+    #[inline]
+    pub fn credit_consumed(&self, lane: CreditLane, consumed: u64, at_ns: u64) {
+        if let Some(a) = &self.auditor {
+            a.credit_consumed(self.node, lane, consumed, at_ns);
+        }
+    }
+
+    /// A sender took `buf` via GETFREE.
+    #[inline]
+    pub fn buffer_taken(&self, buf: BufId, at_ns: u64) {
+        if let Some(a) = &self.auditor {
+            a.buffer_taken(self.node, buf, at_ns);
+        }
+    }
+
+    /// A sender posted `buf` to the fabric.
+    #[inline]
+    pub fn buffer_sent(&self, buf: BufId, at_ns: u64) {
+        if let Some(a) = &self.auditor {
+            a.buffer_sent(self.node, buf, at_ns);
+        }
+    }
+
+    /// A sender reaped the completion for `buf`, returning it to the
+    /// free pool.
+    #[inline]
+    pub fn buffer_recycled(&self, buf: BufId, at_ns: u64) {
+        if let Some(a) = &self.auditor {
+            a.buffer_recycled(self.node, buf, at_ns);
+        }
+    }
+
+    /// A receiver handed `buf` to the operator.
+    #[inline]
+    pub fn delivered(&self, buf: BufId, at_ns: u64) {
+        if let Some(a) = &self.auditor {
+            a.delivered(self.node, buf, at_ns);
+        }
+    }
+
+    /// A receiver released `buf` back to the transport.
+    #[inline]
+    pub fn released(&self, buf: BufId, at_ns: u64) {
+        if let Some(a) = &self.auditor {
+            a.released(self.node, buf, at_ns);
+        }
+    }
+
+    /// Registers a circular queue of `capacity` slots.
+    #[inline]
+    pub fn ring(&self, ring: RingKey, kind: RingKind, capacity: u64) {
+        if let Some(a) = &self.auditor {
+            a.ring(ring, kind, capacity);
+        }
+    }
+
+    /// The producer announced one entry into `ring`.
+    #[inline]
+    pub fn ring_produced(&self, ring: RingKey, at_ns: u64) {
+        if let Some(a) = &self.auditor {
+            a.ring_produced(self.node, ring, at_ns);
+        }
+    }
+
+    /// The consumer drained one entry from `ring`.
+    #[inline]
+    pub fn ring_consumed(&self, ring: RingKey, at_ns: u64) {
+        if let Some(a) = &self.auditor {
+            a.ring_consumed(self.node, ring, at_ns);
+        }
+    }
+
+    /// A sender endpoint `sender` posted one data message to node
+    /// `dest` on a message-counting (UD) design.
+    #[inline]
+    pub fn data_sent(&self, sender: u64, dest: u64, at_ns: u64) {
+        if let Some(a) = &self.auditor {
+            a.data_sent(self.node, sender, dest, at_ns);
+        }
+    }
+
+    /// A sender announced its `Depleted` counter `declared` to `dest`.
+    #[inline]
+    pub fn depleted_announced(&self, sender: u64, dest: u64, declared: u64, at_ns: u64) {
+        if let Some(a) = &self.auditor {
+            a.depleted_announced(self.node, sender, dest, declared, at_ns);
+        }
+    }
+
+    /// A receiver's per-source message count advanced (`expected` set
+    /// once the source's `Depleted` declaration arrives).
+    #[inline]
+    pub fn counted_receive(&self, src: u64, received: u64, expected: Option<u64>, at_ns: u64) {
+        if let Some(a) = &self.auditor {
+            a.counted_receive(self.node, src, received, expected, at_ns);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lane() -> CreditLane {
+        CreditLane::Slot { rkey: 7, offset: 8 }
+    }
+
+    fn auditor() -> (Arc<ShuffleAuditor>, AuditHandle) {
+        let a = ShuffleAuditor::new(None);
+        let h = AuditHandle::new(Some(a.clone()), 0);
+        (a, h)
+    }
+
+    #[test]
+    fn clean_credit_protocol_passes() {
+        let (a, h) = auditor();
+        h.credit_lane(lane(), Some(4));
+        h.receives_posted(lane(), 8, 0);
+        h.credit_granted(lane(), 8, 0);
+        for sent in 1..=8 {
+            h.credit_consumed(lane(), sent, sent * 10);
+        }
+        for _ in 0..4 {
+            h.receives_posted(lane(), 1, 90);
+        }
+        h.credit_granted(lane(), 12, 100);
+        assert!(a.is_clean(), "{:?}", a.violations());
+        assert!(a.finalize(true).is_empty());
+    }
+
+    #[test]
+    fn overdraft_regression_overgrant_are_caught() {
+        let (a, h) = auditor();
+        h.credit_lane(lane(), Some(4));
+        h.receives_posted(lane(), 4, 0);
+        h.credit_granted(lane(), 4, 0);
+        h.credit_consumed(lane(), 5, 10);
+        h.credit_granted(lane(), 3, 20);
+        h.credit_granted(lane(), 9, 30);
+        let codes: Vec<_> = a.violations().iter().map(|v| v.code()).collect();
+        assert!(codes.contains(&"credit_overdraft"), "{codes:?}");
+        assert!(codes.contains(&"credit_regression"), "{codes:?}");
+        assert!(codes.contains(&"credit_over_grant"), "{codes:?}");
+    }
+
+    #[test]
+    fn skipped_writeback_is_caught_online() {
+        let (a, h) = auditor();
+        h.credit_lane(lane(), Some(2));
+        h.receives_posted(lane(), 2, 0);
+        h.credit_granted(lane(), 2, 0);
+        // Two releases re-post receives; the write-back that should have
+        // announced credit 4 is "lost". The next re-post exceeds the
+        // period and must fire.
+        h.receives_posted(lane(), 1, 10);
+        h.receives_posted(lane(), 1, 20);
+        assert!(a.is_clean());
+        h.receives_posted(lane(), 1, 30);
+        assert_eq!(a.violations()[0].code(), "credit_writeback_lost");
+    }
+
+    #[test]
+    fn buffer_lifecycle_violations() {
+        let (a, h) = auditor();
+        let b = BufId { rkey: 1, offset: 64 };
+        h.buffer_taken(b, 0);
+        h.buffer_sent(b, 1);
+        h.buffer_recycled(b, 2);
+        assert!(a.is_clean());
+        h.buffer_sent(b, 3); // never re-taken
+        h.buffer_recycled(b, 4);
+        h.buffer_recycled(b, 5); // double free
+        let codes: Vec<_> = a.violations().iter().map(|v| v.code()).collect();
+        assert_eq!(codes, vec!["use_after_free", "double_free"]);
+    }
+
+    #[test]
+    fn release_state_machine() {
+        let (a, h) = auditor();
+        let b = BufId { rkey: 2, offset: 0 };
+        h.delivered(b, 0);
+        h.released(b, 1);
+        h.delivered(b, 2);
+        h.delivered(b, 3); // double delivery
+        h.released(b, 4);
+        h.released(b, 5); // double release
+        let codes: Vec<_> = a.violations().iter().map(|v| v.code()).collect();
+        assert_eq!(codes, vec!["double_delivery", "double_release"]);
+    }
+
+    #[test]
+    fn ring_overwrite_and_imbalance() {
+        let (a, h) = auditor();
+        let r = RingKey { rkey: 3, base: 0 };
+        h.ring(r, RingKind::ValidArr, 2);
+        h.ring_produced(r, 0);
+        h.ring_produced(r, 1);
+        h.ring_consumed(r, 2);
+        h.ring_produced(r, 3);
+        assert!(a.is_clean());
+        h.ring_produced(r, 4); // 3 in flight > capacity 2
+        assert_eq!(a.violations()[0].code(), "ring_overwrite");
+        let finals = a.finalize(true);
+        assert!(finals.iter().any(|v| v.code() == "ring_imbalance"), "{finals:?}");
+    }
+
+    #[test]
+    fn depleted_counting() {
+        let (a, h) = auditor();
+        h.data_sent(4, 1, 0);
+        h.data_sent(4, 1, 1);
+        h.depleted_announced(4, 1, 2, 2);
+        h.counted_receive(0, 1, None, 3);
+        h.counted_receive(0, 2, Some(2), 4);
+        assert!(a.is_clean(), "{:?}", a.violations());
+        h.counted_receive(0, 3, None, 5);
+        assert_eq!(a.violations()[0].code(), "depleted_overrun");
+        let (a2, h2) = auditor();
+        h2.data_sent(4, 1, 0);
+        h2.depleted_announced(4, 1, 0, 1);
+        assert_eq!(a2.violations()[0].code(), "depleted_mismatch");
+    }
+
+    #[test]
+    fn epoch_reset_clears_lanes_but_keeps_violations() {
+        let (a, h) = auditor();
+        h.credit_lane(lane(), Some(1));
+        h.receives_posted(lane(), 1, 0);
+        h.credit_granted(lane(), 3, 0); // over-grant
+        assert_eq!(a.violation_count(), 1);
+        a.begin_epoch();
+        h.credit_lane(lane(), Some(1));
+        h.receives_posted(lane(), 1, 0);
+        h.credit_granted(lane(), 1, 0);
+        assert_eq!(a.violation_count(), 1, "old lane state must not leak");
+    }
+
+    #[test]
+    fn time_regression_flagged_once_per_epoch() {
+        let (a, h) = auditor();
+        h.buffer_taken(BufId { rkey: 1, offset: 0 }, 100);
+        h.buffer_sent(BufId { rkey: 1, offset: 0 }, 50);
+        h.buffer_recycled(BufId { rkey: 1, offset: 0 }, 40);
+        let codes: Vec<_> = a.violations().iter().map(|v| v.code()).collect();
+        assert_eq!(codes.iter().filter(|c| **c == "time_regression").count(), 1);
+    }
+}

@@ -204,8 +204,8 @@ impl IpoibExchange {
                 let qp_r = r.qp_for(a);
                 ConnectionManager::activate_untimed(qp_s, Some(qp_r.address_handle()))?;
                 ConnectionManager::activate_untimed(qp_r, Some(qp_s.address_handle()))?;
-                let credit = r.bootstrap_src(a, s.credit_slot_for(b));
-                s.bootstrap_credit(b, credit);
+                let credit = r.bootstrap_src(a, s.credit_slot_for(b))?;
+                s.bootstrap_credit(b, credit)?;
             }
         }
         Ok(IpoibExchange {

@@ -89,28 +89,41 @@ impl MsgHeader {
 
     /// Decodes a header from `src`.
     ///
-    /// # Panics
-    ///
-    /// Panics if `src` is shorter than [`HEADER_LEN`] or contains invalid
-    /// enum tags (which would indicate memory corruption in the simulator).
-    pub fn decode(src: &[u8]) -> Self {
-        assert!(src.len() >= HEADER_LEN);
-        MsgHeader {
+    /// Header bytes travel over the (simulated) wire, so a short slice
+    /// or an invalid enum tag is treated as data corruption and
+    /// surfaces as [`ShuffleError::Corrupt`] — the query restarts
+    /// rather than aborting the process.
+    pub fn decode(src: &[u8]) -> Result<Self> {
+        if src.len() < HEADER_LEN {
+            return Err(ShuffleError::Corrupt(format!(
+                "message header truncated: {} of {HEADER_LEN} bytes",
+                src.len()
+            )));
+        }
+        Ok(MsgHeader {
             src: u32::from_le_bytes(src[0..4].try_into().expect("4 bytes")),
             kind: match src[4] {
                 0 => MsgKind::Data,
                 1 => MsgKind::Credit,
-                k => panic!("corrupt message header: kind {k}"),
+                k => {
+                    return Err(ShuffleError::Corrupt(format!(
+                        "message header kind tag {k} is not a MsgKind"
+                    )))
+                }
             },
             state: match src[5] {
                 0 => StreamState::MoreData,
                 1 => StreamState::Depleted,
-                s => panic!("corrupt message header: state {s}"),
+                s => {
+                    return Err(ShuffleError::Corrupt(format!(
+                        "message header state tag {s} is not a StreamState"
+                    )))
+                }
             },
             payload_len: u32::from_le_bytes(src[8..12].try_into().expect("4 bytes")),
             counter: u64::from_le_bytes(src[16..24].try_into().expect("8 bytes")),
             remote_addr: u64::from_le_bytes(src[24..32].try_into().expect("8 bytes")),
-        }
+        })
     }
 }
 
@@ -140,6 +153,9 @@ impl Buffer {
     /// # Panics
     ///
     /// Panics if the window is smaller than the header or out of bounds.
+    /// Use [`Buffer::try_new`] when the offset is derived from wire data
+    /// (a completion's `wr_id`, a ring-slot entry) rather than local
+    /// pool bookkeeping.
     pub fn new(mr: MemoryRegion, offset: usize, window: usize) -> Self {
         assert!(window > HEADER_LEN, "buffer window must exceed the header");
         assert!(offset + window <= mr.len(), "buffer window out of bounds");
@@ -149,6 +165,30 @@ impl Buffer {
             window,
             len: 0,
         }
+    }
+
+    /// Fallible [`Buffer::new`] for offsets that arrive over the wire: a
+    /// window that is too small or out of bounds surfaces as
+    /// [`ShuffleError::Corrupt`] so the query restarts instead of
+    /// aborting.
+    pub fn try_new(mr: MemoryRegion, offset: usize, window: usize) -> Result<Self> {
+        if window <= HEADER_LEN {
+            return Err(ShuffleError::Corrupt(format!(
+                "buffer window of {window} bytes cannot hold the {HEADER_LEN}-byte header"
+            )));
+        }
+        if offset.checked_add(window).is_none_or(|end| end > mr.len()) {
+            return Err(ShuffleError::Corrupt(format!(
+                "buffer window [{offset}, {offset}+{window}) outside region of {} bytes",
+                mr.len()
+            )));
+        }
+        Ok(Buffer {
+            mr,
+            offset,
+            window,
+            len: 0,
+        })
     }
 
     /// Payload capacity in bytes.
@@ -198,25 +238,19 @@ impl Buffer {
                 self.remaining()
             )));
         }
-        self.mr
-            .write(self.offset + HEADER_LEN + self.len, bytes)
-            .expect("buffer window bounds checked at construction");
+        self.mr.write(self.offset + HEADER_LEN + self.len, bytes)?;
         self.len += bytes.len();
         Ok(())
     }
 
     /// Copies the payload out.
-    pub fn payload(&self) -> Vec<u8> {
-        self.mr
-            .read(self.offset + HEADER_LEN, self.len)
-            .expect("buffer window bounds checked at construction")
+    pub fn payload(&self) -> Result<Vec<u8>> {
+        Ok(self.mr.read(self.offset + HEADER_LEN, self.len)?)
     }
 
     /// Runs `f` over the payload without copying.
-    pub fn with_payload<R>(&self, f: impl FnOnce(&[u8]) -> R) -> R {
-        self.mr
-            .with(self.offset + HEADER_LEN, self.len, f)
-            .expect("buffer window bounds checked at construction")
+    pub fn with_payload<R>(&self, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
+        Ok(self.mr.with(self.offset + HEADER_LEN, self.len, f)?)
     }
 
     /// Resets the payload length to zero (contents are left in place).
@@ -225,23 +259,31 @@ impl Buffer {
     }
 
     /// Writes `header` into the buffer's header area.
-    pub fn write_header(&self, header: &MsgHeader) {
-        self.mr
-            .with_mut(self.offset, HEADER_LEN, |b| header.encode(b))
-            .expect("buffer window bounds checked at construction");
+    pub fn write_header(&self, header: &MsgHeader) -> Result<()> {
+        Ok(self
+            .mr
+            .with_mut(self.offset, HEADER_LEN, |b| header.encode(b))?)
     }
 
-    /// Reads the buffer's header area.
-    pub fn read_header(&self) -> MsgHeader {
-        self.mr
-            .with(self.offset, HEADER_LEN, MsgHeader::decode)
-            .expect("buffer window bounds checked at construction")
+    /// Reads and decodes the buffer's header area. Invalid wire bytes
+    /// surface as [`ShuffleError::Corrupt`].
+    pub fn read_header(&self) -> Result<MsgHeader> {
+        self.mr.with(self.offset, HEADER_LEN, MsgHeader::decode)?
     }
 
-    /// Sets the payload length after bytes arrived in place (receive path).
-    pub(crate) fn set_len(&mut self, len: usize) {
-        assert!(len <= self.capacity(), "received payload exceeds capacity");
+    /// Sets the payload length after bytes arrived in place (receive
+    /// path). The length comes from a wire header, so a value exceeding
+    /// the window's capacity is rejected as [`ShuffleError::Corrupt`]
+    /// rather than trusted.
+    pub(crate) fn set_len(&mut self, len: usize) -> Result<()> {
+        if len > self.capacity() {
+            return Err(ShuffleError::Corrupt(format!(
+                "received payload of {len} bytes exceeds buffer capacity {}",
+                self.capacity()
+            )));
+        }
         self.len = len;
+        Ok(())
     }
 
     /// Wire size of the message currently in the buffer (header + payload).
@@ -272,7 +314,7 @@ mod tests {
         };
         let mut bytes = [0u8; HEADER_LEN];
         h.encode(&mut bytes);
-        assert_eq!(MsgHeader::decode(&bytes), h);
+        assert_eq!(MsgHeader::decode(&bytes).unwrap(), h);
     }
 
     #[test]
@@ -287,7 +329,28 @@ mod tests {
         };
         let mut bytes = [0u8; HEADER_LEN];
         h.encode(&mut bytes);
-        assert_eq!(MsgHeader::decode(&bytes), h);
+        assert_eq!(MsgHeader::decode(&bytes).unwrap(), h);
+    }
+
+    #[test]
+    fn corrupt_headers_are_rejected_not_panicked() {
+        let short = [0u8; HEADER_LEN - 1];
+        assert!(matches!(
+            MsgHeader::decode(&short),
+            Err(ShuffleError::Corrupt(_))
+        ));
+        let mut bytes = [0u8; HEADER_LEN];
+        bytes[4] = 9; // invalid kind tag
+        assert!(matches!(
+            MsgHeader::decode(&bytes),
+            Err(ShuffleError::Corrupt(_))
+        ));
+        bytes[4] = 0;
+        bytes[5] = 7; // invalid state tag
+        assert!(matches!(
+            MsgHeader::decode(&bytes),
+            Err(ShuffleError::Corrupt(_))
+        ));
     }
 
     #[test]
@@ -298,7 +361,34 @@ mod tests {
         buf.push(b"abc").unwrap();
         buf.push(b"defg").unwrap();
         assert_eq!(buf.len(), 7);
-        assert_eq!(buf.payload(), b"abcdefg".to_vec());
+        assert_eq!(buf.payload().unwrap(), b"abcdefg".to_vec());
+    }
+
+    #[test]
+    fn try_new_rejects_wire_derived_garbage() {
+        assert!(matches!(
+            Buffer::try_new(mr(4096), 0, HEADER_LEN),
+            Err(ShuffleError::Corrupt(_))
+        ));
+        assert!(matches!(
+            Buffer::try_new(mr(4096), 4000, 1024),
+            Err(ShuffleError::Corrupt(_))
+        ));
+        assert!(matches!(
+            Buffer::try_new(mr(4096), usize::MAX - 64, 1024),
+            Err(ShuffleError::Corrupt(_))
+        ));
+        assert!(Buffer::try_new(mr(4096), 1024, 1024).is_ok());
+    }
+
+    #[test]
+    fn oversized_set_len_is_rejected() {
+        let mut buf = Buffer::new(mr(4096), 0, 256);
+        assert!(buf.set_len(256 - HEADER_LEN).is_ok());
+        assert!(matches!(
+            buf.set_len(256 - HEADER_LEN + 1),
+            Err(ShuffleError::Corrupt(_))
+        ));
     }
 
     #[test]
@@ -322,9 +412,9 @@ mod tests {
             counter: 0,
             remote_addr: 128,
         };
-        buf.write_header(&h);
-        assert_eq!(buf.read_header(), h);
-        assert_eq!(buf.payload(), vec![0xAA; 16]);
+        buf.write_header(&h).unwrap();
+        assert_eq!(buf.read_header().unwrap(), h);
+        assert_eq!(buf.payload().unwrap(), vec![0xAA; 16]);
     }
 
     #[test]

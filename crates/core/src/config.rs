@@ -224,7 +224,7 @@ mod tests {
         // exists in ALL.
         assert!(ShuffleAlgorithm::ALL
             .iter()
-            .all(|a| !(a.one_sided() && !a.reliable_transport())));
+            .all(|a| !a.one_sided() || a.reliable_transport()));
     }
 
     #[test]

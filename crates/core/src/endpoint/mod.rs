@@ -6,7 +6,7 @@
 //! endpoint participating in a query plan has a unique integer id, used like
 //! a TCP port/address pair.
 //!
-//! Three implementations mirror the paper's §4.4:
+//! Four implementations mirror the paper's designs:
 //!
 //! * [`sr_rc`] — RDMA Send/Receive over Reliable Connection with stateless
 //!   credit-based flow control (§4.4.1),
@@ -14,9 +14,8 @@
 //!   counting for termination and software error handling (§4.4.2),
 //! * [`rd_rc`] — one-sided RDMA Read over Reliable Connection with the
 //!   FreeArr/ValidArr circular message queues (§4.4.3),
-//!
-//! plus [`wr_rc`], the RDMA Write endpoint the paper lists as future work
-//! (§7), implemented here as an extension.
+//! * [`wr_rc`] — the RDMA Write endpoint the paper lists as future work
+//!   (§7), implemented here as an extension.
 //!
 //! All endpoint functions are thread-safe; the single-endpoint (SE)
 //! operator configuration shares one endpoint among all worker threads and
@@ -32,12 +31,29 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
+use rshuffle_audit::{AuditHandle, BufId};
 use rshuffle_obs::{names, Counter, EventKind, Histogram, Labels, Obs};
 use rshuffle_simnet::{NodeId, SimContext, SimDuration};
 use rshuffle_verbs::Context;
 
 use crate::buffer::{Buffer, StreamState};
 use crate::error::Result;
+
+/// An [`AuditHandle`] for `ctx`'s node, wired to the runtime's installed
+/// protocol auditor — or a no-op handle when none is installed.
+pub(crate) fn audit_handle(ctx: &Context) -> AuditHandle {
+    AuditHandle::new(ctx.runtime().auditor(), ctx.node() as u32)
+}
+
+/// Cluster-wide identity of `buf` for the auditor: its pool's `rkey`
+/// plus the window offset (rkeys come from a global counter, so the
+/// pair is unique across nodes).
+pub(crate) fn buf_id(buf: &Buffer) -> BufId {
+    BufId {
+        rkey: buf.region().rkey(),
+        offset: buf.offset() as u64,
+    }
+}
 
 /// Exponential backoff for endpoint polling loops: keeps the simulator's
 /// event count bounded when a wait drags on, without hurting the hot path

@@ -19,14 +19,27 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
+use rshuffle_audit::{AuditHandle, RingKey, RingKind};
 use rshuffle_simnet::{NodeId, SimContext, SimDuration};
 use rshuffle_verbs::{
     CompletionQueue, Context, MemoryRegion, QueuePair, RemoteAddr, WcOpcode, WcStatus,
 };
 
 use crate::buffer::{Buffer, MsgHeader, MsgKind, StreamState};
-use crate::endpoint::{Delivery, EndpointId, ReceiveEndpoint, RecvObs, SendEndpoint, SendObs};
+use crate::endpoint::{
+    audit_handle, buf_id, Delivery, EndpointId, ReceiveEndpoint, RecvObs, SendEndpoint, SendObs,
+};
 use crate::error::{Result, ShuffleError};
+
+/// Audit identity of a circular queue from the remote address the peer
+/// shared out of band (the local side derives the same key from its own
+/// memory region and ring base, so both sides feed one ring record).
+fn ring_key(addr: &RemoteAddr) -> RingKey {
+    RingKey {
+        rkey: addr.rkey,
+        base: addr.offset as u64,
+    }
+}
 
 /// Tuning knobs for the RDMA Read endpoint.
 #[derive(Clone, Debug)]
@@ -74,6 +87,7 @@ pub struct RdRcSendEndpoint {
     wr_seq: AtomicU64,
     post_lock: rshuffle_simnet::SimMutex<()>,
     obs: SendObs,
+    audit: AuditHandle,
     cfg: RdRcConfig,
     setup_cost: SimDuration,
     /// Diagnostics: virtual nanoseconds spent waiting in `get_free`.
@@ -117,6 +131,17 @@ impl RdRcSendEndpoint {
             + profile.mr_register_time(pool_bytes + 8 * ring_cap * peers.len());
         let n = peers.len();
         let peer_index = peers.iter().enumerate().map(|(i, &p)| (p, i)).collect();
+        let audit = audit_handle(ctx);
+        for pi in 0..n {
+            audit.ring(
+                RingKey {
+                    rkey: free_arr.rkey(),
+                    base: (8 * ring_cap * pi) as u64,
+                },
+                RingKind::FreeArr,
+                ring_cap as u64,
+            );
+        }
         RdRcSendEndpoint {
             id,
             peers,
@@ -142,6 +167,7 @@ impl RdRcSendEndpoint {
                 SimDuration::from_nanos(60),
             ),
             obs: SendObs::new(ctx, id),
+            audit,
             cfg,
             setup_cost,
             get_free_wait_ns: AtomicU64::new(0),
@@ -174,26 +200,34 @@ impl RdRcSendEndpoint {
     /// into, for `peer`.
     pub fn set_valid_ring(&self, peer: NodeId, ring: RemoteAddr) {
         let pi = self.peer_index[&peer];
+        self.audit
+            .ring(ring_key(&ring), RingKind::ValidArr, self.ring_cap as u64);
         self.state.lock().valid_remote[pi] = Some(ring);
     }
 
     /// Scans the `FreeArr` rings for release notifications; recycles
     /// buffers whose every reader has released them. Returns whether any
     /// notification was consumed.
-    fn scan_free_arr(&self) -> Result<bool> {
+    fn scan_free_arr(&self, sim: &SimContext) -> Result<bool> {
+        let now = sim.now().as_nanos();
         let mut st = self.state.lock();
         let mut progress = false;
         for pi in 0..self.peers.len() {
             loop {
                 let slot = 8 * (self.ring_cap * pi + (st.free_cons[pi] as usize % self.ring_cap));
-                let v = self.free_arr.read_u64(slot).expect("ring slot in bounds");
+                let v = self.free_arr.read_u64(slot)?;
                 if v == 0 {
                     break;
                 }
-                self.free_arr
-                    .write_u64(slot, 0)
-                    .expect("ring slot in bounds");
+                self.free_arr.write_u64(slot, 0)?;
                 st.free_cons[pi] += 1;
+                self.audit.ring_consumed(
+                    RingKey {
+                        rkey: self.free_arr.rkey(),
+                        base: (8 * self.ring_cap * pi) as u64,
+                    },
+                    now,
+                );
                 progress = true;
                 let offset = v - 1;
                 let Some(remaining) = st.outstanding.get_mut(&offset) else {
@@ -204,11 +238,9 @@ impl RdRcSendEndpoint {
                 *remaining -= 1;
                 if *remaining == 0 {
                     st.outstanding.remove(&offset);
-                    st.free.push(Buffer::new(
-                        self.pool_mr.clone(),
-                        offset as usize,
-                        self.message_size,
-                    ));
+                    let buf = Buffer::try_new(self.pool_mr.clone(), offset as usize, self.message_size)?;
+                    self.audit.buffer_recycled(buf_id(&buf), now);
+                    st.free.push(buf);
                 }
             }
         }
@@ -252,7 +284,8 @@ impl SendEndpoint for RdRcSendEndpoint {
             counter: 0, // RC writes are ordered per link.
             remote_addr: buf.offset() as u64,
         };
-        buf.write_header(&header);
+        buf.write_header(&header)?;
+        self.audit.buffer_sent(buf_id(&buf), sim.now().as_nanos());
         self.state
             .lock()
             .outstanding
@@ -275,15 +308,22 @@ impl SendEndpoint for RdRcSendEndpoint {
                 rkey: ring.rkey,
                 offset: ring.offset + 8 * slot_index,
             };
+            self.audit
+                .ring_produced(ring_key(&ring), sim.now().as_nanos());
+            #[cfg(feature = "saboteur")]
+            if crate::sabotage::take(crate::sabotage::Sabotage::DropValidArrUpdate) {
+                // The buffer stays marked outstanding but its announcement
+                // never reaches the peer's ValidArr.
+                self.obs.sent(d, buf.len() as u64);
+                continue;
+            }
             // The scratch slot must be written inside the post lock: a
             // thread blocked on the lock would otherwise let its slot be
             // recycled before the payload is snapshotted.
             let guard = self.post_lock.lock(sim);
             let seq = self.wr_seq.fetch_add(1, Ordering::Relaxed);
             let scratch_off = (seq % 64) as usize * 8;
-            self.scratch
-                .write_u64(scratch_off, buf.offset() as u64 + 1)
-                .expect("scratch in bounds");
+            self.scratch.write_u64(scratch_off, buf.offset() as u64 + 1)?;
             self.qps[pi].post_write(sim, seq, (self.scratch.clone(), scratch_off), target, 8)?;
             drop(guard);
             self.obs.sent(d, buf.len() as u64);
@@ -301,11 +341,12 @@ impl SendEndpoint for RdRcSendEndpoint {
         loop {
             if let Some(mut buf) = self.state.lock().free.pop() {
                 buf.clear();
+                self.audit.buffer_taken(buf_id(&buf), sim.now().as_nanos());
                 self.get_free_wait_ns
                     .fetch_add((sim.now() - entered).as_nanos(), Ordering::Relaxed);
                 return Ok(buf);
             }
-            let progress = self.scan_free_arr()?;
+            let progress = self.scan_free_arr(sim)?;
             self.obs.freearr_poll(sim, progress);
             if progress {
                 continue;
@@ -316,7 +357,7 @@ impl SendEndpoint for RdRcSendEndpoint {
             // Sleep until the next release lands in the FreeArr (early
             // wake), re-scanning on a bounded slice as a safety net.
             self.free_arr.drain_updates();
-            let progress = self.scan_free_arr()?;
+            let progress = self.scan_free_arr(sim)?;
             self.obs.freearr_poll(sim, progress);
             if progress {
                 continue;
@@ -358,6 +399,7 @@ pub struct RdRcReceiveEndpoint {
     post_lock: rshuffle_simnet::SimMutex<()>,
     bytes_received: AtomicU64,
     obs: RecvObs,
+    audit: AuditHandle,
     cfg: RdRcConfig,
     setup_cost: SimDuration,
 }
@@ -414,6 +456,17 @@ impl RdRcReceiveEndpoint {
             + profile.mr_register_time(pool_bytes + 8 * ring_cap * srcs.len());
         let n = srcs.len();
         let src_index = srcs.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+        let audit = audit_handle(ctx);
+        for si in 0..n {
+            audit.ring(
+                RingKey {
+                    rkey: valid_arr.rkey(),
+                    base: (8 * ring_cap * si) as u64,
+                },
+                RingKind::ValidArr,
+                ring_cap as u64,
+            );
+        }
         RdRcReceiveEndpoint {
             id,
             srcs,
@@ -442,6 +495,7 @@ impl RdRcReceiveEndpoint {
             ),
             bytes_received: AtomicU64::new(0),
             obs: RecvObs::new(ctx, id),
+            audit,
             cfg,
             setup_cost,
         }
@@ -470,6 +524,11 @@ impl RdRcReceiveEndpoint {
             desc.ring_cap, self.ring_cap,
             "FreeArr/ValidArr ring capacities must agree"
         );
+        self.audit.ring(
+            ring_key(&desc.free_arr),
+            RingKind::FreeArr,
+            desc.ring_cap as u64,
+        );
         self.state.lock().descriptors[si] = Some(desc);
         self.src_by_endpoint.insert(desc.endpoint.0, si);
     }
@@ -491,18 +550,27 @@ impl RdRcReceiveEndpoint {
                     }
                     let slot =
                         8 * (self.ring_cap * si + (st.valid_cons[si] as usize % self.ring_cap));
-                    let v = self.valid_arr.read_u64(slot).expect("ring slot in bounds");
+                    let v = self.valid_arr.read_u64(slot)?;
                     if v == 0 {
                         break;
                     }
-                    self.valid_arr
-                        .write_u64(slot, 0)
-                        .expect("ring slot in bounds");
+                    self.valid_arr.write_u64(slot, 0)?;
                     st.valid_cons[si] += 1;
                     st.in_flight[si] += 1;
-                    let local_buf = st.local[si].pop().expect("checked non-empty");
+                    let Some(local_buf) = st.local[si].pop() else {
+                        return Err(ShuffleError::Corrupt(
+                            "LocalArr drained while holding the state lock".into(),
+                        ));
+                    };
                     (v - 1, local_buf, desc)
                 };
+                self.audit.ring_consumed(
+                    RingKey {
+                        rkey: self.valid_arr.rkey(),
+                        base: (8 * self.ring_cap * si) as u64,
+                    },
+                    sim.now().as_nanos(),
+                );
                 let wr_id = ((si as u64) << 32) | local_buf.offset() as u64;
                 let remote = RemoteAddr {
                     node: desc.node,
@@ -527,26 +595,29 @@ impl RdRcReceiveEndpoint {
     }
 
     /// Whether any source has an unconsumed ValidArr announcement.
-    fn has_pending_valid_entry(&self) -> bool {
+    fn has_pending_valid_entry(&self) -> Result<bool> {
         let st = self.state.lock();
-        (0..self.srcs.len()).any(|si| {
+        for si in 0..self.srcs.len() {
             let slot = 8 * (self.ring_cap * si + (st.valid_cons[si] as usize % self.ring_cap));
-            self.valid_arr.read_u64(slot).expect("ring slot in bounds") != 0
-        })
+            if self.valid_arr.read_u64(slot)? != 0 {
+                return Ok(true);
+            }
+        }
+        Ok(false)
     }
 
-    fn fully_done(&self) -> bool {
+    fn fully_done(&self) -> Result<bool> {
         let st = self.state.lock();
         for si in 0..self.srcs.len() {
             if !st.depleted[si] || st.in_flight[si] > 0 {
-                return false;
+                return Ok(false);
             }
             let slot = 8 * (self.ring_cap * si + (st.valid_cons[si] as usize % self.ring_cap));
-            if self.valid_arr.read_u64(slot).expect("ring slot in bounds") != 0 {
-                return false;
+            if self.valid_arr.read_u64(slot)? != 0 {
+                return Ok(false);
             }
         }
-        true
+        Ok(true)
     }
 }
 
@@ -564,14 +635,14 @@ impl ReceiveEndpoint for RdRcReceiveEndpoint {
             // announcement instead so issue latency stays flat.
             let in_flight: u32 = self.state.lock().in_flight.iter().sum();
             if in_flight == 0 && self.cq.depth() == 0 {
-                if self.fully_done() {
+                if self.fully_done()? {
                     return Ok(None);
                 }
                 if sim.now() >= deadline {
                     return Err(ShuffleError::Stalled("RD receive made no progress"));
                 }
                 self.valid_arr.drain_updates();
-                if !self.has_pending_valid_entry() {
+                if !self.has_pending_valid_entry()? {
                     self.valid_arr
                         .wait_update_timeout(sim, self.cfg.poll_interval * 32);
                 }
@@ -592,16 +663,24 @@ impl ReceiveEndpoint for RdRcReceiveEndpoint {
                         }
                     }
                     let si = (c.wr_id >> 32) as usize;
+                    if si >= self.srcs.len() {
+                        return Err(ShuffleError::Corrupt(format!(
+                            "read completion names out-of-range source slot {si}"
+                        )));
+                    }
                     let local_off = (c.wr_id & 0xFFFF_FFFF) as usize;
-                    let mut buf = Buffer::new(self.pool_mr.clone(), local_off, self.message_size);
-                    let header = buf.read_header();
-                    buf.set_len(header.payload_len as usize);
+                    let mut buf = Buffer::try_new(self.pool_mr.clone(), local_off, self.message_size)?;
+                    let header = buf.read_header()?;
+                    buf.set_len(header.payload_len as usize)?;
                     self.bytes_received
                         .fetch_add(header.payload_len as u64, Ordering::Relaxed);
                     self.obs.received(header.payload_len as u64);
+                    self.audit.delivered(buf_id(&buf), sim.now().as_nanos());
                     {
                         let mut st = self.state.lock();
-                        st.in_flight[si] -= 1;
+                        st.in_flight[si] = st.in_flight[si].checked_sub(1).ok_or(
+                            ShuffleError::CompletionError("more read completions than reads posted"),
+                        )?;
                         if header.state == StreamState::Depleted {
                             st.depleted[si] = true;
                         }
@@ -614,7 +693,7 @@ impl ReceiveEndpoint for RdRcReceiveEndpoint {
                     }));
                 }
                 None => {
-                    if self.fully_done() {
+                    if self.fully_done()? {
                         return Ok(None);
                     }
                     if sim.now() >= deadline {
@@ -644,13 +723,14 @@ impl ReceiveEndpoint for RdRcReceiveEndpoint {
             rkey: desc.free_arr.rkey,
             offset: desc.free_arr.offset + 8 * slot_index,
         };
+        let now = sim.now().as_nanos();
+        self.audit.released(buf_id(&local), now);
+        self.audit.ring_produced(ring_key(&desc.free_arr), now);
         // Scratch written under the post lock (see `send`).
         let guard = self.post_lock.lock(sim);
         let seq = self.wr_seq.fetch_add(1, Ordering::Relaxed);
         let scratch_off = (seq % 64) as usize * 8;
-        self.scratch
-            .write_u64(scratch_off, remote + 1)
-            .expect("scratch in bounds");
+        self.scratch.write_u64(scratch_off, remote + 1)?;
         self.qps[si].post_write(sim, seq, (self.scratch.clone(), scratch_off), target, 8)?;
         drop(guard);
         self.state.lock().local[si].push(local);

@@ -15,6 +15,7 @@
 //! amortize polling.
 
 use parking_lot::Mutex;
+use rshuffle_audit::{AuditHandle, CreditLane};
 use rshuffle_simnet::{NodeId, SimContext, SimDuration};
 use rshuffle_verbs::{
     CompletionQueue, Context, MemoryRegion, QueuePair, RecvWr, RemoteAddr, SendWr, WcStatus,
@@ -23,8 +24,19 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use crate::buffer::{Buffer, MsgHeader, MsgKind, StreamState};
-use crate::endpoint::{Backoff, Delivery, EndpointId, ReceiveEndpoint, RecvObs, SendEndpoint, SendObs};
+use crate::endpoint::{
+    audit_handle, buf_id, Backoff, Delivery, EndpointId, ReceiveEndpoint, RecvObs, SendEndpoint,
+    SendObs,
+};
 use crate::error::{Result, ShuffleError};
+
+/// The audit identity of the credit slot at `addr`.
+fn credit_lane(addr: &RemoteAddr) -> CreditLane {
+    CreditLane::Slot {
+        rkey: addr.rkey,
+        offset: addr.offset as u64,
+    }
+}
 
 /// Tuning knobs shared by the RC-based endpoints.
 #[derive(Clone, Debug)]
@@ -79,6 +91,7 @@ pub struct SrRcSendEndpoint {
     /// endpoint among threads (SE configurations) shows up here.
     post_lock: rshuffle_simnet::SimMutex<()>,
     obs: SendObs,
+    audit: AuditHandle,
     cfg: SrRcConfig,
     setup_cost: SimDuration,
 }
@@ -122,6 +135,7 @@ impl SrRcSendEndpoint {
                 SimDuration::from_nanos(60),
             ),
             obs: SendObs::new(ctx, id),
+            audit: audit_handle(ctx),
             cfg,
             setup_cost,
         }
@@ -143,10 +157,13 @@ impl SrRcSendEndpoint {
 
     /// Seeds the initial credit for `peer` (the receiver's initial posted
     /// receives, exchanged out of band during connection setup).
-    pub fn bootstrap_credit(&self, peer: NodeId, credit: u64) {
-        self.credit_mr
-            .write_u64(8 * self.peer_index[&peer], credit)
-            .expect("credit slot in range");
+    pub fn bootstrap_credit(&self, peer: NodeId, credit: u64) -> Result<()> {
+        let pi = *self
+            .peer_index
+            .get(&peer)
+            .ok_or_else(|| ShuffleError::Config(format!("unknown peer node {peer}")))?;
+        self.credit_mr.write_u64(8 * pi, credit)?;
+        Ok(())
     }
 
     /// Blocks until peer `pi` has granted credit beyond `sent`. The wait is
@@ -154,29 +171,30 @@ impl SrRcSendEndpoint {
     /// region.
     fn wait_for_credit(&self, sim: &SimContext, pi: usize) -> Result<()> {
         let deadline = sim.now() + self.cfg.stall_timeout;
-        let has_credit = |pi: usize| {
-            let credit = self
-                .credit_mr
-                .read_u64(8 * pi)
-                .expect("credit slot in range");
-            credit > self.sent.lock()[pi]
+        let has_credit = |pi: usize| -> Result<bool> {
+            let credit = self.credit_mr.read_u64(8 * pi)?;
+            Ok(credit > self.sent.lock()[pi])
         };
-        if has_credit(pi) {
+        if has_credit(pi)? {
             return Ok(());
         }
         // Credit exhausted: this is the Figure 8 stall the flight
         // recorder tracks, bracketed so the error path closes it too.
         let stall_start = self.obs.stall_begin(sim);
         let result = loop {
-            if has_credit(pi) {
-                break Ok(());
+            match has_credit(pi) {
+                Ok(true) => break Ok(()),
+                Ok(false) => {}
+                Err(e) => break Err(e),
             }
             // Clear stale wake tokens, re-check, then sleep until the next
             // credit write (or a bounded slice, for SE configurations where
             // another thread may consume our wakeup).
             self.credit_mr.drain_updates();
-            if has_credit(pi) {
-                break Ok(());
+            match has_credit(pi) {
+                Ok(true) => break Ok(()),
+                Ok(false) => {}
+                Err(e) => break Err(e),
             }
             if sim.now() >= deadline {
                 break Err(ShuffleError::Stalled("waiting for send credit"));
@@ -208,7 +226,8 @@ impl SrRcSendEndpoint {
         *remaining -= 1;
         if *remaining == 0 {
             outstanding.remove(&c.wr_id);
-            let buf = Buffer::new(self.pool_mr.clone(), c.wr_id as usize, self.message_size);
+            let buf = Buffer::try_new(self.pool_mr.clone(), c.wr_id as usize, self.message_size)?;
+            self.audit.buffer_recycled(buf_id(&buf), sim.now().as_nanos());
             self.free.lock().push(buf);
         }
         Ok(true)
@@ -236,7 +255,8 @@ impl SendEndpoint for SrRcSendEndpoint {
             counter: 0, // RC is ordered: Depleted arrival is authoritative.
             remote_addr: buf.offset() as u64,
         };
-        buf.write_header(&header);
+        buf.write_header(&header)?;
+        self.audit.buffer_sent(buf_id(&buf), sim.now().as_nanos());
         self.outstanding
             .lock()
             .insert(buf.offset() as u64, dest.len() as u32);
@@ -246,7 +266,16 @@ impl SendEndpoint for SrRcSendEndpoint {
                 .get(&d)
                 .ok_or_else(|| ShuffleError::Config(format!("unknown destination node {d}")))?;
             self.wait_for_credit(sim, pi)?;
-            self.sent.lock()[pi] += 1;
+            let sent_now = {
+                let mut sent = self.sent.lock();
+                sent[pi] += 1;
+                sent[pi]
+            };
+            self.audit.credit_consumed(
+                credit_lane(&self.credit_slot_for(d)),
+                sent_now,
+                sim.now().as_nanos(),
+            );
             let guard = self.post_lock.lock(sim);
             self.qps[pi].post_send(
                 sim,
@@ -271,6 +300,7 @@ impl SendEndpoint for SrRcSendEndpoint {
         loop {
             if let Some(mut buf) = self.free.lock().pop() {
                 buf.clear();
+                self.audit.buffer_taken(buf_id(&buf), sim.now().as_nanos());
                 return Ok(buf);
             }
             if sim.now() >= deadline {
@@ -316,6 +346,7 @@ pub struct SrRcReceiveEndpoint {
     /// Rotating scratch slots sourcing the 8-byte credit writes.
     scratch_mr: MemoryRegion,
     obs: RecvObs,
+    audit: AuditHandle,
     cfg: SrRcConfig,
     setup_cost: SimDuration,
 }
@@ -359,6 +390,7 @@ impl SrRcReceiveEndpoint {
             wr_seq: AtomicU64::new(0),
             scratch_mr: ctx.register_untimed(64 * 8),
             obs: RecvObs::new(ctx, id),
+            audit: audit_handle(ctx),
             cfg,
             setup_cost,
         }
@@ -371,24 +403,34 @@ impl SrRcReceiveEndpoint {
 
     /// Wires the remote credit slot for `src` and posts the initial receive
     /// pool on that connection. Returns the initial credit granted.
-    pub fn bootstrap_src(&self, src: NodeId, credit_slot: RemoteAddr) -> u64 {
-        let si = self.src_index[&src];
+    pub fn bootstrap_src(&self, src: NodeId, credit_slot: RemoteAddr) -> Result<u64> {
+        let si = *self
+            .src_index
+            .get(&src)
+            .ok_or_else(|| ShuffleError::Config(format!("unknown source node {src}")))?;
         self.credit_remote.lock()[si] = Some(credit_slot);
         let base = self.message_size * self.cfg.recv_depth_per_peer * si;
         for k in 0..self.cfg.recv_depth_per_peer {
             let offset = base + k * self.message_size;
-            self.qps[si]
-                .post_recv_untimed(RecvWr {
-                    wr_id: offset as u64,
-                    mr: self.pool_mr.clone(),
-                    offset,
-                    len: self.message_size,
-                })
-                .expect("bootstrap receive in bounds");
+            self.qps[si].post_recv_untimed(RecvWr {
+                wr_id: offset as u64,
+                mr: self.pool_mr.clone(),
+                offset,
+                len: self.message_size,
+            })?;
         }
-        let mut posted = self.posted.lock();
-        posted[si] = self.cfg.recv_depth_per_peer as u64;
-        posted[si]
+        let credit = {
+            let mut posted = self.posted.lock();
+            posted[si] = self.cfg.recv_depth_per_peer as u64;
+            posted[si]
+        };
+        // Bootstrap happens outside the measured window, at virtual 0.
+        let lane = credit_lane(&credit_slot);
+        self.audit
+            .credit_lane(lane, Some(self.cfg.credit_writeback_frequency as u64));
+        self.audit.receives_posted(lane, credit, 0);
+        self.audit.credit_granted(lane, credit, 0);
+        Ok(credit)
     }
 }
 
@@ -413,15 +455,23 @@ impl ReceiveEndpoint for SrRcReceiveEndpoint {
             if c.status != WcStatus::Success {
                 return Err(ShuffleError::CompletionError("receive completed in error"));
             }
-            let mut buf = Buffer::new(self.pool_mr.clone(), c.wr_id as usize, self.message_size);
-            let header = buf.read_header();
-            debug_assert_eq!(header.kind, MsgKind::Data, "RC carries only data messages");
-            buf.set_len(header.payload_len as usize);
+            let mut buf =
+                Buffer::try_new(self.pool_mr.clone(), c.wr_id as usize, self.message_size)?;
+            let header = buf.read_header()?;
+            if header.kind != MsgKind::Data {
+                return Err(ShuffleError::Corrupt(
+                    "RC data connection delivered a non-data message".into(),
+                ));
+            }
+            buf.set_len(header.payload_len as usize)?;
             self.bytes_received
                 .fetch_add(header.payload_len as u64, Ordering::Relaxed);
             self.obs.received(header.payload_len as u64);
-            let si = self.src_index[&c.src_node];
+            let si = *self.src_index.get(&c.src_node).ok_or_else(|| {
+                ShuffleError::Corrupt(format!("completion from unknown source node {}", c.src_node))
+            })?;
             self.src_by_endpoint.lock().entry(header.src).or_insert(si);
+            self.audit.delivered(buf_id(&buf), sim.now().as_nanos());
             if header.state == StreamState::Depleted {
                 let mut depleted = self.depleted.lock();
                 depleted[si] = true;
@@ -451,6 +501,7 @@ impl ReceiveEndpoint for SrRcReceiveEndpoint {
                 ShuffleError::Config(format!("release for unknown source {src:?}"))
             })?
         };
+        self.audit.released(buf_id(&local), sim.now().as_nanos());
         // Repost the buffer on the connection it came from.
         self.qps[si].post_recv(
             sim,
@@ -461,18 +512,40 @@ impl ReceiveEndpoint for SrRcReceiveEndpoint {
                 len: local.window(),
             },
         )?;
-        let credit_now = {
+        let slot = self.credit_remote.lock()[si];
+        // The write-back decision, the audited receive count and the
+        // audited grant must be one atomic step: with several receiver
+        // threads releasing concurrently, interleaving the hooks would
+        // let the auditor observe `posted` running ahead of `granted` by
+        // more than one write-back period even though no write-back was
+        // lost. The RDMA write itself stays outside the lock.
+        let (credit_now, write_back) = {
             let mut posted = self.posted.lock();
             posted[si] += 1;
-            posted[si]
-        };
-        let write_back = {
-            let mut releases = self.releases.lock();
-            releases[si] += 1;
-            releases[si].is_multiple_of(self.cfg.credit_writeback_frequency)
+            let credit_now = posted[si];
+            let write_back = {
+                let mut releases = self.releases.lock();
+                releases[si] += 1;
+                releases[si].is_multiple_of(self.cfg.credit_writeback_frequency)
+            };
+            // A saboteur may swallow exactly one write-back: the protocol
+            // "forgets" to announce credit and only the auditor's gap check
+            // can notice, because absolute credit self-heals (§4.4.1).
+            #[cfg(feature = "saboteur")]
+            let write_back = write_back
+                && !crate::sabotage::take(crate::sabotage::Sabotage::SkipCreditWriteback);
+            if let Some(slot) = &slot {
+                let lane = credit_lane(slot);
+                let now = sim.now().as_nanos();
+                self.audit.receives_posted(lane, 1, now);
+                if write_back {
+                    self.audit.credit_granted(lane, credit_now, now);
+                }
+            }
+            (credit_now, write_back)
         };
         if write_back {
-            let slot = self.credit_remote.lock()[si]
+            let slot = slot
                 .ok_or_else(|| ShuffleError::Config("credit slot not bootstrapped".into()))?;
             self.post_credit_write(sim, si, slot, credit_now)?;
         }
@@ -512,9 +585,10 @@ impl SrRcReceiveEndpoint {
     ) -> Result<()> {
         let seq = self.wr_seq.fetch_add(1, Ordering::Relaxed);
         let off = (seq % 64) as usize * 8;
-        self.scratch_mr
-            .write_u64(off, credit)
-            .expect("scratch in bounds");
+        self.scratch_mr.write_u64(off, credit)?;
+        // The grant was already audited under the `posted` lock in
+        // `release`; auditing it again here would reorder grants across
+        // threads.
         self.qps[si].post_write(sim, u64::MAX - seq, (self.scratch_mr.clone(), off), slot, 8)?;
         Ok(())
     }

@@ -29,13 +29,17 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
+use rshuffle_audit::{AuditHandle, CreditLane};
 use rshuffle_simnet::{Gate, NodeId, SimContext, SimDuration, SimTime};
 use rshuffle_verbs::{
     AddressHandle, CompletionQueue, Context, MemoryRegion, QueuePair, RecvWr, SendWr, WcStatus,
 };
 
 use crate::buffer::{Buffer, MsgHeader, MsgKind, StreamState, HEADER_LEN};
-use crate::endpoint::{Backoff, Delivery, EndpointId, ReceiveEndpoint, RecvObs, SendEndpoint, SendObs};
+use crate::endpoint::{
+    audit_handle, buf_id, Backoff, Delivery, EndpointId, ReceiveEndpoint, RecvObs, SendEndpoint,
+    SendObs,
+};
 use crate::error::{Result, ShuffleError};
 
 /// Tuning knobs for the UD endpoint.
@@ -136,6 +140,9 @@ struct UdShared {
 
     send_obs: SendObs,
     recv_obs: RecvObs,
+    audit: AuditHandle,
+    /// This channel's node, for the receive side of audit credit lanes.
+    node: u64,
     cfg: SrUdConfig,
     setup_cost_send: SimDuration,
     setup_cost_recv: SimDuration,
@@ -205,6 +212,8 @@ impl SrUdChannel {
                 last_progress: Mutex::new(SimTime::ZERO),
                 send_obs: SendObs::new(ctx, send_id),
                 recv_obs: RecvObs::new(ctx, recv_id),
+                audit: audit_handle(ctx),
+                node: ctx.node() as u64,
                 cfg,
                 setup_cost_send,
                 setup_cost_recv,
@@ -232,7 +241,11 @@ impl SrUdChannel {
     /// credit each source must be bootstrapped with.
     ///
     /// `ctx` must belong to the same node the channel was created on.
-    pub fn bootstrap_receives(&self, ctx: &Context, expected: &[(EndpointId, NodeId)]) -> u64 {
+    pub fn bootstrap_receives(
+        &self,
+        ctx: &Context,
+        expected: &[(EndpointId, NodeId)],
+    ) -> Result<u64> {
         let s = &self.shared;
         let window = s.cfg.recv_window_per_src;
         {
@@ -243,6 +256,18 @@ impl SrUdChannel {
             let mut grants = s.grants.lock();
             for &(_, node) in expected {
                 grants.insert(node, (window as u64, 0));
+            }
+            // Credit datagrams may legally be lost on the unreliable
+            // transport, so the lanes carry no write-back frequency: the
+            // auditor checks monotonicity and overdraft, not gaps.
+            // Bootstrap happens outside the measured window, at virtual 0.
+            for &(ep, _) in expected {
+                let lane = CreditLane::Ud {
+                    sender: ep.0 as u64,
+                    dest: s.node,
+                };
+                s.audit.credit_lane(lane, None);
+                s.audit.credit_granted(lane, window as u64, 0);
             }
         }
         // Data windows plus generous head-room for in-flight credit
@@ -257,16 +282,17 @@ impl SrUdChannel {
         // (MemoryRegion clones share backing storage, so we must store the
         // new region where the receive path can see it.)
         for i in 0..slots {
+            // Widen before multiplying: `i * s.mtu` would wrap in usize
+            // before the cast on a 32-bit host.
             s.qp.post_recv_untimed(RecvWr {
-                wr_id: (i * s.mtu) as u64,
+                wr_id: (i as u64) * (s.mtu as u64),
                 mr: pool.clone(),
                 offset: i * s.mtu,
                 len: s.mtu,
-            })
-            .expect("bootstrap receive in bounds");
+            })?;
         }
         s.recv_pool_dynamic.lock().replace(pool);
-        window as u64
+        Ok(window as u64)
     }
 
     /// Seeds the send half's credit for `dest` (out-of-band bootstrap).
@@ -307,6 +333,14 @@ impl UdShared {
                 let used = consumed.entry(dest).or_insert(0);
                 if c > *used {
                     *used += 1;
+                    self.audit.credit_consumed(
+                        CreditLane::Ud {
+                            sender: self.send_id.0 as u64,
+                            dest: dest as u64,
+                        },
+                        *used,
+                        sim.now().as_nanos(),
+                    );
                     break Ok(());
                 }
             }
@@ -345,8 +379,8 @@ impl UdShared {
         let pool = self.recv_pool_dynamic.lock().clone().ok_or(
             ShuffleError::CompletionError("UD receive before the pool was bootstrapped"),
         )?;
-        let mut buf = Buffer::new(pool, c.wr_id as usize, self.mtu);
-        let header = buf.read_header();
+        let mut buf = Buffer::try_new(pool, c.wr_id as usize, self.mtu)?;
+        let header = buf.read_header()?;
         match header.kind {
             MsgKind::Credit => {
                 // Absolute credit: later updates supersede earlier ones, so
@@ -370,7 +404,7 @@ impl UdShared {
                 Ok(true)
             }
             MsgKind::Data => {
-                buf.set_len(header.payload_len as usize);
+                buf.set_len(header.payload_len as usize)?;
                 self.bytes_received
                     .fetch_add(header.payload_len as u64, Ordering::Relaxed);
                 self.recv_obs.received(header.payload_len as u64);
@@ -385,8 +419,15 @@ impl UdShared {
                     if header.state == StreamState::Depleted {
                         entry.expected = Some(header.counter);
                     }
+                    self.audit.counted_receive(
+                        header.src as u64,
+                        entry.received,
+                        entry.expected,
+                        sim.now().as_nanos(),
+                    );
                 }
                 *self.last_progress.lock() = sim.now();
+                self.audit.delivered(buf_id(&buf), sim.now().as_nanos());
                 self.data_gate.push(Delivery {
                     state: header.state,
                     src: EndpointId(header.src),
@@ -399,10 +440,16 @@ impl UdShared {
     }
 
     /// Whether every expected source has delivered all counted messages.
-    fn check_done(&self) -> DoneState {
+    ///
+    /// # Errors
+    ///
+    /// [`ShuffleError::Corrupt`] if a source delivered *more* messages
+    /// than its `Depleted` counter declared — a duplicated datagram or a
+    /// corrupted counter, either way unrecoverable within this attempt.
+    fn check_done(&self) -> Result<DoneState> {
         let expected = self.expected_srcs.lock();
         if expected.is_empty() {
-            return DoneState::Done;
+            return Ok(DoneState::Done);
         }
         let srcs = self.srcs.lock();
         let mut waiting_for_stragglers = false;
@@ -410,19 +457,22 @@ impl UdShared {
             match srcs.get(&ep) {
                 Some(s) => match s.expected {
                     Some(total) if s.received == total => {}
-                    Some(total) => {
-                        debug_assert!(s.received < total, "received more than sent");
-                        waiting_for_stragglers = true;
+                    Some(total) if s.received > total => {
+                        return Err(ShuffleError::Corrupt(format!(
+                            "source {ep} delivered {} messages but declared {total}",
+                            s.received
+                        )));
                     }
-                    None => return DoneState::InProgress,
+                    Some(_) => waiting_for_stragglers = true,
+                    None => return Ok(DoneState::InProgress),
                 },
-                None => return DoneState::InProgress,
+                None => return Ok(DoneState::InProgress),
             }
         }
         if waiting_for_stragglers {
-            DoneState::WaitingForStragglers
+            Ok(DoneState::WaitingForStragglers)
         } else {
-            DoneState::Done
+            Ok(DoneState::Done)
         }
     }
 
@@ -474,6 +524,7 @@ impl SendEndpoint for SrUdSendEndpoint {
         s.outstanding
             .lock()
             .insert(buf.offset() as u64, dest.len() as u32);
+        s.audit.buffer_sent(buf_id(&buf), sim.now().as_nanos());
         for &d in dest {
             let ah = *s
                 .peer_ahs
@@ -487,6 +538,20 @@ impl SendEndpoint for SrUdSendEndpoint {
                 *e += 1;
                 *e
             };
+            let now = sim.now().as_nanos();
+            s.audit.data_sent(s.send_id.0 as u64, d as u64, now);
+            #[cfg(feature = "saboteur")]
+            let total = if state == StreamState::Depleted
+                && crate::sabotage::take(crate::sabotage::Sabotage::UnderreportDepletedCount)
+            {
+                total - 1
+            } else {
+                total
+            };
+            if state == StreamState::Depleted {
+                s.audit
+                    .depleted_announced(s.send_id.0 as u64, d as u64, total, now);
+            }
             // Per-destination header: the Depleted counter is specific to
             // each destination, so it is written immediately before posting.
             let header = MsgHeader {
@@ -497,7 +562,7 @@ impl SendEndpoint for SrUdSendEndpoint {
                 counter: total,
                 remote_addr: buf.offset() as u64,
             };
-            buf.write_header(&header);
+            buf.write_header(&header)?;
             let guard = s.post_lock.lock(sim);
             if s.cfg.post_overhead > SimDuration::ZERO {
                 sim.sleep(s.cfg.post_overhead);
@@ -525,6 +590,7 @@ impl SendEndpoint for SrUdSendEndpoint {
         loop {
             if let Some(mut buf) = s.free.lock().pop() {
                 buf.clear();
+                s.audit.buffer_taken(buf_id(&buf), sim.now().as_nanos());
                 return Ok(buf);
             }
             if sim.now() >= deadline {
@@ -545,7 +611,9 @@ impl SendEndpoint for SrUdSendEndpoint {
             *remaining -= 1;
             if *remaining == 0 {
                 outstanding.remove(&c.wr_id);
-                let buf = Buffer::new(s.send_pool.clone(), c.wr_id as usize, s.mtu);
+                drop(outstanding);
+                let buf = Buffer::try_new(s.send_pool.clone(), c.wr_id as usize, s.mtu)?;
+                s.audit.buffer_recycled(buf_id(&buf), sim.now().as_nanos());
                 s.free.lock().push(buf);
             }
         }
@@ -581,6 +649,9 @@ impl SrUdSendEndpoint {
             s.consume_credit(sim, d)?;
             let mut sent = s.sent_data.lock();
             *sent.entry(d).or_insert(0) += 1;
+            drop(sent);
+            s.audit
+                .data_sent(s.send_id.0 as u64, d as u64, sim.now().as_nanos());
             ahs.push(ah);
         }
         let header = MsgHeader {
@@ -591,7 +662,8 @@ impl SrUdSendEndpoint {
             counter: 0, // Only read on Depleted, which never multicasts.
             remote_addr: buf.offset() as u64,
         };
-        buf.write_header(&header);
+        buf.write_header(&header)?;
+        s.audit.buffer_sent(buf_id(&buf), sim.now().as_nanos());
         s.outstanding.lock().insert(buf.offset() as u64, 1);
         let guard = s.post_lock.lock(sim);
         if s.cfg.post_overhead > SimDuration::ZERO {
@@ -638,7 +710,7 @@ impl ReceiveEndpoint for SrUdReceiveEndpoint {
                 continue;
             }
             // No progress this slice: evaluate termination.
-            match s.check_done() {
+            match s.check_done()? {
                 DoneState::Done => {
                     if s.data_gate.is_empty() {
                         s.done.store(true, Ordering::SeqCst);
@@ -673,6 +745,7 @@ impl ReceiveEndpoint for SrUdReceiveEndpoint {
         src: EndpointId,
     ) -> Result<()> {
         let s = &self.shared;
+        s.audit.released(buf_id(&local), sim.now().as_nanos());
         // Repost the receive slot.
         s.qp.post_recv(
             sim,
@@ -704,6 +777,14 @@ impl ReceiveEndpoint for SrUdReceiveEndpoint {
             (e.0, wb)
         };
         if write_back {
+            s.audit.credit_granted(
+                CreditLane::Ud {
+                    sender: src.0 as u64,
+                    dest: s.node,
+                },
+                credit_now,
+                sim.now().as_nanos(),
+            );
             self.send_credit(sim, src_node, credit_now)?;
         }
         Ok(())
@@ -747,7 +828,8 @@ impl SrUdReceiveEndpoint {
             counter: credit,
             remote_addr: 0,
         };
-        buf.write_header(&header);
+        buf.write_header(&header)?;
+        s.audit.buffer_sent(buf_id(&buf), sim.now().as_nanos());
         s.outstanding.lock().insert(buf.offset() as u64, 1);
         let guard = s.post_lock.lock(sim);
         if s.cfg.post_overhead > SimDuration::ZERO {

@@ -17,12 +17,26 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
+use rshuffle_audit::{AuditHandle, BufId, RingKey, RingKind};
 use rshuffle_simnet::{NodeId, SimContext, SimDuration};
 use rshuffle_verbs::{CompletionQueue, Context, MemoryRegion, QueuePair, RemoteAddr, WcStatus};
 
 use crate::buffer::{Buffer, MsgHeader, MsgKind, StreamState};
-use crate::endpoint::{Backoff, Delivery, EndpointId, ReceiveEndpoint, RecvObs, SendEndpoint, SendObs};
+use crate::endpoint::{
+    audit_handle, buf_id, Backoff, Delivery, EndpointId, ReceiveEndpoint, RecvObs, SendEndpoint,
+    SendObs,
+};
 use crate::error::{Result, ShuffleError};
+
+/// Audit identity of a ring from the remote address the peer shared out
+/// of band (the owning side derives the same key from its own memory
+/// region, so both sides feed one ring record).
+fn ring_key(addr: &RemoteAddr) -> RingKey {
+    RingKey {
+        rkey: addr.rkey,
+        base: addr.offset as u64,
+    }
+}
 
 /// Tuning knobs for the RDMA Write endpoint.
 #[derive(Clone, Debug)]
@@ -82,6 +96,7 @@ pub struct WrRcSendEndpoint {
     wr_seq: AtomicU64,
     post_lock: rshuffle_simnet::SimMutex<()>,
     obs: SendObs,
+    audit: AuditHandle,
     cfg: WrRcConfig,
     setup_cost: SimDuration,
 }
@@ -119,6 +134,17 @@ impl WrRcSendEndpoint {
             + profile.mr_register_time(pool_bytes + 8 * ring_cap * peers.len());
         let n = peers.len();
         let peer_index = peers.iter().enumerate().map(|(i, &p)| (p, i)).collect();
+        let audit = audit_handle(ctx);
+        for pi in 0..n {
+            audit.ring(
+                RingKey {
+                    rkey: grant_arr.rkey(),
+                    base: (8 * ring_cap * pi) as u64,
+                },
+                RingKind::Grant,
+                ring_cap as u64,
+            );
+        }
         WrRcSendEndpoint {
             id,
             peer_index,
@@ -143,6 +169,7 @@ impl WrRcSendEndpoint {
                 SimDuration::from_nanos(60),
             ),
             obs: SendObs::new(ctx, id),
+            audit,
             cfg,
             setup_cost,
         }
@@ -167,19 +194,44 @@ impl WrRcSendEndpoint {
     pub fn set_descriptor(&self, peer: NodeId, desc: WrReceiverDescriptor) {
         let pi = self.peer_index[&peer];
         assert_eq!(desc.ring_cap, self.ring_cap, "ring capacities must agree");
+        self.audit.ring(
+            ring_key(&desc.valid_ring),
+            RingKind::ValidArr,
+            desc.ring_cap as u64,
+        );
         self.state.lock().descriptors[pi] = Some(desc);
     }
 
     /// Seeds the grant ring for `peer` with the receiver's initial buffer
     /// offsets (out-of-band bootstrap, before any traffic).
-    pub fn bootstrap_grants(&self, peer: NodeId, offsets: &[u64]) {
-        let pi = self.peer_index[&peer];
-        assert!(offsets.len() <= self.ring_cap, "too many initial grants");
+    ///
+    /// # Errors
+    ///
+    /// [`ShuffleError::Config`] if `peer` is unknown;
+    /// [`ShuffleError::Corrupt`] if an offset lands outside the ring.
+    pub fn bootstrap_grants(&self, peer: NodeId, offsets: &[u64]) -> Result<()> {
+        let pi = *self
+            .peer_index
+            .get(&peer)
+            .ok_or_else(|| ShuffleError::Config(format!("unknown grant peer {peer}")))?;
+        if offsets.len() > self.ring_cap {
+            return Err(ShuffleError::Config(format!(
+                "{} initial grants exceed ring capacity {}",
+                offsets.len(),
+                self.ring_cap
+            )));
+        }
+        let key = RingKey {
+            rkey: self.grant_arr.rkey(),
+            base: (8 * self.ring_cap * pi) as u64,
+        };
         for (k, &off) in offsets.iter().enumerate() {
             self.grant_arr
-                .write_u64(8 * (self.ring_cap * pi + k), off + 1)
-                .expect("ring slot in bounds");
+                .write_u64(8 * (self.ring_cap * pi + k), off + 1)?;
+            // Bootstrap happens outside the measured window, at virtual 0.
+            self.audit.ring_produced(key, 0);
         }
+        Ok(())
     }
 
     /// Pops one granted remote buffer offset for peer `pi`, blocking while
@@ -195,11 +247,9 @@ impl WrRcSendEndpoint {
             let got = {
                 let mut st = self.state.lock();
                 let slot = 8 * (self.ring_cap * pi + (st.grant_cons[pi] as usize % self.ring_cap));
-                let v = self.grant_arr.read_u64(slot).expect("ring slot in bounds");
+                let v = self.grant_arr.read_u64(slot)?;
                 if v != 0 {
-                    self.grant_arr
-                        .write_u64(slot, 0)
-                        .expect("ring slot in bounds");
+                    self.grant_arr.write_u64(slot, 0)?;
                     st.grant_cons[pi] += 1;
                     Some(v - 1)
                 } else {
@@ -208,6 +258,13 @@ impl WrRcSendEndpoint {
             };
             self.obs.freearr_poll(sim, got.is_some());
             if let Some(off) = got {
+                self.audit.ring_consumed(
+                    RingKey {
+                        rkey: self.grant_arr.rkey(),
+                        base: (8 * self.ring_cap * pi) as u64,
+                    },
+                    sim.now().as_nanos(),
+                );
                 break Ok(off);
             }
             if stall_start.is_none() {
@@ -253,11 +310,9 @@ impl WrRcSendEndpoint {
         *remaining -= 1;
         if *remaining == 0 {
             st.outstanding.remove(&c.wr_id);
-            st.free.push(Buffer::new(
-                self.pool_mr.clone(),
-                c.wr_id as usize,
-                self.message_size,
-            ));
+            let buf = Buffer::try_new(self.pool_mr.clone(), c.wr_id as usize, self.message_size)?;
+            self.audit.buffer_recycled(buf_id(&buf), sim.now().as_nanos());
+            st.free.push(buf);
         }
         Ok(true)
     }
@@ -291,6 +346,7 @@ impl SendEndpoint for WrRcSendEndpoint {
             .lock()
             .outstanding
             .insert(buf.offset() as u64, dest.len() as u32);
+        self.audit.buffer_sent(buf_id(&buf), sim.now().as_nanos());
         for &d in dest {
             let pi = *self
                 .peer_index
@@ -303,7 +359,7 @@ impl SendEndpoint for WrRcSendEndpoint {
             // RELEASE can hand it back.
             let mut h = header;
             h.remote_addr = remote_off;
-            buf.write_header(&h);
+            buf.write_header(&h)?;
             // Push the payload into the granted remote buffer...
             let target = RemoteAddr {
                 node: desc.node,
@@ -328,14 +384,14 @@ impl SendEndpoint for WrRcSendEndpoint {
             };
             let seq = self.wr_seq.fetch_add(1, Ordering::Relaxed);
             let scratch_off = (seq % 64) as usize * 8;
-            self.scratch
-                .write_u64(scratch_off, remote_off + 1)
-                .expect("scratch in bounds");
+            self.scratch.write_u64(scratch_off, remote_off + 1)?;
             let ring_target = RemoteAddr {
                 node: desc.valid_ring.node,
                 rkey: desc.valid_ring.rkey,
                 offset: desc.valid_ring.offset + 8 * slot_index,
             };
+            self.audit
+                .ring_produced(ring_key(&desc.valid_ring), sim.now().as_nanos());
             self.qps[pi].post_write(
                 sim,
                 RING_WR_BASE + seq,
@@ -355,6 +411,7 @@ impl SendEndpoint for WrRcSendEndpoint {
         loop {
             if let Some(mut buf) = self.state.lock().free.pop() {
                 buf.clear();
+                self.audit.buffer_taken(buf_id(&buf), sim.now().as_nanos());
                 return Ok(buf);
             }
             if sim.now() >= deadline {
@@ -393,6 +450,7 @@ pub struct WrRcReceiveEndpoint {
     wr_seq: AtomicU64,
     bytes_received: AtomicU64,
     obs: RecvObs,
+    audit: AuditHandle,
     cfg: WrRcConfig,
     setup_cost: SimDuration,
 }
@@ -438,6 +496,17 @@ impl WrRcReceiveEndpoint {
             + profile.mr_register_time(pool_bytes + 8 * ring_cap * srcs.len());
         let n = srcs.len();
         let src_index = srcs.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+        let audit = audit_handle(ctx);
+        for si in 0..n {
+            audit.ring(
+                RingKey {
+                    rkey: valid_arr.rkey(),
+                    base: (8 * ring_cap * si) as u64,
+                },
+                RingKind::ValidArr,
+                ring_cap as u64,
+            );
+        }
         WrRcReceiveEndpoint {
             id,
             srcs,
@@ -460,6 +529,7 @@ impl WrRcReceiveEndpoint {
             wr_seq: AtomicU64::new(0),
             bytes_received: AtomicU64::new(0),
             obs: RecvObs::new(ctx, id),
+            audit,
             cfg,
             setup_cost,
         }
@@ -489,6 +559,8 @@ impl WrRcReceiveEndpoint {
     /// Wires where to push buffer grants for `src`.
     pub fn set_free_ring(&mut self, src: NodeId, ring: RemoteAddr) {
         let si = self.src_index[&src];
+        self.audit
+            .ring(ring_key(&ring), RingKind::Grant, self.ring_cap as u64);
         self.state.lock().grant_rings[si] = Some(ring);
     }
 
@@ -512,11 +584,18 @@ impl WrRcReceiveEndpoint {
             st.grant_prod[si] += 1;
             (ring, idx)
         };
+        let now = sim.now().as_nanos();
+        self.audit.released(
+            BufId {
+                rkey: self.pool_mr.rkey(),
+                offset,
+            },
+            now,
+        );
+        self.audit.ring_produced(ring_key(&ring), now);
         let seq = self.wr_seq.fetch_add(1, Ordering::Relaxed);
         let scratch_off = (seq % 64) as usize * 8;
-        self.scratch
-            .write_u64(scratch_off, offset + 1)
-            .expect("scratch in bounds");
+        self.scratch.write_u64(scratch_off, offset + 1)?;
         let target = RemoteAddr {
             node: ring.node,
             rkey: ring.rkey,
@@ -529,18 +608,18 @@ impl WrRcReceiveEndpoint {
         Ok(())
     }
 
-    fn fully_done(&self) -> bool {
+    fn fully_done(&self) -> Result<bool> {
         let st = self.state.lock();
         for si in 0..self.srcs.len() {
             if !st.depleted[si] {
-                return false;
+                return Ok(false);
             }
             let slot = 8 * (self.ring_cap * si + (st.valid_cons[si] as usize % self.ring_cap));
-            if self.valid_arr.read_u64(slot).expect("ring slot in bounds") != 0 {
-                return false;
+            if self.valid_arr.read_u64(slot)? != 0 {
+                return Ok(false);
             }
         }
-        true
+        Ok(true)
     }
 }
 
@@ -558,25 +637,37 @@ impl ReceiveEndpoint for WrRcReceiveEndpoint {
                     let mut st = self.state.lock();
                     let slot =
                         8 * (self.ring_cap * si + (st.valid_cons[si] as usize % self.ring_cap));
-                    let v = self.valid_arr.read_u64(slot).expect("ring slot in bounds");
+                    let v = self.valid_arr.read_u64(slot)?;
                     if v == 0 {
                         None
                     } else {
-                        self.valid_arr
-                            .write_u64(slot, 0)
-                            .expect("ring slot in bounds");
+                        self.valid_arr.write_u64(slot, 0)?;
                         st.valid_cons[si] += 1;
                         Some(v - 1)
                     }
                 };
                 let Some(offset) = entry else { continue };
                 self.obs.validarr_poll(sim, 1);
-                let mut buf = Buffer::new(self.pool_mr.clone(), offset as usize, self.message_size);
-                let header = buf.read_header();
-                buf.set_len(header.payload_len as usize);
+                self.audit.ring_consumed(
+                    RingKey {
+                        rkey: self.valid_arr.rkey(),
+                        base: (8 * self.ring_cap * si) as u64,
+                    },
+                    sim.now().as_nanos(),
+                );
+                let mut buf =
+                    Buffer::try_new(self.pool_mr.clone(), offset as usize, self.message_size)?;
+                let header = buf.read_header()?;
+                if header.kind != MsgKind::Data {
+                    return Err(ShuffleError::Corrupt(
+                        "ValidArr announced a buffer without a data header".into(),
+                    ));
+                }
+                buf.set_len(header.payload_len as usize)?;
                 self.bytes_received
                     .fetch_add(header.payload_len as u64, Ordering::Relaxed);
                 self.obs.received(header.payload_len as u64);
+                self.audit.delivered(buf_id(&buf), sim.now().as_nanos());
                 {
                     let mut st = self.state.lock();
                     st.src_ep_map.insert(header.src, si);
@@ -592,7 +683,7 @@ impl ReceiveEndpoint for WrRcReceiveEndpoint {
                 }));
             }
             self.obs.validarr_poll(sim, 0);
-            if self.fully_done() {
+            if self.fully_done()? {
                 return Ok(None);
             }
             if sim.now() >= deadline {
@@ -617,6 +708,10 @@ impl ReceiveEndpoint for WrRcReceiveEndpoint {
                 ShuffleError::Config(format!("release for unknown source {src:?}"))
             })?
         };
+        #[cfg(feature = "saboteur")]
+        if crate::sabotage::take(crate::sabotage::Sabotage::DoubleGrant) {
+            self.grant_back(sim, si, remote)?;
+        }
         // Re-grant the (receiver-owned) buffer to the sender it serves.
         self.grant_back(sim, si, remote)
     }

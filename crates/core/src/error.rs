@@ -27,6 +27,11 @@ pub enum ShuffleError {
     Stalled(&'static str),
     /// A hardware completion carried an error status.
     CompletionError(&'static str),
+    /// Wire data or protocol slot state failed validation (bad header
+    /// tag, out-of-range offset, oversized payload). The memory the
+    /// query computed over is suspect, so the query restarts — it must
+    /// never abort the process.
+    Corrupt(String),
     /// The operator or endpoint was misconfigured.
     Config(String),
 }
@@ -46,6 +51,7 @@ impl fmt::Display for ShuffleError {
             ),
             ShuffleError::Stalled(what) => write!(f, "endpoint stalled: {what}"),
             ShuffleError::CompletionError(what) => write!(f, "completion error: {what}"),
+            ShuffleError::Corrupt(what) => write!(f, "protocol state corrupt: {what}"),
             ShuffleError::Config(msg) => write!(f, "configuration error: {msg}"),
         }
     }

@@ -214,6 +214,18 @@ impl Exchange {
     /// Resource creation is untimed (setup cost is charged explicitly via
     /// [`Exchange::charge_setup`], which Figure 12 measures).
     pub fn build(runtime: &Arc<VerbsRuntime>, config: &ExchangeConfig) -> Result<Exchange> {
+        // Under the `audit` feature every exchange is born audited; tests
+        // can also opt in explicitly via `runtime.enable_audit()`.
+        #[cfg(feature = "audit")]
+        if runtime.auditor().is_none() {
+            runtime.enable_audit();
+        }
+        // Each build is one protocol epoch: a restarted attempt starts from
+        // clean lane/buffer/ring state (violations accumulate across
+        // epochs).
+        if let Some(auditor) = runtime.auditor() {
+            auditor.begin_epoch();
+        }
         let mut config = config.clone();
         config.sq_contention = runtime.profile().sq_contention_per_thread;
         let config = &config;
@@ -293,8 +305,8 @@ impl Exchange {
                             let qp_r = r.qp_for(a);
                             ConnectionManager::activate_untimed(qp_s, Some(qp_r.address_handle()))?;
                             ConnectionManager::activate_untimed(qp_r, Some(qp_s.address_handle()))?;
-                            let credit = r.bootstrap_src(a, s.credit_slot_for(b));
-                            s.bootstrap_credit(b, credit);
+                            let credit = r.bootstrap_src(a, s.credit_slot_for(b))?;
+                            s.bootstrap_credit(b, credit)?;
                         }
                     }
                 }
@@ -433,7 +445,7 @@ impl Exchange {
                             recv_eps[b][lane].set_free_ring(a, free_ring);
                             s.set_descriptor(b, desc);
                             let grants = recv_eps[b][lane].initial_grants(a);
-                            s.bootstrap_grants(b, &grants);
+                            s.bootstrap_grants(b, &grants)?;
                         }
                     }
                 }
@@ -499,7 +511,7 @@ impl Exchange {
                         let expected: Vec<(EndpointId, NodeId)> =
                             srcs[b].iter().map(|&a| (send_id(a, lane), a)).collect();
                         let ctx = runtime.context(b);
-                        let credit = channels[b][lane].bootstrap_receives(&ctx, &expected);
+                        let credit = channels[b][lane].bootstrap_receives(&ctx, &expected)?;
                         for &a in &srcs[b] {
                             channels[a][lane].bootstrap_credit(b, credit);
                         }

@@ -43,6 +43,8 @@ pub mod error;
 pub mod exchange;
 pub mod group;
 pub mod operator;
+#[cfg(feature = "saboteur")]
+pub mod sabotage;
 
 pub use buffer::{Buffer, MsgHeader, MsgKind, StreamState, HEADER_LEN};
 pub use config::{Contention, EndpointImpl, EndpointMode, ShuffleAlgorithm};

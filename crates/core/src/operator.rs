@@ -384,7 +384,7 @@ impl Operator for ReceiveOperator {
                     // Copy out of RDMA-registered memory (Algorithm 2,
                     // line 8) and charge the copy.
                     sim.sleep(self.cost.copy_time(delivery.local.len()));
-                    delivery.local.with_payload(|p| out.extend_rows(p));
+                    delivery.local.with_payload(|p| out.extend_rows(p))?;
                     target.release(sim, delivery.remote, delivery.local, delivery.src)?;
                     if out.rows() >= self.batch_rows {
                         return Ok((StreamState::MoreData, out));

@@ -1,0 +1,54 @@
+//! One-shot protocol saboteurs for the mutation smoke test.
+//!
+//! Compiled only under the `saboteur` feature, these deliberately break
+//! one protocol step at one call site so the mutation suite can prove
+//! the auditor catches each class of bug as a *named*
+//! [`AuditViolation`](rshuffle_audit::AuditViolation) — never a hang,
+//! never a silent pass. A saboteur is armed process-wide and fires
+//! exactly once (the first matching call site wins), so a sabotaged run
+//! damages a single protocol step and the rest of the run shows how the
+//! damage propagates.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The protocol steps a test can sabotage.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Sabotage {
+    /// Skip one credit write-back in the RC send/receive design
+    /// (§4.4.1). Absolute credit self-heals at the next write-back, so
+    /// only the auditor's online gap check can see it.
+    SkipCreditWriteback = 0,
+    /// Drop one ValidArr announcement in the RDMA Read design
+    /// (Alg. 3): the written buffer is never advertised, the receiver's
+    /// stall watchdog fires, and finalize names the ring imbalance.
+    DropValidArrUpdate = 1,
+    /// Announce a `Depleted` counter one below the data messages
+    /// actually sent (§4.4.2), so a receiver would terminate early and
+    /// silently miss a message.
+    UnderreportDepletedCount = 2,
+    /// Grant the same remote buffer offset back twice in the RDMA
+    /// Write design (§7), inviting the sender to overwrite a buffer the
+    /// operator may still be reading.
+    DoubleGrant = 3,
+}
+
+/// Currently armed saboteur, encoded as `discriminant + 1` (0 = none).
+static ARMED: AtomicUsize = AtomicUsize::new(0);
+
+/// Arms `s`; the next matching protocol step is sabotaged once.
+pub fn arm(s: Sabotage) {
+    ARMED.store(s as usize + 1, Ordering::SeqCst);
+}
+
+/// Disarms any pending saboteur.
+pub fn disarm() {
+    ARMED.store(0, Ordering::SeqCst);
+}
+
+/// Consumes `s` if it is the armed saboteur. Call sites sabotage their
+/// step exactly when this returns true.
+pub fn take(s: Sabotage) -> bool {
+    ARMED
+        .compare_exchange(s as usize + 1, 0, Ordering::SeqCst, Ordering::SeqCst)
+        .is_ok()
+}

@@ -231,10 +231,10 @@ fn repartition_delivers_every_row_to_the_hashed_node() {
             "{algorithm}: workers errored: {:?}",
             result.errors
         );
-        for node in 0..nodes {
+        for (node, want) in expected.iter().enumerate() {
             assert_eq!(
                 sorted(result.received[node].clone()),
-                sorted(expected[node].clone()),
+                sorted(want.clone()),
                 "{algorithm}: node {node} received the wrong multiset"
             );
         }
@@ -382,10 +382,10 @@ fn mesq_sr_handles_out_of_order_delivery() {
     );
     assert!(result.errors.is_empty(), "errors: {:?}", result.errors);
     let expected = expected_repartition(nodes, threads, rows);
-    for node in 0..nodes {
+    for (node, want) in expected.iter().enumerate() {
         assert_eq!(
             sorted(result.received[node].clone()),
-            sorted(expected[node].clone()),
+            sorted(want.clone()),
             "node {node} under reordering"
         );
     }
@@ -459,10 +459,10 @@ fn rc_algorithms_are_loss_free_by_construction() {
             faults.clone(),
         );
         assert!(result.errors.is_empty(), "{algorithm}: {:?}", result.errors);
-        for node in 0..nodes {
+        for (node, want) in expected.iter().enumerate() {
             assert_eq!(
                 sorted(result.received[node].clone()),
-                sorted(expected[node].clone()),
+                sorted(want.clone()),
                 "{algorithm}: node {node}"
             );
         }

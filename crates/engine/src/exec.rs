@@ -202,7 +202,7 @@ mod tests {
         let gen = Arc::new(Generator::new(4000, 2, 1));
         let filter = Arc::new(Filter::new(
             gen,
-            |row| key(row) % 2 == 0,
+            |row| key(row).is_multiple_of(2),
             SimDuration::from_nanos(2),
         ));
         let stats = drive_to_sink(&c, 0, "filter", filter, 2, |_, _| {});

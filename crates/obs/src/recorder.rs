@@ -70,6 +70,9 @@ pub enum EventKind {
     /// A restarted fragment completed successfully (`arg` = recovery
     /// latency in nanoseconds, measured from the first failure).
     QueryRecovered,
+    /// The protocol auditor observed an invariant violation (`arg` =
+    /// the violation's numeric code).
+    AuditViolation,
 }
 
 impl EventKind {
@@ -95,6 +98,7 @@ impl EventKind {
             EventKind::QpKilled => "qp_killed",
             EventKind::QueryRestart => "query_restart",
             EventKind::QueryRecovered => "query_recovered",
+            EventKind::AuditViolation => "audit_violation",
         }
     }
 }

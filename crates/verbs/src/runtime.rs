@@ -13,6 +13,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rshuffle_audit::ShuffleAuditor;
 use rshuffle_obs::{names, Counter, EventKind, Labels, Obs, HW_TRACK};
 use rshuffle_simnet::{Cluster, DeviceProfile, Kernel, NicModel, SimContext, SimDuration};
 
@@ -115,6 +116,8 @@ pub struct VerbsRuntime {
     ud_loss_windows: Vec<(Window, f64)>,
     /// Receiver-pause windows from the fault plan.
     recv_pause_windows: Vec<Window>,
+    /// The installed protocol auditor, if any (see `enable_audit`).
+    auditor: Mutex<Option<Arc<ShuffleAuditor>>>,
 }
 
 impl VerbsRuntime {
@@ -170,6 +173,7 @@ impl VerbsRuntime {
             registered_peak: Mutex::new(vec![0; nodes]),
             ud_loss_windows,
             recv_pause_windows,
+            auditor: Mutex::new(None),
         });
         rt.install_fault_plan();
         rt
@@ -361,6 +365,29 @@ impl VerbsRuntime {
     /// The shared observability context.
     pub fn obs(&self) -> &Arc<Obs> {
         &self.rt_obs.obs
+    }
+
+    /// Installs (or replaces) the protocol auditor endpoints consult.
+    pub fn install_auditor(&self, auditor: Arc<ShuffleAuditor>) {
+        *self.auditor.lock() = Some(auditor);
+    }
+
+    /// The installed protocol auditor, if any.
+    pub fn auditor(&self) -> Option<Arc<ShuffleAuditor>> {
+        self.auditor.lock().clone()
+    }
+
+    /// Installs a protocol auditor reporting into this runtime's
+    /// observability context, returning the existing one if already
+    /// installed. Idempotent, so tests can call it unconditionally.
+    pub fn enable_audit(&self) -> Arc<ShuffleAuditor> {
+        let mut slot = self.auditor.lock();
+        if let Some(existing) = slot.as_ref() {
+            return existing.clone();
+        }
+        let auditor = ShuffleAuditor::new(Some(self.rt_obs.obs.clone()));
+        *slot = Some(auditor.clone());
+        auditor
     }
 
     /// Snapshot of the runtime's fault/delivery counters (view over the
@@ -557,9 +584,11 @@ mod tests {
     #[test]
     fn ud_fate_is_deterministic_per_seed() {
         let sample = |seed| {
-            let mut f = FaultConfig::default();
-            f.seed = seed;
-            f.ud_drop_probability = 0.3;
+            let f = FaultConfig {
+                seed,
+                ud_drop_probability: 0.3,
+                ..FaultConfig::default()
+            };
             let rt = VerbsRuntime::with_faults(Cluster::new(2, DeviceProfile::edr()), f);
             (0..64).map(|_| rt.sample_ud_fate(0)).collect::<Vec<_>>()
         };

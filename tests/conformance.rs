@@ -1,0 +1,238 @@
+//! Differential conformance harness: all six shuffle algorithms are run
+//! over identical seeded workloads — healthy and under PR-2 fault plans
+//! — with the protocol auditor installed, and the delivered multisets
+//! are cross-checked against each other and against the generator.
+//!
+//! The six designs differ in transport (Send/Receive vs RDMA Read vs
+//! RDMA Write, RC vs UD) and queue-pair topology, but they implement
+//! the same relational exchange: for the same seed they must deliver
+//! the same multiset of rows to the same nodes. Any divergence between
+//! two algorithms is a protocol bug in at least one of them, and on a
+//! healthy run the invariant auditor must agree with a completely empty
+//! violation log.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rshuffle_repro::audit::AuditViolation;
+use rshuffle_repro::engine::{run_shuffle_with_restart, Generator, QueryReport, RestartPolicy};
+use rshuffle_repro::rshuffle::{ExchangeConfig, Operator, ShuffleAlgorithm};
+use rshuffle_repro::simnet::{DeviceProfile, SimDuration};
+use rshuffle_repro::verbs::{FaultConfig, FaultPlan};
+
+const NODES: usize = 3;
+const THREADS: usize = 2;
+const ROWS_PER_THREAD: usize = 800;
+const ROW: usize = 16;
+
+fn us(v: u64) -> SimDuration {
+    SimDuration::from_micros(v)
+}
+
+/// One run of one algorithm: the query report, the rows the winning
+/// attempt delivered (sorted), and the auditor's final verdict.
+struct ConformanceRun {
+    report: QueryReport,
+    delivered: Vec<[u8; ROW]>,
+    violations: Vec<AuditViolation>,
+}
+
+fn conformance_config(algorithm: ShuffleAlgorithm, plan: FaultPlan) -> ExchangeConfig {
+    let mut config = ExchangeConfig::repartition(algorithm, NODES, THREADS);
+    config.message_size = 4096;
+    config.stall_timeout = SimDuration::from_millis(2);
+    config.depleted_timeout = us(500);
+    config.faults = FaultConfig {
+        seed: 42,
+        plan,
+        ..FaultConfig::default()
+    };
+    config
+}
+
+fn run_conformance(algorithm: ShuffleAlgorithm, plan: FaultPlan, max_restarts: u32) -> ConformanceRun {
+    let config = conformance_config(algorithm, plan);
+    let runtime = config.build_runtime(DeviceProfile::edr());
+    // Install the auditor explicitly so the harness exercises it even
+    // when the `audit` cargo feature (auto-install) is off.
+    let auditor = runtime.enable_audit();
+    let delivered: Arc<Mutex<HashMap<u32, Vec<[u8; ROW]>>>> = Arc::new(Mutex::new(HashMap::new()));
+    let d = delivered.clone();
+    let report = run_shuffle_with_restart(
+        &runtime,
+        &config,
+        RestartPolicy {
+            max_restarts,
+            initial_backoff: us(50),
+            max_backoff: SimDuration::from_millis(1),
+        },
+        ROW,
+        |_, node| {
+            Arc::new(Generator::new(ROWS_PER_THREAD, THREADS, node as u64)) as Arc<dyn Operator>
+        },
+        move |attempt, _, _, batch| {
+            let mut map = d.lock();
+            let rows = map.entry(attempt).or_default();
+            for row in batch.iter() {
+                rows.push(row.try_into().expect("16-byte row"));
+            }
+        },
+    );
+    runtime.cluster().run();
+    let report = report.lock().clone();
+    let violations = auditor.finalize(report.succeeded());
+    let mut delivered = delivered
+        .lock()
+        .get(&report.restarts)
+        .cloned()
+        .unwrap_or_default();
+    delivered.sort_unstable();
+    ConformanceRun {
+        report,
+        delivered,
+        violations,
+    }
+}
+
+/// Every row each node's generator will emit, cluster-wide, sorted.
+fn expected_rows() -> Vec<[u8; ROW]> {
+    let mut rows = Vec::with_capacity(NODES * THREADS * ROWS_PER_THREAD);
+    for node in 0..NODES {
+        for tid in 0..THREADS {
+            for seq in 0..ROWS_PER_THREAD {
+                rows.push(Generator::row(node as u64, tid, seq));
+            }
+        }
+    }
+    rows.sort_unstable();
+    rows
+}
+
+/// Healthy fabric: all six paper algorithms plus the two §7 RDMA Write
+/// variants, same seed, no faults. Every design must deliver the
+/// identical multiset with zero restarts, and the protocol auditor must
+/// find nothing.
+#[test]
+fn all_algorithms_agree_on_a_healthy_fabric() {
+    let expected = expected_rows();
+    let wr_variants = ["MEMQ/WR", "SEMQ/WR"]
+        .map(|n| ShuffleAlgorithm::parse(n).expect("WR variant parses"));
+    for algorithm in ShuffleAlgorithm::ALL.into_iter().chain(wr_variants) {
+        let run = run_conformance(algorithm, FaultPlan::new(), 0);
+        assert!(
+            run.report.succeeded(),
+            "{algorithm}: healthy run failed: {:?}",
+            run.report.failure
+        );
+        assert_eq!(run.report.restarts, 0, "{algorithm}: healthy run restarted");
+        assert_eq!(
+            run.delivered, expected,
+            "{algorithm}: delivered multiset diverges from the generator \
+             ({} of {} rows)",
+            run.delivered.len(),
+            expected.len()
+        );
+        assert!(
+            run.violations.is_empty(),
+            "{algorithm}: auditor flagged a healthy run: {:?}",
+            run.violations
+        );
+    }
+}
+
+/// Faulted fabric: the same PR-2 fault plans the chaos suite uses, one
+/// per transport-level failure mode. Under every plan, every algorithm
+/// must converge (within the restart budget) on exactly the generated
+/// multiset — so all six agree with each other run-to-run even when
+/// their recovery paths differ wildly.
+#[test]
+fn all_algorithms_agree_under_fault_plans() {
+    let expected = expected_rows();
+    let plans: Vec<(&str, FaultPlan)> = vec![
+        ("link-flap", FaultPlan::new().link_flap(1, us(10), us(150))),
+        (
+            "straggler",
+            FaultPlan::new().straggler(2, us(5), us(500), 4.0),
+        ),
+        ("qp-failure", FaultPlan::new().qp_failure(1, us(20))),
+        (
+            "ud-loss-burst",
+            FaultPlan::new().ud_loss_burst(0, us(10), us(120), 1.0),
+        ),
+    ];
+    for (plan_name, plan) in plans {
+        for algorithm in ShuffleAlgorithm::ALL {
+            let run = run_conformance(algorithm, plan.clone(), 6);
+            assert!(
+                run.report.succeeded(),
+                "{algorithm} under {plan_name}: failed after {} restarts: {:?}",
+                run.report.restarts,
+                run.report.failure
+            );
+            assert_eq!(
+                run.delivered, expected,
+                "{algorithm} under {plan_name}: winning attempt diverges \
+                 ({} of {} rows, {} restarts)",
+                run.delivered.len(),
+                expected.len(),
+                run.report.restarts
+            );
+            assert!(
+                run.violations.is_empty(),
+                "{algorithm} under {plan_name}: auditor flagged the run: {:?}",
+                run.violations
+            );
+        }
+    }
+}
+
+/// The auditor itself must not perturb the simulation: a healthy run
+/// with the auditor installed produces the byte-identical observability
+/// snapshot and Chrome trace as one without. Hooks cost no virtual time
+/// and the auditor only touches the recorder on its first violation.
+#[test]
+fn auditor_is_invisible_to_virtual_time() {
+    for algorithm in [ShuffleAlgorithm::MEMQ_SR, ShuffleAlgorithm::MEMQ_RD] {
+        let mut snapshots = Vec::new();
+        let mut traces = Vec::new();
+        for enable in [false, true] {
+            let config = conformance_config(algorithm, FaultPlan::new());
+            let runtime = config.build_runtime(DeviceProfile::edr());
+            if enable {
+                runtime.enable_audit();
+            }
+            let report = run_shuffle_with_restart(
+                &runtime,
+                &config,
+                RestartPolicy {
+                    max_restarts: 0,
+                    initial_backoff: us(50),
+                    max_backoff: us(500),
+                },
+                ROW,
+                |_, node| {
+                    Arc::new(Generator::new(ROWS_PER_THREAD, THREADS, node as u64))
+                        as Arc<dyn Operator>
+                },
+                |_, _, _, _| {},
+            );
+            runtime.cluster().run();
+            assert!(
+                report.lock().succeeded(),
+                "{algorithm} (audit={enable}): failed"
+            );
+            let obs = runtime.obs();
+            snapshots.push(obs.snapshot_json());
+            traces.push(obs.chrome_trace_json());
+        }
+        assert_eq!(
+            snapshots[0], snapshots[1],
+            "{algorithm}: installing the auditor changed the metrics snapshot"
+        );
+        assert_eq!(
+            traces[0], traces[1],
+            "{algorithm}: installing the auditor changed the trace"
+        );
+    }
+}

@@ -29,7 +29,56 @@ proptest! {
         };
         let mut bytes = [0u8; HEADER_LEN];
         header.encode(&mut bytes);
-        prop_assert_eq!(MsgHeader::decode(&bytes), header);
+        prop_assert_eq!(MsgHeader::decode(&bytes), Ok(header));
+    }
+
+    /// Wire-header decoding is total: extreme counter values round-trip
+    /// without truncation, short slices and garbage tags surface as
+    /// [`ShuffleError::Corrupt`] instead of panicking, and trailing bytes
+    /// beyond the header are ignored.
+    #[test]
+    fn msg_header_decode_is_total(
+        cut in 0usize..HEADER_LEN,
+        kind_tag in any::<u8>(),
+        state_tag in any::<u8>(),
+        tail in 0usize..64,
+        payload_delta in 0u32..4,
+        counter_delta in 0u64..4,
+    ) {
+        use rshuffle_repro::rshuffle::ShuffleError;
+
+        // Edge-of-range values: payload_len and counter hugging their
+        // type maxima must survive the codec bit-exactly (a truncating
+        // cast in either direction would wrap these first).
+        let header = MsgHeader {
+            src: u32::MAX,
+            kind: MsgKind::Data,
+            state: StreamState::Depleted,
+            payload_len: u32::MAX - payload_delta,
+            counter: u64::MAX - counter_delta,
+            remote_addr: u64::MAX,
+        };
+        let mut bytes = vec![0u8; HEADER_LEN + tail];
+        header.encode(&mut bytes);
+        prop_assert_eq!(MsgHeader::decode(&bytes), Ok(header));
+
+        // Any strict prefix of a header is corruption, not a panic.
+        prop_assert!(matches!(
+            MsgHeader::decode(&bytes[..cut]),
+            Err(ShuffleError::Corrupt(_))
+        ));
+
+        // Unknown enum tags are corruption; known tags decode.
+        bytes[4] = kind_tag;
+        bytes[5] = state_tag;
+        let decoded = MsgHeader::decode(&bytes);
+        if kind_tag < 2 && state_tag < 2 {
+            let h = decoded.clone();
+            prop_assert!(h.is_ok());
+            prop_assert_eq!(decoded.unwrap().payload_len, header.payload_len);
+        } else {
+            prop_assert!(matches!(decoded, Err(ShuffleError::Corrupt(_))));
+        }
     }
 
     /// RowBatch preserves rows exactly, in order.
@@ -197,7 +246,7 @@ fn random_multicast_groups_deliver_exactly() {
 
         let mut expected: Vec<Vec<[u8; 16]>> = vec![Vec::new(); nodes];
         let mut sources = Vec::new();
-        for node in 0..nodes {
+        for (node, node_groups) in groups.iter().enumerate() {
             let mut per_thread: Vec<Vec<[u8; 16]>> = vec![Vec::new(); threads];
             for i in 0..3000u64 {
                 let mut row = [0u8; 16];
@@ -205,8 +254,8 @@ fn random_multicast_groups_deliver_exactly() {
                 row[0..8].copy_from_slice(&key.to_le_bytes());
                 row[8..16].copy_from_slice(&i.to_le_bytes());
                 per_thread[(i % threads as u64) as usize].push(row);
-                let g = (default_partition_hash(&row) % groups[node].len() as u64) as usize;
-                for &dest in groups[node].group(g) {
+                let g = (default_partition_hash(&row) % node_groups.len() as u64) as usize;
+                for &dest in node_groups.group(g) {
                     expected[dest].push(row);
                 }
             }
