@@ -32,3 +32,15 @@ fi
 # + UD loss burst) across all six algorithms; fails unless every query
 # recovers with exactly-once row delivery.
 cargo run -q --release -p rshuffle-bench --bin chaos $CARGO_FLAGS -- --smoke
+
+# Scheduler unit tests (the umbrella suite only runs integration tests).
+cargo test -q -p rshuffle-sched --lib $CARGO_FLAGS
+
+# Concurrency smoke: 1 and 2 co-running queries per algorithm through the
+# admission scheduler; fails unless queries genuinely overlap in virtual
+# time and the registered-memory budget holds on every node.
+cargo run -q --release -p rshuffle-bench --bin concurrency $CARGO_FLAGS -- --smoke
+
+# Documentation gate: rshuffle-sched is #![warn(missing_docs)]; deny all
+# rustdoc warnings workspace-wide so the public surface stays documented.
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q $CARGO_FLAGS

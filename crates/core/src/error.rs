@@ -34,6 +34,17 @@ pub enum ShuffleError {
     Corrupt(String),
     /// The operator or endpoint was misconfigured.
     Config(String),
+    /// The query's registered-memory requirement can never fit the
+    /// scheduler's per-node budget, even running alone — admitting it
+    /// would hang forever, so it is rejected up front.
+    BudgetImpossible {
+        /// Node whose requirement exceeds the budget.
+        node: usize,
+        /// Bytes the query needs registered on that node.
+        required: usize,
+        /// The configured per-node budget.
+        budget: usize,
+    },
 }
 
 impl fmt::Display for ShuffleError {
@@ -53,6 +64,15 @@ impl fmt::Display for ShuffleError {
             ShuffleError::CompletionError(what) => write!(f, "completion error: {what}"),
             ShuffleError::Corrupt(what) => write!(f, "protocol state corrupt: {what}"),
             ShuffleError::Config(msg) => write!(f, "configuration error: {msg}"),
+            ShuffleError::BudgetImpossible {
+                node,
+                required,
+                budget,
+            } => write!(
+                f,
+                "registered-memory budget impossible: node {node} needs {required} bytes \
+                 but the per-node budget is {budget}"
+            ),
         }
     }
 }

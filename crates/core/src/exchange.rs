@@ -11,7 +11,7 @@
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
-use rshuffle_simnet::{Cluster, DeviceProfile, NodeId, SimContext, SimDuration};
+use rshuffle_simnet::{Cluster, DeviceProfile, FlowId, NodeId, SimContext, SimDuration};
 use rshuffle_verbs::{ConnectionManager, FaultConfig, VerbsRuntime};
 
 use crate::config::{EndpointImpl, EndpointMode, ShuffleAlgorithm};
@@ -65,6 +65,17 @@ pub struct ExchangeConfig {
     /// a scheduled [`rshuffle_verbs::FaultPlan`]) consumed by
     /// [`ExchangeConfig::build_runtime`].
     pub faults: FaultConfig,
+    /// Flow tag applied to every Queue Pair and memory region of this
+    /// exchange. [`FlowId::NONE`] (the default) leaves traffic untagged
+    /// and is byte-identical to the pre-scheduler behaviour; the
+    /// multi-query scheduler assigns one flow per query so the fabric can
+    /// arbitrate bandwidth by weight and attribute busy time.
+    pub flow: FlowId,
+    /// Offset added to every [`EndpointId`] this exchange mints. Distinct
+    /// concurrent queries on one runtime must use disjoint id spaces
+    /// (endpoint ids are the wire-level addressing scheme, §4.2); the
+    /// scheduler derives a base from the query id.
+    pub endpoint_id_base: u32,
     /// Transmission groups of each node.
     pub groups: Vec<TransmissionGroups>,
 }
@@ -115,6 +126,8 @@ impl ExchangeConfig {
             stall_timeout: SimDuration::from_millis(500),
             depleted_timeout: SimDuration::from_millis(2),
             faults: FaultConfig::default(),
+            flow: FlowId::NONE,
+            endpoint_id_base: 0,
             groups,
         }
     }
@@ -191,6 +204,87 @@ impl ExchangeConfig {
             ..SrUdConfig::default()
         }
     }
+
+    /// Predicts the total bytes of RDMA memory [`Exchange::build`] will
+    /// register on `node` — from configuration alone, without building
+    /// anything. The multi-query scheduler's admission controller budgets
+    /// against this figure before paying for endpoint construction (an
+    /// over-budget query must be deferred *before* it pins memory); a
+    /// unit test pins the estimate to the actual
+    /// [`VerbsRuntime::registered_bytes`] delta of a real build.
+    pub fn registered_bytes_estimate(&self, profile: &DeviceProfile, node: NodeId) -> usize {
+        let lanes = self
+            .lanes_override
+            .unwrap_or_else(|| self.algorithm.endpoints(self.threads));
+        let dests: Vec<Vec<NodeId>> = self.groups.iter().map(|g| g.destinations()).collect();
+        let d = dests.get(node).map_or(0, |v| v.len());
+        let s = dests.iter().filter(|ds| ds.contains(&node)).count();
+        let msg = self.message_size;
+        // Every endpoint registers a 64-slot scratch region for control
+        // writes (credit write-back, ring announcements).
+        const SCRATCH: usize = 64 * 8;
+        let per_lane = match self.algorithm.imp {
+            EndpointImpl::MqSr => {
+                let cfg = self.sr_rc();
+                let send = if d > 0 {
+                    msg * cfg.buffers_per_peer * d + 8 * d
+                } else {
+                    0
+                };
+                let recv = if s > 0 {
+                    msg * cfg.recv_depth_per_peer * s + SCRATCH
+                } else {
+                    0
+                };
+                send + recv
+            }
+            EndpointImpl::MqRd => {
+                let cfg = self.rd_rc();
+                let send = if d > 0 {
+                    let buffers = cfg.buffers_per_peer * d;
+                    msg * buffers + 8 * (buffers + 2) * d + SCRATCH
+                } else {
+                    0
+                };
+                let recv = if s > 0 {
+                    let ring_cap = cfg.buffers_per_peer * s + 2;
+                    msg * cfg.buffers_per_peer * s + 8 * ring_cap * s + SCRATCH
+                } else {
+                    0
+                };
+                send + recv
+            }
+            EndpointImpl::MqWr => {
+                let cfg = self.wr_rc();
+                let ring_cap = cfg.buffers_per_peer + 2;
+                let send = if d > 0 {
+                    msg * cfg.buffers_per_peer * d + 8 * ring_cap * d + SCRATCH
+                } else {
+                    0
+                };
+                let recv = if s > 0 {
+                    msg * cfg.buffers_per_peer * s + 8 * ring_cap * s + SCRATCH
+                } else {
+                    0
+                };
+                send + recv
+            }
+            EndpointImpl::SqSr => {
+                // The UD channel registers its send pool unconditionally;
+                // the receive pool (window + 2x in-flight head-room per
+                // source) only exists on nodes that receive.
+                let cfg = self.sr_ud();
+                let send = profile.mtu * cfg.send_buffers;
+                let recv = if s > 0 {
+                    3 * cfg.recv_window_per_src * s * profile.mtu
+                } else {
+                    0
+                };
+                send + recv
+            }
+        };
+        per_lane * lanes
+    }
 }
 
 /// A fully wired cluster-wide exchange: per node, the lane-indexed send and
@@ -206,6 +300,9 @@ pub struct Exchange {
     pub algorithm: ShuffleAlgorithm,
     /// Lanes per node (1 for SE, `threads` for ME).
     pub lanes: usize,
+    /// The flow tag all of this exchange's QPs and memory regions carry
+    /// ([`FlowId::NONE`] outside the multi-query scheduler).
+    pub flow: FlowId,
 }
 
 impl Exchange {
@@ -261,9 +358,13 @@ impl Exchange {
         }
         let srcs: Vec<Vec<NodeId>> = srcs.into_iter().map(|s| s.into_iter().collect()).collect();
 
-        // Endpoint ids: (node, lane, role) → unique integer.
-        let send_id = |node: usize, lane: usize| EndpointId((node * lanes + lane) as u32 * 2);
-        let recv_id = |node: usize, lane: usize| EndpointId((node * lanes + lane) as u32 * 2 + 1);
+        // Endpoint ids: (node, lane, role) → unique integer, offset into
+        // this exchange's id space.
+        let base = config.endpoint_id_base;
+        let send_id =
+            |node: usize, lane: usize| EndpointId(base + (node * lanes + lane) as u32 * 2);
+        let recv_id =
+            |node: usize, lane: usize| EndpointId(base + (node * lanes + lane) as u32 * 2 + 1);
 
         match config.algorithm.imp {
             EndpointImpl::MqSr => {
@@ -271,7 +372,7 @@ impl Exchange {
                 let mut send_eps: Vec<Vec<Arc<SrRcSendEndpoint>>> = Vec::new();
                 let mut recv_eps: Vec<Vec<Arc<SrRcReceiveEndpoint>>> = Vec::new();
                 for node in 0..nodes {
-                    let ctx = runtime.context(node);
+                    let ctx = runtime.context_flow(node, config.flow);
                     let mut s_lane = Vec::new();
                     let mut r_lane = Vec::new();
                     for lane in 0..lanes {
@@ -326,6 +427,7 @@ impl Exchange {
                     groups: config.groups.clone(),
                     algorithm: config.algorithm,
                     lanes,
+                    flow: config.flow,
                 })
             }
             EndpointImpl::MqRd => {
@@ -333,7 +435,7 @@ impl Exchange {
                 let mut send_eps: Vec<Vec<Arc<RdRcSendEndpoint>>> = Vec::new();
                 let mut recv_eps: Vec<Vec<RdRcReceiveEndpoint>> = Vec::new();
                 for node in 0..nodes {
-                    let ctx = runtime.context(node);
+                    let ctx = runtime.context_flow(node, config.flow);
                     let mut s_lane = Vec::new();
                     let mut r_lane = Vec::new();
                     for lane in 0..lanes {
@@ -396,6 +498,7 @@ impl Exchange {
                     groups: config.groups.clone(),
                     algorithm: config.algorithm,
                     lanes,
+                    flow: config.flow,
                 })
             }
             EndpointImpl::MqWr => {
@@ -403,7 +506,7 @@ impl Exchange {
                 let mut send_eps: Vec<Vec<Arc<WrRcSendEndpoint>>> = Vec::new();
                 let mut recv_eps: Vec<Vec<WrRcReceiveEndpoint>> = Vec::new();
                 for node in 0..nodes {
-                    let ctx = runtime.context(node);
+                    let ctx = runtime.context_flow(node, config.flow);
                     let mut s_lane = Vec::new();
                     let mut r_lane = Vec::new();
                     for lane in 0..lanes {
@@ -465,13 +568,14 @@ impl Exchange {
                     groups: config.groups.clone(),
                     algorithm: config.algorithm,
                     lanes,
+                    flow: config.flow,
                 })
             }
             EndpointImpl::SqSr => {
                 let cfg = config.sr_ud();
                 let mut channels: Vec<Vec<SrUdChannel>> = Vec::new();
                 for node in 0..nodes {
-                    let ctx = runtime.context(node);
+                    let ctx = runtime.context_flow(node, config.flow);
                     let lane_channels = (0..lanes)
                         .map(|lane| {
                             SrUdChannel::new(
@@ -510,7 +614,7 @@ impl Exchange {
                         }
                         let expected: Vec<(EndpointId, NodeId)> =
                             srcs[b].iter().map(|&a| (send_id(a, lane), a)).collect();
-                        let ctx = runtime.context(b);
+                        let ctx = runtime.context_flow(b, config.flow);
                         let credit = channels[b][lane].bootstrap_receives(&ctx, &expected)?;
                         for &a in &srcs[b] {
                             channels[a][lane].bootstrap_credit(b, credit);
@@ -551,6 +655,7 @@ impl Exchange {
                     groups: config.groups.clone(),
                     algorithm: config.algorithm,
                     lanes,
+                    flow: config.flow,
                 })
             }
         }
@@ -565,6 +670,17 @@ impl Exchange {
         for ep in &self.recv[node] {
             ep.charge_setup(sim);
         }
+    }
+
+    /// Returns this exchange's pinned memory to the runtime: deregisters
+    /// (untimed and trace-invisible, so it cannot perturb virtual time)
+    /// every region registered under the exchange's flow tag. Endpoints
+    /// register eagerly and never release on their own; the multi-query
+    /// scheduler calls this when a query attempt finishes so the next
+    /// admission decision sees the true budget. A no-op for untagged
+    /// exchanges. Returns the bytes freed cluster-wide.
+    pub fn release(&self, runtime: &VerbsRuntime) -> usize {
+        runtime.deregister_flow(self.flow)
     }
 
     /// Total RDMA-registered bytes on `node` across this exchange's

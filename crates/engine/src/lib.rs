@@ -13,7 +13,9 @@
 //!   simulated worker threads and report timing,
 //! * [`restart`] — a query-restart orchestrator that recovers from
 //!   transient shuffle failures by rebuilding the exchange and re-running
-//!   the query (§4.4.2), with capped virtual-time backoff.
+//!   the query (§4.4.2), with capped virtual-time backoff,
+//! * [`workload`] — a multi-query driver that runs N queries through the
+//!   admission scheduler ([`rshuffle_sched`]) on one shared cluster.
 
 #![warn(missing_docs)]
 
@@ -21,11 +23,16 @@ pub mod exec;
 pub mod ops;
 pub mod restart;
 pub mod table;
+pub mod workload;
 
 pub use exec::{drive_to_sink, FragmentStats};
-pub use restart::{run_shuffle_with_restart, QueryReport, RestartPolicy};
+pub use restart::{
+    run_shuffle_with_restart, run_shuffle_with_restart_hooks, AttemptEnd, AttemptHooks,
+    QueryReport, RestartPolicy,
+};
 pub use ops::{
     ComputeStage, Filter, Generator, HashAggregate, HashJoin, HashSemiJoin, MemScan, Project, TopN,
     UnionAll,
 };
 pub use table::Table;
+pub use workload::{run_workload, QuerySpec, QueryTiming, WorkloadHandle, ENDPOINT_ID_STRIDE};

@@ -79,12 +79,59 @@ impl QueryReport {
     }
 }
 
-/// Whether an error is worth a fresh attempt. Configuration errors are
-/// deterministic and would fail identically; everything else (message
-/// loss, stalls, completion errors, verbs failures) is transient fabric
-/// state that a rebuilt exchange escapes.
+/// Whether an error is worth a fresh attempt. Configuration errors and
+/// impossible memory budgets are deterministic and would fail
+/// identically; everything else (message loss, stalls, completion
+/// errors, verbs failures) is transient fabric state that a rebuilt
+/// exchange escapes.
 fn restartable(e: &ShuffleError) -> bool {
-    !matches!(e, ShuffleError::Config(_))
+    !matches!(
+        e,
+        ShuffleError::Config(_) | ShuffleError::BudgetImpossible { .. }
+    )
+}
+
+/// How one query attempt ended, as seen by
+/// [`AttemptHooks::after_attempt`].
+#[derive(Debug)]
+pub enum AttemptEnd<'a> {
+    /// The attempt delivered the query to completion.
+    Success,
+    /// The attempt failed with a restartable error; another attempt
+    /// follows after backoff.
+    Retry(&'a ShuffleError),
+    /// The attempt failed terminally (non-restartable error, exhausted
+    /// restart budget, or the exchange would not build).
+    Failure(&'a ShuffleError),
+}
+
+/// Hook invoked before each attempt; an `Err` fails the query without
+/// running the attempt.
+pub type BeforeAttempt = Box<dyn Fn(&SimContext, u32) -> Result<(), ShuffleError> + Send + Sync>;
+/// Hook invoked after each attempt with the attempt's end state.
+pub type AfterAttempt = Box<dyn Fn(&SimContext, u32, &AttemptEnd<'_>) + Send + Sync>;
+
+/// Per-attempt callbacks for [`run_shuffle_with_restart_hooks`]: the
+/// seam the multi-query scheduler plugs into. `before_attempt` runs on
+/// the coordinator thread before the exchange is built (admission — may
+/// block in virtual time); `after_attempt` runs once the attempt's
+/// outcome is known (release). A restarting query therefore gives its
+/// slot back and re-enters admission at the back of the queue instead
+/// of holding resources across the backoff.
+pub struct AttemptHooks {
+    /// Runs before the attempt's exchange is built.
+    pub before_attempt: BeforeAttempt,
+    /// Runs after the attempt's outcome is known.
+    pub after_attempt: AfterAttempt,
+}
+
+impl Default for AttemptHooks {
+    fn default() -> Self {
+        AttemptHooks {
+            before_attempt: Box::new(|_, _| Ok(())),
+            after_attempt: Box::new(|_, _, _| {}),
+        }
+    }
 }
 
 /// Per-worker result of one attempt: rows and bytes delivered to the
@@ -121,6 +168,29 @@ pub fn run_shuffle_with_restart(
     make_source: impl Fn(u32, NodeId) -> Arc<dyn Operator> + Send + Sync + 'static,
     sink: impl Fn(u32, NodeId, usize, &RowBatch) + Send + Sync + 'static,
 ) -> Arc<Mutex<QueryReport>> {
+    run_shuffle_with_restart_hooks(
+        runtime,
+        config,
+        policy,
+        row_size,
+        make_source,
+        sink,
+        AttemptHooks::default(),
+    )
+}
+
+/// [`run_shuffle_with_restart`] with per-attempt [`AttemptHooks`] — the
+/// entry point the multi-query scheduler composes with. With default
+/// hooks this is exactly `run_shuffle_with_restart`.
+pub fn run_shuffle_with_restart_hooks(
+    runtime: &Arc<VerbsRuntime>,
+    config: &ExchangeConfig,
+    policy: RestartPolicy,
+    row_size: usize,
+    make_source: impl Fn(u32, NodeId) -> Arc<dyn Operator> + Send + Sync + 'static,
+    sink: impl Fn(u32, NodeId, usize, &RowBatch) + Send + Sync + 'static,
+    hooks: AttemptHooks,
+) -> Arc<Mutex<QueryReport>> {
     let report = Arc::new(Mutex::new(QueryReport::default()));
     let out = report.clone();
     let runtime = runtime.clone();
@@ -140,10 +210,17 @@ pub fn run_shuffle_with_restart(
         let mut backoff = policy.initial_backoff;
         loop {
             let attempt = rep.restarts;
+            // Admission (may block in virtual time); a hook error fails
+            // the query before any resource is built.
+            if let Err(e) = (hooks.before_attempt)(&sim, attempt) {
+                rep.failure = Some(e);
+                break;
+            }
             let attempt_started = sim.now();
             let exchange = match Exchange::build(&runtime, &config) {
                 Ok(ex) => ex,
                 Err(e) => {
+                    (hooks.after_attempt)(&sim, attempt, &AttemptEnd::Failure(&e));
                     rep.failure = Some(e);
                     break;
                 }
@@ -199,6 +276,7 @@ pub fn run_shuffle_with_restart(
                             recovery.as_nanos(),
                         );
                     }
+                    (hooks.after_attempt)(&sim, attempt, &AttemptEnd::Success);
                     break;
                 }
                 Some(e) => {
@@ -206,9 +284,11 @@ pub fn run_shuffle_with_restart(
                     let can_retry = restartable(&e) && rep.restarts < policy.max_restarts;
                     rep.attempt_errors.push(e.clone());
                     if !can_retry {
+                        (hooks.after_attempt)(&sim, attempt, &AttemptEnd::Failure(&e));
                         rep.failure = Some(e);
                         break;
                     }
+                    (hooks.after_attempt)(&sim, attempt, &AttemptEnd::Retry(&e));
                     rep.restarts += 1;
                     restarts_ctr.inc();
                     obs.recorder.event(

@@ -1,0 +1,296 @@
+//! Multi-query workload driver: runs N shuffle queries through the
+//! admission scheduler on one simulated cluster.
+//!
+//! Each query gets its own coordinator (the restart orchestrator of
+//! [`crate::restart`]) whose per-attempt hooks go through
+//! [`Scheduler::admit`] / [`Scheduler::release`]: every attempt —
+//! including a restart after a transient failure — re-enters admission
+//! at the back of the queue, returns its registered memory, and gives
+//! its fairness weight back while backing off. Queries are isolated on
+//! the shared fabric by their [`FlowId`] (the query id) and by disjoint
+//! endpoint-id spaces ([`ENDPOINT_ID_STRIDE`]).
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rshuffle::{ExchangeConfig, Operator, RowBatch, ShuffleError};
+use rshuffle_sched::{Admission, QueryRequest, ReleaseOutcome, Scheduler};
+use rshuffle_simnet::{FlowId, NodeId, SimDuration, SimTime};
+use rshuffle_verbs::VerbsRuntime;
+
+use crate::restart::{
+    run_shuffle_with_restart_hooks, AttemptEnd, AttemptHooks, QueryReport, RestartPolicy,
+};
+
+/// Gap between the endpoint-id spaces of consecutive query ids: room
+/// for 32768 endpoints per query, far above any simulated plan.
+pub const ENDPOINT_ID_STRIDE: u32 = 1 << 16;
+
+/// One query of a workload.
+#[derive(Clone)]
+pub struct QuerySpec {
+    /// Query id; doubles as the fabric flow id and scales the
+    /// endpoint-id base. Must be unique within the workload.
+    pub id: u32,
+    /// The exchange to run. `flow` and `endpoint_id_base` are
+    /// overwritten from `id`.
+    pub config: ExchangeConfig,
+    /// Restart policy for transient failures.
+    pub policy: RestartPolicy,
+    /// Row size streamed by the receive operators.
+    pub row_size: usize,
+    /// Weighted-fair bandwidth weight (1 = equal share).
+    pub weight: u64,
+    /// Priority under the scheduler's priority policy.
+    pub priority: i32,
+}
+
+impl QuerySpec {
+    /// A weight-1, priority-0 query with the default restart policy.
+    pub fn new(id: u32, config: ExchangeConfig, row_size: usize) -> Self {
+        QuerySpec {
+            id,
+            config,
+            policy: RestartPolicy::default(),
+            row_size,
+            weight: 1,
+            priority: 0,
+        }
+    }
+}
+
+/// Virtual-time milestones of one query's trip through the scheduler,
+/// populated while the simulation runs.
+#[derive(Clone, Debug, Default)]
+pub struct QueryTiming {
+    /// When the query first requested admission.
+    pub submitted: Option<SimTime>,
+    /// When its first admission was granted.
+    pub first_admitted: Option<SimTime>,
+    /// When it completed successfully (`None` on failure).
+    pub completed: Option<SimTime>,
+    /// Total admission-queue wait across all attempts.
+    pub queue_wait: SimDuration,
+    /// Admissions granted (attempts started).
+    pub admissions: u32,
+}
+
+impl QueryTiming {
+    /// Submission-to-completion virtual latency, once finished.
+    pub fn latency(&self) -> Option<SimDuration> {
+        Some(self.completed? - self.submitted?)
+    }
+}
+
+/// Handle to one workload query's results, readable after
+/// `Cluster::run`.
+pub struct WorkloadHandle {
+    /// The query id.
+    pub query: u32,
+    /// The restart orchestrator's report (rows, restarts, failure).
+    pub report: Arc<Mutex<QueryReport>>,
+    /// Scheduler-side timing milestones.
+    pub timing: Arc<Mutex<QueryTiming>>,
+}
+
+/// Runs every query of `queries` through `scheduler` on `runtime`'s
+/// cluster. Returns one handle per query (same order); results are
+/// valid after `runtime.cluster().run()`.
+///
+/// `make_source(query, attempt, node)` builds the source operator and
+/// `sink(query, attempt, node, tid, batch)` receives every delivered
+/// batch — per-query, so sinks can keep attempt outputs apart exactly
+/// like [`crate::restart::run_shuffle_with_restart`] does per attempt.
+pub fn run_workload(
+    runtime: &Arc<VerbsRuntime>,
+    scheduler: &Arc<Scheduler>,
+    queries: Vec<QuerySpec>,
+    make_source: impl Fn(u32, u32, NodeId) -> Arc<dyn Operator> + Send + Sync + 'static,
+    sink: impl Fn(u32, u32, NodeId, usize, &RowBatch) + Send + Sync + 'static,
+) -> Vec<WorkloadHandle> {
+    type SourceFactory = Arc<dyn Fn(u32, u32, NodeId) -> Arc<dyn Operator> + Send + Sync>;
+    type WorkloadSink = Arc<dyn Fn(u32, u32, NodeId, usize, &RowBatch) + Send + Sync>;
+    let make_source: SourceFactory = Arc::new(make_source);
+    let sink: WorkloadSink = Arc::new(sink);
+    let nodes = runtime.cluster().nodes();
+    let mut handles = Vec::with_capacity(queries.len());
+    for spec in queries {
+        let mut config = spec.config.clone();
+        config.flow = FlowId(spec.id);
+        config.endpoint_id_base = spec.id * ENDPOINT_ID_STRIDE;
+        let request = QueryRequest {
+            id: spec.id,
+            weight: spec.weight,
+            priority: spec.priority,
+            mem_per_node: (0..nodes)
+                .map(|n| config.registered_bytes_estimate(runtime.profile(), n))
+                .collect(),
+        };
+        let timing = Arc::new(Mutex::new(QueryTiming::default()));
+        let slot: Arc<Mutex<Option<Admission>>> = Arc::new(Mutex::new(None));
+        let before = {
+            let scheduler = scheduler.clone();
+            let timing = timing.clone();
+            let slot = slot.clone();
+            Box::new(move |sim: &rshuffle_simnet::SimContext, _attempt: u32| {
+                {
+                    let mut t = timing.lock();
+                    t.submitted.get_or_insert(sim.now());
+                }
+                let adm = scheduler.admit(sim, &request)?;
+                let mut t = timing.lock();
+                t.first_admitted.get_or_insert(adm.admitted_at);
+                t.queue_wait += adm.queue_wait();
+                t.admissions += 1;
+                drop(t);
+                *slot.lock() = Some(adm);
+                Ok::<(), ShuffleError>(())
+            })
+        };
+        let after = {
+            let scheduler = scheduler.clone();
+            let timing = timing.clone();
+            let slot = slot.clone();
+            Box::new(
+                move |sim: &rshuffle_simnet::SimContext, _attempt: u32, end: &AttemptEnd<'_>| {
+                    let adm = slot
+                        .lock()
+                        .take()
+                        .expect("after_attempt without matching admission");
+                    let outcome = match end {
+                        AttemptEnd::Success => ReleaseOutcome::Completed,
+                        AttemptEnd::Retry(_) => ReleaseOutcome::Requeued,
+                        AttemptEnd::Failure(_) => ReleaseOutcome::Failed,
+                    };
+                    scheduler.release(sim, adm, outcome);
+                    if matches!(end, AttemptEnd::Success) {
+                        timing.lock().completed = Some(sim.now());
+                    }
+                },
+            )
+        };
+        let query = spec.id;
+        let ms = make_source.clone();
+        let sk = sink.clone();
+        let report = run_shuffle_with_restart_hooks(
+            runtime,
+            &config,
+            spec.policy,
+            spec.row_size,
+            move |attempt, node| ms(query, attempt, node),
+            move |attempt, node, tid, batch| sk(query, attempt, node, tid, batch),
+            AttemptHooks {
+                before_attempt: before,
+                after_attempt: after,
+            },
+        );
+        handles.push(WorkloadHandle {
+            query,
+            report,
+            timing,
+        });
+    }
+    handles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::Generator;
+    use rshuffle::ShuffleAlgorithm;
+    use rshuffle_sched::SchedulerConfig;
+    use rshuffle_simnet::DeviceProfile;
+
+    fn spec(id: u32, nodes: usize, threads: usize) -> QuerySpec {
+        let mut config = ExchangeConfig::repartition(ShuffleAlgorithm::MEMQ_SR, nodes, threads);
+        config.message_size = 4096;
+        QuerySpec::new(id, config, 16)
+    }
+
+    #[test]
+    fn two_queries_complete_and_release_everything() {
+        let nodes = 2;
+        let threads = 2;
+        let config = spec(0, nodes, threads).config;
+        let runtime = config.build_runtime(DeviceProfile::edr());
+        let sched = Scheduler::new(&runtime, SchedulerConfig::default());
+        let handles = run_workload(
+            &runtime,
+            &sched,
+            vec![spec(0, nodes, threads), spec(1, nodes, threads)],
+            |query, _, _| Arc::new(Generator::new(200, 2, 7 + query as u64)) as Arc<dyn Operator>,
+            |_, _, _, _, _| {},
+        );
+        runtime.cluster().run();
+        for h in &handles {
+            let rep = h.report.lock();
+            assert!(rep.succeeded(), "query {}: {:?}", h.query, rep.failure);
+            assert_eq!(rep.rows, (nodes * threads * 200) as u64);
+            let t = h.timing.lock();
+            assert!(t.latency().is_some());
+            assert_eq!(t.admissions, 1);
+        }
+        assert_eq!(sched.running(), 0);
+        assert_eq!(sched.queued(), 0);
+        for node in 0..nodes {
+            assert_eq!(
+                runtime.registered_bytes(node),
+                0,
+                "all query memory returned on node {node}"
+            );
+            assert_eq!(sched.reserved_bytes(node), 0);
+        }
+    }
+
+    #[test]
+    fn memory_estimate_matches_actual_registration() {
+        // The admission controller budgets on the estimate; it is only
+        // sound if the estimate equals what Exchange::build really pins.
+        for algorithm in ShuffleAlgorithm::ALL {
+            let nodes = 3;
+            let mut config = ExchangeConfig::repartition(algorithm, nodes, 2);
+            config.message_size = 4096;
+            let runtime = config.build_runtime(DeviceProfile::edr());
+            let exchange = rshuffle::Exchange::build(&runtime, &config).unwrap();
+            for node in 0..nodes {
+                assert_eq!(
+                    config.registered_bytes_estimate(runtime.profile(), node),
+                    runtime.registered_bytes(node),
+                    "{algorithm} node {node}"
+                );
+            }
+            drop(exchange);
+        }
+    }
+
+    #[test]
+    fn budget_impossible_query_fails_fast_others_proceed() {
+        let nodes = 2;
+        let threads = 2;
+        let config = spec(0, nodes, threads).config;
+        let runtime = config.build_runtime(DeviceProfile::edr());
+        let sched = Scheduler::new(
+            &runtime,
+            SchedulerConfig {
+                // Far below any exchange's need: every query is
+                // budget-impossible.
+                mem_budget_per_node: Some(1024),
+                ..SchedulerConfig::default()
+            },
+        );
+        let handles = run_workload(
+            &runtime,
+            &sched,
+            vec![spec(0, nodes, threads)],
+            |_, _, _| Arc::new(Generator::new(50, 2, 7)) as Arc<dyn Operator>,
+            |_, _, _, _, _| {},
+        );
+        runtime.cluster().run();
+        let rep = handles[0].report.lock();
+        assert!(matches!(
+            rep.failure,
+            Some(ShuffleError::BudgetImpossible { .. })
+        ));
+        assert_eq!(rep.restarts, 0, "budget errors must not burn restarts");
+    }
+}

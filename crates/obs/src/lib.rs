@@ -89,6 +89,26 @@ pub mod names {
     /// Virtual ns from first fragment failure to successful completion
     /// `{node}`.
     pub const ENGINE_RECOVERY_NS: &str = "engine.recovery_ns";
+    /// Queries admitted by the workload scheduler.
+    pub const SCHED_ADMITTED: &str = "sched.admitted";
+    /// Admission decisions that deferred a query (slot or memory wait).
+    pub const SCHED_DEFERRED: &str = "sched.deferred";
+    /// Queries completed and released by the scheduler.
+    pub const SCHED_COMPLETED: &str = "sched.completed";
+    /// Virtual ns a query waited in the admission queue `{query}`.
+    pub const SCHED_QUEUE_WAIT_NS: &str = "sched.queue_wait_ns";
+    /// Distribution of admission-queue waits, ns.
+    pub const SCHED_QUEUE_WAIT_HIST_NS: &str = "sched.queue_wait_hist_ns";
+    /// Virtual ns a query held an execution slot `{query}`.
+    pub const SCHED_RUN_NS: &str = "sched.run_ns";
+    /// NIC pipeline busy ns attributed to a query `{query}` (summed over
+    /// nodes).
+    pub const SCHED_NIC_BUSY_NS: &str = "sched.nic_busy_ns";
+    /// Fabric port busy ns attributed to a query `{query}` (egress +
+    /// ingress, summed over nodes).
+    pub const SCHED_PORT_BUSY_NS: &str = "sched.port_busy_ns";
+    /// Peak bytes of registered memory reserved from the budget `{node}`.
+    pub const SCHED_MEM_RESERVED_PEAK: &str = "sched.mem_reserved_peak";
 }
 
 /// One shared observability context: the metrics registry plus the

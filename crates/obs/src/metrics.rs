@@ -32,6 +32,10 @@ pub struct Labels {
     pub lane: u32,
     /// Endpoint identifier (matches `EndpointId` in the core crate).
     pub endpoint: u32,
+    /// Query (tenant) the sample is attributed to — set by the multi-query
+    /// scheduler; [`NO_LABEL`] for single-query runs, so every series key
+    /// that existed before the scheduler landed renders unchanged.
+    pub query: u32,
 }
 
 impl Labels {
@@ -40,14 +44,14 @@ impl Labels {
         node: NO_LABEL,
         lane: NO_LABEL,
         endpoint: NO_LABEL,
+        query: NO_LABEL,
     };
 
     /// A per-node series.
     pub fn node(node: u32) -> Labels {
         Labels {
             node,
-            lane: NO_LABEL,
-            endpoint: NO_LABEL,
+            ..Labels::GLOBAL
         }
     }
 
@@ -56,7 +60,7 @@ impl Labels {
         Labels {
             node,
             lane,
-            endpoint: NO_LABEL,
+            ..Labels::GLOBAL
         }
     }
 
@@ -64,9 +68,22 @@ impl Labels {
     pub fn endpoint(node: u32, endpoint: u32) -> Labels {
         Labels {
             node,
-            lane: NO_LABEL,
             endpoint,
+            ..Labels::GLOBAL
         }
+    }
+
+    /// A per-query (tenant) series.
+    pub fn query(query: u32) -> Labels {
+        Labels {
+            query,
+            ..Labels::GLOBAL
+        }
+    }
+
+    /// This label set additionally attributed to `query`.
+    pub fn with_query(self, query: u32) -> Labels {
+        Labels { query, ..self }
     }
 
     /// Renders the label suffix, e.g. `{node=2,lane=0}`. Empty string
@@ -81,6 +98,9 @@ impl Labels {
         }
         if self.endpoint != NO_LABEL {
             parts.push(format!("endpoint={}", self.endpoint));
+        }
+        if self.query != NO_LABEL {
+            parts.push(format!("query={}", self.query));
         }
         if parts.is_empty() {
             String::new()

@@ -73,6 +73,14 @@ pub enum EventKind {
     /// The protocol auditor observed an invariant violation (`arg` =
     /// the violation's numeric code).
     AuditViolation,
+    /// The workload scheduler admitted a query (`arg` = query id).
+    QueryAdmitted,
+    /// The workload scheduler deferred a query — no free slot or not
+    /// enough registered-memory budget (`arg` = query id).
+    QueryDeferred,
+    /// A scheduled query completed and released its slot, memory and
+    /// flow weight (`arg` = query id).
+    QueryCompleted,
 }
 
 impl EventKind {
@@ -99,6 +107,9 @@ impl EventKind {
             EventKind::QueryRestart => "query_restart",
             EventKind::QueryRecovered => "query_recovered",
             EventKind::AuditViolation => "audit_violation",
+            EventKind::QueryAdmitted => "query_admitted",
+            EventKind::QueryDeferred => "query_deferred",
+            EventKind::QueryCompleted => "query_completed",
         }
     }
 }

@@ -8,7 +8,7 @@ use rshuffle_obs::Obs;
 
 use crate::kernel::{Kernel, SimContext, SimThreadId};
 use crate::net::Fabric;
-use crate::nic::NicModel;
+use crate::nic::{FlowTable, NicModel};
 use crate::profile::DeviceProfile;
 use crate::NodeId;
 
@@ -18,6 +18,7 @@ pub struct Cluster {
     kernel: Kernel,
     fabric: Arc<Fabric>,
     nics: Arc<Vec<NicModel>>,
+    flows: Arc<FlowTable>,
     profile: Arc<DeviceProfile>,
     obs: Arc<Obs>,
 }
@@ -33,19 +34,30 @@ impl Cluster {
         let obs = Obs::new();
         let kernel = Kernel::new();
         kernel.set_obs(obs.clone());
-        let fabric = Arc::new(Fabric::new(nodes, &profile));
+        // One flow-weight table shared by the fabric ports and every NIC
+        // pipeline, so a query's weight governs all its bottlenecks.
+        let flows = Arc::new(FlowTable::new());
+        let fabric = Arc::new(Fabric::with_flows(nodes, &profile, flows.clone()));
         let nics = Arc::new(
             (0..nodes)
-                .map(|node| NicModel::with_obs(&profile, obs.clone(), node as u32))
+                .map(|node| {
+                    NicModel::with_flows(&profile, obs.clone(), node as u32, flows.clone())
+                })
                 .collect(),
         );
         Cluster {
             kernel,
             fabric,
             nics,
+            flows,
             profile: Arc::new(profile),
             obs,
         }
+    }
+
+    /// The cluster-shared flow-weight table (weighted-fair arbitration).
+    pub fn flows(&self) -> &Arc<FlowTable> {
+        &self.flows
     }
 
     /// The virtual-time kernel.

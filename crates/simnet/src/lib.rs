@@ -40,7 +40,7 @@ pub mod time;
 pub use cluster::Cluster;
 pub use kernel::{Gate, Kernel, RecvTimeout, SimContext, SimThreadId, ThreadStats};
 pub use net::Fabric;
-pub use nic::NicModel;
+pub use nic::{FairResource, FlowId, FlowTable, NicModel};
 pub use profile::DeviceProfile;
 pub use resource::Resource;
 pub use sync::{SimBarrier, SimMutex};

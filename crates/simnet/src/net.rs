@@ -15,19 +15,22 @@
 //! an approximation that is exact for same-size messages and bounded by one
 //! serialization quantum otherwise.
 
+use std::sync::Arc;
+
 use parking_lot::Mutex;
 
+use crate::nic::{FairResource, FlowId, FlowTable};
 use crate::profile::DeviceProfile;
-use crate::resource::{transfer_time, Resource};
-use crate::time::SimTime;
+use crate::resource::transfer_time;
+use crate::time::{SimDuration, SimTime};
 use crate::NodeId;
 
 /// Messages up to this size bypass the port FIFOs (control virtual lane).
 pub const CONTROL_BYPASS_BYTES: usize = 256;
 
 struct NodePorts {
-    egress: Mutex<Resource>,
-    ingress: Mutex<Resource>,
+    egress: Mutex<FairResource>,
+    ingress: Mutex<FairResource>,
 }
 
 /// Per-node link-fault state driven by the fault-injection subsystem.
@@ -59,6 +62,7 @@ impl Default for LinkFault {
 /// The cluster interconnect.
 pub struct Fabric {
     ports: Vec<NodePorts>,
+    flows: Arc<FlowTable>,
     bandwidth: f64,
     switch_latency: crate::time::SimDuration,
     loopback_latency: crate::time::SimDuration,
@@ -67,15 +71,22 @@ pub struct Fabric {
 
 impl Fabric {
     /// Creates a fabric connecting `nodes` nodes with the bandwidth and
-    /// latency of `profile`.
+    /// latency of `profile`, with a private (empty) flow table.
     pub fn new(nodes: usize, profile: &DeviceProfile) -> Self {
+        Self::with_flows(nodes, profile, Arc::new(FlowTable::new()))
+    }
+
+    /// Creates a fabric whose ports arbitrate across the cluster-shared
+    /// `flows` weights.
+    pub fn with_flows(nodes: usize, profile: &DeviceProfile, flows: Arc<FlowTable>) -> Self {
         Fabric {
             ports: (0..nodes)
                 .map(|_| NodePorts {
-                    egress: Mutex::new(Resource::new()),
-                    ingress: Mutex::new(Resource::new()),
+                    egress: Mutex::new(FairResource::new()),
+                    ingress: Mutex::new(FairResource::new()),
                 })
                 .collect(),
+            flows,
             bandwidth: profile.payload_bandwidth,
             switch_latency: profile.switch_latency,
             loopback_latency: profile.loopback_latency,
@@ -127,13 +138,28 @@ impl Fabric {
         )
     }
 
-    /// Schedules a `bytes`-sized message from `from` to `to`, departing the
-    /// sender NIC at `depart`. Returns the delivery time at the receiver NIC.
+    /// Schedules an untagged `bytes`-sized message from `from` to `to`,
+    /// departing the sender NIC at `depart` (see [`Fabric::transfer_flow`]).
+    pub fn transfer(&self, from: NodeId, to: NodeId, bytes: usize, depart: SimTime) -> SimTime {
+        self.transfer_flow(from, to, bytes, depart, FlowId::NONE)
+    }
+
+    /// Schedules a `bytes`-sized message belonging to `flow` from `from` to
+    /// `to`, departing the sender NIC at `depart`. Returns the delivery time
+    /// at the receiver NIC. Both ports are weighted-fair across flows with
+    /// registered weights; untagged traffic takes the plain FIFO path.
     ///
     /// # Panics
     ///
     /// Panics if either node id is out of range.
-    pub fn transfer(&self, from: NodeId, to: NodeId, bytes: usize, depart: SimTime) -> SimTime {
+    pub fn transfer_flow(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        bytes: usize,
+        depart: SimTime,
+        flow: FlowId,
+    ) -> SimTime {
         assert!(from < self.ports.len(), "sender {from} out of range");
         assert!(to < self.ports.len(), "receiver {to} out of range");
         if from == to {
@@ -157,11 +183,16 @@ impl Fabric {
         // reaches the ingress port one switch latency after it starts
         // leaving the egress, so both ports stream the same bytes in
         // parallel and serialization is paid once, not twice.
-        let e = self.ports[from].egress.lock().reserve(depart, ser);
-        let i = self.ports[to]
-            .ingress
+        let e = self.ports[from]
+            .egress
             .lock()
-            .reserve(e.start + self.switch_latency, ser);
+            .reserve_flow(depart, ser, flow, &self.flows);
+        let i = self.ports[to].ingress.lock().reserve_flow(
+            e.start + self.switch_latency,
+            ser,
+            flow,
+            &self.flows,
+        );
         i.end + extra_latency
     }
 
@@ -180,6 +211,24 @@ impl Fabric {
         bytes: usize,
         depart: SimTime,
     ) -> Vec<SimTime> {
+        self.transfer_multicast_flow(from, tos, bytes, depart, FlowId::NONE)
+    }
+
+    /// Flow-tagged form of [`Fabric::transfer_multicast`]: one egress
+    /// serialization charged to `flow`, per-destination ingress reservations
+    /// likewise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any node id is out of range.
+    pub fn transfer_multicast_flow(
+        &self,
+        from: NodeId,
+        tos: &[NodeId],
+        bytes: usize,
+        depart: SimTime,
+        flow: FlowId,
+    ) -> Vec<SimTime> {
         assert!(from < self.ports.len(), "sender {from} out of range");
         let (sender_down, sender_bw, sender_lat) = {
             let faults = self.link_faults.lock();
@@ -188,7 +237,10 @@ impl Fabric {
         };
         let depart = depart.max(sender_down);
         let ser = transfer_time(bytes, self.bandwidth * sender_bw);
-        let e = self.ports[from].egress.lock().reserve(depart, ser);
+        let e = self.ports[from]
+            .egress
+            .lock()
+            .reserve_flow(depart, ser, flow, &self.flows);
         tos.iter()
             .map(|&to| {
                 assert!(to < self.ports.len(), "receiver {to} out of range");
@@ -203,7 +255,12 @@ impl Fabric {
                 self.ports[to]
                     .ingress
                     .lock()
-                    .reserve(e.start.max(recv_down) + self.switch_latency, ser)
+                    .reserve_flow(
+                        e.start.max(recv_down) + self.switch_latency,
+                        ser,
+                        flow,
+                        &self.flows,
+                    )
                     .end
                     + sender_lat
                     + recv_lat
@@ -219,6 +276,21 @@ impl Fabric {
     /// Utilization of a node's egress port over `[0, horizon]`.
     pub fn egress_utilization(&self, node: NodeId, horizon: SimTime) -> f64 {
         self.ports[node].egress.lock().utilization(horizon)
+    }
+
+    /// Total egress-port occupancy granted to `flow` at `node`, ever.
+    pub fn egress_flow_busy(&self, node: NodeId, flow: FlowId) -> SimDuration {
+        self.ports[node].egress.lock().busy_for(flow)
+    }
+
+    /// Total ingress-port occupancy granted to `flow` at `node`, ever.
+    pub fn ingress_flow_busy(&self, node: NodeId, flow: FlowId) -> SimDuration {
+        self.ports[node].ingress.lock().busy_for(flow)
+    }
+
+    /// The cluster-shared flow-weight table this fabric arbitrates on.
+    pub fn flows(&self) -> &Arc<FlowTable> {
+        &self.flows
     }
 }
 

@@ -24,7 +24,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use rshuffle_obs::{names, EventKind, Labels, HW_TRACK};
 use rshuffle_simnet::nic::WrKind;
-use rshuffle_simnet::{SimContext, SimDuration, SimTime};
+use rshuffle_simnet::{FlowId, SimContext, SimDuration, SimTime};
 
 use crate::cq::{Completion, CompletionQueue, WcOpcode, WcStatus};
 use crate::error::{Result, VerbsError};
@@ -97,6 +97,8 @@ pub(crate) struct QpInner {
     /// physically arrive earlier (control virtual lane), so delivery times
     /// are clamped to be monotone per QP.
     pub(crate) last_delivery: Mutex<SimTime>,
+    /// The flow (query) whose NIC/port share this QP's traffic consumes.
+    pub(crate) flow: FlowId,
 }
 
 impl QpInner {
@@ -106,6 +108,7 @@ impl QpInner {
         ty: QpType,
         send_cq: CompletionQueue,
         recv_cq: CompletionQueue,
+        flow: FlowId,
     ) -> Self {
         QpInner {
             node,
@@ -117,6 +120,7 @@ impl QpInner {
             recv_cq,
             recv_queue: Mutex::new(VecDeque::new()),
             last_delivery: Mutex::new(SimTime::ZERO),
+            flow,
         }
     }
 
@@ -370,7 +374,7 @@ impl QueuePair {
         let nic_done = self
             .runtime
             .nic(self.inner.node)
-            .process(now, self.inner.ctx_key(), kind);
+            .process_flow(now, self.inner.ctx_key(), kind, self.inner.flow);
 
         let reliable = self.inner.ty == QpType::Rc;
         let wire_bytes = wire_bytes(self.inner.ty, wr.len, profile.mtu);
@@ -395,11 +399,12 @@ impl QueuePair {
             }
         };
 
-        let deliver = self.runtime.cluster().fabric().transfer(
+        let deliver = self.runtime.cluster().fabric().transfer_flow(
             self.inner.node,
             dest.node,
             wire_bytes,
             nic_done,
+            self.inner.flow,
         ) + jitter;
         let deliver = if reliable {
             self.ordered_delivery(deliver)
@@ -485,14 +490,15 @@ impl QueuePair {
         let nic_done = self
             .runtime
             .nic(self.inner.node)
-            .process(now, self.inner.ctx_key(), WrKind::SendUd);
+            .process_flow(now, self.inner.ctx_key(), WrKind::SendUd, self.inner.flow);
         let wire = wire_bytes(QpType::Ud, wr.len, profile.mtu);
         let dest_nodes: Vec<crate::NodeId> = dests.iter().map(|d| d.node).collect();
-        let deliveries = self.runtime.cluster().fabric().transfer_multicast(
+        let deliveries = self.runtime.cluster().fabric().transfer_multicast_flow(
             self.inner.node,
             &dest_nodes,
             wire,
             nic_done,
+            self.inner.flow,
         );
         // One local completion for the single work request.
         let send_cq = self.inner.send_cq.clone();
@@ -548,16 +554,19 @@ impl QueuePair {
         sim.sleep(profile.post_wr_cpu);
 
         let now = self.runtime.kernel().now();
-        let nic_done =
-            self.runtime
-                .nic(self.inner.node)
-                .process(now, self.inner.ctx_key(), WrKind::Read);
+        let nic_done = self.runtime.nic(self.inner.node).process_flow(
+            now,
+            self.inner.ctx_key(),
+            WrKind::Read,
+            self.inner.flow,
+        );
         // The read request itself is a small packet to the remote node.
-        let req_arrive = self.runtime.cluster().fabric().transfer(
+        let req_arrive = self.runtime.cluster().fabric().transfer_flow(
             self.inner.node,
             remote.node,
             RC_HEADER_BYTES,
             nic_done,
+            self.inner.flow,
         );
 
         let runtime = self.runtime.clone();
@@ -571,13 +580,14 @@ impl QueuePair {
             .map(|p| ((p.node as u64) << 32) | p.qpn.0 as u64)
             .unwrap_or_default();
         let mtu = profile.mtu;
+        let flow = self.inner.flow;
         self.runtime.kernel().schedule(req_arrive, move || {
             let now = runtime.kernel().now();
             // The target NIC serves the read passively: pipeline occupancy
             // plus a QP-context touch, no remote CPU.
             let serve = runtime
                 .nic(remote.node)
-                .process(now, peer_ctx, WrKind::RemoteDma);
+                .process_flow(now, peer_ctx, WrKind::RemoteDma, flow);
             let data = match runtime.lookup_mr(remote.rkey) {
                 Some(mr) if remote.offset + len <= mr.len() => {
                     mr.read(remote.offset, len).expect("bounds checked")
@@ -604,14 +614,15 @@ impl QueuePair {
             let back = runtime
                 .cluster()
                 .fabric()
-                .transfer(remote.node, local_node, wire, serve);
+                .transfer_flow(remote.node, local_node, wire, serve, flow);
             let runtime2 = runtime.clone();
             runtime.kernel().schedule(back, move || {
                 let now = runtime2.kernel().now();
-                let done = runtime2.nic(local_node).process(
+                let done = runtime2.nic(local_node).process_flow(
                     now,
                     ((local_node as u64) << 32) | qpn.0 as u64,
                     WrKind::RecvMatch,
+                    flow,
                 );
                 local_mr
                     .write(local_off, &data)
@@ -659,16 +670,19 @@ impl QueuePair {
         sim.sleep(profile.post_wr_cpu);
 
         let now = self.runtime.kernel().now();
-        let nic_done =
-            self.runtime
-                .nic(self.inner.node)
-                .process(now, self.inner.ctx_key(), WrKind::Write);
+        let nic_done = self.runtime.nic(self.inner.node).process_flow(
+            now,
+            self.inner.ctx_key(),
+            WrKind::Write,
+            self.inner.flow,
+        );
         let wire = len + RC_HEADER_BYTES * len.div_ceil(profile.mtu).max(1);
-        let deliver = self.ordered_delivery(self.runtime.cluster().fabric().transfer(
+        let deliver = self.ordered_delivery(self.runtime.cluster().fabric().transfer_flow(
             self.inner.node,
             remote.node,
             wire,
             nic_done,
+            self.inner.flow,
         ));
 
         let runtime = self.runtime.clone();
@@ -681,11 +695,12 @@ impl QueuePair {
             .lock()
             .map(|p| ((p.node as u64) << 32) | p.qpn.0 as u64)
             .unwrap_or_default();
+        let flow = self.inner.flow;
         self.runtime.kernel().schedule(deliver, move || {
             let now = runtime.kernel().now();
             let served = runtime
                 .nic(remote.node)
-                .process(now, peer_ctx, WrKind::RemoteDma);
+                .process_flow(now, peer_ctx, WrKind::RemoteDma, flow);
             match runtime.lookup_mr(remote.rkey) {
                 Some(mr) if remote.offset + len <= mr.len() => {
                     mr.write(remote.offset, &payload).expect("bounds checked");
@@ -840,10 +855,11 @@ fn deliver_send(
         observe_unmatched(&runtime, dest.node, now);
         return;
     }
-    let nic_done = runtime.nic(dest.node).process(
+    let nic_done = runtime.nic(dest.node).process_flow(
         now,
         ((dest.node as u64) << 32) | dest.qpn.0 as u64,
         WrKind::RecvMatch,
+        qp.flow,
     );
     // A receiver-pause fault freezes receive matching: the queue looks
     // empty, so RC takes the RNR-retry path and UD drops unmatched.

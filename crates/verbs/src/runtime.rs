@@ -15,7 +15,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rshuffle_audit::ShuffleAuditor;
 use rshuffle_obs::{names, Counter, EventKind, Labels, Obs, HW_TRACK};
-use rshuffle_simnet::{Cluster, DeviceProfile, Kernel, NicModel, SimContext, SimDuration};
+use rshuffle_simnet::{Cluster, DeviceProfile, FlowId, Kernel, NicModel, SimContext, SimDuration};
 
 use crate::cq::CompletionQueue;
 use crate::fault::{FaultEvent, FaultPlan, Window};
@@ -103,6 +103,9 @@ pub struct VerbsRuntime {
     cluster: Cluster,
     pub(crate) qps: Mutex<HashMap<(NodeId, u32), Arc<QpInner>>>,
     pub(crate) mrs: Mutex<HashMap<u32, MemoryRegion>>,
+    /// rkey → owning flow, for regions registered through a flow-tagged
+    /// [`Context`]; lets the scheduler release a whole query's memory.
+    mr_flows: Mutex<HashMap<u32, u32>>,
     next_qpn: AtomicU32,
     next_rkey: AtomicU32,
     pub(crate) rng: Mutex<StdRng>,
@@ -164,6 +167,7 @@ impl VerbsRuntime {
             cluster,
             qps: Mutex::new(HashMap::new()),
             mrs: Mutex::new(HashMap::new()),
+            mr_flows: Mutex::new(HashMap::new()),
             next_qpn: AtomicU32::new(1),
             next_rkey: AtomicU32::new(1),
             rng: Mutex::new(StdRng::seed_from_u64(faults.seed)),
@@ -353,12 +357,20 @@ impl VerbsRuntime {
         self.cluster.nic(node)
     }
 
-    /// Returns a device context for `node`.
+    /// Returns a device context for `node` (untagged traffic).
     pub fn context(self: &Arc<Self>, node: NodeId) -> Context {
+        self.context_flow(node, FlowId::NONE)
+    }
+
+    /// Returns a device context for `node` whose Queue Pairs tag all their
+    /// traffic with `flow` for weighted-fair arbitration and per-query
+    /// busy-time attribution.
+    pub fn context_flow(self: &Arc<Self>, node: NodeId, flow: FlowId) -> Context {
         assert!(node < self.cluster.nodes(), "node {node} out of range");
         Context {
             runtime: self.clone(),
             node,
+            flow,
         }
     }
 
@@ -409,6 +421,47 @@ impl VerbsRuntime {
     /// High-water mark of registered bytes on `node`.
     pub fn registered_bytes_peak(&self, node: NodeId) -> usize {
         self.registered_peak.lock()[node]
+    }
+
+    /// Deregisters a memory region without charging virtual time and
+    /// without touching the recorder — invisible to traces. Used by the
+    /// scheduler to return an exchange's pinned memory to the budget after
+    /// a query completes (endpoints register eagerly and historically never
+    /// released). Idempotent: deregistering an unknown rkey is a no-op.
+    pub fn deregister_untimed(&self, mr: &MemoryRegion) {
+        if self.mrs.lock().remove(&mr.rkey()).is_none() {
+            return;
+        }
+        self.mr_flows.lock().remove(&mr.rkey());
+        let mut reg = self.registered.lock();
+        reg[mr.node()] = reg[mr.node()].saturating_sub(mr.len());
+    }
+
+    /// Deregisters every memory region that was registered through a
+    /// [`Context`] tagged with `flow`, without charging virtual time (see
+    /// [`VerbsRuntime::deregister_untimed`]). Returns the number of bytes
+    /// released cluster-wide. A no-op for [`FlowId::NONE`]: untagged
+    /// regions are shared harness state, not query state.
+    pub fn deregister_flow(&self, flow: FlowId) -> usize {
+        if !flow.is_tagged() {
+            return 0;
+        }
+        let mut rkeys: Vec<u32> = self
+            .mr_flows
+            .lock()
+            .iter()
+            .filter(|&(_, &f)| f == flow.0)
+            .map(|(&rkey, _)| rkey)
+            .collect();
+        rkeys.sort_unstable();
+        let mut freed = 0;
+        for rkey in rkeys {
+            if let Some(mr) = self.lookup_mr(rkey) {
+                freed += mr.len();
+                self.deregister_untimed(&mr);
+            }
+        }
+        freed
     }
 
     pub(crate) fn lookup_qp(&self, node: NodeId, qpn: QpNum) -> Option<Arc<QpInner>> {
@@ -472,12 +525,18 @@ impl VerbsRuntime {
 pub struct Context {
     runtime: Arc<VerbsRuntime>,
     node: NodeId,
+    flow: FlowId,
 }
 
 impl Context {
     /// The node this context belongs to.
     pub fn node(&self) -> NodeId {
         self.node
+    }
+
+    /// The flow this context tags its Queue Pairs' traffic with.
+    pub fn flow(&self) -> FlowId {
+        self.flow
     }
 
     /// The shared runtime.
@@ -509,6 +568,9 @@ impl Context {
         let rkey = self.runtime.next_rkey.fetch_add(1, Ordering::Relaxed);
         let mr = MemoryRegion::new(self.runtime.kernel(), self.node, rkey, len);
         self.runtime.mrs.lock().insert(rkey, mr.clone());
+        if self.flow.is_tagged() {
+            self.runtime.mr_flows.lock().insert(rkey, self.flow.0);
+        }
         let mut reg = self.runtime.registered.lock();
         reg[self.node] += len;
         let mut peak = self.runtime.registered_peak.lock();
@@ -521,6 +583,7 @@ impl Context {
     pub fn deregister(&self, sim: &SimContext, mr: MemoryRegion) {
         sim.sleep(self.runtime.profile().mr_deregister_time(mr.len()));
         self.runtime.mrs.lock().remove(&mr.rkey());
+        self.runtime.mr_flows.lock().remove(&mr.rkey());
         let mut reg = self.runtime.registered.lock();
         reg[self.node] = reg[self.node].saturating_sub(mr.len());
     }
@@ -534,7 +597,7 @@ impl Context {
         recv_cq: CompletionQueue,
     ) -> QueuePair {
         let qpn = QpNum(self.runtime.next_qpn.fetch_add(1, Ordering::Relaxed));
-        let inner = Arc::new(QpInner::new(self.node, qpn, ty, send_cq, recv_cq));
+        let inner = Arc::new(QpInner::new(self.node, qpn, ty, send_cq, recv_cq, self.flow));
         self.runtime
             .qps
             .lock()

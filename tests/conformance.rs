@@ -16,8 +16,11 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use rshuffle_repro::audit::AuditViolation;
-use rshuffle_repro::engine::{run_shuffle_with_restart, Generator, QueryReport, RestartPolicy};
+use rshuffle_repro::engine::{
+    run_shuffle_with_restart, run_workload, Generator, QueryReport, QuerySpec, RestartPolicy,
+};
 use rshuffle_repro::rshuffle::{ExchangeConfig, Operator, ShuffleAlgorithm};
+use rshuffle_repro::sched::{Scheduler, SchedulerConfig};
 use rshuffle_repro::simnet::{DeviceProfile, SimDuration};
 use rshuffle_repro::verbs::{FaultConfig, FaultPlan};
 
@@ -184,6 +187,104 @@ fn all_algorithms_agree_under_fault_plans() {
                 run.violations
             );
         }
+    }
+}
+
+/// Seed of one query's generator on one node: queries must produce
+/// disjoint, recognizable row sets so cross-query leaks are caught.
+fn query_seed(query: u32, node: usize) -> u64 {
+    node as u64 ^ ((query as u64 + 1) << 32)
+}
+
+/// Every row `query`'s generators emit cluster-wide, sorted.
+fn expected_rows_for_query(query: u32) -> Vec<[u8; ROW]> {
+    let mut rows = Vec::with_capacity(NODES * THREADS * ROWS_PER_THREAD);
+    for node in 0..NODES {
+        for tid in 0..THREADS {
+            for seq in 0..ROWS_PER_THREAD {
+                rows.push(Generator::row(query_seed(query, node), tid, seq));
+            }
+        }
+    }
+    rows.sort_unstable();
+    rows
+}
+
+/// Two queries on the same fabric, for every algorithm: each query's
+/// winning attempt must deliver exactly its own generator's multiset
+/// (no loss, no duplication, no cross-query leakage), the protocol
+/// auditor must stay silent, and — because the scheduler, the
+/// weighted-fair arbiter, and the kernel are all deterministic — two
+/// same-seed runs must produce byte-identical snapshots and traces.
+#[test]
+fn two_queries_share_the_fabric_cleanly() {
+    for algorithm in ShuffleAlgorithm::ALL {
+        let mut artifacts = Vec::new();
+        for rep in 0..2 {
+            let config = conformance_config(algorithm, FaultPlan::new());
+            let runtime = config.build_runtime(DeviceProfile::edr());
+            let auditor = runtime.enable_audit();
+            let scheduler = Scheduler::new(&runtime, SchedulerConfig::default());
+            type PerAttempt = HashMap<(u32, u32), Vec<[u8; ROW]>>;
+            let delivered: Arc<Mutex<PerAttempt>> = Arc::new(Mutex::new(HashMap::new()));
+            let d = delivered.clone();
+            let handles = run_workload(
+                &runtime,
+                &scheduler,
+                vec![
+                    QuerySpec::new(0, config.clone(), ROW),
+                    QuerySpec::new(1, config.clone(), ROW),
+                ],
+                |query, _, node| {
+                    Arc::new(Generator::new(
+                        ROWS_PER_THREAD,
+                        THREADS,
+                        query_seed(query, node),
+                    )) as Arc<dyn Operator>
+                },
+                move |query, attempt, _, _, batch| {
+                    let mut map = d.lock();
+                    let rows = map.entry((query, attempt)).or_default();
+                    for row in batch.iter() {
+                        rows.push(row.try_into().expect("16-byte row"));
+                    }
+                },
+            );
+            runtime.cluster().run();
+            for h in &handles {
+                let report = h.report.lock();
+                assert!(
+                    report.succeeded(),
+                    "{algorithm} rep {rep} query {}: failed: {:?}",
+                    h.query,
+                    report.failure
+                );
+                let mut rows = delivered
+                    .lock()
+                    .get(&(h.query, report.restarts))
+                    .cloned()
+                    .unwrap_or_default();
+                rows.sort_unstable();
+                assert_eq!(
+                    rows,
+                    expected_rows_for_query(h.query),
+                    "{algorithm} rep {rep} query {}: delivered multiset diverges \
+                     from its own generator",
+                    h.query
+                );
+            }
+            let violations = auditor.finalize(true);
+            assert!(
+                violations.is_empty(),
+                "{algorithm} rep {rep}: auditor flagged the two-query run: {violations:?}"
+            );
+            let obs = runtime.obs();
+            artifacts.push((obs.snapshot_json(), obs.chrome_trace_json()));
+        }
+        assert_eq!(
+            artifacts[0], artifacts[1],
+            "{algorithm}: same-seed two-query runs are not byte-identical"
+        );
     }
 }
 

@@ -1,0 +1,193 @@
+//! Scheduler transparency: with a concurrency limit of 1 and default
+//! weights, driving a query through `run_workload` + `Scheduler` must
+//! be byte-identical in virtual time to the direct
+//! `run_shuffle_with_restart` path, for all six paper algorithms.
+//!
+//! "Byte-identical" is checked on the strongest observable artifacts we
+//! have: the full metrics snapshot and the Chrome trace, after removing
+//! only the scheduler's own additive surface (`sched.*` series and the
+//! query_admitted/deferred/completed instants). Everything else — every
+//! NIC reservation, completion timestamp, credit stall, retry — must
+//! match to the byte, which it only can if admission consumed zero
+//! virtual time and the weighted-fair arbiter with a single weight-1
+//! flow reproduces the untagged schedule exactly.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rshuffle_obs::trace::chrome_trace;
+use rshuffle_repro::engine::{
+    run_shuffle_with_restart, run_workload, Generator, QuerySpec, RestartPolicy,
+};
+use rshuffle_repro::rshuffle::{ExchangeConfig, Operator, ShuffleAlgorithm};
+use rshuffle_repro::sched::{Scheduler, SchedulerConfig};
+use rshuffle_repro::simnet::DeviceProfile;
+use serde::Value;
+
+const NODES: usize = 3;
+const THREADS: usize = 2;
+const ROWS_PER_THREAD: usize = 300;
+const ROW: usize = 16;
+
+/// What one run leaves behind, with the scheduler's additive surface
+/// stripped so the two paths are comparable.
+struct RunArtifacts {
+    rows: Vec<[u8; ROW]>,
+    snapshot: String,
+    trace: String,
+}
+
+/// Renders the metrics snapshot with every `sched.*` series removed —
+/// the scheduler's whole additive surface.
+fn strip_sched_series(mut snapshot: rshuffle_obs::Snapshot) -> String {
+    snapshot.counters.retain(|(key, _)| !key.starts_with("sched."));
+    snapshot
+        .histograms
+        .retain(|(key, _)| !key.starts_with("sched."));
+    snapshot.to_json()
+}
+
+/// Re-serializes the Chrome trace without the scheduler's admission
+/// instants (the only records the scheduler adds).
+fn strip_sched_events(trace: Value) -> String {
+    let Value::Array(events) = trace else {
+        panic!("chrome trace is a JSON array");
+    };
+    let kept: Vec<Value> = events
+        .into_iter()
+        .filter(|event| {
+            let Value::Object(fields) = event else {
+                return true;
+            };
+            let name = fields.iter().find_map(|(key, value)| match value {
+                Value::Str(s) if key == "name" => Some(s.as_str()),
+                _ => None,
+            });
+            !matches!(
+                name,
+                Some("query_admitted" | "query_deferred" | "query_completed")
+            )
+        })
+        .collect();
+    serde_json::to_string(&Value::Array(kept)).expect("trace serializes")
+}
+
+fn config_for(algorithm: ShuffleAlgorithm) -> ExchangeConfig {
+    let mut config = ExchangeConfig::repartition(algorithm, NODES, THREADS);
+    config.message_size = 4096;
+    config
+}
+
+fn collect(
+    delivered: &Arc<Mutex<Vec<[u8; ROW]>>>,
+) -> impl Fn(&rshuffle_repro::rshuffle::RowBatch) + Send + Sync + 'static {
+    let delivered = delivered.clone();
+    move |batch| {
+        let mut rows = delivered.lock();
+        for row in batch.iter() {
+            rows.push(row.try_into().expect("16-byte row"));
+        }
+    }
+}
+
+fn run_direct(algorithm: ShuffleAlgorithm) -> RunArtifacts {
+    let config = config_for(algorithm);
+    let runtime = config.build_runtime(DeviceProfile::edr());
+    let delivered: Arc<Mutex<Vec<[u8; ROW]>>> = Arc::new(Mutex::new(Vec::new()));
+    let push = collect(&delivered);
+    let report = run_shuffle_with_restart(
+        &runtime,
+        &config,
+        RestartPolicy::default(),
+        ROW,
+        |_, node| Arc::new(Generator::new(ROWS_PER_THREAD, THREADS, node as u64)) as Arc<dyn Operator>,
+        move |_, _, _, batch| push(batch),
+    );
+    runtime.cluster().run();
+    assert!(
+        report.lock().succeeded(),
+        "{algorithm}: direct run failed: {:?}",
+        report.lock().failure
+    );
+    let obs = runtime.obs();
+    let mut rows = delivered.lock().clone();
+    rows.sort_unstable();
+    RunArtifacts {
+        rows,
+        snapshot: strip_sched_series(obs.metrics.snapshot()),
+        trace: strip_sched_events(chrome_trace(&obs.recorder)),
+    }
+}
+
+fn run_scheduled(algorithm: ShuffleAlgorithm) -> RunArtifacts {
+    let config = config_for(algorithm);
+    let runtime = config.build_runtime(DeviceProfile::edr());
+    let scheduler = Scheduler::new(
+        &runtime,
+        SchedulerConfig {
+            max_concurrent: 1,
+            ..SchedulerConfig::default()
+        },
+    );
+    let delivered: Arc<Mutex<Vec<[u8; ROW]>>> = Arc::new(Mutex::new(Vec::new()));
+    let push = collect(&delivered);
+    // Query id 0: flow 0, endpoint-id base 0 — the very same endpoint
+    // ids the direct path allocates.
+    let handles = run_workload(
+        &runtime,
+        &scheduler,
+        vec![QuerySpec::new(0, config, ROW)],
+        |_, _, node| Arc::new(Generator::new(ROWS_PER_THREAD, THREADS, node as u64)) as Arc<dyn Operator>,
+        move |_, _, _, _, batch| push(batch),
+    );
+    runtime.cluster().run();
+    let report = handles[0].report.lock();
+    assert!(
+        report.succeeded(),
+        "{algorithm}: scheduled run failed: {:?}",
+        report.failure
+    );
+    let obs = runtime.obs();
+    let mut rows = delivered.lock().clone();
+    rows.sort_unstable();
+    RunArtifacts {
+        rows,
+        snapshot: strip_sched_series(obs.metrics.snapshot()),
+        trace: strip_sched_events(chrome_trace(&obs.recorder)),
+    }
+}
+
+/// The headline acceptance criterion: limit-1, weightless scheduling is
+/// invisible — same rows, same metrics, same trace, for all six
+/// algorithms.
+#[test]
+fn limit_one_scheduler_is_byte_identical_to_direct_path() {
+    for algorithm in ShuffleAlgorithm::ALL {
+        let direct = run_direct(algorithm);
+        let scheduled = run_scheduled(algorithm);
+        assert_eq!(
+            direct.rows.len(),
+            NODES * THREADS * ROWS_PER_THREAD,
+            "{algorithm}: direct run dropped rows"
+        );
+        assert_eq!(
+            direct.rows, scheduled.rows,
+            "{algorithm}: delivered multisets diverge"
+        );
+        if direct.snapshot != scheduled.snapshot {
+            for (a, b) in direct.snapshot.lines().zip(scheduled.snapshot.lines()) {
+                if a != b {
+                    eprintln!("direct:    {a}\nscheduled: {b}");
+                }
+            }
+        }
+        assert_eq!(
+            direct.snapshot, scheduled.snapshot,
+            "{algorithm}: metrics snapshots diverge once sched.* series are removed"
+        );
+        assert_eq!(
+            direct.trace, scheduled.trace,
+            "{algorithm}: Chrome traces diverge once admission instants are removed"
+        );
+    }
+}
