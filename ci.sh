@@ -41,6 +41,23 @@ cargo test -q -p rshuffle-sched --lib $CARGO_FLAGS
 # time and the registered-memory budget holds on every node.
 cargo run -q --release -p rshuffle-bench --bin concurrency $CARGO_FLAGS -- --smoke
 
+# Perf-trajectory gate: regenerate the deterministic smoke session and
+# compare against the committed baseline. Any gated metric (latency up,
+# throughput down) past the tolerance fails the build.
+PERF_CAND=$(mktemp /tmp/rshuffle-bench-cand.XXXXXX.json)
+trap 'rm -f "$PERF_CAND"' EXIT
+cargo run -q --release -p rshuffle-bench --bin perfdiff $CARGO_FLAGS -- \
+  --against BENCH_0006.json --tolerance-pct 10 --save-candidate "$PERF_CAND"
+
+# Gate self-check: an injected 2x latency slowdown must be caught; if it
+# passes, the gate itself is broken.
+if cargo run -q --release -p rshuffle-bench --bin perfdiff $CARGO_FLAGS -- \
+  --against BENCH_0006.json --tolerance-pct 10 \
+  --candidate "$PERF_CAND" --scale-latency 2 >/dev/null 2>&1; then
+  echo "ERROR: perfdiff failed to catch an injected 2x latency regression" >&2
+  exit 1
+fi
+
 # Documentation gate: rshuffle-sched is #![warn(missing_docs)]; deny all
 # rustdoc warnings workspace-wide so the public surface stays documented.
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q $CARGO_FLAGS

@@ -6,150 +6,66 @@
 //! run) and aggregate delivered throughput, and asserts the two
 //! scheduler invariants: at least two queries genuinely overlap in
 //! virtual time whenever N ≥ 2, and the per-node registered-memory peak
-//! never exceeds the configured budget.
+//! never exceeds the configured budget. The measurement loop itself
+//! lives in [`rshuffle_bench::perf::run_concurrency_matrix`], shared
+//! with the `perfdiff` regression gate.
 //!
-//! Usage: `concurrency [--smoke]`. `--smoke` trims the matrix to
-//! N ∈ {1, 2} with small inputs (the CI gate).
+//! Usage: `concurrency [--smoke] [--emit BENCH.json]`. `--smoke` trims
+//! the matrix to N ∈ {1, 2} with small inputs (the CI gate); `--emit`
+//! additionally writes the machine-readable perf-trajectory record.
 
-use std::sync::Arc;
-
-use rshuffle::{ExchangeConfig, Operator, ShuffleAlgorithm};
-use rshuffle_engine::ops::Generator;
-use rshuffle_engine::workload::{run_workload, QuerySpec};
-use rshuffle_sched::{Scheduler, SchedulerConfig};
-use rshuffle_simnet::DeviceProfile;
-
-const NODES: usize = 3;
-const THREADS: usize = 2;
-const ROW: usize = 16;
-
-fn percentile(sorted: &[u64], p: f64) -> u64 {
-    let idx = ((sorted.len() as f64 * p).ceil() as usize).max(1) - 1;
-    sorted[idx.min(sorted.len() - 1)]
-}
+use rshuffle_bench::perf::{
+    concurrency_bench_run, run_concurrency_matrix, take_emit_flag, BenchReport,
+    SMOKE_LEVELS, SMOKE_ROWS_PER_THREAD,
+};
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
-    let levels: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4, 8] };
-    let rows_per_thread = if smoke { 200 } else { 800 };
+    let (args, emit) = take_emit_flag(std::env::args().skip(1).collect());
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let levels: &[usize] = if smoke { SMOKE_LEVELS } else { &[1, 2, 4, 8] };
+    let rows_per_thread = if smoke { SMOKE_ROWS_PER_THREAD } else { 800 };
+
+    let cells = run_concurrency_matrix(levels, rows_per_thread);
+
     println!(
         "{:<10} {:>2} {:>12} {:>12} {:>12} {:>12} {:>10}",
         "algorithm", "N", "p50(µs)", "p99(µs)", "makespan(µs)", "agg(MB/s)", "peak(MiB)"
     );
     let mut failures = 0u32;
-    for algorithm in ShuffleAlgorithm::ALL {
-        for &n in levels {
-            let mut config = ExchangeConfig::repartition(algorithm, NODES, THREADS);
-            config.message_size = 4096;
-            let runtime = config.build_runtime(DeviceProfile::edr());
-            // Budget exactly fits N concurrent copies of this query: the
-            // scheduler may admit everything at once, but one byte of
-            // over-pinning would trip the peak assertion below.
-            let est_max = (0..NODES)
-                .map(|node| config.registered_bytes_estimate(runtime.profile(), node))
-                .max()
-                .unwrap();
-            let budget = est_max * n;
-            let sched = Scheduler::new(
-                &runtime,
-                SchedulerConfig {
-                    max_concurrent: n,
-                    mem_budget_per_node: Some(budget),
-                    ..SchedulerConfig::default()
-                },
-            );
-            let queries = (0..n as u32)
-                .map(|id| QuerySpec::new(id, config.clone(), ROW))
-                .collect();
-            let handles = run_workload(
-                &runtime,
-                &sched,
-                queries,
-                move |query, _, node| {
-                    Arc::new(Generator::new(
-                        rows_per_thread,
-                        THREADS,
-                        node as u64 ^ (query as u64) << 16,
-                    )) as Arc<dyn Operator>
-                },
-                |_, _, _, _, _| {},
-            );
-            runtime.cluster().run();
+    for c in &cells {
+        for v in &c.violations {
+            eprintln!("{v}");
+            failures += 1;
+        }
+        if !c.violations.is_empty() {
+            continue;
+        }
+        println!(
+            "{:<10} {:>2} {:>12.1} {:>12.1} {:>12.1} {:>12.1} {:>10.2}",
+            c.algorithm.to_string(),
+            c.n,
+            c.p50_ns as f64 / 1e3,
+            c.p99_ns as f64 / 1e3,
+            c.makespan_ns as f64 / 1e3,
+            c.agg_mbps,
+            c.peak_bytes as f64 / (1024.0 * 1024.0)
+        );
+    }
 
-            let expected_rows = (NODES * THREADS * rows_per_thread) as u64;
-            let mut latencies = Vec::new();
-            let mut total_bytes = 0u64;
-            let mut windows = Vec::new();
-            let mut makespan_end = 0u64;
-            for h in &handles {
-                let rep = h.report.lock();
-                let t = h.timing.lock();
-                if !rep.succeeded() || rep.rows != expected_rows {
-                    eprintln!(
-                        "{algorithm} N={n} query {}: rows {}/{} failure {:?}",
-                        h.query, rep.rows, expected_rows, rep.failure
-                    );
-                    failures += 1;
-                    continue;
-                }
-                let lat = t.latency().expect("completed query has a latency");
-                latencies.push(lat.as_nanos());
-                total_bytes += rep.bytes;
-                let start = t.first_admitted.expect("admitted").as_nanos();
-                let end = t.completed.expect("completed").as_nanos();
-                windows.push((start, end));
-                makespan_end = makespan_end.max(end);
+    if let Some(path) = emit {
+        let mut report = BenchReport::new();
+        report
+            .benches
+            .push(concurrency_bench_run(&cells, levels, rows_per_thread));
+        match report.write(&path) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => {
+                eprintln!("concurrency: cannot write {path}: {e}");
+                failures += 1;
             }
-            if latencies.len() != n {
-                continue;
-            }
-            // Invariant: with N >= 2 slots and N queries, at least one
-            // pair must overlap in virtual time — the scheduler runs
-            // them concurrently, not back to back.
-            if n >= 2 {
-                let overlap = windows.iter().enumerate().any(|(i, a)| {
-                    windows[i + 1..]
-                        .iter()
-                        .any(|b| a.0 < b.1 && b.0 < a.1)
-                });
-                if !overlap {
-                    eprintln!("{algorithm} N={n}: no two queries overlapped: {windows:?}");
-                    failures += 1;
-                }
-            }
-            // Invariant: the budget holds at all times on every node.
-            let mut peak = 0usize;
-            for node in 0..NODES {
-                let p = runtime.registered_bytes_peak(node);
-                peak = peak.max(p);
-                if p > budget {
-                    eprintln!(
-                        "{algorithm} N={n}: node {node} peak {p} exceeds budget {budget}"
-                    );
-                    failures += 1;
-                }
-            }
-            latencies.sort_unstable();
-            let p50 = percentile(&latencies, 0.50);
-            let p99 = percentile(&latencies, 0.99);
-            let makespan = makespan_end;
-            let mbps = if makespan > 0 {
-                total_bytes as f64 / (makespan as f64 / 1e9) / 1e6
-            } else {
-                0.0
-            };
-            println!(
-                "{:<10} {:>2} {:>12.1} {:>12.1} {:>12.1} {:>12.1} {:>10.2}",
-                algorithm.to_string(),
-                n,
-                p50 as f64 / 1e3,
-                p99 as f64 / 1e3,
-                makespan as f64 / 1e3,
-                mbps,
-                peak as f64 / (1024.0 * 1024.0)
-            );
         }
     }
+
     if failures > 0 {
         eprintln!("concurrency: {failures} invariant violation(s)");
         std::process::exit(1);

@@ -135,6 +135,46 @@ fn main() {
     println!("--- metrics snapshot ---");
     println!("{}", obs.snapshot_json());
 
+    // Latency percentile digest of every non-empty histogram series.
+    let snapshot = obs.metrics.snapshot();
+    println!("--- histogram percentiles ---");
+    println!(
+        "{:<55} {:>9} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "series", "count", "p50", "p90", "p99", "p999", "max"
+    );
+    for (key, h) in &snapshot.histograms {
+        if h.count == 0 {
+            continue;
+        }
+        let s = h.summary();
+        println!(
+            "{key:<55} {:>9} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            s.count, s.p50, s.p90, s.p99, s.p999, s.max
+        );
+    }
+
+    // Stage-span breakdown: where a message's lifetime goes, merged
+    // across nodes (credit wait -> WR batching -> post-to-completion ->
+    // CQ wait).
+    let stages = rshuffle_bench::perf::stage_summaries(&snapshot);
+    let total_mean: f64 = stages.iter().map(|(_, s)| s.mean * s.count as f64).sum();
+    println!("--- stage breakdown (all nodes) ---");
+    println!(
+        "{:<30} {:>9} {:>12} {:>10} {:>10} {:>10} {:>8}",
+        "stage", "count", "mean(ns)", "p50", "p99", "p999", "share"
+    );
+    for (name, s) in &stages {
+        let share = if total_mean > 0.0 {
+            s.mean * s.count as f64 / total_mean * 100.0
+        } else {
+            0.0
+        };
+        println!(
+            "{name:<30} {:>9} {:>12.1} {:>10} {:>10} {:>10} {share:>7.1}%",
+            s.count, s.mean, s.p50, s.p99, s.p999
+        );
+    }
+
     // Flight-recorder export for chrome://tracing / Perfetto.
     let trace = obs.chrome_trace_json();
     match std::fs::write(&trace_path, &trace) {

@@ -1,47 +1,100 @@
 //! Figure 9: effect of the message size for EDR InfiniBand (8 nodes,
 //! double buffering): (a) receive throughput, (b) memory registered for
-//! RDMA communication.
+//! RDMA communication. The measurement loop lives in
+//! [`rshuffle_bench::perf::run_msgsize_sweep`], shared with the
+//! `perfdiff` regression gate.
+//!
+//! Usage: `fig09_msgsize [--smoke] [--emit BENCH.json]`. `--smoke`
+//! shrinks the sweep to the deterministic CI matrix (4 nodes, fixed
+//! 4 MiB/node volume, two sizes); `--emit` additionally writes the
+//! machine-readable perf-trajectory record.
 
-use rshuffle::ShuffleAlgorithm;
+use rshuffle_bench::perf::{
+    msgsize_bench_run, run_msgsize_sweep, take_emit_flag, BenchReport, SMOKE_MSG_BYTES_PER_NODE,
+    SMOKE_MSG_NODES, SMOKE_MSG_SIZES,
+};
 use rshuffle_bench::report::Figure;
-use rshuffle_bench::{run_shuffle_workload, Transport, WorkloadConfig};
-use rshuffle_simnet::DeviceProfile;
 
 fn main() {
-    let sizes = [4usize << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20];
+    let (args, emit) = take_emit_flag(std::env::args().skip(1).collect());
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let (sizes, nodes, volume): (&[usize], usize, Option<usize>) = if smoke {
+        (SMOKE_MSG_SIZES, SMOKE_MSG_NODES, Some(SMOKE_MSG_BYTES_PER_NODE))
+    } else {
+        (
+            &[4usize << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20],
+            8,
+            None,
+        )
+    };
+
+    let cells = run_msgsize_sweep(sizes, nodes, volume);
+    let mut failures = 0u32;
+    for c in &cells {
+        for e in &c.errors {
+            eprintln!("{} msg {}: {e}", c.algorithm, c.msg_size);
+            failures += 1;
+        }
+    }
+
     let mut thr = Figure::new(
         "fig09a",
-        "Message size vs receive throughput, 8 nodes, EDR",
+        "Message size vs receive throughput, EDR",
         "message size (KiB)",
         "receive throughput per node (GiB/s)",
     );
     let mut mem = Figure::new(
         "fig09b",
-        "Message size vs RDMA-registered memory, 8 nodes, EDR",
+        "Message size vs RDMA-registered memory, EDR",
         "message size (KiB)",
         "memory consumption (MiB per node)",
     );
-    for a in ShuffleAlgorithm::ALL {
-        let mut thr_pts = Vec::new();
-        let mut mem_pts = Vec::new();
-        for &msg in &sizes {
-            let mut cfg = WorkloadConfig::new(DeviceProfile::edr(), 8, Transport::Rdma(a));
-            // §5.1.2: double buffering, message size swept. The UD designs
-            // are pinned to the MTU regardless.
-            cfg.message_size = msg;
-            cfg.buffers_per_peer = 2;
-            cfg.recv_depth_per_peer = 4;
-            let r = run_shuffle_workload(&cfg);
-            assert!(r.errors.is_empty(), "{a} msg {msg}: {:?}", r.errors);
-            thr_pts.push((msg as f64 / 1024.0, r.gib_per_sec()));
-            mem_pts.push((
-                msg as f64 / 1024.0,
-                r.registered_bytes_per_node as f64 / (1 << 20) as f64,
-            ));
-        }
+    for a in cells
+        .iter()
+        .map(|c| c.algorithm)
+        .collect::<Vec<_>>()
+        .into_iter()
+        .fold(Vec::new(), |mut acc, a| {
+            if !acc.contains(&a) {
+                acc.push(a);
+            }
+            acc
+        })
+    {
+        let thr_pts = cells
+            .iter()
+            .filter(|c| c.algorithm == a)
+            .map(|c| (c.msg_size as f64 / 1024.0, c.gib_per_sec))
+            .collect();
+        let mem_pts = cells
+            .iter()
+            .filter(|c| c.algorithm == a)
+            .map(|c| {
+                (
+                    c.msg_size as f64 / 1024.0,
+                    c.registered_bytes as f64 / (1 << 20) as f64,
+                )
+            })
+            .collect();
         thr.push(&a.to_string(), thr_pts);
         mem.push(&a.to_string(), mem_pts);
     }
     thr.emit();
     mem.emit();
+
+    if let Some(path) = emit {
+        let mut report = BenchReport::new();
+        report.benches.push(msgsize_bench_run(&cells, nodes, volume));
+        match report.write(&path) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => {
+                eprintln!("fig09_msgsize: cannot write {path}: {e}");
+                failures += 1;
+            }
+        }
+    }
+
+    if failures > 0 {
+        std::process::exit(1);
+    }
 }

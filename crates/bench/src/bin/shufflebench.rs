@@ -6,12 +6,19 @@
 //!              [--algorithm MESQ/SR|...|mpi|ipoib] [--pattern repartition|broadcast]
 //!              [--mib M] [--msg-size BYTES] [--credit-freq F] [--lanes L]
 //!              [--compute-us X] [--drop-prob P] [--native-multicast]
-//!              [--zero-copy]
+//!              [--zero-copy] [--emit BENCH.json]
 //! ```
+//!
+//! `--emit` writes the run as a machine-readable perf-trajectory record
+//! (schema `rshuffle-bench/1`) including per-stage latency digests.
 
 use rshuffle::ShuffleAlgorithm;
+use rshuffle_bench::perf::{
+    stage_summaries, take_emit_flag, BenchReport, BenchResult, BenchRun,
+};
 use rshuffle_bench::{run_shuffle_workload, Pattern, Transport, WorkloadConfig};
 use rshuffle_simnet::{DeviceProfile, SimDuration};
+use serde::Value;
 
 fn usage() -> ! {
     eprintln!(
@@ -26,7 +33,7 @@ fn usage() -> ! {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (args, emit) = take_emit_flag(std::env::args().skip(1).collect());
     let mut profile = DeviceProfile::edr();
     let mut nodes = 8usize;
     let mut threads: Option<usize> = None;
@@ -116,6 +123,44 @@ fn main() {
         r.response_time,
         r.registered_bytes_per_node / 1024
     );
+    if let Some(path) = emit {
+        let mut report = BenchReport::new();
+        report.benches.push(BenchRun {
+            bench: "shufflebench".to_string(),
+            config: vec![
+                ("nodes".to_string(), Value::UInt(cfg.nodes as u64)),
+                ("threads".to_string(), Value::UInt(cfg.threads as u64)),
+                (
+                    "bytes_per_node".to_string(),
+                    Value::UInt(cfg.bytes_per_node as u64),
+                ),
+                (
+                    "message_size".to_string(),
+                    Value::UInt(cfg.message_size as u64),
+                ),
+                ("pattern".to_string(), Value::Str(format!("{:?}", cfg.pattern))),
+            ],
+            results: vec![BenchResult {
+                id: transport.to_string(),
+                metrics: vec![
+                    ("gib_per_sec".to_string(), r.gib_per_sec()),
+                    ("response_ns".to_string(), r.response_time.as_nanos() as f64),
+                    (
+                        "registered_bytes".to_string(),
+                        r.registered_bytes_per_node as f64,
+                    ),
+                ],
+                stages: stage_summaries(&r.metrics),
+            }],
+        });
+        match report.write(&path) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => {
+                eprintln!("shufflebench: cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     if !r.errors.is_empty() {
         println!("worker errors ({}):", r.errors.len());
         for e in r.errors.iter().take(4) {

@@ -5,6 +5,7 @@
 //! repartitions (or broadcasts) it by R.a; the metric is receive throughput
 //! per node. One binary per paper figure/table lives in `src/bin/`.
 
+pub mod perf;
 pub mod report;
 pub mod workload;
 

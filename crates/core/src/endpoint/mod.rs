@@ -32,7 +32,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use rshuffle_audit::{AuditHandle, BufId};
-use rshuffle_obs::{names, Counter, EventKind, Histogram, Labels, Obs};
+use rshuffle_obs::{names, Counter, EventKind, Histogram, Labels, Obs, Stage};
 use rshuffle_simnet::{NodeId, SimContext, SimDuration};
 use rshuffle_verbs::Context;
 
@@ -155,13 +155,17 @@ impl SendObs {
     }
 
     /// Closes a credit stall opened by [`SendObs::stall_begin`],
-    /// feeding the total, the per-stall histogram and the recorder.
+    /// feeding the total, the per-stall histogram, the credit-wait
+    /// stage histogram and the recorder.
     pub(crate) fn stall_end(&self, sim: &SimContext, started_ns: u64) {
         let now = sim.now().as_nanos();
         let dur = now.saturating_sub(started_ns);
         self.credit_stalls.inc();
         self.credit_stall_ns.add(dur);
         self.credit_stall_hist.record(dur);
+        self.obs.record_stage(Stage::CreditWait, self.node, dur);
+        self.obs
+            .stage_span(Stage::CreditWait, self.node, sim.id().track(), started_ns, now);
         self.obs.recorder.event(
             sim.node() as u32,
             sim.id().track(),

@@ -151,6 +151,7 @@ pub fn run_workload(
             let scheduler = scheduler.clone();
             let timing = timing.clone();
             let slot = slot.clone();
+            let obs = runtime.obs().clone();
             Box::new(
                 move |sim: &rshuffle_simnet::SimContext, _attempt: u32, end: &AttemptEnd<'_>| {
                     let adm = slot
@@ -164,7 +165,18 @@ pub fn run_workload(
                     };
                     scheduler.release(sim, adm, outcome);
                     if matches!(end, AttemptEnd::Success) {
-                        timing.lock().completed = Some(sim.now());
+                        let mut t = timing.lock();
+                        t.completed = Some(sim.now());
+                        // Submission-to-completion latency feeds the
+                        // perf-trajectory percentile reports.
+                        if let (Some(done), Some(sub)) = (t.completed, t.submitted) {
+                            obs.metrics
+                                .histogram(
+                                    rshuffle_obs::names::ENGINE_QUERY_LATENCY_NS,
+                                    rshuffle_obs::Labels::GLOBAL,
+                                )
+                                .record((done - sub).as_nanos());
+                        }
                     }
                 },
             )

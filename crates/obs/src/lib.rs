@@ -4,9 +4,11 @@
 //! of wall-clock reads so that a fixed seed yields byte-identical
 //! output:
 //!
-//! * [`MetricsRegistry`] — atomic counters and power-of-two-bucket
-//!   histograms keyed by `node/lane/endpoint` [`Labels`], snapshotted
-//!   deterministically ([`Snapshot`]).
+//! * [`MetricsRegistry`] — atomic counters and fixed-size log-linear
+//!   histograms (p50/p90/p99/p999-capable, mergeable) keyed by
+//!   `node/lane/endpoint` [`Labels`], snapshotted deterministically
+//!   ([`Snapshot`]). Hot paths record through interned integer ids —
+//!   no string hashing or allocation per sample.
 //! * [`FlightRecorder`] — bounded drop-oldest rings of typed
 //!   [`EventKind`] events and named spans, one ring per `(node, tid)`
 //!   track.
@@ -21,14 +23,20 @@
 
 pub mod metrics;
 pub mod recorder;
+pub mod stage;
 pub mod trace;
 
 pub use metrics::{
-    Counter, Histogram, HistogramSnapshot, Labels, MetricsRegistry, Snapshot, NO_LABEL,
+    Counter, CounterId, Histogram, HistogramId, HistogramSnapshot, HistogramSummary, Labels,
+    MetricsRegistry, Snapshot, NO_LABEL,
 };
 pub use recorder::{EventKind, FlightRecorder, Record, HW_TRACK};
+pub use stage::Stage;
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+
+use parking_lot::RwLock;
 
 /// Canonical metric names, shared by all instrumented crates so series
 /// line up across tiers and figures.
@@ -109,17 +117,51 @@ pub mod names {
     pub const SCHED_PORT_BUSY_NS: &str = "sched.port_busy_ns";
     /// Peak bytes of registered memory reserved from the budget `{node}`.
     pub const SCHED_MEM_RESERVED_PEAK: &str = "sched.mem_reserved_peak";
+    /// Stage histogram: virtual ns a sender spent blocked on credits
+    /// before a post `{node}` (see [`crate::Stage::CreditWait`]).
+    pub const STAGE_CREDIT_WAIT_NS: &str = "stage.credit_wait_ns";
+    /// Stage histogram: doorbell → NIC-accept WR batching delay, ns
+    /// `{node}` (see [`crate::Stage::WrBatch`]).
+    pub const STAGE_WR_BATCH_NS: &str = "stage.wr_batch_ns";
+    /// Stage histogram: NIC-accept → completion-deposit latency, ns
+    /// `{node}` (see [`crate::Stage::PostToCompletion`]).
+    pub const STAGE_POST_TO_COMPLETION_NS: &str = "stage.post_to_completion_ns";
+    /// Stage histogram: completion-deposit → poll delay, ns `{node}`
+    /// (see [`crate::Stage::CqWait`]).
+    pub const STAGE_CQ_WAIT_NS: &str = "stage.cq_wait_ns";
+    /// End-to-end query latency observed by the engine, ns.
+    pub const ENGINE_QUERY_LATENCY_NS: &str = "engine.query_latency_ns";
 }
 
 /// One shared observability context: the metrics registry plus the
 /// flight recorder. Created by the cluster and threaded through every
 /// tier.
-#[derive(Default)]
 pub struct Obs {
     /// The unified metrics registry.
     pub metrics: MetricsRegistry,
     /// The flight recorder.
     pub recorder: FlightRecorder,
+    /// Stage latency histograms on/off (default on). Toggle *before*
+    /// constructing runtimes: when off, no `stage.*` series is ever
+    /// registered, so snapshots match an uninstrumented run exactly.
+    stage_histograms: AtomicBool,
+    /// Stage Chrome-trace spans on/off (default off — spans are bulky).
+    stage_spans: AtomicBool,
+    /// Lazily grown per-node table of interned stage histogram ids,
+    /// indexed `[node][stage as usize]`.
+    stage_ids: RwLock<Vec<[HistogramId; Stage::COUNT]>>,
+}
+
+impl Default for Obs {
+    fn default() -> Self {
+        Obs {
+            metrics: MetricsRegistry::new(),
+            recorder: FlightRecorder::default(),
+            stage_histograms: AtomicBool::new(true),
+            stage_spans: AtomicBool::new(false),
+            stage_ids: RwLock::new(Vec::new()),
+        }
+    }
 }
 
 impl Obs {
@@ -131,9 +173,75 @@ impl Obs {
     /// Creates a context with a specific per-track ring capacity.
     pub fn with_ring_capacity(capacity: usize) -> Arc<Obs> {
         Arc::new(Obs {
-            metrics: MetricsRegistry::new(),
             recorder: FlightRecorder::new(capacity),
+            ..Obs::default()
         })
+    }
+
+    /// Enables or disables stage latency histograms. Flip before the
+    /// first message flows: a disabled run registers no `stage.*`
+    /// series at all.
+    pub fn set_stage_histograms(&self, on: bool) {
+        self.stage_histograms.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether stage latency histograms are being recorded.
+    #[inline]
+    pub fn stage_histograms_enabled(&self) -> bool {
+        self.stage_histograms.load(Ordering::Relaxed)
+    }
+
+    /// Enables or disables per-interval stage spans in the flight
+    /// recorder (off by default).
+    pub fn set_stage_spans(&self, on: bool) {
+        self.stage_spans.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether stage spans are being recorded.
+    #[inline]
+    pub fn stage_spans_enabled(&self) -> bool {
+        self.stage_spans.load(Ordering::Relaxed)
+    }
+
+    /// Interned histogram id for `(stage, node)`. The whole node row is
+    /// registered on first touch; callers on very hot paths may cache
+    /// the returned id and use [`MetricsRegistry::record`] directly.
+    pub fn stage_histogram_id(&self, stage: Stage, node: u32) -> HistogramId {
+        {
+            let table = self.stage_ids.read();
+            if let Some(row) = table.get(node as usize) {
+                return row[stage as usize];
+            }
+        }
+        let mut table = self.stage_ids.write();
+        while table.len() <= node as usize {
+            let n = table.len() as u32;
+            let row = Stage::ALL.map(|s| self.metrics.histogram_id(s.metric_name(), Labels::node(n)));
+            table.push(row);
+        }
+        table[node as usize][stage as usize]
+    }
+
+    /// Records one stage latency sample for `node`. A no-op (single
+    /// atomic load) when stage histograms are disabled; never advances
+    /// virtual time.
+    #[inline]
+    pub fn record_stage(&self, stage: Stage, node: u32, ns: u64) {
+        if !self.stage_histograms_enabled() {
+            return;
+        }
+        let id = self.stage_histogram_id(stage, node);
+        self.metrics.record(id, ns);
+    }
+
+    /// Records a stage interval as a Chrome-trace span on `(node, tid)`.
+    /// A no-op unless stage spans are enabled.
+    #[inline]
+    pub fn stage_span(&self, stage: Stage, node: u32, tid: u32, start_ns: u64, end_ns: u64) {
+        if !self.stage_spans_enabled() {
+            return;
+        }
+        self.recorder.span(node, tid, stage.span_name(), start_ns, end_ns);
     }
 
     /// Deterministic JSON rendering of the current metrics snapshot.
@@ -144,5 +252,42 @@ impl Obs {
     /// Deterministic Chrome-trace JSON of everything recorded so far.
     pub fn chrome_trace_json(&self) -> String {
         trace::chrome_trace_string(&self.recorder)
+    }
+}
+
+#[cfg(test)]
+mod obs_tests {
+    use super::*;
+
+    #[test]
+    fn disabled_stage_histograms_register_nothing() {
+        let obs = Obs::new();
+        obs.set_stage_histograms(false);
+        obs.record_stage(Stage::CqWait, 0, 100);
+        assert!(obs.metrics.snapshot().histograms.is_empty());
+
+        obs.set_stage_histograms(true);
+        obs.record_stage(Stage::CqWait, 1, 100);
+        let snap = obs.metrics.snapshot();
+        // The whole row for node 1 (and the filler row for node 0) is
+        // registered on first touch, but only one sample was recorded.
+        assert_eq!(
+            snap.histogram("stage.cq_wait_ns{node=1}").unwrap().count,
+            1
+        );
+        assert_eq!(
+            snap.histogram("stage.credit_wait_ns{node=1}").unwrap().count,
+            0
+        );
+    }
+
+    #[test]
+    fn stage_spans_default_off() {
+        let obs = Obs::new();
+        obs.stage_span(Stage::WrBatch, 0, 1, 10, 20);
+        assert!(obs.recorder.is_empty());
+        obs.set_stage_spans(true);
+        obs.stage_span(Stage::WrBatch, 0, 1, 10, 20);
+        assert_eq!(obs.recorder.len(), 1);
     }
 }

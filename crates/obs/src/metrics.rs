@@ -14,7 +14,7 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use serde::{Serialize, Value};
 
 /// Sentinel meaning "this label dimension is not set".
@@ -138,29 +138,59 @@ impl Counter {
     }
 }
 
-/// Number of histogram buckets: bucket 0 holds exact zeros, bucket `i`
-/// (1..=64) holds values in `[2^(i-1), 2^i)`; bucket 64's upper edge is
-/// open so `u64::MAX` lands there.
-pub const HISTOGRAM_BUCKETS: usize = 65;
+/// Linear sub-buckets per power-of-two octave (log-linear bucketing, the
+/// HdrHistogram layout): every recorded value keeps its top
+/// `SUB_BUCKET_BITS + 1` significant bits, bounding the quantization
+/// error of any percentile estimate to `1/SUB_BUCKETS` (6.25%) before
+/// in-bucket interpolation.
+pub const SUB_BUCKET_BITS: usize = 4;
+/// `2^SUB_BUCKET_BITS`.
+pub const SUB_BUCKETS: usize = 1 << SUB_BUCKET_BITS;
 
-/// Index of the bucket a value falls into. Total function over `u64`:
-/// `0 -> 0`, `v -> floor(log2(v)) + 1` otherwise (so `1 -> 1`,
-/// `2..=3 -> 2`, ..., `u64::MAX -> 64`).
+/// Number of histogram buckets. Values below [`SUB_BUCKETS`] get one
+/// exact bucket each (bucket 0 holds exact zeros); every octave
+/// `[2^o, 2^(o+1))` for `o in SUB_BUCKET_BITS..64` is split into
+/// [`SUB_BUCKETS`] linear sub-buckets. The top octave's upper edge is
+/// open so `u64::MAX` lands in the last bucket.
+pub const HISTOGRAM_BUCKETS: usize = SUB_BUCKETS + (64 - SUB_BUCKET_BITS) * SUB_BUCKETS;
+
+/// Index of the bucket a value falls into. Total function over `u64`,
+/// monotone, and exact for every value with at most
+/// `SUB_BUCKET_BITS + 1` significant bits (`bucket_lower_bound`
+/// round-trips it).
 #[inline]
 pub fn bucket_index(value: u64) -> usize {
-    (64 - value.leading_zeros()) as usize
+    if value < SUB_BUCKETS as u64 {
+        return value as usize;
+    }
+    let octave = 63 - value.leading_zeros() as usize;
+    let sub = ((value >> (octave - SUB_BUCKET_BITS)) as usize) & (SUB_BUCKETS - 1);
+    SUB_BUCKETS + (octave - SUB_BUCKET_BITS) * SUB_BUCKETS + sub
 }
 
 /// Inclusive lower bound of bucket `i`.
 pub fn bucket_lower_bound(i: usize) -> u64 {
-    match i {
-        0 => 0,
-        _ => 1u64 << (i - 1),
+    if i < SUB_BUCKETS {
+        return i as u64;
+    }
+    let octave = SUB_BUCKET_BITS + (i - SUB_BUCKETS) / SUB_BUCKETS;
+    let sub = ((i - SUB_BUCKETS) % SUB_BUCKETS) as u64;
+    ((SUB_BUCKETS as u64) + sub) << (octave - SUB_BUCKET_BITS)
+}
+
+/// Inclusive upper bound of bucket `i` (the last bucket's edge is open,
+/// so it reports `u64::MAX`).
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    if i + 1 < HISTOGRAM_BUCKETS {
+        bucket_lower_bound(i + 1) - 1
+    } else {
+        u64::MAX
     }
 }
 
-/// A fixed-bucket (power-of-two) histogram. Recording is a handful of
-/// relaxed atomic operations; no lock, no allocation.
+/// A fixed-size log-linear histogram. Recording is a handful of relaxed
+/// atomic operations; no lock, no allocation, independent of the value
+/// distribution — safe on the per-message hot path.
 #[derive(Debug)]
 pub struct Histogram {
     buckets: [AtomicU64; HISTOGRAM_BUCKETS],
@@ -256,6 +286,102 @@ impl HistogramSnapshot {
         }
     }
 
+    /// An empty snapshot (identity element for [`merge`](Self::merge)).
+    pub fn empty() -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            buckets: Vec::new(),
+        }
+    }
+
+    /// Value at quantile `q` in `[0, 1]`, by rank-walk over the buckets
+    /// with linear interpolation inside the target bucket. The result is
+    /// clamped to the observed `[min, max]`, monotone in `q`, and exact
+    /// whenever the target bucket holds a single distinct value. Returns
+    /// 0 on an empty snapshot.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(lb, n) in &self.buckets {
+            if seen + n >= rank {
+                let lo = lb.max(self.min);
+                let hi = bucket_upper_bound(bucket_index(lb)).min(self.max);
+                if hi <= lo || n == 1 {
+                    return lo;
+                }
+                // Spread the bucket's n samples evenly over [lo, hi];
+                // the target rank is sample `pos` (0-based) of those.
+                let pos = (rank - seen - 1) as u128;
+                let est = lo + ((hi - lo) as u128 * pos / (n - 1) as u128) as u64;
+                return est.clamp(self.min, self.max);
+            }
+            seen += n;
+        }
+        self.max
+    }
+
+    /// Median.
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.percentile(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
+    }
+
+    /// 99.9th percentile.
+    pub fn p999(&self) -> u64 {
+        self.percentile(0.999)
+    }
+
+    /// Folds `other` into `self`: bucket-wise union, counts add, sum
+    /// wraps, min/max widen. Merging is associative and commutative, so
+    /// per-node snapshots can be combined in any order.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let mut buckets: BTreeMap<u64, u64> = self.buckets.iter().copied().collect();
+        for &(lb, n) in &other.buckets {
+            *buckets.entry(lb).or_insert(0) += n;
+        }
+        self.buckets = buckets.into_iter().collect();
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Compact percentile summary for reports.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count,
+            min: self.min,
+            max: self.max,
+            mean: self.mean(),
+            p50: self.p50(),
+            p90: self.p90(),
+            p99: self.p99(),
+            p999: self.p999(),
+        }
+    }
+
     /// The distribution recorded since `earlier` (bucket-wise and
     /// scalar-wise difference; min/max are taken from `self` since the
     /// true interval extrema are not recoverable).
@@ -295,16 +421,60 @@ impl Serialize for HistogramSnapshot {
     }
 }
 
+/// Percentile digest of one histogram series, as written into bench
+/// reports and the `perfdiff` baseline.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct HistogramSummary {
+    /// Total observations.
+    pub count: u64,
+    /// Smallest observed value.
+    pub min: u64,
+    /// Largest observed value.
+    pub max: u64,
+    /// Mean of the recorded values.
+    pub mean: f64,
+    /// Median.
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
+}
+
 enum Metric {
     Counter(Arc<Counter>),
     Histogram(Arc<Histogram>),
 }
 
+/// Dense handle to an interned counter series. Obtained once via
+/// [`MetricsRegistry::counter_id`]; recording through the id does no
+/// string hashing or allocation.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct CounterId(u32);
+
+/// Dense handle to an interned histogram series. Obtained once via
+/// [`MetricsRegistry::histogram_id`]; recording through the id does no
+/// string hashing or allocation.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct HistogramId(u32);
+
 /// Registry of named metric series. Handle creation and snapshots take
 /// a lock; recording through the returned handles does not.
+///
+/// Series can additionally be *interned* to dense integer ids
+/// ([`CounterId`] / [`HistogramId`]): the name→handle resolution is paid
+/// once at registration, and [`add`](Self::add) /
+/// [`record`](Self::record) are then a slab index under a read lock —
+/// no string hashing, comparison, or allocation per sample.
 #[derive(Default)]
 pub struct MetricsRegistry {
     metrics: Mutex<BTreeMap<(&'static str, Labels), Metric>>,
+    counter_ids: Mutex<BTreeMap<(&'static str, Labels), CounterId>>,
+    histogram_ids: Mutex<BTreeMap<(&'static str, Labels), HistogramId>>,
+    counter_slab: RwLock<Vec<Arc<Counter>>>,
+    histogram_slab: RwLock<Vec<Arc<Histogram>>>,
 }
 
 impl MetricsRegistry {
@@ -341,6 +511,50 @@ impl MetricsRegistry {
         }
     }
 
+    /// Interns the counter `(name, labels)` to a dense id. Idempotent:
+    /// the same series always yields the same id. The id stays valid for
+    /// the registry's lifetime and aliases the [`counter`](Self::counter)
+    /// handle for the same series.
+    pub fn counter_id(&self, name: &'static str, labels: Labels) -> CounterId {
+        let mut ids = self.counter_ids.lock();
+        if let Some(&id) = ids.get(&(name, labels)) {
+            return id;
+        }
+        let handle = self.counter(name, labels);
+        let mut slab = self.counter_slab.write();
+        let id = CounterId(slab.len() as u32);
+        slab.push(handle);
+        ids.insert((name, labels), id);
+        id
+    }
+
+    /// Interns the histogram `(name, labels)` to a dense id. Idempotent;
+    /// aliases the [`histogram`](Self::histogram) handle for the series.
+    pub fn histogram_id(&self, name: &'static str, labels: Labels) -> HistogramId {
+        let mut ids = self.histogram_ids.lock();
+        if let Some(&id) = ids.get(&(name, labels)) {
+            return id;
+        }
+        let handle = self.histogram(name, labels);
+        let mut slab = self.histogram_slab.write();
+        let id = HistogramId(slab.len() as u32);
+        slab.push(handle);
+        ids.insert((name, labels), id);
+        id
+    }
+
+    /// Adds `n` to an interned counter.
+    #[inline]
+    pub fn add(&self, id: CounterId, n: u64) {
+        self.counter_slab.read()[id.0 as usize].add(n);
+    }
+
+    /// Records one observation into an interned histogram.
+    #[inline]
+    pub fn record(&self, id: HistogramId, value: u64) {
+        self.histogram_slab.read()[id.0 as usize].record(value);
+    }
+
     /// Current value of a counter series (0 if it does not exist).
     pub fn counter_value(&self, name: &'static str, labels: Labels) -> u64 {
         match self.metrics.lock().get(&(name, labels)) {
@@ -361,6 +575,21 @@ impl MetricsRegistry {
                 Metric::Histogram(_) => 0,
             })
             .sum()
+    }
+
+    /// Merged distribution of a histogram across every label
+    /// combination it was recorded under (empty snapshot if none).
+    pub fn histogram_merged(&self, name: &'static str) -> HistogramSnapshot {
+        let m = self.metrics.lock();
+        let mut out = HistogramSnapshot::empty();
+        for ((n, _), metric) in m.iter() {
+            if *n == name {
+                if let Metric::Histogram(h) = metric {
+                    out.merge(&h.snapshot());
+                }
+            }
+        }
+        out
     }
 
     /// Takes a deterministic point-in-time snapshot of every series.
@@ -447,6 +676,26 @@ impl Snapshot {
         }
     }
 
+    /// A copy of the snapshot with every series whose name starts with
+    /// `prefix` removed. Used to compare runs modulo an optional
+    /// instrumentation layer (e.g. `without_prefix("stage.")`).
+    pub fn without_prefix(&self, prefix: &str) -> Snapshot {
+        Snapshot {
+            counters: self
+                .counters
+                .iter()
+                .filter(|(k, _)| !k.starts_with(prefix))
+                .cloned()
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .filter(|(k, _)| !k.starts_with(prefix))
+                .cloned()
+                .collect(),
+        }
+    }
+
     /// Renders the snapshot as deterministic pretty-printed JSON.
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).expect("snapshot serialization is infallible")
@@ -484,16 +733,39 @@ mod tests {
 
     #[test]
     fn bucket_index_edges() {
-        assert_eq!(bucket_index(0), 0);
-        assert_eq!(bucket_index(1), 1);
-        assert_eq!(bucket_index(2), 2);
-        assert_eq!(bucket_index(3), 2);
-        assert_eq!(bucket_index(4), 3);
-        assert_eq!(bucket_index((1 << 32) - 1), 32);
-        assert_eq!(bucket_index(1 << 32), 33);
-        assert_eq!(bucket_index(u64::MAX), 64);
-        assert_eq!(bucket_index(1 << 63), 64);
-        assert_eq!(bucket_index((1 << 63) - 1), 63);
+        // Values below SUB_BUCKETS get one exact bucket each.
+        for v in 0..SUB_BUCKETS as u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_lower_bound(v as usize), v);
+        }
+        assert_eq!(bucket_index(16), 16);
+        assert_eq!(bucket_index(31), 31);
+        assert_eq!(bucket_index(32), 32);
+        assert_eq!(bucket_index(33), 32); // 33 shares [32, 34) with 32
+        assert_eq!(bucket_index(34), 33);
+        assert_eq!(bucket_index((1 << 32) - 1), 463);
+        assert_eq!(bucket_index(1 << 32), 464);
+        assert_eq!(bucket_index((1 << 63) - 1), 959);
+        assert_eq!(bucket_index(1 << 63), 960);
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_tight() {
+        // Octave boundaries and their neighbours, across the range.
+        let mut prev = 0usize;
+        for shift in 4..64 {
+            for v in [(1u64 << shift) - 1, 1u64 << shift, (1u64 << shift) + 1] {
+                let i = bucket_index(v);
+                assert!(i >= prev, "bucket_index not monotone at {v}");
+                assert!(bucket_lower_bound(i) <= v);
+                assert!(v <= bucket_upper_bound(i));
+                // Relative bucket width stays within 1/SUB_BUCKETS.
+                let width = bucket_upper_bound(i) - bucket_lower_bound(i);
+                assert!(width <= bucket_lower_bound(i).max(1) / SUB_BUCKETS as u64 + 1);
+                prev = i;
+            }
+        }
     }
 
     #[test]
@@ -513,7 +785,7 @@ mod tests {
         assert_eq!(s.count, 2);
         assert_eq!(s.min, 0);
         assert_eq!(s.max, u64::MAX);
-        assert_eq!(s.buckets, vec![(0, 1), (1 << 63, 1)]);
+        assert_eq!(s.buckets, vec![(0, 1), (31u64 << 59, 1)]);
         // Wrapping sum: 0 + MAX.
         assert_eq!(s.sum, u64::MAX);
     }
@@ -575,7 +847,106 @@ mod tests {
         assert_eq!(d.counter("n"), Some(2));
         let dh = d.histogram("lat").unwrap();
         assert_eq!(dh.count, 2);
-        assert_eq!(dh.buckets, vec![(4, 1), (64, 1)]);
+        assert_eq!(dh.buckets, vec![(7, 1), (100, 1)]);
+    }
+
+    #[test]
+    fn percentiles_exact_for_distinct_small_values() {
+        let h = Histogram::new();
+        // 100 distinct values, 1k..100k: log-linear quantization keeps
+        // every percentile within one bucket width (6.25%).
+        for v in 1..=100u64 {
+            h.record(v * 1000);
+        }
+        let s = h.snapshot();
+        let p50 = s.p50() as f64;
+        let p99 = s.p99() as f64;
+        assert!((p50 - 50_000.0).abs() / 50_000.0 < 0.07, "p50={p50}");
+        assert!((p99 - 99_000.0).abs() / 99_000.0 < 0.07, "p99={p99}");
+        assert_eq!(s.percentile(0.0), 1000);
+        assert_eq!(s.percentile(1.0), 100_000);
+        // Monotone in q.
+        let mut last = 0;
+        for i in 0..=100 {
+            let p = s.percentile(i as f64 / 100.0);
+            assert!(p >= last);
+            last = p;
+        }
+    }
+
+    #[test]
+    fn percentile_single_value() {
+        let h = Histogram::new();
+        for _ in 0..10 {
+            h.record(777);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.p50(), 777);
+        assert_eq!(s.p999(), 777);
+        assert_eq!(HistogramSnapshot::empty().p99(), 0);
+    }
+
+    #[test]
+    fn merge_combines_distributions() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record(10);
+        a.record(20);
+        b.record(5);
+        b.record(1 << 20);
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.count, 4);
+        assert_eq!(m.min, 5);
+        assert_eq!(m.max, 1 << 20);
+        assert_eq!(m.sum, 10 + 20 + 5 + (1 << 20));
+        // Identity + commutativity.
+        let mut e = HistogramSnapshot::empty();
+        e.merge(&m);
+        assert_eq!(e, m);
+        let mut ba = b.snapshot();
+        ba.merge(&a.snapshot());
+        assert_eq!(ba, m);
+    }
+
+    #[test]
+    fn interned_ids_alias_named_handles() {
+        let r = MetricsRegistry::new();
+        let id = r.counter_id("hits", Labels::node(3));
+        assert_eq!(id, r.counter_id("hits", Labels::node(3)));
+        r.add(id, 2);
+        r.counter("hits", Labels::node(3)).inc();
+        assert_eq!(r.counter_value("hits", Labels::node(3)), 3);
+
+        let hid = r.histogram_id("lat", Labels::GLOBAL);
+        r.record(hid, 42);
+        assert_eq!(r.histogram("lat", Labels::GLOBAL).count(), 1);
+    }
+
+    #[test]
+    fn histogram_merged_spans_labels() {
+        let r = MetricsRegistry::new();
+        r.histogram("lat", Labels::node(0)).record(10);
+        r.histogram("lat", Labels::node(1)).record(30);
+        r.histogram("other", Labels::GLOBAL).record(999);
+        let m = r.histogram_merged("lat");
+        assert_eq!(m.count, 2);
+        assert_eq!(m.min, 10);
+        assert_eq!(m.max, 30);
+    }
+
+    #[test]
+    fn without_prefix_filters_series() {
+        let r = MetricsRegistry::new();
+        r.counter("stage.credit_wait_ns.count", Labels::GLOBAL).inc();
+        r.counter("verbs.msgs", Labels::GLOBAL).inc();
+        r.histogram("stage.cq_wait_ns", Labels::node(0)).record(1);
+        r.histogram("verbs.msg_latency_ns", Labels::node(0)).record(1);
+        let s = r.snapshot().without_prefix("stage.");
+        assert_eq!(s.counters.len(), 1);
+        assert_eq!(s.histograms.len(), 1);
+        assert!(s.counter("verbs.msgs").is_some());
+        assert!(s.histogram("verbs.msg_latency_ns{node=0}").is_some());
     }
 
     #[test]

@@ -1,0 +1,96 @@
+//! Stage taxonomy for per-message latency decomposition.
+//!
+//! A two-sided message's virtual-time lifetime is split into four
+//! segments, matching where the paper's evaluation says shuffle time
+//! goes (credit stalls, NIC processing, CQ polling):
+//!
+//! ```text
+//!  app wants to send ──CreditWait──▶ doorbell ──WrBatch──▶ NIC accepts
+//!      ──PostToCompletion──▶ completion deposited ──CqWait──▶ polled
+//! ```
+//!
+//! Each stage is surfaced as a per-node `stage.*_ns` histogram (see
+//! [`crate::names`]) and, optionally, as Chrome-trace spans. Recording
+//! is gated by two flags on [`crate::Obs`]:
+//!
+//! * `stage_histograms` (default **on**) — per-stage latency
+//!   histograms. When off, no `stage.*` series is ever registered, so a
+//!   disabled run's snapshot is byte-identical to one from a build
+//!   without the instrumentation.
+//! * `stage_spans` (default **off**) — per-interval spans in the flight
+//!   recorder for trace viewers. Spans are bulkier than histogram
+//!   increments, so they are opt-in.
+//!
+//! All timestamps are virtual nanoseconds; recording never advances the
+//! simulated clock, which is what makes the instrumentation observably
+//! free (`tests/determinism.rs` proves it).
+
+/// One segment of a message's lifetime.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Sender blocked waiting for flow-control credits before it could
+    /// post (zero for sends that never stalled).
+    CreditWait,
+    /// Doorbell ring until the NIC pipeline accepts the work request —
+    /// the WR-post batching / pipeline-occupancy delay.
+    WrBatch,
+    /// NIC accepts the work request until the completion is deposited
+    /// in the CQ (wire time + remote processing for two-sided ops).
+    PostToCompletion,
+    /// Completion sits in the CQ until the consumer polls it out.
+    CqWait,
+}
+
+impl Stage {
+    /// Number of stages (rows in per-node id tables).
+    pub const COUNT: usize = 4;
+
+    /// Every stage, in lifetime order; `ALL[s as usize] == s`.
+    pub const ALL: [Stage; Stage::COUNT] = [
+        Stage::CreditWait,
+        Stage::WrBatch,
+        Stage::PostToCompletion,
+        Stage::CqWait,
+    ];
+
+    /// Canonical metric series name (`{node}`-labelled histogram).
+    pub fn metric_name(self) -> &'static str {
+        match self {
+            Stage::CreditWait => crate::names::STAGE_CREDIT_WAIT_NS,
+            Stage::WrBatch => crate::names::STAGE_WR_BATCH_NS,
+            Stage::PostToCompletion => crate::names::STAGE_POST_TO_COMPLETION_NS,
+            Stage::CqWait => crate::names::STAGE_CQ_WAIT_NS,
+        }
+    }
+
+    /// Slice label used for Chrome-trace spans.
+    pub fn span_name(self) -> &'static str {
+        match self {
+            Stage::CreditWait => "stage.credit_wait",
+            Stage::WrBatch => "stage.wr_batch",
+            Stage::PostToCompletion => "stage.post_to_completion",
+            Stage::CqWait => "stage.cq_wait",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_is_indexable_by_discriminant() {
+        for (i, s) in Stage::ALL.into_iter().enumerate() {
+            assert_eq!(s as usize, i);
+        }
+    }
+
+    #[test]
+    fn names_live_under_stage_prefix() {
+        for s in Stage::ALL {
+            assert!(s.metric_name().starts_with("stage."));
+            assert!(s.metric_name().ends_with("_ns"));
+            assert!(s.span_name().starts_with("stage."));
+        }
+    }
+}

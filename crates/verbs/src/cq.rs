@@ -10,7 +10,7 @@
 
 use std::sync::Arc;
 
-use rshuffle_obs::{EventKind, Obs};
+use rshuffle_obs::{EventKind, Obs, Stage};
 use rshuffle_simnet::{Gate, Kernel, SimContext, SimDuration};
 
 use crate::types::QpNum;
@@ -64,26 +64,46 @@ pub struct Completion {
     /// Immediate data carried by the message, if any (the shuffle endpoints
     /// inline the credit value here to save a DMA, §4.4.1).
     pub imm: Option<u32>,
+    /// Virtual ns the originating work request was posted; 0 when the
+    /// post time is unknown (e.g. error flushes). Drives the
+    /// post-to-completion stage histogram.
+    pub posted_ns: u64,
+    /// Virtual ns the completion was deposited into the CQ (stamped by
+    /// the queue itself). Drives the CQ-wait stage histogram.
+    pub deposited_ns: u64,
 }
 
 struct CqInner {
     gate: Gate<Completion>,
     poll_cost: SimDuration,
+    kernel: Kernel,
     obs: Option<Arc<Obs>>,
 }
 
 impl CqInner {
     /// One flight-recorder event per retrieved completion, on the
-    /// polling thread's track.
+    /// polling thread's track, plus the post→completion and
+    /// completion→poll stage latencies. Pure recording — never advances
+    /// virtual time.
     fn observe_polled(&self, ctx: &SimContext, c: &Completion) {
         if let Some(obs) = &self.obs {
-            obs.recorder.event(
-                ctx.node() as u32,
-                ctx.id().track(),
-                ctx.now().as_nanos(),
-                EventKind::CompletionPolled,
-                c.byte_len as u64,
-            );
+            let node = ctx.node() as u32;
+            let tid = ctx.id().track();
+            let now = ctx.now().as_nanos();
+            obs.recorder
+                .event(node, tid, now, EventKind::CompletionPolled, c.byte_len as u64);
+            if c.posted_ns > 0 && c.deposited_ns >= c.posted_ns {
+                obs.record_stage(
+                    Stage::PostToCompletion,
+                    node,
+                    c.deposited_ns - c.posted_ns,
+                );
+                obs.stage_span(Stage::PostToCompletion, node, tid, c.posted_ns, c.deposited_ns);
+            }
+            if c.deposited_ns > 0 && now >= c.deposited_ns {
+                obs.record_stage(Stage::CqWait, node, now - c.deposited_ns);
+                obs.stage_span(Stage::CqWait, node, tid, c.deposited_ns, now);
+            }
         }
     }
 }
@@ -103,6 +123,7 @@ impl CompletionQueue {
             inner: Arc::new(CqInner {
                 gate: Gate::new(kernel, completion_latency),
                 poll_cost,
+                kernel: kernel.clone(),
                 obs: kernel.obs(),
             }),
         }
@@ -150,8 +171,10 @@ impl CompletionQueue {
         self.inner.gate.len()
     }
 
-    /// Deposits a completion (called by the simulated NIC).
-    pub(crate) fn deposit(&self, c: Completion) {
+    /// Deposits a completion (called by the simulated NIC), stamping the
+    /// deposit time for the CQ-wait stage histogram.
+    pub(crate) fn deposit(&self, mut c: Completion) {
+        c.deposited_ns = self.inner.kernel.now().as_nanos();
         self.inner.gate.push(c);
     }
 }
@@ -179,6 +202,8 @@ mod tests {
             src_qp: QpNum(0),
             qp: QpNum(0),
             imm: None,
+            posted_ns: 0,
+            deposited_ns: 0,
         }
     }
 

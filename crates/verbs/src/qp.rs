@@ -22,7 +22,7 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use rshuffle_obs::{names, EventKind, Labels, HW_TRACK};
+use rshuffle_obs::{EventKind, Stage, HW_TRACK};
 use rshuffle_simnet::nic::WrKind;
 use rshuffle_simnet::{FlowId, SimContext, SimDuration, SimTime};
 
@@ -151,6 +151,8 @@ impl QpInner {
                 src_qp: self.qpn,
                 qp: self.qpn,
                 imm: None,
+                posted_ns: 0,
+                deposited_ns: 0,
             });
         }
         true
@@ -375,6 +377,7 @@ impl QueuePair {
             .runtime
             .nic(self.inner.node)
             .process_flow(now, self.inner.ctx_key(), kind, self.inner.flow);
+        self.observe_wr_batch(sim, now, nic_done);
 
         let reliable = self.inner.ty == QpType::Rc;
         let wire_bytes = wire_bytes(self.inner.ty, wr.len, profile.mtu);
@@ -390,7 +393,7 @@ impl QueuePair {
                     // send completion (it only means the NIC consumed the
                     // buffer).
                     let send_cq = self.inner.send_cq.clone();
-                    let completion = self.local_send_completion(&wr);
+                    let completion = self.local_send_completion(&wr, now.as_nanos());
                     self.runtime
                         .kernel()
                         .schedule(nic_done, move || send_cq.deposit(completion));
@@ -417,7 +420,7 @@ impl QueuePair {
         // delivery path).
         if !reliable {
             let send_cq = self.inner.send_cq.clone();
-            let completion = self.local_send_completion(&wr);
+            let completion = self.local_send_completion(&wr, now.as_nanos());
             self.runtime
                 .kernel()
                 .schedule(nic_done, move || send_cq.deposit(completion));
@@ -438,7 +441,8 @@ impl QueuePair {
         Ok(())
     }
 
-    /// Records the send into the flight recorder and size histogram.
+    /// Records the send into the flight recorder and size histogram
+    /// (through the interned per-node id — no name lookup per message).
     fn observe_send_posted(&self, sim: &SimContext, len: usize, now: SimTime) {
         let obs = &self.runtime.rt_obs.obs;
         obs.recorder.event(
@@ -449,11 +453,18 @@ impl QueuePair {
             len as u64,
         );
         obs.metrics
-            .histogram(
-                names::VERBS_MSG_SIZE_BYTES,
-                Labels::node(self.inner.node as u32),
-            )
-            .record(len as u64);
+            .record(self.runtime.rt_obs.msg_size[self.inner.node], len as u64);
+    }
+
+    /// Records the doorbell→NIC-accept WR batching stage for a work
+    /// request posted at `posted` and accepted at `nic_done`.
+    fn observe_wr_batch(&self, sim: &SimContext, posted: SimTime, nic_done: SimTime) {
+        let obs = &self.runtime.rt_obs.obs;
+        let node = self.inner.node as u32;
+        let p = posted.as_nanos();
+        let d = nic_done.as_nanos();
+        obs.record_stage(Stage::WrBatch, node, d.saturating_sub(p));
+        obs.stage_span(Stage::WrBatch, node, sim.id().track(), p, d);
     }
 
     /// Posts one UD Send that the switch replicates to every destination
@@ -491,6 +502,7 @@ impl QueuePair {
             .runtime
             .nic(self.inner.node)
             .process_flow(now, self.inner.ctx_key(), WrKind::SendUd, self.inner.flow);
+        self.observe_wr_batch(sim, now, nic_done);
         let wire = wire_bytes(QpType::Ud, wr.len, profile.mtu);
         let dest_nodes: Vec<crate::NodeId> = dests.iter().map(|d| d.node).collect();
         let deliveries = self.runtime.cluster().fabric().transfer_multicast_flow(
@@ -502,7 +514,7 @@ impl QueuePair {
         );
         // One local completion for the single work request.
         let send_cq = self.inner.send_cq.clone();
-        let completion = self.local_send_completion(&wr);
+        let completion = self.local_send_completion(&wr, now.as_nanos());
         self.runtime
             .kernel()
             .schedule(nic_done, move || send_cq.deposit(completion));
@@ -560,6 +572,8 @@ impl QueuePair {
             WrKind::Read,
             self.inner.flow,
         );
+        self.observe_wr_batch(sim, now, nic_done);
+        let read_posted_ns = now.as_nanos();
         // The read request itself is a small packet to the remote node.
         let req_arrive = self.runtime.cluster().fabric().transfer_flow(
             self.inner.node,
@@ -603,6 +617,8 @@ impl QueuePair {
                         src_qp: QpNum(0),
                         qp: qpn,
                         imm: None,
+                        posted_ns: read_posted_ns,
+                        deposited_ns: 0,
                     };
                     runtime
                         .kernel()
@@ -636,6 +652,8 @@ impl QueuePair {
                     src_qp: QpNum(0),
                     qp: qpn,
                     imm: None,
+                    posted_ns: read_posted_ns,
+                    deposited_ns: 0,
                 };
                 runtime2
                     .kernel()
@@ -676,6 +694,8 @@ impl QueuePair {
             WrKind::Write,
             self.inner.flow,
         );
+        self.observe_wr_batch(sim, now, nic_done);
+        let write_posted_ns = now.as_nanos();
         let wire = len + RC_HEADER_BYTES * len.div_ceil(profile.mtu).max(1);
         let deliver = self.ordered_delivery(self.runtime.cluster().fabric().transfer_flow(
             self.inner.node,
@@ -717,6 +737,8 @@ impl QueuePair {
                             src_qp: QpNum(0),
                             qp: qpn,
                             imm: None,
+                            posted_ns: write_posted_ns,
+                            deposited_ns: 0,
                         };
                         runtime2
                             .kernel()
@@ -733,6 +755,8 @@ impl QueuePair {
                         src_qp: QpNum(0),
                         qp: qpn,
                         imm: None,
+                        posted_ns: write_posted_ns,
+                        deposited_ns: 0,
                     };
                     runtime
                         .kernel()
@@ -773,7 +797,7 @@ impl QueuePair {
         t
     }
 
-    fn local_send_completion(&self, wr: &SendWr) -> Completion {
+    fn local_send_completion(&self, wr: &SendWr, posted_ns: u64) -> Completion {
         Completion {
             wr_id: wr.wr_id,
             status: WcStatus::Success,
@@ -783,6 +807,8 @@ impl QueuePair {
             src_qp: self.inner.qpn,
             qp: self.inner.qpn,
             imm: None,
+            posted_ns,
+            deposited_ns: 0,
         }
     }
 }
@@ -842,6 +868,8 @@ fn deliver_send(
                 src_qp: dest.qpn,
                 qp: src.qpn,
                 imm: None,
+                posted_ns,
+                deposited_ns: 0,
             };
             runtime
                 .kernel()
@@ -881,6 +909,8 @@ fn deliver_send(
                     src_qp: src.qpn,
                     qp: dest.qpn,
                     imm,
+                    posted_ns,
+                    deposited_ns: 0,
                 };
                 let recv_cq = qp.recv_cq.clone();
                 runtime
@@ -891,15 +921,10 @@ fn deliver_send(
             rwr.mr
                 .write(rwr.offset, &payload)
                 .expect("receive buffer bounds checked at post time");
-            runtime
-                .rt_obs
-                .obs
-                .metrics
-                .histogram(
-                    names::VERBS_MSG_LATENCY_NS,
-                    Labels::node(dest.node as u32),
-                )
-                .record(now.as_nanos().saturating_sub(posted_ns));
+            runtime.rt_obs.obs.metrics.record(
+                runtime.rt_obs.msg_latency[dest.node],
+                now.as_nanos().saturating_sub(posted_ns),
+            );
             let completion = Completion {
                 wr_id: rwr.wr_id,
                 status: WcStatus::Success,
@@ -909,6 +934,8 @@ fn deliver_send(
                 src_qp: src.qpn,
                 qp: dest.qpn,
                 imm,
+                posted_ns,
+                deposited_ns: 0,
             };
             let recv_cq = qp.recv_cq.clone();
             runtime
@@ -926,6 +953,8 @@ fn deliver_send(
                     src_qp: dest.qpn,
                     qp: src.qpn,
                     imm: None,
+                    posted_ns,
+                    deposited_ns: 0,
                 };
                 runtime
                     .kernel()
@@ -949,6 +978,8 @@ fn deliver_send(
                     src_qp: dest.qpn,
                     qp: src.qpn,
                     imm: None,
+                    posted_ns,
+                    deposited_ns: 0,
                 };
                 runtime
                     .kernel()

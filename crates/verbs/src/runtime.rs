@@ -14,7 +14,7 @@ use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rshuffle_audit::ShuffleAuditor;
-use rshuffle_obs::{names, Counter, EventKind, Labels, Obs, HW_TRACK};
+use rshuffle_obs::{names, Counter, EventKind, HistogramId, Labels, Obs, HW_TRACK};
 use rshuffle_simnet::{Cluster, DeviceProfile, FlowId, Kernel, NicModel, SimContext, SimDuration};
 
 use crate::cq::CompletionQueue;
@@ -77,22 +77,42 @@ pub struct RuntimeStats {
     pub ud_reordered: u64,
 }
 
-/// Cached registry handles for the delivery hot paths.
+/// Cached registry handles for the delivery hot paths. Per-message
+/// series are interned to dense [`HistogramId`]s at runtime construction
+/// so recording a sample never hashes or compares metric-name strings.
 pub(crate) struct RtObs {
     pub(crate) obs: Arc<Obs>,
     pub(crate) ud_dropped: Arc<Counter>,
     pub(crate) ud_unmatched: Arc<Counter>,
     pub(crate) rnr_retries: Arc<Counter>,
     pub(crate) ud_reordered: Arc<Counter>,
+    /// `verbs.msg_size_bytes{node}` ids, indexed by node.
+    pub(crate) msg_size: Vec<HistogramId>,
+    /// `verbs.msg_latency_ns{node}` ids, indexed by node.
+    pub(crate) msg_latency: Vec<HistogramId>,
 }
 
 impl RtObs {
-    fn new(obs: Arc<Obs>) -> Self {
+    fn new(obs: Arc<Obs>, nodes: usize) -> Self {
+        let msg_size = (0..nodes)
+            .map(|n| {
+                obs.metrics
+                    .histogram_id(names::VERBS_MSG_SIZE_BYTES, Labels::node(n as u32))
+            })
+            .collect();
+        let msg_latency = (0..nodes)
+            .map(|n| {
+                obs.metrics
+                    .histogram_id(names::VERBS_MSG_LATENCY_NS, Labels::node(n as u32))
+            })
+            .collect();
         RtObs {
             ud_dropped: obs.metrics.counter(names::VERBS_UD_DROPPED, Labels::GLOBAL),
             ud_unmatched: obs.metrics.counter(names::VERBS_UD_UNMATCHED, Labels::GLOBAL),
             rnr_retries: obs.metrics.counter(names::VERBS_RNR_RETRIES, Labels::GLOBAL),
             ud_reordered: obs.metrics.counter(names::VERBS_UD_REORDERED, Labels::GLOBAL),
+            msg_size,
+            msg_latency,
             obs,
         }
     }
@@ -135,7 +155,7 @@ impl VerbsRuntime {
     /// queue and fire deterministically at their virtual trigger times.
     pub fn with_faults(cluster: Cluster, faults: FaultConfig) -> Arc<Self> {
         let nodes = cluster.nodes();
-        let rt_obs = RtObs::new(cluster.obs().clone());
+        let rt_obs = RtObs::new(cluster.obs().clone(), nodes);
         let mut ud_loss_windows = Vec::new();
         let mut recv_pause_windows = Vec::new();
         for ev in &faults.plan.events {

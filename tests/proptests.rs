@@ -175,6 +175,92 @@ proptest! {
         prop_assert_eq!(((t + d1) - t), d1);
         prop_assert_eq!((t + d1 + d2) - (t + d1), d2);
     }
+
+    /// Every u64 lands in a log-linear bucket that contains it, buckets
+    /// are monotone in the value, and for values past the linear range
+    /// the bucket is never wider than 1/16th of the value (the 6.25%
+    /// quantization-error contract of the latency histograms).
+    #[test]
+    fn histogram_buckets_contain_and_bound_values(raw in any::<u64>(), shift in 0u32..64) {
+        use rshuffle_obs::metrics::{bucket_index, bucket_lower_bound, bucket_upper_bound};
+        // Mix small and huge magnitudes: `any::<u64>()` almost never
+        // produces small values, so scale by a random shift.
+        let v = raw >> shift;
+        let i = bucket_index(v);
+        let lb = bucket_lower_bound(i);
+        let ub = bucket_upper_bound(i);
+        prop_assert!(lb <= v && v <= ub, "value {} outside bucket [{}, {}]", v, lb, ub);
+        if v < 16 {
+            prop_assert_eq!(lb, ub, "sub-16 values get exact buckets");
+        } else if ub < u64::MAX {
+            prop_assert!(
+                (ub - lb) as u128 * 16 <= lb as u128 + 16,
+                "bucket [{}, {}] wider than 6.25% of its base", lb, ub
+            );
+        }
+        // Monotone: the next value up never maps to an earlier bucket.
+        if v < u64::MAX {
+            prop_assert!(bucket_index(v + 1) >= i);
+        }
+    }
+
+    /// Merging two histogram snapshots is exactly equivalent to having
+    /// recorded both value streams into one histogram, and merge is
+    /// commutative with the empty snapshot as identity.
+    #[test]
+    fn histogram_merge_equals_combined_recording(
+        xs in prop::collection::vec(0u64..1 << 48, 0..100),
+        ys in prop::collection::vec(0u64..1 << 48, 0..100),
+    ) {
+        use rshuffle_obs::{Histogram, HistogramSnapshot};
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let combined = Histogram::new();
+        for &x in &xs { a.record(x); combined.record(x); }
+        for &y in &ys { b.record(y); combined.record(y); }
+        let (sa, sb) = (a.snapshot(), b.snapshot());
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        if !xs.is_empty() || !ys.is_empty() {
+            prop_assert_eq!(&ab, &combined.snapshot());
+        }
+        prop_assert_eq!(&ab.count, &ba.count);
+        prop_assert_eq!(&ab.buckets, &ba.buckets);
+        let mut id = sa.clone();
+        id.merge(&HistogramSnapshot::empty());
+        prop_assert_eq!(&id, &sa);
+    }
+
+    /// Percentile estimates stay inside [min, max], are monotone in the
+    /// quantile, and land within the quantization bound (6.25% + integer
+    /// slack) of the exact order statistic.
+    #[test]
+    fn histogram_percentiles_track_order_statistics(
+        values in prop::collection::vec(1u64..1 << 40, 1..200),
+    ) {
+        use rshuffle_obs::Histogram;
+        let h = Histogram::new();
+        for &v in &values { h.record(v); }
+        let snap = h.snapshot();
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let mut prev = 0u64;
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let est = snap.percentile(q);
+            prop_assert!(est >= sorted[0] && est <= sorted[sorted.len() - 1]);
+            prop_assert!(est >= prev, "percentile must be monotone in q");
+            prev = est;
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let truth = sorted[rank - 1];
+            let err = est.abs_diff(truth);
+            prop_assert!(
+                err as u128 * 16 <= truth as u128 + 16,
+                "q={} estimate {} too far from exact {}", q, est, truth
+            );
+        }
+    }
 }
 
 /// Shuffling a random workload through random multicast groups delivers

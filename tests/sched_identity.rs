@@ -37,13 +37,15 @@ struct RunArtifacts {
     trace: String,
 }
 
-/// Renders the metrics snapshot with every `sched.*` series removed —
-/// the scheduler's whole additive surface.
+/// Renders the metrics snapshot with every `sched.*` series and the
+/// workload driver's query-latency histogram removed — the scheduler
+/// path's whole additive surface.
 fn strip_sched_series(mut snapshot: rshuffle_obs::Snapshot) -> String {
-    snapshot.counters.retain(|(key, _)| !key.starts_with("sched."));
-    snapshot
-        .histograms
-        .retain(|(key, _)| !key.starts_with("sched."));
+    let additive = |key: &str| {
+        key.starts_with("sched.") || key.starts_with(rshuffle_obs::names::ENGINE_QUERY_LATENCY_NS)
+    };
+    snapshot.counters.retain(|(key, _)| !additive(key));
+    snapshot.histograms.retain(|(key, _)| !additive(key));
     snapshot.to_json()
 }
 
