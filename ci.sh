@@ -21,16 +21,19 @@ cargo clippy --workspace --all-targets --features audit $CARGO_FLAGS -- -D warni
 cargo test -q --features saboteur --test mutation $CARGO_FLAGS
 cargo clippy --workspace --all-targets --features saboteur $CARGO_FLAGS -- -D warnings
 
-# Panic-free data path: endpoint hot paths propagate typed ShuffleErrors;
-# unwrap/expect would turn a poisoned ring slot into a process abort.
-if grep -rnE '\.(unwrap|expect)\(' crates/core/src/endpoint/; then
-  echo "ERROR: unwrap()/expect() on an endpoint data path (see above)" >&2
+# Panic-free data path: endpoint hot paths and the recovery/restart
+# orchestrators propagate typed ShuffleErrors; unwrap/expect would turn a
+# poisoned ring slot or a failed reconnect into a process abort.
+if grep -rnE '\.(unwrap|expect)\(' crates/core/src/endpoint/ crates/engine/src/; then
+  echo "ERROR: unwrap()/expect() on an engine or endpoint data path (see above)" >&2
   exit 1
 fi
 
-# Chaos smoke: one composite fault plan (link flap + straggler + QP failure
-# + UD loss burst) across all six algorithms; fails unless every query
-# recovers with exactly-once row delivery.
+# Chaos smoke: a composite fault plan (link flap + straggler + QP failure
+# + UD loss burst) plus a partial-recovery plan (whole-node QP-failure
+# window) across all six algorithms; fails unless every query recovers
+# with exactly-once row delivery, and the partial-recovery plan is
+# contained without a full restart.
 cargo run -q --release -p rshuffle-bench --bin chaos $CARGO_FLAGS -- --smoke
 
 # Scheduler unit tests (the umbrella suite only runs integration tests).

@@ -21,6 +21,8 @@ fn bench_header_codec(c: &mut Criterion) {
         payload_len: 4064,
         counter: 123_456,
         remote_addr: 65_536,
+        epoch: 1,
+        src_tid: 3,
     };
     let mut buf = [0u8; HEADER_LEN];
     c.bench_function("msg_header_encode_decode", |b| {

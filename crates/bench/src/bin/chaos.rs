@@ -1,20 +1,25 @@
 //! Chaos benchmark: runs every shuffle algorithm under a matrix of seeded
-//! fault plans through the query-restart orchestrator and reports restart
-//! counts, recovery latency, and delivered-row verification.
+//! fault plans through the partial-failure recovery orchestrator and
+//! reports partial retries, full restarts, QP reconnects, redone bytes,
+//! recovery latency, and delivered-row verification.
 //!
-//! Usage: `chaos [--smoke]`. `--smoke` runs a single composite fault plan
-//! across all six algorithms (the CI gate); the default runs the full
-//! plan matrix.
+//! Usage: `chaos [--smoke] [--emit PATH]`. `--smoke` runs a composite
+//! fault plan plus a partial-recovery (QP-failure-window) plan across all
+//! six algorithms (the CI gate); the default runs the full plan matrix.
+//! `--emit` writes the per-run recovery metrics as an `rshuffle-bench/1`
+//! report for `perfdiff`.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 use rshuffle::{ExchangeConfig, Operator, ShuffleAlgorithm};
+use rshuffle_bench::perf::{take_emit_flag, BenchReport, BenchResult, BenchRun};
+use serde::Value;
 use rshuffle_engine::ops::Generator;
-use rshuffle_engine::restart::{run_shuffle_with_restart, RestartPolicy};
+use rshuffle_engine::recovery::{run_shuffle_with_recovery, RecoveryPolicy};
 use rshuffle_simnet::{DeviceProfile, SimDuration};
-use rshuffle_verbs::{FaultConfig, FaultPlan};
+use rshuffle_verbs::{FaultConfig, FaultPlan, QpScope};
 
 const NODES: usize = 3;
 const THREADS: usize = 2;
@@ -46,6 +51,7 @@ fn fault_matrix() -> Vec<(&'static str, FaultPlan)> {
             "ud-loss-burst",
             FaultPlan::new().ud_loss_burst(0, us(10), us(120), 1.0),
         ),
+        partial_recovery_plan(),
     ]
 }
 
@@ -60,20 +66,48 @@ fn composite_plan() -> (&'static str, FaultPlan) {
     )
 }
 
+/// A transient whole-node QP outage: the plan the partial-retry rung
+/// exists for. Runs under this plan must contain the failure — at least
+/// one partial retry, no full restart.
+fn partial_recovery_plan() -> (&'static str, FaultPlan) {
+    (
+        "partial-recovery",
+        FaultPlan::new().qp_failure_window(1, us(10), us(200), QpScope::All),
+    )
+}
+
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (args, emit) = take_emit_flag(std::env::args().skip(1).collect());
+    let smoke = args.iter().any(|a| a == "--smoke");
     let plans = if smoke {
-        vec![composite_plan()]
+        vec![composite_plan(), partial_recovery_plan()]
     } else {
         fault_matrix()
     };
     let expected_rows = (NODES * THREADS * ROWS_PER_THREAD) as u64;
-    println!(
-        "{:<15} {:<10} {:>9} {:>9} {:>13} {:>12}  outcome",
-        "plan", "algorithm", "restarts", "rows", "recovery(µs)", "virtual(µs)"
-    );
     let mut failures = 0u32;
+    let mut rows_out: Vec<BenchResult> = Vec::new();
     for (plan_name, plan) in &plans {
+        let described: Vec<String> = plan.events.iter().map(|e| e.to_string()).collect();
+        println!(
+            "plan {plan_name}: {}",
+            if described.is_empty() {
+                "no injected faults".to_string()
+            } else {
+                described.join("; ")
+            }
+        );
+        println!(
+            "  {:<10} {:>7} {:>8} {:>10} {:>10} {:>9} {:>13} {:>12}  outcome",
+            "algorithm",
+            "partial",
+            "restarts",
+            "reconnects",
+            "redone(B)",
+            "rows",
+            "recovery(µs)",
+            "virtual(µs)"
+        );
         for algorithm in ShuffleAlgorithm::ALL {
             let mut config = ExchangeConfig::repartition(algorithm, NODES, THREADS);
             config.message_size = 4096;
@@ -87,48 +121,104 @@ fn main() {
             let runtime = config.build_runtime(DeviceProfile::edr());
             let delivered: Arc<Mutex<HashMap<u32, u64>>> = Arc::new(Mutex::new(HashMap::new()));
             let d = delivered.clone();
-            let report = run_shuffle_with_restart(
+            let report = run_shuffle_with_recovery(
                 &runtime,
                 &config,
-                RestartPolicy {
-                    max_restarts: 6,
-                    initial_backoff: us(50),
-                    max_backoff: SimDuration::from_millis(1),
+                RecoveryPolicy {
+                    max_partial_retries: 6,
+                    max_full_restarts: 6,
+                    ..RecoveryPolicy::default()
                 },
                 ROW,
                 |_, node| {
                     Arc::new(Generator::new(ROWS_PER_THREAD, THREADS, node as u64))
                         as Arc<dyn Operator>
                 },
-                move |attempt, _, _, batch| {
-                    *d.lock().entry(attempt).or_default() += batch.rows() as u64;
+                move |generation, _, _, batch| {
+                    *d.lock().entry(generation).or_default() += batch.rows() as u64;
                 },
             );
             runtime.cluster().run();
             let rep = report.lock().clone();
-            let winning = delivered.lock().get(&rep.restarts).copied().unwrap_or(0);
-            let ok = rep.succeeded() && winning == expected_rows;
+            let winning = delivered.lock().get(&rep.generation).copied().unwrap_or(0);
+            // The partial-recovery plan is a containment gate: the
+            // failure must be absorbed without a full restart.
+            let contained = *plan_name != "partial-recovery"
+                || (rep.partial_retries >= 1 && rep.full_restarts == 0);
+            let ok = rep.succeeded() && winning == expected_rows && contained;
             if !ok {
                 failures += 1;
             }
             let outcome = match &rep.failure {
-                None if winning == expected_rows => "ok".to_string(),
-                None => format!("ROW MISMATCH ({winning}/{expected_rows})"),
+                None if winning != expected_rows => {
+                    format!("ROW MISMATCH ({winning}/{expected_rows})")
+                }
+                None if !contained => format!(
+                    "NOT CONTAINED ({} partial, {} full)",
+                    rep.partial_retries, rep.full_restarts
+                ),
+                None => "ok".to_string(),
                 Some(e) => format!("FAILED: {e}"),
             };
+            let recovery_ns = rep.recovery.map(|r| r.as_nanos()).unwrap_or(0);
             println!(
-                "{:<15} {:<10} {:>9} {:>9} {:>13} {:>12.1}  {}",
-                plan_name,
+                "  {:<10} {:>7} {:>8} {:>10} {:>10} {:>9} {:>13} {:>12.1}  {}",
                 algorithm.to_string(),
-                rep.restarts,
+                rep.partial_retries,
+                rep.full_restarts,
+                rep.qp_reconnects,
+                rep.redone_bytes,
                 rep.rows,
-                rep.recovery
-                    .map(|r| format!("{:.1}", r.as_nanos() as f64 / 1e3))
-                    .unwrap_or_else(|| "-".to_string()),
+                if recovery_ns == 0 {
+                    "-".to_string()
+                } else {
+                    format!("{:.1}", recovery_ns as f64 / 1e3)
+                },
                 runtime.cluster().kernel().now().as_nanos() as f64 / 1e3,
                 outcome
             );
+            rows_out.push(BenchResult {
+                id: format!("{plan_name}/{algorithm}"),
+                metrics: vec![
+                    ("engine.recovery_ns".to_string(), recovery_ns as f64),
+                    (
+                        "engine.partial_retries".to_string(),
+                        rep.partial_retries as f64,
+                    ),
+                    ("engine.restarts".to_string(), rep.full_restarts as f64),
+                    (
+                        "engine.qp_reconnects".to_string(),
+                        rep.qp_reconnects as f64,
+                    ),
+                    ("engine.redone_bytes".to_string(), rep.redone_bytes as f64),
+                    ("engine.kept_bytes".to_string(), rep.kept_bytes as f64),
+                    ("rows".to_string(), rep.rows as f64),
+                ],
+                stages: Vec::new(),
+            });
         }
+    }
+    if let Some(path) = emit {
+        let mut report = BenchReport::new();
+        report.benches.push(BenchRun {
+            bench: "chaos".to_string(),
+            config: vec![
+                ("nodes".to_string(), Value::UInt(NODES as u64)),
+                ("threads".to_string(), Value::UInt(THREADS as u64)),
+                (
+                    "rows_per_thread".to_string(),
+                    Value::UInt(ROWS_PER_THREAD as u64),
+                ),
+                ("row_size".to_string(), Value::UInt(ROW as u64)),
+                ("smoke".to_string(), Value::Bool(smoke)),
+            ],
+            results: rows_out,
+        });
+        if let Err(e) = report.write(&path) {
+            eprintln!("chaos: cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+        println!("wrote {path}");
     }
     if failures > 0 {
         eprintln!("chaos: {failures} run(s) failed");

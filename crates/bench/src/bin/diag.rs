@@ -2,8 +2,13 @@
 //! full unified metrics snapshot and a Chrome-trace dump for one
 //! transport. Not a paper figure.
 //!
-//! Usage: `diag [ALGORITHM] [NODES] [TRACE_PATH]`
-//! (defaults: `MESQ_SR 8 trace.json`).
+//! Usage: `diag [ALGORITHM] [NODES] [TRACE_PATH] [FAULT]`
+//! (defaults: `MESQ_SR 8 trace.json` with no injected fault).
+//! `FAULT` selects a canned ride-out-able fault plan (`link-flap`,
+//! `link-degrade` or `straggler`) whose injection markers then appear on
+//! the hardware track of the exported trace; the active plan is echoed
+//! in the header. Faults needing the recovery orchestrator (QP failures,
+//! UD bursts) belong to the `chaos` binary instead.
 //!
 //! The trace file is in the Chrome Trace Event Format: open it at
 //! `chrome://tracing` or <https://ui.perfetto.dev> (drag-and-drop the
@@ -14,7 +19,21 @@
 
 use rshuffle::ShuffleAlgorithm;
 use rshuffle_bench::{Pattern, Transport, WorkloadConfig};
-use rshuffle_simnet::DeviceProfile;
+use rshuffle_simnet::{DeviceProfile, SimDuration};
+use rshuffle_verbs::FaultPlan;
+
+/// Canned fault plans selectable by name. Diagnostic runs have no
+/// restart orchestration, so only faults the transports ride out
+/// in-place are offered here.
+fn canned_plan(name: &str) -> Option<FaultPlan> {
+    let us = SimDuration::from_micros;
+    match name {
+        "link-flap" => Some(FaultPlan::new().link_flap(1, us(10), us(150))),
+        "link-degrade" => Some(FaultPlan::new().link_degrade(1, us(5), us(400), 0.25, us(2))),
+        "straggler" => Some(FaultPlan::new().straggler(2, us(5), us(500), 4.0)),
+        _ => None,
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -30,6 +49,22 @@ fn main() {
 
     let mut cfg = WorkloadConfig::new(DeviceProfile::edr(), nodes, Transport::Rdma(alg));
     cfg.pattern = Pattern::Repartition;
+    if let Some(name) = args.get(4) {
+        match canned_plan(name) {
+            Some(plan) => cfg.faults.plan = plan,
+            None => {
+                eprintln!("unknown fault plan {name:?}; known: link-flap, link-degrade, straggler");
+                std::process::exit(2);
+            }
+        }
+    }
+    if cfg.faults.plan.is_empty() {
+        println!("fault plan: none");
+    } else {
+        for ev in &cfg.faults.plan.events {
+            println!("fault plan: {ev}");
+        }
+    }
 
     // Inline a copy of the workload with extra reporting.
     let cluster = rshuffle_simnet::Cluster::new(cfg.nodes, cfg.profile.clone());

@@ -14,9 +14,11 @@
 //! | 0..4    | source endpoint id                                       |
 //! | 4       | message kind (data / credit)                             |
 //! | 5       | stream state (`MoreData` / `Depleted`)                   |
-//! | 6..8    | reserved                                                 |
+//! | 6..8    | flow epoch (bumped on partial retry; receivers discard   |
+//! |         | stale-epoch arrivals)                                    |
 //! | 8..12   | payload length in bytes                                  |
-//! | 12..16  | reserved                                                 |
+//! | 12..14  | source worker thread id (keys the recovery flow ledger)  |
+//! | 14..16  | reserved                                                 |
 //! | 16..24  | total data messages sent to this destination (valid when |
 //! |         | state is `Depleted`; drives UD termination counting) or  |
 //! |         | absolute credit value for credit messages                |
@@ -58,8 +60,16 @@ pub struct MsgHeader {
     pub kind: MsgKind,
     /// Stream state.
     pub state: StreamState,
+    /// Flow epoch this message belongs to. Healthy queries run entirely
+    /// in epoch 0; a partial retry rebuilds the exchange with a bumped
+    /// epoch so receivers can discard stale in-flight arrivals from the
+    /// aborted attempt (exactly-once delivery without a global barrier).
+    pub epoch: u16,
     /// Payload length in bytes.
     pub payload_len: u32,
+    /// Worker thread id that produced the payload; keys the recovery
+    /// layer's per-flow ledger `(src node, src thread, dst node)`.
+    pub src_tid: u16,
     /// Total data messages sent (Depleted) or absolute credit (Credit).
     pub counter: u64,
     /// Sender-side buffer offset (RDMA Read endpoints).
@@ -80,9 +90,10 @@ impl MsgHeader {
             StreamState::MoreData => 0,
             StreamState::Depleted => 1,
         };
-        dst[6..8].copy_from_slice(&[0, 0]);
+        dst[6..8].copy_from_slice(&self.epoch.to_le_bytes());
         dst[8..12].copy_from_slice(&self.payload_len.to_le_bytes());
-        dst[12..16].copy_from_slice(&[0; 4]);
+        dst[12..14].copy_from_slice(&self.src_tid.to_le_bytes());
+        dst[14..16].copy_from_slice(&[0; 2]);
         dst[16..24].copy_from_slice(&self.counter.to_le_bytes());
         dst[24..32].copy_from_slice(&self.remote_addr.to_le_bytes());
     }
@@ -120,7 +131,9 @@ impl MsgHeader {
                     )))
                 }
             },
+            epoch: u16::from_le_bytes(src[6..8].try_into().expect("2 bytes")),
             payload_len: u32::from_le_bytes(src[8..12].try_into().expect("4 bytes")),
+            src_tid: u16::from_le_bytes(src[12..14].try_into().expect("2 bytes")),
             counter: u64::from_le_bytes(src[16..24].try_into().expect("8 bytes")),
             remote_addr: u64::from_le_bytes(src[24..32].try_into().expect("8 bytes")),
         })
@@ -145,6 +158,9 @@ pub struct Buffer {
     window: usize,
     /// Payload bytes currently written.
     len: usize,
+    /// Worker thread id the operator stamps before filling the buffer;
+    /// copied into the header's `src_tid` field by the endpoints.
+    tag: u16,
 }
 
 impl Buffer {
@@ -164,6 +180,7 @@ impl Buffer {
             offset,
             window,
             len: 0,
+            tag: 0,
         }
     }
 
@@ -188,7 +205,21 @@ impl Buffer {
             offset,
             window,
             len: 0,
+            tag: 0,
         })
+    }
+
+    /// The worker-thread tag stamped by [`Buffer::set_tag`] (zero until
+    /// stamped).
+    pub fn tag(&self) -> u16 {
+        self.tag
+    }
+
+    /// Stamps the worker thread id that fills this buffer; the endpoints
+    /// copy it into the wire header so receivers can attribute rows to
+    /// the `(src node, src thread)` flow they came from.
+    pub fn set_tag(&mut self, tag: u16) {
+        self.tag = tag;
     }
 
     /// Payload capacity in bytes.
@@ -308,7 +339,9 @@ mod tests {
             src: 42,
             kind: MsgKind::Data,
             state: StreamState::Depleted,
+            epoch: 3,
             payload_len: 1234,
+            src_tid: 5,
             counter: 0xABCD_EF01_2345_6789,
             remote_addr: 65536,
         };
@@ -323,7 +356,9 @@ mod tests {
             src: 7,
             kind: MsgKind::Credit,
             state: StreamState::MoreData,
+            epoch: 0,
             payload_len: 0,
+            src_tid: 0,
             counter: 99,
             remote_addr: 0,
         };
@@ -408,7 +443,9 @@ mod tests {
             src: 1,
             kind: MsgKind::Data,
             state: StreamState::MoreData,
+            epoch: 1,
             payload_len: 16,
+            src_tid: 2,
             counter: 0,
             remote_addr: 128,
         };

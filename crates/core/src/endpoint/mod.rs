@@ -197,6 +197,7 @@ pub(crate) struct RecvObs {
     bytes: Arc<Counter>,
     messages: Arc<Counter>,
     validarr_polls: Arc<Counter>,
+    stale_drops: Arc<Counter>,
 }
 
 impl RecvObs {
@@ -207,6 +208,7 @@ impl RecvObs {
             bytes: obs.metrics.counter(names::EP_BYTES_RECEIVED, ep),
             messages: obs.metrics.counter(names::EP_MESSAGES_RECEIVED, ep),
             validarr_polls: obs.metrics.counter(names::EP_VALIDARR_POLLS, ep),
+            stale_drops: obs.metrics.counter(names::EP_STALE_EPOCH_DROPS, ep),
             obs,
         }
     }
@@ -215,6 +217,12 @@ impl RecvObs {
     pub(crate) fn received(&self, bytes: u64) {
         self.bytes.add(bytes);
         self.messages.inc();
+    }
+
+    /// Counts one arrival fenced off by the epoch check: a leftover of
+    /// a failed flow attempt, recycled without delivery.
+    pub(crate) fn stale_drop(&self) {
+        self.stale_drops.inc();
     }
 
     /// Counts one ValidArr scan; `progress` is how many announcements
@@ -237,6 +245,10 @@ pub struct Delivery {
     pub state: StreamState,
     /// The endpoint that sent this buffer.
     pub src: EndpointId,
+    /// The sending worker thread, from the wire header's `src_tid`
+    /// field; identifies the `(src node, src thread)` flow for the
+    /// recovery layer's ledger.
+    pub src_tid: u16,
     /// Opaque token identifying the buffer at the remote endpoint; must be
     /// passed back to [`ReceiveEndpoint::release`]. Only meaningful for
     /// one-sided endpoints (§4.4.3); zero otherwise.

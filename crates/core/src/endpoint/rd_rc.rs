@@ -53,6 +53,11 @@ pub struct RdRcConfig {
     /// Give up with [`ShuffleError::Stalled`] after this long without
     /// progress.
     pub stall_timeout: SimDuration,
+    /// Flow epoch stamped on every outgoing header and required of every
+    /// accepted arrival. The recovery orchestrator bumps this on partial
+    /// retries so leftovers of the failed attempt are fenced off; healthy
+    /// runs stay at 0.
+    pub epoch: u16,
 }
 
 impl Default for RdRcConfig {
@@ -62,6 +67,7 @@ impl Default for RdRcConfig {
             buffers_per_peer: 2,
             poll_interval: SimDuration::from_nanos(400),
             stall_timeout: SimDuration::from_millis(500),
+            epoch: 0,
         }
     }
 }
@@ -280,7 +286,9 @@ impl SendEndpoint for RdRcSendEndpoint {
             src: self.id.0,
             kind: MsgKind::Data,
             state,
+            epoch: self.cfg.epoch,
             payload_len: buf.len() as u32,
+            src_tid: buf.tag(),
             counter: 0, // RC writes are ordered per link.
             remote_addr: buf.offset() as u64,
         };
@@ -606,6 +614,36 @@ impl RdRcReceiveEndpoint {
         Ok(false)
     }
 
+    /// RDMA-Writes `remote + 1` into source `si`'s `FreeArr` ring — the
+    /// shared tail of [`ReceiveEndpoint::release`] and the stale-epoch
+    /// drop path (which returns the remote buffer without delivering).
+    fn push_free(&self, sim: &SimContext, si: usize, remote: u64) -> Result<()> {
+        let (desc, slot_index) = {
+            let mut st = self.state.lock();
+            let desc = st.descriptors[si].ok_or_else(|| {
+                ShuffleError::Config(format!("release before descriptor wired for source {si}"))
+            })?;
+            let idx = st.free_prod[si] as usize % self.ring_cap;
+            st.free_prod[si] += 1;
+            (desc, idx)
+        };
+        let target = RemoteAddr {
+            node: desc.free_arr.node,
+            rkey: desc.free_arr.rkey,
+            offset: desc.free_arr.offset + 8 * slot_index,
+        };
+        self.audit
+            .ring_produced(ring_key(&desc.free_arr), sim.now().as_nanos());
+        // Scratch written under the post lock (see `send`).
+        let guard = self.post_lock.lock(sim);
+        let seq = self.wr_seq.fetch_add(1, Ordering::Relaxed);
+        let scratch_off = (seq % 64) as usize * 8;
+        self.scratch.write_u64(scratch_off, remote + 1)?;
+        self.qps[si].post_write(sim, seq, (self.scratch.clone(), scratch_off), target, 8)?;
+        drop(guard);
+        Ok(())
+    }
+
     fn fully_done(&self) -> Result<bool> {
         let st = self.state.lock();
         for si in 0..self.srcs.len() {
@@ -671,6 +709,23 @@ impl ReceiveEndpoint for RdRcReceiveEndpoint {
                     let local_off = (c.wr_id & 0xFFFF_FFFF) as usize;
                     let mut buf = Buffer::try_new(self.pool_mr.clone(), local_off, self.message_size)?;
                     let header = buf.read_header()?;
+                    if header.epoch != self.cfg.epoch {
+                        // Leftover announcement from a fenced-off attempt:
+                        // hand the remote buffer straight back through the
+                        // FreeArr and requeue the local one, no delivery.
+                        self.obs.stale_drop();
+                        {
+                            let mut st = self.state.lock();
+                            st.in_flight[si] = st.in_flight[si].checked_sub(1).ok_or(
+                                ShuffleError::CompletionError(
+                                    "more read completions than reads posted",
+                                ),
+                            )?;
+                        }
+                        self.push_free(sim, si, header.remote_addr)?;
+                        self.state.lock().local[si].push(buf);
+                        continue;
+                    }
                     buf.set_len(header.payload_len as usize)?;
                     self.bytes_received
                         .fetch_add(header.payload_len as u64, Ordering::Relaxed);
@@ -688,6 +743,7 @@ impl ReceiveEndpoint for RdRcReceiveEndpoint {
                     return Ok(Some(Delivery {
                         state: header.state,
                         src: EndpointId(header.src),
+                        src_tid: header.src_tid,
                         remote: header.remote_addr,
                         local: buf,
                     }));
@@ -709,30 +765,8 @@ impl ReceiveEndpoint for RdRcReceiveEndpoint {
             .src_by_endpoint
             .get(&src.0)
             .ok_or_else(|| ShuffleError::Config(format!("release for unknown source {src:?}")))?;
-        let (desc, slot_index) = {
-            let mut st = self.state.lock();
-            let desc = st.descriptors[si].ok_or_else(|| {
-                ShuffleError::Config(format!("release before descriptor wired for source {si}"))
-            })?;
-            let idx = st.free_prod[si] as usize % self.ring_cap;
-            st.free_prod[si] += 1;
-            (desc, idx)
-        };
-        let target = RemoteAddr {
-            node: desc.free_arr.node,
-            rkey: desc.free_arr.rkey,
-            offset: desc.free_arr.offset + 8 * slot_index,
-        };
-        let now = sim.now().as_nanos();
-        self.audit.released(buf_id(&local), now);
-        self.audit.ring_produced(ring_key(&desc.free_arr), now);
-        // Scratch written under the post lock (see `send`).
-        let guard = self.post_lock.lock(sim);
-        let seq = self.wr_seq.fetch_add(1, Ordering::Relaxed);
-        let scratch_off = (seq % 64) as usize * 8;
-        self.scratch.write_u64(scratch_off, remote + 1)?;
-        self.qps[si].post_write(sim, seq, (self.scratch.clone(), scratch_off), target, 8)?;
-        drop(guard);
+        self.audit.released(buf_id(&local), sim.now().as_nanos());
+        self.push_free(sim, si, remote)?;
         self.state.lock().local[si].push(local);
         Ok(())
     }

@@ -54,6 +54,11 @@ pub struct SrRcConfig {
     /// Give up and report [`ShuffleError::Stalled`] after this long without
     /// progress.
     pub stall_timeout: SimDuration,
+    /// Flow epoch stamped on every outgoing header and required of every
+    /// accepted arrival. The recovery orchestrator bumps this on partial
+    /// retries so leftovers of the failed attempt are fenced off; healthy
+    /// runs stay at 0.
+    pub epoch: u16,
 }
 
 impl Default for SrRcConfig {
@@ -65,6 +70,7 @@ impl Default for SrRcConfig {
             credit_writeback_frequency: 2,
             poll_interval: SimDuration::from_nanos(400),
             stall_timeout: SimDuration::from_millis(500),
+            epoch: 0,
         }
     }
 }
@@ -251,7 +257,9 @@ impl SendEndpoint for SrRcSendEndpoint {
             src: self.id.0,
             kind: MsgKind::Data,
             state,
+            epoch: self.cfg.epoch,
             payload_len: buf.len() as u32,
+            src_tid: buf.tag(),
             counter: 0, // RC is ordered: Depleted arrival is authoritative.
             remote_addr: buf.offset() as u64,
         };
@@ -464,12 +472,19 @@ impl ReceiveEndpoint for SrRcReceiveEndpoint {
                 ));
             }
             buf.set_len(header.payload_len as usize)?;
-            self.bytes_received
-                .fetch_add(header.payload_len as u64, Ordering::Relaxed);
-            self.obs.received(header.payload_len as u64);
             let si = *self.src_index.get(&c.src_node).ok_or_else(|| {
                 ShuffleError::Corrupt(format!("completion from unknown source node {}", c.src_node))
             })?;
+            if header.epoch != self.cfg.epoch {
+                // A leftover from a fenced-off flow attempt: recycle the
+                // slot (repost + credit) without delivering or counting.
+                self.obs.stale_drop();
+                self.recycle_slot(sim, si, &buf)?;
+                continue;
+            }
+            self.bytes_received
+                .fetch_add(header.payload_len as u64, Ordering::Relaxed);
+            self.obs.received(header.payload_len as u64);
             self.src_by_endpoint.lock().entry(header.src).or_insert(si);
             self.audit.delivered(buf_id(&buf), sim.now().as_nanos());
             if header.state == StreamState::Depleted {
@@ -482,6 +497,7 @@ impl ReceiveEndpoint for SrRcReceiveEndpoint {
             return Ok(Some(Delivery {
                 state: header.state,
                 src: EndpointId(header.src),
+                src_tid: header.src_tid,
                 remote: 0,
                 local: buf,
             }));
@@ -502,6 +518,28 @@ impl ReceiveEndpoint for SrRcReceiveEndpoint {
             })?
         };
         self.audit.released(buf_id(&local), sim.now().as_nanos());
+        self.recycle_slot(sim, si, &local)
+    }
+
+    fn bytes_received(&self) -> u64 {
+        self.bytes_received.load(Ordering::Relaxed)
+    }
+
+    fn registered_bytes(&self) -> usize {
+        self.pool_mr.len()
+    }
+
+    fn charge_setup(&self, sim: &SimContext) {
+        sim.sleep(self.setup_cost);
+    }
+}
+
+impl SrRcReceiveEndpoint {
+    /// Reposts `local`'s slot on connection `si` and runs the credit
+    /// write-back protocol for it — the shared tail of the normal
+    /// [`ReceiveEndpoint::release`] path and the stale-epoch drop path
+    /// (which recycles without delivering).
+    fn recycle_slot(&self, sim: &SimContext, si: usize, local: &Buffer) -> Result<()> {
         // Repost the buffer on the connection it came from.
         self.qps[si].post_recv(
             sim,
@@ -556,21 +594,6 @@ impl ReceiveEndpoint for SrRcReceiveEndpoint {
         }
         Ok(())
     }
-
-    fn bytes_received(&self) -> u64 {
-        self.bytes_received.load(Ordering::Relaxed)
-    }
-
-    fn registered_bytes(&self) -> usize {
-        self.pool_mr.len()
-    }
-
-    fn charge_setup(&self, sim: &SimContext) {
-        sim.sleep(self.setup_cost);
-    }
-}
-
-impl SrRcReceiveEndpoint {
     /// RDMA-Writes the absolute credit value into the sender's credit slot.
     ///
     /// The paper inlines the credit in the work request to save a DMA fetch

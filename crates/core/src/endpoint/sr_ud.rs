@@ -70,6 +70,11 @@ pub struct SrUdConfig {
     /// scales it with the thread count for SE (the "excessive contention"
     /// of Table 1 that bottlenecks SESQ/SR on `ibv_post_send`, §5.1.3).
     pub post_overhead: SimDuration,
+    /// Flow epoch stamped on every outgoing header and required of every
+    /// accepted arrival (data *and* credit). The recovery orchestrator
+    /// bumps this on partial retries so leftovers of the failed attempt
+    /// are fenced off; healthy runs stay at 0.
+    pub epoch: u16,
 }
 
 impl Default for SrUdConfig {
@@ -83,6 +88,7 @@ impl Default for SrUdConfig {
             depleted_timeout: SimDuration::from_millis(2),
             post_overhead: SimDuration::ZERO,
             native_multicast: false,
+            epoch: 0,
         }
     }
 }
@@ -381,6 +387,23 @@ impl UdShared {
         )?;
         let mut buf = Buffer::try_new(pool, c.wr_id as usize, self.mtu)?;
         let header = buf.read_header()?;
+        if header.epoch != self.cfg.epoch {
+            // Leftover datagram from a fenced-off attempt — stale data or
+            // a stale credit grant, either would corrupt the new attempt's
+            // counting. Recycle the slot without acting on the message.
+            self.recv_obs.stale_drop();
+            self.qp.post_recv(
+                sim,
+                RecvWr {
+                    wr_id: buf.offset() as u64,
+                    mr: buf.region().clone(),
+                    offset: buf.offset(),
+                    len: self.mtu,
+                },
+            )?;
+            *self.last_progress.lock() = sim.now();
+            return Ok(true);
+        }
         match header.kind {
             MsgKind::Credit => {
                 // Absolute credit: later updates supersede earlier ones, so
@@ -431,6 +454,7 @@ impl UdShared {
                 self.data_gate.push(Delivery {
                     state: header.state,
                     src: EndpointId(header.src),
+                    src_tid: header.src_tid,
                     remote: 0,
                     local: buf,
                 });
@@ -558,7 +582,9 @@ impl SendEndpoint for SrUdSendEndpoint {
                 src: s.send_id.0,
                 kind: MsgKind::Data,
                 state,
+                epoch: s.cfg.epoch,
                 payload_len: buf.len() as u32,
+                src_tid: buf.tag(),
                 counter: total,
                 remote_addr: buf.offset() as u64,
             };
@@ -658,7 +684,9 @@ impl SrUdSendEndpoint {
             src: s.send_id.0,
             kind: MsgKind::Data,
             state: StreamState::MoreData,
+            epoch: s.cfg.epoch,
             payload_len: buf.len() as u32,
+            src_tid: buf.tag(),
             counter: 0, // Only read on Depleted, which never multicasts.
             remote_addr: buf.offset() as u64,
         };
@@ -824,7 +852,9 @@ impl SrUdReceiveEndpoint {
             src: s.recv_id.0,
             kind: MsgKind::Credit,
             state: StreamState::MoreData,
+            epoch: s.cfg.epoch,
             payload_len: 0,
+            src_tid: 0, // Control traffic carries no flow identity.
             counter: credit,
             remote_addr: 0,
         };

@@ -50,6 +50,11 @@ pub struct WrRcConfig {
     /// Give up with [`ShuffleError::Stalled`] after this long without
     /// progress.
     pub stall_timeout: SimDuration,
+    /// Flow epoch stamped on every outgoing header and required of every
+    /// accepted arrival. The recovery orchestrator bumps this on partial
+    /// retries so leftovers of the failed attempt are fenced off; healthy
+    /// runs stay at 0.
+    pub epoch: u16,
 }
 
 impl Default for WrRcConfig {
@@ -59,6 +64,7 @@ impl Default for WrRcConfig {
             buffers_per_peer: 2,
             poll_interval: SimDuration::from_nanos(400),
             stall_timeout: SimDuration::from_millis(500),
+            epoch: 0,
         }
     }
 }
@@ -338,7 +344,9 @@ impl SendEndpoint for WrRcSendEndpoint {
             src: self.id.0,
             kind: MsgKind::Data,
             state,
+            epoch: self.cfg.epoch,
             payload_len: buf.len() as u32,
+            src_tid: buf.tag(),
             counter: 0,
             remote_addr: 0, // Filled per destination below.
         };
@@ -663,6 +671,17 @@ impl ReceiveEndpoint for WrRcReceiveEndpoint {
                         "ValidArr announced a buffer without a data header".into(),
                     ));
                 }
+                if header.epoch != self.cfg.epoch {
+                    // Leftover announcement from a fenced-off attempt:
+                    // re-grant the buffer to its sender without handing it
+                    // to the operator. `grant_back` audits a release, so
+                    // record the matching delivery to keep the ledger
+                    // balanced.
+                    self.obs.stale_drop();
+                    self.audit.delivered(buf_id(&buf), sim.now().as_nanos());
+                    self.grant_back(sim, si, offset)?;
+                    continue;
+                }
                 buf.set_len(header.payload_len as usize)?;
                 self.bytes_received
                     .fetch_add(header.payload_len as u64, Ordering::Relaxed);
@@ -678,6 +697,7 @@ impl ReceiveEndpoint for WrRcReceiveEndpoint {
                 return Ok(Some(Delivery {
                     state: header.state,
                     src: EndpointId(header.src),
+                    src_tid: header.src_tid,
                     remote: offset,
                     local: buf,
                 }));

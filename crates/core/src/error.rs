@@ -34,6 +34,17 @@ pub enum ShuffleError {
     Corrupt(String),
     /// The operator or endpoint was misconfigured.
     Config(String),
+    /// The recovery orchestrator exhausted a node's per-flow retry
+    /// budget: every reconnect attempt within the budget found the
+    /// fabric still broken. The caller must either degrade to a
+    /// sturdier configuration or give the query up — retrying further
+    /// is pointless.
+    RetryBudgetExhausted {
+        /// The node whose queue pairs kept failing.
+        node: usize,
+        /// Reconnect attempts made before giving up.
+        attempts: u32,
+    },
     /// The query's registered-memory requirement can never fit the
     /// scheduler's per-node budget, even running alone — admitting it
     /// would hang forever, so it is rejected up front.
@@ -64,6 +75,11 @@ impl fmt::Display for ShuffleError {
             ShuffleError::CompletionError(what) => write!(f, "completion error: {what}"),
             ShuffleError::Corrupt(what) => write!(f, "protocol state corrupt: {what}"),
             ShuffleError::Config(msg) => write!(f, "configuration error: {msg}"),
+            ShuffleError::RetryBudgetExhausted { node, attempts } => write!(
+                f,
+                "retry budget exhausted: node {node} still unreachable after \
+                 {attempts} reconnect attempts"
+            ),
             ShuffleError::BudgetImpossible {
                 node,
                 required,

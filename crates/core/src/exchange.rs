@@ -76,6 +76,12 @@ pub struct ExchangeConfig {
     /// (endpoint ids are the wire-level addressing scheme, §4.2); the
     /// scheduler derives a base from the query id.
     pub endpoint_id_base: u32,
+    /// Flow epoch stamped on every wire header this exchange's endpoints
+    /// emit, and required of every accepted arrival. The recovery
+    /// orchestrator bumps this per partial-retry attempt so leftovers of
+    /// a fenced-off attempt are discarded at the transport; healthy runs
+    /// stay at 0 and are byte-identical to the pre-recovery wire format.
+    pub epoch: u16,
     /// Transmission groups of each node.
     pub groups: Vec<TransmissionGroups>,
 }
@@ -128,6 +134,7 @@ impl ExchangeConfig {
             faults: FaultConfig::default(),
             flow: FlowId::NONE,
             endpoint_id_base: 0,
+            epoch: 0,
             groups,
         }
     }
@@ -160,6 +167,7 @@ impl ExchangeConfig {
             recv_depth_per_peer: self.recv_depth_per_peer * scale,
             credit_writeback_frequency: self.credit_writeback_frequency,
             stall_timeout: self.stall_timeout,
+            epoch: self.epoch,
             ..SrRcConfig::default()
         }
     }
@@ -169,6 +177,7 @@ impl ExchangeConfig {
             message_size: self.message_size,
             buffers_per_peer: self.buffers_per_peer * self.pool_scale(),
             stall_timeout: self.stall_timeout,
+            epoch: self.epoch,
             ..RdRcConfig::default()
         }
     }
@@ -178,6 +187,7 @@ impl ExchangeConfig {
             message_size: self.message_size,
             buffers_per_peer: self.buffers_per_peer * self.pool_scale(),
             stall_timeout: self.stall_timeout,
+            epoch: self.epoch,
             ..WrRcConfig::default()
         }
     }
@@ -201,6 +211,7 @@ impl ExchangeConfig {
             native_multicast: self.ud_native_multicast,
             stall_timeout: self.stall_timeout,
             depleted_timeout: self.depleted_timeout,
+            epoch: self.epoch,
             ..SrUdConfig::default()
         }
     }

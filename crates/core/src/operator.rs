@@ -169,6 +169,11 @@ pub struct ShuffleOperator {
     /// Depleted on it (Algorithm 1 lines 14–17; with one lane this is the
     /// paper's "last thread" rule).
     lane_remaining: Vec<AtomicUsize>,
+    /// Rows to silently drop per `(tid, group)` before transmitting again:
+    /// the recovery orchestrator seeds this with the receivers' delivered
+    /// watermarks so a partial retry does not resend rows that already
+    /// arrived. All zeros (no skipping) on a fresh run.
+    resume_skip: Vec<Mutex<Vec<u64>>>,
     threads: usize,
     cost: CostModel,
 }
@@ -230,6 +235,9 @@ impl ShuffleOperator {
                 .map(|_| Mutex::new(vec![None; n_groups]))
                 .collect(),
             lane_remaining,
+            resume_skip: (0..threads)
+                .map(|_| Mutex::new(vec![0; n_groups]))
+                .collect(),
             threads,
             cost,
         }
@@ -238,6 +246,25 @@ impl ShuffleOperator {
     /// Replaces the partition hash function.
     pub fn with_hash(mut self, hash: impl Fn(&[u8]) -> u64 + Send + Sync + 'static) -> Self {
         self.hash = Arc::new(hash);
+        self
+    }
+
+    /// Seeds per-`(tid, group)` resume skips: worker `tid` silently drops
+    /// its first `skip[tid][group]` rows hashing to `group` instead of
+    /// transmitting them. Because the child replays rows in the same order
+    /// and the partition hash is deterministic, this fast-forwards a
+    /// retried flow past everything the receivers already consumed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `skip` is not `threads x groups`.
+    pub fn with_resume_skip(self, skip: Vec<Vec<u64>>) -> Self {
+        assert_eq!(skip.len(), self.threads, "need one skip row per thread");
+        for (tid, per_group) in skip.into_iter().enumerate() {
+            let mut slot = self.resume_skip[tid].lock();
+            assert_eq!(per_group.len(), slot.len(), "need one skip per group");
+            *slot = per_group;
+        }
         self
     }
 
@@ -259,16 +286,28 @@ impl Operator for ShuffleOperator {
             }
             for row in batch.iter() {
                 let dest = ((self.hash)(row) % self.groups.len() as u64) as usize;
+                {
+                    let mut skip = self.resume_skip[tid].lock();
+                    if skip[dest] > 0 {
+                        skip[dest] -= 1;
+                        continue;
+                    }
+                }
                 // Take the current buffer out of the slot (so `send`/
                 // `get_free` are not called under the outbuf lock).
                 let cur = self.outbuf[tid].lock()[dest].take();
                 let mut cur = match cur {
                     Some(b) => b,
-                    None => target.get_free(sim)?,
+                    None => {
+                        let mut b = target.get_free(sim)?;
+                        b.set_tag(tid as u16);
+                        b
+                    }
                 };
                 if cur.remaining() < row.len() {
                     target.send(sim, cur, self.groups.group(dest), StreamState::MoreData)?;
                     cur = target.get_free(sim)?;
+                    cur.set_tag(tid as u16);
                 }
                 cur.push(row)?;
                 self.outbuf[tid].lock()[dest] = Some(cur);
@@ -292,7 +331,8 @@ impl Operator for ShuffleOperator {
         let _ = self.mode;
         if last {
             for d in self.groups.destinations() {
-                let buf = target.get_free(sim)?;
+                let mut buf = target.get_free(sim)?;
+                buf.set_tag(tid as u16);
                 target.send(sim, buf, &[d], StreamState::Depleted)?;
             }
         }

@@ -116,8 +116,20 @@ mod tests {
         Cluster::new(1, DeviceProfile::edr())
     }
 
+    /// Little-endian u64 at `row[at..at + 8]`.
+    fn le_u64(row: &[u8], at: usize) -> u64 {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&row[at..at + 8]);
+        u64::from_le_bytes(b)
+    }
+
+    /// Little-endian i64 at `row[at..at + 8]`.
+    fn le_i64(row: &[u8], at: usize) -> i64 {
+        le_u64(row, at) as i64
+    }
+
     fn key(row: &[u8]) -> u64 {
-        u64::from_le_bytes(row[0..8].try_into().expect("8 bytes"))
+        le_u64(row, 0)
     }
 
     #[test]
@@ -170,7 +182,7 @@ mod tests {
             for row in batch.iter() {
                 seen2
                     .lock()
-                    .push(u64::from_le_bytes(row.try_into().unwrap()));
+                    .push(le_u64(row, 0));
             }
         });
         c.run();
@@ -320,13 +332,13 @@ mod tests {
             |row| {
                 let mut acc = row[0..8].to_vec();
                 acc.extend_from_slice(
-                    &u64::from_le_bytes(row[8..16].try_into().unwrap()).to_le_bytes(),
+                    &le_u64(row, 8).to_le_bytes(),
                 );
                 acc
             },
             |acc, row| {
-                let cur = u64::from_le_bytes(acc[8..16].try_into().unwrap());
-                let add = u64::from_le_bytes(row[8..16].try_into().unwrap());
+                let cur = le_u64(acc, 8);
+                let add = le_u64(row, 8);
                 acc[8..16].copy_from_slice(&(cur + add).to_le_bytes());
             },
             16,
@@ -338,8 +350,8 @@ mod tests {
         let stats = drive_to_sink(&c, 0, "agg", agg, 2, move |_, batch| {
             for row in batch.iter() {
                 g2.lock().push((
-                    u64::from_le_bytes(row[0..8].try_into().unwrap()),
-                    u64::from_le_bytes(row[8..16].try_into().unwrap()),
+                    le_u64(row, 0),
+                    le_u64(row, 8),
                 ));
             }
         });
@@ -449,7 +461,7 @@ mod tests {
         let top = Arc::new(TopN::new(
             c.kernel(),
             scan,
-            |row| i64::from_le_bytes(row[0..8].try_into().unwrap()),
+            |row| le_i64(row, 0),
             10,
             3,
             SimDuration::from_nanos(2),
@@ -460,7 +472,7 @@ mod tests {
             for row in batch.iter() {
                 rows2
                     .lock()
-                    .push(i64::from_le_bytes(row[0..8].try_into().unwrap()));
+                    .push(le_i64(row, 0));
             }
         });
         c.run();

@@ -21,11 +21,15 @@
 
 pub mod exec;
 pub mod ops;
+pub mod recovery;
 pub mod restart;
 pub mod table;
 pub mod workload;
 
 pub use exec::{drive_to_sink, FragmentStats};
+pub use recovery::{
+    degrade, run_shuffle_with_recovery, BackoffSchedule, RecoveryPolicy, RecoveryReport,
+};
 pub use restart::{
     run_shuffle_with_restart, run_shuffle_with_restart_hooks, AttemptEnd, AttemptHooks,
     QueryReport, RestartPolicy,

@@ -84,7 +84,7 @@ impl QueryReport {
 /// identically; everything else (message loss, stalls, completion
 /// errors, verbs failures) is transient fabric state that a rebuilt
 /// exchange escapes.
-fn restartable(e: &ShuffleError) -> bool {
+pub(crate) fn restartable(e: &ShuffleError) -> bool {
     !matches!(
         e,
         ShuffleError::Config(_) | ShuffleError::BudgetImpossible { .. }
@@ -136,7 +136,7 @@ impl Default for AttemptHooks {
 
 /// Per-worker result of one attempt: rows and bytes delivered to the
 /// sink, or the error that ended the worker.
-type WorkerResult = Result<(u64, u64), ShuffleError>;
+pub(crate) type WorkerResult = Result<(u64, u64), ShuffleError>;
 
 /// Shared factory producing the source operator for an (attempt, node).
 type SourceFactory = Arc<dyn Fn(u32, NodeId) -> Arc<dyn Operator> + Send + Sync>;
@@ -207,7 +207,8 @@ pub fn run_shuffle_with_restart_hooks(
             .counter(names::ENGINE_RECOVERY_NS, Labels::node(0));
         let mut rep = QueryReport::default();
         let mut first_failure = None;
-        let mut backoff = policy.initial_backoff;
+        let mut backoff =
+            crate::recovery::BackoffSchedule::new(policy.initial_backoff, policy.max_backoff);
         loop {
             let attempt = rep.restarts;
             // Admission (may block in virtual time); a hook error fails
@@ -298,8 +299,7 @@ pub fn run_shuffle_with_restart_hooks(
                         EventKind::QueryRestart,
                         rep.restarts as u64,
                     );
-                    sim.sleep(backoff);
-                    backoff = (backoff * 2).min(policy.max_backoff);
+                    sim.sleep(backoff.next());
                 }
             }
         }
@@ -369,7 +369,7 @@ fn spawn_attempt(
 
 /// One worker: pumps `op` with `tid` until depletion or error, streaming
 /// non-empty batches to `deliver`, then reports through `done`.
-fn spawn_worker(
+pub(crate) fn spawn_worker(
     cluster: &rshuffle_simnet::Cluster,
     node: NodeId,
     name: &str,

@@ -154,10 +154,12 @@ pub fn run_workload(
             let obs = runtime.obs().clone();
             Box::new(
                 move |sim: &rshuffle_simnet::SimContext, _attempt: u32, end: &AttemptEnd<'_>| {
-                    let adm = slot
-                        .lock()
-                        .take()
-                        .expect("after_attempt without matching admission");
+                    // `before_attempt` always runs first and fills the
+                    // slot; a missing admission would mean the attempt
+                    // never started, so there is nothing to release.
+                    let Some(adm) = slot.lock().take() else {
+                        return;
+                    };
                     let outcome = match end {
                         AttemptEnd::Success => ReleaseOutcome::Completed,
                         AttemptEnd::Retry(_) => ReleaseOutcome::Requeued,
@@ -263,7 +265,8 @@ mod tests {
             let mut config = ExchangeConfig::repartition(algorithm, nodes, 2);
             config.message_size = 4096;
             let runtime = config.build_runtime(DeviceProfile::edr());
-            let exchange = rshuffle::Exchange::build(&runtime, &config).unwrap();
+            let exchange = rshuffle::Exchange::build(&runtime, &config)
+                .unwrap_or_else(|e| panic!("{algorithm}: Exchange::build failed: {e}"));
             for node in 0..nodes {
                 assert_eq!(
                     config.registered_bytes_estimate(runtime.profile(), node),

@@ -131,6 +131,24 @@ pub mod names {
     pub const STAGE_CQ_WAIT_NS: &str = "stage.cq_wait_ns";
     /// End-to-end query latency observed by the engine, ns.
     pub const ENGINE_QUERY_LATENCY_NS: &str = "engine.query_latency_ns";
+    /// Stale-epoch arrivals dropped by a receive endpoint
+    /// `{node,endpoint}`: leftovers of a failed flow attempt, fenced by
+    /// the header epoch so a retry delivers exactly once.
+    pub const EP_STALE_EPOCH_DROPS: &str = "endpoint.stale_epoch_drops";
+    /// Per-flow partial retries performed by the recovery orchestrator
+    /// `{node}` (epoch bump + replay, no global restart).
+    pub const ENGINE_PARTIAL_RETRIES: &str = "engine.partial_retries";
+    /// QP reconnect attempts performed during recovery `{node}`.
+    pub const ENGINE_QP_RECONNECTS: &str = "engine.qp_reconnects";
+    /// Mid-query degradations to a sturdier shuffle configuration
+    /// `{node}` (e.g. zero-copy Read → copy-based Send/Receive).
+    pub const ENGINE_DEGRADED: &str = "engine.degraded";
+    /// Payload bytes redelivered during recovery that produced no new
+    /// user-visible rows `{node}` (the waste a partial retry contains).
+    pub const ENGINE_REDONE_BYTES: &str = "engine.redone_bytes";
+    /// Payload bytes whose rows survived from failed attempts `{node}`
+    /// (work a full restart would have thrown away).
+    pub const ENGINE_KEPT_BYTES: &str = "engine.kept_bytes";
 }
 
 /// One shared observability context: the metrics registry plus the

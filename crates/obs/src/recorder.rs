@@ -81,6 +81,18 @@ pub enum EventKind {
     /// A scheduled query completed and released its slot, memory and
     /// flow weight (`arg` = query id).
     QueryCompleted,
+    /// The recovery orchestrator re-established a failed queue pair
+    /// (`arg` = reconnect attempt number, starting at 1).
+    QpReconnect,
+    /// A partially-retried flow resumed past its delivered watermark
+    /// (`arg` = the flow's new epoch).
+    FlowResumed,
+    /// The orchestrator began a per-flow partial retry (`arg` = the
+    /// attempt's epoch).
+    PartialRetry,
+    /// The query degraded mid-run to a sturdier shuffle configuration
+    /// (`arg` = the new configuration's algorithm code).
+    QueryDegraded,
 }
 
 impl EventKind {
@@ -110,6 +122,10 @@ impl EventKind {
             EventKind::QueryAdmitted => "query_admitted",
             EventKind::QueryDeferred => "query_deferred",
             EventKind::QueryCompleted => "query_completed",
+            EventKind::QpReconnect => "qp_reconnect",
+            EventKind::FlowResumed => "flow_resumed",
+            EventKind::PartialRetry => "partial_retry",
+            EventKind::QueryDegraded => "query_degraded",
         }
     }
 }

@@ -597,6 +597,48 @@ mod tests {
     }
 
     #[test]
+    fn requeued_admission_keeps_budget_exact_across_reconnect_cycles() {
+        // The recovery orchestrator re-admits a query once per rebuild
+        // (partial retry, degradation rung, or full restart), releasing
+        // the attempt as Requeued in between. Each cycle must return the
+        // previous reservation before taking the next, so the per-node
+        // budget never double-counts a reconnecting query and the peak
+        // stays at a single admission's worth.
+        let rt = runtime(2);
+        let sched = Scheduler::new(
+            &rt,
+            SchedulerConfig {
+                mem_budget_per_node: Some(1000),
+                ..SchedulerConfig::default()
+            },
+        );
+        let s2 = sched.clone();
+        rt.cluster().spawn(0, "recovering-query", move |sim| {
+            for cycle in 0..4 {
+                let adm = s2.admit(&sim, &req(9, vec![700, 700])).unwrap();
+                assert_eq!(s2.reserved_bytes(0), 700, "cycle {cycle}");
+                assert_eq!(s2.reserved_bytes(1), 700, "cycle {cycle}");
+                s2.release(&sim, adm, ReleaseOutcome::Requeued);
+                assert_eq!(
+                    s2.reserved_bytes(0),
+                    0,
+                    "cycle {cycle}: budget returned between attempts"
+                );
+            }
+            let adm = s2.admit(&sim, &req(9, vec![700, 700])).unwrap();
+            s2.release(&sim, adm, ReleaseOutcome::Completed);
+        });
+        rt.cluster().run();
+        assert_eq!(sched.reserved_bytes(0), 0);
+        assert_eq!(sched.reserved_bytes(1), 0);
+        assert_eq!(
+            sched.reserved_bytes_peak(0),
+            700,
+            "reconnect cycles must not double-count the budget"
+        );
+    }
+
+    #[test]
     fn release_deregisters_the_querys_memory() {
         let rt = runtime(1);
         let sched = Scheduler::new(&rt, SchedulerConfig::default());

@@ -38,6 +38,25 @@ impl ConnectionManager {
         Ok(())
     }
 
+    /// Tears an RC QP down (any state → RESET, discarding queued work)
+    /// and re-establishes it to `peer`, charging the full per-QP
+    /// connection cost again. This is the recovery path after a QP
+    /// failure: the peer side must run the same call with this QP's
+    /// address handle before traffic can flow.
+    pub fn reconnect_rc(sim: &SimContext, qp: &QueuePair, peer: AddressHandle) -> Result<()> {
+        debug_assert_eq!(qp.qp_type(), QpType::Rc);
+        qp.reset()?;
+        Self::connect_rc(sim, qp, peer)
+    }
+
+    /// Tears a UD QP down and brings it back to RTS, charging the UD
+    /// setup cost again (recovery path for a killed shared QP).
+    pub fn resetup_ud(sim: &SimContext, qp: &QueuePair) -> Result<()> {
+        debug_assert_eq!(qp.qp_type(), QpType::Ud);
+        qp.reset()?;
+        Self::setup_ud(sim, qp)
+    }
+
     /// Brings a UD QP from RESET to RTS, charging the UD setup cost
     /// (creation plus address-handle exchange).
     pub fn setup_ud(sim: &SimContext, qp: &QueuePair) -> Result<()> {

@@ -17,7 +17,18 @@
 //! virtual clock — two runs with the same plan and seed are
 //! byte-identical.
 
+use std::fmt;
+
 use rshuffle_simnet::{NodeId, SimDuration};
+
+/// Which Queue Pairs a [`FaultEvent::QpFailureWindow`] kills.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QpScope {
+    /// Only Reliable Connection QPs fail (links stay up for UD traffic).
+    Rc,
+    /// Every QP on the node fails, regardless of transport service.
+    All,
+}
 
 /// One scheduled failure, anchored `at` virtual time after simulation
 /// start. Window faults end `duration` later.
@@ -93,6 +104,23 @@ pub enum FaultEvent {
         /// Virtual-time offset of the failure.
         at: SimDuration,
     },
+    /// A *persistent* QP fault: every in-scope QP on `node` fails at
+    /// `at`, and any QP used on the node while the window is open is
+    /// forced into the error state on first touch. Unlike the one-shot
+    /// [`FaultEvent::QpFailure`], reconnect attempts inside the window
+    /// keep failing — the fault models a broken HCA port rather than a
+    /// transient glitch, and is what drives retry budgets and algorithm
+    /// degradation in the recovery layer.
+    QpFailureWindow {
+        /// Node whose QPs fail.
+        node: NodeId,
+        /// Virtual-time offset of the failure window.
+        at: SimDuration,
+        /// How long newly-used QPs keep failing.
+        duration: SimDuration,
+        /// Which transport services the failure covers.
+        scope: QpScope,
+    },
 }
 
 impl FaultEvent {
@@ -104,7 +132,8 @@ impl FaultEvent {
             | FaultEvent::UdLossBurst { node, .. }
             | FaultEvent::Straggler { node, .. }
             | FaultEvent::ReceiverPause { node, .. }
-            | FaultEvent::QpFailure { node, .. } => node,
+            | FaultEvent::QpFailure { node, .. }
+            | FaultEvent::QpFailureWindow { node, .. } => node,
         }
     }
 
@@ -116,7 +145,8 @@ impl FaultEvent {
             | FaultEvent::UdLossBurst { at, .. }
             | FaultEvent::Straggler { at, .. }
             | FaultEvent::ReceiverPause { at, .. }
-            | FaultEvent::QpFailure { at, .. } => at,
+            | FaultEvent::QpFailure { at, .. }
+            | FaultEvent::QpFailureWindow { at, .. } => at,
         }
     }
 
@@ -130,6 +160,7 @@ impl FaultEvent {
             FaultEvent::Straggler { .. } => 4,
             FaultEvent::ReceiverPause { .. } => 5,
             FaultEvent::QpFailure { .. } => 6,
+            FaultEvent::QpFailureWindow { .. } => 7,
         }
     }
 
@@ -137,6 +168,82 @@ impl FaultEvent {
     /// the low word.
     pub fn obs_arg(&self) -> u64 {
         (self.code() << 32) | self.node() as u64
+    }
+}
+
+impl fmt::Display for FaultEvent {
+    /// Human-readable one-line form, used by the chaos bench table and
+    /// `diag` instead of the numeric [`FaultEvent::code`].
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let us = |d: SimDuration| d.as_nanos() as f64 / 1_000.0;
+        match *self {
+            FaultEvent::LinkFlap { node, at, duration } => write!(
+                f,
+                "link-flap(node {node} @ {:.0}µs for {:.0}µs)",
+                us(at),
+                us(duration)
+            ),
+            FaultEvent::LinkDegrade {
+                node,
+                at,
+                duration,
+                bandwidth_factor,
+                extra_latency,
+            } => write!(
+                f,
+                "link-degrade(node {node} @ {:.0}µs for {:.0}µs, {:.0}% bw, +{:.1}µs)",
+                us(at),
+                us(duration),
+                bandwidth_factor * 100.0,
+                us(extra_latency)
+            ),
+            FaultEvent::UdLossBurst {
+                node,
+                at,
+                duration,
+                drop_probability,
+            } => write!(
+                f,
+                "ud-loss-burst(node {node} @ {:.0}µs for {:.0}µs, p={drop_probability})",
+                us(at),
+                us(duration)
+            ),
+            FaultEvent::Straggler {
+                node,
+                at,
+                duration,
+                slowdown,
+            } => write!(
+                f,
+                "straggler(node {node} @ {:.0}µs for {:.0}µs, {slowdown}x)",
+                us(at),
+                us(duration)
+            ),
+            FaultEvent::ReceiverPause { node, at, duration } => write!(
+                f,
+                "receiver-pause(node {node} @ {:.0}µs for {:.0}µs)",
+                us(at),
+                us(duration)
+            ),
+            FaultEvent::QpFailure { node, at } => {
+                write!(f, "qp-failure(node {node} @ {:.0}µs)", us(at))
+            }
+            FaultEvent::QpFailureWindow {
+                node,
+                at,
+                duration,
+                scope,
+            } => write!(
+                f,
+                "qp-failure-window(node {node} @ {:.0}µs for {:.0}µs, {})",
+                us(at),
+                us(duration),
+                match scope {
+                    QpScope::Rc => "rc",
+                    QpScope::All => "all",
+                }
+            ),
+        }
     }
 }
 
@@ -229,6 +336,23 @@ impl FaultPlan {
     pub fn qp_failure(self, node: NodeId, at: SimDuration) -> Self {
         self.with(FaultEvent::QpFailure { node, at })
     }
+
+    /// Adds a persistent QP failure window on `node`: in-scope QPs fail
+    /// at `at` and any QP used during the window fails on first touch.
+    pub fn qp_failure_window(
+        self,
+        node: NodeId,
+        at: SimDuration,
+        duration: SimDuration,
+        scope: QpScope,
+    ) -> Self {
+        self.with(FaultEvent::QpFailureWindow {
+            node,
+            at,
+            duration,
+            scope,
+        })
+    }
 }
 
 /// A `[start, end)` window with a payload, consulted by delivery paths.
@@ -261,6 +385,42 @@ mod tests {
         assert_eq!(plan.events[1].code(), 6);
         assert_eq!(plan.events[1].obs_arg(), (6 << 32) | 1);
         assert!(FaultPlan::new().is_empty());
+    }
+
+    #[test]
+    fn qp_failure_window_event_shape() {
+        let plan = FaultPlan::new().qp_failure_window(
+            2,
+            SimDuration::from_micros(30),
+            SimDuration::from_micros(100),
+            QpScope::Rc,
+        );
+        assert_eq!(plan.events[0].node(), 2);
+        assert_eq!(plan.events[0].at(), SimDuration::from_micros(30));
+        assert_eq!(plan.events[0].code(), 7);
+        assert_eq!(plan.events[0].obs_arg(), (7 << 32) | 2);
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        let e = FaultEvent::QpFailureWindow {
+            node: 1,
+            at: SimDuration::from_micros(20),
+            duration: SimDuration::from_micros(150),
+            scope: QpScope::All,
+        };
+        assert_eq!(e.to_string(), "qp-failure-window(node 1 @ 20µs for 150µs, all)");
+        let e = FaultEvent::QpFailure {
+            node: 0,
+            at: SimDuration::from_micros(5),
+        };
+        assert_eq!(e.to_string(), "qp-failure(node 0 @ 5µs)");
+        let e = FaultEvent::LinkFlap {
+            node: 3,
+            at: SimDuration::from_micros(10),
+            duration: SimDuration::from_micros(40),
+        };
+        assert_eq!(e.to_string(), "link-flap(node 3 @ 10µs for 40µs)");
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub mod types;
 pub use cm::ConnectionManager;
 pub use cq::{Completion, CompletionQueue, WcOpcode, WcStatus};
 pub use error::{Result, VerbsError};
-pub use fault::{FaultEvent, FaultPlan};
+pub use fault::{FaultEvent, FaultPlan, QpScope};
 pub use mr::{MemoryRegion, RemoteAddr};
 pub use qp::{AddressHandle, QueuePair, RecvWr, SendWr};
 pub use runtime::{Context, FaultConfig, VerbsRuntime};

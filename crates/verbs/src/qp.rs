@@ -256,6 +256,32 @@ impl QueuePair {
         Ok(())
     }
 
+    /// Any state → RESET (`ibv_modify_qp` to `IBV_QPS_RESET`): the
+    /// recovery path for a QP that entered the error state. Pending
+    /// receives are discarded *without* flushing completions (real
+    /// hardware flushed them when the QP erred; a reconnecting endpoint
+    /// reposts its pool), the peer binding is cleared and the delivery
+    /// clock rewinds so the re-established connection starts fresh.
+    pub fn reset(&self) -> Result<()> {
+        let from = {
+            let mut st = self.inner.state.lock();
+            let from = *st;
+            *st = QpState::Reset;
+            from
+        };
+        self.inner.recv_queue.lock().clear();
+        *self.inner.peer.lock() = None;
+        *self.inner.last_delivery.lock() = SimTime::ZERO;
+        self.runtime.rt_obs.obs.recorder.event(
+            self.inner.node as u32,
+            HW_TRACK,
+            self.runtime.kernel().now().as_nanos(),
+            EventKind::QpTransition,
+            ((self.inner.qpn.0 as u64) << 16) | ((from as u64) << 8) | QpState::Reset as u64,
+        );
+        Ok(())
+    }
+
     /// Binds this RC QP to its (single) remote peer. Must happen in INIT,
     /// before RTR.
     pub fn connect(&self, peer: AddressHandle) -> Result<()> {
@@ -768,6 +794,10 @@ impl QueuePair {
     }
 
     fn check_sendable(&self, op: &'static str) -> Result<()> {
+        // Lazy persistent-fault enforcement: a QP (re)built inside an open
+        // kill window dies on first use, so reconnects cannot outrun the
+        // fault (the recovery layer's retry budget sees every failure).
+        self.runtime.enforce_kill_window(&self.inner);
         let st = *self.inner.state.lock();
         if st != QpState::ReadyToSend {
             return Err(VerbsError::InvalidState {
@@ -854,6 +884,10 @@ fn deliver_send(
         observe_unmatched(&runtime, dest.node, now);
         return;
     };
+    // Lazy persistent-fault enforcement at the receiver: a target QP
+    // inside an open kill window is forced into the error state before
+    // the delivery is matched (see `check_sendable`).
+    runtime.enforce_kill_window(&qp);
     let st = *qp.state.lock();
     if st == QpState::Error {
         // Target QP was killed (fault injection): an RC sender gets its

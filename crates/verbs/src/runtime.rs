@@ -6,7 +6,7 @@
 //! `ibv_context`): it creates completion queues, registers memory and
 //! creates Queue Pairs.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
@@ -18,7 +18,7 @@ use rshuffle_obs::{names, Counter, EventKind, HistogramId, Labels, Obs, HW_TRACK
 use rshuffle_simnet::{Cluster, DeviceProfile, FlowId, Kernel, NicModel, SimContext, SimDuration};
 
 use crate::cq::CompletionQueue;
-use crate::fault::{FaultEvent, FaultPlan, Window};
+use crate::fault::{FaultEvent, FaultPlan, QpScope, Window};
 use crate::mr::MemoryRegion;
 use crate::qp::{QpInner, QueuePair};
 use crate::types::{QpNum, QpType};
@@ -139,6 +139,13 @@ pub struct VerbsRuntime {
     ud_loss_windows: Vec<(Window, f64)>,
     /// Receiver-pause windows from the fault plan.
     recv_pause_windows: Vec<Window>,
+    /// Persistent QP-failure windows: any in-scope QP used on the window's
+    /// node while it is open is forced into the error state on first touch.
+    qp_kill_windows: Vec<(Window, QpScope)>,
+    /// Nodes whose QPs have been killed by fault injection since the last
+    /// [`VerbsRuntime::clear_failed_qp_nodes`]; the recovery layer reads
+    /// this to classify errors as QP-shaped (reconnectable) or not.
+    failed_qp_nodes: Mutex<BTreeSet<NodeId>>,
     /// The installed protocol auditor, if any (see `enable_audit`).
     auditor: Mutex<Option<Arc<ShuffleAuditor>>>,
 }
@@ -158,6 +165,7 @@ impl VerbsRuntime {
         let rt_obs = RtObs::new(cluster.obs().clone(), nodes);
         let mut ud_loss_windows = Vec::new();
         let mut recv_pause_windows = Vec::new();
+        let mut qp_kill_windows = Vec::new();
         for ev in &faults.plan.events {
             match *ev {
                 FaultEvent::UdLossBurst {
@@ -180,6 +188,19 @@ impl VerbsRuntime {
                         end: at + duration,
                     });
                 }
+                FaultEvent::QpFailureWindow {
+                    node,
+                    at,
+                    duration,
+                    scope,
+                } => qp_kill_windows.push((
+                    Window {
+                        node,
+                        start: at,
+                        end: at + duration,
+                    },
+                    scope,
+                )),
                 _ => {}
             }
         }
@@ -197,6 +218,8 @@ impl VerbsRuntime {
             registered_peak: Mutex::new(vec![0; nodes]),
             ud_loss_windows,
             recv_pause_windows,
+            qp_kill_windows,
+            failed_qp_nodes: Mutex::new(BTreeSet::new()),
             auditor: Mutex::new(None),
         });
         rt.install_fault_plan();
@@ -242,7 +265,8 @@ impl VerbsRuntime {
                 | FaultEvent::LinkDegrade { at, duration, .. }
                 | FaultEvent::UdLossBurst { at, duration, .. }
                 | FaultEvent::Straggler { at, duration, .. }
-                | FaultEvent::ReceiverPause { at, duration, .. } => Some(at + duration),
+                | FaultEvent::ReceiverPause { at, duration, .. }
+                | FaultEvent::QpFailureWindow { at, duration, .. } => Some(at + duration),
             };
             if let Some(end) = end_at {
                 let obs = obs.clone();
@@ -309,6 +333,19 @@ impl VerbsRuntime {
                         }
                     });
                 }
+                FaultEvent::QpFailureWindow {
+                    node, at, scope, ..
+                } => {
+                    // Kill existing in-scope QPs at the window start; QPs
+                    // created (or reconnected) later are caught lazily by
+                    // the hot paths consulting `qp_kill_windows`.
+                    let rt = Arc::downgrade(self);
+                    kernel.schedule(origin + at, move || {
+                        if let Some(rt) = rt.upgrade() {
+                            rt.fail_qps(node, scope);
+                        }
+                    });
+                }
                 // Window faults: the hot paths consult the precomputed
                 // windows; nothing to mutate.
                 FaultEvent::UdLossBurst { .. } | FaultEvent::ReceiverPause { .. } => {}
@@ -322,6 +359,13 @@ impl VerbsRuntime {
     /// these QPs complete in error at the sender. Iteration is sorted by
     /// QP number so same-seed runs stay byte-identical.
     pub fn fail_rc_qps(&self, node: NodeId) {
+        self.fail_qps(node, QpScope::Rc);
+    }
+
+    /// Forces every in-scope QP on `node` into the error state (see
+    /// [`VerbsRuntime::fail_rc_qps`]) and records the node as QP-failed
+    /// for the recovery layer's error classification.
+    pub fn fail_qps(&self, node: NodeId, scope: QpScope) {
         let now_ns = self.kernel().now().as_nanos();
         let targets: Vec<Arc<QpInner>> = {
             let qps = self.qps.lock();
@@ -335,8 +379,10 @@ impl VerbsRuntime {
                 .filter_map(|&qpn| qps.get(&(node, qpn)).cloned())
                 .collect()
         };
+        self.failed_qp_nodes.lock().insert(node);
         for qp in targets {
-            if qp.ty == QpType::Rc && qp.force_error() {
+            let in_scope = scope == QpScope::All || qp.ty == QpType::Rc;
+            if in_scope && qp.force_error() {
                 self.rt_obs.obs.recorder.event(
                     node as u32,
                     HW_TRACK,
@@ -346,6 +392,54 @@ impl VerbsRuntime {
                 );
             }
         }
+    }
+
+    /// Whether a QP of type `ty` on `node` is inside an open persistent
+    /// QP-failure window at virtual time `now_ns`.
+    pub(crate) fn in_kill_window(&self, node: NodeId, now_ns: u64, ty: QpType) -> bool {
+        self.qp_kill_windows.iter().any(|(w, scope)| {
+            w.contains(node, now_ns) && (*scope == QpScope::All || ty == QpType::Rc)
+        })
+    }
+
+    /// Lazily enforces an open QP-failure window on `qp`: if its node is
+    /// inside a matching window, the QP is forced into the error state
+    /// (emitting a `qp_killed` event) and the node is recorded as failed.
+    /// Returns whether the QP was (or already is) dead because of a
+    /// window. Called from the send and delivery hot paths so QPs built
+    /// *after* the window opened — e.g. by a reconnect attempt — still
+    /// fail while the fault persists.
+    pub(crate) fn enforce_kill_window(&self, qp: &Arc<QpInner>) -> bool {
+        if self.qp_kill_windows.is_empty() {
+            return false;
+        }
+        let now_ns = self.kernel().now().as_nanos();
+        if !self.in_kill_window(qp.node, now_ns, qp.ty) {
+            return false;
+        }
+        self.failed_qp_nodes.lock().insert(qp.node);
+        if qp.force_error() {
+            self.rt_obs.obs.recorder.event(
+                qp.node as u32,
+                HW_TRACK,
+                now_ns,
+                EventKind::QpKilled,
+                qp.qpn.0 as u64,
+            );
+        }
+        true
+    }
+
+    /// Nodes whose QPs were killed by fault injection since the last
+    /// [`VerbsRuntime::clear_failed_qp_nodes`], in ascending order.
+    pub fn failed_qp_nodes(&self) -> Vec<NodeId> {
+        self.failed_qp_nodes.lock().iter().copied().collect()
+    }
+
+    /// Clears the failed-QP-node set (called by the recovery layer after
+    /// it has classified and handled an attempt's failure).
+    pub fn clear_failed_qp_nodes(&self) {
+        self.failed_qp_nodes.lock().clear();
     }
 
     /// Whether `node` is inside a receiver-pause window at virtual time

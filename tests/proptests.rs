@@ -1,6 +1,7 @@
 //! Property-based tests over the core data structures and invariants.
 
 use proptest::prelude::*;
+use rshuffle_repro::engine::BackoffSchedule;
 use rshuffle_repro::rshuffle::{
     default_partition_hash, MsgHeader, MsgKind, RowBatch, StreamState, TransmissionGroups,
     HEADER_LEN,
@@ -18,6 +19,8 @@ proptest! {
         payload_len in any::<u32>(),
         counter in any::<u64>(),
         remote_addr in any::<u64>(),
+        epoch in any::<u16>(),
+        src_tid in any::<u16>(),
     ) {
         let header = MsgHeader {
             src,
@@ -26,6 +29,8 @@ proptest! {
             payload_len,
             counter,
             remote_addr,
+            epoch,
+            src_tid,
         };
         let mut bytes = [0u8; HEADER_LEN];
         header.encode(&mut bytes);
@@ -57,6 +62,8 @@ proptest! {
             payload_len: u32::MAX - payload_delta,
             counter: u64::MAX - counter_delta,
             remote_addr: u64::MAX,
+            epoch: u16::MAX,
+            src_tid: u16::MAX,
         };
         let mut bytes = vec![0u8; HEADER_LEN + tail];
         header.encode(&mut bytes);
@@ -616,6 +623,99 @@ proptest! {
             received == sent,
             lost == 0,
             "message counting must detect exactly the dropped datagrams"
+        );
+    }
+}
+
+proptest! {
+    /// The recovery layer's reconnect/restart backoff: delays start at
+    /// `initial`, double each step, never exceed `max`, and are monotone
+    /// non-decreasing until the cap is reached — after which they stay
+    /// pinned at the cap. `reset` rewinds to the first delay.
+    #[test]
+    fn backoff_schedule_is_capped_and_monotone(
+        initial_ns in 1u64..100_000,
+        extra_ns in 0u64..1_000_000,
+        steps in 1usize..64,
+    ) {
+        let initial = SimDuration::from_nanos(initial_ns);
+        let max = SimDuration::from_nanos(initial_ns + extra_ns);
+        let mut sched = BackoffSchedule::new(initial, max);
+        let mut prev = SimDuration::from_nanos(0);
+        let mut capped = false;
+        for step in 0..steps {
+            let d = sched.next();
+            prop_assert!(d <= max, "step {} delay {:?} exceeds cap {:?}", step, d, max);
+            prop_assert!(d >= prev, "step {} delay {:?} shrank below {:?}", step, d, prev);
+            if step == 0 {
+                prop_assert_eq!(d, initial, "the schedule must start at the initial delay");
+            }
+            if capped {
+                prop_assert_eq!(d, max, "once capped, the delay must stay at the cap");
+            }
+            capped = d == max;
+            prev = d;
+        }
+        sched.reset();
+        prop_assert_eq!(sched.next(), initial, "reset must rewind to the initial delay");
+    }
+
+    /// Jittered schedules are pure functions of their seed: two
+    /// schedules built with the same parameters agree delay-for-delay,
+    /// and every jittered delay stays within `[base, max]` where `base`
+    /// is the unjittered schedule's delay at the same step.
+    #[test]
+    fn jittered_backoff_is_deterministic_per_seed_and_bounded(
+        initial_ns in 1u64..100_000,
+        extra_ns in 0u64..1_000_000,
+        seed in any::<u64>(),
+        steps in 1usize..64,
+    ) {
+        let initial = SimDuration::from_nanos(initial_ns);
+        let max = SimDuration::from_nanos(initial_ns + extra_ns);
+        let mut a = BackoffSchedule::with_jitter(initial, max, seed);
+        let mut b = BackoffSchedule::with_jitter(initial, max, seed);
+        let mut unjittered = BackoffSchedule::new(initial, max);
+        for step in 0..steps {
+            let da = a.next();
+            let db = b.next();
+            prop_assert_eq!(da, db, "same-seed schedules diverged at step {}", step);
+            let floor = unjittered.next();
+            prop_assert!(
+                da >= floor && da <= max,
+                "step {}: jittered delay {:?} outside [{:?}, {:?}]",
+                step, da, floor, max
+            );
+        }
+    }
+
+    /// A probe loop driven by the schedule can never hang: spending a
+    /// reconnect budget of `n` attempts sleeps at most `n × max` of
+    /// virtual time before the loop exits — which the recovery layer
+    /// then converts into the typed
+    /// [`ShuffleError::RetryBudgetExhausted`] rather than retrying
+    /// forever.
+    #[test]
+    fn backoff_budget_exhaustion_is_time_bounded(
+        initial_ns in 1u64..100_000,
+        extra_ns in 0u64..1_000_000,
+        seed in any::<u64>(),
+        budget in 1u32..32,
+    ) {
+        let initial = SimDuration::from_nanos(initial_ns);
+        let max = SimDuration::from_nanos(initial_ns + extra_ns);
+        let mut sched = BackoffSchedule::with_jitter(initial, max, seed);
+        let mut slept = SimDuration::from_nanos(0);
+        let mut attempts = 0u32;
+        while attempts < budget {
+            attempts += 1;
+            slept += sched.next();
+        }
+        prop_assert_eq!(attempts, budget);
+        prop_assert!(
+            slept <= max * (budget as u64),
+            "budget {} slept {:?}, more than {} × {:?}",
+            budget, slept, budget, max
         );
     }
 }
