@@ -29,6 +29,17 @@ if grep -rnE '\.(unwrap|expect)\(' crates/core/src/endpoint/ crates/engine/src/;
   exit 1
 fi
 
+# Allocation-free hot paths: the endpoints run on pooled registered
+# buffers, reusable CQ scratch and cached address handles, so fresh
+# heap allocations (`to_vec()`, `Vec::new(`) in the endpoint sources
+# are almost always a hot-path regression. Deliberate setup-time sites
+# carry an `alloc-ok: <reason>` comment on the same line.
+if grep -rn 'to_vec()\|Vec::new(' crates/core/src/endpoint/ | grep -v 'alloc-ok'; then
+  echo "ERROR: unpooled allocation in an endpoint source (see above);" >&2
+  echo "       pool it, or annotate a genuine setup-time site with 'alloc-ok: <reason>'" >&2
+  exit 1
+fi
+
 # Chaos smoke: a composite fault plan (link flap + straggler + QP failure
 # + UD loss burst) plus a partial-recovery plan (whole-node QP-failure
 # window) across all six algorithms; fails unless every query recovers
@@ -50,12 +61,12 @@ cargo run -q --release -p rshuffle-bench --bin concurrency $CARGO_FLAGS -- --smo
 PERF_CAND=$(mktemp /tmp/rshuffle-bench-cand.XXXXXX.json)
 trap 'rm -f "$PERF_CAND"' EXIT
 cargo run -q --release -p rshuffle-bench --bin perfdiff $CARGO_FLAGS -- \
-  --against BENCH_0006.json --tolerance-pct 10 --save-candidate "$PERF_CAND"
+  --against BENCH_0008.json --tolerance-pct 10 --save-candidate "$PERF_CAND"
 
 # Gate self-check: an injected 2x latency slowdown must be caught; if it
 # passes, the gate itself is broken.
 if cargo run -q --release -p rshuffle-bench --bin perfdiff $CARGO_FLAGS -- \
-  --against BENCH_0006.json --tolerance-pct 10 \
+  --against BENCH_0008.json --tolerance-pct 10 \
   --candidate "$PERF_CAND" --scale-latency 2 >/dev/null 2>&1; then
   echo "ERROR: perfdiff failed to catch an injected 2x latency regression" >&2
   exit 1

@@ -647,6 +647,31 @@ impl ShuffleAuditor {
         }
     }
 
+    fn credit_lane_closed(&self, node: u32, lane: CreditLane, at_ns: u64) {
+        let mut st = self.state.lock();
+        self.observe_time(&mut st, node, at_ns);
+        let entry = st.credits.entry(lane).or_default();
+        let Some(frequency) = entry.frequency else {
+            return;
+        };
+        let posted = entry.posted;
+        let granted = entry.granted.unwrap_or(0);
+        // A release that lands on a write-back boundary announces the
+        // grant in the same atomic step as the audited post, so at any
+        // quiescent point the un-announced backlog is strictly below one
+        // period. At lane close the receiver stops recycling, which ends
+        // online gap checking — a backlog of a full period here means a
+        // boundary passed without its write-back ever being announced.
+        if posted.saturating_sub(granted) >= frequency {
+            self.record(
+                &mut st,
+                node,
+                at_ns,
+                AuditViolation::CreditWritebackLost { lane, posted, granted, frequency, at_ns },
+            );
+        }
+    }
+
     fn credit_consumed(&self, node: u32, lane: CreditLane, consumed: u64, at_ns: u64) {
         let mut st = self.state.lock();
         self.observe_time(&mut st, node, at_ns);
@@ -834,6 +859,16 @@ impl AuditHandle {
         }
     }
 
+    /// The source behind `lane` announced end-of-stream: no further
+    /// receives will be posted or credit announced, so the lane's last
+    /// reached write-back boundary must already have been granted.
+    #[inline]
+    pub fn credit_lane_closed(&self, lane: CreditLane, at_ns: u64) {
+        if let Some(a) = &self.auditor {
+            a.credit_lane_closed(self.node, lane, at_ns);
+        }
+    }
+
     /// The sender's cumulative message count on `lane` reached
     /// `consumed`.
     #[inline]
@@ -995,6 +1030,38 @@ mod tests {
         assert!(a.is_clean());
         h.receives_posted(lane(), 1, 30);
         assert_eq!(a.violations()[0].code(), "credit_writeback_lost");
+    }
+
+    #[test]
+    fn skipped_writeback_is_caught_at_lane_close() {
+        let (a, h) = auditor();
+        h.credit_lane(lane(), Some(2));
+        h.receives_posted(lane(), 2, 0);
+        h.credit_granted(lane(), 2, 0);
+        // The releases reach the write-back boundary (posted 4) but the
+        // announcement is "lost", and the stream ends before the online
+        // gap check could see a third un-granted re-post.
+        h.receives_posted(lane(), 1, 10);
+        h.receives_posted(lane(), 1, 20);
+        assert!(a.is_clean());
+        h.credit_lane_closed(lane(), 30);
+        assert_eq!(a.violations()[0].code(), "credit_writeback_lost");
+    }
+
+    #[test]
+    fn clean_lane_close_with_partial_period_is_clean() {
+        let (a, h) = auditor();
+        h.credit_lane(lane(), Some(2));
+        h.receives_posted(lane(), 2, 0);
+        h.credit_granted(lane(), 2, 0);
+        h.receives_posted(lane(), 1, 10);
+        h.receives_posted(lane(), 1, 20);
+        h.credit_granted(lane(), 4, 20);
+        // One release into the next period when the source depletes:
+        // below the boundary, so nothing was owed.
+        h.receives_posted(lane(), 1, 30);
+        h.credit_lane_closed(lane(), 40);
+        assert!(a.is_clean(), "{:?}", a.violations());
     }
 
     #[test]

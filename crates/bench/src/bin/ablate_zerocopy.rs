@@ -20,7 +20,7 @@ fn main() {
     // Copy cost scales with bytes; the effect is visible through the copy
     // share of the sender budget. We emulate zero copy by dropping the
     // memcpy bandwidth charge (infinite-bandwidth copies).
-    for (label, zero_copy) in [("copy (paper)", false), ("zero copy", true)] {
+    for (label, zero_copy) in [("copy (paper)", Some(false)), ("zero copy", Some(true))] {
         let mut points = Vec::new();
         for record in [16.0, 128.0, 512.0] {
             let mut cfg = WorkloadConfig::new(
@@ -28,9 +28,7 @@ fn main() {
                 8,
                 Transport::Rdma(ShuffleAlgorithm::MESQ_SR),
             );
-            if zero_copy {
-                cfg.zero_copy = true;
-            }
+            cfg.zero_copy = zero_copy;
             // Record size only changes per-tuple CPU shares in this model;
             // scale the hash charge accordingly through the volume knob.
             let r = run_shuffle_workload(&cfg);

@@ -14,7 +14,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use rshuffle::{ExchangeConfig, Operator, ShuffleAlgorithm};
-use rshuffle_bench::perf::{take_emit_flag, BenchReport, BenchResult, BenchRun};
+use rshuffle_bench::perf::{take_emit_flag, BenchReport, BenchResult, BenchRun, MetricRow};
 use serde::Value;
 use rshuffle_engine::ops::Generator;
 use rshuffle_engine::recovery::{run_shuffle_with_recovery, RecoveryPolicy};
@@ -180,19 +180,13 @@ fn main() {
             rows_out.push(BenchResult {
                 id: format!("{plan_name}/{algorithm}"),
                 metrics: vec![
-                    ("engine.recovery_ns".to_string(), recovery_ns as f64),
-                    (
-                        "engine.partial_retries".to_string(),
-                        rep.partial_retries as f64,
-                    ),
-                    ("engine.restarts".to_string(), rep.full_restarts as f64),
-                    (
-                        "engine.qp_reconnects".to_string(),
-                        rep.qp_reconnects as f64,
-                    ),
-                    ("engine.redone_bytes".to_string(), rep.redone_bytes as f64),
-                    ("engine.kept_bytes".to_string(), rep.kept_bytes as f64),
-                    ("rows".to_string(), rep.rows as f64),
+                    MetricRow::lower("engine.recovery_ns", recovery_ns as f64),
+                    MetricRow::info("engine.partial_retries", rep.partial_retries as f64),
+                    MetricRow::info("engine.restarts", rep.full_restarts as f64),
+                    MetricRow::info("engine.qp_reconnects", rep.qp_reconnects as f64),
+                    MetricRow::info("engine.redone_bytes", rep.redone_bytes as f64),
+                    MetricRow::info("engine.kept_bytes", rep.kept_bytes as f64),
+                    MetricRow::info("rows", rep.rows as f64),
                 ],
                 stages: Vec::new(),
             });

@@ -6,7 +6,7 @@
 //!              [--algorithm MESQ/SR|...|mpi|ipoib] [--pattern repartition|broadcast]
 //!              [--mib M] [--msg-size BYTES] [--credit-freq F] [--lanes L]
 //!              [--compute-us X] [--drop-prob P] [--native-multicast]
-//!              [--zero-copy] [--emit BENCH.json]
+//!              [--zero-copy | --copy] [--emit BENCH.json]
 //! ```
 //!
 //! `--emit` writes the run as a machine-readable perf-trajectory record
@@ -14,7 +14,7 @@
 
 use rshuffle::ShuffleAlgorithm;
 use rshuffle_bench::perf::{
-    stage_summaries, take_emit_flag, BenchReport, BenchResult, BenchRun,
+    stage_summaries, take_emit_flag, BenchReport, BenchResult, BenchRun, MetricRow,
 };
 use rshuffle_bench::{run_shuffle_workload, Pattern, Transport, WorkloadConfig};
 use rshuffle_simnet::{DeviceProfile, SimDuration};
@@ -27,7 +27,7 @@ fn usage() -> ! {
          \x20                   [--pattern repartition|broadcast] [--mib M]\n\
          \x20                   [--msg-size BYTES] [--credit-freq F] [--lanes L]\n\
          \x20                   [--compute-us X] [--drop-prob P]\n\
-         \x20                   [--native-multicast] [--zero-copy]"
+         \x20                   [--native-multicast] [--zero-copy | --copy]"
     );
     std::process::exit(2);
 }
@@ -46,7 +46,7 @@ fn main() {
     let mut compute_us = 0.0f64;
     let mut drop_prob = 0.0f64;
     let mut native_multicast = false;
-    let mut zero_copy = false;
+    let mut zero_copy: Option<bool> = None;
 
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -81,7 +81,8 @@ fn main() {
             "--compute-us" => compute_us = value().parse().unwrap_or_else(|_| usage()),
             "--drop-prob" => drop_prob = value().parse().unwrap_or_else(|_| usage()),
             "--native-multicast" => native_multicast = true,
-            "--zero-copy" => zero_copy = true,
+            "--zero-copy" => zero_copy = Some(true),
+            "--copy" => zero_copy = Some(false),
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -143,12 +144,9 @@ fn main() {
             results: vec![BenchResult {
                 id: transport.to_string(),
                 metrics: vec![
-                    ("gib_per_sec".to_string(), r.gib_per_sec()),
-                    ("response_ns".to_string(), r.response_time.as_nanos() as f64),
-                    (
-                        "registered_bytes".to_string(),
-                        r.registered_bytes_per_node as f64,
-                    ),
+                    MetricRow::higher("gib_per_sec", r.gib_per_sec()),
+                    MetricRow::lower("response_ns", r.response_time.as_nanos() as f64),
+                    MetricRow::info("registered_bytes", r.registered_bytes_per_node as f64),
                 ],
                 stages: stage_summaries(&r.metrics),
             }],

@@ -8,7 +8,7 @@
 //! latency digests ([`HistogramSummary`]). Because the simulator is
 //! deterministic, re-running the same collectors on the same tree
 //! reproduces the report bit-for-bit — the committed baseline
-//! (`BENCH_0006.json`) is therefore an exact perf contract that
+//! (`BENCH_0008.json`) is therefore an exact perf contract that
 //! `perfdiff` enforces in CI with a configurable tolerance.
 //!
 //! The measurement loops of the `concurrency` and `fig09_msgsize`
@@ -32,10 +32,51 @@ use crate::workload::{run_shuffle_workload, Transport, WorkloadConfig};
 /// changes so `perfdiff` refuses to compare across formats.
 pub const SCHEMA: &str = "rshuffle-bench/1";
 
-/// One scalar metric row: `(name, value)`. Names ending in `_ns` are
-/// treated as lower-is-better by [`metric_direction`]; throughput-like
-/// names as higher-is-better.
-pub type MetricRow = (String, f64);
+/// One scalar metric row with its explicit gating direction.
+///
+/// The direction is part of the record, not inferred from the name at
+/// diff time: a metric named `throughput_ns` would be ambiguous under
+/// name inference, and silently guessing wrong would flip the gate.
+/// Name inference survives only as a parse-time fallback for baselines
+/// recorded before the `directions` field existed.
+#[derive(Clone, Debug)]
+pub struct MetricRow {
+    /// Metric name, unique within its result row.
+    pub name: String,
+    /// Measured value.
+    pub value: f64,
+    /// Which way the gate lets this metric move.
+    pub direction: Direction,
+}
+
+impl MetricRow {
+    /// A latency-like metric: regression when it goes up.
+    pub fn lower(name: &str, value: f64) -> Self {
+        MetricRow {
+            name: name.to_string(),
+            value,
+            direction: Direction::LowerIsBetter,
+        }
+    }
+
+    /// A throughput-like metric: regression when it goes down.
+    pub fn higher(name: &str, value: f64) -> Self {
+        MetricRow {
+            name: name.to_string(),
+            value,
+            direction: Direction::HigherIsBetter,
+        }
+    }
+
+    /// A tracked-but-never-gated metric (e.g. memory footprints).
+    pub fn info(name: &str, value: f64) -> Self {
+        MetricRow {
+            name: name.to_string(),
+            value,
+            direction: Direction::Informational,
+        }
+    }
+}
 
 /// One measured configuration of a benchmark.
 #[derive(Clone, Debug)]
@@ -107,7 +148,16 @@ impl Serialize for BenchResult {
                 Value::Object(
                     self.metrics
                         .iter()
-                        .map(|(k, v)| (k.clone(), Value::Float(*v)))
+                        .map(|m| (m.name.clone(), Value::Float(m.value)))
+                        .collect(),
+                ),
+            ),
+            (
+                "directions".to_string(),
+                Value::Object(
+                    self.metrics
+                        .iter()
+                        .map(|m| (m.name.clone(), Value::Str(m.direction.tag().to_string())))
                         .collect(),
                 ),
             ),
@@ -381,11 +431,11 @@ pub fn concurrency_bench_run(
             .map(|c| BenchResult {
                 id: format!("{}/N={}", c.algorithm, c.n),
                 metrics: vec![
-                    ("p50_ns".to_string(), c.p50_ns as f64),
-                    ("p99_ns".to_string(), c.p99_ns as f64),
-                    ("makespan_ns".to_string(), c.makespan_ns as f64),
-                    ("agg_mbps".to_string(), c.agg_mbps),
-                    ("peak_bytes".to_string(), c.peak_bytes as f64),
+                    MetricRow::lower("p50_ns", c.p50_ns as f64),
+                    MetricRow::lower("p99_ns", c.p99_ns as f64),
+                    MetricRow::lower("makespan_ns", c.makespan_ns as f64),
+                    MetricRow::higher("agg_mbps", c.agg_mbps),
+                    MetricRow::info("peak_bytes", c.peak_bytes as f64),
                 ],
                 stages: c.stages.clone(),
             })
@@ -490,14 +540,28 @@ pub fn msgsize_bench_run(
         ],
         results: cells
             .iter()
-            .map(|c| BenchResult {
-                id: format!("{}/msg={}KiB", c.algorithm, c.msg_size >> 10),
-                metrics: vec![
-                    ("gib_per_sec".to_string(), c.gib_per_sec),
-                    ("response_ns".to_string(), c.response_ns as f64),
-                    ("registered_bytes".to_string(), c.registered_bytes as f64),
-                ],
-                stages: c.stages.clone(),
+            .map(|c| {
+                let mut metrics = vec![
+                    MetricRow::higher("gib_per_sec", c.gib_per_sec),
+                    MetricRow::lower("response_ns", c.response_ns as f64),
+                    MetricRow::info("registered_bytes", c.registered_bytes as f64),
+                ];
+                // Promote the sender-side batching stages from the
+                // informational digests to gated scalars: doorbell
+                // coalescing and post-to-completion latency are exactly
+                // what the hot-path work optimises, so a regression
+                // there must fail the build even when end-to-end
+                // throughput hides it.
+                for stage in ["stage.wr_batch_ns", "stage.post_to_completion_ns"] {
+                    if let Some((_, s)) = c.stages.iter().find(|(k, _)| k == stage) {
+                        metrics.push(MetricRow::lower(&format!("{stage}_p50"), s.p50 as f64));
+                    }
+                }
+                BenchResult {
+                    id: format!("{}/msg={}KiB", c.algorithm, c.msg_size >> 10),
+                    metrics,
+                    stages: c.stages.clone(),
+                }
             })
             .collect(),
     }
@@ -528,6 +592,18 @@ pub fn smoke_report() -> BenchReport {
 // Parsing and diffing.
 // ---------------------------------------------------------------------------
 
+/// One metric read back from a report file.
+#[derive(Clone, Debug)]
+pub struct ParsedMetric {
+    /// `(bench, result id, metric name)` — the comparison key.
+    pub key: (String, String, String),
+    /// Recorded value.
+    pub value: f64,
+    /// Gating direction: the file's explicit `directions` entry, or the
+    /// name-inferred fallback for pre-`directions` baselines.
+    pub direction: Direction,
+}
+
 /// A report read back from disk, flattened for comparison.
 #[derive(Clone, Debug)]
 pub struct ParsedReport {
@@ -535,13 +611,15 @@ pub struct ParsedReport {
     pub schema: String,
     /// Commit the file was recorded at.
     pub commit: String,
-    /// `(bench, result id, metric) -> value`, in file order.
-    pub metrics: Vec<((String, String, String), f64)>,
+    /// Every metric, in file order.
+    pub metrics: Vec<ParsedMetric>,
 }
 
 impl ParsedReport {
     /// Parses `BENCH_*.json` text. Fails on malformed JSON, a missing
-    /// or unknown schema tag, or non-numeric metric values.
+    /// or unknown schema tag, non-numeric metric values, unknown
+    /// direction tags, or (for files without a `directions` field) an
+    /// ambiguous metric name.
     pub fn parse(text: &str) -> Result<ParsedReport, String> {
         let root = serde_json::from_str(text).map_err(|e| e.to_string())?;
         let Value::Object(fields) = root else {
@@ -585,6 +663,15 @@ impl ParsedReport {
                 let Some(Value::Object(ms)) = rget("metrics") else {
                     return Err(format!("bench {bench_id}/{id}: missing metrics"));
                 };
+                // Explicit per-metric directions (absent in baselines
+                // recorded before the field existed).
+                let directions = match rget("directions") {
+                    Some(Value::Object(ds)) => Some(ds),
+                    Some(_) => {
+                        return Err(format!("bench {bench_id}/{id}: directions is not an object"))
+                    }
+                    None => None,
+                };
                 for (name, value) in ms {
                     let v = match value {
                         Value::Float(f) => *f,
@@ -596,7 +683,55 @@ impl ParsedReport {
                             ))
                         }
                     };
-                    metrics.push(((bench_id.clone(), id.clone(), name.clone()), v));
+                    let direction = match directions {
+                        Some(ds) => match ds.iter().find(|(k, _)| k == name).map(|(_, v)| v) {
+                            Some(Value::Str(tag)) => Direction::from_tag(tag)
+                                .map_err(|e| format!("bench {bench_id}/{id}/{name}: {e}"))?,
+                            Some(_) => {
+                                return Err(format!(
+                                    "bench {bench_id}/{id}: direction of {name} is not a string"
+                                ))
+                            }
+                            None => {
+                                return Err(format!(
+                                    "bench {bench_id}/{id}: metric {name} has no direction entry"
+                                ))
+                            }
+                        },
+                        None => infer_direction(name)
+                            .map_err(|e| format!("bench {bench_id}/{id}: {e}"))?,
+                    };
+                    metrics.push(ParsedMetric {
+                        key: (bench_id.clone(), id.clone(), name.clone()),
+                        value: v,
+                        direction,
+                    });
+                }
+                // Surface each stage digest's p50 as an informational
+                // metric so stage-level movement shows up in the diff
+                // even against baselines that never promoted them. A
+                // result that promotes a stage p50 into its gated
+                // metrics wins: the flattened copy is skipped.
+                if let Some(Value::Object(stages)) = rget("stages") {
+                    for (sname, sval) in stages {
+                        let Value::Object(sf) = sval else { continue };
+                        let p50 = sf.iter().find(|(k, _)| k == "p50").map(|(_, v)| v);
+                        let v = match p50 {
+                            Some(Value::Float(f)) => *f,
+                            Some(Value::UInt(u)) => *u as f64,
+                            Some(Value::Int(i)) => *i as f64,
+                            _ => continue,
+                        };
+                        let name = format!("{sname}_p50");
+                        if ms.iter().any(|(k, _)| *k == name) {
+                            continue;
+                        }
+                        metrics.push(ParsedMetric {
+                            key: (bench_id.clone(), id.clone(), name),
+                            value: v,
+                            direction: Direction::Informational,
+                        });
+                    }
                 }
             }
         }
@@ -619,19 +754,46 @@ pub enum Direction {
     Informational,
 }
 
-/// Infers the gating direction from the metric name: `*_ns` latencies
-/// are lower-is-better, throughput-ish names are higher-is-better,
-/// everything else is informational.
-pub fn metric_direction(name: &str) -> Direction {
-    if name.ends_with("_ns") {
-        Direction::LowerIsBetter
-    } else if name.contains("mbps")
-        || name.contains("gib_per_sec")
-        || name.contains("throughput")
-    {
-        Direction::HigherIsBetter
-    } else {
-        Direction::Informational
+impl Direction {
+    /// The stable tag written into the report's `directions` field.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Direction::LowerIsBetter => "lower_is_better",
+            Direction::HigherIsBetter => "higher_is_better",
+            Direction::Informational => "informational",
+        }
+    }
+
+    /// Parses a `directions` tag; unknown tags are a parse error, not a
+    /// silent informational downgrade.
+    pub fn from_tag(tag: &str) -> Result<Direction, String> {
+        match tag {
+            "lower_is_better" => Ok(Direction::LowerIsBetter),
+            "higher_is_better" => Ok(Direction::HigherIsBetter),
+            "informational" => Ok(Direction::Informational),
+            other => Err(format!("unknown metric direction tag {other:?}")),
+        }
+    }
+}
+
+/// Infers a gating direction from a metric name — the fallback for
+/// baselines recorded before the explicit `directions` field existed.
+/// `*_ns` names are lower-is-better, throughput-ish names are
+/// higher-is-better, everything else is informational. A name matching
+/// *both* rules (e.g. `throughput_ns`) is ambiguous and fails loudly:
+/// guessing would silently flip the gate for that metric.
+pub fn infer_direction(name: &str) -> Result<Direction, String> {
+    let latency_like = name.ends_with("_ns");
+    let throughput_like =
+        name.contains("mbps") || name.contains("gib_per_sec") || name.contains("throughput");
+    match (latency_like, throughput_like) {
+        (true, true) => Err(format!(
+            "metric name {name:?} is ambiguous (latency-like and throughput-like); \
+             re-record the baseline with explicit directions"
+        )),
+        (true, false) => Ok(Direction::LowerIsBetter),
+        (false, true) => Ok(Direction::HigherIsBetter),
+        (false, false) => Ok(Direction::Informational),
     }
 }
 
@@ -664,21 +826,26 @@ pub fn diff_reports(base: &ParsedReport, cand: &ParsedReport, tolerance_pct: f64
     let tol = tolerance_pct / 100.0;
     base.metrics
         .iter()
-        .map(|(key, b)| {
-            let (bench, id, metric) = key;
-            let direction = metric_direction(metric);
+        .map(|bm| {
+            let (bench, id, metric) = &bm.key;
+            // The baseline's recorded direction governs the gate.
+            let direction = bm.direction;
+            let b = bm.value;
             let cv = cand
                 .metrics
                 .iter()
-                .find(|(k, _)| k == key)
-                .map(|&(_, v)| v);
+                .find(|m| m.key == bm.key)
+                .map(|m| m.value);
             let (delta_pct, regressed) = match cv {
-                None => (0.0, true),
+                // A vanished gated metric is a regression; a vanished
+                // informational one (e.g. a stage digest that recorded
+                // no samples this time) is not.
+                None => (0.0, direction != Direction::Informational),
                 Some(c) => {
-                    let delta = if *b != 0.0 { (c - b) / b * 100.0 } else { 0.0 };
+                    let delta = if b != 0.0 { (c - b) / b * 100.0 } else { 0.0 };
                     let regressed = match direction {
                         Direction::LowerIsBetter => {
-                            if *b == 0.0 {
+                            if b == 0.0 {
                                 c > 0.0
                             } else {
                                 c > b * (1.0 + tol)
@@ -694,7 +861,7 @@ pub fn diff_reports(base: &ParsedReport, cand: &ParsedReport, tolerance_pct: f64
                 bench: bench.clone(),
                 id: id.clone(),
                 metric: metric.clone(),
-                base: *b,
+                base: b,
                 cand: cv,
                 delta_pct,
                 direction,
@@ -739,9 +906,9 @@ mod tests {
                 results: vec![BenchResult {
                     id: "MESQ/SR/N=1".to_string(),
                     metrics: vec![
-                        ("p99_ns".to_string(), 1000.0),
-                        ("agg_mbps".to_string(), 50.0),
-                        ("peak_bytes".to_string(), 4096.0),
+                        MetricRow::lower("p99_ns", 1000.0),
+                        MetricRow::higher("agg_mbps", 50.0),
+                        MetricRow::info("peak_bytes", 4096.0),
                     ],
                     stages: vec![(
                         "stage.cq_wait_ns".to_string(),
@@ -767,16 +934,26 @@ mod tests {
         let parsed = ParsedReport::parse(&report.to_json()).expect("parses");
         assert_eq!(parsed.schema, SCHEMA);
         assert_eq!(parsed.commit, "deadbeef");
-        assert_eq!(parsed.metrics.len(), 3);
+        // 3 scalar metrics + the flattened stage.cq_wait_ns_p50 digest.
+        assert_eq!(parsed.metrics.len(), 4);
+        let flattened = &parsed.metrics[3];
+        assert_eq!(flattened.key.2, "stage.cq_wait_ns_p50");
+        assert_eq!(flattened.value, 40.0);
+        assert_eq!(flattened.direction, Direction::Informational);
         assert_eq!(
-            parsed.metrics[0].0,
+            parsed.metrics[0].key,
             (
                 "concurrency".to_string(),
                 "MESQ/SR/N=1".to_string(),
                 "p99_ns".to_string()
             )
         );
-        assert_eq!(parsed.metrics[0].1, 1000.0);
+        assert_eq!(parsed.metrics[0].value, 1000.0);
+        // The explicit directions round-trip, including the one a name
+        // inference could not have produced for `peak_bytes`.
+        assert_eq!(parsed.metrics[0].direction, Direction::LowerIsBetter);
+        assert_eq!(parsed.metrics[1].direction, Direction::HigherIsBetter);
+        assert_eq!(parsed.metrics[2].direction, Direction::Informational);
     }
 
     #[test]
@@ -792,17 +969,34 @@ mod tests {
         let report = fixture();
         let parsed = ParsedReport::parse(&report.to_json()).unwrap();
         let lines = diff_reports(&parsed, &parsed, 10.0);
-        assert_eq!(lines.len(), 3);
+        assert_eq!(lines.len(), 4);
         assert!(lines.iter().all(|l| !l.regressed));
+    }
+
+    #[test]
+    fn vanished_stage_digest_is_not_a_regression() {
+        // Stage digests are informational: one recording no samples in
+        // the candidate must not fail the gate, unlike a vanished gated
+        // metric (covered by `missing_metric_is_a_regression`).
+        let base = ParsedReport::parse(&fixture().to_json()).unwrap();
+        let mut cand = base.clone();
+        cand.metrics.retain(|m| m.key.2 != "stage.cq_wait_ns_p50");
+        let lines = diff_reports(&base, &cand, 10.0);
+        let stage = lines
+            .iter()
+            .find(|l| l.metric == "stage.cq_wait_ns_p50")
+            .unwrap();
+        assert!(stage.cand.is_none());
+        assert!(!stage.regressed);
     }
 
     #[test]
     fn latency_regression_is_caught_and_direction_matters() {
         let base = ParsedReport::parse(&fixture().to_json()).unwrap();
         let mut cand = base.clone();
-        for (key, v) in &mut cand.metrics {
-            if key.2 == "p99_ns" {
-                *v *= 2.0; // 2x slowdown
+        for m in &mut cand.metrics {
+            if m.key.2 == "p99_ns" {
+                m.value *= 2.0; // 2x slowdown
             }
         }
         let lines = diff_reports(&base, &cand, 10.0);
@@ -811,9 +1005,9 @@ mod tests {
         assert_eq!(p99.direction, Direction::LowerIsBetter);
         // A 2x latency *improvement* is not a regression.
         let mut faster = base.clone();
-        for (key, v) in &mut faster.metrics {
-            if key.2 == "p99_ns" {
-                *v /= 2.0;
+        for m in &mut faster.metrics {
+            if m.key.2 == "p99_ns" {
+                m.value /= 2.0;
             }
         }
         assert!(diff_reports(&base, &faster, 10.0)
@@ -825,12 +1019,12 @@ mod tests {
     fn throughput_drop_regresses_and_informational_never_does() {
         let base = ParsedReport::parse(&fixture().to_json()).unwrap();
         let mut cand = base.clone();
-        for (key, v) in &mut cand.metrics {
-            if key.2 == "agg_mbps" {
-                *v *= 0.5;
+        for m in &mut cand.metrics {
+            if m.key.2 == "agg_mbps" {
+                m.value *= 0.5;
             }
-            if key.2 == "peak_bytes" {
-                *v *= 100.0;
+            if m.key.2 == "peak_bytes" {
+                m.value *= 100.0;
             }
         }
         let lines = diff_reports(&base, &cand, 10.0);
@@ -842,7 +1036,7 @@ mod tests {
     fn missing_metric_is_a_regression() {
         let base = ParsedReport::parse(&fixture().to_json()).unwrap();
         let mut cand = base.clone();
-        cand.metrics.retain(|(key, _)| key.2 != "p99_ns");
+        cand.metrics.retain(|m| m.key.2 != "p99_ns");
         let lines = diff_reports(&base, &cand, 10.0);
         let p99 = lines.iter().find(|l| l.metric == "p99_ns").unwrap();
         assert!(p99.regressed);
@@ -851,10 +1045,131 @@ mod tests {
 
     #[test]
     fn direction_inference() {
-        assert_eq!(metric_direction("p50_ns"), Direction::LowerIsBetter);
-        assert_eq!(metric_direction("makespan_ns"), Direction::LowerIsBetter);
-        assert_eq!(metric_direction("agg_mbps"), Direction::HigherIsBetter);
-        assert_eq!(metric_direction("gib_per_sec"), Direction::HigherIsBetter);
-        assert_eq!(metric_direction("peak_bytes"), Direction::Informational);
+        assert_eq!(infer_direction("p50_ns"), Ok(Direction::LowerIsBetter));
+        assert_eq!(infer_direction("makespan_ns"), Ok(Direction::LowerIsBetter));
+        assert_eq!(infer_direction("agg_mbps"), Ok(Direction::HigherIsBetter));
+        assert_eq!(infer_direction("gib_per_sec"), Ok(Direction::HigherIsBetter));
+        assert_eq!(infer_direction("peak_bytes"), Ok(Direction::Informational));
+    }
+
+    #[test]
+    fn ambiguous_metric_name_fails_loudly_without_directions() {
+        // An old-format baseline (no `directions` field) with a name
+        // that is simultaneously latency-like and throughput-like must
+        // be rejected at parse time, never silently gated one way.
+        assert!(infer_direction("throughput_ns").is_err());
+        let text = r#"{
+            "schema": "rshuffle-bench/1",
+            "commit": "x",
+            "benches": [{
+                "bench": "b",
+                "config": {},
+                "results": [{
+                    "id": "r",
+                    "metrics": {"throughput_ns": 1.0},
+                    "stages": {}
+                }]
+            }]
+        }"#;
+        let err = ParsedReport::parse(text).unwrap_err();
+        assert!(err.contains("ambiguous"), "got: {err}");
+    }
+
+    #[test]
+    fn explicit_direction_overrides_name_inference() {
+        // With an explicit direction the same ambiguous name is fine,
+        // and the recorded direction — not the name — drives the gate.
+        let text = r#"{
+            "schema": "rshuffle-bench/1",
+            "commit": "x",
+            "benches": [{
+                "bench": "b",
+                "config": {},
+                "results": [{
+                    "id": "r",
+                    "metrics": {"throughput_ns": 100.0},
+                    "directions": {"throughput_ns": "higher_is_better"},
+                    "stages": {}
+                }]
+            }]
+        }"#;
+        let base = ParsedReport::parse(text).expect("explicit direction parses");
+        assert_eq!(base.metrics[0].direction, Direction::HigherIsBetter);
+        let mut cand = base.clone();
+        cand.metrics[0].value = 50.0; // halved "throughput" regresses
+        assert!(diff_reports(&base, &cand, 10.0)[0].regressed);
+        let mut up = base.clone();
+        up.metrics[0].value = 200.0; // doubled does not
+        assert!(!diff_reports(&base, &up, 10.0)[0].regressed);
+    }
+
+    #[test]
+    fn unknown_direction_tag_is_rejected() {
+        let text = r#"{
+            "schema": "rshuffle-bench/1",
+            "commit": "x",
+            "benches": [{
+                "bench": "b",
+                "config": {},
+                "results": [{
+                    "id": "r",
+                    "metrics": {"p99_ns": 1.0},
+                    "directions": {"p99_ns": "sideways"},
+                    "stages": {}
+                }]
+            }]
+        }"#;
+        let err = ParsedReport::parse(text).unwrap_err();
+        assert!(err.contains("unknown metric direction"), "got: {err}");
+    }
+
+    #[test]
+    fn directions_present_but_metric_unlisted_is_rejected() {
+        let text = r#"{
+            "schema": "rshuffle-bench/1",
+            "commit": "x",
+            "benches": [{
+                "bench": "b",
+                "config": {},
+                "results": [{
+                    "id": "r",
+                    "metrics": {"p99_ns": 1.0},
+                    "directions": {},
+                    "stages": {}
+                }]
+            }]
+        }"#;
+        let err = ParsedReport::parse(text).unwrap_err();
+        assert!(err.contains("no direction entry"), "got: {err}");
+    }
+
+    #[test]
+    fn old_baseline_without_directions_still_parses() {
+        // BENCH_0006-era files carry no `directions` field; unambiguous
+        // names fall back to inference.
+        let text = r#"{
+            "schema": "rshuffle-bench/1",
+            "commit": "x",
+            "benches": [{
+                "bench": "b",
+                "config": {},
+                "results": [{
+                    "id": "r",
+                    "metrics": {"p99_ns": 1.0, "agg_mbps": 2.0},
+                    "stages": {}
+                }]
+            }]
+        }"#;
+        let parsed = ParsedReport::parse(text).expect("old format parses");
+        let dir = |name: &str| {
+            parsed
+                .metrics
+                .iter()
+                .find(|m| m.key.2 == name)
+                .unwrap()
+                .direction
+        };
+        assert_eq!(dir("p99_ns"), Direction::LowerIsBetter);
+        assert_eq!(dir("agg_mbps"), Direction::HigherIsBetter);
     }
 }

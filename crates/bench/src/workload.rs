@@ -92,9 +92,13 @@ pub struct WorkloadConfig {
     /// Endpoint lanes per operator (Figure 11); `None` = derived from the
     /// algorithm's mode.
     pub lanes: Option<usize>,
-    /// Skip the sender-side copy into RDMA-registered buffers (the
-    /// zero-copy ablation of §4.3.1).
-    pub zero_copy: bool,
+    /// Whether the sender skips the copy into RDMA-registered buffers.
+    /// `None` picks the per-design default: zero copy for the reliable
+    /// (RC) designs, whose pooled registered buffers let tuples be staged
+    /// in place (§4.3.1 allows it there), and the classic copy path for
+    /// UD designs and the MPI/IPoIB baselines. `Some(_)` forces one side,
+    /// which is what the §4.3.1 ablation uses.
+    pub zero_copy: Option<bool>,
     /// Use native switch multicast for UD group sends (§7 extension).
     pub ud_native_multicast: bool,
     /// Maximum per-batch OS-scheduling jitter at the receiving fragment
@@ -127,7 +131,7 @@ impl WorkloadConfig {
             compute_per_batch: SimDuration::ZERO,
             batch_rows: 2048, // 32 KiB of 16-byte rows (the L1-sized batch).
             lanes: None,
-            zero_copy: false,
+            zero_copy: None,
             ud_native_multicast: false,
             receiver_jitter: SimDuration::from_micros(3),
             faults: FaultConfig {
@@ -135,6 +139,15 @@ impl WorkloadConfig {
                 ..FaultConfig::default()
             },
         }
+    }
+
+    /// The effective copy/zero-copy decision after applying the
+    /// per-design default (see [`WorkloadConfig::zero_copy`]).
+    pub fn resolved_zero_copy(&self) -> bool {
+        self.zero_copy.unwrap_or(match self.transport {
+            Transport::Rdma(a) => a.reliable_transport(),
+            Transport::Mpi | Transport::Ipoib => false,
+        })
     }
 }
 
@@ -253,7 +266,7 @@ pub fn run_shuffle_workload(cfg: &WorkloadConfig) -> WorkloadResult {
             0xACE0_BA5E ^ (node as u64) << 16,
         ));
         let _ = mode;
-        let send_cost = if cfg.zero_copy {
+        let send_cost = if cfg.resolved_zero_copy() {
             // Zero copy: tuples are transmitted in place; only hashing
             // remains on the sender's critical path.
             CostModel {

@@ -1,16 +1,23 @@
-//! Validates the committed perf baseline `BENCH_0006.json`: it must
+//! Validates the committed perf baseline `BENCH_0008.json`: it must
 //! parse under the current `rshuffle-bench/1` schema, cover the full
 //! smoke matrix (six algorithms at both concurrency levels and both
-//! message sizes), and — trivially — show zero regressions when diffed
-//! against itself. If a schema change ever breaks this test, re-record
-//! the baseline with `perfdiff --record BENCH_0006.json` in the same
-//! commit.
+//! message sizes), carry explicit metric directions, and — trivially —
+//! show zero regressions when diffed against itself. If a schema change
+//! ever breaks this test, re-record the baseline with `perfdiff
+//! --record BENCH_0008.json` in the same commit. The previous baseline
+//! `BENCH_0006.json` predates the `directions` field and stays in the
+//! repo as real-data coverage of the name-inference fallback.
 
-use rshuffle_bench::perf::{diff_reports, ParsedReport, SCHEMA};
+use rshuffle_bench::perf::{diff_reports, Direction, ParsedReport, SCHEMA};
+
+fn read_baseline(name: &str) -> String {
+    let path = format!("{}/../../{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("committed baseline {name} is readable: {e}"))
+}
 
 fn baseline_text() -> String {
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_0006.json");
-    std::fs::read_to_string(path).expect("committed baseline BENCH_0006.json is readable")
+    read_baseline("BENCH_0008.json")
 }
 
 #[test]
@@ -32,7 +39,7 @@ fn committed_baseline_parses_under_current_schema() {
             format!("{alg}/msg=64KiB"),
         ] {
             assert!(
-                report.metrics.iter().any(|((_, rid, _), _)| rid == &id),
+                report.metrics.iter().any(|m| m.key.1 == id),
                 "baseline missing result row {id:?}"
             );
         }
@@ -44,13 +51,33 @@ fn committed_baseline_parses_under_current_schema() {
         let values: Vec<f64> = report
             .metrics
             .iter()
-            .filter(|((_, _, m), _)| m == metric)
-            .map(|(_, v)| *v)
+            .filter(|m| m.key.2 == metric)
+            .map(|m| m.value)
             .collect();
         assert!(!values.is_empty(), "baseline missing metric {metric:?}");
         for v in values {
             assert!(v.is_finite() && v > 0.0, "{metric}: non-positive value {v}");
         }
+    }
+}
+
+#[test]
+fn committed_baseline_gates_hot_path_stage_latencies() {
+    // The hot-path pass promoted the sender-side stage latencies to
+    // gated metrics on the large-message sweep rows; a re-recorded
+    // baseline that silently drops them would un-gate the doorbell and
+    // CQ batching wins.
+    let report = ParsedReport::parse(&baseline_text()).expect("baseline parses");
+    for stage in ["stage.wr_batch_ns_p50", "stage.post_to_completion_ns_p50"] {
+        let gated = report
+            .metrics
+            .iter()
+            .filter(|m| m.key.2 == stage && m.direction == Direction::LowerIsBetter)
+            .count();
+        assert!(
+            gated >= 6,
+            "baseline gates only {gated} rows of {stage} (want one per algorithm)"
+        );
     }
 }
 
@@ -66,5 +93,30 @@ fn baseline_diffed_against_itself_has_no_regressions() {
             l.bench, l.id, l.metric
         );
         assert_eq!(l.delta_pct, 0.0);
+    }
+}
+
+#[test]
+fn previous_baseline_parses_via_direction_inference() {
+    // BENCH_0006.json predates the explicit `directions` field: parsing
+    // it exercises the name-inference fallback on real recorded data,
+    // and every metric it carries must come out with the direction the
+    // old hard-coded table would have assigned.
+    let report =
+        ParsedReport::parse(&read_baseline("BENCH_0006.json")).expect("old baseline parses");
+    assert!(!report.metrics.is_empty());
+    for m in &report.metrics {
+        let want = if m.key.2.ends_with("_ns") {
+            Direction::LowerIsBetter
+        } else if m.key.2.contains("mbps") || m.key.2.contains("gib_per_sec") {
+            Direction::HigherIsBetter
+        } else {
+            Direction::Informational
+        };
+        assert_eq!(
+            m.direction, want,
+            "inference mis-assigned {} in the old baseline",
+            m.key.2
+        );
     }
 }

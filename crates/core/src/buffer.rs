@@ -25,6 +25,7 @@
 //! | 24..32  | sender-side buffer address (offset; lets the RDMA Read   |
 //! |         | receiver RELEASE the right remote buffer)                |
 
+use parking_lot::Mutex;
 use rshuffle_verbs::MemoryRegion;
 
 use crate::error::{Result, ShuffleError};
@@ -323,6 +324,121 @@ impl Buffer {
     }
 }
 
+/// A recycle pool of fixed-size transmission windows over one registered
+/// [`MemoryRegion`].
+///
+/// The windows are carved once at setup; afterwards the steady state is
+/// allocation-free: [`BufferPool::try_take`] pops a recycled window and
+/// [`BufferPool::recycle_offset`] re-arms the window a completion or a
+/// released delivery names — validating the wire-derived offset exactly
+/// like [`Buffer::try_new`], but without constructing anything new. The
+/// free list is LIFO and the pool itself never advances virtual time, so
+/// same-seed runs stay byte-identical.
+pub struct BufferPool {
+    mr: MemoryRegion,
+    window: usize,
+    free: Mutex<Vec<Buffer>>,
+    capacity: usize,
+}
+
+impl BufferPool {
+    /// Carves `count` contiguous windows of `window` bytes starting at
+    /// `base` and arms them all as free.
+    ///
+    /// # Panics
+    ///
+    /// Panics (via [`Buffer::new`]) if any window is smaller than the
+    /// header or out of bounds — pool geometry is local configuration,
+    /// not wire data.
+    pub fn carve(mr: MemoryRegion, base: usize, window: usize, count: usize) -> Self {
+        let mut free = Vec::with_capacity(count);
+        // Reverse the fill so try_take hands out ascending offsets.
+        for i in (0..count).rev() {
+            free.push(Buffer::new(mr.clone(), base + i * window, window));
+        }
+        BufferPool {
+            mr,
+            window,
+            free: Mutex::new(free),
+            capacity: count,
+        }
+    }
+
+    /// Pops a free window, reset to an empty payload and a zero tag —
+    /// indistinguishable from a freshly constructed [`Buffer`]. Returns
+    /// `None` when every window is in flight.
+    pub fn try_take(&self) -> Option<Buffer> {
+        let mut buf = self.free.lock().pop()?;
+        buf.len = 0;
+        buf.tag = 0;
+        Some(buf)
+    }
+
+    /// Re-arms the window starting at `offset` (a value that typically
+    /// arrived over the wire in a completion's `wr_id` or a ring slot).
+    /// Bounds and alignment are validated before the window rejoins the
+    /// free list; garbage surfaces as [`ShuffleError::Corrupt`].
+    pub fn recycle_offset(&self, offset: usize) -> Result<()> {
+        if offset
+            .checked_add(self.window)
+            .is_none_or(|end| end > self.mr.len())
+        {
+            return Err(ShuffleError::Corrupt(format!(
+                "recycled window [{offset}, {offset}+{}) outside region of {} bytes",
+                self.window,
+                self.mr.len()
+            )));
+        }
+        let mut free = self.free.lock();
+        if free.len() >= self.capacity {
+            return Err(ShuffleError::Corrupt(format!(
+                "recycle of offset {offset} would overfill a pool of {} windows",
+                self.capacity
+            )));
+        }
+        free.push(Buffer {
+            mr: self.mr.clone(),
+            offset,
+            window: self.window,
+            len: 0,
+            tag: 0,
+        });
+        Ok(())
+    }
+
+    /// Returns a buffer to the pool (local bookkeeping, no validation).
+    pub fn recycle(&self, mut buf: Buffer) {
+        buf.len = 0;
+        buf.tag = 0;
+        self.free.lock().push(buf);
+    }
+
+    /// Windows currently free.
+    pub fn free_len(&self) -> usize {
+        self.free.lock().len()
+    }
+
+    /// Whether no window is currently free.
+    pub fn is_exhausted(&self) -> bool {
+        self.free.lock().is_empty()
+    }
+
+    /// Total windows carved at setup.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Window size in bytes (header + payload capacity).
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// The backing memory region.
+    pub fn region(&self) -> &MemoryRegion {
+        &self.mr
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -469,5 +585,53 @@ mod tests {
     fn window_smaller_than_header_panics() {
         let mr = mr(4096);
         let _ = Buffer::new(mr, 0, HEADER_LEN);
+    }
+
+    #[test]
+    fn pool_hands_out_ascending_offsets_then_recycles_lifo() {
+        let pool = BufferPool::carve(mr(4096), 0, 512, 4);
+        assert_eq!(pool.capacity(), 4);
+        assert_eq!(pool.free_len(), 4);
+        let a = pool.try_take().unwrap();
+        let b = pool.try_take().unwrap();
+        assert_eq!(a.offset(), 0);
+        assert_eq!(b.offset(), 512);
+        pool.recycle(a);
+        // LIFO: the most recently recycled window comes back first.
+        assert_eq!(pool.try_take().unwrap().offset(), 0);
+    }
+
+    #[test]
+    fn pool_take_resets_payload_and_tag() {
+        let pool = BufferPool::carve(mr(4096), 0, 512, 1);
+        let mut buf = pool.try_take().unwrap();
+        buf.push(&[1, 2, 3]).unwrap();
+        buf.set_tag(9);
+        pool.recycle(buf);
+        let again = pool.try_take().unwrap();
+        assert_eq!(again.len(), 0);
+        assert_eq!(again.tag(), 0);
+        assert!(pool.try_take().is_none());
+    }
+
+    #[test]
+    fn pool_recycle_offset_validates_wire_garbage() {
+        let pool = BufferPool::carve(mr(4096), 0, 512, 2);
+        let taken = pool.try_take().unwrap();
+        assert!(matches!(
+            pool.recycle_offset(4000),
+            Err(ShuffleError::Corrupt(_))
+        ));
+        assert!(matches!(
+            pool.recycle_offset(usize::MAX - 64),
+            Err(ShuffleError::Corrupt(_))
+        ));
+        pool.recycle_offset(taken.offset()).unwrap();
+        assert_eq!(pool.free_len(), 2);
+        // Overfilling (a duplicate recycle) is wire garbage too.
+        assert!(matches!(
+            pool.recycle_offset(0),
+            Err(ShuffleError::Corrupt(_))
+        ));
     }
 }

@@ -34,10 +34,44 @@ use parking_lot::Mutex;
 use rshuffle_audit::{AuditHandle, BufId};
 use rshuffle_obs::{names, Counter, EventKind, Histogram, Labels, Obs, Stage};
 use rshuffle_simnet::{NodeId, SimContext, SimDuration};
-use rshuffle_verbs::Context;
+use rshuffle_verbs::{Completion, Context};
 
 use crate::buffer::{Buffer, StreamState};
 use crate::error::Result;
+
+/// Batch size for completion-queue drains: how many completions one
+/// `ibv_poll_cq`-style call retrieves at most.
+pub(crate) const CQ_BATCH: usize = 64;
+
+/// A pool of reusable completion-scratch vectors for batched CQ drains.
+///
+/// Endpoint drain paths take a vector, batch-drain into it, process, and
+/// put it back: the steady state allocates nothing, and no lock is held
+/// across a blocking drain (each concurrent drainer works on its own
+/// vector, so SE-mode threads can never deadlock the kernel on a
+/// parking-lot mutex).
+pub(crate) struct CqScratch {
+    pool: Mutex<Vec<Vec<Completion>>>,
+}
+
+impl CqScratch {
+    pub(crate) fn new() -> Self {
+        CqScratch {
+            pool: Mutex::new(vec![Vec::with_capacity(CQ_BATCH)]),
+        }
+    }
+
+    /// Takes a scratch vector (empty, capacity retained). Falls back to a
+    /// fresh vector when every pooled one is in use by another thread.
+    pub(crate) fn take(&self) -> Vec<Completion> {
+        self.pool.lock().pop().unwrap_or_default()
+    }
+
+    /// Returns a scratch vector to the pool for reuse.
+    pub(crate) fn put(&self, v: Vec<Completion>) {
+        self.pool.lock().push(v);
+    }
+}
 
 /// An [`AuditHandle`] for `ctx`'s node, wired to the runtime's installed
 /// protocol auditor — or a no-op handle when none is installed.

@@ -15,19 +15,20 @@
 //! therefore starves the sender of free buffers, which is exactly why the
 //! MQ/RD designs degrade in the broadcast pattern.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 use rshuffle_audit::{AuditHandle, RingKey, RingKind};
 use rshuffle_simnet::{NodeId, SimContext, SimDuration};
 use rshuffle_verbs::{
-    CompletionQueue, Context, MemoryRegion, QueuePair, RemoteAddr, WcOpcode, WcStatus,
+    Completion, CompletionQueue, Context, MemoryRegion, QueuePair, RemoteAddr, WcOpcode, WcStatus,
 };
 
 use crate::buffer::{Buffer, MsgHeader, MsgKind, StreamState};
 use crate::endpoint::{
-    audit_handle, buf_id, Delivery, EndpointId, ReceiveEndpoint, RecvObs, SendEndpoint, SendObs,
+    audit_handle, buf_id, CqScratch, Delivery, EndpointId, ReceiveEndpoint, RecvObs, SendEndpoint,
+    SendObs, CQ_BATCH,
 };
 use crate::error::{Result, ShuffleError};
 
@@ -79,6 +80,8 @@ pub struct RdRcSendEndpoint {
     peer_index: HashMap<NodeId, usize>,
     qps: Vec<QueuePair>,
     send_cq: CompletionQueue,
+    /// Reusable scratch for batched announcement-ack drains.
+    send_scratch: CqScratch,
     /// Registered data buffers remote receivers read from.
     pool_mr: MemoryRegion,
     message_size: usize,
@@ -154,6 +157,7 @@ impl RdRcSendEndpoint {
             peer_index,
             qps,
             send_cq,
+            send_scratch: CqScratch::new(),
             pool_mr,
             message_size: cfg.message_size,
             ring_cap,
@@ -252,6 +256,30 @@ impl RdRcSendEndpoint {
         }
         Ok(progress)
     }
+
+    /// Drains queued ValidArr-announcement write acks through the handled
+    /// path (statuses checked) so the send CQ stays bounded.
+    fn drain_announce_acks(&self, sim: &SimContext) -> Result<()> {
+        let mut scratch = self.send_scratch.take();
+        self.send_cq.poll_into(sim, &mut scratch, CQ_BATCH);
+        let mut result = Ok(());
+        for c in scratch.iter() {
+            if c.status != WcStatus::Success {
+                result = Err(ShuffleError::CompletionError(
+                    "ValidArr announcement write failed",
+                ));
+                break;
+            }
+            if c.opcode != WcOpcode::Write {
+                result = Err(ShuffleError::CompletionError(
+                    "unexpected completion opcode on RD send CQ",
+                ));
+                break;
+            }
+        }
+        self.send_scratch.put(scratch);
+        result
+    }
 }
 
 /// Everything a receiver needs to pull data from an [`RdRcSendEndpoint`].
@@ -336,9 +364,9 @@ impl SendEndpoint for RdRcSendEndpoint {
             drop(guard);
             self.obs.sent(d, buf.len() as u64);
         }
-        // Keep the write-completion queue bounded.
-        while self.send_cq.depth() > 16 {
-            let _ = self.send_cq.poll(sim, 16);
+        // Keep the write-completion queue bounded, checking every ack.
+        if self.send_cq.depth() > 16 {
+            self.drain_announce_acks(sim)?;
         }
         Ok(())
     }
@@ -394,6 +422,11 @@ pub struct RdRcReceiveEndpoint {
     src_by_endpoint: HashMap<u32, usize>,
     qps: Vec<QueuePair>,
     cq: CompletionQueue,
+    /// Deliveries decoded from a batched CQ drain, waiting for a
+    /// `get_data` caller.
+    pending: Mutex<VecDeque<Delivery>>,
+    /// Reusable scratch for batched CQ drains.
+    cq_scratch: CqScratch,
     /// `ValidArr`: one ring per source, written remotely with full-buffer
     /// addresses.
     valid_arr: MemoryRegion,
@@ -482,6 +515,8 @@ impl RdRcReceiveEndpoint {
             src_by_endpoint: HashMap::new(),
             qps,
             cq,
+            pending: Mutex::new(VecDeque::new()),
+            cq_scratch: CqScratch::new(),
             valid_arr,
             pool_mr,
             message_size: cfg.message_size,
@@ -644,6 +679,72 @@ impl RdRcReceiveEndpoint {
         Ok(())
     }
 
+    /// Decodes a batch of completions: FreeArr write acks are checked and
+    /// skipped, stale-epoch reads recycled, live reads queued as pending
+    /// deliveries.
+    fn process_read_batch(&self, sim: &SimContext, batch: &[Completion]) -> Result<()> {
+        for c in batch {
+            if c.status != WcStatus::Success {
+                return Err(ShuffleError::CompletionError("RDMA read failed"));
+            }
+            match c.opcode {
+                WcOpcode::Write => continue, // FreeArr release ack.
+                WcOpcode::Read => {}
+                _ => {
+                    return Err(ShuffleError::CompletionError(
+                        "unexpected completion opcode on RD endpoint",
+                    ))
+                }
+            }
+            let si = (c.wr_id >> 32) as usize;
+            if si >= self.srcs.len() {
+                return Err(ShuffleError::Corrupt(format!(
+                    "read completion names out-of-range source slot {si}"
+                )));
+            }
+            let local_off = (c.wr_id & 0xFFFF_FFFF) as usize;
+            let mut buf = Buffer::try_new(self.pool_mr.clone(), local_off, self.message_size)?;
+            let header = buf.read_header()?;
+            if header.epoch != self.cfg.epoch {
+                // Leftover announcement from a fenced-off attempt:
+                // hand the remote buffer straight back through the
+                // FreeArr and requeue the local one, no delivery.
+                self.obs.stale_drop();
+                {
+                    let mut st = self.state.lock();
+                    st.in_flight[si] = st.in_flight[si].checked_sub(1).ok_or(
+                        ShuffleError::CompletionError("more read completions than reads posted"),
+                    )?;
+                }
+                self.push_free(sim, si, header.remote_addr)?;
+                self.state.lock().local[si].push(buf);
+                continue;
+            }
+            buf.set_len(header.payload_len as usize)?;
+            self.bytes_received
+                .fetch_add(header.payload_len as u64, Ordering::Relaxed);
+            self.obs.received(header.payload_len as u64);
+            self.audit.delivered(buf_id(&buf), sim.now().as_nanos());
+            {
+                let mut st = self.state.lock();
+                st.in_flight[si] = st.in_flight[si].checked_sub(1).ok_or(
+                    ShuffleError::CompletionError("more read completions than reads posted"),
+                )?;
+                if header.state == StreamState::Depleted {
+                    st.depleted[si] = true;
+                }
+            }
+            self.pending.lock().push_back(Delivery {
+                state: header.state,
+                src: EndpointId(header.src),
+                src_tid: header.src_tid,
+                remote: header.remote_addr,
+                local: buf,
+            });
+        }
+        Ok(())
+    }
+
     fn fully_done(&self) -> Result<bool> {
         let st = self.state.lock();
         for si in 0..self.srcs.len() {
@@ -667,6 +768,9 @@ impl ReceiveEndpoint for RdRcReceiveEndpoint {
     fn get_data(&self, sim: &SimContext) -> Result<Option<Delivery>> {
         let deadline = sim.now() + self.cfg.stall_timeout;
         loop {
+            if let Some(d) = self.pending.lock().pop_front() {
+                return Ok(Some(d));
+            }
             self.issue_reads(sim)?;
             // With reads in flight, the completion queue wakes us early; if
             // the pipeline is empty, wait for the next ValidArr
@@ -686,75 +790,19 @@ impl ReceiveEndpoint for RdRcReceiveEndpoint {
                 }
                 continue;
             }
-            match self.cq.next_timeout(sim, self.cfg.poll_interval * 64) {
-                Some(c) => {
-                    if c.status != WcStatus::Success {
-                        return Err(ShuffleError::CompletionError("RDMA read failed"));
-                    }
-                    match c.opcode {
-                        WcOpcode::Write => continue, // FreeArr release ack.
-                        WcOpcode::Read => {}
-                        _ => {
-                            return Err(ShuffleError::CompletionError(
-                                "unexpected completion opcode on RD endpoint",
-                            ))
-                        }
-                    }
-                    let si = (c.wr_id >> 32) as usize;
-                    if si >= self.srcs.len() {
-                        return Err(ShuffleError::Corrupt(format!(
-                            "read completion names out-of-range source slot {si}"
-                        )));
-                    }
-                    let local_off = (c.wr_id & 0xFFFF_FFFF) as usize;
-                    let mut buf = Buffer::try_new(self.pool_mr.clone(), local_off, self.message_size)?;
-                    let header = buf.read_header()?;
-                    if header.epoch != self.cfg.epoch {
-                        // Leftover announcement from a fenced-off attempt:
-                        // hand the remote buffer straight back through the
-                        // FreeArr and requeue the local one, no delivery.
-                        self.obs.stale_drop();
-                        {
-                            let mut st = self.state.lock();
-                            st.in_flight[si] = st.in_flight[si].checked_sub(1).ok_or(
-                                ShuffleError::CompletionError(
-                                    "more read completions than reads posted",
-                                ),
-                            )?;
-                        }
-                        self.push_free(sim, si, header.remote_addr)?;
-                        self.state.lock().local[si].push(buf);
-                        continue;
-                    }
-                    buf.set_len(header.payload_len as usize)?;
-                    self.bytes_received
-                        .fetch_add(header.payload_len as u64, Ordering::Relaxed);
-                    self.obs.received(header.payload_len as u64);
-                    self.audit.delivered(buf_id(&buf), sim.now().as_nanos());
-                    {
-                        let mut st = self.state.lock();
-                        st.in_flight[si] = st.in_flight[si].checked_sub(1).ok_or(
-                            ShuffleError::CompletionError("more read completions than reads posted"),
-                        )?;
-                        if header.state == StreamState::Depleted {
-                            st.depleted[si] = true;
-                        }
-                    }
-                    return Ok(Some(Delivery {
-                        state: header.state,
-                        src: EndpointId(header.src),
-                        src_tid: header.src_tid,
-                        remote: header.remote_addr,
-                        local: buf,
-                    }));
+            let mut scratch = self.cq_scratch.take();
+            let n = self
+                .cq
+                .drain_into(sim, &mut scratch, CQ_BATCH, self.cfg.poll_interval * 64);
+            let result = self.process_read_batch(sim, &scratch);
+            self.cq_scratch.put(scratch);
+            result?;
+            if n == 0 {
+                if self.fully_done()? {
+                    return Ok(None);
                 }
-                None => {
-                    if self.fully_done()? {
-                        return Ok(None);
-                    }
-                    if sim.now() >= deadline {
-                        return Err(ShuffleError::Stalled("RD receive made no progress"));
-                    }
+                if sim.now() >= deadline {
+                    return Err(ShuffleError::Stalled("RD receive made no progress"));
                 }
             }
         }

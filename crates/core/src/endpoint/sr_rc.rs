@@ -15,18 +15,19 @@
 //! amortize polling.
 
 use parking_lot::Mutex;
-use rshuffle_audit::{AuditHandle, CreditLane};
+use rshuffle_audit::{AuditHandle, BufId, CreditLane};
 use rshuffle_simnet::{NodeId, SimContext, SimDuration};
 use rshuffle_verbs::{
-    CompletionQueue, Context, MemoryRegion, QueuePair, RecvWr, RemoteAddr, SendWr, WcStatus,
+    Completion, CompletionQueue, Context, MemoryRegion, QueuePair, RecvWr, RemoteAddr, SendWr,
+    WcOpcode, WcStatus,
 };
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
-use crate::buffer::{Buffer, MsgHeader, MsgKind, StreamState};
+use crate::buffer::{Buffer, BufferPool, MsgHeader, MsgKind, StreamState};
 use crate::endpoint::{
-    audit_handle, buf_id, Backoff, Delivery, EndpointId, ReceiveEndpoint, RecvObs, SendEndpoint,
-    SendObs,
+    audit_handle, buf_id, Backoff, CqScratch, Delivery, EndpointId, ReceiveEndpoint, RecvObs,
+    SendEndpoint, SendObs, CQ_BATCH,
 };
 use crate::error::{Result, ShuffleError};
 
@@ -82,10 +83,11 @@ pub struct SrRcSendEndpoint {
     /// One QP per peer, indexed like `peers`.
     qps: Vec<QueuePair>,
     send_cq: CompletionQueue,
-    pool_mr: MemoryRegion,
-    message_size: usize,
-    /// Buffers ready for use.
-    free: Mutex<Vec<Buffer>>,
+    /// Recycle pool over the registered send region: steady-state sends
+    /// reuse windows instead of allocating.
+    pool: BufferPool,
+    /// Reusable scratch for batched send-CQ drains.
+    reap_scratch: CqScratch,
     /// Outstanding sends per in-flight buffer (keyed by buffer offset); a
     /// multicast buffer completes once per destination.
     outstanding: Mutex<HashMap<u64, u32>>,
@@ -114,9 +116,12 @@ impl SrRcSendEndpoint {
             .collect();
         let pool_bytes = cfg.message_size * cfg.buffers_per_peer * peers.len();
         let pool_mr = ctx.register_untimed(pool_bytes);
-        let free: Vec<Buffer> = (0..cfg.buffers_per_peer * peers.len())
-            .map(|i| Buffer::new(pool_mr.clone(), i * cfg.message_size, cfg.message_size))
-            .collect();
+        let pool = BufferPool::carve(
+            pool_mr,
+            0,
+            cfg.message_size,
+            cfg.buffers_per_peer * peers.len(),
+        );
         let credit_mr = ctx.register_untimed(8 * peers.len());
         let peer_index = peers.iter().enumerate().map(|(i, &p)| (p, i)).collect();
         let profile = ctx.profile();
@@ -129,9 +134,8 @@ impl SrRcSendEndpoint {
             peer_index,
             qps,
             send_cq,
-            pool_mr,
-            message_size: cfg.message_size,
-            free: Mutex::new(free),
+            pool,
+            reap_scratch: CqScratch::new(),
             outstanding: Mutex::new(HashMap::new()),
             credit_mr,
             sent: Mutex::new(vec![0; n]),
@@ -155,7 +159,7 @@ impl SrRcSendEndpoint {
     /// Where the receiver on `peer` should RDMA-Write its credit.
     pub fn credit_slot_for(&self, peer: NodeId) -> RemoteAddr {
         RemoteAddr {
-            node: self.pool_mr.node(),
+            node: self.pool.region().node(),
             rkey: self.credit_mr.rkey(),
             offset: 8 * self.peer_index[&peer],
         }
@@ -212,31 +216,54 @@ impl SrRcSendEndpoint {
         result
     }
 
-    /// Drains send completions, recycling buffers whose every destination
-    /// has acknowledged.
+    /// Drains a batch of send completions (one poll cost for the whole
+    /// drain), recycling buffers whose every destination has acknowledged.
+    /// Returns whether any completion was processed.
     fn reap_completions(&self, sim: &SimContext, block_slice: SimDuration) -> Result<bool> {
-        let Some(c) = self.send_cq.next_timeout(sim, block_slice) else {
-            return Ok(false);
-        };
-        if c.status != WcStatus::Success {
-            return Err(ShuffleError::CompletionError(
-                "reliable send failed (receiver never posted a receive?)",
-            ));
+        let mut scratch = self.reap_scratch.take();
+        let n = self
+            .send_cq
+            .drain_into(sim, &mut scratch, CQ_BATCH, block_slice);
+        let result = self.process_send_batch(sim, &scratch);
+        self.reap_scratch.put(scratch);
+        result?;
+        Ok(n > 0)
+    }
+
+    fn process_send_batch(&self, sim: &SimContext, batch: &[Completion]) -> Result<()> {
+        for c in batch {
+            if c.status != WcStatus::Success {
+                return Err(ShuffleError::CompletionError(
+                    "reliable send failed (receiver never posted a receive?)",
+                ));
+            }
+            let fully_acked = {
+                let mut outstanding = self.outstanding.lock();
+                let Some(remaining) = outstanding.get_mut(&c.wr_id) else {
+                    return Err(ShuffleError::CompletionError(
+                        "send completion for unknown buffer",
+                    ));
+                };
+                *remaining -= 1;
+                if *remaining == 0 {
+                    outstanding.remove(&c.wr_id);
+                    true
+                } else {
+                    false
+                }
+            };
+            if fully_acked {
+                self.audit.buffer_recycled(
+                    BufId {
+                        rkey: self.pool.region().rkey(),
+                        offset: c.wr_id,
+                    },
+                    sim.now().as_nanos(),
+                );
+                self.pool.recycle_offset(c.wr_id as usize)?;
+            }
         }
-        let mut outstanding = self.outstanding.lock();
-        let Some(remaining) = outstanding.get_mut(&c.wr_id) else {
-            return Err(ShuffleError::CompletionError(
-                "send completion for unknown buffer",
-            ));
-        };
-        *remaining -= 1;
-        if *remaining == 0 {
-            outstanding.remove(&c.wr_id);
-            let buf = Buffer::try_new(self.pool_mr.clone(), c.wr_id as usize, self.message_size)?;
-            self.audit.buffer_recycled(buf_id(&buf), sim.now().as_nanos());
-            self.free.lock().push(buf);
-        }
-        Ok(true)
+        Ok(())
     }
 }
 
@@ -306,8 +333,7 @@ impl SendEndpoint for SrRcSendEndpoint {
         let deadline = sim.now() + self.cfg.stall_timeout;
         let mut backoff = Backoff::new(self.cfg.poll_interval * 8);
         loop {
-            if let Some(mut buf) = self.free.lock().pop() {
-                buf.clear();
+            if let Some(buf) = self.pool.try_take() {
                 self.audit.buffer_taken(buf_id(&buf), sim.now().as_nanos());
                 return Ok(buf);
             }
@@ -321,7 +347,7 @@ impl SendEndpoint for SrRcSendEndpoint {
     }
 
     fn registered_bytes(&self) -> usize {
-        self.pool_mr.len() + self.credit_mr.len()
+        self.pool.region().len() + self.credit_mr.len()
     }
 
     fn charge_setup(&self, sim: &SimContext) {
@@ -337,10 +363,22 @@ pub struct SrRcReceiveEndpoint {
     src_index: HashMap<NodeId, usize>,
     qps: Vec<QueuePair>,
     recv_cq: CompletionQueue,
-    /// Send-side CQ of the receive QPs (credit write-backs), drained lazily.
+    /// Send-side CQ of the receive QPs (credit write-backs), drained lazily
+    /// through the handled path (statuses checked, never swallowed).
     ctrl_cq: CompletionQueue,
     pool_mr: MemoryRegion,
     message_size: usize,
+    /// Deliveries decoded from a batched CQ drain, waiting for a
+    /// `get_data` caller.
+    pending: Mutex<VecDeque<Delivery>>,
+    /// Reusable scratch for batched receive-CQ drains.
+    recv_scratch: CqScratch,
+    /// Reusable scratch for control-CQ drains.
+    ctrl_scratch: CqScratch,
+    /// Credit write-backs posted but not yet seen to complete. Must drain
+    /// to zero at end of stream — a swallowed control completion turns
+    /// into a typed error instead of silence.
+    ctrl_outstanding: AtomicU64,
     /// Absolute receives posted per source (the credit value).
     posted: Mutex<Vec<u64>>,
     /// Releases since the last credit write-back, per source.
@@ -389,6 +427,10 @@ impl SrRcReceiveEndpoint {
             ctrl_cq,
             pool_mr,
             message_size: cfg.message_size,
+            pending: Mutex::new(VecDeque::new()),
+            recv_scratch: CqScratch::new(),
+            ctrl_scratch: CqScratch::new(),
+            ctrl_outstanding: AtomicU64::new(0),
             posted: Mutex::new(vec![0; n]),
             releases: Mutex::new(vec![0; n]),
             credit_remote: Mutex::new(vec![None; n]),
@@ -451,56 +493,29 @@ impl ReceiveEndpoint for SrRcReceiveEndpoint {
         let deadline = sim.now() + self.cfg.stall_timeout;
         let mut backoff = Backoff::new(self.cfg.poll_interval * 16);
         loop {
+            if let Some(d) = self.pending.lock().pop_front() {
+                return Ok(Some(d));
+            }
             if self.all_depleted.load(Ordering::SeqCst) && self.recv_cq.depth() == 0 {
+                // Deliveries a concurrent drainer is still decoding will be
+                // handed out by that thread's own later calls; this caller
+                // is done once the outstanding credit write-backs complete
+                // cleanly (a swallowed control completion surfaces here).
+                self.finish_ctrl(sim)?;
                 return Ok(None);
             }
-            let Some(c) = self.recv_cq.next_timeout(sim, backoff.next()) else {
-                if sim.now() >= deadline && !self.all_depleted.load(Ordering::SeqCst) {
-                    return Err(ShuffleError::Stalled("receive endpoint made no progress"));
-                }
-                continue;
-            };
-            if c.status != WcStatus::Success {
-                return Err(ShuffleError::CompletionError("receive completed in error"));
+            let mut scratch = self.recv_scratch.take();
+            let n = self
+                .recv_cq
+                .drain_into(sim, &mut scratch, CQ_BATCH, backoff.next());
+            let result = self.process_recv_batch(sim, &scratch);
+            self.recv_scratch.put(scratch);
+            result?;
+            if n > 0 {
+                backoff.reset();
+            } else if sim.now() >= deadline && !self.all_depleted.load(Ordering::SeqCst) {
+                return Err(ShuffleError::Stalled("receive endpoint made no progress"));
             }
-            let mut buf =
-                Buffer::try_new(self.pool_mr.clone(), c.wr_id as usize, self.message_size)?;
-            let header = buf.read_header()?;
-            if header.kind != MsgKind::Data {
-                return Err(ShuffleError::Corrupt(
-                    "RC data connection delivered a non-data message".into(),
-                ));
-            }
-            buf.set_len(header.payload_len as usize)?;
-            let si = *self.src_index.get(&c.src_node).ok_or_else(|| {
-                ShuffleError::Corrupt(format!("completion from unknown source node {}", c.src_node))
-            })?;
-            if header.epoch != self.cfg.epoch {
-                // A leftover from a fenced-off flow attempt: recycle the
-                // slot (repost + credit) without delivering or counting.
-                self.obs.stale_drop();
-                self.recycle_slot(sim, si, &buf)?;
-                continue;
-            }
-            self.bytes_received
-                .fetch_add(header.payload_len as u64, Ordering::Relaxed);
-            self.obs.received(header.payload_len as u64);
-            self.src_by_endpoint.lock().entry(header.src).or_insert(si);
-            self.audit.delivered(buf_id(&buf), sim.now().as_nanos());
-            if header.state == StreamState::Depleted {
-                let mut depleted = self.depleted.lock();
-                depleted[si] = true;
-                if depleted.iter().all(|&d| d) {
-                    self.all_depleted.store(true, Ordering::SeqCst);
-                }
-            }
-            return Ok(Some(Delivery {
-                state: header.state,
-                src: EndpointId(header.src),
-                src_tid: header.src_tid,
-                remote: 0,
-                local: buf,
-            }));
         }
     }
 
@@ -540,6 +555,13 @@ impl SrRcReceiveEndpoint {
     /// [`ReceiveEndpoint::release`] path and the stale-epoch drop path
     /// (which recycles without delivering).
     fn recycle_slot(&self, sim: &SimContext, si: usize, local: &Buffer) -> Result<()> {
+        if self.depleted.lock()[si] {
+            // The source announced end-of-stream on this connection: no
+            // further Send can arrive, so reposting a receive and writing
+            // back credit would be pure tail overhead whose completions
+            // `finish_ctrl` would then have to sit out at end of stream.
+            return Ok(());
+        }
         // Repost the buffer on the connection it came from.
         self.qps[si].post_recv(
             sim,
@@ -588,11 +610,141 @@ impl SrRcReceiveEndpoint {
             self.post_credit_write(sim, si, slot, credit_now)?;
         }
         // Lazily drain credit-write completions so the control CQ does not
-        // grow without bound.
-        while self.ctrl_cq.depth() > 8 {
-            let _ = self.ctrl_cq.poll(sim, 8);
+        // grow without bound — through the handled path, so an errored
+        // write-back surfaces instead of being swallowed.
+        if self.ctrl_cq.depth() > 8 {
+            self.drain_ctrl(sim)?;
         }
         Ok(())
+    }
+
+    /// Decodes a batch of receive completions into [`Delivery`]s on the
+    /// pending queue. Depleted flags are flipped only *after* the matching
+    /// delivery is queued, so `all_depleted` can never race ahead of a
+    /// delivery that is still being decoded from the same batch.
+    fn process_recv_batch(&self, sim: &SimContext, batch: &[Completion]) -> Result<()> {
+        for c in batch {
+            if c.status != WcStatus::Success {
+                return Err(ShuffleError::CompletionError("receive completed in error"));
+            }
+            let mut buf =
+                Buffer::try_new(self.pool_mr.clone(), c.wr_id as usize, self.message_size)?;
+            let header = buf.read_header()?;
+            if header.kind != MsgKind::Data {
+                return Err(ShuffleError::Corrupt(
+                    "RC data connection delivered a non-data message".into(),
+                ));
+            }
+            buf.set_len(header.payload_len as usize)?;
+            let si = *self.src_index.get(&c.src_node).ok_or_else(|| {
+                ShuffleError::Corrupt(format!("completion from unknown source node {}", c.src_node))
+            })?;
+            if header.epoch != self.cfg.epoch {
+                // A leftover from a fenced-off flow attempt: recycle the
+                // slot (repost + credit) without delivering or counting.
+                self.obs.stale_drop();
+                self.recycle_slot(sim, si, &buf)?;
+                continue;
+            }
+            self.bytes_received
+                .fetch_add(header.payload_len as u64, Ordering::Relaxed);
+            self.obs.received(header.payload_len as u64);
+            self.src_by_endpoint.lock().entry(header.src).or_insert(si);
+            self.audit.delivered(buf_id(&buf), sim.now().as_nanos());
+            let state = header.state;
+            self.pending.lock().push_back(Delivery {
+                state,
+                src: EndpointId(header.src),
+                src_tid: header.src_tid,
+                remote: 0,
+                local: buf,
+            });
+            if state == StreamState::Depleted {
+                let mut depleted = self.depleted.lock();
+                depleted[si] = true;
+                if depleted.iter().all(|&d| d) {
+                    self.all_depleted.store(true, Ordering::SeqCst);
+                }
+                drop(depleted);
+                // Depletion closes the lane: releases stop recycling, so
+                // this is the auditor's last chance to see a write-back
+                // boundary that was reached but never announced.
+                if let Some(slot) = &self.credit_remote.lock()[si] {
+                    self.audit
+                        .credit_lane_closed(credit_lane(slot), sim.now().as_nanos());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Drains whatever is queued on the control CQ through the handled
+    /// path (non-blocking beyond the poll charge).
+    fn drain_ctrl(&self, sim: &SimContext) -> Result<()> {
+        let mut scratch = self.ctrl_scratch.take();
+        self.ctrl_cq.poll_into(sim, &mut scratch, CQ_BATCH);
+        let result = self.process_ctrl_batch(&scratch);
+        self.ctrl_scratch.put(scratch);
+        result
+    }
+
+    fn process_ctrl_batch(&self, batch: &[Completion]) -> Result<()> {
+        for c in batch {
+            // A saboteur may swallow control completions the way the old
+            // code did (`let _ = ctrl_cq.poll(..)`): the outstanding count
+            // then never drains and `finish_ctrl` reports a typed stall.
+            #[cfg(feature = "saboteur")]
+            if crate::sabotage::take(crate::sabotage::Sabotage::SwallowCtrlCompletion) {
+                continue;
+            }
+            if c.status != WcStatus::Success {
+                return Err(ShuffleError::CompletionError(
+                    "credit write-back completed in error",
+                ));
+            }
+            if c.opcode != WcOpcode::Write {
+                return Err(ShuffleError::CompletionError(
+                    "unexpected opcode on the credit control CQ",
+                ));
+            }
+            if self.ctrl_outstanding.fetch_sub(1, Ordering::SeqCst) == 0 {
+                return Err(ShuffleError::CompletionError(
+                    "credit control CQ delivered more completions than writes posted",
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Blocks until every posted credit write-back has completed cleanly.
+    /// Called once per `get_data` caller at end of stream; a write-back
+    /// whose completion was lost or errored turns into a typed error here
+    /// instead of silently leaking CQ entries.
+    fn finish_ctrl(&self, sim: &SimContext) -> Result<()> {
+        if self.ctrl_outstanding.load(Ordering::SeqCst) == 0 && self.ctrl_cq.depth() == 0 {
+            return Ok(());
+        }
+        let deadline = sim.now() + self.cfg.stall_timeout;
+        let mut backoff = Backoff::new(self.cfg.poll_interval * 4);
+        loop {
+            let mut scratch = self.ctrl_scratch.take();
+            let n = self
+                .ctrl_cq
+                .drain_into(sim, &mut scratch, CQ_BATCH, backoff.next());
+            let result = self.process_ctrl_batch(&scratch);
+            self.ctrl_scratch.put(scratch);
+            result?;
+            if self.ctrl_outstanding.load(Ordering::SeqCst) == 0 {
+                return Ok(());
+            }
+            if n > 0 {
+                backoff.reset();
+            } else if sim.now() >= deadline {
+                return Err(ShuffleError::Stalled(
+                    "credit write-back completions never arrived",
+                ));
+            }
+        }
     }
     /// RDMA-Writes the absolute credit value into the sender's credit slot.
     ///
@@ -612,6 +764,7 @@ impl SrRcReceiveEndpoint {
         // The grant was already audited under the `posted` lock in
         // `release`; auditing it again here would reorder grants across
         // threads.
+        self.ctrl_outstanding.fetch_add(1, Ordering::SeqCst);
         self.qps[si].post_write(sim, u64::MAX - seq, (self.scratch_mr.clone(), off), slot, 8)?;
         Ok(())
     }

@@ -29,16 +29,17 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use rshuffle_audit::{AuditHandle, CreditLane};
+use rshuffle_audit::{AuditHandle, BufId, CreditLane};
 use rshuffle_simnet::{Gate, NodeId, SimContext, SimDuration, SimTime};
 use rshuffle_verbs::{
-    AddressHandle, CompletionQueue, Context, MemoryRegion, QueuePair, RecvWr, SendWr, WcStatus,
+    AddressHandle, Completion, CompletionQueue, Context, MemoryRegion, QueuePair, RecvWr, SendWr,
+    WcStatus,
 };
 
-use crate::buffer::{Buffer, MsgHeader, MsgKind, StreamState, HEADER_LEN};
+use crate::buffer::{Buffer, BufferPool, MsgHeader, MsgKind, StreamState, HEADER_LEN};
 use crate::endpoint::{
-    audit_handle, buf_id, Backoff, Delivery, EndpointId, ReceiveEndpoint, RecvObs, SendEndpoint,
-    SendObs,
+    audit_handle, buf_id, Backoff, CqScratch, Delivery, EndpointId, ReceiveEndpoint, RecvObs,
+    SendEndpoint, SendObs, CQ_BATCH,
 };
 use crate::error::{Result, ShuffleError};
 
@@ -109,6 +110,9 @@ struct UdShared {
 
     /// Lane-matched peer channels: destination node → its channel's QP.
     peer_ahs: Mutex<HashMap<NodeId, AddressHandle>>,
+    /// Multicast AH lists cached per destination set: built once on the
+    /// first group send and reused, instead of rebuilt per send.
+    mcast_ahs: Mutex<HashMap<Vec<NodeId>, Arc<Vec<AddressHandle>>>>,
 
     // ---- send half ----
     /// Absolute credit granted to this channel by each destination.
@@ -118,8 +122,11 @@ struct UdShared {
     consumed: Mutex<HashMap<NodeId, u64>>,
     /// Data messages sent per destination (drives termination counting).
     sent_data: Mutex<HashMap<NodeId, u64>>,
-    send_pool: MemoryRegion,
-    free: Mutex<Vec<Buffer>>,
+    /// Recycle pool over the registered send region: steady-state sends
+    /// reuse MTU windows instead of allocating.
+    pool: BufferPool,
+    /// Reusable scratch for batched send-CQ drains.
+    send_scratch: CqScratch,
     outstanding: Mutex<HashMap<u64, u32>>,
     /// Serializes `ibv_post_send` on the shared QP; this is the contention
     /// the paper profiles for SESQ/SR (§5.1.3).
@@ -133,6 +140,8 @@ struct UdShared {
     /// Deliveries demultiplexed by some other thread (e.g. the send half's
     /// credit wait) for the receive half to pick up.
     data_gate: Gate<Delivery>,
+    /// Reusable scratch for batched receive-CQ drains.
+    recv_scratch: CqScratch,
     /// Per-source-endpoint message accounting.
     srcs: Mutex<HashMap<u32, SrcCount>>,
     /// Source endpoints that will send to this receive half.
@@ -181,9 +190,7 @@ impl SrUdChannel {
         let profile = ctx.profile();
         let mtu = profile.mtu;
         let send_pool = ctx.register_untimed(mtu * cfg.send_buffers);
-        let free = (0..cfg.send_buffers)
-            .map(|i| Buffer::new(send_pool.clone(), i * mtu, mtu))
-            .collect();
+        let pool = BufferPool::carve(send_pool, 0, mtu, cfg.send_buffers);
         let setup_cost_send = profile.endpoint_setup
             + profile.ud_qp_setup
             + profile.mr_register_time(mtu * cfg.send_buffers);
@@ -197,11 +204,12 @@ impl SrUdChannel {
                 recv_cq,
                 mtu,
                 peer_ahs: Mutex::new(HashMap::new()),
+                mcast_ahs: Mutex::new(HashMap::new()),
                 credit: Mutex::new(HashMap::new()),
                 consumed: Mutex::new(HashMap::new()),
                 sent_data: Mutex::new(HashMap::new()),
-                send_pool,
-                free: Mutex::new(free),
+                pool,
+                send_scratch: CqScratch::new(),
                 outstanding: Mutex::new(HashMap::new()),
                 post_lock: rshuffle_simnet::SimMutex::new(
                     ctx.runtime().kernel(),
@@ -210,6 +218,7 @@ impl SrUdChannel {
                 ),
                 recv_pool_dynamic: Mutex::new(None),
                 data_gate: Gate::new(ctx.runtime().kernel(), SimDuration::from_nanos(100)),
+                recv_scratch: CqScratch::new(),
                 srcs: Mutex::new(HashMap::new()),
                 expected_srcs: Mutex::new(HashMap::new()),
                 grants: Mutex::new(HashMap::new()),
@@ -358,7 +367,7 @@ impl UdShared {
             }
             // Drain inbound traffic: the credit we need may be sitting in
             // the receive CQ.
-            match self.drain_one(sim, backoff.next()) {
+            match self.drain_inbound(sim, backoff.next()) {
                 Ok(true) => backoff.reset(),
                 Ok(false) => {}
                 Err(e) => break Err(e),
@@ -370,13 +379,27 @@ impl UdShared {
         result
     }
 
-    /// Processes at most one inbound completion (credit updates handled
-    /// internally, data pushed to the data gate). Returns whether progress
-    /// was made.
-    fn drain_one(&self, sim: &SimContext, slice: SimDuration) -> Result<bool> {
-        let Some(c) = self.recv_cq.next_timeout(sim, slice) else {
-            return Ok(false);
-        };
+    /// Drains a batch of inbound completions (credit updates handled
+    /// internally, data pushed to the data gate), paying one poll cost
+    /// for the whole drain. Returns whether progress was made.
+    fn drain_inbound(&self, sim: &SimContext, slice: SimDuration) -> Result<bool> {
+        let mut scratch = self.recv_scratch.take();
+        let n = self.recv_cq.drain_into(sim, &mut scratch, CQ_BATCH, slice);
+        let mut result = Ok(());
+        for c in scratch.iter() {
+            result = self.process_inbound(sim, c);
+            if result.is_err() {
+                break;
+            }
+        }
+        self.recv_scratch.put(scratch);
+        result?;
+        Ok(n > 0)
+    }
+
+    /// Demultiplexes one inbound completion: stale datagrams are recycled,
+    /// credit updates folded into the credit map, data pushed to the gate.
+    fn process_inbound(&self, sim: &SimContext, c: &Completion) -> Result<()> {
         if c.status != WcStatus::Success {
             return Err(ShuffleError::CompletionError(
                 "UD receive completed in error",
@@ -402,7 +425,7 @@ impl UdShared {
                 },
             )?;
             *self.last_progress.lock() = sim.now();
-            return Ok(true);
+            return Ok(());
         }
         match header.kind {
             MsgKind::Credit => {
@@ -424,7 +447,7 @@ impl UdShared {
                     },
                 )?;
                 *self.last_progress.lock() = sim.now();
-                Ok(true)
+                Ok(())
             }
             MsgKind::Data => {
                 buf.set_len(header.payload_len as usize)?;
@@ -458,9 +481,54 @@ impl UdShared {
                     remote: 0,
                     local: buf,
                 });
-                Ok(true)
+                Ok(())
             }
         }
+    }
+
+    /// Drains a batch of send completions, recycling buffers whose every
+    /// destination has acknowledged.
+    fn reap_sends(&self, sim: &SimContext, slice: SimDuration) -> Result<bool> {
+        let mut scratch = self.send_scratch.take();
+        let n = self.send_cq.drain_into(sim, &mut scratch, CQ_BATCH, slice);
+        let result = self.process_send_batch(sim, &scratch);
+        self.send_scratch.put(scratch);
+        result?;
+        Ok(n > 0)
+    }
+
+    fn process_send_batch(&self, sim: &SimContext, batch: &[Completion]) -> Result<()> {
+        for c in batch {
+            if c.status != WcStatus::Success {
+                return Err(ShuffleError::CompletionError("UD send failed"));
+            }
+            let fully_acked = {
+                let mut outstanding = self.outstanding.lock();
+                let Some(remaining) = outstanding.get_mut(&c.wr_id) else {
+                    return Err(ShuffleError::CompletionError(
+                        "UD send completion for unknown buffer",
+                    ));
+                };
+                *remaining -= 1;
+                if *remaining == 0 {
+                    outstanding.remove(&c.wr_id);
+                    true
+                } else {
+                    false
+                }
+            };
+            if fully_acked {
+                self.audit.buffer_recycled(
+                    BufId {
+                        rkey: self.pool.region().rkey(),
+                        offset: c.wr_id,
+                    },
+                    sim.now().as_nanos(),
+                );
+                self.pool.recycle_offset(c.wr_id as usize)?;
+            }
+        }
+        Ok(())
     }
 
     /// Whether every expected source has delivered all counted messages.
@@ -498,6 +566,28 @@ impl UdShared {
         } else {
             Ok(DoneState::Done)
         }
+    }
+
+    /// The cached AH list for a multicast destination set, built on first
+    /// use. Steady-state lookups borrow the key as a slice — no allocation.
+    fn cached_mcast_ahs(&self, dest: &[NodeId]) -> Result<Arc<Vec<AddressHandle>>> {
+        if let Some(ahs) = self.mcast_ahs.lock().get(dest) {
+            return Ok(ahs.clone());
+        }
+        let built = {
+            let peers = self.peer_ahs.lock();
+            let mut ahs = Vec::with_capacity(dest.len());
+            for &d in dest {
+                ahs.push(*peers.get(&d).ok_or_else(|| {
+                    ShuffleError::Config(format!("unknown destination node {d}"))
+                })?);
+            }
+            Arc::new(ahs)
+        };
+        self.mcast_ahs
+            .lock()
+            .insert(dest.to_vec(), built.clone()); // alloc-ok: one-time cache fill per distinct destination set
+        Ok(built)
     }
 
     /// Builds the restart error naming the worst straggler source.
@@ -613,40 +703,23 @@ impl SendEndpoint for SrUdSendEndpoint {
     fn get_free(&self, sim: &SimContext) -> Result<Buffer> {
         let s = &self.shared;
         let deadline = sim.now() + s.cfg.stall_timeout;
+        let mut backoff = Backoff::new(s.cfg.poll_interval * 8);
         loop {
-            if let Some(mut buf) = s.free.lock().pop() {
-                buf.clear();
+            if let Some(buf) = s.pool.try_take() {
                 s.audit.buffer_taken(buf_id(&buf), sim.now().as_nanos());
                 return Ok(buf);
             }
             if sim.now() >= deadline {
                 return Err(ShuffleError::Stalled("waiting for a free UD send buffer"));
             }
-            let Some(c) = s.send_cq.next_timeout(sim, s.cfg.poll_interval * 8) else {
-                continue;
-            };
-            if c.status != WcStatus::Success {
-                return Err(ShuffleError::CompletionError("UD send failed"));
-            }
-            let mut outstanding = s.outstanding.lock();
-            let Some(remaining) = outstanding.get_mut(&c.wr_id) else {
-                return Err(ShuffleError::CompletionError(
-                    "UD send completion for unknown buffer",
-                ));
-            };
-            *remaining -= 1;
-            if *remaining == 0 {
-                outstanding.remove(&c.wr_id);
-                drop(outstanding);
-                let buf = Buffer::try_new(s.send_pool.clone(), c.wr_id as usize, s.mtu)?;
-                s.audit.buffer_recycled(buf_id(&buf), sim.now().as_nanos());
-                s.free.lock().push(buf);
+            if s.reap_sends(sim, backoff.next())? {
+                backoff.reset();
             }
         }
     }
 
     fn registered_bytes(&self) -> usize {
-        self.shared.send_pool.len()
+        self.shared.pool.region().len()
     }
 
     fn charge_setup(&self, sim: &SimContext) {
@@ -665,20 +738,17 @@ impl SrUdSendEndpoint {
         dest: &[NodeId],
     ) -> Result<()> {
         let s = &self.shared;
-        let mut ahs = Vec::with_capacity(dest.len());
+        // AH lists are cached per destination set at first use (satellite
+        // of the hot-path pass): steady-state multicast sends rebuild
+        // nothing.
+        let ahs = s.cached_mcast_ahs(dest)?;
         for &d in dest {
-            let ah = *s
-                .peer_ahs
-                .lock()
-                .get(&d)
-                .ok_or_else(|| ShuffleError::Config(format!("unknown destination node {d}")))?;
             s.consume_credit(sim, d)?;
             let mut sent = s.sent_data.lock();
             *sent.entry(d).or_insert(0) += 1;
             drop(sent);
             s.audit
                 .data_sent(s.send_id.0 as u64, d as u64, sim.now().as_nanos());
-            ahs.push(ah);
         }
         let header = MsgHeader {
             src: s.send_id.0,
@@ -733,7 +803,7 @@ impl ReceiveEndpoint for SrUdReceiveEndpoint {
             if s.done.load(Ordering::SeqCst) {
                 return Ok(None);
             }
-            if s.drain_one(sim, backoff.next())? {
+            if s.drain_inbound(sim, backoff.next())? {
                 backoff.reset();
                 continue;
             }

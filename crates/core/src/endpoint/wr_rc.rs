@@ -19,12 +19,14 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use parking_lot::Mutex;
 use rshuffle_audit::{AuditHandle, BufId, RingKey, RingKind};
 use rshuffle_simnet::{NodeId, SimContext, SimDuration};
-use rshuffle_verbs::{CompletionQueue, Context, MemoryRegion, QueuePair, RemoteAddr, WcStatus};
+use rshuffle_verbs::{
+    Completion, CompletionQueue, Context, MemoryRegion, QueuePair, RemoteAddr, WcOpcode, WcStatus,
+};
 
 use crate::buffer::{Buffer, MsgHeader, MsgKind, StreamState};
 use crate::endpoint::{
-    audit_handle, buf_id, Backoff, Delivery, EndpointId, ReceiveEndpoint, RecvObs, SendEndpoint,
-    SendObs,
+    audit_handle, buf_id, Backoff, CqScratch, Delivery, EndpointId, ReceiveEndpoint, RecvObs,
+    SendEndpoint, SendObs, CQ_BATCH,
 };
 use crate::error::{Result, ShuffleError};
 
@@ -90,6 +92,8 @@ pub struct WrRcSendEndpoint {
     peer_index: HashMap<NodeId, usize>,
     qps: Vec<QueuePair>,
     send_cq: CompletionQueue,
+    /// Reusable scratch for batched send-CQ drains.
+    send_scratch: CqScratch,
     /// Local staging buffers the operators fill.
     pool_mr: MemoryRegion,
     message_size: usize,
@@ -156,6 +160,7 @@ impl WrRcSendEndpoint {
             peer_index,
             qps,
             send_cq,
+            send_scratch: CqScratch::new(),
             pool_mr,
             message_size: cfg.message_size,
             ring_cap,
@@ -294,33 +299,46 @@ impl WrRcSendEndpoint {
         result
     }
 
-    /// Reaps write completions, recycling staging buffers.
+    /// Reaps a batch of write completions (one poll cost for the whole
+    /// drain), recycling staging buffers. Returns whether progress was
+    /// made.
     fn reap(&self, sim: &SimContext, slice: SimDuration) -> Result<bool> {
-        let Some(c) = self.send_cq.next_timeout(sim, slice) else {
-            return Ok(false);
-        };
-        if c.status != WcStatus::Success {
-            return Err(ShuffleError::CompletionError("RDMA write failed"));
+        let mut scratch = self.send_scratch.take();
+        let n = self
+            .send_cq
+            .drain_into(sim, &mut scratch, CQ_BATCH, slice);
+        let result = self.process_send_batch(sim, &scratch);
+        self.send_scratch.put(scratch);
+        result?;
+        Ok(n > 0)
+    }
+
+    fn process_send_batch(&self, sim: &SimContext, batch: &[Completion]) -> Result<()> {
+        for c in batch {
+            if c.status != WcStatus::Success {
+                return Err(ShuffleError::CompletionError("RDMA write failed"));
+            }
+            // Ring announcements use sequence ids above the staging range
+            // and need no bookkeeping.
+            if c.wr_id >= RING_WR_BASE {
+                continue;
+            }
+            let mut st = self.state.lock();
+            let Some(remaining) = st.outstanding.get_mut(&c.wr_id) else {
+                return Err(ShuffleError::CompletionError(
+                    "write completion for unknown staging buffer",
+                ));
+            };
+            *remaining -= 1;
+            if *remaining == 0 {
+                st.outstanding.remove(&c.wr_id);
+                let buf =
+                    Buffer::try_new(self.pool_mr.clone(), c.wr_id as usize, self.message_size)?;
+                self.audit.buffer_recycled(buf_id(&buf), sim.now().as_nanos());
+                st.free.push(buf);
+            }
         }
-        // Ring announcements use sequence ids above the staging range and
-        // need no bookkeeping.
-        if c.wr_id >= RING_WR_BASE {
-            return Ok(true);
-        }
-        let mut st = self.state.lock();
-        let Some(remaining) = st.outstanding.get_mut(&c.wr_id) else {
-            return Err(ShuffleError::CompletionError(
-                "write completion for unknown staging buffer",
-            ));
-        };
-        *remaining -= 1;
-        if *remaining == 0 {
-            st.outstanding.remove(&c.wr_id);
-            let buf = Buffer::try_new(self.pool_mr.clone(), c.wr_id as usize, self.message_size)?;
-            self.audit.buffer_recycled(buf_id(&buf), sim.now().as_nanos());
-            st.free.push(buf);
-        }
-        Ok(true)
+        Ok(())
     }
 }
 
@@ -447,6 +465,8 @@ pub struct WrRcReceiveEndpoint {
     src_index: HashMap<NodeId, usize>,
     qps: Vec<QueuePair>,
     ctrl_cq: CompletionQueue,
+    /// Reusable scratch for batched control-CQ drains.
+    ctrl_scratch: CqScratch,
     /// Data buffers remote senders write into; per-source partitions.
     pool_mr: MemoryRegion,
     /// `ValidArr`: per-source rings announcing filled buffers.
@@ -521,6 +541,7 @@ impl WrRcReceiveEndpoint {
             src_index,
             qps,
             ctrl_cq,
+            ctrl_scratch: CqScratch::new(),
             pool_mr,
             valid_arr,
             message_size: cfg.message_size,
@@ -610,10 +631,33 @@ impl WrRcReceiveEndpoint {
             offset: ring.offset + 8 * idx,
         };
         self.qps[si].post_write(sim, seq, (self.scratch.clone(), scratch_off), target, 8)?;
-        while self.ctrl_cq.depth() > 16 {
-            let _ = self.ctrl_cq.poll(sim, 16);
+        // Keep the control CQ bounded, checking every grant-write ack
+        // instead of swallowing them.
+        if self.ctrl_cq.depth() > 16 {
+            self.drain_ctrl(sim)?;
         }
         Ok(())
+    }
+
+    /// Drains queued grant-write acks through the handled path.
+    fn drain_ctrl(&self, sim: &SimContext) -> Result<()> {
+        let mut scratch = self.ctrl_scratch.take();
+        self.ctrl_cq.poll_into(sim, &mut scratch, CQ_BATCH);
+        let mut result = Ok(());
+        for c in scratch.iter() {
+            if c.status != WcStatus::Success {
+                result = Err(ShuffleError::CompletionError("buffer grant write failed"));
+                break;
+            }
+            if c.opcode != WcOpcode::Write {
+                result = Err(ShuffleError::CompletionError(
+                    "unexpected completion opcode on WR control CQ",
+                ));
+                break;
+            }
+        }
+        self.ctrl_scratch.put(scratch);
+        result
     }
 
     fn fully_done(&self) -> Result<bool> {

@@ -30,6 +30,12 @@ pub enum Sabotage {
     /// Write design (§7), inviting the sender to overwrite a buffer the
     /// operator may still be reading.
     DoubleGrant = 3,
+    /// Swallow one credit write-back completion on the RC control CQ
+    /// without accounting for it — the bug the old
+    /// `let _ = ctrl_cq.poll(..)` drain had by construction. The
+    /// outstanding-write ledger never drains and end-of-stream reports
+    /// a typed stall instead of passing silently.
+    SwallowCtrlCompletion = 4,
 }
 
 /// Currently armed saboteur, encoded as `discriminant + 1` (0 = none).

@@ -11,7 +11,7 @@
 //! algorithms degrade as the cluster grows while the Θ(1)/Θ(t)-QP
 //! Unreliable Datagram designs do not.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -365,6 +365,13 @@ pub struct NicModel {
     wr_nic: SimDuration,
     wr_recv_match: SimDuration,
     qp_cache_miss: SimDuration,
+    /// Doorbell coalescing (see [`DeviceProfile::doorbell_window`]): the
+    /// arrival time of the last *sender-side* work request per QP context.
+    /// Lookup/insert only — iteration order is never observed, so the map
+    /// stays deterministic.
+    doorbell: Mutex<HashMap<u64, SimTime>>,
+    doorbell_window: SimDuration,
+    wr_nic_batched: SimDuration,
 }
 
 impl NicModel {
@@ -397,6 +404,9 @@ impl NicModel {
             wr_nic: profile.wr_nic,
             wr_recv_match: profile.wr_recv_match,
             qp_cache_miss: profile.qp_cache_miss,
+            doorbell: Mutex::new(HashMap::new()),
+            doorbell_window: profile.doorbell_window,
+            wr_nic_batched: profile.wr_nic_batched,
         }
     }
 
@@ -413,9 +423,23 @@ impl NicModel {
     /// untagged or unregistered flows take the plain FIFO path.
     pub fn process_flow(&self, at: SimTime, qp_ctx: u64, kind: WrKind, flow: FlowId) -> SimTime {
         let base = match kind {
-            WrKind::SendRc | WrKind::SendUd | WrKind::Read | WrKind::Write | WrKind::RemoteDma => {
-                self.wr_nic
+            WrKind::SendRc | WrKind::SendUd | WrKind::Read | WrKind::Write => {
+                // Doorbell coalescing: a sender-side WR arriving hot on the
+                // heels of the previous one on the same QP context rides
+                // that doorbell (the driver chains WQEs), paying only the
+                // amortized fetch cost. Receive matching and passive DMA
+                // service never ring a doorbell.
+                let mut doorbell = self.doorbell.lock();
+                let batched = doorbell
+                    .insert(qp_ctx, at)
+                    .is_some_and(|last| at <= last + self.doorbell_window);
+                if batched {
+                    self.wr_nic_batched
+                } else {
+                    self.wr_nic
+                }
             }
+            WrKind::RemoteDma => self.wr_nic,
             WrKind::RecvMatch => self.wr_recv_match,
         };
         let hit = self.cache.lock().touch(qp_ctx);
@@ -508,6 +532,37 @@ mod tests {
         let s = n.stats();
         assert_eq!(s.qp_cache_misses, 8, "only cold misses");
         assert_eq!(s.qp_cache_hits, 72);
+    }
+
+    #[test]
+    fn doorbell_window_batches_back_to_back_sends() {
+        let n = nic();
+        let p = DeviceProfile::fdr();
+        // Cold-warm the context so only pipeline occupancy remains.
+        n.process(SimTime::ZERO, 3, WrKind::SendRc);
+        // Fresh doorbell well past the window: full per-WR cost.
+        let t0 = SimTime::from_nanos(10_000);
+        let a = n.process(t0, 3, WrKind::SendRc);
+        assert_eq!((a - t0).as_nanos(), p.wr_nic.as_nanos());
+        // A WR arriving within the window of the previous *arrival* rides
+        // that doorbell and pays only the batched cost.
+        let b = n.process(t0 + SimDuration::from_nanos(100), 3, WrKind::SendRc);
+        assert_eq!((b - a).as_nanos(), p.wr_nic_batched.as_nanos());
+        // Far outside the window: a new doorbell at full cost again.
+        let late = b + p.doorbell_window + SimDuration::from_nanos(1);
+        let t2 = n.process(late, 3, WrKind::SendRc);
+        assert_eq!((t2 - late).as_nanos(), p.wr_nic.as_nanos());
+    }
+
+    #[test]
+    fn doorbell_window_never_batches_recv_match() {
+        let n = nic();
+        let p = DeviceProfile::fdr();
+        let warm = n.process(SimTime::ZERO, 4, WrKind::RecvMatch);
+        // Back-to-back receive matching keeps the full per-WR cost: there
+        // is no doorbell on the receive path.
+        let t1 = n.process(warm, 4, WrKind::RecvMatch);
+        assert_eq!((t1 - warm).as_nanos(), p.wr_recv_match.as_nanos());
     }
 
     #[test]

@@ -39,6 +39,15 @@ pub struct DeviceProfile {
     pub qp_cache_miss: SimDuration,
     /// NIC pipeline occupancy per send/read work request.
     pub wr_nic: SimDuration,
+    /// Doorbell coalescing window: a sender-side work request arriving at
+    /// the NIC within this long of the previous one on the *same* QP
+    /// context rides the earlier doorbell (the driver chains WQEs and
+    /// rings once), paying [`DeviceProfile::wr_nic_batched`] instead of
+    /// the full per-doorbell cost. Receive matching is never coalesced.
+    pub doorbell_window: SimDuration,
+    /// NIC pipeline occupancy for a work request absorbed into an earlier
+    /// doorbell (WQE fetch amortized across the chain).
+    pub wr_nic_batched: SimDuration,
     /// NIC pipeline occupancy to match an incoming message to a posted
     /// receive.
     pub wr_recv_match: SimDuration,
@@ -108,6 +117,8 @@ impl DeviceProfile {
             qp_cache_entries: 28,
             qp_cache_miss: SimDuration::from_nanos(1_500),
             wr_nic: SimDuration::from_nanos(260),
+            doorbell_window: SimDuration::from_nanos(600),
+            wr_nic_batched: SimDuration::from_nanos(90),
             wr_recv_match: SimDuration::from_nanos(120),
             switch_latency: SimDuration::from_nanos(300),
             rc_ack_latency: SimDuration::from_nanos(1_800),
@@ -144,6 +155,8 @@ impl DeviceProfile {
             qp_cache_entries: 640,
             qp_cache_miss: SimDuration::from_nanos(450),
             wr_nic: SimDuration::from_nanos(160),
+            doorbell_window: SimDuration::from_nanos(600),
+            wr_nic_batched: SimDuration::from_nanos(50),
             wr_recv_match: SimDuration::from_nanos(80),
             switch_latency: SimDuration::from_nanos(230),
             rc_ack_latency: SimDuration::from_nanos(1_200),

@@ -10,6 +10,7 @@
 
 use std::sync::Arc;
 
+use parking_lot::Mutex;
 use rshuffle_obs::{EventKind, Obs, Stage};
 use rshuffle_simnet::{Gate, Kernel, SimContext, SimDuration};
 
@@ -78,9 +79,32 @@ struct CqInner {
     poll_cost: SimDuration,
     kernel: Kernel,
     obs: Option<Arc<Obs>>,
+    /// Completions already paid for by an earlier poll charge. One
+    /// `ibv_poll_cq` call retrieves every queued entry for a single CPU
+    /// cost; consumers that then take entries one at a time (the blocking
+    /// [`CompletionQueue::next`] family) must not be billed again for the
+    /// remainder of that burst.
+    prepaid: Mutex<usize>,
 }
 
 impl CqInner {
+    /// Charges one poll cost unless a previous charge already covered this
+    /// retrieval (burst semantics of `ibv_poll_cq`): when the queue holds
+    /// `k` entries at charge time, the first retrieval pays and the next
+    /// `k - 1` ride along free.
+    fn charge_poll(&self, ctx: &SimContext) {
+        {
+            let mut prepaid = self.prepaid.lock();
+            if *prepaid > 0 {
+                *prepaid -= 1;
+                return;
+            }
+        }
+        // Never sleep while holding the lock: the kernel may run another
+        // sim thread that polls this CQ during the charge.
+        ctx.sleep(self.poll_cost);
+        *self.prepaid.lock() = self.gate.len().saturating_sub(1);
+    }
     /// One flight-recorder event per retrieved completion, on the
     /// polling thread's track, plus the post→completion and
     /// completion→poll stage latencies. Pure recording — never advances
@@ -125,38 +149,92 @@ impl CompletionQueue {
                 poll_cost,
                 kernel: kernel.clone(),
                 obs: kernel.obs(),
+                prepaid: Mutex::new(0),
             }),
         }
     }
 
     /// Non-blocking poll: drains up to `max` completions, charging one poll
-    /// cost. Mirrors `ibv_poll_cq`.
+    /// cost. Mirrors `ibv_poll_cq`. Prefer [`CompletionQueue::poll_into`]
+    /// on hot paths — it reuses caller scratch instead of allocating.
     pub fn poll(&self, ctx: &SimContext, max: usize) -> Vec<Completion> {
-        ctx.sleep(self.inner.poll_cost);
         let mut out = Vec::new();
+        self.poll_into(ctx, &mut out, max);
+        out
+    }
+
+    /// Non-blocking batched drain into caller-owned scratch: clears `out`,
+    /// then moves up to `max` queued completions into it, charging one poll
+    /// cost for the whole drain (`ibv_poll_cq` batch semantics). Returns
+    /// the number of completions retrieved.
+    pub fn poll_into(&self, ctx: &SimContext, out: &mut Vec<Completion>, max: usize) -> usize {
+        out.clear();
+        // A fresh poll call supersedes any burst credit from earlier
+        // one-at-a-time consumption.
+        *self.inner.prepaid.lock() = 0;
+        ctx.sleep(self.inner.poll_cost);
         while out.len() < max {
             match self.inner.gate.try_recv() {
                 Some(c) => out.push(c),
                 None => break,
             }
         }
-        for c in &out {
+        for c in out.iter() {
             self.inner.observe_polled(ctx, c);
         }
-        out
+        out.len()
+    }
+
+    /// Blocking batched drain into caller-owned scratch: clears `out`,
+    /// waits up to `timeout` for the first completion, then drains up to
+    /// `max - 1` more that are already queued — all for a single poll
+    /// cost. Returns the number retrieved (zero on timeout). This is the
+    /// endpoint wait-loop workhorse: one charge per burst, no allocation.
+    pub fn drain_into(
+        &self,
+        ctx: &SimContext,
+        out: &mut Vec<Completion>,
+        max: usize,
+        timeout: SimDuration,
+    ) -> usize {
+        out.clear();
+        if max == 0 {
+            return 0;
+        }
+        *self.inner.prepaid.lock() = 0;
+        ctx.sleep(self.inner.poll_cost);
+        match self.inner.gate.recv_timeout(ctx, timeout) {
+            rshuffle_simnet::RecvTimeout::Value(c) => out.push(c),
+            rshuffle_simnet::RecvTimeout::TimedOut => return 0,
+        }
+        while out.len() < max {
+            match self.inner.gate.try_recv() {
+                Some(c) => out.push(c),
+                None => break,
+            }
+        }
+        for c in out.iter() {
+            self.inner.observe_polled(ctx, c);
+        }
+        out.len()
     }
 
     /// Blocks until one completion is available and returns it.
+    ///
+    /// Burst pricing: if a previous charge already covered this entry (the
+    /// queue held several completions when it was paid), no additional
+    /// poll cost is charged — see [`CqInner::charge_poll`].
     pub fn next(&self, ctx: &SimContext) -> Completion {
-        ctx.sleep(self.inner.poll_cost);
+        self.inner.charge_poll(ctx);
         let c = self.inner.gate.recv(ctx);
         self.inner.observe_polled(ctx, &c);
         c
     }
 
-    /// Blocks until a completion arrives or `timeout` elapses.
+    /// Blocks until a completion arrives or `timeout` elapses. Shares
+    /// [`CompletionQueue::next`]'s burst pricing.
     pub fn next_timeout(&self, ctx: &SimContext, timeout: SimDuration) -> Option<Completion> {
-        ctx.sleep(self.inner.poll_cost);
+        self.inner.charge_poll(ctx);
         match self.inner.gate.recv_timeout(ctx, timeout) {
             rshuffle_simnet::RecvTimeout::Value(c) => {
                 self.inner.observe_polled(ctx, &c);
@@ -263,6 +341,126 @@ mod tests {
         kernel.spawn(0, "poller", move |sim| {
             assert!(cq.poll(&sim, 8).is_empty());
             assert_eq!(sim.now().as_nanos(), 50);
+        });
+        kernel.run();
+    }
+
+    #[test]
+    fn burst_of_next_calls_charges_one_poll_cost() {
+        // Eight completions queued before the consumer runs: real
+        // `ibv_poll_cq` retrieves them all for one call's CPU cost, so
+        // eight blocking next() calls must charge one poll cost total,
+        // not eight.
+        let kernel = Kernel::new();
+        let cq = cq(&kernel);
+        for i in 0..8 {
+            cq.deposit(dummy(i));
+        }
+        let cq2 = cq.clone();
+        kernel.spawn(0, "consumer", move |sim| {
+            for i in 0..8 {
+                let c = cq2.next(&sim);
+                assert_eq!(c.wr_id, i);
+            }
+            // One 50ns charge for the whole burst.
+            assert_eq!(sim.now().as_nanos(), 50);
+            // The burst credit is spent: the next charge is a fresh one.
+            cq2.deposit(dummy(99));
+            let c = cq2.next(&sim);
+            assert_eq!(c.wr_id, 99);
+            assert_eq!(sim.now().as_nanos(), 100);
+        });
+        kernel.run();
+    }
+
+    #[test]
+    fn next_timeout_burst_shares_the_charge() {
+        let kernel = Kernel::new();
+        let cq = cq(&kernel);
+        for i in 0..3 {
+            cq.deposit(dummy(i));
+        }
+        let cq2 = cq.clone();
+        kernel.spawn(0, "consumer", move |sim| {
+            let t = SimDuration::from_micros(1);
+            for _ in 0..3 {
+                assert!(cq2.next_timeout(&sim, t).is_some());
+            }
+            assert_eq!(sim.now().as_nanos(), 50);
+        });
+        kernel.run();
+    }
+
+    #[test]
+    fn poll_into_reuses_scratch_and_charges_once() {
+        let kernel = Kernel::new();
+        let cq = cq(&kernel);
+        for i in 0..5 {
+            cq.deposit(dummy(i));
+        }
+        let cq2 = cq.clone();
+        kernel.spawn(0, "poller", move |sim| {
+            let mut scratch = Vec::with_capacity(8);
+            assert_eq!(cq2.poll_into(&sim, &mut scratch, 8), 5);
+            assert_eq!(scratch.len(), 5);
+            assert_eq!(scratch[4].wr_id, 4);
+            assert_eq!(sim.now().as_nanos(), 50);
+            // Scratch is cleared on reuse, capacity retained.
+            assert_eq!(cq2.poll_into(&sim, &mut scratch, 8), 0);
+            assert!(scratch.is_empty());
+            assert_eq!(sim.now().as_nanos(), 100);
+        });
+        kernel.run();
+    }
+
+    #[test]
+    fn drain_into_blocks_then_drains_queued_burst() {
+        let kernel = Kernel::new();
+        let cq = cq(&kernel);
+        let cq2 = cq.clone();
+        kernel.spawn(0, "drainer", move |sim| {
+            let mut scratch = Vec::new();
+            // Blocks for the first completion, then picks up the rest of
+            // the burst for the same single charge.
+            let n = cq2.drain_into(&sim, &mut scratch, 8, SimDuration::from_micros(5));
+            assert_eq!(n, 3);
+            // Deposits at 1000, +200 completion latency, poll cost charged
+            // before blocking.
+            assert_eq!(sim.now().as_nanos(), 1_200);
+            // Timeout path returns zero after charging.
+            assert_eq!(
+                cq2.drain_into(&sim, &mut scratch, 8, SimDuration::from_nanos(100)),
+                0
+            );
+        });
+        let cq3 = cq.clone();
+        kernel.schedule(rshuffle_simnet::SimTime::from_nanos(1_000), move || {
+            for i in 0..3 {
+                cq3.deposit(dummy(i));
+            }
+        });
+        kernel.run();
+    }
+
+    #[test]
+    fn poll_resets_stale_burst_credit() {
+        let kernel = Kernel::new();
+        let cq = cq(&kernel);
+        for i in 0..4 {
+            cq.deposit(dummy(i));
+        }
+        let cq2 = cq.clone();
+        kernel.spawn(0, "mixed", move |sim| {
+            // next() pays once and prepays the other three...
+            let _ = cq2.next(&sim);
+            assert_eq!(sim.now().as_nanos(), 50);
+            // ...but an explicit poll is a fresh ibv_poll_cq call: it
+            // charges again and supersedes the leftover credit.
+            assert_eq!(cq2.poll(&sim, 8).len(), 3);
+            assert_eq!(sim.now().as_nanos(), 100);
+            cq2.deposit(dummy(9));
+            let _ = cq2.next(&sim);
+            assert_eq!(sim.now().as_nanos(), 150);
         });
         kernel.run();
     }

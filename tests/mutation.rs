@@ -141,6 +141,26 @@ fn underreported_depleted_count_is_named() {
     );
 }
 
+/// Swallowing one credit write-back completion on the RC control CQ —
+/// exactly what the old `let _ = ctrl_cq.poll(..)` drain did to every
+/// ctrl completion — leaves the outstanding-write ledger nonzero
+/// forever. End-of-stream must turn that into a typed stall, not a
+/// silent pass.
+#[test]
+fn swallowed_ctrl_completion_is_named() {
+    let _guard = SABOTAGE_LOCK.lock();
+    let run = run_sabotaged(ShuffleAlgorithm::MEMQ_SR, Sabotage::SwallowCtrlCompletion);
+    let failure = run
+        .report
+        .failure
+        .as_ref()
+        .expect("a swallowed ctrl completion must fail the query, not pass silently");
+    assert!(
+        format!("{failure:?}").contains("credit write-back"),
+        "failure must name the unaccounted credit write-back, got {failure:?}"
+    );
+}
+
 /// Granting the same remote buffer offset twice in the RDMA Write
 /// design invites the sender to overwrite a buffer the operator may
 /// still be reading; the auditor sees the second grant as releasing a
