@@ -24,8 +24,8 @@ cargo clippy --workspace --all-targets --features saboteur $CARGO_FLAGS -- -D wa
 # Panic-free data path: endpoint hot paths and the recovery/restart
 # orchestrators propagate typed ShuffleErrors; unwrap/expect would turn a
 # poisoned ring slot or a failed reconnect into a process abort.
-if grep -rnE '\.(unwrap|expect)\(' crates/core/src/endpoint/ crates/engine/src/; then
-  echo "ERROR: unwrap()/expect() on an engine or endpoint data path (see above)" >&2
+if grep -rnE '\.(unwrap|expect)\(' crates/core/src/endpoint/ crates/engine/src/ crates/mux/src/; then
+  echo "ERROR: unwrap()/expect() on an engine, endpoint or mux data path (see above)" >&2
   exit 1
 fi
 
@@ -50,6 +50,9 @@ cargo run -q --release -p rshuffle-bench --bin chaos $CARGO_FLAGS -- --smoke
 # Scheduler unit tests (the umbrella suite only runs integration tests).
 cargo test -q -p rshuffle-sched --lib $CARGO_FLAGS
 
+# Multiplexer unit tests: slot leasing, LRU sharing, credit accounting.
+cargo test -q -p rshuffle-mux --lib $CARGO_FLAGS
+
 # Concurrency smoke: 1 and 2 co-running queries per algorithm through the
 # admission scheduler; fails unless queries genuinely overlap in virtual
 # time and the registered-memory budget holds on every node.
@@ -71,6 +74,17 @@ if cargo run -q --release -p rshuffle-bench --bin perfdiff $CARGO_FLAGS -- \
   echo "ERROR: perfdiff failed to catch an injected 2x latency regression" >&2
   exit 1
 fi
+
+# Scale-out smoke: the 32-node crossover-pair sweep over the fat-tree
+# fabric, with and without the QP cap, gated against the committed
+# baseline on its deterministic virtual-time metrics (qp_count and
+# lease waits ride along as informational rows).
+SCALE_CAND=$(mktemp /tmp/rshuffle-scale-cand.XXXXXX.json)
+trap 'rm -f "$PERF_CAND" "$SCALE_CAND"' EXIT
+cargo run -q --release -p rshuffle-bench --bin scale $CARGO_FLAGS -- \
+  --smoke --emit "$SCALE_CAND" >/dev/null
+cargo run -q --release -p rshuffle-bench --bin perfdiff $CARGO_FLAGS -- \
+  --against BENCH_SCALE_0009.json --candidate "$SCALE_CAND" --tolerance-pct 10
 
 # Documentation gate: rshuffle-sched is #![warn(missing_docs)]; deny all
 # rustdoc warnings workspace-wide so the public surface stays documented.

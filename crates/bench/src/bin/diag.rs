@@ -37,6 +37,25 @@ fn canned_plan(name: &str) -> Option<FaultPlan> {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    if args.get(1).is_some_and(|a| a == "--topology") {
+        // `diag --topology [NODES] [OVERSUB] [HOSTS_PER_LEAF]`: dump the
+        // simulated fabric layout (leaf/spine structure, per-link
+        // capacities, oversubscription) without running a workload.
+        let nodes: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(16);
+        let oversub: f64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(4.0);
+        let hosts: usize = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(16);
+        let profile = DeviceProfile::edr();
+        println!(
+            "single-switch: {}",
+            rshuffle_simnet::Topology::SingleSwitch.describe(nodes, profile.payload_bandwidth)
+        );
+        println!(
+            "fat-tree:      {}",
+            rshuffle_simnet::Topology::fat_tree(hosts, oversub)
+                .describe(nodes, profile.payload_bandwidth)
+        );
+        return;
+    }
     let alg = args
         .get(1)
         .and_then(|s| ShuffleAlgorithm::parse(s))

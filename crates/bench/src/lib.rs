@@ -7,6 +7,7 @@
 
 pub mod perf;
 pub mod report;
+pub mod skew;
 pub mod workload;
 
 pub use workload::{run_shuffle_workload, Pattern, Transport, WorkloadConfig, WorkloadResult};

@@ -19,8 +19,11 @@ use rshuffle::{
 };
 use rshuffle_baselines::{IpoibExchange, MpiExchange};
 use rshuffle_engine::{drive_to_sink, ComputeStage, Generator};
-use rshuffle_simnet::{Cluster, DeviceProfile, SimDuration};
+use rshuffle_mux::MuxConfig;
+use rshuffle_simnet::{Cluster, DeviceProfile, SimDuration, Topology};
 use rshuffle_verbs::{FaultConfig, VerbsRuntime};
+
+use crate::skew::{zipf_partition_rows, SkewSpec, StragglerPlan};
 
 /// Bytes per row of the synthetic table R(a, b): two long integers.
 pub const ROW_BYTES: usize = 16;
@@ -108,6 +111,17 @@ pub struct WorkloadConfig {
     pub receiver_jitter: SimDuration,
     /// Fault injection.
     pub faults: FaultConfig,
+    /// Connection-multiplexing cap handed to the RC exchanges (see
+    /// [`rshuffle::ExchangeConfig::mux`]); `None` = direct wiring.
+    pub mux: Option<MuxConfig>,
+    /// Switch topology ([`Topology::SingleSwitch`] = the paper's
+    /// full-bisection testbed; fat trees for the scale-out sweeps).
+    pub topology: Topology,
+    /// Per-node volume skew: split the cluster's total table volume by a
+    /// seeded Zipf histogram instead of evenly. `None` = uniform.
+    pub skew: Option<SkewSpec>,
+    /// Straggler injection applied to the kernel before the run.
+    pub stragglers: Option<StragglerPlan>,
 }
 
 impl WorkloadConfig {
@@ -138,6 +152,10 @@ impl WorkloadConfig {
                 ud_reorder_probability: 0.05,
                 ..FaultConfig::default()
             },
+            mux: None,
+            topology: Topology::SingleSwitch,
+            skew: None,
+            stragglers: None,
         }
     }
 
@@ -174,6 +192,12 @@ pub struct WorkloadResult {
     pub registered_bytes_per_node: usize,
     /// Errors raised by any worker (empty on success).
     pub errors: Vec<ShuffleError>,
+    /// Physical QPs the multiplexer materialized (0 on the direct path).
+    pub mux_qp_count: u64,
+    /// QPs the direct path would have opened (0 on the direct path).
+    pub mux_natural_qps: u64,
+    /// Leases that had to share an occupied slot (0 on the direct path).
+    pub mux_lease_waits: u64,
     /// Unified metrics snapshot taken after the run (all tiers).
     pub metrics: rshuffle_obs::Snapshot,
 }
@@ -187,8 +211,11 @@ impl WorkloadResult {
 
 /// Runs the synthetic shuffle workload and reports receive throughput.
 pub fn run_shuffle_workload(cfg: &WorkloadConfig) -> WorkloadResult {
-    let cluster = Cluster::new(cfg.nodes, cfg.profile.clone());
+    let cluster = Cluster::with_topology(cfg.nodes, cfg.profile.clone(), cfg.topology.clone());
     let runtime = VerbsRuntime::with_faults(cluster, cfg.faults.clone());
+    if let Some(plan) = &cfg.stragglers {
+        plan.apply(runtime.kernel());
+    }
     let groups: Vec<TransmissionGroups> = (0..cfg.nodes)
         .map(|me| match cfg.pattern {
             Pattern::Repartition => TransmissionGroups::repartition(me, cfg.nodes),
@@ -196,10 +223,20 @@ pub fn run_shuffle_workload(cfg: &WorkloadConfig) -> WorkloadResult {
         })
         .collect();
     let cost = CostModel::from_profile(runtime.profile());
-    let rows_per_thread = cfg.bytes_per_node / ROW_BYTES / cfg.threads;
+    // Per-node fragment sizes: even by default, or a seeded Zipf split of
+    // the same cluster-wide total when volume skew is configured.
+    let uniform_rows_per_thread = cfg.bytes_per_node / ROW_BYTES / cfg.threads;
+    let skewed_rows: Option<Vec<u64>> = cfg.skew.map(|s| {
+        let total = (cfg.bytes_per_node / ROW_BYTES) as u64 * cfg.nodes as u64;
+        zipf_partition_rows(total, cfg.nodes, s.theta, s.seed)
+    });
+    let rows_per_thread_on = |node: usize| match &skewed_rows {
+        Some(rows) => rows[node] as usize / cfg.threads,
+        None => uniform_rows_per_thread,
+    };
 
     // Build endpoints for the chosen transport.
-    let (send_eps, recv_eps, mode, registered) = match cfg.transport {
+    let (send_eps, recv_eps, mode, registered, mux_stats) = match cfg.transport {
         Transport::Rdma(algorithm) => {
             let mut xcfg = ExchangeConfig::with_groups(algorithm, cfg.threads, groups.clone());
             xcfg.message_size = cfg.message_size;
@@ -210,13 +247,18 @@ pub fn run_shuffle_workload(cfg: &WorkloadConfig) -> WorkloadResult {
             xcfg.credit_writeback_frequency = cfg.credit_writeback_frequency;
             xcfg.lanes_override = cfg.lanes;
             xcfg.ud_native_multicast = cfg.ud_native_multicast;
+            xcfg.mux = cfg.mux;
             let exchange = Exchange::build(&runtime, &xcfg).expect("exchange builds");
             let registered = exchange.registered_bytes(0);
+            let mux_stats = exchange.mux.as_ref().map_or((0, 0, 0), |m| {
+                (m.qp_count(), m.natural_qps(), m.lease_waits())
+            });
             (
                 exchange.send.clone(),
                 exchange.recv.clone(),
                 algorithm.mode,
                 registered,
+                mux_stats,
             )
         }
         Transport::Mpi => {
@@ -235,6 +277,7 @@ pub fn run_shuffle_workload(cfg: &WorkloadConfig) -> WorkloadResult {
                     .collect(),
                 rshuffle::EndpointMode::Single,
                 registered,
+                (0, 0, 0),
             )
         }
         Transport::Ipoib => {
@@ -253,6 +296,7 @@ pub fn run_shuffle_workload(cfg: &WorkloadConfig) -> WorkloadResult {
                     .collect(),
                 rshuffle::EndpointMode::Single,
                 registered,
+                (0, 0, 0),
             )
         }
     };
@@ -261,7 +305,7 @@ pub fn run_shuffle_workload(cfg: &WorkloadConfig) -> WorkloadResult {
     let mut send_stats = Vec::new();
     for node in 0..cfg.nodes {
         let generator = Arc::new(Generator::new(
-            rows_per_thread,
+            rows_per_thread_on(node),
             cfg.threads,
             0xACE0_BA5E ^ (node as u64) << 16,
         ));
@@ -340,6 +384,9 @@ pub fn run_shuffle_workload(cfg: &WorkloadConfig) -> WorkloadResult {
         bytes_received_per_node: per_node,
         registered_bytes_per_node: registered,
         errors,
+        mux_qp_count: mux_stats.0,
+        mux_natural_qps: mux_stats.1,
+        mux_lease_waits: mux_stats.2,
         metrics: runtime.obs().metrics.snapshot(),
     }
 }

@@ -11,7 +11,8 @@
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
-use rshuffle_simnet::{Cluster, DeviceProfile, FlowId, NodeId, SimContext, SimDuration};
+use rshuffle_mux::{Multiplexer, MuxConfig};
+use rshuffle_simnet::{Cluster, DeviceProfile, FlowId, NodeId, SimContext, SimDuration, Topology};
 use rshuffle_verbs::{ConnectionManager, FaultConfig, VerbsRuntime};
 
 use crate::config::{EndpointImpl, EndpointMode, ShuffleAlgorithm};
@@ -82,6 +83,18 @@ pub struct ExchangeConfig {
     /// a fenced-off attempt are discarded at the transport; healthy runs
     /// stay at 0 and are byte-identical to the pre-recovery wire format.
     pub epoch: u16,
+    /// Connection multiplexing: cap on physical QPs per directed node
+    /// pair (the scale-out experiments sweep this). `None`, or a cap at
+    /// least as large as the lane count, leaves the direct one-QP-per-lane
+    /// wiring byte-identical to the pre-mux behaviour; a smaller cap makes
+    /// virtual endpoints lease shared slots from a [`Multiplexer`]. Never
+    /// applied to the UD design (it already uses one QP per lane total).
+    pub mux: Option<MuxConfig>,
+    /// Switch topology for [`ExchangeConfig::build_runtime`].
+    /// [`Topology::SingleSwitch`] (the default) reproduces the paper's
+    /// full-bisection testbed; fat trees model the oversubscribed spines
+    /// of the 128–512-node scale-out runs.
+    pub topology: Topology,
     /// Transmission groups of each node.
     pub groups: Vec<TransmissionGroups>,
 }
@@ -135,6 +148,8 @@ impl ExchangeConfig {
             flow: FlowId::NONE,
             endpoint_id_base: 0,
             epoch: 0,
+            mux: None,
+            topology: Topology::SingleSwitch,
             groups,
         }
     }
@@ -144,7 +159,7 @@ impl ExchangeConfig {
     /// event queue — the one-stop entry point for chaos tests and the
     /// chaos benchmark.
     pub fn build_runtime(&self, profile: DeviceProfile) -> Arc<VerbsRuntime> {
-        let cluster = Cluster::new(self.groups.len(), profile);
+        let cluster = Cluster::with_topology(self.groups.len(), profile, self.topology.clone());
         VerbsRuntime::with_faults(cluster, self.faults.clone())
     }
 
@@ -203,8 +218,26 @@ impl ExchangeConfig {
         } else {
             rshuffle_simnet::SimDuration::ZERO
         };
+        // The SEND operator parks one partially-filled staging buffer per
+        // destination, so a send pool no larger than the fanout deadlocks
+        // once every slot is parked: no buffer can complete (parked buffers
+        // only flush when full) and neither data nor credit datagrams can
+        // be sourced. Below the configured default the sizing is untouched
+        // (the paper's 16-node testbed never hits this); past it, the pool
+        // grows to the staging working set plus circulation head-room.
+        let fanout = self
+            .groups
+            .iter()
+            .map(|g| g.destinations().len())
+            .max()
+            .unwrap_or(0);
+        let send_buffers = if fanout >= self.ud_send_buffers {
+            fanout + self.ud_send_buffers.div_ceil(2).max(2)
+        } else {
+            self.ud_send_buffers
+        };
         SrUdConfig {
-            send_buffers: self.ud_send_buffers * scale,
+            send_buffers: send_buffers * scale,
             recv_window_per_src: self.ud_recv_window * scale,
             credit_writeback_frequency: self.credit_writeback_frequency,
             post_overhead,
@@ -314,6 +347,11 @@ pub struct Exchange {
     /// The flow tag all of this exchange's QPs and memory regions carry
     /// ([`FlowId::NONE`] outside the multi-query scheduler).
     pub flow: FlowId,
+    /// The connection multiplexer, present when a QP cap below the lane
+    /// count was in effect for this build (`None` on the direct path).
+    /// Exposes [`Multiplexer::qp_count`] / [`Multiplexer::lease_waits`]
+    /// to the scale benchmarks.
+    pub mux: Option<Arc<Multiplexer>>,
 }
 
 impl Exchange {
@@ -377,7 +415,19 @@ impl Exchange {
         let recv_id =
             |node: usize, lane: usize| EndpointId(base + (node * lanes + lane) as u32 * 2 + 1);
 
-        match config.algorithm.imp {
+        // Connection multiplexing: only the RC designs open one QP per
+        // (lane, destination); the UD design already shares one QP per
+        // lane, so a cap never applies to it. A cap at or above the lane
+        // count changes nothing either — the lease table is skipped
+        // entirely and the wiring stays byte-identical to the direct path.
+        let muxer: Option<Arc<Multiplexer>> = match config.mux {
+            Some(m) if config.algorithm.imp != EndpointImpl::SqSr && m.applies(lanes) => {
+                Some(Multiplexer::new(m))
+            }
+            _ => None,
+        };
+
+        let exchange = match config.algorithm.imp {
             EndpointImpl::MqSr => {
                 let cfg = config.sr_rc();
                 let mut send_eps: Vec<Vec<Arc<SrRcSendEndpoint>>> = Vec::new();
@@ -417,12 +467,17 @@ impl Exchange {
                             let qp_r = r.qp_for(a);
                             ConnectionManager::activate_untimed(qp_s, Some(qp_r.address_handle()))?;
                             ConnectionManager::activate_untimed(qp_r, Some(qp_s.address_handle()))?;
+                            if let Some(m) = &muxer {
+                                let lease = m.lease(a, b, cfg.recv_depth_per_peer as u32);
+                                qp_s.bind_shared_slot(&lease.send_slot)?;
+                                qp_r.bind_shared_slot(&lease.recv_slot)?;
+                            }
                             let credit = r.bootstrap_src(a, s.credit_slot_for(b))?;
                             s.bootstrap_credit(b, credit)?;
                         }
                     }
                 }
-                Ok(Exchange {
+                Exchange {
                     send: send_eps
                         .into_iter()
                         .map(|l| l.into_iter().map(|e| e as Arc<dyn SendEndpoint>).collect())
@@ -439,7 +494,8 @@ impl Exchange {
                     algorithm: config.algorithm,
                     lanes,
                     flow: config.flow,
-                })
+                    mux: muxer.clone(),
+                }
             }
             EndpointImpl::MqRd => {
                 let cfg = config.rd_rc();
@@ -486,6 +542,13 @@ impl Exchange {
                                 let r = &recv_eps[b][lane];
                                 ConnectionManager::activate_untimed(r.qp_for(a), Some(qs_ah))?;
                             }
+                            if let Some(m) = &muxer {
+                                let lease = m.lease(a, b, cfg.buffers_per_peer as u32);
+                                s.qp_for(b).bind_shared_slot(&lease.send_slot)?;
+                                recv_eps[b][lane]
+                                    .qp_for(a)
+                                    .bind_shared_slot(&lease.recv_slot)?;
+                            }
                             let desc = s.remote_descriptor(b);
                             let ring = recv_eps[b][lane].valid_ring_for(a);
                             recv_eps[b][lane].set_descriptor(a, desc);
@@ -493,7 +556,7 @@ impl Exchange {
                         }
                     }
                 }
-                Ok(Exchange {
+                Exchange {
                     send: send_eps
                         .into_iter()
                         .map(|l| l.into_iter().map(|e| e as Arc<dyn SendEndpoint>).collect())
@@ -510,7 +573,8 @@ impl Exchange {
                     algorithm: config.algorithm,
                     lanes,
                     flow: config.flow,
-                })
+                    mux: muxer.clone(),
+                }
             }
             EndpointImpl::MqWr => {
                 let cfg = config.wr_rc();
@@ -554,6 +618,13 @@ impl Exchange {
                                 let r = &recv_eps[b][lane];
                                 ConnectionManager::activate_untimed(r.qp_for(a), Some(qs_ah))?;
                             }
+                            if let Some(m) = &muxer {
+                                let lease = m.lease(a, b, cfg.buffers_per_peer as u32);
+                                s.qp_for(b).bind_shared_slot(&lease.send_slot)?;
+                                recv_eps[b][lane]
+                                    .qp_for(a)
+                                    .bind_shared_slot(&lease.recv_slot)?;
+                            }
                             let desc = recv_eps[b][lane].remote_descriptor(a);
                             let free_ring = s.free_ring_for(b);
                             recv_eps[b][lane].set_free_ring(a, free_ring);
@@ -563,7 +634,7 @@ impl Exchange {
                         }
                     }
                 }
-                Ok(Exchange {
+                Exchange {
                     send: send_eps
                         .into_iter()
                         .map(|l| l.into_iter().map(|e| e as Arc<dyn SendEndpoint>).collect())
@@ -580,7 +651,8 @@ impl Exchange {
                     algorithm: config.algorithm,
                     lanes,
                     flow: config.flow,
-                })
+                    mux: muxer.clone(),
+                }
             }
             EndpointImpl::SqSr => {
                 let cfg = config.sr_ud();
@@ -660,16 +732,23 @@ impl Exchange {
                         }
                     })
                     .collect();
-                Ok(Exchange {
+                Exchange {
                     send,
                     recv,
                     groups: config.groups.clone(),
                     algorithm: config.algorithm,
                     lanes,
                     flow: config.flow,
-                })
+                    mux: muxer.clone(),
+                }
             }
+        };
+        // Lazy: registers no `mux.*` series unless a lease actually shared
+        // a slot, keeping identity-configuration snapshots byte-identical.
+        if let Some(m) = &exchange.mux {
+            m.publish(runtime.cluster().obs().as_ref());
         }
+        Ok(exchange)
     }
 
     /// Charges the modelled connection-setup cost for `node`'s endpoints to

@@ -1,0 +1,478 @@
+//! Connection multiplexing: bounded shared-QP pools between the shuffle
+//! endpoints and the verbs layer.
+//!
+//! The paper's reliable designs open one RC Queue Pair per
+//! `(sender lane, destination)` pair, so QP state grows as `N × T` per
+//! node and the NIC's QP-context cache starts thrashing well before the
+//! fabric saturates (Figure 11; RDMAvisor calls QP-count explosion *the*
+//! RDMA scalability wall). This crate virtualizes endpoints over a
+//! bounded pool of shared physical connections:
+//!
+//! * A [`Multiplexer`] owns, per *directed node pair* `(src, dst)`, a
+//!   pool of at most [`MuxConfig::qp_cap_per_pair`] **slots**. A slot
+//!   models one real RC connection: one NIC QP context on each side and
+//!   one delivery-order clock (see
+//!   [`rshuffle_verbs::SharedQpSlot`]).
+//! * Each virtual endpoint **leases** a slot at wiring time. Leasing is
+//!   LRU-style: a vacant pool position materializes a fresh slot; once
+//!   the pool is full, the least-recently-leased slot is shared (a
+//!   *lease wait*, counted — each one is a virtual endpoint serialized
+//!   behind a stranger's traffic).
+//! * Demultiplexing rides the existing `MsgHeader` `src_tid` / flow
+//!   machinery: virtual QPs keep their **own** receive queues,
+//!   completion queues and credit state, so slot sharing never merges
+//!   credit pools and every invariant checked by `crates/audit` holds
+//!   unchanged. The [`CreditBook`] records the per-virtual-endpoint
+//!   grants so the aggregate posted-receive demand behind each shared
+//!   slot stays observable (and so tests can assert conservation).
+//!
+//! When the cap is at least as large as the natural lane count, the
+//! exchange skips the multiplexer entirely and the data path is
+//! byte-identical to the direct wiring — the identity the conformance
+//! suite pins.
+
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rshuffle_obs::{names, Labels, Obs};
+use rshuffle_verbs::{NodeId, SharedQpSlot};
+
+/// Multiplexer configuration.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct MuxConfig {
+    /// Maximum physical QP slots per directed node pair. Virtual
+    /// endpoints beyond the cap share the least-recently-leased slot.
+    pub qp_cap_per_pair: usize,
+}
+
+impl MuxConfig {
+    /// A config capping each directed node pair at `cap` physical QPs
+    /// (clamped to at least 1 — a pair always needs one connection).
+    pub fn with_cap(cap: usize) -> MuxConfig {
+        MuxConfig {
+            qp_cap_per_pair: cap.max(1),
+        }
+    }
+
+    /// Whether multiplexing changes anything for a pair with `lanes`
+    /// natural connections. When it does not, callers skip the lease
+    /// table entirely and the wiring is byte-identical to the direct
+    /// path.
+    pub fn applies(&self, lanes: usize) -> bool {
+        lanes > self.qp_cap_per_pair
+    }
+
+    /// Physical QPs a pair with `lanes` natural connections ends up
+    /// with under this cap.
+    pub fn effective_slots(&self, lanes: usize) -> usize {
+        lanes.min(self.qp_cap_per_pair)
+    }
+}
+
+/// One materialized shared-connection slot in a pair pool.
+struct SlotState {
+    /// Sender-side shared context + order clock (at `src`'s NIC).
+    send_slot: Arc<SharedQpSlot>,
+    /// Receiver-side shared context (at `dst`'s NIC).
+    recv_slot: Arc<SharedQpSlot>,
+    /// Current number of virtual endpoints bound to the slot.
+    members: u32,
+    /// Lease clock value of the most recent lease (LRU victim choice).
+    last_leased: u64,
+    /// Sum of the members' posted-receive credits (conservation check).
+    credit_demand: u32,
+}
+
+/// Pool of slots for one directed node pair.
+#[derive(Default)]
+struct PairPool {
+    slots: Vec<SlotState>,
+}
+
+/// Per-source-node lease statistics.
+#[derive(Default, Clone, Copy)]
+struct NodeStats {
+    /// Virtual endpoints leased (what the direct path would have opened).
+    natural: u64,
+    /// Physical slots materialized.
+    slots: u64,
+    /// Leases that had to share an occupied slot.
+    waits: u64,
+}
+
+/// A granted lease: which slot a virtual endpoint was bound to.
+///
+/// The caller binds its send-side QP to [`Lease::send_slot`] and the
+/// matching receive-side QP to [`Lease::recv_slot`]
+/// (via [`rshuffle_verbs::QueuePair::bind_shared_slot`]).
+pub struct Lease {
+    /// The directed pair the lease belongs to.
+    pub pair: (NodeId, NodeId),
+    /// Slot index within the pair's pool.
+    pub slot: usize,
+    /// Whether the slot already had another member (a lease wait).
+    pub shared: bool,
+    /// Sender-side slot to bind the local QP to.
+    pub send_slot: Arc<SharedQpSlot>,
+    /// Receiver-side slot to bind the remote QP to.
+    pub recv_slot: Arc<SharedQpSlot>,
+}
+
+/// The connection multiplexer: per-pair slot pools plus lease stats.
+pub struct Multiplexer {
+    config: MuxConfig,
+    /// Slot pools keyed by directed pair. BTreeMap so any aggregate
+    /// iteration is in deterministic key order.
+    pairs: Mutex<BTreeMap<(NodeId, NodeId), PairPool>>,
+    /// Monotone lease clock (LRU recency).
+    clock: AtomicU64,
+    /// Per-source-node stats, deterministic order.
+    stats: Mutex<BTreeMap<NodeId, NodeStats>>,
+}
+
+impl Multiplexer {
+    /// Creates a multiplexer with `config`.
+    pub fn new(config: MuxConfig) -> Arc<Multiplexer> {
+        Arc::new(Multiplexer {
+            config,
+            pairs: Mutex::new(BTreeMap::new()),
+            clock: AtomicU64::new(0),
+            stats: Mutex::new(BTreeMap::new()),
+        })
+    }
+
+    /// The configured cap.
+    pub fn config(&self) -> MuxConfig {
+        self.config
+    }
+
+    /// Leases a slot for one virtual endpoint on the directed pair
+    /// `src → dst`, registering `credits` posted-receive credits in the
+    /// slot's demand book. Deterministic: a vacant pool position is
+    /// materialized first (lowest index); a full pool shares its
+    /// least-recently-leased slot, ties broken by lowest index.
+    pub fn lease(&self, src: NodeId, dst: NodeId, credits: u32) -> Lease {
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut pairs = self.pairs.lock();
+        let pool = pairs.entry((src, dst)).or_default();
+        let mut stats = self.stats.lock();
+        let node = stats.entry(src).or_default();
+        node.natural += 1;
+        let (slot_id, shared) = if pool.slots.len() < self.config.qp_cap_per_pair {
+            pool.slots.push(SlotState {
+                send_slot: SharedQpSlot::new(),
+                recv_slot: SharedQpSlot::new(),
+                members: 0,
+                last_leased: 0,
+                credit_demand: 0,
+            });
+            node.slots += 1;
+            (pool.slots.len() - 1, false)
+        } else {
+            // LRU victim: least-recently-leased, lowest index on ties.
+            let victim = pool
+                .slots
+                .iter()
+                .enumerate()
+                .min_by_key(|(i, s)| (s.last_leased, *i))
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            let shared = pool.slots[victim].members > 0;
+            if shared {
+                node.waits += 1;
+            }
+            (victim, shared)
+        };
+        let slot = &mut pool.slots[slot_id];
+        slot.members += 1;
+        slot.last_leased = stamp;
+        slot.credit_demand += credits;
+        Lease {
+            pair: (src, dst),
+            slot: slot_id,
+            shared,
+            send_slot: slot.send_slot.clone(),
+            recv_slot: slot.recv_slot.clone(),
+        }
+    }
+
+    /// Returns a lease: the member leaves the slot and its `credits`
+    /// are removed from the demand book. The slot itself stays
+    /// materialized (a warm context, like a cached NIC entry); a later
+    /// lease may reuse it. No-op on an unknown pair/slot.
+    pub fn release(&self, lease: &Lease, credits: u32) {
+        let mut pairs = self.pairs.lock();
+        let Some(pool) = pairs.get_mut(&lease.pair) else {
+            return;
+        };
+        let Some(slot) = pool.slots.get_mut(lease.slot) else {
+            return;
+        };
+        slot.members = slot.members.saturating_sub(1);
+        slot.credit_demand = slot.credit_demand.saturating_sub(credits);
+    }
+
+    /// Aggregate posted-receive credit demand behind one slot (the sum
+    /// of its members' per-virtual-endpoint grants). `None` for an
+    /// unknown pair or slot.
+    pub fn slot_demand(&self, src: NodeId, dst: NodeId, slot: usize) -> Option<u32> {
+        self.pairs
+            .lock()
+            .get(&(src, dst))
+            .and_then(|p| p.slots.get(slot))
+            .map(|s| s.credit_demand)
+    }
+
+    /// Current member count of one slot. `None` for an unknown
+    /// pair or slot.
+    pub fn slot_members(&self, src: NodeId, dst: NodeId, slot: usize) -> Option<u32> {
+        self.pairs
+            .lock()
+            .get(&(src, dst))
+            .and_then(|p| p.slots.get(slot))
+            .map(|s| s.members)
+    }
+
+    /// Total physical slots materialized across all pairs.
+    pub fn qp_count(&self) -> u64 {
+        self.stats.lock().values().map(|s| s.slots).sum()
+    }
+
+    /// Total leases granted (the QP count the direct path would have).
+    pub fn natural_qps(&self) -> u64 {
+        self.stats.lock().values().map(|s| s.natural).sum()
+    }
+
+    /// Total leases that had to share an occupied slot.
+    pub fn lease_waits(&self) -> u64 {
+        self.stats.lock().values().map(|s| s.waits).sum()
+    }
+
+    /// Publishes per-node `mux.*` counters into `obs`.
+    ///
+    /// Intentionally lazy: a no-op unless at least one lease actually
+    /// shared a slot, so a run whose cap never binds anything — the
+    /// byte-identity configuration — registers no `mux.*` series and
+    /// its snapshot matches the direct path exactly.
+    pub fn publish(&self, obs: &Obs) {
+        if self.lease_waits() == 0 {
+            return;
+        }
+        let stats = self.stats.lock();
+        for (&node, s) in stats.iter() {
+            let labels = Labels::node(node as u32);
+            obs.metrics
+                .counter(names::MUX_NATURAL_QPS, labels)
+                .add(s.natural);
+            obs.metrics
+                .counter(names::MUX_QP_COUNT, labels)
+                .add(s.slots);
+            obs.metrics
+                .counter(names::MUX_LEASES, labels)
+                .add(s.natural);
+            obs.metrics
+                .counter(names::MUX_LEASE_WAITS, labels)
+                .add(s.waits);
+        }
+    }
+}
+
+/// Per-virtual-endpoint credit ledger.
+///
+/// Slot sharing must never merge credit pools: each virtual endpoint
+/// owns its grants, and the sum of member grants equals the slot's
+/// aggregate demand. The book records grants keyed by an opaque virtual
+/// endpoint id so tests (and the auditor's credit-conservation check)
+/// can assert exactly that.
+#[derive(Default)]
+pub struct CreditBook {
+    grants: Mutex<BTreeMap<u64, u32>>,
+}
+
+impl CreditBook {
+    /// An empty book.
+    pub fn new() -> CreditBook {
+        CreditBook::default()
+    }
+
+    /// Registers `credits` for virtual endpoint `vep`, replacing any
+    /// previous grant. Returns the previous grant, if any.
+    pub fn grant(&self, vep: u64, credits: u32) -> Option<u32> {
+        self.grants.lock().insert(vep, credits)
+    }
+
+    /// Removes and returns the grant of virtual endpoint `vep`.
+    pub fn revoke(&self, vep: u64) -> Option<u32> {
+        self.grants.lock().remove(&vep)
+    }
+
+    /// Current grant of virtual endpoint `vep`.
+    pub fn credits(&self, vep: u64) -> Option<u32> {
+        self.grants.lock().get(&vep).copied()
+    }
+
+    /// Sum of all outstanding grants (must equal the aggregate slot
+    /// demand the [`Multiplexer`] tracks for the same endpoints).
+    pub fn total(&self) -> u64 {
+        self.grants.lock().values().map(|&c| c as u64).sum()
+    }
+
+    /// Number of virtual endpoints holding grants.
+    pub fn endpoints(&self) -> usize {
+        self.grants.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cap_is_clamped_to_one() {
+        assert_eq!(MuxConfig::with_cap(0).qp_cap_per_pair, 1);
+        assert_eq!(MuxConfig::with_cap(7).qp_cap_per_pair, 7);
+    }
+
+    #[test]
+    fn applies_only_when_lanes_exceed_cap() {
+        let c = MuxConfig::with_cap(4);
+        assert!(!c.applies(3));
+        assert!(!c.applies(4));
+        assert!(c.applies(5));
+        assert_eq!(c.effective_slots(3), 3);
+        assert_eq!(c.effective_slots(9), 4);
+    }
+
+    #[test]
+    fn leases_materialize_then_share_lru() {
+        let mux = Multiplexer::new(MuxConfig::with_cap(2));
+        let a = mux.lease(0, 1, 2);
+        let b = mux.lease(0, 1, 2);
+        // First two leases fill the pool without sharing.
+        assert_eq!((a.slot, a.shared), (0, false));
+        assert_eq!((b.slot, b.shared), (1, false));
+        // Third lease shares the least-recently-leased slot (slot 0).
+        let c = mux.lease(0, 1, 2);
+        assert_eq!((c.slot, c.shared), (0, true));
+        // Fourth shares slot 1 (now the LRU one).
+        let d = mux.lease(0, 1, 2);
+        assert_eq!((d.slot, d.shared), (1, true));
+        assert_eq!(mux.qp_count(), 2);
+        assert_eq!(mux.natural_qps(), 4);
+        assert_eq!(mux.lease_waits(), 2);
+    }
+
+    #[test]
+    fn lease_sequences_are_deterministic() {
+        let run = || {
+            let mux = Multiplexer::new(MuxConfig::with_cap(3));
+            let mut picks = Vec::new();
+            for dst in 1..4usize {
+                for _ in 0..5 {
+                    let l = mux.lease(0, dst, 1);
+                    picks.push((l.pair, l.slot, l.shared));
+                }
+            }
+            picks
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn pairs_are_directed_and_independent() {
+        let mux = Multiplexer::new(MuxConfig::with_cap(1));
+        let fwd = mux.lease(0, 1, 1);
+        let rev = mux.lease(1, 0, 1);
+        assert!(!fwd.shared);
+        assert!(!rev.shared, "reverse direction has its own pool");
+        assert_eq!(mux.qp_count(), 2);
+    }
+
+    #[test]
+    fn credit_demand_is_conserved_per_slot() {
+        let mux = Multiplexer::new(MuxConfig::with_cap(1));
+        let a = mux.lease(0, 1, 4);
+        let b = mux.lease(0, 1, 6);
+        assert_eq!(mux.slot_demand(0, 1, 0), Some(10));
+        assert_eq!(mux.slot_members(0, 1, 0), Some(2));
+        mux.release(&a, 4);
+        assert_eq!(mux.slot_demand(0, 1, 0), Some(6));
+        mux.release(&b, 6);
+        assert_eq!(mux.slot_demand(0, 1, 0), Some(0));
+        assert_eq!(mux.slot_members(0, 1, 0), Some(0));
+        // The slot stays materialized for reuse.
+        assert_eq!(mux.qp_count(), 1);
+        let c = mux.lease(0, 1, 2);
+        assert_eq!(c.slot, 0);
+        assert!(!c.shared, "an empty slot is reused without a wait");
+    }
+
+    #[test]
+    fn release_of_unknown_slot_is_a_noop() {
+        let mux = Multiplexer::new(MuxConfig::with_cap(1));
+        let l = mux.lease(0, 1, 1);
+        let bogus = Lease {
+            pair: (9, 9),
+            slot: 3,
+            shared: false,
+            send_slot: l.send_slot.clone(),
+            recv_slot: l.recv_slot.clone(),
+        };
+        mux.release(&bogus, 1);
+        assert_eq!(mux.slot_members(0, 1, 0), Some(1));
+    }
+
+    #[test]
+    fn credit_book_conserves_totals() {
+        let book = CreditBook::new();
+        assert_eq!(book.grant(1, 4), None);
+        assert_eq!(book.grant(2, 6), None);
+        assert_eq!(book.total(), 10);
+        assert_eq!(book.endpoints(), 2);
+        // Re-granting replaces, not accumulates.
+        assert_eq!(book.grant(1, 8), Some(4));
+        assert_eq!(book.total(), 14);
+        assert_eq!(book.revoke(2), Some(6));
+        assert_eq!(book.total(), 8);
+        assert_eq!(book.credits(1), Some(8));
+        assert_eq!(book.credits(2), None);
+    }
+
+    #[test]
+    fn publish_is_lazy_without_sharing() {
+        let obs = Obs::new();
+        let mux = Multiplexer::new(MuxConfig::with_cap(8));
+        for dst in 1..4usize {
+            let _ = mux.lease(0, dst, 2);
+        }
+        mux.publish(&obs);
+        let snap = obs.metrics.snapshot();
+        assert!(
+            !snap.counters.iter().any(|(k, _)| k.starts_with("mux.")),
+            "no mux.* series may appear when nothing shared a slot"
+        );
+    }
+
+    #[test]
+    fn publish_reports_sharing() {
+        let obs = Obs::new();
+        let mux = Multiplexer::new(MuxConfig::with_cap(1));
+        let _ = mux.lease(0, 1, 2);
+        let _ = mux.lease(0, 1, 2);
+        mux.publish(&obs);
+        let snap = obs.metrics.snapshot();
+        let get = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|(k, _)| k.starts_with(name))
+                .map(|(_, v)| *v)
+        };
+        assert_eq!(get(names::MUX_QP_COUNT), Some(1));
+        assert_eq!(get(names::MUX_NATURAL_QPS), Some(2));
+        assert_eq!(get(names::MUX_LEASE_WAITS), Some(1));
+    }
+}

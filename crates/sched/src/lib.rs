@@ -420,6 +420,37 @@ impl Scheduler {
     }
 }
 
+/// Modelled per-connection (QP) state footprint, in bytes: the NIC
+/// context entry plus the host-memory work-queue descriptors the driver
+/// pins per RC connection. A modelling constant, not a measured buffer
+/// size — it exists so admission can price *connection count*, which
+/// registered-buffer estimates are blind to.
+pub const QP_STATE_BYTES: usize = 384;
+
+/// Estimates the per-node QP-state bytes of one shuffle query: `fanout`
+/// destination pairs plus `fanin` source pairs, each `lanes` natural
+/// connections deep, optionally compressed by a connection-multiplexer
+/// cap ([`rshuffle_mux::MuxConfig::effective_slots`]).
+///
+/// [`rshuffle::ExchangeConfig::registered_bytes_estimate`] is unchanged
+/// by multiplexing — slot sharing merges NIC contexts, not message
+/// buffers — so a mux-aware admission controller adds this estimate on
+/// top of the buffer estimate in [`QueryRequest::mem_per_node`]. The
+/// default path (no cap, or callers that never add the term) is
+/// untouched.
+pub fn qp_state_bytes_estimate(
+    lanes: usize,
+    fanout: usize,
+    fanin: usize,
+    mux: Option<rshuffle_mux::MuxConfig>,
+) -> usize {
+    let per_pair = match mux {
+        Some(cap) => cap.effective_slots(lanes),
+        None => lanes,
+    };
+    (fanout + fanin) * per_pair * QP_STATE_BYTES
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -653,5 +684,19 @@ mod tests {
         });
         rt.cluster().run();
         assert_eq!(rt.registered_bytes_peak(0), 4096);
+    }
+
+    #[test]
+    fn qp_state_pricing_shrinks_under_a_cap() {
+        use rshuffle_mux::MuxConfig;
+        // 14 lanes to 15 destinations + 15 sources, uncapped.
+        let natural = qp_state_bytes_estimate(14, 15, 15, None);
+        assert_eq!(natural, 30 * 14 * QP_STATE_BYTES);
+        // A cap of 2 collapses each pair to 2 physical connections.
+        let capped = qp_state_bytes_estimate(14, 15, 15, Some(MuxConfig::with_cap(2)));
+        assert_eq!(capped, 30 * 2 * QP_STATE_BYTES);
+        // A cap at or above the lane count prices exactly the direct path.
+        let identity = qp_state_bytes_estimate(14, 15, 15, Some(MuxConfig::with_cap(14)));
+        assert_eq!(identity, natural);
     }
 }

@@ -7,7 +7,7 @@ use std::sync::Arc;
 use rshuffle_obs::Obs;
 
 use crate::kernel::{Kernel, SimContext, SimThreadId};
-use crate::net::Fabric;
+use crate::net::{Fabric, Topology};
 use crate::nic::{FlowTable, NicModel};
 use crate::profile::DeviceProfile;
 use crate::NodeId;
@@ -30,6 +30,17 @@ impl Cluster {
     ///
     /// Panics if `nodes` is zero.
     pub fn new(nodes: usize, profile: DeviceProfile) -> Self {
+        Self::with_topology(nodes, profile, Topology::SingleSwitch)
+    }
+
+    /// Creates a cluster with an explicit switch [`Topology`]
+    /// (multi-switch fat trees for the scale-out experiments;
+    /// [`Topology::SingleSwitch`] is identical to [`Cluster::new`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    pub fn with_topology(nodes: usize, profile: DeviceProfile, topology: Topology) -> Self {
         assert!(nodes > 0, "cluster needs at least one node");
         let obs = Obs::new();
         let kernel = Kernel::new();
@@ -37,7 +48,12 @@ impl Cluster {
         // One flow-weight table shared by the fabric ports and every NIC
         // pipeline, so a query's weight governs all its bottlenecks.
         let flows = Arc::new(FlowTable::new());
-        let fabric = Arc::new(Fabric::with_flows(nodes, &profile, flows.clone()));
+        let fabric = Arc::new(Fabric::with_topology(
+            nodes,
+            &profile,
+            flows.clone(),
+            topology,
+        ));
         let nics = Arc::new(
             (0..nodes)
                 .map(|node| {

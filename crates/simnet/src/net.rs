@@ -28,9 +28,121 @@ use crate::NodeId;
 /// Messages up to this size bypass the port FIFOs (control virtual lane).
 pub const CONTROL_BYPASS_BYTES: usize = 256;
 
+/// Switch-level layout of the interconnect.
+///
+/// The paper's clusters (≤16 nodes) fit under one non-blocking switch;
+/// scaling the shuffle to hundreds of nodes means a multi-switch fabric
+/// where inter-switch links are shared — and usually oversubscribed —
+/// resources of their own.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Topology {
+    /// One non-blocking crossbar: the only shared resources are each
+    /// node's egress and ingress port (the original model; the default).
+    SingleSwitch,
+    /// A two-tier fat tree: nodes attach to leaf switches, leaves
+    /// connect through a non-blocking spine. Traffic between leaves
+    /// crosses the source leaf's uplink and the destination leaf's
+    /// downlink — each an aggregate [`FairResource`] whose capacity is
+    /// the leaf's host-facing capacity divided by the oversubscription
+    /// ratio — and pays an extra spine hop of latency. Intra-leaf
+    /// traffic behaves exactly like the single switch.
+    FatTree {
+        /// Hosts attached to each leaf switch (the last leaf may be
+        /// partially filled).
+        hosts_per_leaf: usize,
+        /// Oversubscription ratio ≥ 1.0. At 1.0 the uplink matches the
+        /// sum of host line rates (full bisection); at 4.0 the uplink
+        /// carries only a quarter of it, the common datacenter shape.
+        oversubscription: f64,
+        /// Extra one-way latency of the leaf → spine → leaf detour.
+        spine_hop_latency: SimDuration,
+    },
+}
+
+impl Topology {
+    /// A fat tree with `hosts_per_leaf` hosts per leaf switch and the
+    /// given oversubscription ratio, using a default 2× switch hop for
+    /// the spine detour.
+    pub fn fat_tree(hosts_per_leaf: usize, oversubscription: f64) -> Topology {
+        Topology::FatTree {
+            hosts_per_leaf: hosts_per_leaf.max(1),
+            oversubscription: oversubscription.max(1.0),
+            spine_hop_latency: SimDuration::from_nanos(500),
+        }
+    }
+
+    /// The leaf switch `node` attaches to (0 under a single switch).
+    pub fn leaf_of(&self, node: NodeId) -> usize {
+        match *self {
+            Topology::SingleSwitch => 0,
+            Topology::FatTree { hosts_per_leaf, .. } => node / hosts_per_leaf,
+        }
+    }
+
+    /// Number of leaf switches needed for `nodes` hosts.
+    pub fn leaves(&self, nodes: usize) -> usize {
+        match *self {
+            Topology::SingleSwitch => 1,
+            Topology::FatTree { hosts_per_leaf, .. } => nodes.div_ceil(hosts_per_leaf),
+        }
+    }
+
+    /// Aggregate per-direction capacity of one leaf's spine links,
+    /// given the per-host `payload_bandwidth` (bytes/second).
+    pub fn uplink_bandwidth(&self, payload_bandwidth: f64) -> f64 {
+        match *self {
+            Topology::SingleSwitch => f64::INFINITY,
+            Topology::FatTree {
+                hosts_per_leaf,
+                oversubscription,
+                ..
+            } => payload_bandwidth * hosts_per_leaf as f64 / oversubscription,
+        }
+    }
+
+    /// Human-readable multi-line description of the switch tiers, for
+    /// the `diag --topology` dump.
+    pub fn describe(&self, nodes: usize, payload_bandwidth: f64) -> String {
+        match *self {
+            Topology::SingleSwitch => format!(
+                "topology: single non-blocking switch\n\
+                 tier 0:   {nodes} host ports @ {:.1} GiB/s per direction\n\
+                 bisection: full (no oversubscription)",
+                payload_bandwidth / crate::profile::GIB
+            ),
+            Topology::FatTree {
+                hosts_per_leaf,
+                oversubscription,
+                spine_hop_latency,
+            } => {
+                let leaves = self.leaves(nodes);
+                format!(
+                    "topology: two-tier fat tree, {oversubscription:.1}:1 oversubscribed\n\
+                     tier 0:   {nodes} host ports @ {:.1} GiB/s per direction\n\
+                     tier 1:   {leaves} leaf switches × {hosts_per_leaf} hosts, uplink {:.1} GiB/s aggregate\n\
+                     tier 2:   non-blocking spine, +{} ns per inter-leaf hop\n\
+                     bisection: {:.1} GiB/s ({:.0}% of full)",
+                    payload_bandwidth / crate::profile::GIB,
+                    self.uplink_bandwidth(payload_bandwidth) / crate::profile::GIB,
+                    spine_hop_latency.as_nanos(),
+                    self.uplink_bandwidth(payload_bandwidth) * leaves as f64 / 2.0
+                        / crate::profile::GIB,
+                    100.0 / oversubscription,
+                )
+            }
+        }
+    }
+}
+
 struct NodePorts {
     egress: Mutex<FairResource>,
     ingress: Mutex<FairResource>,
+}
+
+/// Shared spine-facing links of one leaf switch.
+struct LeafPorts {
+    uplink: Mutex<FairResource>,
+    downlink: Mutex<FairResource>,
 }
 
 /// Per-node link-fault state driven by the fault-injection subsystem.
@@ -62,6 +174,13 @@ impl Default for LinkFault {
 /// The cluster interconnect.
 pub struct Fabric {
     ports: Vec<NodePorts>,
+    /// Leaf-switch uplink/downlink pairs; empty under a single switch,
+    /// so the original code path is untouched byte for byte.
+    leaves: Vec<LeafPorts>,
+    topology: Topology,
+    /// Aggregate per-direction leaf uplink capacity (bytes/second);
+    /// unused under a single switch.
+    uplink_bandwidth: f64,
     flows: Arc<FlowTable>,
     bandwidth: f64,
     switch_latency: crate::time::SimDuration,
@@ -79,6 +198,20 @@ impl Fabric {
     /// Creates a fabric whose ports arbitrate across the cluster-shared
     /// `flows` weights.
     pub fn with_flows(nodes: usize, profile: &DeviceProfile, flows: Arc<FlowTable>) -> Self {
+        Self::with_topology(nodes, profile, flows, Topology::SingleSwitch)
+    }
+
+    /// Creates a fabric with an explicit switch [`Topology`].
+    pub fn with_topology(
+        nodes: usize,
+        profile: &DeviceProfile,
+        flows: Arc<FlowTable>,
+        topology: Topology,
+    ) -> Self {
+        let leaf_count = match topology {
+            Topology::SingleSwitch => 0,
+            Topology::FatTree { .. } => topology.leaves(nodes),
+        };
         Fabric {
             ports: (0..nodes)
                 .map(|_| NodePorts {
@@ -86,6 +219,14 @@ impl Fabric {
                     ingress: Mutex::new(FairResource::new()),
                 })
                 .collect(),
+            leaves: (0..leaf_count)
+                .map(|_| LeafPorts {
+                    uplink: Mutex::new(FairResource::new()),
+                    downlink: Mutex::new(FairResource::new()),
+                })
+                .collect(),
+            uplink_bandwidth: topology.uplink_bandwidth(profile.payload_bandwidth),
+            topology,
             flows,
             bandwidth: profile.payload_bandwidth,
             switch_latency: profile.switch_latency,
@@ -97,6 +238,24 @@ impl Fabric {
     /// Number of nodes attached to the fabric.
     pub fn nodes(&self) -> usize {
         self.ports.len()
+    }
+
+    /// The switch topology of this fabric.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The spine detour of the path `from → to`: `None` when both nodes
+    /// share a switch, otherwise the leaf pair and the spine latency.
+    fn spine_path(&self, from: NodeId, to: NodeId) -> Option<(usize, usize, SimDuration)> {
+        let Topology::FatTree {
+            spine_hop_latency, ..
+        } = self.topology
+        else {
+            return None;
+        };
+        let (src, dst) = (self.topology.leaf_of(from), self.topology.leaf_of(to));
+        (src != dst).then_some((src, dst, spine_hop_latency))
     }
 
     /// Takes `node`'s port down until `until` (link flap). The link layer
@@ -170,14 +329,19 @@ impl Fabric {
         let (down_until, bw_factor, extra_latency) = self.path_fault(from, to);
         let depart = depart.max(down_until);
         let ser = transfer_time(bytes, self.bandwidth * bw_factor);
+        let spine = self.spine_path(from, to);
         if bytes <= CONTROL_BYPASS_BYTES {
             // Small control packets (RDMA Read requests, 8-byte ring/credit
             // writes, ACKs) ride a dedicated virtual lane: InfiniBand's VL
             // arbitration interleaves them with bulk data at packet
             // granularity, so they never wait behind megabytes of queued
             // payload. Their bandwidth share is negligible and is not
-            // charged against the ports.
-            return depart + ser + self.switch_latency + extra_latency;
+            // charged against the ports (or the spine links).
+            let hop = match spine {
+                Some((_, _, lat)) => lat + self.switch_latency,
+                None => SimDuration::ZERO,
+            };
+            return depart + ser + self.switch_latency + hop + extra_latency;
         }
         // Cut-through switching (InfiniBand): the head of the message
         // reaches the ingress port one switch latency after it starts
@@ -187,12 +351,34 @@ impl Fabric {
             .egress
             .lock()
             .reserve_flow(depart, ser, flow, &self.flows);
-        let i = self.ports[to].ingress.lock().reserve_flow(
-            e.start + self.switch_latency,
-            ser,
-            flow,
-            &self.flows,
-        );
+        let ingress_ready = match spine {
+            None => e.start + self.switch_latency,
+            Some((src_leaf, dst_leaf, hop)) => {
+                // Inter-leaf: stream through the source leaf's shared
+                // uplink and the destination leaf's shared downlink —
+                // the oversubscribed resources — still cut-through, so
+                // serialization on the (faster) spine links overlaps
+                // the host-port serialization.
+                let ser_up = transfer_time(bytes, self.uplink_bandwidth);
+                let u = self.leaves[src_leaf].uplink.lock().reserve_flow(
+                    e.start + self.switch_latency,
+                    ser_up,
+                    flow,
+                    &self.flows,
+                );
+                let d = self.leaves[dst_leaf].downlink.lock().reserve_flow(
+                    u.start + hop,
+                    ser_up,
+                    flow,
+                    &self.flows,
+                );
+                d.start + self.switch_latency
+            }
+        };
+        let i = self.ports[to]
+            .ingress
+            .lock()
+            .reserve_flow(ingress_ready, ser, flow, &self.flows);
         i.end + extra_latency
     }
 
@@ -241,6 +427,12 @@ impl Fabric {
             .egress
             .lock()
             .reserve_flow(depart, ser, flow, &self.flows);
+        // Fat tree: the switch tier replicates, so the source uplink
+        // carries ONE copy (reserved lazily, only when some destination
+        // sits on another leaf) and each destination leaf's downlink
+        // carries one copy (cached per leaf below).
+        let mut uplink_start: Option<SimTime> = None;
+        let mut downlink_start: Vec<Option<SimTime>> = vec![None; self.leaves.len()];
         tos.iter()
             .map(|&to| {
                 assert!(to < self.ports.len(), "receiver {to} out of range");
@@ -252,15 +444,37 @@ impl Fabric {
                     let f = faults[to];
                     (f.down_until, f.bw_factor, f.extra_latency)
                 };
+                let ingress_ready = match self.spine_path(from, to) {
+                    None => e.start.max(recv_down) + self.switch_latency,
+                    Some((src_leaf, dst_leaf, hop)) => {
+                        let ser_up = transfer_time(bytes, self.uplink_bandwidth);
+                        let u_start = *uplink_start.get_or_insert_with(|| {
+                            self.leaves[src_leaf]
+                                .uplink
+                                .lock()
+                                .reserve_flow(e.start + self.switch_latency, ser_up, flow, &self.flows)
+                                .start
+                        });
+                        let d_start = match downlink_start[dst_leaf] {
+                            Some(start) => start,
+                            None => {
+                                let d = self.leaves[dst_leaf].downlink.lock().reserve_flow(
+                                    u_start + hop,
+                                    ser_up,
+                                    flow,
+                                    &self.flows,
+                                );
+                                downlink_start[dst_leaf] = Some(d.start);
+                                d.start
+                            }
+                        };
+                        d_start.max(recv_down) + self.switch_latency
+                    }
+                };
                 self.ports[to]
                     .ingress
                     .lock()
-                    .reserve_flow(
-                        e.start.max(recv_down) + self.switch_latency,
-                        ser,
-                        flow,
-                        &self.flows,
-                    )
+                    .reserve_flow(ingress_ready, ser, flow, &self.flows)
                     .end
                     + sender_lat
                     + recv_lat
@@ -425,6 +639,103 @@ mod tests {
     fn bad_node_panics() {
         let f = fabric(2);
         let _ = f.transfer(0, 7, 64, SimTime::ZERO);
+    }
+
+    fn fat_fabric(nodes: usize, hosts_per_leaf: usize, oversub: f64) -> Fabric {
+        Fabric::with_topology(
+            nodes,
+            &DeviceProfile::edr(),
+            Arc::new(FlowTable::new()),
+            Topology::fat_tree(hosts_per_leaf, oversub),
+        )
+    }
+
+    #[test]
+    fn fat_tree_intra_leaf_matches_single_switch() {
+        let single = fabric(8);
+        let fat = fat_fabric(8, 4, 4.0);
+        // Nodes 0 and 1 share a leaf: latency identical to one switch.
+        let a = single.transfer(0, 1, 1 << 20, SimTime::ZERO);
+        let b = fat.transfer(0, 1, 1 << 20, SimTime::ZERO);
+        assert_eq!(a.as_nanos(), b.as_nanos());
+    }
+
+    #[test]
+    fn fat_tree_inter_leaf_pays_the_spine_hop() {
+        let fat = fat_fabric(8, 4, 1.0);
+        let intra = fat.transfer(0, 1, 1 << 20, SimTime::ZERO);
+        let inter = fat.transfer(2, 5, 1 << 20, SimTime::ZERO);
+        // Full bisection: only the extra hop latency separates the two.
+        assert!(inter > intra, "crossing leaves must cost extra latency");
+        let delta = (inter - intra).as_nanos();
+        assert!(
+            delta <= 2_000,
+            "full-bisection spine must add latency only, got +{delta} ns"
+        );
+    }
+
+    #[test]
+    fn oversubscribed_uplink_is_the_bottleneck() {
+        // 8 hosts per leaf, 4:1 oversubscribed: the leaf uplink carries
+        // only 2 host-links' worth, so 8 concurrent inter-leaf senders
+        // on one leaf must be capped near the uplink's aggregate rate —
+        // well below the 8 host-links the same batch gets at full
+        // bisection.
+        let p = DeviceProfile::edr();
+        let msg = 8 << 20;
+        let run = |oversub: f64| {
+            let f = fat_fabric(16, 8, oversub);
+            let mut last = SimTime::ZERO;
+            for s in 0..8 {
+                last = last.max(f.transfer(s, 8 + s, msg, SimTime::ZERO));
+            }
+            (8 * msg) as f64 / last.as_secs_f64()
+        };
+        let full_rate = run(1.0);
+        let over_rate = run(4.0);
+        let uplink = Topology::fat_tree(8, 4.0).uplink_bandwidth(p.payload_bandwidth);
+        assert!(
+            over_rate <= uplink * 1.05,
+            "aggregate rate {:.2} GiB/s must not beat the uplink {:.2} GiB/s",
+            over_rate / GIB,
+            uplink / GIB
+        );
+        assert!(
+            over_rate >= uplink * 0.6,
+            "uplink badly underutilized: {:.2} of {:.2} GiB/s",
+            over_rate / GIB,
+            uplink / GIB
+        );
+        assert!(
+            full_rate > over_rate * 1.8,
+            "full bisection ({:.2} GiB/s) must clearly beat 4:1 ({:.2} GiB/s)",
+            full_rate / GIB,
+            over_rate / GIB
+        );
+    }
+
+    #[test]
+    fn fat_tree_control_packets_bypass_spine_queues() {
+        let f = fat_fabric(8, 4, 4.0);
+        // Saturate the uplink with bulk inter-leaf traffic...
+        let bulk = f.transfer(0, 4, 16 << 20, SimTime::ZERO);
+        // ...an inter-leaf control packet does not wait for it.
+        let ctrl = f.transfer(1, 5, 64, SimTime::from_nanos(10));
+        assert!(ctrl < bulk, "control lane must bypass the spine queue");
+    }
+
+    #[test]
+    fn topology_geometry_and_description() {
+        let t = Topology::fat_tree(4, 4.0);
+        assert_eq!(t.leaf_of(0), 0);
+        assert_eq!(t.leaf_of(3), 0);
+        assert_eq!(t.leaf_of(4), 1);
+        assert_eq!(t.leaves(9), 3, "partial leaves round up");
+        let desc = t.describe(16, DeviceProfile::edr().payload_bandwidth);
+        assert!(desc.contains("fat tree"));
+        assert!(desc.contains("4 leaf switches"));
+        let single = Topology::SingleSwitch.describe(16, DeviceProfile::edr().payload_bandwidth);
+        assert!(single.contains("single non-blocking switch"));
     }
 
     #[test]

@@ -19,7 +19,7 @@
 //! contention between QPs, threads and nodes is captured.
 
 use std::collections::VecDeque;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
 use rshuffle_obs::{EventKind, Stage, HW_TRACK};
@@ -83,6 +83,44 @@ pub struct SendWr {
     pub ah: Option<AddressHandle>,
 }
 
+/// One shared physical-QP slot of the connection multiplexer.
+///
+/// Virtual QPs bound to the same slot model endpoints that share one
+/// real Reliable Connection: they alias a single NIC QP context — so the
+/// QP-context cache and doorbell coalescing see one QP, not N (the
+/// benefit side of multiplexing, Figure 11) — and they serialize their
+/// deliveries through one shared order clock (the head-of-line cost of
+/// sharing). Protocol state — receive queues, completion queues, credit
+/// accounting — stays per virtual QP, so endpoint and audit invariants
+/// are untouched by slot sharing.
+pub struct SharedQpSlot {
+    /// The NIC context key the slot's members alias. Donated by the
+    /// first QP bound to the slot, so a slot with a single member is
+    /// indistinguishable from an unshared QP.
+    ctx: OnceLock<u64>,
+    /// Shared delivery-order clock: RC delivery stays in posted order
+    /// across *all* members, exactly as on one physical connection.
+    order: Mutex<SimTime>,
+}
+
+impl SharedQpSlot {
+    /// Creates an empty slot; the first bound QP donates its context.
+    pub fn new() -> Arc<SharedQpSlot> {
+        Arc::new(SharedQpSlot {
+            ctx: OnceLock::new(),
+            order: Mutex::new(SimTime::ZERO),
+        })
+    }
+}
+
+/// A QP's membership in a [`SharedQpSlot`] (installed once, pre-traffic).
+pub(crate) struct SharedBinding {
+    /// The slot's aliased NIC context key (resolved at bind time).
+    pub(crate) ctx: u64,
+    /// The slot itself, for the shared delivery-order clock.
+    pub(crate) slot: Arc<SharedQpSlot>,
+}
+
 pub(crate) struct QpInner {
     pub(crate) node: NodeId,
     pub(crate) qpn: QpNum,
@@ -99,6 +137,10 @@ pub(crate) struct QpInner {
     pub(crate) last_delivery: Mutex<SimTime>,
     /// The flow (query) whose NIC/port share this QP's traffic consumes.
     pub(crate) flow: FlowId,
+    /// Shared-slot membership when the connection multiplexer has bound
+    /// this QP ([`QueuePair::bind_shared_slot`]); empty on the direct
+    /// path, where every hot-path read is one relaxed atomic load.
+    pub(crate) shared: OnceLock<SharedBinding>,
 }
 
 impl QpInner {
@@ -121,10 +163,21 @@ impl QpInner {
             recv_queue: Mutex::new(VecDeque::new()),
             last_delivery: Mutex::new(SimTime::ZERO),
             flow,
+            shared: OnceLock::new(),
         }
     }
 
+    /// The NIC context key this QP's traffic occupies: its own natural
+    /// key, or the aliased slot key when multiplexed onto a shared slot.
     fn ctx_key(&self) -> u64 {
+        match self.shared.get() {
+            Some(b) => b.ctx,
+            None => self.natural_ctx_key(),
+        }
+    }
+
+    /// The un-multiplexed context key (`node << 32 | qpn`).
+    fn natural_ctx_key(&self) -> u64 {
         ((self.node as u64) << 32) | self.qpn.0 as u64
     }
 
@@ -280,6 +333,40 @@ impl QueuePair {
             ((self.inner.qpn.0 as u64) << 16) | ((from as u64) << 8) | QpState::Reset as u64,
         );
         Ok(())
+    }
+
+    /// Binds this RC QP onto a shared physical-QP slot (connection
+    /// multiplexing). Must happen at wiring time, before traffic flows;
+    /// a QP can be bound at most once. The first member donates its
+    /// context key, so a one-member slot behaves exactly like an
+    /// unshared QP. [`QueuePair::reset`] does *not* rewind the shared
+    /// order clock — the other members' deliveries already consumed it,
+    /// just as tearing down one virtual endpoint of a real shared
+    /// connection leaves the connection's ordering state intact.
+    pub fn bind_shared_slot(&self, slot: &Arc<SharedQpSlot>) -> Result<()> {
+        if self.inner.ty != QpType::Rc {
+            return Err(VerbsError::UnsupportedOp {
+                op: "bind_shared_slot",
+                reason: "only Reliable Connections are multiplexed",
+            });
+        }
+        let ctx = *slot.ctx.get_or_init(|| self.inner.natural_ctx_key());
+        let binding = SharedBinding {
+            ctx,
+            slot: slot.clone(),
+        };
+        if self.inner.shared.set(binding).is_err() {
+            return Err(VerbsError::UnsupportedOp {
+                op: "bind_shared_slot",
+                reason: "QP is already bound to a shared slot",
+            });
+        }
+        Ok(())
+    }
+
+    /// Whether this QP is bound onto a shared physical-QP slot.
+    pub fn is_shared(&self) -> bool {
+        self.inner.shared.get().is_some()
     }
 
     /// Binds this RC QP to its (single) remote peer. Must happen in INIT,
@@ -613,12 +700,8 @@ impl QueuePair {
         let local_node = self.inner.node;
         let send_cq = self.inner.send_cq.clone();
         let qpn = self.inner.qpn;
-        let peer_ctx = self
-            .inner
-            .peer
-            .lock()
-            .map(|p| ((p.node as u64) << 32) | p.qpn.0 as u64)
-            .unwrap_or_default();
+        let peer_ctx = self.peer_ctx_key();
+        let self_ctx = self.inner.ctx_key();
         let mtu = profile.mtu;
         let flow = self.inner.flow;
         self.runtime.kernel().schedule(req_arrive, move || {
@@ -660,12 +743,10 @@ impl QueuePair {
             let runtime2 = runtime.clone();
             runtime.kernel().schedule(back, move || {
                 let now = runtime2.kernel().now();
-                let done = runtime2.nic(local_node).process_flow(
-                    now,
-                    ((local_node as u64) << 32) | qpn.0 as u64,
-                    WrKind::RecvMatch,
-                    flow,
-                );
+                let done =
+                    runtime2
+                        .nic(local_node)
+                        .process_flow(now, self_ctx, WrKind::RecvMatch, flow);
                 local_mr
                     .write(local_off, &data)
                     .expect("bounds checked at post time");
@@ -735,12 +816,7 @@ impl QueuePair {
         let send_cq = self.inner.send_cq.clone();
         let qpn = self.inner.qpn;
         let ack_latency = profile.rc_ack_latency;
-        let peer_ctx = self
-            .inner
-            .peer
-            .lock()
-            .map(|p| ((p.node as u64) << 32) | p.qpn.0 as u64)
-            .unwrap_or_default();
+        let peer_ctx = self.peer_ctx_key();
         let flow = self.inner.flow;
         self.runtime.kernel().schedule(deliver, move || {
             let now = runtime.kernel().now();
@@ -793,6 +869,20 @@ impl QueuePair {
         Ok(())
     }
 
+    /// The NIC context key the connected peer's passive (RemoteDma) work
+    /// occupies: the peer QP's effective key — aliased when the peer is
+    /// multiplexed — falling back to the natural `node << 32 | qpn`
+    /// computation if the peer is not registered with the runtime.
+    fn peer_ctx_key(&self) -> u64 {
+        let Some(peer) = *self.inner.peer.lock() else {
+            return 0;
+        };
+        match self.runtime.lookup_qp(peer.node, peer.qpn) {
+            Some(qp) => qp.ctx_key(),
+            None => ((peer.node as u64) << 32) | peer.qpn.0 as u64,
+        }
+    }
+
     fn check_sendable(&self, op: &'static str) -> Result<()> {
         // Lazy persistent-fault enforcement: a QP (re)built inside an open
         // kill window dies on first use, so reconnects cannot outrun the
@@ -820,7 +910,16 @@ impl QueuePair {
     }
 
     /// Clamps `deliver` so deliveries on this RC QP stay in posted order.
+    /// A multiplexed QP clamps against its slot's shared clock instead:
+    /// everything sharing the physical connection delivers in one posted
+    /// order, which is exactly the head-of-line cost of QP sharing.
     fn ordered_delivery(&self, deliver: SimTime) -> SimTime {
+        if let Some(b) = self.inner.shared.get() {
+            let mut last = b.slot.order.lock();
+            let t = deliver.max(*last);
+            *last = t;
+            return t;
+        }
         let mut last = self.inner.last_delivery.lock();
         let t = deliver.max(*last);
         *last = t;
@@ -917,12 +1016,12 @@ fn deliver_send(
         observe_unmatched(&runtime, dest.node, now);
         return;
     }
-    let nic_done = runtime.nic(dest.node).process_flow(
-        now,
-        ((dest.node as u64) << 32) | dest.qpn.0 as u64,
-        WrKind::RecvMatch,
-        qp.flow,
-    );
+    // Receive matching occupies the *target* QP's context — the aliased
+    // slot key when the target is multiplexed (identical to the natural
+    // `node << 32 | qpn` key otherwise).
+    let nic_done = runtime
+        .nic(dest.node)
+        .process_flow(now, qp.ctx_key(), WrKind::RecvMatch, qp.flow);
     // A receiver-pause fault freezes receive matching: the queue looks
     // empty, so RC takes the RNR-retry path and UD drops unmatched.
     let rwr = if runtime.recv_paused(dest.node, now.as_nanos()) {
