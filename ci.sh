@@ -24,7 +24,8 @@ cargo clippy --workspace --all-targets --features saboteur $CARGO_FLAGS -- -D wa
 # Panic-free data path: endpoint hot paths and the recovery/restart
 # orchestrators propagate typed ShuffleErrors; unwrap/expect would turn a
 # poisoned ring slot or a failed reconnect into a process abort.
-if grep -rnE '\.(unwrap|expect)\(' crates/core/src/endpoint/ crates/engine/src/ crates/mux/src/; then
+if grep -rnE '\.(unwrap|expect)\(' crates/core/src/endpoint/ crates/engine/src/ crates/mux/src/ \
+  crates/core/src/phase.rs crates/core/src/advisor.rs; then
   echo "ERROR: unwrap()/expect() on an engine, endpoint or mux data path (see above)" >&2
   exit 1
 fi
@@ -84,7 +85,28 @@ trap 'rm -f "$PERF_CAND" "$SCALE_CAND"' EXIT
 cargo run -q --release -p rshuffle-bench --bin scale $CARGO_FLAGS -- \
   --smoke --emit "$SCALE_CAND" >/dev/null
 cargo run -q --release -p rshuffle-bench --bin perfdiff $CARGO_FLAGS -- \
-  --against BENCH_SCALE_0009.json --candidate "$SCALE_CAND" --tolerance-pct 10
+  --against BENCH_SCALE_0010.json --candidate "$SCALE_CAND" --tolerance-pct 10
+
+# Adaptive smoke: the phased-vs-unphased sweep (N = 128/256 under Zipf
+# skew on the congested fat tree — phased MESQ/SR must stay strictly
+# faster) and the advisor-vs-oracle matrix (picks within the acceptance
+# band on >= 90% of rows). The binary enforces both gates itself;
+# perfdiff then pins the actual numbers against the committed baseline.
+ADAPT_CAND=$(mktemp /tmp/rshuffle-adaptive-cand.XXXXXX.json)
+trap 'rm -f "$PERF_CAND" "$SCALE_CAND" "$ADAPT_CAND"' EXIT
+cargo run -q --release -p rshuffle-bench --bin adaptive $CARGO_FLAGS -- \
+  --smoke --emit "$ADAPT_CAND" >/dev/null
+cargo run -q --release -p rshuffle-bench --bin perfdiff $CARGO_FLAGS -- \
+  --against BENCH_0010.json --candidate "$ADAPT_CAND" --tolerance-pct 10
+
+# Adaptive gate self-check: a 2x inflation of the lower-is-better
+# advisor ratios must be caught, or the gate is dead weight.
+if cargo run -q --release -p rshuffle-bench --bin perfdiff $CARGO_FLAGS -- \
+  --against BENCH_0010.json --tolerance-pct 10 \
+  --candidate "$ADAPT_CAND" --scale-latency 2 >/dev/null 2>&1; then
+  echo "ERROR: perfdiff failed to catch an injected 2x adaptive regression" >&2
+  exit 1
+fi
 
 # Documentation gate: rshuffle-sched is #![warn(missing_docs)]; deny all
 # rustdoc warnings workspace-wide so the public surface stays documented.

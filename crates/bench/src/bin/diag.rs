@@ -4,6 +4,10 @@
 //!
 //! Usage: `diag [ALGORITHM] [NODES] [TRACE_PATH] [FAULT]`
 //! (defaults: `MESQ_SR 8 trace.json` with no injected fault).
+//! `diag --topology [NODES] [OVERSUB] [HOSTS_PER_LEAF]` dumps the
+//! fabric layout; `diag --phases [NODES] [POLICY] [THETA]` dumps a
+//! phase schedule (per-phase byte totals, exempted sources) together
+//! with the advisor's signal→decision table for the same shape.
 //! `FAULT` selects a canned ride-out-able fault plan (`link-flap`,
 //! `link-degrade` or `straggler`) whose injection markers then appear on
 //! the hardware track of the exported trace; the active plan is echoed
@@ -17,9 +21,10 @@
 //! the remaining threads are the simulated worker threads, with credit
 //! stalls, completions and fragment spans on their own tracks.
 
-use rshuffle::ShuffleAlgorithm;
+use rshuffle::{AdvisorSignals, AlgorithmAdvisor, PhasePolicy, PhaseSchedule, ShuffleAlgorithm};
+use rshuffle_bench::skew::{skew_ratio, zipf_partition_rows};
 use rshuffle_bench::{Pattern, Transport, WorkloadConfig};
-use rshuffle_simnet::{DeviceProfile, SimDuration};
+use rshuffle_simnet::{DeviceProfile, IncastModel, SimDuration, Topology};
 use rshuffle_verbs::FaultPlan;
 
 /// Canned fault plans selectable by name. Diagnostic runs have no
@@ -35,8 +40,82 @@ fn canned_plan(name: &str) -> Option<FaultPlan> {
     }
 }
 
+/// `diag --phases [NODES] [POLICY] [THETA]`: build the schedule a phased
+/// exchange would follow for a Zipf-skewed repartition of that size and
+/// dump it round by round, then show how the advisor reads the same
+/// shape. No workload runs.
+fn dump_phases(args: &[String]) {
+    let nodes: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(16);
+    let policy = args
+        .get(1)
+        .and_then(|s| PhasePolicy::parse(s))
+        .unwrap_or(PhasePolicy::SkewAware);
+    let theta: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0.5);
+    let bytes_per_node = 8usize << 20;
+    let totals = zipf_partition_rows(
+        (nodes * bytes_per_node / 16) as u64,
+        nodes,
+        theta,
+        0x5CA1E,
+    );
+    let matrix = PhaseSchedule::estimate_from_source_totals(&totals);
+    let schedule = match PhaseSchedule::build(policy, &matrix) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot build schedule: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "{} schedule, N={nodes}, Zipf θ={theta} (row estimates in 16-byte rows):",
+        policy.label()
+    );
+    let free = schedule.free_sources();
+    if free.is_empty() {
+        println!("  exempted sources: none");
+    } else {
+        println!(
+            "  exempted sources (stream unphased): {:?} — row totals {:?}",
+            free,
+            free.iter().map(|&n| totals[n]).collect::<Vec<_>>()
+        );
+    }
+    println!(
+        "  {:>5} {:>7} {:>14} {:>14}",
+        "phase", "edges", "total bytes", "max edge"
+    );
+    for (p, phase) in schedule.phases().iter().enumerate() {
+        println!(
+            "  {p:>5} {:>7} {:>14} {:>14}",
+            phase.edges.len(),
+            phase.total_bytes(),
+            phase.max_edge_bytes()
+        );
+    }
+    println!(
+        "  {} phases, worst round {} bytes",
+        schedule.num_phases(),
+        schedule.worst_phase_len()
+    );
+
+    // The advisor's view of the same shape: congested fat tree, the
+    // measured skew ratio, and its rule-by-rule decision trail.
+    let topology = Topology::fat_tree(16, 4.0).with_incast(IncastModel::new(4));
+    let mut signals = AdvisorSignals::baseline(nodes, 4, 16 * 1024);
+    signals.oversubscription = topology.oversubscription();
+    signals.incast = topology.incast().is_some();
+    signals.skew = skew_ratio(&totals);
+    let advice = AlgorithmAdvisor::advise(&signals);
+    println!("--- advisor decision table ---");
+    print!("{}", AlgorithmAdvisor::table(&signals, &advice));
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    if args.get(1).is_some_and(|a| a == "--phases") {
+        dump_phases(&args[2..]);
+        return;
+    }
     if args.get(1).is_some_and(|a| a == "--topology") {
         // `diag --topology [NODES] [OVERSUB] [HOSTS_PER_LEAF]`: dump the
         // simulated fabric layout (leaf/spine structure, per-link

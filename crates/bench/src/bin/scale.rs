@@ -238,6 +238,20 @@ fn main() {
             );
         }
     }
+    // Direction-tagged crossover summary, one row per cap: the
+    // UD-over-RC throughput ratio at the largest common size (higher is
+    // better — UD catching up, then winning) and, when the sweep spans
+    // several sizes, the first size where MESQ/SR wins (lower is
+    // better — the §7 prediction that QP state pushes the crossover
+    // left; "not reached" is penalized as twice the largest size so a
+    // regression can never hide behind a missing value).
+    struct Crossover {
+        id: String,
+        first_win: Option<usize>,
+        ratio_at_last: f64,
+        last_n: usize,
+    }
+    let mut crossovers: Vec<Crossover> = Vec::new();
     for cap in [None, Some(1usize)] {
         let ud = |n: usize| {
             cells
@@ -270,6 +284,24 @@ fn main() {
                 node_counts.last().unwrap_or(&0)
             ),
         }
+        let last_n = *node_counts
+            .iter()
+            .rev()
+            .find(|&&n| ud(n).is_some() && rc(n).is_some())
+            .unwrap_or(&node_counts[0]);
+        let ratio = match (ud(last_n), rc(last_n)) {
+            (Some(u), Some(r)) if r > 0.0 => u / r,
+            _ => 0.0,
+        };
+        crossovers.push(Crossover {
+            id: match cap {
+                Some(c) => format!("crossover/cap={c}"),
+                None => "crossover/direct".to_string(),
+            },
+            first_win: crossover.copied(),
+            ratio_at_last: ratio,
+            last_n,
+        });
     }
 
     if let Some(path) = emit {
@@ -296,6 +328,21 @@ fn main() {
                     ],
                     stages: Vec::new(),
                 })
+                .chain(crossovers.iter().map(|x| BenchResult {
+                    id: x.id.clone(),
+                    metrics: {
+                        let mut m = vec![
+                            MetricRow::higher("ud_over_rc_gibps_ratio", x.ratio_at_last),
+                            MetricRow::info("ratio_at_n", x.last_n as f64),
+                        ];
+                        if node_counts.len() > 1 {
+                            let n = x.first_win.unwrap_or(node_counts.last().unwrap() * 2);
+                            m.push(MetricRow::lower("crossover_n", n as f64));
+                        }
+                        m
+                    },
+                    stages: Vec::new(),
+                }))
                 .collect(),
         });
         if let Err(e) = report.write(&path) {

@@ -14,8 +14,8 @@
 use std::sync::Arc;
 
 use rshuffle::{
-    CostModel, Exchange, ExchangeConfig, ReceiveOperator, ShuffleAlgorithm, ShuffleError,
-    ShuffleOperator, TransmissionGroups,
+    CostModel, Exchange, ExchangeConfig, PhasePolicy, PhaseRunner, PhaseSchedule,
+    ReceiveOperator, ShuffleAlgorithm, ShuffleError, ShuffleOperator, TransmissionGroups,
 };
 use rshuffle_baselines::{IpoibExchange, MpiExchange};
 use rshuffle_engine::{drive_to_sink, ComputeStage, Generator};
@@ -120,6 +120,11 @@ pub struct WorkloadConfig {
     /// Per-node volume skew: split the cluster's total table volume by a
     /// seeded Zipf histogram instead of evenly. `None` = uniform.
     pub skew: Option<SkewSpec>,
+    /// Phase scheduling of the all-to-all ([`PhasePolicy::Off`] = the
+    /// classic interleaved transmission). Skew-aware schedules derive
+    /// their byte estimate from the configured [`WorkloadConfig::skew`]
+    /// split, exactly what a planner's table statistics would predict.
+    pub phase: PhasePolicy,
     /// Straggler injection applied to the kernel before the run.
     pub stragglers: Option<StragglerPlan>,
 }
@@ -155,6 +160,7 @@ impl WorkloadConfig {
             mux: None,
             topology: Topology::SingleSwitch,
             skew: None,
+            phase: PhasePolicy::Off,
             stragglers: None,
         }
     }
@@ -236,6 +242,7 @@ pub fn run_shuffle_workload(cfg: &WorkloadConfig) -> WorkloadResult {
     };
 
     // Build endpoints for the chosen transport.
+    let mut phases: Option<std::sync::Arc<PhaseRunner>> = None;
     let (send_eps, recv_eps, mode, registered, mux_stats) = match cfg.transport {
         Transport::Rdma(algorithm) => {
             let mut xcfg = ExchangeConfig::with_groups(algorithm, cfg.threads, groups.clone());
@@ -248,11 +255,23 @@ pub fn run_shuffle_workload(cfg: &WorkloadConfig) -> WorkloadResult {
             xcfg.lanes_override = cfg.lanes;
             xcfg.ud_native_multicast = cfg.ud_native_multicast;
             xcfg.mux = cfg.mux;
+            xcfg.phase = cfg.phase;
+            if cfg.phase.enabled() {
+                // The skew-aware schedule sees exactly what a planner's
+                // table statistics would predict: the per-node byte
+                // totals of the configured Zipf split.
+                if let Some(rows) = &skewed_rows {
+                    let totals: Vec<u64> = rows.iter().map(|&r| r * ROW_BYTES as u64).collect();
+                    xcfg.phase_bytes =
+                        Some(Arc::new(PhaseSchedule::estimate_from_source_totals(&totals)));
+                }
+            }
             let exchange = Exchange::build(&runtime, &xcfg).expect("exchange builds");
             let registered = exchange.registered_bytes(0);
             let mux_stats = exchange.mux.as_ref().map_or((0, 0, 0), |m| {
                 (m.qp_count(), m.natural_qps(), m.lease_waits())
             });
+            phases = exchange.phases.clone();
             (
                 exchange.send.clone(),
                 exchange.recv.clone(),
@@ -320,13 +339,17 @@ pub fn run_shuffle_workload(cfg: &WorkloadConfig) -> WorkloadResult {
         } else {
             cost.clone()
         };
-        let shuffle = Arc::new(ShuffleOperator::with_lanes(
+        let mut shuffle_op = ShuffleOperator::with_lanes(
             generator,
             send_eps[node].clone(),
             groups[node].clone(),
             cfg.threads,
             send_cost,
-        ));
+        );
+        if let Some(runner) = &phases {
+            shuffle_op = shuffle_op.with_phases(runner.clone(), node);
+        }
+        let shuffle = Arc::new(shuffle_op);
         send_stats.push(drive_to_sink(
             runtime.cluster(),
             node,

@@ -319,6 +319,20 @@ pub trait SendEndpoint: Send + Sync {
     /// Charges the modelled connection-setup cost (QP creation, out-of-band
     /// exchange, memory registration) to the calling thread (Figure 12).
     fn charge_setup(&self, sim: &SimContext);
+
+    /// Blocks until the traffic this endpoint already pushed toward
+    /// `dest` has drained as far as its flow-control protocol can
+    /// observe — used by phase-scheduled senders so one round's
+    /// messages leave the fabric before the next round starts.
+    ///
+    /// The reliable designs are naturally drained by their small
+    /// per-peer buffer pools (at most `buffers_per_peer` messages can
+    /// ever be outstanding toward one destination), so the default is
+    /// a no-op; the UD design, whose credit window is deliberately
+    /// deep, overrides this with a credit-return wait.
+    fn quiesce(&self, _sim: &SimContext, _dest: NodeId) -> Result<()> {
+        Ok(())
+    }
 }
 
 /// The data-receiving half of an endpoint (§4.2).

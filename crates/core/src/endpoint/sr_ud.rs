@@ -117,6 +117,9 @@ struct UdShared {
     // ---- send half ----
     /// Absolute credit granted to this channel by each destination.
     credit: Mutex<HashMap<NodeId, u64>>,
+    /// The bootstrap window granted per destination — the drained-state
+    /// credit level [`UdShared::quiesce_dest`] waits to recover.
+    initial_credit: Mutex<HashMap<NodeId, u64>>,
     /// Messages (data + credit) sent to each destination; each consumes one
     /// credit.
     consumed: Mutex<HashMap<NodeId, u64>>,
@@ -206,6 +209,7 @@ impl SrUdChannel {
                 peer_ahs: Mutex::new(HashMap::new()),
                 mcast_ahs: Mutex::new(HashMap::new()),
                 credit: Mutex::new(HashMap::new()),
+                initial_credit: Mutex::new(HashMap::new()),
                 consumed: Mutex::new(HashMap::new()),
                 sent_data: Mutex::new(HashMap::new()),
                 pool,
@@ -313,6 +317,7 @@ impl SrUdChannel {
     /// Seeds the send half's credit for `dest` (out-of-band bootstrap).
     pub fn bootstrap_credit(&self, dest: NodeId, credit: u64) {
         self.shared.credit.lock().insert(dest, credit);
+        self.shared.initial_credit.lock().insert(dest, credit);
     }
 
     /// The send half.
@@ -377,6 +382,55 @@ impl UdShared {
             self.send_obs.stall_end(sim, started);
         }
         result
+    }
+
+    /// Waits until the data already sent toward `dest` has fully
+    /// drained as far as UD flow control can observe: the receiver has
+    /// released — and written credit back for — the whole window. The
+    /// receiver posts a credit datagram only every
+    /// `credit_writeback_frequency` releases, so waiting for the
+    /// literal bootstrap window would deadlock on any message count
+    /// that is not a multiple of the frequency; `freq − 1` messages may
+    /// legally stay unconfirmed and are excluded from the target.
+    ///
+    /// Full drain is deliberate: a half-window slack was tried and
+    /// reverted. Residue flows from phase p overlap phase p+1, which
+    /// doubles the active flow count on the receiver's *leaf downlink*
+    /// — past the downlink incast knee (`hosts_per_leaf`) — and the
+    /// measured collapse penalty exceeded everything the slack saved
+    /// on the credit round trip. Draining fully keeps every port at or
+    /// under its knee, and the super-round barrier cadence
+    /// ([`crate::phase::PHASE_GROUP`]) amortizes the per-phase credit
+    /// wait instead.
+    fn quiesce_dest(&self, sim: &SimContext, dest: NodeId) -> Result<()> {
+        let lag = u64::from(self.cfg.credit_writeback_frequency.saturating_sub(1));
+        let target = match self.initial_credit.lock().get(&dest) {
+            Some(&window) => window.saturating_sub(lag),
+            // Never bootstrapped toward `dest`: nothing was ever sent.
+            None => return Ok(()),
+        };
+        let deadline = sim.now() + self.cfg.stall_timeout;
+        let mut backoff = Backoff::new(self.cfg.poll_interval * 4);
+        loop {
+            let available = {
+                let credit = self.credit.lock();
+                let consumed = self.consumed.lock();
+                let c = credit.get(&dest).copied().unwrap_or(0);
+                let m = consumed.get(&dest).copied().unwrap_or(0);
+                c.saturating_sub(m)
+            };
+            if available >= target {
+                return Ok(());
+            }
+            if sim.now() >= deadline {
+                return Err(ShuffleError::Stalled("waiting for a UD phase to drain"));
+            }
+            // The credit write-backs we are waiting for arrive on the
+            // receive CQ; completed sends free pool slots as a bonus.
+            if self.drain_inbound(sim, backoff.next())? {
+                backoff.reset();
+            }
+        }
     }
 
     /// Drains a batch of inbound completions (credit updates handled
@@ -724,6 +778,10 @@ impl SendEndpoint for SrUdSendEndpoint {
 
     fn charge_setup(&self, sim: &SimContext) {
         sim.sleep(self.shared.setup_cost_send);
+    }
+
+    fn quiesce(&self, sim: &SimContext, dest: NodeId) -> Result<()> {
+        self.shared.quiesce_dest(sim, dest)
     }
 }
 

@@ -23,6 +23,7 @@ use crate::endpoint::wr_rc::{WrRcConfig, WrRcReceiveEndpoint, WrRcSendEndpoint};
 use crate::endpoint::{EndpointId, ReceiveEndpoint, SendEndpoint};
 use crate::error::{Result, ShuffleError};
 use crate::group::TransmissionGroups;
+use crate::phase::{PhasePolicy, PhaseRunner, PhaseSchedule};
 
 /// Configuration for building a cluster-wide exchange.
 #[derive(Clone)]
@@ -95,6 +96,14 @@ pub struct ExchangeConfig {
     /// full-bisection testbed; fat trees model the oversubscribed spines
     /// of the 128–512-node scale-out runs.
     pub topology: Topology,
+    /// Phase scheduling of the all-to-all transfer
+    /// ([`crate::PhasePolicy::Off`] by default — the operator interleaves
+    /// destinations freely and nothing phase-related is even built).
+    pub phase: PhasePolicy,
+    /// Estimated per-pair transfer matrix (`bytes[src][dst]`) for the
+    /// skew-aware phase schedule; `None` falls back to a uniform
+    /// estimate over the complete matrix. Ignored when `phase` is off.
+    pub phase_bytes: Option<Arc<Vec<Vec<u64>>>>,
     /// Transmission groups of each node.
     pub groups: Vec<TransmissionGroups>,
 }
@@ -150,6 +159,8 @@ impl ExchangeConfig {
             epoch: 0,
             mux: None,
             topology: Topology::SingleSwitch,
+            phase: PhasePolicy::Off,
+            phase_bytes: None,
             groups,
         }
     }
@@ -352,6 +363,11 @@ pub struct Exchange {
     /// Exposes [`Multiplexer::qp_count`] / [`Multiplexer::lease_waits`]
     /// to the scale benchmarks.
     pub mux: Option<Arc<Multiplexer>>,
+    /// The phase runner when [`ExchangeConfig::phase`] enables scheduled
+    /// all-to-all, `None` on the (default) unphased path. Shared by every
+    /// sender thread of the cluster; operators cross its barrier once per
+    /// phase.
+    pub phases: Option<Arc<PhaseRunner>>,
 }
 
 impl Exchange {
@@ -427,7 +443,7 @@ impl Exchange {
             _ => None,
         };
 
-        let exchange = match config.algorithm.imp {
+        let mut exchange = match config.algorithm.imp {
             EndpointImpl::MqSr => {
                 let cfg = config.sr_rc();
                 let mut send_eps: Vec<Vec<Arc<SrRcSendEndpoint>>> = Vec::new();
@@ -495,6 +511,7 @@ impl Exchange {
                     lanes,
                     flow: config.flow,
                     mux: muxer.clone(),
+                    phases: None,
                 }
             }
             EndpointImpl::MqRd => {
@@ -574,6 +591,7 @@ impl Exchange {
                     lanes,
                     flow: config.flow,
                     mux: muxer.clone(),
+                    phases: None,
                 }
             }
             EndpointImpl::MqWr => {
@@ -652,6 +670,7 @@ impl Exchange {
                     lanes,
                     flow: config.flow,
                     mux: muxer.clone(),
+                    phases: None,
                 }
             }
             EndpointImpl::SqSr => {
@@ -740,6 +759,7 @@ impl Exchange {
                     lanes,
                     flow: config.flow,
                     mux: muxer.clone(),
+                    phases: None,
                 }
             }
         };
@@ -747,6 +767,54 @@ impl Exchange {
         // a slot, keeping identity-configuration snapshots byte-identical.
         if let Some(m) = &exchange.mux {
             m.publish(runtime.cluster().obs().as_ref());
+        }
+        if config.phase.enabled() {
+            // Phasing serializes destinations, which only makes sense when
+            // every send targets exactly one node: a multicast group would
+            // need to appear in several phases at once.
+            for (node, g) in config.groups.iter().enumerate() {
+                for i in 0..g.len() {
+                    if g.group(i).len() > 1 {
+                        return Err(ShuffleError::Config(format!(
+                            "phase scheduling requires singleton transmission \
+                             groups; node {node} group {i} has {} members",
+                            g.group(i).len()
+                        )));
+                    }
+                }
+            }
+            // The schedule covers exactly the pairs that exist: a provided
+            // estimate refines the weights, but presence is decided by the
+            // transmission groups (estimates for absent pairs are dropped,
+            // present pairs are clamped to at least one byte so they are
+            // never scheduled away).
+            let mut bytes = vec![vec![0u64; nodes]; nodes];
+            for (a, ds) in dests.iter().enumerate() {
+                for &b in ds {
+                    let est = config
+                        .phase_bytes
+                        .as_ref()
+                        .and_then(|m| m.get(a).and_then(|row| row.get(b)).copied())
+                        .unwrap_or(1);
+                    bytes[a][b] = est.max(1);
+                }
+            }
+            let schedule = PhaseSchedule::build(config.phase, &bytes)?;
+            // Free (exempted) sources run the unphased path and never
+            // reach the barrier: counting them would deadlock round 0.
+            let senders = dests
+                .iter()
+                .enumerate()
+                .filter(|(n, d)| !d.is_empty() && !schedule.is_free(*n))
+                .count();
+            let parties = senders * config.threads;
+            exchange.phases = Some(PhaseRunner::with_obs(
+                runtime.kernel(),
+                schedule,
+                parties,
+                config.stall_timeout,
+                runtime.obs().clone(),
+            ));
         }
         Ok(exchange)
     }

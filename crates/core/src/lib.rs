@@ -36,6 +36,7 @@
 
 #![warn(missing_docs)]
 
+pub mod advisor;
 pub mod buffer;
 pub mod config;
 pub mod endpoint;
@@ -43,15 +44,18 @@ pub mod error;
 pub mod exchange;
 pub mod group;
 pub mod operator;
+pub mod phase;
 #[cfg(feature = "saboteur")]
 pub mod sabotage;
 
+pub use advisor::{Advice, AdvisorSignals, AlgorithmAdvisor};
 pub use buffer::{Buffer, MsgHeader, MsgKind, StreamState, HEADER_LEN};
 pub use config::{Contention, EndpointImpl, EndpointMode, ShuffleAlgorithm};
 pub use endpoint::{Delivery, EndpointId, ReceiveEndpoint, SendEndpoint};
 pub use error::{Result, ShuffleError};
 pub use exchange::{Exchange, ExchangeConfig};
 pub use group::TransmissionGroups;
+pub use phase::{Phase, PhasePolicy, PhaseRunner, PhaseSchedule, HEAVY_SOURCE_FACTOR};
 pub use operator::{
     default_partition_hash, CostModel, Operator, ReceiveOperator, RowBatch, ShuffleOperator,
 };

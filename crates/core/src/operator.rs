@@ -9,13 +9,14 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use rshuffle_simnet::{DeviceProfile, SimContext, SimDuration};
+use rshuffle_simnet::{DeviceProfile, NodeId, SimContext, SimDuration};
 
 use crate::buffer::{Buffer, StreamState};
 use crate::config::EndpointMode;
 use crate::endpoint::{ReceiveEndpoint, SendEndpoint};
 use crate::error::{Result, ShuffleError};
 use crate::group::TransmissionGroups;
+use crate::phase::PhaseRunner;
 
 /// A vectorized batch of fixed-width rows.
 #[derive(Clone, Debug)]
@@ -176,6 +177,10 @@ pub struct ShuffleOperator {
     resume_skip: Vec<Mutex<Vec<u64>>>,
     threads: usize,
     cost: CostModel,
+    /// Phase-scheduled transmission: the cluster-wide runner plus this
+    /// node's id in the schedule. `None` (the default) keeps the classic
+    /// interleaved Algorithm 1 transmission order.
+    phases: Option<(Arc<PhaseRunner>, NodeId)>,
 }
 
 impl ShuffleOperator {
@@ -240,6 +245,7 @@ impl ShuffleOperator {
                 .collect(),
             threads,
             cost,
+            phases: None,
         }
     }
 
@@ -268,14 +274,148 @@ impl ShuffleOperator {
         self
     }
 
+    /// Switches transmission to the phase-scheduled order: stage all rows
+    /// per destination, then transmit one destination per schedule phase,
+    /// crossing `runner`'s cluster-wide barrier between phases. `node` is
+    /// this operator's node id in the schedule.
+    pub fn with_phases(mut self, runner: Arc<PhaseRunner>, node: NodeId) -> Self {
+        self.phases = Some((runner, node));
+        self
+    }
+
     fn endpoint(&self, tid: usize) -> &Arc<dyn SendEndpoint> {
         &self.endpoints[tid % self.endpoints.len()]
+    }
+
+    /// The phase-scheduled transmission loop. Any error aborts the runner
+    /// (in the caller) so peers blocked on the barrier fail fast instead
+    /// of timing out.
+    fn next_phased(
+        &self,
+        sim: &SimContext,
+        tid: usize,
+        runner: &Arc<PhaseRunner>,
+        node: NodeId,
+    ) -> Result<(StreamState, RowBatch)> {
+        let target = self.endpoint(tid).clone();
+        let schedule = runner.schedule();
+        // `Exchange::build` enforces singleton groups under phasing; map
+        // each destination node back to its group index.
+        let mut group_of: Vec<Option<usize>> = vec![None; schedule.nodes()];
+        for i in 0..self.groups.len() {
+            let g = self.groups.group(i);
+            if g.len() == 1 && g[0] < group_of.len() {
+                group_of[g[0]] = Some(i);
+            }
+        }
+        // Stage: hash every row of the child into its destination bin
+        // (plain memory; the copy into RDMA-registered buffers is charged
+        // per phase below, so total CPU cost matches the unphased path).
+        let mut staged: Vec<Vec<u8>> = vec![Vec::new(); self.groups.len()];
+        let mut staged_lens: Vec<Vec<usize>> = vec![Vec::new(); self.groups.len()];
+        loop {
+            let (state, batch) = self.child.next(sim, tid)?;
+            if !batch.is_empty() {
+                sim.sleep(self.cost.hash_per_tuple * batch.rows() as u64);
+            }
+            for row in batch.iter() {
+                let dest = ((self.hash)(row) % self.groups.len() as u64) as usize;
+                {
+                    let mut skip = self.resume_skip[tid].lock();
+                    if skip[dest] > 0 {
+                        skip[dest] -= 1;
+                        continue;
+                    }
+                }
+                staged[dest].extend_from_slice(row);
+                staged_lens[dest].push(row.len());
+            }
+            if state == StreamState::Depleted {
+                break;
+            }
+        }
+        // Transmit: one destination per phase. The barrier is crossed
+        // once per super-round (every PHASE_GROUP phases): inside a
+        // super-round lanes drift at most PHASE_GROUP − 1 phases apart,
+        // so an ingress port never serves more than PHASE_GROUP bulk
+        // senders — still under the incast knee — while slow lanes
+        // catch up without stretching every peer's round.
+        for p in 0..schedule.num_phases() {
+            if p % crate::phase::PHASE_GROUP == 0 {
+                runner.wait(sim, p)?;
+            }
+            let Some(dest_node) = schedule.dest_of(p, node) else {
+                continue;
+            };
+            let Some(dest) = group_of.get(dest_node).copied().flatten() else {
+                continue;
+            };
+            let bytes = std::mem::take(&mut staged[dest]);
+            let lens = std::mem::take(&mut staged_lens[dest]);
+            if !bytes.is_empty() {
+                sim.sleep(self.cost.copy_time(bytes.len()));
+                let mut cur: Option<Buffer> = None;
+                let mut off = 0usize;
+                for len in lens {
+                    let row = &bytes[off..off + len];
+                    off += len;
+                    let mut buf = match cur.take() {
+                        Some(b) => b,
+                        None => {
+                            let mut b = target.get_free(sim)?;
+                            b.set_tag(tid as u16);
+                            b
+                        }
+                    };
+                    if buf.remaining() < row.len() {
+                        target.send(sim, buf, self.groups.group(dest), StreamState::MoreData)?;
+                        buf = target.get_free(sim)?;
+                        buf.set_tag(tid as u16);
+                    }
+                    buf.push(row)?;
+                    cur = Some(buf);
+                }
+                if let Some(buf) = cur {
+                    if !buf.is_empty() {
+                        target.send(sim, buf, self.groups.group(dest), StreamState::MoreData)?;
+                    }
+                }
+            }
+            // A phase is only contention-free if the previous one has left
+            // the fabric: wait for the endpoint to drain toward this
+            // destination before reporting the phase done.
+            target.quiesce(sim, dest_node)?;
+        }
+        // Propagate Depleted (same last-thread-per-lane rule as the
+        // unphased path).
+        let lane = tid % self.endpoints.len();
+        let last = self.lane_remaining[lane].fetch_sub(1, Ordering::SeqCst) == 1;
+        if last {
+            for d in self.groups.destinations() {
+                let mut buf = target.get_free(sim)?;
+                buf.set_tag(tid as u16);
+                target.send(sim, buf, &[d], StreamState::Depleted)?;
+            }
+        }
+        Ok((StreamState::Depleted, RowBatch::new(1, 0)))
     }
 }
 
 impl Operator for ShuffleOperator {
     fn next(&self, sim: &SimContext, tid: usize) -> Result<(StreamState, RowBatch)> {
         assert!(tid < self.threads, "tid {tid} out of range");
+        if let Some((runner, node)) = &self.phases {
+            // A source the skew-aware schedule exempted streams through
+            // the ordinary unphased path below: it is not a barrier
+            // party and owes the schedule nothing.
+            if !runner.schedule().is_free(*node) {
+                let res = self.next_phased(sim, tid, runner, *node);
+                if res.is_err() {
+                    runner.abort();
+                }
+                return res;
+            }
+        }
         let target = self.endpoint(tid).clone();
         loop {
             let (state, batch) = self.child.next(sim, tid)?;

@@ -39,4 +39,6 @@ pub use ops::{
     UnionAll,
 };
 pub use table::Table;
-pub use workload::{run_workload, QuerySpec, QueryTiming, WorkloadHandle, ENDPOINT_ID_STRIDE};
+pub use workload::{
+    advisor_signals, run_workload, QuerySpec, QueryTiming, WorkloadHandle, ENDPOINT_ID_STRIDE,
+};

@@ -763,16 +763,18 @@ fn spawn_recovery_attempt(
                         .collect()
                 })
                 .collect();
-            let op: Arc<dyn Operator> = Arc::new(
-                ShuffleOperator::with_lanes(
-                    make_source(generation, node),
-                    exchange.send[node].clone(),
-                    groups.clone(),
-                    threads,
-                    cost.clone(),
-                )
-                .with_resume_skip(skips),
-            );
+            let mut shuffle = ShuffleOperator::with_lanes(
+                make_source(generation, node),
+                exchange.send[node].clone(),
+                groups.clone(),
+                threads,
+                cost.clone(),
+            )
+            .with_resume_skip(skips);
+            if let Some(runner) = &exchange.phases {
+                shuffle = shuffle.with_phases(runner.clone(), node);
+            }
+            let op: Arc<dyn Operator> = Arc::new(shuffle);
             for tid in 0..threads {
                 let name = format!("r{rebuild}-shuffle-{node}-{tid}");
                 spawn_worker(cluster, node, &name, op.clone(), tid, None, done.clone());

@@ -326,13 +326,17 @@ fn spawn_attempt(
     let mut expected = 0;
     for node in 0..cluster.nodes() {
         if !exchange.send[node].is_empty() {
-            let op: Arc<dyn Operator> = Arc::new(ShuffleOperator::with_lanes(
+            let mut shuffle = ShuffleOperator::with_lanes(
                 make_source(attempt, node),
                 exchange.send[node].clone(),
                 exchange.groups[node].clone(),
                 threads,
                 cost.clone(),
-            ));
+            );
+            if let Some(runner) = &exchange.phases {
+                shuffle = shuffle.with_phases(runner.clone(), node);
+            }
+            let op: Arc<dyn Operator> = Arc::new(shuffle);
             for tid in 0..threads {
                 let name = format!("a{attempt}-shuffle-{node}-{tid}");
                 spawn_worker(cluster, node, &name, op.clone(), tid, None, done.clone());

@@ -160,6 +160,13 @@ pub mod names {
     /// Natural (un-multiplexed) QP demand the lease table saw `{node}`;
     /// `mux.qp_count / mux.natural_qps` is the context-compression ratio.
     pub const MUX_NATURAL_QPS: &str = "mux.natural_qps";
+    /// Communication phases completed by a phase-scheduled exchange
+    /// (one increment per sender thread per barrier crossing).
+    pub const EXCHANGE_PHASES_RUN: &str = "exchange.phases_run";
+    /// Virtual ns a sender thread spent parked at the phase barrier.
+    pub const EXCHANGE_PHASE_BARRIER_WAIT_NS: &str = "exchange.phase_barrier_wait_ns";
+    /// Algorithm recommendations issued by the `AlgorithmAdvisor`.
+    pub const ADVISOR_DECISIONS: &str = "advisor.decisions";
 }
 
 /// One shared observability context: the metrics registry plus the

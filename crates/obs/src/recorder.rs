@@ -93,6 +93,12 @@ pub enum EventKind {
     /// The query degraded mid-run to a sturdier shuffle configuration
     /// (`arg` = the new configuration's algorithm code).
     QueryDegraded,
+    /// A sender thread entered a new communication phase of a
+    /// phase-scheduled exchange (`arg` = phase index).
+    PhaseBegin,
+    /// The algorithm advisor issued a recommendation (`arg` = the
+    /// picked configuration's algorithm code).
+    AdvisorDecision,
 }
 
 impl EventKind {
@@ -126,6 +132,8 @@ impl EventKind {
             EventKind::FlowResumed => "flow_resumed",
             EventKind::PartialRetry => "partial_retry",
             EventKind::QueryDegraded => "query_degraded",
+            EventKind::PhaseBegin => "phase_begin",
+            EventKind::AdvisorDecision => "advisor_decision",
         }
     }
 }

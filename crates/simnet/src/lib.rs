@@ -39,7 +39,7 @@ pub mod time;
 
 pub use cluster::Cluster;
 pub use kernel::{Gate, Kernel, RecvTimeout, SimContext, SimThreadId, ThreadStats};
-pub use net::{Fabric, Topology};
+pub use net::{Fabric, IncastModel, Topology};
 pub use nic::{FairResource, FlowId, FlowTable, NicModel};
 pub use profile::DeviceProfile;
 pub use resource::Resource;

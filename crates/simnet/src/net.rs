@@ -56,7 +56,80 @@ pub enum Topology {
         oversubscription: f64,
         /// Extra one-way latency of the leaf → spine → leaf detour.
         spine_hop_latency: SimDuration,
+        /// Opt-in incast congestion-collapse model for the receiver-side
+        /// shared ports ([`IncastModel`]); `None` preserves the original
+        /// purely work-conserving fluid fabric byte for byte.
+        incast: Option<IncastModel>,
     },
+}
+
+/// Incast congestion collapse at a shared receiving port (opt-in).
+///
+/// The fluid-flow fabric is work-conserving: `k` concurrent senders
+/// into one port each get `1/k` of its bandwidth and the port still
+/// moves at line rate in aggregate. Real switch ports do not hold that
+/// ideal under deep fan-in — once the number of concurrent senders
+/// exceeds the port's buffer headroom, lossless fabrics collapse into
+/// congestion-tree spreading (InfiniBand credit back-pressure / PFC
+/// storms) and *aggregate* goodput drops well below line rate. This
+/// model captures that knee: while more than `sender_threshold`
+/// distinct senders hold in-flight bulk reservations on a port, every
+/// new reservation's serialization time is inflated by
+/// `min(max_penalty, active_senders / sender_threshold)`.
+///
+/// Applied to fat-tree ingress ports and leaf downlinks only (the
+/// resources a naive all-to-all overloads); control packets on the
+/// bypass virtual lane are never penalized. A phase-scheduled transfer
+/// keeps at most one bulk sender per port and thus never crosses the
+/// threshold.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct IncastModel {
+    /// Concurrent distinct senders a port absorbs at full rate (its
+    /// buffer headroom, naturally about one leaf's worth of hosts).
+    sender_threshold: usize,
+    /// Cap on the serialization inflation factor.
+    max_penalty: f64,
+}
+
+impl IncastModel {
+    /// A model with the given threshold and the default 4× penalty cap.
+    pub fn new(sender_threshold: usize) -> IncastModel {
+        IncastModel {
+            sender_threshold: sender_threshold.max(1),
+            max_penalty: 4.0,
+        }
+    }
+
+    /// Sets the penalty cap (clamped to ≥ 1.0).
+    pub fn with_max_penalty(mut self, max_penalty: f64) -> IncastModel {
+        self.max_penalty = max_penalty.max(1.0);
+        self
+    }
+
+    /// Concurrent-sender knee of the model.
+    pub fn sender_threshold(&self) -> usize {
+        self.sender_threshold
+    }
+
+    /// Serialization inflation for a port currently serving `active`
+    /// distinct bulk senders (1.0 at or below the threshold).
+    pub fn penalty(&self, active: usize) -> f64 {
+        self.penalty_floored(active, 1)
+    }
+
+    /// [`IncastModel::penalty`] with the sender knee floored at `floor`.
+    /// Shared aggregation links (a leaf's downlink) legitimately carry
+    /// one flow per host beneath them — their buffers are provisioned
+    /// for it — so their knee is `max(threshold, hosts_per_leaf)`, not
+    /// the single-port threshold.
+    pub fn penalty_floored(&self, active: usize, floor: usize) -> f64 {
+        let knee = self.sender_threshold.max(floor);
+        if active <= knee {
+            1.0
+        } else {
+            (active as f64 / knee as f64).min(self.max_penalty)
+        }
+    }
 }
 
 impl Topology {
@@ -68,6 +141,46 @@ impl Topology {
             hosts_per_leaf: hosts_per_leaf.max(1),
             oversubscription: oversubscription.max(1.0),
             spine_hop_latency: SimDuration::from_nanos(500),
+            incast: None,
+        }
+    }
+
+    /// Enables the incast congestion-collapse model on a fat tree with
+    /// the given sender threshold (typically one leaf's worth of
+    /// hosts). No effect on a single switch — the crossbar's dedicated
+    /// per-host ports have no shared fan-in point to collapse.
+    pub fn with_incast(self, model: IncastModel) -> Topology {
+        match self {
+            Topology::SingleSwitch => Topology::SingleSwitch,
+            Topology::FatTree {
+                hosts_per_leaf,
+                oversubscription,
+                spine_hop_latency,
+                ..
+            } => Topology::FatTree {
+                hosts_per_leaf,
+                oversubscription,
+                spine_hop_latency,
+                incast: Some(model),
+            },
+        }
+    }
+
+    /// The configured incast model, if any.
+    pub fn incast(&self) -> Option<IncastModel> {
+        match *self {
+            Topology::SingleSwitch => None,
+            Topology::FatTree { incast, .. } => incast,
+        }
+    }
+
+    /// Oversubscription ratio of the fabric (1.0 = full bisection).
+    pub fn oversubscription(&self) -> f64 {
+        match *self {
+            Topology::SingleSwitch => 1.0,
+            Topology::FatTree {
+                oversubscription, ..
+            } => oversubscription,
         }
     }
 
@@ -114,14 +227,22 @@ impl Topology {
                 hosts_per_leaf,
                 oversubscription,
                 spine_hop_latency,
+                incast,
             } => {
                 let leaves = self.leaves(nodes);
+                let incast_line = match incast {
+                    None => String::new(),
+                    Some(m) => format!(
+                        "\nincast:    collapse past {} concurrent senders/port, up to {:.1}x",
+                        m.sender_threshold, m.max_penalty
+                    ),
+                };
                 format!(
                     "topology: two-tier fat tree, {oversubscription:.1}:1 oversubscribed\n\
                      tier 0:   {nodes} host ports @ {:.1} GiB/s per direction\n\
                      tier 1:   {leaves} leaf switches × {hosts_per_leaf} hosts, uplink {:.1} GiB/s aggregate\n\
                      tier 2:   non-blocking spine, +{} ns per inter-leaf hop\n\
-                     bisection: {:.1} GiB/s ({:.0}% of full)",
+                     bisection: {:.1} GiB/s ({:.0}% of full){incast_line}",
                     payload_bandwidth / crate::profile::GIB,
                     self.uplink_bandwidth(payload_bandwidth) / crate::profile::GIB,
                     spine_hop_latency.as_nanos(),
@@ -186,6 +307,50 @@ pub struct Fabric {
     switch_latency: crate::time::SimDuration,
     loopback_latency: crate::time::SimDuration,
     link_faults: Mutex<Vec<LinkFault>>,
+    /// Incast collapse model, copied out of the topology; `None` keeps
+    /// every path below bit-identical to the work-conserving fabric.
+    incast: Option<IncastModel>,
+    /// Distinct senders with in-flight bulk reservations, per ingress
+    /// port (`[node]`) and per leaf downlink (`[leaf]`). Entries are
+    /// `(sender, reservation end)` pairs, pruned lazily against each
+    /// new departure. Empty when the incast model is off.
+    incast_ingress: Mutex<Vec<Vec<(NodeId, SimTime)>>>,
+    incast_downlink: Mutex<Vec<Vec<(NodeId, SimTime)>>>,
+}
+
+/// Prunes expired reservations from `set` and returns the penalty for
+/// one more bulk reservation by `from` departing at `depart`.
+fn incast_penalty(
+    model: &IncastModel,
+    set: &mut Vec<(NodeId, SimTime)>,
+    from: NodeId,
+    depart: SimTime,
+    knee_floor: usize,
+) -> f64 {
+    set.retain(|&(_, end)| end > depart);
+    let mut active = set.len();
+    if !set.iter().any(|&(n, _)| n == from) {
+        active += 1;
+    }
+    model.penalty_floored(active, knee_floor)
+}
+
+/// Records `from`'s bulk reservation on `set` as busy until `end`.
+fn incast_note(set: &mut Vec<(NodeId, SimTime)>, from: NodeId, end: SimTime) {
+    match set.iter_mut().find(|e| e.0 == from) {
+        Some(e) => e.1 = e.1.max(end),
+        None => set.push((from, end)),
+    }
+}
+
+/// Inflates a serialization time by an incast penalty factor; exactly
+/// the input at factor 1.0 so unpenalized paths stay bit-identical.
+fn inflate(ser: SimDuration, factor: f64) -> SimDuration {
+    if factor <= 1.0 {
+        ser
+    } else {
+        SimDuration::from_nanos((ser.as_nanos() as f64 * factor).round() as u64)
+    }
 }
 
 impl Fabric {
@@ -226,6 +391,17 @@ impl Fabric {
                 })
                 .collect(),
             uplink_bandwidth: topology.uplink_bandwidth(profile.payload_bandwidth),
+            incast: topology.incast(),
+            incast_ingress: Mutex::new(if topology.incast().is_some() {
+                vec![Vec::new(); nodes]
+            } else {
+                Vec::new()
+            }),
+            incast_downlink: Mutex::new(if topology.incast().is_some() {
+                vec![Vec::new(); leaf_count]
+            } else {
+                Vec::new()
+            }),
             topology,
             flows,
             bandwidth: profile.payload_bandwidth,
@@ -366,19 +542,51 @@ impl Fabric {
                     flow,
                     &self.flows,
                 );
+                let ser_dl = match &self.incast {
+                    None => ser_up,
+                    Some(m) => {
+                        // The downlink aggregates a leaf's worth of
+                        // hosts; its knee is floored at one flow per
+                        // host so a phase-scheduled transfer (at most
+                        // one sender per destination port) never
+                        // crosses it.
+                        let floor = match self.topology {
+                            Topology::FatTree { hosts_per_leaf, .. } => hosts_per_leaf,
+                            Topology::SingleSwitch => 1,
+                        };
+                        let mut dl = self.incast_downlink.lock();
+                        inflate(
+                            ser_up,
+                            incast_penalty(m, &mut dl[dst_leaf], from, depart, floor),
+                        )
+                    }
+                };
                 let d = self.leaves[dst_leaf].downlink.lock().reserve_flow(
                     u.start + hop,
-                    ser_up,
+                    ser_dl,
                     flow,
                     &self.flows,
                 );
+                if self.incast.is_some() {
+                    incast_note(&mut self.incast_downlink.lock()[dst_leaf], from, d.end);
+                }
                 d.start + self.switch_latency
+            }
+        };
+        let ser_in = match &self.incast {
+            None => ser,
+            Some(m) => {
+                let mut ig = self.incast_ingress.lock();
+                inflate(ser, incast_penalty(m, &mut ig[to], from, depart, 1))
             }
         };
         let i = self.ports[to]
             .ingress
             .lock()
-            .reserve_flow(ingress_ready, ser, flow, &self.flows);
+            .reserve_flow(ingress_ready, ser_in, flow, &self.flows);
+        if self.incast.is_some() {
+            incast_note(&mut self.incast_ingress.lock()[to], from, i.end);
+        }
         i.end + extra_latency
     }
 
@@ -515,6 +723,80 @@ mod tests {
 
     fn fabric(n: usize) -> Fabric {
         Fabric::new(n, &DeviceProfile::edr())
+    }
+
+    fn topo_fabric(n: usize, topology: Topology) -> Fabric {
+        Fabric::with_topology(
+            n,
+            &DeviceProfile::edr(),
+            Arc::new(FlowTable::new()),
+            topology,
+        )
+    }
+
+    #[test]
+    fn incast_model_penalizes_deep_fan_in() {
+        // 64 hosts, 8 per leaf, 4:1 oversubscribed; all 56 remote hosts
+        // blast host 0 at once. With the incast model the last delivery
+        // must land materially later than on the ideal fluid fabric.
+        let n = 64;
+        let msg = 1 << 20;
+        let ideal = topo_fabric(n, Topology::fat_tree(8, 4.0));
+        let collapsed = topo_fabric(
+            n,
+            Topology::fat_tree(8, 4.0).with_incast(IncastModel::new(8)),
+        );
+        let last = |f: &Fabric| {
+            let mut last = SimTime::ZERO;
+            for s in 8..n {
+                last = last.max(f.transfer(s, 0, msg, SimTime::ZERO));
+            }
+            last
+        };
+        let (t_ideal, t_collapsed) = (last(&ideal), last(&collapsed));
+        assert!(
+            t_collapsed.as_nanos() as f64 >= t_ideal.as_nanos() as f64 * 2.0,
+            "56-way incast must collapse: ideal {} ns vs incast {} ns",
+            t_ideal.as_nanos(),
+            t_collapsed.as_nanos()
+        );
+    }
+
+    #[test]
+    fn incast_model_invisible_to_serial_senders() {
+        // One sender at a time per port (a phased transfer) never
+        // crosses the threshold: delivery times match the ideal fabric
+        // exactly.
+        let n = 16;
+        let msg = 1 << 20;
+        let ideal = topo_fabric(n, Topology::fat_tree(4, 4.0));
+        let modeled = topo_fabric(
+            n,
+            Topology::fat_tree(4, 4.0).with_incast(IncastModel::new(4)),
+        );
+        let mut depart = SimTime::ZERO;
+        for s in 4..10 {
+            let a = ideal.transfer(s, 0, msg, depart);
+            let b = modeled.transfer(s, 0, msg, depart);
+            assert_eq!(a, b, "serial sender {s} must see identical delivery");
+            depart = a;
+        }
+    }
+
+    #[test]
+    fn incast_penalty_is_capped() {
+        let m = IncastModel::new(4).with_max_penalty(3.0);
+        assert_eq!(m.penalty(4), 1.0);
+        assert!((m.penalty(6) - 1.5).abs() < 1e-9);
+        assert!((m.penalty(1000) - 3.0).abs() < 1e-9);
+        // Control packets stay exempt regardless of fan-in.
+        let f = topo_fabric(
+            8,
+            Topology::fat_tree(4, 4.0).with_incast(IncastModel::new(1)),
+        );
+        let ctl = f.transfer(4, 0, 64, SimTime::ZERO);
+        let ctl2 = f.transfer(5, 0, 64, SimTime::ZERO);
+        assert_eq!(ctl, ctl2, "bypass lane is never penalized");
     }
 
     #[test]

@@ -1,0 +1,289 @@
+//! Identity and correctness contracts for phase-scheduled all-to-all.
+//!
+//! Phasing only changes *when* each destination is served — never what
+//! is delivered. Three contracts pin that:
+//!
+//! * **Identity**: with [`PhasePolicy::Off`] (the default) nothing
+//!   phase-related is even built, so a run with the knob explicitly off
+//!   — even with a byte estimate supplied — must be byte-identical to
+//!   the seed path: same metrics snapshot, same delivered multiset,
+//!   same final virtual time, auditor clean.
+//! * **Exactly-once**: under both schedules (naive rotation and
+//!   skew-aware) every algorithm still delivers every row exactly once
+//!   with a clean auditor, and same-seed phased runs are bit-identical.
+//! * **Chaos**: phased runs under the PR 2 fault plans still terminate
+//!   with exactly-once delivery in the winning attempt (the runner's
+//!   abort path must fail peers fast instead of hanging the barrier).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rshuffle_repro::engine::{
+    drive_to_sink, run_shuffle_with_restart, Generator, RestartPolicy,
+};
+use rshuffle_repro::rshuffle::{
+    CostModel, Exchange, ExchangeConfig, Operator, PhasePolicy, ReceiveOperator, ShuffleAlgorithm,
+    ShuffleOperator,
+};
+use rshuffle_repro::simnet::{DeviceProfile, SimDuration};
+use rshuffle_repro::verbs::{FaultConfig, FaultPlan};
+
+const NODES: usize = 3;
+const THREADS: usize = 2;
+const ROWS_PER_THREAD: usize = 800;
+const ROW: usize = 16;
+
+struct PhaseRun {
+    snapshot: String,
+    end_ns: u64,
+    delivered: Vec<[u8; ROW]>,
+    violations: usize,
+}
+
+/// Runs one small repartition with the given phase policy and returns
+/// everything the contracts compare.
+fn run_phase(
+    algorithm: ShuffleAlgorithm,
+    policy: PhasePolicy,
+    bytes: Option<Vec<Vec<u64>>>,
+) -> PhaseRun {
+    let mut config = ExchangeConfig::repartition(algorithm, NODES, THREADS);
+    config.message_size = 4096;
+    config.phase = policy;
+    config.phase_bytes = bytes.map(Arc::new);
+    let runtime = config.build_runtime(DeviceProfile::edr());
+    let auditor = runtime.enable_audit();
+    let exchange = Exchange::build(&runtime, &config).expect("exchange builds");
+    let cost = CostModel::from_profile(runtime.profile());
+    let delivered: Arc<Mutex<Vec<[u8; ROW]>>> = Arc::new(Mutex::new(Vec::new()));
+    let mut stats = Vec::new();
+    for node in 0..NODES {
+        let source = Arc::new(Generator::new(ROWS_PER_THREAD, THREADS, node as u64));
+        let mut shuffle = ShuffleOperator::with_lanes(
+            source,
+            exchange.send[node].clone(),
+            exchange.groups[node].clone(),
+            THREADS,
+            cost.clone(),
+        );
+        if let Some(runner) = &exchange.phases {
+            shuffle = shuffle.with_phases(runner.clone(), node);
+        }
+        stats.push(drive_to_sink(
+            runtime.cluster(),
+            node,
+            &format!("s{node}"),
+            Arc::new(shuffle),
+            THREADS,
+            |_, _| {},
+        ));
+        let receive = Arc::new(ReceiveOperator::with_lanes(
+            exchange.recv[node].clone(),
+            ROW,
+            2048,
+            THREADS,
+            cost.clone(),
+        ));
+        let d = delivered.clone();
+        stats.push(drive_to_sink(
+            runtime.cluster(),
+            node,
+            &format!("r{node}"),
+            receive,
+            THREADS,
+            move |_, batch| {
+                let mut rows = d.lock();
+                for row in batch.iter() {
+                    rows.push(row.try_into().expect("16-byte row"));
+                }
+            },
+        ));
+    }
+    runtime.cluster().run();
+    for s in &stats {
+        assert!(
+            s.lock().errors.is_empty(),
+            "{algorithm} under {policy:?}: worker errors: {:?}",
+            s.lock().errors
+        );
+    }
+    let violations = auditor.finalize(true).len();
+    let mut delivered = Arc::try_unwrap(delivered)
+        .expect("all workers joined")
+        .into_inner();
+    delivered.sort_unstable();
+    PhaseRun {
+        snapshot: runtime.obs().snapshot_json(),
+        end_ns: runtime.kernel().now().as_nanos(),
+        delivered,
+        violations,
+    }
+}
+
+/// Every row the generators emit, cluster-wide, sorted.
+fn expected_rows() -> Vec<[u8; ROW]> {
+    let mut rows = Vec::with_capacity(NODES * THREADS * ROWS_PER_THREAD);
+    for node in 0..NODES {
+        for tid in 0..THREADS {
+            for seq in 0..ROWS_PER_THREAD {
+                rows.push(Generator::row(node as u64, tid, seq));
+            }
+        }
+    }
+    rows.sort_unstable();
+    rows
+}
+
+fn all_with_wr() -> Vec<ShuffleAlgorithm> {
+    let wr = ["MEMQ/WR", "SEMQ/WR"].map(|n| ShuffleAlgorithm::parse(n).expect("WR parses"));
+    ShuffleAlgorithm::ALL.into_iter().chain(wr).collect()
+}
+
+/// `PhasePolicy::Off` must be the seed path, bit for bit: nothing
+/// phase-related is built, so even supplying a byte estimate cannot
+/// move a single event.
+#[test]
+fn off_policy_is_byte_identical_to_the_seed_path() {
+    let expected = expected_rows();
+    for algorithm in all_with_wr() {
+        let seed = run_phase(algorithm, PhasePolicy::Off, None);
+        // A (nonsensical, but well-formed) estimate that would reorder
+        // everything if it were ever consulted.
+        let est = vec![vec![1u64 << 20; NODES]; NODES];
+        let off = run_phase(algorithm, PhasePolicy::Off, Some(est));
+        assert_eq!(
+            seed.snapshot, off.snapshot,
+            "{algorithm}: Off must leave the metrics snapshot byte-identical"
+        );
+        assert_eq!(
+            seed.end_ns, off.end_ns,
+            "{algorithm}: Off moved the final virtual time"
+        );
+        assert_eq!(off.delivered, expected, "{algorithm}: delivered multiset");
+        assert_eq!(seed.violations, 0, "{algorithm}: seed-path auditor");
+        assert_eq!(off.violations, 0, "{algorithm}: off-path auditor");
+    }
+}
+
+/// Both schedules must keep delivery exactly-once and auditor-clean for
+/// every design, and a repeated phased run must be bit-identical.
+#[test]
+fn phased_delivery_is_exactly_once_for_every_algorithm() {
+    let expected = expected_rows();
+    for algorithm in ShuffleAlgorithm::ALL {
+        for policy in [PhasePolicy::Naive, PhasePolicy::SkewAware] {
+            let run = run_phase(algorithm, policy, None);
+            assert_eq!(
+                run.delivered,
+                expected,
+                "{algorithm} under {policy:?}: phased run lost or duplicated rows \
+                 ({} of {} delivered)",
+                run.delivered.len(),
+                expected.len()
+            );
+            assert_eq!(run.violations, 0, "{algorithm} under {policy:?}: auditor");
+            let again = run_phase(algorithm, policy, None);
+            assert_eq!(
+                run.snapshot, again.snapshot,
+                "{algorithm} under {policy:?}: phased runs must be deterministic"
+            );
+            assert_eq!(run.end_ns, again.end_ns, "{algorithm} under {policy:?}");
+        }
+    }
+}
+
+/// A skewed byte estimate changes the schedule, never the delivery.
+#[test]
+fn skew_aware_estimate_preserves_delivery() {
+    let expected = expected_rows();
+    // Node 0 is claimed (correctly or not — the schedule must not care)
+    // to send 100x more to node 1 than anything else.
+    let mut est = vec![vec![1u64; NODES]; NODES];
+    est[0][1] = 100;
+    let run = run_phase(ShuffleAlgorithm::MESQ_SR, PhasePolicy::SkewAware, Some(est));
+    assert_eq!(run.delivered, expected, "estimate must not change delivery");
+    assert_eq!(run.violations, 0, "auditor under skewed estimate");
+}
+
+fn us(v: u64) -> SimDuration {
+    SimDuration::from_micros(v)
+}
+
+/// Phased chaos: under the PR 2 fault plans the query must still
+/// terminate (abort propagates through the barrier instead of hanging)
+/// and the winning attempt must deliver every row exactly once.
+#[test]
+fn phased_chaos_plans_stay_exactly_once() {
+    let plans: Vec<(&str, FaultPlan)> = vec![
+        ("link-flap", FaultPlan::new().link_flap(1, us(10), us(150))),
+        ("qp-failure", FaultPlan::new().qp_failure(1, us(20))),
+        (
+            "ud-loss-burst",
+            FaultPlan::new().ud_loss_burst(0, us(10), us(120), 1.0),
+        ),
+    ];
+    let expected = expected_rows();
+    for (plan_name, plan) in plans {
+        for algorithm in ShuffleAlgorithm::ALL {
+            let mut config = ExchangeConfig::repartition(algorithm, NODES, THREADS);
+            config.message_size = 4096;
+            config.phase = PhasePolicy::Naive;
+            config.stall_timeout = SimDuration::from_millis(2);
+            config.depleted_timeout = us(500);
+            config.faults = FaultConfig {
+                seed: 42,
+                plan: plan.clone(),
+                ..FaultConfig::default()
+            };
+            let runtime = config.build_runtime(DeviceProfile::edr());
+            let delivered: Arc<Mutex<HashMap<u32, Vec<[u8; ROW]>>>> =
+                Arc::new(Mutex::new(HashMap::new()));
+            let d = delivered.clone();
+            let report = run_shuffle_with_restart(
+                &runtime,
+                &config,
+                RestartPolicy {
+                    max_restarts: 6,
+                    initial_backoff: us(50),
+                    max_backoff: SimDuration::from_millis(1),
+                },
+                ROW,
+                |_, node| {
+                    Arc::new(Generator::new(ROWS_PER_THREAD, THREADS, node as u64))
+                        as Arc<dyn Operator>
+                },
+                move |attempt, _, _, batch| {
+                    let mut map = d.lock();
+                    let rows = map.entry(attempt).or_default();
+                    for row in batch.iter() {
+                        rows.push(row.try_into().expect("16-byte row"));
+                    }
+                },
+            );
+            runtime.cluster().run();
+            let rep = report.lock().clone();
+            assert!(
+                rep.succeeded(),
+                "{algorithm} phased under {plan_name}: query failed after {} restarts: {:?}",
+                rep.restarts,
+                rep.failure
+            );
+            let map = Arc::try_unwrap(delivered)
+                .map(|m| m.into_inner())
+                .unwrap_or_default();
+            let winning = rep.restarts;
+            let mut rows = map.get(&winning).cloned().unwrap_or_default();
+            rows.sort_unstable();
+            assert_eq!(
+                rows,
+                expected,
+                "{algorithm} phased under {plan_name}: delivered {} of {} rows \
+                 (restarts: {})",
+                rows.len(),
+                expected.len(),
+                rep.restarts
+            );
+        }
+    }
+}
